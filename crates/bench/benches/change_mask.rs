@@ -1,0 +1,41 @@
+//! Change-mask diff/encode/apply — the per-write CPU cost of step W3.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use radd_parity::ChangeMask;
+
+fn page_pair(edit_bytes: usize) -> (Vec<u8>, Vec<u8>) {
+    let old: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();
+    let mut new = old.clone();
+    for b in &mut new[1000..1000 + edit_bytes] {
+        *b ^= 0xA5;
+    }
+    (old, new)
+}
+
+fn bench_mask(c: &mut Criterion) {
+    let mut group = c.benchmark_group("change_mask");
+    for &edit in &[100usize, 1024, 4096 - 1000] {
+        let (old, new) = page_pair(edit);
+        group.throughput(Throughput::Bytes(4096));
+        group.bench_function(format!("diff/edit{edit}"), |b| {
+            b.iter(|| ChangeMask::diff(black_box(&old), black_box(&new)));
+        });
+        let mask = ChangeMask::diff(&old, &new);
+        group.bench_function(format!("encode/edit{edit}"), |b| {
+            b.iter(|| black_box(&mask).encode());
+        });
+        let wire = mask.encode();
+        group.bench_function(format!("decode_apply/edit{edit}"), |b| {
+            let mut target = old.clone();
+            b.iter(|| {
+                let m = ChangeMask::decode(black_box(&wire)).unwrap();
+                m.apply(&mut target);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mask);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Layout addressing math — on every I/O's fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use radd_layout::Geometry;
+
+fn bench_layout(c: &mut Criterion) {
+    let geo = Geometry::paper_g8(1_000_000);
+    c.bench_function("layout/data_to_physical", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 7) % 100_000;
+            black_box(geo.data_to_physical(black_box((i % 10) as usize), black_box(i)))
+        });
+    });
+    c.bench_function("layout/physical_to_data", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 13) % 1_000_000;
+            black_box(geo.physical_to_data(black_box((k % 10) as usize), black_box(k)))
+        });
+    });
+    c.bench_function("layout/role", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 1_000_000;
+            black_box(geo.role(black_box(3), black_box(k)))
+        });
+    });
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

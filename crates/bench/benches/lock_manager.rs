@@ -1,0 +1,51 @@
+//! Lock-table throughput (§3.3 dynamic locking).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use radd_core::{LockKind, LockManager};
+
+fn bench_locks(c: &mut Criterion) {
+    c.bench_function("locks/exclusive_lock_unlock", |b| {
+        let mut lm = LockManager::new();
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 1) % 1024;
+            lm.try_lock(0, black_box(row), LockKind::Exclusive, 1).unwrap();
+            lm.unlock(0, row, 1);
+        });
+    });
+    c.bench_function("locks/shared_fanin_8", |b| {
+        let mut lm = LockManager::new();
+        b.iter(|| {
+            for owner in 0..8 {
+                lm.try_lock(0, 5, LockKind::Shared, owner).unwrap();
+            }
+            lm.release_all_benchmark_helper();
+        });
+    });
+    c.bench_function("locks/release_all_100", |b| {
+        b.iter(|| {
+            let mut lm = LockManager::new();
+            for row in 0..100u64 {
+                lm.try_lock(0, row, LockKind::Exclusive, 7).unwrap();
+            }
+            lm.release_all(7);
+            black_box(lm.locked_blocks())
+        });
+    });
+}
+
+trait BenchExt {
+    fn release_all_benchmark_helper(&mut self);
+}
+
+impl BenchExt for LockManager {
+    fn release_all_benchmark_helper(&mut self) {
+        for owner in 0..8 {
+            self.unlock(0, 5, owner);
+        }
+    }
+}
+
+criterion_group!(benches, bench_locks);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Throughput of the XOR primitives behind formulas (1) and (2).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use radd_parity::{xor_in_place, xor_many};
+
+fn bench_xor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parity_xor");
+    for &size in &[512usize, 4096, 65_536] {
+        let a: Vec<u8> = (0..size).map(|i| i as u8).collect();
+        let b: Vec<u8> = (0..size).map(|i| (i * 7) as u8).collect();
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("xor_in_place/{size}"), |bencher| {
+            let mut dst = a.clone();
+            bencher.iter(|| {
+                xor_in_place(black_box(&mut dst), black_box(&b));
+            });
+        });
+    }
+    // Reconstruction of one 4 KB block from a G = 8 stripe.
+    let stripe: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i.wrapping_mul(31); 4096]).collect();
+    group.throughput(Throughput::Bytes(9 * 4096));
+    group.bench_function("reconstruct_g8_4k", |bencher| {
+        bencher.iter(|| xor_many(stripe.iter().map(|b| black_box(b.as_slice()))).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_xor);
+criterion_main!(benches);

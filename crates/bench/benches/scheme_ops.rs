@@ -1,0 +1,51 @@
+//! End-to-end scheme operation throughput: one RADD write (W1–W4 with
+//! synchronous parity) and one degraded read (reconstruction), 4 KB blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use radd_core::{Actor, RaddCluster, RaddConfig};
+
+fn cluster() -> RaddCluster {
+    let mut cfg = RaddConfig::paper_g8();
+    cfg.block_size = 4096;
+    RaddCluster::new(cfg).unwrap()
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radd_ops");
+    group.throughput(Throughput::Bytes(4096));
+
+    group.bench_function("write_w1_w4", |b| {
+        let mut cl = cluster();
+        let data = vec![0xABu8; 4096];
+        let mut i = 0u64;
+        let cap = cl.data_capacity(0);
+        b.iter(|| {
+            i = (i + 1) % cap;
+            cl.write(Actor::Site(0), 0, black_box(i), &data).unwrap();
+        });
+    });
+
+    group.bench_function("healthy_read", |b| {
+        let mut cl = cluster();
+        let data = vec![0xCDu8; 4096];
+        cl.write(Actor::Site(0), 0, 0, &data).unwrap();
+        b.iter(|| black_box(cl.read(Actor::Site(0), 0, 0).unwrap().0));
+    });
+
+    group.bench_function("degraded_read_reconstruct_g8", |b| {
+        let mut cfg = RaddConfig::paper_g8();
+        cfg.block_size = 4096;
+        cfg.spare_policy = radd_core::SparePolicy::None; // force reconstruction
+        let mut cl = RaddCluster::new(cfg).unwrap();
+        let data = vec![0xEFu8; 4096];
+        cl.write(Actor::Site(1), 1, 0, &data).unwrap();
+        cl.fail_site(1);
+        b.iter(|| black_box(cl.read(Actor::Client, 1, 0).unwrap().0));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Run every experiment in paper order and dump all JSON results.
+
+use std::process::Command;
+
+const BINARIES: [&str; 12] = [
+    "fig1_layout",
+    "sec2_striping",
+    "fig2_space",
+    "fig3_opcounts",
+    "fig4_costs",
+    "fig5_mttu",
+    "fig6_mttf",
+    "fig7_summary",
+    "sec74_bandwidth",
+    "sec34_recovery",
+    "sec6_commit",
+    "sec72_spares",
+];
+
+fn main() {
+    // Prefer in-process execution? Each binary is cheap and isolated;
+    // spawning keeps their outputs exactly as users see them individually.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for bin in BINARIES {
+        println!("\n##### {bin} #####");
+        let path = dir.join(bin);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when running via `cargo run` without the
+            // siblings built yet.
+            Command::new("cargo")
+                .args(["run", "--quiet", "--release", "-p", "radd-bench", "--bin", bin])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("{bin} failed: {other:?}");
+                failures.push(bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed; JSON results are under ./results/");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate Figure 1: the logical layout of disk blocks.
+
+fn main() {
+    print!("{}", radd_bench::experiments::layout::figure1());
+}

@@ -1,0 +1,24 @@
+//! Regenerate Figure 2: space overhead per scheme.
+
+use radd_bench::experiments::space::figure2;
+use radd_bench::report::{fmt_f, Table};
+
+fn main() {
+    let rows = figure2();
+    let mut t = Table::new(
+        "Figure 2 — A Space Comparison",
+        &["System", "overhead % (ours)", "overhead % (paper)", "layout census %"],
+    );
+    for r in &rows {
+        t.row(&[
+            r.scheme.to_string(),
+            fmt_f(r.overhead * 100.0),
+            fmt_f(r.paper_percent),
+            r.census_percent.map(fmt_f).unwrap_or_else(|| "—".into()),
+        ]);
+    }
+    t.print();
+    if let Ok(path) = radd_bench::report::dump_json("fig2_space", &rows) {
+        println!("\nresults written to {path}");
+    }
+}

@@ -1,0 +1,32 @@
+//! Regenerate Figure 3: operation-count formulas per scheme and condition.
+//!
+//! Every cell is measured by driving a live scheme instance into the row's
+//! condition and recording what one operation actually cost.
+
+use radd_bench::experiments::costs::{measure_costs, SCHEME_NAMES};
+use radd_bench::report::Table;
+
+fn main() {
+    println!("Table 1 — cost parameters: R = local read, W = local write,");
+    println!("RR = remote read, RW = remote write (G = 8 throughout)\n");
+    let rows = measure_costs().expect("measurement failed");
+    let mut header = vec!["condition"];
+    header.extend_from_slice(&SCHEME_NAMES);
+    let mut measured = Table::new("Figure 3 — measured operation counts", &header);
+    let mut paper = Table::new("Figure 3 — paper formulas (for comparison)", &header);
+    for r in &rows {
+        let mut m = vec![r.row.label().to_string()];
+        for c in &r.cells {
+            m.push(c.as_ref().map(|c| c.formula.clone()).unwrap_or_else(|| "-".into()));
+        }
+        measured.row(&m);
+        let mut p = vec![r.row.label().to_string()];
+        p.extend(r.row.paper_formulas().iter().map(|s| s.to_string()));
+        paper.row(&p);
+    }
+    measured.print();
+    paper.print();
+    if let Ok(path) = radd_bench::report::dump_json("fig3_opcounts", &rows) {
+        println!("\nresults written to {path}");
+    }
+}

@@ -1,0 +1,37 @@
+//! Regenerate Figure 4: numerical cost comparison (msec), R = W = 30,
+//! RR = RW = 75.
+
+use radd_bench::experiments::costs::{measure_costs, SCHEME_NAMES};
+use radd_bench::report::{fmt_f, Table};
+
+fn main() {
+    let rows = measure_costs().expect("measurement failed");
+    let mut header = vec!["condition"];
+    header.extend_from_slice(&SCHEME_NAMES);
+    let mut measured = Table::new("Figure 4 — measured costs (msec)", &header);
+    let mut paper = Table::new("Figure 4 — paper values (msec, as printed)", &header);
+    for r in &rows {
+        let mut m = vec![r.row.label().to_string()];
+        for c in &r.cells {
+            m.push(c.as_ref().map(|c| fmt_f(c.ms)).unwrap_or_else(|| "-".into()));
+        }
+        measured.row(&m);
+        let mut p = vec![r.row.label().to_string()];
+        p.extend(
+            r.row
+                .paper_ms()
+                .iter()
+                .map(|v| v.map(fmt_f).unwrap_or_else(|| "-".into())),
+        );
+        paper.row(&p);
+    }
+    measured.print();
+    paper.print();
+    println!(
+        "\nNote: the memo's own Figures 3 and 4 disagree on two C-RAID cells\n\
+         (disk-failure write, site-failure write); see EXPERIMENTS.md."
+    );
+    if let Ok(path) = radd_bench::report::dump_json("fig4_costs", &rows) {
+        println!("results written to {path}");
+    }
+}

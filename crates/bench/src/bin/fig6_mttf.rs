@@ -1,0 +1,39 @@
+//! Regenerate Figure 6: mean time to data loss across the four Table 2
+//! environments.
+
+use radd_bench::experiments::reliability::figure6;
+use radd_bench::report::{fmt_f, Table};
+
+fn main() {
+    let trials = 150;
+    let rows = figure6(trials, 42);
+    for r in &rows {
+        let mut t = Table::new(
+            format!("Figure 6 — MTTF in years, {}", r.scheme),
+            &["environment", "paper", "our model", "Monte Carlo"],
+        );
+        for c in &r.cells {
+            let paper = if c.paper_years >= 100.0 {
+                format!(">{}", c.paper_years as u64)
+            } else {
+                fmt_f(c.paper_years)
+            };
+            t.row(&[
+                c.environment.to_string(),
+                paper,
+                fmt_f(c.model_years),
+                c.monte_carlo_years.map(fmt_f).unwrap_or_else(|| "—".into()),
+            ]);
+        }
+        t.print();
+    }
+    println!(
+        "\nModel notes: loss rates are derived per event (the memo's printed\n\
+         formula (4) does not reproduce its own Figure 6); a disaster's data\n\
+         stays vulnerable only until the spare blocks absorb the lost site.\n\
+         The qualitative claims all hold — see EXPERIMENTS.md."
+    );
+    if let Ok(path) = radd_bench::report::dump_json("fig6_mttf", &rows) {
+        println!("results written to {path}");
+    }
+}

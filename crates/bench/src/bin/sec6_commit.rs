@@ -1,0 +1,37 @@
+//! Regenerate the §6 commit-protocol comparison.
+
+use radd_bench::experiments::commit::section6;
+use radd_bench::report::Table;
+
+fn main() {
+    let rows = section6(&[1, 2, 4, 8, 16]);
+    let mut t = Table::new(
+        "§6 — commit overhead: two-phase commit vs RADD done=prepared",
+        &[
+            "slaves",
+            "2PC msgs",
+            "2PC forces",
+            "2PC rounds",
+            "RADD msgs",
+            "RADD forces",
+            "RADD rounds",
+        ],
+    );
+    for r in &rows {
+        t.row(&[
+            r.slaves.to_string(),
+            r.two_pc_messages.to_string(),
+            r.two_pc_forces.to_string(),
+            r.two_pc_rounds.to_string(),
+            r.radd_messages.to_string(),
+            r.radd_forces.to_string(),
+            r.radd_rounds.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nPreconditions (paper §6): reliable parity-update delivery before\n\
+         `done`, and single failures only — otherwise fall back to 2PC."
+    );
+    let _ = radd_bench::report::dump_json("sec6_commit", &rows);
+}

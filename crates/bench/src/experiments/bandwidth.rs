@@ -1,0 +1,212 @@
+//! Section 7.4: network bandwidth.
+//!
+//! Two claims to reproduce:
+//!
+//! 1. with change-mask encoding and 4× buffer-pool absorption, "the
+//!    aggregate network bandwidth needs to be only 1/20 of the aggregate
+//!    disk bandwidth" — measured by the record-update workload, with a
+//!    full-block-shipping ablation alongside;
+//! 2. during a single site failure, "the aggregate network bandwidth and
+//!    disk bandwidth at the up sites must increase by 50 percent" for a
+//!    half-reads workload — measured by comparing physical I/O per logical
+//!    operation across healthy and degraded runs.
+
+use radd_core::{RaddCluster, RaddConfig, RaddError, SparePolicy};
+use radd_schemes::{FailureKind, Radd, ReplicationScheme};
+use radd_sim::SimRng;
+use radd_workload::{
+    run_mix, run_record_workload, AccessPattern, Mix, RecordWorkload,
+};
+use serde::Serialize;
+
+/// Results of the bandwidth-ratio experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct BandwidthReport {
+    /// Record updates applied.
+    pub record_updates: u64,
+    /// Disk bytes moved.
+    pub disk_bytes: u64,
+    /// Network bytes with change-mask encoding.
+    pub masked_network_bytes: u64,
+    /// Network/disk ratio with masks (paper: ~1/20 = 0.05).
+    pub masked_ratio: f64,
+    /// Network bytes when whole blocks are shipped (ablation).
+    pub full_block_network_bytes: u64,
+    /// Network/disk ratio for the ablation.
+    pub full_block_ratio: f64,
+    /// Network bytes a hot standby ships for the same record stream
+    /// (logical log records) — §7.4's comparison baseline.
+    pub hot_standby_bytes: u64,
+    /// RADD-mask bytes relative to hot-standby bytes (the paper claims
+    /// "a RADD should approximate the bandwidth requirements of a hot
+    /// standby", i.e. a ratio near 1).
+    pub radd_vs_standby: f64,
+}
+
+fn cluster_4k() -> Result<RaddCluster, RaddError> {
+    let mut cfg = RaddConfig::paper_g8();
+    cfg.block_size = 4096;
+    cfg.rows = 50;
+    cfg.disks_per_site = 5;
+    RaddCluster::new(cfg)
+}
+
+/// Run the §7.4 record workload with and without mask encoding.
+pub fn bandwidth_ratio(flushes: u64, seed: u64) -> Result<BandwidthReport, RaddError> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut c = cluster_4k()?;
+    let masked = run_record_workload(&mut c, 0, RecordWorkload::paper(flushes), &mut rng)?;
+
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut c = cluster_4k()?;
+    let mut wl = RecordWorkload::paper(flushes);
+    wl.full_block_shipping = true;
+    let full = run_record_workload(&mut c, 0, wl, &mut rng)?;
+
+    // The same record stream through a hot standby: one logical log record
+    // per update, shipped at commit (one commit per page flush).
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut hs = radd_storage::HotStandby::new(64, 4096 / 100, 100);
+    for _ in 0..flushes {
+        let page = rng.below(64);
+        for _ in 0..4 {
+            let slot = rng.index(4096 / 100) as u32;
+            let payload = rng.bytes(100);
+            hs.update_record(page, slot, &payload)
+                .expect("valid record address");
+        }
+        hs.commit().expect("commit");
+    }
+
+    Ok(BandwidthReport {
+        record_updates: masked.record_updates,
+        disk_bytes: masked.disk_bytes,
+        masked_network_bytes: masked.network_bytes,
+        masked_ratio: masked.bandwidth_ratio(),
+        full_block_network_bytes: full.network_bytes,
+        full_block_ratio: full.bandwidth_ratio(),
+        hot_standby_bytes: hs.wire_bytes,
+        radd_vs_standby: masked.network_bytes as f64 / hs.wire_bytes as f64,
+    })
+}
+
+/// Results of the degraded-load experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct DegradedLoadReport {
+    /// Physical ops per logical op, healthy.
+    pub healthy_ops_per_op: f64,
+    /// Physical ops per logical op, one site down.
+    pub degraded_ops_per_op: f64,
+    /// The increase in total physical load.
+    pub increase_factor: f64,
+    /// Physical reads per logical read during the failure. The paper's
+    /// §7.4 derivation: `(G-1)/G` of reads cost one read, `1/G` cost `G`
+    /// reads, "hence, on average, each read requires two physical read
+    /// operations during failures". (With the exact `1/(G+2)` site fraction
+    /// this is 1.7 at G = 8.)
+    pub read_amplification: f64,
+    /// The paper's aggregate-load arithmetic applied to the measured
+    /// amplification: reads are half the load and amplify, writes do not —
+    /// `(1 + amplification) / 2`. The paper's round numbers give 1.5
+    /// ("must increase by 50 percent").
+    pub paper_style_increase: f64,
+}
+
+/// Measure physical I/O amplification with one site down under a 50 %-read
+/// mix (no spares, so every degraded read reconstructs — the steady state
+/// the paper's arithmetic describes).
+pub fn degraded_load(ops: u64, seed: u64) -> Result<DegradedLoadReport, RaddError> {
+    let mut cfg = RaddConfig::paper_g8();
+    cfg.block_size = 512;
+    cfg.spare_policy = SparePolicy::None;
+    let mix = Mix { read_fraction: 0.5 };
+
+    let mut scheme = Radd::new(cfg.clone())?;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let healthy = run_mix(&mut scheme, &mut rng, ops, mix, AccessPattern::Uniform)?;
+    let healthy_ratio =
+        healthy.counts.total() as f64 / (healthy.reads + healthy.writes) as f64;
+
+    let mut scheme = Radd::new(cfg.clone())?;
+    scheme.inject(3, FailureKind::SiteFailure)?;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let degraded = run_mix(&mut scheme, &mut rng, ops, mix, AccessPattern::Uniform)?;
+    // Without spares, down-site writes are refused; count served ops only.
+    let degraded_ratio =
+        degraded.counts.total() as f64 / (degraded.reads + degraded.writes) as f64;
+
+    // Read amplification in isolation (a read-only run on a degraded
+    // cluster), which is the quantity the paper's 50 % figure is built on.
+    let mut scheme = Radd::new(cfg)?;
+    scheme.inject(3, FailureKind::SiteFailure)?;
+    let mut rng = SimRng::seed_from_u64(seed + 1);
+    let reads = run_mix(&mut scheme, &mut rng, ops, Mix::read_only(), AccessPattern::Uniform)?;
+    let read_amplification =
+        (reads.counts.local_reads + reads.counts.remote_reads) as f64 / reads.reads as f64;
+
+    Ok(DegradedLoadReport {
+        healthy_ops_per_op: healthy_ratio,
+        degraded_ops_per_op: degraded_ratio,
+        increase_factor: degraded_ratio / healthy_ratio,
+        read_amplification,
+        paper_style_increase: (1.0 + read_amplification) / 2.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masked_ratio_is_near_one_twentieth() {
+        let r = bandwidth_ratio(60, 1).unwrap();
+        assert!(
+            (0.02..0.12).contains(&r.masked_ratio),
+            "masked ratio {}",
+            r.masked_ratio
+        );
+        assert!(
+            r.full_block_ratio > 4.0 * r.masked_ratio,
+            "ablation {} vs masked {}",
+            r.full_block_ratio,
+            r.masked_ratio
+        );
+    }
+
+    #[test]
+    fn radd_approximates_hot_standby_bandwidth() {
+        // §7.4: "a RADD should approximate the bandwidth requirements of a
+        // hot standby" — same order of magnitude, within a few ×.
+        let r = bandwidth_ratio(80, 2).unwrap();
+        assert!(
+            (0.4..4.0).contains(&r.radd_vs_standby),
+            "RADD masks {} B vs hot standby {} B (ratio {})",
+            r.masked_network_bytes,
+            r.hot_standby_bytes,
+            r.radd_vs_standby
+        );
+    }
+
+    #[test]
+    fn failure_raises_load_roughly_fifty_percent() {
+        let r = degraded_load(4000, 2).unwrap();
+        assert!(
+            (1.15..1.8).contains(&r.increase_factor),
+            "increase {}",
+            r.increase_factor
+        );
+        // Paper: "each read requires two physical read operations during
+        // failures" — exact accounting at G = 8 over 10 sites gives 1.7.
+        assert!(
+            (1.5..2.0).contains(&r.read_amplification),
+            "amplification {}",
+            r.read_amplification
+        );
+        // And its aggregate arithmetic lands near +50 %.
+        assert!(
+            (1.25..1.5).contains(&r.paper_style_increase),
+            "paper-style {}",
+            r.paper_style_increase
+        );
+    }
+}

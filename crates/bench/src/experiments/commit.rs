@@ -1,0 +1,60 @@
+//! Section 6: two-phase commit vs the RADD "done = prepared" optimisation.
+
+use radd_txn::{radd_commit, two_phase_commit, FailureScript, RaddCommitConfig};
+use serde::Serialize;
+
+/// One row of the commit-cost comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct CommitRow {
+    /// Number of slave sites.
+    pub slaves: usize,
+    /// 2PC messages.
+    pub two_pc_messages: u64,
+    /// 2PC forced log writes.
+    pub two_pc_forces: u64,
+    /// 2PC message rounds.
+    pub two_pc_rounds: u32,
+    /// Optimised-commit messages.
+    pub radd_messages: u64,
+    /// Optimised-commit forced log writes.
+    pub radd_forces: u64,
+    /// Optimised-commit rounds.
+    pub radd_rounds: u32,
+}
+
+/// Compare commit overhead across slave counts.
+pub fn section6(slave_counts: &[usize]) -> Vec<CommitRow> {
+    slave_counts
+        .iter()
+        .map(|&n| {
+            let full = two_phase_commit(&vec![true; n], FailureScript::default());
+            let opt = radd_commit(RaddCommitConfig {
+                slaves: n,
+                parity_acks_complete: true,
+            });
+            CommitRow {
+                slaves: n,
+                two_pc_messages: full.messages,
+                two_pc_forces: full.forced_log_writes,
+                two_pc_rounds: full.rounds,
+                radd_messages: opt.messages,
+                radd_forces: opt.forced_log_writes,
+                radd_rounds: opt.rounds,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimisation_quarters_messages_at_every_scale() {
+        for row in section6(&[1, 2, 4, 8, 16]) {
+            assert_eq!(row.two_pc_messages, 4 * row.radd_messages);
+            assert_eq!(row.radd_rounds, 1);
+            assert_eq!(row.radd_forces, 1);
+        }
+    }
+}

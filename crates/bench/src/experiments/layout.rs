@@ -1,0 +1,29 @@
+//! Figure 1: the logical layout of disk blocks, G = 4.
+
+use radd_layout::Geometry;
+
+/// Render the Figure 1 table (G = 4, six sites, six rows) exactly as the
+/// paper prints it, plus the paper's own G = 8 evaluation shape.
+pub fn figure1() -> String {
+    let mut out = String::new();
+    let g4 = Geometry::new(4, 6).expect("valid geometry");
+    out.push_str("Figure 1 — The Logical Layout of Disk Blocks (G = 4)\n\n");
+    out.push_str(&g4.render_figure(6));
+    out.push_str("\nEvaluation shape (G = 8, first 10 rows):\n\n");
+    let g8 = Geometry::paper_g8(10);
+    out.push_str(&g8.render_figure(10));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_paper_row_by_row() {
+        let s = figure1();
+        // Spot-check the distinctive rows of the paper's table.
+        assert!(s.contains("block 0  P     S     0     0     0     0"));
+        assert!(s.contains("block 5  S     3     3     3     3     P"));
+    }
+}

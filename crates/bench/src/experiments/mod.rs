@@ -1,0 +1,12 @@
+//! Experiment drivers, one module per paper exhibit.
+
+pub mod bandwidth;
+pub mod commit;
+pub mod costs;
+pub mod layout;
+pub mod recovery;
+pub mod reliability;
+pub mod space;
+pub mod spares;
+pub mod striping;
+pub mod summary;

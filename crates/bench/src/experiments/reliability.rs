@@ -1,0 +1,158 @@
+//! Figures 5 and 6: MTTU and MTTF — paper values, closed forms, and
+//! Monte-Carlo validation.
+
+use radd_reliability::{
+    mttf_hours, mttu_exact_radd, mttu_exact_rowb, mttu_hours, Environment, MonteCarlo, Scheme,
+    HOURS_PER_YEAR,
+};
+use serde::Serialize;
+
+const G: usize = 8;
+
+/// One Figure 5 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct MttuRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// The paper's printed hours.
+    pub paper_hours: f64,
+    /// Our closed form (one-ordering approximation, like the paper's).
+    pub formula_hours: f64,
+    /// Exact absorbing-CTMC solution, where the chain is modelled.
+    pub markov_hours: Option<f64>,
+    /// Monte-Carlo measurement (both orderings — expect ≈ the exact chain),
+    /// where a simulator exists for the scheme.
+    pub monte_carlo_hours: Option<f64>,
+    /// Standard error of the Monte-Carlo mean.
+    pub monte_carlo_stderr: Option<f64>,
+}
+
+/// Compute Figure 5 with `trials` Monte-Carlo trials per simulated scheme.
+pub fn figure5(trials: u32, seed: u64) -> Vec<MttuRow> {
+    let c = Environment::CautiousConventional.constants(); // MTTU is env-independent
+    Scheme::ALL
+        .iter()
+        .map(|&s| {
+            let mc = match s {
+                Scheme::Radd => Some(MonteCarlo::new(G, c, seed).mttu_radd(trials)),
+                Scheme::Rowb => Some(MonteCarlo::new(G, c, seed + 1).mttu_rowb(trials)),
+                Scheme::Raid => Some(MonteCarlo::new(G, c, seed + 2).mttu_raid(trials)),
+                _ => None,
+            };
+            let markov = match s {
+                Scheme::Radd | Scheme::CRaid => Some(mttu_exact_radd(G, &c)),
+                Scheme::HalfRadd => Some(mttu_exact_radd(G / 2, &c)),
+                Scheme::Rowb => Some(mttu_exact_rowb(&c)),
+                _ => None,
+            };
+            MttuRow {
+                scheme: s.label(),
+                paper_hours: s.paper_mttu_hours(),
+                formula_hours: mttu_hours(s, G, &c),
+                markov_hours: markov,
+                monte_carlo_hours: mc.as_ref().map(|e| e.mean_hours),
+                monte_carlo_stderr: mc.as_ref().map(|e| e.std_error),
+            }
+        })
+        .collect()
+}
+
+/// One Figure 6 cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct MttfCell {
+    /// Environment label.
+    pub environment: &'static str,
+    /// The paper's printed years (500 stands for its ">500").
+    pub paper_years: f64,
+    /// Our analytic model.
+    pub model_years: f64,
+    /// Monte-Carlo years, where simulated.
+    pub monte_carlo_years: Option<f64>,
+}
+
+/// One Figure 6 row (scheme × four environments).
+#[derive(Debug, Clone, Serialize)]
+pub struct MttfRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// The four environments.
+    pub cells: Vec<MttfCell>,
+}
+
+/// Compute Figure 6 with `trials` Monte-Carlo trials per simulated cell.
+pub fn figure6(trials: u32, seed: u64) -> Vec<MttfRow> {
+    Scheme::ALL
+        .iter()
+        .map(|&s| {
+            let cells = Environment::ALL
+                .iter()
+                .enumerate()
+                .map(|(i, &env)| {
+                    let c = env.constants();
+                    let mc_hours = match s {
+                        Scheme::Radd => Some(
+                            MonteCarlo::new(G, c, seed + i as u64).mttf_radd(trials).mean_hours,
+                        ),
+                        Scheme::Rowb => Some(
+                            MonteCarlo::new(G, c, seed + 10 + i as u64)
+                                .mttf_rowb(trials)
+                                .mean_hours,
+                        ),
+                        Scheme::Raid => Some(
+                            MonteCarlo::new(G, c, seed + 20 + i as u64)
+                                .mttf_raid(trials * 10)
+                                .mean_hours,
+                        ),
+                        _ => None,
+                    };
+                    MttfCell {
+                        environment: env.label(),
+                        paper_years: s.paper_mttf_years()[i],
+                        model_years: mttf_hours(s, G, &c) / HOURS_PER_YEAR,
+                        monte_carlo_years: mc_hours.map(|h| h / HOURS_PER_YEAR),
+                    }
+                })
+                .collect();
+            MttfRow {
+                scheme: s.label(),
+                cells,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_shape() {
+        let rows = figure5(60, 7);
+        assert_eq!(rows.len(), 6);
+        let radd = &rows[0];
+        assert_eq!(radd.scheme, "RADD");
+        assert_eq!(radd.formula_hours, 5000.0);
+        let mc = radd.monte_carlo_hours.unwrap();
+        assert!((1000.0..5000.0).contains(&mc), "MC {mc}");
+        // RAID's MC should be near 150 h.
+        let raid = &rows[2];
+        let mc = raid.monte_carlo_hours.unwrap();
+        assert!((110.0..190.0).contains(&mc), "MC {mc}");
+    }
+
+    #[test]
+    fn figure6_shape() {
+        let rows = figure6(25, 11);
+        assert_eq!(rows.len(), 6);
+        // C-RAID and 2D-RADD must clear 500 years everywhere.
+        for row in rows.iter().filter(|r| r.scheme == "C-RAID" || r.scheme == "2D-RADD") {
+            for cell in &row.cells {
+                assert!(cell.model_years > 500.0, "{} {}", row.scheme, cell.environment);
+            }
+        }
+        // RADD beats RAID in the cautious conventional column.
+        let radd = rows[0].cells[1].model_years;
+        let raid = rows[2].cells[1].model_years;
+        assert!(radd > 4.0 * raid);
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 2: space overhead of each scheme.
+//!
+//! Each scheme reports its analytic overhead; for the RADD family the
+//! number is additionally *verified against the layout* by counting parity
+//! and spare rows in the Figure 1 placement.
+
+use radd_layout::{Geometry, Role};
+use serde::Serialize;
+
+/// One Figure 2 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct SpaceRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// Analytic overhead (fraction of data capacity).
+    pub overhead: f64,
+    /// The paper's printed percentage.
+    pub paper_percent: f64,
+    /// Layout-census verification, where the scheme has a block layout to
+    /// count (RADD variants).
+    pub census_percent: Option<f64>,
+}
+
+/// Count redundancy blocks in an actual layout: overhead = (parity +
+/// spare) / data.
+fn census(g: usize) -> f64 {
+    let m = g + 2;
+    let geo = Geometry::new(g, 10 * m as u64).expect("valid");
+    let mut data = 0u64;
+    let mut redundancy = 0u64;
+    for site in 0..m {
+        for row in 0..geo.rows() {
+            match geo.role(site, row) {
+                Role::Data(_) => data += 1,
+                Role::Parity | Role::Spare => redundancy += 1,
+            }
+        }
+    }
+    redundancy as f64 / data as f64
+}
+
+/// Compute the Figure 2 table.
+pub fn figure2() -> Vec<SpaceRow> {
+    vec![
+        SpaceRow {
+            scheme: "RADD",
+            overhead: 2.0 / 8.0,
+            paper_percent: 25.0,
+            census_percent: Some(census(8) * 100.0),
+        },
+        SpaceRow {
+            scheme: "ROWB",
+            overhead: 1.0,
+            paper_percent: 100.0,
+            census_percent: None,
+        },
+        SpaceRow {
+            scheme: "RAID",
+            overhead: 2.0 / 8.0,
+            paper_percent: 25.0,
+            census_percent: Some(census(8) * 100.0),
+        },
+        SpaceRow {
+            scheme: "C-RAID",
+            // 2 extra per 8 for the RADD layer; the 10 resulting disks need
+            // 2.5 for the local layer: (10/8)·(10/8) - 1 = 56.25 %.
+            overhead: (1.0 + 0.25) * (1.0 + 0.25) - 1.0,
+            paper_percent: 56.25,
+            census_percent: None,
+        },
+        SpaceRow {
+            scheme: "2D-RADD",
+            // 64 data disks need 2 × 16 extras.
+            overhead: 32.0 / 64.0,
+            paper_percent: 50.0,
+            census_percent: None,
+        },
+        SpaceRow {
+            scheme: "1/2-RADD",
+            overhead: 2.0 / 4.0,
+            paper_percent: 50.0,
+            census_percent: Some(census(4) * 100.0),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn analytic_matches_paper_percentages() {
+        for row in figure2() {
+            assert!(
+                (row.overhead * 100.0 - row.paper_percent).abs() < 1e-9,
+                "{}: {} vs {}",
+                row.scheme,
+                row.overhead * 100.0,
+                row.paper_percent
+            );
+        }
+    }
+
+    #[test]
+    fn layout_census_confirms_the_radd_numbers() {
+        for row in figure2() {
+            if let Some(census) = row.census_percent {
+                assert!(
+                    (census - row.paper_percent).abs() < 1e-9,
+                    "{}: census {census}",
+                    row.scheme
+                );
+            }
+        }
+    }
+}

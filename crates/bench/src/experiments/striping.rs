@@ -1,0 +1,175 @@
+//! Section 2's striping argument, measured.
+//!
+//! "A RAID can support as many as G parallel reads but only a single write
+//! because of contention for the parity disk. In order to overcome this
+//! last bottleneck, \[PATT88\] suggests striping the parity over all G + 1
+//! drives … In this way, up to G/2 writes can occur in parallel. This
+//! striped parity proposal is called a Level 5 RAID."
+//!
+//! The experiment schedules `K` concurrent writers on the virtual clock.
+//! Every write occupies its data disk and its parity disk for `W` both at
+//! once; a Level-4 array has one dedicated parity disk, a Level-5 array
+//! rotates parity across all drives (our Figure-1 placement). Write
+//! throughput is ops per unit of makespan, normalised to a single writer.
+
+use radd_layout::Geometry;
+use radd_sim::{SimDuration, SimRng, SimTime};
+use serde::Serialize;
+
+/// Parity placement under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ParityLayout {
+    /// Level 4: one dedicated parity disk.
+    Dedicated,
+    /// Level 5: parity striped round-robin (the Figure 1 rotation),
+    /// writers picking rows at random — pays a collision tax.
+    Striped,
+    /// Level 5 with coordinated placement: each scheduling slot runs
+    /// disjoint (data, parity) disk pairs — the paper's "up to G/2" best
+    /// case.
+    StripedScheduled,
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct StripingRow {
+    /// Concurrent writers.
+    pub writers: usize,
+    /// Level-4 write throughput (normalised to one writer's).
+    pub level4_speedup: f64,
+    /// Level-5 write throughput with random placement (normalised).
+    pub level5_speedup: f64,
+    /// Level-5 write throughput with coordinated placement (normalised) —
+    /// the paper's "up to G/2".
+    pub level5_scheduled_speedup: f64,
+}
+
+/// Simulate `writers` concurrent writers issuing `ops_each` writes to
+/// random rows of a `g + 1`-disk array, and return the makespan.
+fn makespan(
+    layout: ParityLayout,
+    g: usize,
+    writers: usize,
+    ops_each: u64,
+    seed: u64,
+) -> SimDuration {
+    let w = SimDuration::from_millis(30);
+    let disks = g + 1;
+    let geo = Geometry::new(g - 1, 1_000_000).expect("valid"); // striping map over g+1 cols
+    let mut rng = SimRng::seed_from_u64(seed);
+    let mut disk_free = vec![SimTime::ZERO; disks];
+    let mut writer_free = vec![SimTime::ZERO; writers];
+    let mut finish = SimTime::ZERO;
+    let pairs_per_slot = disks / 2;
+    for op in 0..ops_each {
+        #[allow(clippy::needless_range_loop)] // wi also selects the disk pair
+        for wi in 0..writers {
+            let row = rng.below(1_000_000);
+            let (parity_disk, data_disk) = match layout {
+                ParityLayout::Dedicated => {
+                    let p = disks - 1;
+                    (p, rng.index(disks - 1))
+                }
+                ParityLayout::Striped => {
+                    let p = geo.parity_site(row);
+                    let mut d = rng.index(disks);
+                    while d == p {
+                        d = rng.index(disks);
+                    }
+                    (p, d)
+                }
+                ParityLayout::StripedScheduled => {
+                    // Coordinated slots: pair k of a slot uses disks
+                    // (2k, 2k+1), the whole pattern rotating each round so
+                    // every disk carries parity in turn.
+                    let pair = wi % pairs_per_slot;
+                    let rot = (op as usize * 31 + wi / pairs_per_slot) % disks;
+                    let p = (2 * pair + rot) % disks;
+                    let d = (2 * pair + 1 + rot) % disks;
+                    (p, d)
+                }
+            };
+            let start = writer_free[wi]
+                .max(disk_free[data_disk])
+                .max(disk_free[parity_disk]);
+            let end = start + w;
+            disk_free[data_disk] = end;
+            disk_free[parity_disk] = end;
+            writer_free[wi] = end;
+            finish = finish.max(end);
+        }
+    }
+    finish - SimTime::ZERO
+}
+
+/// Sweep writer counts for both layouts at `g = 8` (the paper's shape:
+/// `G + 1 = 9` drives).
+pub fn section2(ops_each: u64, seed: u64) -> Vec<StripingRow> {
+    let g = 8;
+    let base4 = makespan(ParityLayout::Dedicated, g, 1, ops_each, seed);
+    let base5 = makespan(ParityLayout::Striped, g, 1, ops_each, seed);
+    let base5s = makespan(ParityLayout::StripedScheduled, g, 1, ops_each, seed);
+    [1usize, 2, 4, 6, 8, 12]
+        .iter()
+        .map(|&writers| {
+            let m4 = makespan(ParityLayout::Dedicated, g, writers, ops_each, seed + 1);
+            let m5 = makespan(ParityLayout::Striped, g, writers, ops_each, seed + 1);
+            let m5s =
+                makespan(ParityLayout::StripedScheduled, g, writers, ops_each, seed + 1);
+            StripingRow {
+                writers,
+                level4_speedup: writers as f64 * base4.as_millis_f64() / m4.as_millis_f64(),
+                level5_speedup: writers as f64 * base5.as_millis_f64() / m5.as_millis_f64(),
+                level5_scheduled_speedup: writers as f64 * base5s.as_millis_f64()
+                    / m5s.as_millis_f64(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_parity_caps_write_throughput_near_one() {
+        let rows = section2(400, 5);
+        let at8 = rows.iter().find(|r| r.writers == 8).unwrap();
+        // Every write serialises on the single parity disk.
+        assert!(
+            at8.level4_speedup < 1.4,
+            "level 4 at 8 writers: {}",
+            at8.level4_speedup
+        );
+    }
+
+    #[test]
+    fn striped_parity_beats_dedicated_and_schedules_to_g_over_2() {
+        let rows = section2(400, 5);
+        let at8 = rows.iter().find(|r| r.writers == 8).unwrap();
+        // Random placement pays a collision tax but still clearly beats the
+        // dedicated parity disk…
+        assert!(
+            (1.6..4.6).contains(&at8.level5_speedup),
+            "level 5 random at 8 writers: {}",
+            at8.level5_speedup
+        );
+        assert!(at8.level5_speedup > 1.5 * at8.level4_speedup);
+        // …and coordinated placement reaches the paper's "up to G/2" = 4
+        // (9 disks sustain ⌊9/2⌋ = 4 disjoint pairs).
+        assert!(
+            (3.5..4.6).contains(&at8.level5_scheduled_speedup),
+            "level 5 scheduled at 8 writers: {}",
+            at8.level5_scheduled_speedup
+        );
+    }
+
+    #[test]
+    fn single_writer_sees_no_difference() {
+        let rows = section2(300, 7);
+        let at1 = rows.iter().find(|r| r.writers == 1).unwrap();
+        assert!((at1.level4_speedup - 1.0).abs() < 0.05);
+        assert!((at1.level5_speedup - 1.0).abs() < 0.05);
+        assert!((at1.level5_scheduled_speedup - 1.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,25 @@
+//! # radd-bench — the harness that regenerates every table and figure
+//!
+//! One binary per exhibit (run with `cargo run -p radd-bench --release
+//! --bin <name>`), all built on the experiment drivers in [`experiments`]:
+//!
+//! | binary | paper exhibit |
+//! |---|---|
+//! | `fig1_layout` | Figure 1 — block layout, G = 4 |
+//! | `fig2_space` | Figure 2 — space overheads |
+//! | `fig3_opcounts` | Figure 3 — operation-count formulas |
+//! | `fig4_costs` | Figure 4 — costs in msec |
+//! | `fig5_mttu` | Figure 5 — MTTU (formula + Monte Carlo) |
+//! | `fig6_mttf` | Figure 6 — MTTF across Table 2 environments |
+//! | `fig7_summary` | Figure 7 — the closing comparison |
+//! | `sec74_bandwidth` | §7.4 — network/disk bandwidth ratio |
+//! | `sec34_recovery` | §3.4 — WAL vs no-overwrite recovery |
+//! | `sec6_commit` | §6 — 2PC vs "done = prepared" |
+//! | `all_experiments` | everything above, plus a JSON dump |
+//!
+//! Criterion microbenches live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

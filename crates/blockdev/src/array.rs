@@ -1,0 +1,239 @@
+//! A site's disk array: N disks × B blocks with failure injection.
+//!
+//! The paper's failure taxonomy at the disk level:
+//!
+//! * **disk failure** — "a site … loses one of its N disks. The other disks
+//!   continue to function normally" — [`DiskArray::fail_disk`];
+//! * repair — "the failed disk must be replaced with a spare disk"; the
+//!   replacement is *blank* and must be reconstructed from parity —
+//!   [`DiskArray::replace_disk`];
+//! * **site disaster** — "all information from all N disks is lost" —
+//!   [`DiskArray::disaster`], which blanks every disk at once.
+//!
+//! Blocks are addressed flat across the array: block `K` lives on disk
+//! `K / B` at offset `K % B`, so a disk failure knocks out one contiguous
+//! range of the site's block space (exactly the granularity the RADD
+//! recovery algorithms reason about).
+
+use crate::device::{BlockDevice, DevError};
+use crate::mem::MemDisk;
+use crate::stats::DevStats;
+use bytes::Bytes;
+
+/// An array of `N` equal disks presenting a flat block space.
+#[derive(Debug, Clone)]
+pub struct DiskArray {
+    disks: Vec<MemDisk>,
+    failed: Vec<bool>,
+    blocks_per_disk: u64,
+    block_size: usize,
+}
+
+impl DiskArray {
+    /// `num_disks` disks of `blocks_per_disk` blocks each.
+    pub fn new(num_disks: usize, blocks_per_disk: u64, block_size: usize) -> DiskArray {
+        assert!(num_disks > 0, "array needs at least one disk");
+        DiskArray {
+            disks: (0..num_disks)
+                .map(|_| MemDisk::new(blocks_per_disk, block_size))
+                .collect(),
+            failed: vec![false; num_disks],
+            blocks_per_disk,
+            block_size,
+        }
+    }
+
+    /// Number of disks `N`.
+    pub fn num_disks(&self) -> usize {
+        self.disks.len()
+    }
+
+    /// Blocks per disk `B`.
+    pub fn blocks_per_disk(&self) -> u64 {
+        self.blocks_per_disk
+    }
+
+    /// Which disk a flat block number lives on.
+    pub fn disk_of(&self, block: u64) -> usize {
+        (block / self.blocks_per_disk) as usize
+    }
+
+    /// The flat block range hosted by one disk.
+    pub fn blocks_on_disk(&self, disk: usize) -> std::ops::Range<u64> {
+        let start = disk as u64 * self.blocks_per_disk;
+        start..start + self.blocks_per_disk
+    }
+
+    /// Mark a disk failed: every access to its blocks errors until
+    /// [`replace_disk`] is called.
+    ///
+    /// [`replace_disk`]: DiskArray::replace_disk
+    pub fn fail_disk(&mut self, disk: usize) {
+        self.failed[disk] = true;
+    }
+
+    /// Swap in a blank spare for a failed (or healthy) disk. The previous
+    /// contents are gone — reconstruction is the caller's job.
+    pub fn replace_disk(&mut self, disk: usize) {
+        self.disks[disk] = MemDisk::new(self.blocks_per_disk, self.block_size);
+        self.failed[disk] = false;
+    }
+
+    /// A site disaster: all disks blanked and healthy again (restored "on
+    /// alternate or replacement hardware").
+    pub fn disaster(&mut self) {
+        for d in 0..self.disks.len() {
+            self.replace_disk(d);
+        }
+    }
+
+    /// True if the disk is currently failed.
+    pub fn is_failed(&self, disk: usize) -> bool {
+        self.failed[disk]
+    }
+
+    /// True if any disk is failed.
+    pub fn any_failed(&self) -> bool {
+        self.failed.iter().any(|&f| f)
+    }
+
+    /// Aggregated operation counters across all disks.
+    pub fn stats(&self) -> DevStats {
+        let mut total = DevStats::default();
+        for d in &self.disks {
+            total.merge(d.stats());
+        }
+        total
+    }
+
+    /// Zero all per-disk counters.
+    pub fn reset_stats(&mut self) {
+        for d in &mut self.disks {
+            d.reset_stats();
+        }
+    }
+
+    fn locate(&self, block: u64) -> Result<(usize, u64), DevError> {
+        let capacity = self.num_blocks();
+        if block >= capacity {
+            return Err(DevError::OutOfRange { block, capacity });
+        }
+        let disk = self.disk_of(block);
+        if self.failed[disk] {
+            return Err(DevError::Failed { disk });
+        }
+        Ok((disk, block % self.blocks_per_disk))
+    }
+}
+
+impl BlockDevice for DiskArray {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.disks.len() as u64 * self.blocks_per_disk
+    }
+
+    fn read_block(&mut self, block: u64) -> Result<Bytes, DevError> {
+        let (disk, offset) = self.locate(block)?;
+        self.disks[disk].read_block(offset)
+    }
+
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), DevError> {
+        let (disk, offset) = self.locate(block)?;
+        self.disks[disk].write_block(offset, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> DiskArray {
+        DiskArray::new(3, 4, 8) // 3 disks × 4 blocks of 8 bytes
+    }
+
+    #[test]
+    fn flat_addressing() {
+        let a = array();
+        assert_eq!(a.num_blocks(), 12);
+        assert_eq!(a.disk_of(0), 0);
+        assert_eq!(a.disk_of(3), 0);
+        assert_eq!(a.disk_of(4), 1);
+        assert_eq!(a.disk_of(11), 2);
+        assert_eq!(a.blocks_on_disk(1), 4..8);
+    }
+
+    #[test]
+    fn write_read_across_disks() {
+        let mut a = array();
+        for k in 0..12u64 {
+            a.write_block(k, &[k as u8; 8]).unwrap();
+        }
+        for k in 0..12u64 {
+            assert_eq!(&a.read_block(k).unwrap()[..], &[k as u8; 8]);
+        }
+    }
+
+    #[test]
+    fn failed_disk_errors_only_its_blocks() {
+        let mut a = array();
+        a.write_block(2, &[1u8; 8]).unwrap();
+        a.write_block(6, &[2u8; 8]).unwrap();
+        a.fail_disk(0);
+        assert!(a.any_failed());
+        assert_eq!(a.read_block(2).unwrap_err(), DevError::Failed { disk: 0 });
+        assert!(a.write_block(0, &[0u8; 8]).is_err());
+        // Other disks keep working — "the other disks continue to function
+        // normally and the site remains operational".
+        assert_eq!(&a.read_block(6).unwrap()[..], &[2u8; 8]);
+    }
+
+    #[test]
+    fn replace_disk_is_blank() {
+        let mut a = array();
+        a.write_block(1, &[9u8; 8]).unwrap();
+        a.fail_disk(0);
+        a.replace_disk(0);
+        assert!(!a.is_failed(0));
+        assert_eq!(&a.read_block(1).unwrap()[..], &[0u8; 8], "contents lost");
+    }
+
+    #[test]
+    fn disaster_blanks_everything() {
+        let mut a = array();
+        for k in 0..12u64 {
+            a.write_block(k, &[0xEEu8; 8]).unwrap();
+        }
+        a.fail_disk(1);
+        a.disaster();
+        assert!(!a.any_failed());
+        for k in 0..12u64 {
+            assert_eq!(&a.read_block(k).unwrap()[..], &[0u8; 8]);
+        }
+    }
+
+    #[test]
+    fn out_of_range_before_failure_check() {
+        let mut a = array();
+        a.fail_disk(2);
+        assert!(matches!(
+            a.read_block(100).unwrap_err(),
+            DevError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn stats_aggregate_across_disks() {
+        let mut a = array();
+        a.write_block(0, &[0u8; 8]).unwrap();
+        a.write_block(5, &[0u8; 8]).unwrap();
+        a.read_block(9).unwrap();
+        let s = a.stats();
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.reads, 1);
+        a.reset_stats();
+        assert_eq!(a.stats().writes, 0);
+    }
+}

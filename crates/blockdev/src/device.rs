@@ -1,0 +1,79 @@
+//! The block-device abstraction and its error type.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Why a block operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DevError {
+    /// The device (or the disk within an array) has failed; every access
+    /// errors until it is replaced.
+    Failed {
+        /// Which disk of an array failed (0 for single devices).
+        disk: usize,
+    },
+    /// Block number past the end of the device.
+    OutOfRange {
+        /// The requested block.
+        block: u64,
+        /// The device capacity in blocks.
+        capacity: u64,
+    },
+    /// Payload length does not match the device block size.
+    WrongBlockSize {
+        /// Bytes supplied.
+        got: usize,
+        /// The device's block size.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for DevError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DevError::Failed { disk } => write!(f, "disk {disk} has failed"),
+            DevError::OutOfRange { block, capacity } => {
+                write!(f, "block {block} out of range (capacity {capacity})")
+            }
+            DevError::WrongBlockSize { got, expected } => {
+                write!(f, "payload of {got} bytes, device block size is {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DevError {}
+
+/// A device addressed in fixed-size blocks.
+///
+/// Reads return [`Bytes`] so higher layers can hold block snapshots without
+/// copying; writes take a slice that must be exactly one block long.
+pub trait BlockDevice {
+    /// Size of one block in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Capacity in blocks.
+    fn num_blocks(&self) -> u64;
+
+    /// Read one block.
+    fn read_block(&mut self, block: u64) -> Result<Bytes, DevError>;
+
+    /// Overwrite one block.
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), DevError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_messages() {
+        assert_eq!(DevError::Failed { disk: 3 }.to_string(), "disk 3 has failed");
+        assert!(DevError::OutOfRange { block: 9, capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(DevError::WrongBlockSize { got: 10, expected: 4096 }
+            .to_string()
+            .contains("4096"));
+    }
+}

@@ -1,0 +1,160 @@
+//! In-memory disk.
+//!
+//! Blocks are stored sparsely: a block that was never written reads as
+//! zeros, like a freshly formatted drive. This matters for the parity
+//! algebra — the XOR of all-zero blocks is zero, so a brand-new RADD cluster
+//! satisfies the stripe invariant without an initialisation pass.
+
+use crate::device::{BlockDevice, DevError};
+use crate::stats::DevStats;
+use bytes::Bytes;
+
+/// A sparse, in-memory block device with operation counters.
+#[derive(Debug, Clone)]
+pub struct MemDisk {
+    block_size: usize,
+    blocks: Vec<Option<Bytes>>,
+    stats: DevStats,
+}
+
+impl MemDisk {
+    /// A disk of `num_blocks` blocks of `block_size` bytes, all zero.
+    pub fn new(num_blocks: u64, block_size: usize) -> MemDisk {
+        assert!(block_size > 0, "block size must be positive");
+        MemDisk {
+            block_size,
+            blocks: vec![None; num_blocks as usize],
+            stats: DevStats::default(),
+        }
+    }
+
+    /// Operation counters since construction (or the last [`reset_stats`]).
+    ///
+    /// [`reset_stats`]: MemDisk::reset_stats
+    pub fn stats(&self) -> &DevStats {
+        &self.stats
+    }
+
+    /// Zero the counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = DevStats::default();
+    }
+
+    /// True if the block has never been written (reads as zeros).
+    pub fn is_untouched(&self, block: u64) -> bool {
+        self.blocks
+            .get(block as usize)
+            .map(|b| b.is_none())
+            .unwrap_or(true)
+    }
+
+    fn zero_block(&self) -> Bytes {
+        Bytes::from(vec![0u8; self.block_size])
+    }
+}
+
+impl BlockDevice for MemDisk {
+    fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    fn read_block(&mut self, block: u64) -> Result<Bytes, DevError> {
+        let cap = self.num_blocks();
+        let slot = self
+            .blocks
+            .get(block as usize)
+            .ok_or(DevError::OutOfRange { block, capacity: cap })?;
+        self.stats.reads += 1;
+        self.stats.bytes_read += self.block_size as u64;
+        Ok(slot.clone().unwrap_or_else(|| self.zero_block()))
+    }
+
+    fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), DevError> {
+        if data.len() != self.block_size {
+            return Err(DevError::WrongBlockSize {
+                got: data.len(),
+                expected: self.block_size,
+            });
+        }
+        let cap = self.num_blocks();
+        let slot = self
+            .blocks
+            .get_mut(block as usize)
+            .ok_or(DevError::OutOfRange { block, capacity: cap })?;
+        *slot = Some(Bytes::copy_from_slice(data));
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_blocks_read_zero() {
+        let mut d = MemDisk::new(4, 16);
+        let b = d.read_block(3).unwrap();
+        assert_eq!(&b[..], &[0u8; 16]);
+        assert!(d.is_untouched(3));
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut d = MemDisk::new(4, 8);
+        d.write_block(1, &[7u8; 8]).unwrap();
+        assert_eq!(&d.read_block(1).unwrap()[..], &[7u8; 8]);
+        assert!(!d.is_untouched(1));
+        assert!(d.is_untouched(0));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut d = MemDisk::new(2, 8);
+        assert_eq!(
+            d.read_block(2).unwrap_err(),
+            DevError::OutOfRange { block: 2, capacity: 2 }
+        );
+        assert!(matches!(
+            d.write_block(99, &[0u8; 8]).unwrap_err(),
+            DevError::OutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_block_size() {
+        let mut d = MemDisk::new(2, 8);
+        assert_eq!(
+            d.write_block(0, &[0u8; 7]).unwrap_err(),
+            DevError::WrongBlockSize { got: 7, expected: 8 }
+        );
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let mut d = MemDisk::new(4, 100);
+        d.write_block(0, &[1u8; 100]).unwrap();
+        d.read_block(0).unwrap();
+        d.read_block(1).unwrap();
+        assert_eq!(d.stats().writes, 1);
+        assert_eq!(d.stats().reads, 2);
+        assert_eq!(d.stats().bytes_written, 100);
+        assert_eq!(d.stats().bytes_read, 200);
+        d.reset_stats();
+        assert_eq!(d.stats().reads, 0);
+    }
+
+    #[test]
+    fn failed_ops_not_counted() {
+        let mut d = MemDisk::new(2, 8);
+        let _ = d.read_block(5);
+        let _ = d.write_block(0, &[0u8; 3]);
+        assert_eq!(d.stats().reads, 0);
+        assert_eq!(d.stats().writes, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Per-device operation counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counts of block operations a device has served.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DevStats {
+    /// Blocks read.
+    pub reads: u64,
+    /// Blocks written.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+}
+
+impl DevStats {
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &DevStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+    }
+
+    /// Total operations of both kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Total bytes moved in both directions — the "disk bandwidth" side of
+    /// the paper's §7.4 network/disk bandwidth ratio.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = DevStats {
+            reads: 1,
+            writes: 2,
+            bytes_read: 10,
+            bytes_written: 20,
+        };
+        a.merge(&DevStats {
+            reads: 100,
+            writes: 200,
+            bytes_read: 1000,
+            bytes_written: 2000,
+        });
+        assert_eq!(a.reads, 101);
+        assert_eq!(a.writes, 202);
+        assert_eq!(a.total_ops(), 303);
+        assert_eq!(a.total_bytes(), 3030);
+    }
+}

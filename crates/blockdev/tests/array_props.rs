@@ -1,0 +1,60 @@
+//! Property tests for the disk array: flat addressing is a bijection, and
+//! failure/replacement touch exactly the failed disk's range.
+
+use proptest::prelude::*;
+use radd_blockdev::{BlockDevice, DiskArray};
+
+proptest! {
+    /// Every flat block lands on exactly one disk, ranges partition the
+    /// space, and contents round-trip.
+    #[test]
+    fn flat_addressing_partitions_the_space(
+        disks in 1usize..8,
+        blocks_per_disk in 1u64..16,
+    ) {
+        let mut a = DiskArray::new(disks, blocks_per_disk, 16);
+        let total = disks as u64 * blocks_per_disk;
+        prop_assert_eq!(a.num_blocks(), total);
+        let mut covered = vec![false; total as usize];
+        for d in 0..disks {
+            for b in a.blocks_on_disk(d) {
+                prop_assert_eq!(a.disk_of(b), d);
+                prop_assert!(!covered[b as usize], "overlap at {}", b);
+                covered[b as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c));
+        for k in 0..total {
+            a.write_block(k, &[(k % 251) as u8; 16]).unwrap();
+        }
+        for k in 0..total {
+            prop_assert_eq!(a.read_block(k).unwrap()[0], (k % 251) as u8);
+        }
+    }
+
+    /// Failing one disk errors exactly its own range and nothing else;
+    /// replacement blanks exactly that range.
+    #[test]
+    fn failure_granularity_is_one_disk(
+        disks in 2usize..6,
+        blocks_per_disk in 1u64..10,
+        victim_sel in 0usize..6,
+    ) {
+        let victim = victim_sel % disks;
+        let mut a = DiskArray::new(disks, blocks_per_disk, 8);
+        let total = disks as u64 * blocks_per_disk;
+        for k in 0..total {
+            a.write_block(k, &[7u8; 8]).unwrap();
+        }
+        a.fail_disk(victim);
+        for k in 0..total {
+            let on_victim = a.disk_of(k) == victim;
+            prop_assert_eq!(a.read_block(k).is_err(), on_victim, "block {}", k);
+        }
+        a.replace_disk(victim);
+        for k in 0..total {
+            let want = if a.disk_of(k) == victim { 0u8 } else { 7u8 };
+            prop_assert_eq!(a.read_block(k).unwrap()[0], want, "block {}", k);
+        }
+    }
+}

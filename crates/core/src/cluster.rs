@@ -1,0 +1,1087 @@
+//! The RADD cluster: Section 3's algorithms end to end.
+//!
+//! One [`RaddCluster`] owns the `G + 2` sites, the lock table, the cost
+//! ledger and the per-category traffic counters. All protocol logic lives in
+//! its methods:
+//!
+//! * [`read`](RaddCluster::read) / [`write`](RaddCluster::write) — client
+//!   operations, dispatching on the owning site's state exactly as §3.2
+//!   prescribes, and returning an [`OpReceipt`] of what they cost;
+//! * [`fail_site`](RaddCluster::fail_site) /
+//!   [`disaster`](RaddCluster::disaster) /
+//!   [`fail_disk`](RaddCluster::fail_disk) — the paper's three failure
+//!   kinds;
+//! * [`restore_site`](RaddCluster::restore_site) +
+//!   [`run_recovery`](RaddCluster::run_recovery) — the recovering state and
+//!   its background daemon;
+//! * [`set_partition`](RaddCluster::set_partition) — §5 partition handling.
+//!
+//! ### Cost accounting conventions
+//!
+//! The receipts reproduce the paper's Figure 3 rows, which requires adopting
+//! the paper's own conventions:
+//!
+//! * a parity update is **one** remote write ("careful buffering of the old
+//!   data block can remove one of the reads and prefetching the old parity
+//!   block can remove the latency delay of the second read");
+//! * the old value of a block being overwritten is available from the buffer
+//!   pool and is not charged as a read — the same buffering assumption, also
+//!   applied to down-site writes (the paper prices them at `2·RW` flat);
+//! * probing an *invalid* spare costs no block I/O: validity is a UID check,
+//!   answered with a control message carrying no block payload. Reading a
+//!   *valid* spare is a normal block read;
+//! * side-effect work off the critical path (installing a reconstruction
+//!   result into the spare, refreshing a recovering site's local block) is
+//!   charged to the background ledger, not to the operation's latency.
+
+use crate::config::{ParityMode, RaddConfig};
+use crate::error::RaddError;
+use crate::locks::LockManager;
+use crate::site::{SiteNode, SiteState, SpareKind, SpareSlot};
+use crate::stats::{Actor, OpReceipt, TrafficStats};
+use bytes::Bytes;
+use radd_layout::{DataIndex, Geometry, PhysRow, Role, SiteId};
+use radd_net::{PartitionMap, PartitionVerdict};
+use radd_parity::{ChangeMask, Uid, UidArray};
+use radd_sim::{CostLedger, OpKind, Tracer};
+
+/// Wire-size model: fixed header bytes on block-carrying messages and on
+/// control messages. These feed the §7.4 bandwidth accounting.
+const BLOCK_MSG_HEADER: usize = 24;
+const CONTROL_MSG_BYTES: usize = 16;
+
+/// A queued parity-update message (only populated in
+/// [`ParityMode::Queued`]).
+#[derive(Debug, Clone)]
+struct PendingParity {
+    to: SiteId,
+    row: PhysRow,
+    from_site: SiteId,
+    mask: ChangeMask,
+    uid: Uid,
+}
+
+/// What the recovery daemon did (all background work).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Spare blocks drained back to the recovered site.
+    pub spares_drained: u64,
+    /// Data blocks reconstructed from the group.
+    pub data_reconstructed: u64,
+    /// Parity blocks (and their UID arrays) rebuilt.
+    pub parity_rebuilt: u64,
+}
+
+/// A running RADD cluster of `G + 2` sites.
+#[derive(Debug)]
+pub struct RaddCluster {
+    config: RaddConfig,
+    geometry: Geometry,
+    sites: Vec<SiteNode>,
+    ledger: CostLedger,
+    traffic: TrafficStats,
+    locks: LockManager,
+    tracer: Tracer,
+    partition: PartitionMap,
+    pending_parity: Vec<PendingParity>,
+}
+
+impl RaddCluster {
+    /// Build a fresh cluster. All sites are up; all blocks read as zeros and
+    /// the all-zero stripes trivially satisfy the parity invariant.
+    pub fn new(config: RaddConfig) -> Result<RaddCluster, RaddError> {
+        if !config.rows.is_multiple_of(config.disks_per_site as u64) {
+            return Err(RaddError::BadConfig(format!(
+                "rows ({}) must divide evenly across {} disks",
+                config.rows, config.disks_per_site
+            )));
+        }
+        let geometry = Geometry::new(config.group_size, config.rows)
+            .map_err(|e| RaddError::BadConfig(e.to_string()))?;
+        let sites = (0..config.num_sites())
+            .map(|id| {
+                SiteNode::new(
+                    id,
+                    config.disks_per_site,
+                    config.blocks_per_disk(),
+                    config.block_size,
+                )
+            })
+            .collect();
+        Ok(RaddCluster {
+            ledger: CostLedger::new(config.cost),
+            partition: PartitionMap::connected(config.num_sites()),
+            geometry,
+            sites,
+            traffic: TrafficStats::default(),
+            locks: LockManager::new(),
+            tracer: Tracer::disabled(),
+            pending_parity: Vec::new(),
+            config,
+        })
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &RaddConfig {
+        &self.config
+    }
+
+    /// The layout geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// Number of data blocks addressable at `site`.
+    pub fn data_capacity(&self, site: SiteId) -> u64 {
+        self.geometry.data_capacity(site)
+    }
+
+    /// The cost ledger (foreground + background op counts and latency).
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Per-category network traffic counters.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// The block lock table (§3.3; shared with `radd-txn`).
+    pub fn locks(&mut self) -> &mut LockManager {
+        &mut self.locks
+    }
+
+    /// Replace the tracer (enable with [`Tracer::enabled`] in tests).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The tracer, for inspecting recorded protocol steps.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Zero the ledger and traffic counters (between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.ledger.reset();
+        self.traffic = TrafficStats::default();
+        for s in &mut self.sites {
+            s.array.reset_stats();
+        }
+    }
+
+    /// Current state of a site (ignoring partitions; see
+    /// [`effective_state`](RaddCluster::effective_state)).
+    pub fn site_state(&self, site: SiteId) -> SiteState {
+        self.sites[site].state
+    }
+
+    /// Direct access to a site, for inspection in tests and tooling.
+    pub fn site(&self, site: SiteId) -> &SiteNode {
+        &self.sites[site]
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection
+    // ------------------------------------------------------------------
+
+    /// A temporary site failure: the site stops processing; its disks keep
+    /// their contents.
+    pub fn fail_site(&mut self, site: SiteId) {
+        self.sites[site].state = SiteState::Down;
+    }
+
+    /// A site disaster: the site goes down and *all* its disk contents are
+    /// lost (it will be restored on blank replacement hardware).
+    pub fn disaster(&mut self, site: SiteId) {
+        self.sites[site].lose_everything();
+        self.sites[site].state = SiteState::Down;
+    }
+
+    /// A disk failure: the site stays operational but the disk's blocks are
+    /// inaccessible. Per §3.1 this moves the site "directly from up to
+    /// recovering".
+    pub fn fail_disk(&mut self, site: SiteId, disk: usize) {
+        self.sites[site].array.fail_disk(disk);
+        if self.sites[site].state == SiteState::Up {
+            self.sites[site].state = SiteState::Recovering;
+        }
+    }
+
+    /// Swap a blank spare drive in for a failed disk; its previous contents
+    /// are marked invalid for the recovery daemon to rebuild.
+    pub fn replace_disk(&mut self, site: SiteId, disk: usize) {
+        self.sites[site].array.replace_disk(disk);
+        self.sites[site].lose_disk_rows(disk);
+    }
+
+    /// Bring a down site back: it enters the recovering state (§3.1).
+    pub fn restore_site(&mut self, site: SiteId) {
+        if self.sites[site].state == SiteState::Down {
+            self.sites[site].state = SiteState::Recovering;
+        }
+    }
+
+    /// Install a network partition (heal with
+    /// [`PartitionMap::connected`]).
+    pub fn set_partition(&mut self, partition: PartitionMap) {
+        assert_eq!(partition.num_sites(), self.sites.len());
+        self.partition = partition;
+    }
+
+    /// A site's state as seen through the current partition: an isolated
+    /// site is treated as down by the majority (§5).
+    pub fn effective_state(&self, site: SiteId) -> SiteState {
+        match self.partition.classify(self.config.group_size) {
+            PartitionVerdict::SingleFailureLike { isolated, .. } if isolated == site => {
+                SiteState::Down
+            }
+            _ => self.sites[site].state,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Charging helpers
+    // ------------------------------------------------------------------
+
+    fn charge_read(&mut self, actor: Actor, at: SiteId) {
+        let kind = if actor.is_local_to(at) {
+            OpKind::LocalRead
+        } else {
+            OpKind::RemoteRead
+        };
+        if kind == OpKind::RemoteRead {
+            self.traffic
+                .remote_reads
+                .record_send(self.config.block_size + BLOCK_MSG_HEADER);
+        }
+        self.ledger.charge(kind);
+    }
+
+    fn charge_write(&mut self, actor: Actor, at: SiteId) {
+        let kind = if actor.is_local_to(at) {
+            OpKind::LocalWrite
+        } else {
+            OpKind::RemoteWrite
+        };
+        self.ledger.charge(kind);
+    }
+
+    fn control_message(&mut self) {
+        self.traffic.control.record_send(CONTROL_MSG_BYTES);
+    }
+
+    fn gate_partition(&self, actor: Actor) -> Result<(), RaddError> {
+        match self.partition.classify(self.config.group_size) {
+            PartitionVerdict::Connected => Ok(()),
+            PartitionVerdict::MustBlock => Err(RaddError::Blocked),
+            PartitionVerdict::SingleFailureLike { isolated, .. } => match actor {
+                Actor::Site(s) if s == isolated => Err(RaddError::ActorIsolated { site: s }),
+                _ => Ok(()),
+            },
+        }
+    }
+
+    fn check_args(&self, site: SiteId, index: DataIndex, data: Option<&[u8]>) -> Result<PhysRow, RaddError> {
+        let capacity = self.geometry.data_capacity(site);
+        if index >= capacity {
+            return Err(RaddError::OutOfRange { index, capacity });
+        }
+        if let Some(d) = data {
+            if d.len() != self.config.block_size {
+                return Err(RaddError::WrongBlockSize {
+                    got: d.len(),
+                    expected: self.config.block_size,
+                });
+            }
+        }
+        Ok(self.geometry.data_to_physical(site, index))
+    }
+
+    /// Is the local copy of `row` at `site` physically readable and
+    /// trusted?
+    fn local_row_ok(&self, site: SiteId, row: PhysRow) -> bool {
+        let s = &self.sites[site];
+        !s.array.is_failed(s.array.disk_of(row)) && !s.invalid_rows.contains(&row)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// Read the `index`-th data block of `site` on behalf of `actor`.
+    pub fn read(
+        &mut self,
+        actor: Actor,
+        site: SiteId,
+        index: DataIndex,
+    ) -> Result<(Bytes, OpReceipt), RaddError> {
+        self.gate_partition(actor)?;
+        let row = self.check_args(site, index, None)?;
+        let snap = self.ledger.snapshot();
+        let data = match self.effective_state(site) {
+            SiteState::Up => {
+                // Normal case: one read of the local block.
+                self.charge_read(actor, site);
+                self.sites[site].read_block(row)?
+            }
+            SiteState::Down => self.read_via_spare(actor, site, row)?,
+            SiteState::Recovering => self.read_recovering(actor, site, row)?,
+        };
+        let (counts, latency) = self.ledger.since(snap);
+        Ok((
+            data,
+            OpReceipt {
+                counts,
+                latency,
+                retries: 0,
+            },
+        ))
+    }
+
+    /// §3.2 down-site read: spare if valid, else reconstruct and install
+    /// into the spare.
+    fn read_via_spare(
+        &mut self,
+        actor: Actor,
+        owner: SiteId,
+        row: PhysRow,
+    ) -> Result<Bytes, RaddError> {
+        let spare_site = self.geometry.spare_site(row);
+        debug_assert_ne!(spare_site, owner, "a data site is never its own spare");
+        if self.effective_state(spare_site) != SiteState::Up
+            && !self.local_row_ok(spare_site, row)
+        {
+            return Err(RaddError::MultipleFailure {
+                detail: format!("site {owner} down and spare site {spare_site} unavailable"),
+            });
+        }
+        // Probe spare validity: a UID check, no block I/O.
+        self.control_message();
+        if self.config.spare_policy.has_spare(row)
+            && self.sites[spare_site].spare_valid(row)
+        {
+            let slot = self.sites[spare_site].spares.get(&row).expect("probed valid");
+            if slot.for_site != owner {
+                return Err(RaddError::MultipleFailure {
+                    detail: format!(
+                        "row {row} spare already stands in for site {}",
+                        slot.for_site
+                    ),
+                });
+            }
+            self.charge_read(actor, spare_site);
+            self.tracer
+                .emit(Default::default(), format!("site:{owner}"), "spare_read", row);
+            return Ok(self.sites[spare_site].read_block(row)?);
+        }
+        // Reconstruct from the G surviving blocks.
+        let data = self.reconstruct_block(actor, owner, row, true)?;
+        // Install into the spare so "subsequent reads can thereby be
+        // resolved by accessing only the spare block" (background work).
+        if self.config.spare_policy.has_spare(row) {
+            self.install_spare_from_reconstruction(owner, row, &data)?;
+        }
+        Ok(data)
+    }
+
+    /// §3.2 recovering-site read: check the local block and the spare;
+    /// a valid spare supersedes the local copy.
+    fn read_recovering(
+        &mut self,
+        actor: Actor,
+        owner: SiteId,
+        row: PhysRow,
+    ) -> Result<Bytes, RaddError> {
+        // Attempt the local read first. A failed disk errors immediately
+        // (no mechanical I/O happens, so nothing is charged); a healthy
+        // read is charged normally even if a valid spare supersedes it —
+        // this is the "read the spare block and perhaps also the normal
+        // block; counting both reads" convention behind Figure 3's R+RR.
+        let disk = self.sites[owner].array.disk_of(row);
+        let local: Option<Bytes> = if self.sites[owner].array.is_failed(disk) {
+            None
+        } else {
+            self.charge_read(actor, owner);
+            Some(self.sites[owner].read_block(row)?)
+        };
+        let spare_site = self.geometry.spare_site(row);
+        self.control_message(); // validity probe
+        let spare_slot_valid = self.config.spare_policy.has_spare(row)
+            && self.effective_state(spare_site) == SiteState::Up
+            && self
+                .sites[spare_site]
+                .spares
+                .get(&row)
+                .map(|s| s.for_site == owner)
+                .unwrap_or(false);
+        if spare_slot_valid {
+            self.charge_read(actor, spare_site);
+            let content = self.sites[spare_site].read_block(row)?;
+            // Side effects (§3.2): refresh the local block, invalidate the
+            // spare — off the critical path.
+            if !self.sites[owner].array.is_failed(disk) {
+                let slot = self.sites[spare_site]
+                    .spares
+                    .remove(&row)
+                    .expect("checked valid");
+                self.sites[owner].write_block(row, &content)?;
+                if let SpareKind::Data { data_uid } = slot.kind {
+                    self.sites[owner].block_uids[row as usize] = data_uid;
+                }
+                self.sites[owner].invalid_rows.remove(&row);
+                self.ledger.charge_background(OpKind::LocalWrite);
+                self.control_message(); // invalidation
+            }
+            return Ok(content);
+        }
+        if let Some(content) = local {
+            if !self.sites[owner].invalid_rows.contains(&row) {
+                return Ok(content);
+            }
+        }
+        // Both invalid: "the block is reconstructed as if the site was
+        // down", then written back locally (background).
+        let data = self.reconstruct_block(actor, owner, row, true)?;
+        if !self.sites[owner].array.is_failed(disk) {
+            self.sites[owner].write_block(row, &data)?;
+            let parity_site = self.geometry.parity_site(row);
+            let uid = self.sites[parity_site]
+                .parity_uids
+                .get(&row)
+                .map(|a| a.get(owner))
+                .unwrap_or(Uid::INVALID);
+            self.sites[owner].block_uids[row as usize] = uid;
+            self.sites[owner].invalid_rows.remove(&row);
+            self.ledger.charge_background(OpKind::LocalWrite);
+        }
+        Ok(data)
+    }
+
+    /// Formula (2) with §3.3 UID validation: read row `row` at every up site
+    /// except the spare site and `owner`, XOR the results.
+    ///
+    /// `foreground` selects which ledger the G reads are charged to.
+    fn reconstruct_block(
+        &mut self,
+        actor: Actor,
+        owner: SiteId,
+        row: PhysRow,
+        foreground: bool,
+    ) -> Result<Bytes, RaddError> {
+        let spare_site = self.geometry.spare_site(row);
+        let parity_site = self.geometry.parity_site(row);
+        let sources: Vec<SiteId> = (0..self.sites.len())
+            .filter(|&s| s != owner && s != spare_site)
+            .collect();
+        debug_assert_eq!(
+            sources.len(),
+            self.config.group_size,
+            "G sources: the parity site plus the G-1 other data sites"
+        );
+
+        let mut acc = vec![0u8; self.config.block_size];
+        let parity_array = self.sites[parity_site].parity_uids.get(&row).cloned();
+        for &s in &sources {
+            if self.effective_state(s) != SiteState::Up || !self.local_row_ok(s, row) {
+                return Err(RaddError::MultipleFailure {
+                    detail: format!("reconstruction source site {s} unavailable for row {row}"),
+                });
+            }
+            if foreground {
+                self.charge_read(actor, s);
+            } else {
+                self.ledger.charge_background(if actor.is_local_to(s) {
+                    OpKind::LocalRead
+                } else {
+                    OpKind::RemoteRead
+                });
+                self.traffic
+                    .recovery
+                    .record_send(self.config.block_size + BLOCK_MSG_HEADER);
+            }
+            let content = self.sites[s].read_block(row)?;
+            // §3.3: "each read operation must also return the UID of the
+            // stored block … each UID must be compared against the
+            // corresponding UID in the array for the parity block".
+            if self.config.uid_validation && s != parity_site {
+                let read_uid = self.sites[s].block_uids[row as usize];
+                let expected = parity_array
+                    .as_ref()
+                    .map(|a| a.get(s))
+                    .unwrap_or(Uid::INVALID);
+                if read_uid != expected {
+                    return Err(RaddError::InconsistentRead { site: s });
+                }
+            }
+            radd_parity::xor_in_place(&mut acc, &content);
+        }
+        self.tracer.emit(
+            Default::default(),
+            format!("actor:{actor:?}"),
+            "reconstruct",
+            format!("site {owner} row {row}"),
+        );
+        Ok(Bytes::from(acc))
+    }
+
+    /// Record a reconstruction result into the row's spare block
+    /// (background): content write plus a slot whose UID matches the parity
+    /// array, so later validated reads stay consistent.
+    fn install_spare_from_reconstruction(
+        &mut self,
+        owner: SiteId,
+        row: PhysRow,
+        data: &[u8],
+    ) -> Result<(), RaddError> {
+        let spare_site = self.geometry.spare_site(row);
+        let parity_site = self.geometry.parity_site(row);
+        let slot = if owner == parity_site {
+            let uids = self.sites[parity_site]
+                .parity_uids
+                .get(&row)
+                .cloned()
+                .unwrap_or_else(|| UidArray::new(self.sites.len()));
+            SpareSlot {
+                for_site: owner,
+                kind: SpareKind::Parity { uids },
+            }
+        } else {
+            let data_uid = self.sites[parity_site]
+                .parity_uids
+                .get(&row)
+                .map(|a| a.get(owner))
+                .unwrap_or(Uid::INVALID);
+            SpareSlot {
+                for_site: owner,
+                kind: SpareKind::Data { data_uid },
+            }
+        };
+        self.sites[spare_site].write_block(row, data)?;
+        self.sites[spare_site].spares.insert(row, slot);
+        self.ledger.charge_background(OpKind::RemoteWrite);
+        self.traffic
+            .spare_writes
+            .record_send(self.config.block_size + BLOCK_MSG_HEADER);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Writes
+    // ------------------------------------------------------------------
+
+    /// Write the `index`-th data block of `site` on behalf of `actor`
+    /// (steps W1–W4, or W1' when the site is down).
+    pub fn write(
+        &mut self,
+        actor: Actor,
+        site: SiteId,
+        index: DataIndex,
+        data: &[u8],
+    ) -> Result<OpReceipt, RaddError> {
+        self.gate_partition(actor)?;
+        let row = self.check_args(site, index, Some(data))?;
+        let snap = self.ledger.snapshot();
+        match self.effective_state(site) {
+            SiteState::Up => self.write_up(actor, site, row, data)?,
+            SiteState::Recovering => {
+                if self.local_row_ok(site, row)
+                    || !self.sites[site]
+                        .array
+                        .is_failed(self.sites[site].array.disk_of(row))
+                {
+                    // Disk works: "writes proceed in the same way as for up
+                    // sites. Moreover, the spare block should be invalidated
+                    // as a side effect."
+                    self.write_up(actor, site, row, data)?;
+                    let spare_site = self.geometry.spare_site(row);
+                    if self.sites[spare_site]
+                        .spares
+                        .get(&row)
+                        .map(|s| s.for_site == site)
+                        .unwrap_or(false)
+                    {
+                        self.sites[spare_site].spares.remove(&row);
+                        self.control_message();
+                    }
+                    self.sites[site].invalid_rows.remove(&row);
+                } else {
+                    // Block lives on the failed disk: redirect to the spare
+                    // like a down-site write.
+                    self.write_via_spare(actor, site, row, data)?;
+                }
+            }
+            SiteState::Down => self.write_via_spare(actor, site, row, data)?,
+        }
+        let (counts, latency) = self.ledger.since(snap);
+        Ok(OpReceipt {
+            counts,
+            latency,
+            retries: 0,
+        })
+    }
+
+    /// Normal write path W1–W4.
+    fn write_up(
+        &mut self,
+        actor: Actor,
+        site: SiteId,
+        row: PhysRow,
+        data: &[u8],
+    ) -> Result<(), RaddError> {
+        // Old value comes from the buffer pool (uncharged, per the paper's
+        // buffering assumption). The logical oracle matters on a recovering
+        // site: the true old value may live in the spare or need
+        // reconstruction, and masking against a blank local block would
+        // corrupt the parity.
+        let old = self.logical_content_by_row(site, row)?;
+        let uid = self.sites[site].uid_gen.next_uid();
+        // W1: local write together with the UID.
+        self.charge_write(actor, site);
+        self.sites[site].write_block(row, data)?;
+        self.sites[site].block_uids[row as usize] = uid;
+        // W2–W4: change mask to the parity site.
+        let mask = ChangeMask::diff(&old, data);
+        self.send_parity_update(actor, site, row, mask, uid)?;
+        Ok(())
+    }
+
+    /// W1': the owner's disk is unavailable; the new content goes to the
+    /// spare site, parity is updated as usual.
+    fn write_via_spare(
+        &mut self,
+        actor: Actor,
+        owner: SiteId,
+        row: PhysRow,
+        data: &[u8],
+    ) -> Result<(), RaddError> {
+        if !self.config.spare_policy.has_spare(row) {
+            return Err(RaddError::Unavailable { site: owner });
+        }
+        let spare_site = self.geometry.spare_site(row);
+        if self.effective_state(spare_site) != SiteState::Up {
+            return Err(RaddError::MultipleFailure {
+                detail: format!("site {owner} down and spare site {spare_site} also unavailable"),
+            });
+        }
+        if let Some(slot) = self.sites[spare_site].spares.get(&row) {
+            if slot.for_site != owner {
+                return Err(RaddError::MultipleFailure {
+                    detail: format!(
+                        "row {row} spare already stands in for site {}",
+                        slot.for_site
+                    ),
+                });
+            }
+        }
+        // Old value for the change mask: the logical current content
+        // (buffer-pool assumption — see module docs).
+        let old = self.logical_content_by_row(owner, row)?;
+        let uid = self.sites[spare_site].uid_gen.next_uid();
+        // W1': ship the block to the spare site.
+        self.charge_write(actor, spare_site);
+        self.traffic
+            .spare_writes
+            .record_send(self.config.block_size + BLOCK_MSG_HEADER);
+        self.sites[spare_site].write_block(row, data)?;
+        self.sites[spare_site].spares.insert(
+            row,
+            SpareSlot {
+                for_site: owner,
+                kind: SpareKind::Data { data_uid: uid },
+            },
+        );
+        // W2–W4 proceed unchanged.
+        let mask = ChangeMask::diff(&old, data);
+        self.send_parity_update(actor, owner, row, mask, uid)?;
+        Ok(())
+    }
+
+    /// Steps W2–W4: route the change mask + UID to the row's parity site
+    /// (or to its stand-in spare when the parity site is down).
+    fn send_parity_update(
+        &mut self,
+        actor: Actor,
+        from_site: SiteId,
+        row: PhysRow,
+        mask: ChangeMask,
+        uid: Uid,
+    ) -> Result<(), RaddError> {
+        let parity_site = self.geometry.parity_site(row);
+        let wire = mask.encode().len() + CONTROL_MSG_BYTES;
+        self.traffic.parity_updates.record_send(wire);
+        match self.config.parity_mode {
+            ParityMode::Queued => {
+                // Charged now (the message and its eventual disk write are
+                // real); applied at flush time.
+                self.charge_write(actor, parity_site);
+                self.pending_parity.push(PendingParity {
+                    to: parity_site,
+                    row,
+                    from_site,
+                    mask,
+                    uid,
+                });
+                Ok(())
+            }
+            ParityMode::Sync => {
+                self.charge_write(actor, parity_site);
+                self.apply_parity_update(actor, parity_site, row, from_site, &mask, uid)
+            }
+        }
+    }
+
+    /// Apply one parity update at its destination (step W4), redirecting to
+    /// the spare stand-in if the parity site is down.
+    fn apply_parity_update(
+        &mut self,
+        actor: Actor,
+        parity_site: SiteId,
+        row: PhysRow,
+        from_site: SiteId,
+        mask: &ChangeMask,
+        uid: Uid,
+    ) -> Result<(), RaddError> {
+        if self.effective_state(parity_site) == SiteState::Down {
+            return self.apply_parity_to_spare(actor, parity_site, row, from_site, mask, uid);
+        }
+        // A recovering parity site whose array block for this row is blank
+        // must rebuild it before the mask lands on garbage.
+        if !self.local_row_ok(parity_site, row) {
+            if self.sites[parity_site]
+                .array
+                .is_failed(self.sites[parity_site].array.disk_of(row))
+            {
+                return self.apply_parity_to_spare(actor, parity_site, row, from_site, mask, uid);
+            }
+            self.rebuild_parity_row(parity_site, row)?;
+        }
+        let num_sites = self.sites.len();
+        let mut parity = self.sites[parity_site].read_block(row)?.to_vec();
+        mask.apply(&mut parity); // formula (1)
+        self.sites[parity_site].write_block(row, &parity)?;
+        self.sites[parity_site]
+            .parity_uid_array(row, num_sites)
+            .set(from_site, uid);
+        self.tracer.emit(
+            Default::default(),
+            format!("site:{parity_site}"),
+            "parity_update",
+            format!("row {row} from site {from_site}"),
+        );
+        Ok(())
+    }
+
+    /// The parity site is down: the row's spare block stands in for the
+    /// parity block. Materialise it by reconstruction on first touch.
+    fn apply_parity_to_spare(
+        &mut self,
+        actor: Actor,
+        parity_site: SiteId,
+        row: PhysRow,
+        from_site: SiteId,
+        mask: &ChangeMask,
+        uid: Uid,
+    ) -> Result<(), RaddError> {
+        if !self.config.spare_policy.has_spare(row) {
+            return Err(RaddError::Unavailable { site: parity_site });
+        }
+        let spare_site = self.geometry.spare_site(row);
+        if self.effective_state(spare_site) != SiteState::Up {
+            return Err(RaddError::MultipleFailure {
+                detail: format!("parity site {parity_site} down and spare site {spare_site} too"),
+            });
+        }
+        let has_slot = self.sites[spare_site]
+            .spares
+            .get(&row)
+            .map(|s| s.for_site == parity_site)
+            .unwrap_or(false);
+        if !has_slot {
+            if let Some(other) = self.sites[spare_site].spares.get(&row) {
+                return Err(RaddError::MultipleFailure {
+                    detail: format!("row {row} spare already used by site {}", other.for_site),
+                });
+            }
+            // First parity update while the parity site is down: rebuild
+            // the old parity (XOR of the data blocks, which carry the mask's
+            // *old* side since it has not been applied yet) into the spare.
+            // Note: `from_site`'s local/spare block already holds the NEW
+            // content, so XOR of current contents equals old_parity ⊕ mask;
+            // applying the mask below then double-toggles. Compensate by
+            // starting from the new-content XOR and applying the mask once
+            // here (background reads) — the net effect is the correct new
+            // parity either way; we simply construct new parity directly.
+            let mut acc = vec![0u8; self.config.block_size];
+            let mut uids = UidArray::new(self.sites.len());
+            for s in (0..self.sites.len()).filter(|&s| s != parity_site && s != spare_site) {
+                let content = self.logical_content_by_row(s, row)?;
+                self.ledger.charge_background(if actor.is_local_to(s) {
+                    OpKind::LocalRead
+                } else {
+                    OpKind::RemoteRead
+                });
+                self.traffic
+                    .remote_reads
+                    .record_send(self.config.block_size + BLOCK_MSG_HEADER);
+                radd_parity::xor_in_place(&mut acc, &content);
+                uids.set(s, self.current_uid_by_row(s, row));
+            }
+            uids.set(from_site, uid);
+            self.sites[spare_site].write_block(row, &acc)?;
+            self.sites[spare_site].spares.insert(
+                row,
+                SpareSlot {
+                    for_site: parity_site,
+                    kind: SpareKind::Parity { uids },
+                },
+            );
+            self.ledger.charge_background(OpKind::RemoteWrite);
+            return Ok(());
+        }
+        // Subsequent updates: normal masked apply against the stand-in.
+        let mut parity = self.sites[spare_site].read_block(row)?.to_vec();
+        mask.apply(&mut parity);
+        self.sites[spare_site].write_block(row, &parity)?;
+        if let Some(SpareSlot {
+            kind: SpareKind::Parity { uids },
+            ..
+        }) = self.sites[spare_site].spares.get_mut(&row)
+        {
+            uids.set(from_site, uid);
+        }
+        Ok(())
+    }
+
+    /// Apply all queued parity updates (queued mode only).
+    pub fn flush_parity(&mut self) -> Result<(), RaddError> {
+        let pending = std::mem::take(&mut self.pending_parity);
+        for p in pending {
+            // The RW was charged at send time; application is bookkeeping.
+            self.apply_parity_update(Actor::Client, p.to, p.row, p.from_site, &p.mask, p.uid)?;
+        }
+        Ok(())
+    }
+
+    /// Number of parity updates still queued.
+    pub fn pending_parity_updates(&self) -> usize {
+        self.pending_parity.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery
+    // ------------------------------------------------------------------
+
+    /// Rebuild one parity row in place: XOR of the row's data blocks, UID
+    /// array re-derived from their stored UIDs (background reads).
+    fn rebuild_parity_row(&mut self, parity_site: SiteId, row: PhysRow) -> Result<(), RaddError> {
+        let spare_site = self.geometry.spare_site(row);
+        let mut acc = vec![0u8; self.config.block_size];
+        let mut uids = UidArray::new(self.sites.len());
+        for s in (0..self.sites.len()).filter(|&s| s != parity_site && s != spare_site) {
+            let content = self.logical_content_by_row(s, row)?;
+            self.ledger.charge_background(OpKind::RemoteRead);
+            self.traffic
+                .recovery
+                .record_send(self.config.block_size + BLOCK_MSG_HEADER);
+            radd_parity::xor_in_place(&mut acc, &content);
+            uids.set(s, self.current_uid_by_row(s, row));
+        }
+        self.sites[parity_site].write_block(row, &acc)?;
+        self.ledger.charge_background(OpKind::LocalWrite);
+        self.sites[parity_site].parity_uids.insert(row, uids);
+        self.sites[parity_site].invalid_rows.remove(&row);
+        Ok(())
+    }
+
+    /// The §3.2 background recovery daemon for a recovering site: drain
+    /// every valid spare standing in for it, reconstruct every invalid
+    /// local block, then mark the site up.
+    pub fn run_recovery(&mut self, site: SiteId) -> Result<RecoveryReport, RaddError> {
+        assert_eq!(
+            self.sites[site].state,
+            SiteState::Recovering,
+            "run_recovery on a site that is not recovering"
+        );
+        if self.sites[site].array.any_failed() {
+            return Err(RaddError::BadConfig(
+                "replace the failed disk before running recovery".into(),
+            ));
+        }
+        let mut report = RecoveryReport::default();
+
+        // Phase 1: drain spares. "A recovering site also spawns a background
+        // process to lock each valid spare block, copy its contents to the
+        // corresponding block of S[J] and then invalidate the contents of
+        // the spare block."
+        let mut to_drain: Vec<(SiteId, PhysRow)> = Vec::new();
+        for s in 0..self.sites.len() {
+            for (&row, slot) in &self.sites[s].spares {
+                if slot.for_site == site {
+                    to_drain.push((s, row));
+                }
+            }
+        }
+        for (spare_site, row) in to_drain {
+            self.locks
+                .try_lock(spare_site, row, crate::locks::LockKind::Exclusive, u64::MAX)
+                .map_err(|_| RaddError::BadConfig("recovery lock conflict".into()))?;
+            let content = self.sites[spare_site].read_block(row)?;
+            self.ledger.charge_background(OpKind::RemoteRead);
+            self.traffic
+                .recovery
+                .record_send(self.config.block_size + BLOCK_MSG_HEADER);
+            let slot = self.sites[spare_site]
+                .spares
+                .remove(&row)
+                .expect("slot listed for drain");
+            self.sites[site].write_block(row, &content)?;
+            self.ledger.charge_background(OpKind::LocalWrite);
+            match slot.kind {
+                SpareKind::Data { data_uid } => {
+                    self.sites[site].block_uids[row as usize] = data_uid;
+                }
+                SpareKind::Parity { uids } => {
+                    self.sites[site].parity_uids.insert(row, uids);
+                }
+            }
+            self.sites[site].invalid_rows.remove(&row);
+            self.locks.unlock(spare_site, row, u64::MAX);
+            report.spares_drained += 1;
+        }
+
+        // Phase 2: reconstruct blocks lost with disks/disasters.
+        let invalid: Vec<PhysRow> = self.sites[site].invalid_rows.iter().copied().collect();
+        for row in invalid {
+            match self.geometry.role(site, row) {
+                Role::Data(_) => {
+                    let data =
+                        self.reconstruct_block(Actor::Site(site), site, row, false)?;
+                    self.sites[site].write_block(row, &data)?;
+                    self.ledger.charge_background(OpKind::LocalWrite);
+                    let parity_site = self.geometry.parity_site(row);
+                    let uid = self.sites[parity_site]
+                        .parity_uids
+                        .get(&row)
+                        .map(|a| a.get(site))
+                        .unwrap_or(Uid::INVALID);
+                    self.sites[site].block_uids[row as usize] = uid;
+                    report.data_reconstructed += 1;
+                }
+                Role::Parity => {
+                    self.rebuild_parity_row(site, row)?;
+                    report.parity_rebuilt += 1;
+                }
+                Role::Spare => {
+                    // An invalid spare block is simply empty — nothing to do.
+                }
+            }
+            self.sites[site].invalid_rows.remove(&row);
+        }
+
+        self.sites[site].state = SiteState::Up;
+        self.tracer.emit(
+            Default::default(),
+            format!("site:{site}"),
+            "recovered",
+            format!(
+                "{} spares drained, {} data + {} parity rebuilt",
+                report.spares_drained, report.data_reconstructed, report.parity_rebuilt
+            ),
+        );
+        Ok(report)
+    }
+
+    // ------------------------------------------------------------------
+    // Oracles (uncharged; stand in for buffer caches in the cost model and
+    // for test assertions)
+    // ------------------------------------------------------------------
+
+    /// The logical current content of `site`'s block at `row`: the spare
+    /// stand-in if one exists, the local block if trustworthy, else the
+    /// reconstruction. Never charged.
+    fn logical_content_by_row(&mut self, site: SiteId, row: PhysRow) -> Result<Bytes, RaddError> {
+        let spare_site = self.geometry.spare_site(row);
+        if spare_site != site {
+            if let Some(slot) = self.sites[spare_site].spares.get(&row) {
+                if slot.for_site == site {
+                    return Ok(self.sites[spare_site].read_block(row)?);
+                }
+            }
+        }
+        if self.local_row_ok(site, row) {
+            return Ok(self.sites[site].read_block(row)?);
+        }
+        // Reconstruct silently.
+        let sources: Vec<SiteId> = (0..self.sites.len())
+            .filter(|&s| s != site && s != spare_site)
+            .collect();
+        let mut acc = vec![0u8; self.config.block_size];
+        for s in sources {
+            if !self.local_row_ok(s, row) {
+                return Err(RaddError::MultipleFailure {
+                    detail: format!("cannot materialise row {row} of site {site}"),
+                });
+            }
+            let c = self.sites[s].read_block(row)?;
+            radd_parity::xor_in_place(&mut acc, &c);
+        }
+        Ok(Bytes::from(acc))
+    }
+
+    /// The UID consistent with `site`'s logical content of `row`.
+    fn current_uid_by_row(&self, site: SiteId, row: PhysRow) -> Uid {
+        let spare_site = self.geometry.spare_site(row);
+        if spare_site != site {
+            if let Some(SpareSlot {
+                for_site,
+                kind: SpareKind::Data { data_uid },
+            }) = self.sites[spare_site].spares.get(&row)
+            {
+                if *for_site == site {
+                    return *data_uid;
+                }
+            }
+        }
+        self.sites[site].block_uids[row as usize]
+    }
+
+    /// Public oracle: the logical content of a data block, bypassing all
+    /// cost accounting. For assertions in tests, examples and benches.
+    pub fn logical_content(
+        &mut self,
+        site: SiteId,
+        index: DataIndex,
+    ) -> Result<Bytes, RaddError> {
+        let row = self.check_args(site, index, None)?;
+        self.logical_content_by_row(site, row)
+    }
+
+    /// Verify the stripe invariant on every fully healthy row: the parity
+    /// block equals the XOR of the row's data blocks (using spare stand-ins
+    /// where they exist). Returns the first violated row.
+    pub fn verify_parity(&mut self) -> Result<(), String> {
+        for row in 0..self.config.rows {
+            let parity_site = self.geometry.parity_site(row);
+            let parity = match self.logical_content_by_row(parity_site, row) {
+                Ok(p) => p,
+                Err(_) => continue, // row not materialisable: skip
+            };
+            let mut acc = vec![0u8; self.config.block_size];
+            let mut ok = true;
+            for s in self.geometry.data_sites(row) {
+                match self.logical_content_by_row(s, row) {
+                    Ok(c) => radd_parity::xor_in_place(&mut acc, &c),
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok && acc != parity.to_vec() {
+                return Err(format!("parity mismatch in row {row}"));
+            }
+        }
+        Ok(())
+    }
+}

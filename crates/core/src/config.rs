@@ -1,0 +1,182 @@
+//! Cluster configuration.
+
+use radd_sim::CostParams;
+use serde::{Deserialize, Serialize};
+
+/// How many spare blocks to allocate (§7.2).
+///
+/// The paper analyses one spare per parity block and notes that "a smaller
+/// number of spare blocks can be allocated per site if the system
+/// administrator is willing to tolerate lower availability. … Analyzing
+/// availability for lesser numbers of parity blocks is left as a future
+/// exercise." [`SparePolicy::Fraction`] implements that exercise (measured
+/// by the `sec72_spares` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SparePolicy {
+    /// One spare block per parity block — the paper's analysed configuration
+    /// ("this will allow any block on the down machine to be written while
+    /// the site is down").
+    OnePerParity,
+    /// No spare blocks: 12.5 % space overhead at `G = 8` instead of 25 %,
+    /// but every down-site read reconstructs from scratch and down-site
+    /// writes cannot be absorbed.
+    None,
+    /// Spares on `numerator` of every `denominator` rows. Down-site writes
+    /// to spare-less rows are refused ([`RaddError::Unavailable`]); reads
+    /// of spare-less rows reconstruct every time.
+    ///
+    /// [`RaddError::Unavailable`]: crate::RaddError::Unavailable
+    Fraction {
+        /// Rows with a spare per cycle.
+        numerator: u32,
+        /// Cycle length.
+        denominator: u32,
+    },
+}
+
+impl SparePolicy {
+    /// Does physical row `row` have a usable spare block under this policy?
+    pub fn has_spare(&self, row: u64) -> bool {
+        match *self {
+            SparePolicy::OnePerParity => true,
+            SparePolicy::None => false,
+            SparePolicy::Fraction {
+                numerator,
+                denominator,
+            } => {
+                debug_assert!(numerator <= denominator && denominator > 0);
+                (row % denominator as u64) < numerator as u64
+            }
+        }
+    }
+
+    /// Space overhead as a fraction of data capacity for group size `g`:
+    /// one parity block per `g` data blocks, plus the allocated share of
+    /// spares.
+    pub fn space_overhead(&self, g: usize) -> f64 {
+        let spare_share = match *self {
+            SparePolicy::OnePerParity => 1.0,
+            SparePolicy::None => 0.0,
+            SparePolicy::Fraction {
+                numerator,
+                denominator,
+            } => numerator as f64 / denominator as f64,
+        };
+        (1.0 + spare_share) / g as f64
+    }
+}
+
+/// When parity-update messages are applied at the parity site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParityMode {
+    /// Applied synchronously as part of the write (the reliable-network
+    /// model of §3).
+    Sync,
+    /// Queued until [`flush_parity`] — models messages in flight, which is
+    /// what makes the §3.3 UID-validation race observable.
+    ///
+    /// [`flush_parity`]: crate::RaddCluster::flush_parity
+    Queued,
+}
+
+/// Static configuration of a [`RaddCluster`].
+///
+/// [`RaddCluster`]: crate::RaddCluster
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaddConfig {
+    /// Group size `G`; the cluster has `G + 2` sites.
+    pub group_size: usize,
+    /// Physical block rows per site (ideally a multiple of `G + 2`).
+    pub rows: u64,
+    /// Disks per site `N`; `rows` must divide evenly across them.
+    pub disks_per_site: usize,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Cost parameters for the operation ledger.
+    pub cost: CostParams,
+    /// Spare allocation policy.
+    pub spare_policy: SparePolicy,
+    /// Parity message application mode.
+    pub parity_mode: ParityMode,
+    /// Validate UIDs during reconstruction (§3.3). Disabling this is the
+    /// consistency ablation: stale reconstructions go undetected.
+    pub uid_validation: bool,
+}
+
+impl RaddConfig {
+    /// The paper's evaluation shape: `G = 8` (10 sites), 10 disks per site,
+    /// 4 KB blocks, Table-1 costs, one spare per parity block.
+    pub fn paper_g8() -> RaddConfig {
+        RaddConfig {
+            group_size: 8,
+            rows: 100, // 10 rows per disk × 10 disks
+            disks_per_site: 10,
+            block_size: 4096,
+            cost: CostParams::paper_defaults(),
+            spare_policy: SparePolicy::OnePerParity,
+            parity_mode: ParityMode::Sync,
+            uid_validation: true,
+        }
+    }
+
+    /// A small cluster for unit tests: `G = 4` (6 sites, the Figure 1
+    /// shape), 1 disk per site, tiny blocks.
+    pub fn small_g4() -> RaddConfig {
+        RaddConfig {
+            group_size: 4,
+            rows: 12,
+            disks_per_site: 1,
+            block_size: 64,
+            cost: CostParams::paper_defaults(),
+            spare_policy: SparePolicy::OnePerParity,
+            parity_mode: ParityMode::Sync,
+            uid_validation: true,
+        }
+    }
+
+    /// Number of sites `G + 2`.
+    pub fn num_sites(&self) -> usize {
+        self.group_size + 2
+    }
+
+    /// Blocks per disk.
+    pub fn blocks_per_disk(&self) -> u64 {
+        self.rows / self.disks_per_site as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape() {
+        let c = RaddConfig::paper_g8();
+        assert_eq!(c.num_sites(), 10);
+        assert_eq!(c.blocks_per_disk(), 10);
+        assert_eq!(c.cost.local_read.as_millis(), 30);
+    }
+
+    #[test]
+    fn spare_fraction_policy() {
+        let p = SparePolicy::Fraction { numerator: 1, denominator: 4 };
+        let spared: Vec<u64> = (0..12).filter(|&r| p.has_spare(r)).collect();
+        assert_eq!(spared, vec![0, 4, 8]);
+        assert!(SparePolicy::OnePerParity.has_spare(99));
+        assert!(!SparePolicy::None.has_spare(0));
+        // Space overhead at G = 8: full spares 25 %, none 12.5 %, half ~18.75 %.
+        assert_eq!(SparePolicy::OnePerParity.space_overhead(8), 0.25);
+        assert_eq!(SparePolicy::None.space_overhead(8), 0.125);
+        assert_eq!(
+            SparePolicy::Fraction { numerator: 1, denominator: 2 }.space_overhead(8),
+            0.1875
+        );
+    }
+
+    #[test]
+    fn small_shape() {
+        let c = RaddConfig::small_g4();
+        assert_eq!(c.num_sites(), 6);
+        assert_eq!(c.blocks_per_disk(), 12);
+    }
+}

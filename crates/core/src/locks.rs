@@ -1,0 +1,235 @@
+//! Block-grain dynamic locking (§3.3).
+//!
+//! "During normal operations, any concurrency control scheme can be used.
+//! However, we will assume that dynamic locking is employed. Hence, reads
+//! and writes set the appropriate locks on each data block … If a site is
+//! down, then read and write locks are set on the spare block … Parity
+//! blocks are never locked."
+//!
+//! [`LockManager`] is a plain shared/exclusive lock table keyed by
+//! `(site, row)`. It is used by the cluster's foreground operations and by
+//! the recovery daemon ("lock each valid spare block, copy its contents …"),
+//! and re-used by the `radd-txn` crate for transaction-duration 2PL.
+
+use radd_layout::{PhysRow, SiteId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Shared (read) or exclusive (write) lock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LockKind {
+    /// Multiple readers may hold the lock together.
+    Shared,
+    /// Excludes all other holders.
+    Exclusive,
+}
+
+/// An opaque lock owner (transaction id, daemon id, …).
+pub type OwnerId = u64;
+
+#[derive(Debug, Default, Clone)]
+struct Entry {
+    exclusive: Option<OwnerId>,
+    shared: Vec<OwnerId>,
+}
+
+/// A lock table over `(site, row)` block addresses.
+///
+/// `try_lock` either grants immediately or reports a conflict — the
+/// simulation has no blocking threads, so waiting policies (timeouts,
+/// wait-die) are built on top by callers.
+#[derive(Debug, Default, Clone)]
+pub struct LockManager {
+    table: HashMap<(SiteId, PhysRow), Entry>,
+}
+
+/// The result of a failed lock attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockConflict {
+    /// The owner currently standing in the way.
+    pub holder: OwnerId,
+}
+
+impl LockManager {
+    /// An empty lock table.
+    pub fn new() -> LockManager {
+        LockManager::default()
+    }
+
+    /// Try to acquire a lock on `(site, row)` for `owner`. Re-acquiring a
+    /// lock the owner already holds succeeds (and upgrades shared→exclusive
+    /// when the owner is the only reader).
+    pub fn try_lock(
+        &mut self,
+        site: SiteId,
+        row: PhysRow,
+        kind: LockKind,
+        owner: OwnerId,
+    ) -> Result<(), LockConflict> {
+        let e = self.table.entry((site, row)).or_default();
+        match kind {
+            LockKind::Shared => {
+                if let Some(x) = e.exclusive {
+                    if x != owner {
+                        return Err(LockConflict { holder: x });
+                    }
+                    // Owner already holds exclusive — shared is implied.
+                    return Ok(());
+                }
+                if !e.shared.contains(&owner) {
+                    e.shared.push(owner);
+                }
+                Ok(())
+            }
+            LockKind::Exclusive => {
+                if let Some(x) = e.exclusive {
+                    if x == owner {
+                        return Ok(());
+                    }
+                    return Err(LockConflict { holder: x });
+                }
+                match e.shared.as_slice() {
+                    [] => {
+                        e.exclusive = Some(owner);
+                        Ok(())
+                    }
+                    [only] if *only == owner => {
+                        // Upgrade: sole reader becomes writer.
+                        e.shared.clear();
+                        e.exclusive = Some(owner);
+                        Ok(())
+                    }
+                    others => Err(LockConflict {
+                        holder: *others.iter().find(|&&o| o != owner).unwrap_or(&owner),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Release whatever `owner` holds on `(site, row)`.
+    pub fn unlock(&mut self, site: SiteId, row: PhysRow, owner: OwnerId) {
+        if let Some(e) = self.table.get_mut(&(site, row)) {
+            if e.exclusive == Some(owner) {
+                e.exclusive = None;
+            }
+            e.shared.retain(|&o| o != owner);
+            if e.exclusive.is_none() && e.shared.is_empty() {
+                self.table.remove(&(site, row));
+            }
+        }
+    }
+
+    /// Release everything `owner` holds (end of transaction).
+    pub fn release_all(&mut self, owner: OwnerId) {
+        self.table.retain(|_, e| {
+            if e.exclusive == Some(owner) {
+                e.exclusive = None;
+            }
+            e.shared.retain(|&o| o != owner);
+            e.exclusive.is_some() || !e.shared.is_empty()
+        });
+    }
+
+    /// Number of blocks with at least one lock held.
+    pub fn locked_blocks(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Does `owner` hold a lock of at least `kind` strength on the block?
+    pub fn holds(&self, site: SiteId, row: PhysRow, kind: LockKind, owner: OwnerId) -> bool {
+        match self.table.get(&(site, row)) {
+            None => false,
+            Some(e) => match kind {
+                LockKind::Exclusive => e.exclusive == Some(owner),
+                LockKind::Shared => e.exclusive == Some(owner) || e.shared.contains(&owner),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut lm = LockManager::new();
+        lm.try_lock(0, 5, LockKind::Shared, 1).unwrap();
+        lm.try_lock(0, 5, LockKind::Shared, 2).unwrap();
+        assert!(lm.holds(0, 5, LockKind::Shared, 1));
+        assert!(lm.holds(0, 5, LockKind::Shared, 2));
+    }
+
+    #[test]
+    fn exclusive_excludes() {
+        let mut lm = LockManager::new();
+        lm.try_lock(0, 5, LockKind::Exclusive, 1).unwrap();
+        assert_eq!(
+            lm.try_lock(0, 5, LockKind::Exclusive, 2).unwrap_err(),
+            LockConflict { holder: 1 }
+        );
+        assert_eq!(
+            lm.try_lock(0, 5, LockKind::Shared, 2).unwrap_err(),
+            LockConflict { holder: 1 }
+        );
+    }
+
+    #[test]
+    fn shared_blocks_exclusive() {
+        let mut lm = LockManager::new();
+        lm.try_lock(0, 5, LockKind::Shared, 1).unwrap();
+        assert!(lm.try_lock(0, 5, LockKind::Exclusive, 2).is_err());
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let mut lm = LockManager::new();
+        lm.try_lock(0, 5, LockKind::Shared, 1).unwrap();
+        lm.try_lock(0, 5, LockKind::Shared, 1).unwrap();
+        // Sole reader upgrades.
+        lm.try_lock(0, 5, LockKind::Exclusive, 1).unwrap();
+        assert!(lm.holds(0, 5, LockKind::Exclusive, 1));
+        // Holder of exclusive can take shared.
+        lm.try_lock(0, 5, LockKind::Shared, 1).unwrap();
+        assert!(lm.holds(0, 5, LockKind::Exclusive, 1), "still exclusive");
+    }
+
+    #[test]
+    fn upgrade_blocked_by_other_reader() {
+        let mut lm = LockManager::new();
+        lm.try_lock(0, 5, LockKind::Shared, 1).unwrap();
+        lm.try_lock(0, 5, LockKind::Shared, 2).unwrap();
+        assert!(lm.try_lock(0, 5, LockKind::Exclusive, 1).is_err());
+    }
+
+    #[test]
+    fn unlock_releases() {
+        let mut lm = LockManager::new();
+        lm.try_lock(0, 5, LockKind::Exclusive, 1).unwrap();
+        lm.unlock(0, 5, 1);
+        assert_eq!(lm.locked_blocks(), 0);
+        lm.try_lock(0, 5, LockKind::Exclusive, 2).unwrap();
+    }
+
+    #[test]
+    fn release_all_frees_every_block() {
+        let mut lm = LockManager::new();
+        lm.try_lock(0, 1, LockKind::Exclusive, 7).unwrap();
+        lm.try_lock(1, 2, LockKind::Shared, 7).unwrap();
+        lm.try_lock(1, 2, LockKind::Shared, 8).unwrap();
+        lm.release_all(7);
+        assert!(!lm.holds(0, 1, LockKind::Exclusive, 7));
+        assert!(lm.holds(1, 2, LockKind::Shared, 8), "other owners keep theirs");
+        assert_eq!(lm.locked_blocks(), 1);
+    }
+
+    #[test]
+    fn distinct_blocks_independent() {
+        let mut lm = LockManager::new();
+        lm.try_lock(0, 1, LockKind::Exclusive, 1).unwrap();
+        lm.try_lock(0, 2, LockKind::Exclusive, 2).unwrap();
+        lm.try_lock(1, 1, LockKind::Exclusive, 3).unwrap();
+        assert_eq!(lm.locked_blocks(), 3);
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based testing of the RADD cluster against an oracle.
+//!
+//! A random sequence of writes, reads, failures, restores and recoveries is
+//! applied to a small cluster while a plain `HashMap` tracks the logical
+//! contents. Invariants checked throughout:
+//!
+//! * every successful read returns exactly the oracle's contents (durability
+//!   + consistency through any single failure);
+//! * operations never corrupt silently — they either succeed or return a
+//!   typed error;
+//! * after the dust settles (everything repaired), the parity invariant
+//!   holds over every row and every block reads back at local cost.
+
+use proptest::prelude::*;
+use radd_core::{Actor, RaddCluster, RaddConfig, RaddError, SiteState};
+use std::collections::HashMap;
+
+const BLOCK: usize = 32;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { site: usize, index: u64, tag: u8 },
+    Read { site: usize, index: u64 },
+    FailSite { site: usize },
+    Disaster { site: usize },
+    Repair { site: usize },
+}
+
+fn arb_op(sites: usize, indices: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..sites, 0..indices, any::<u8>())
+            .prop_map(|(site, index, tag)| Op::Write { site, index, tag }),
+        4 => (0..sites, 0..indices).prop_map(|(site, index)| Op::Read { site, index }),
+        1 => (0..sites).prop_map(|site| Op::FailSite { site }),
+        1 => (0..sites).prop_map(|site| Op::Disaster { site }),
+        2 => (0..sites).prop_map(|site| Op::Repair { site }),
+    ]
+}
+
+fn repair(cluster: &mut RaddCluster, site: usize) {
+    if cluster.site_state(site) == SiteState::Down {
+        cluster.restore_site(site);
+    }
+    if cluster.site_state(site) == SiteState::Recovering {
+        cluster.run_recovery(site).expect("single-failure recovery succeeds");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_ops_never_lose_or_corrupt_data(
+        ops in proptest::collection::vec(arb_op(6, 8), 1..80),
+    ) {
+        let mut cfg = RaddConfig::small_g4();
+        cfg.block_size = BLOCK;
+        let mut cluster = RaddCluster::new(cfg).unwrap();
+        let mut oracle: HashMap<(usize, u64), Vec<u8>> = HashMap::new();
+        // At most one site failed at a time (the paper's failure model);
+        // extra failure ops repair the previous site first.
+        let mut failed: Option<usize> = None;
+
+        for op in &ops {
+            match *op {
+                Op::Write { site, index, tag } => {
+                    let index = index % cluster.data_capacity(site);
+                    let data = vec![tag; BLOCK];
+                    match cluster.write(Actor::Client, site, index, &data) {
+                        Ok(_) => {
+                            oracle.insert((site, index), data);
+                        }
+                        Err(e) => prop_assert!(
+                            matches!(e, RaddError::Unavailable { .. } | RaddError::MultipleFailure { .. }),
+                            "unexpected write error {e:?}"
+                        ),
+                    }
+                }
+                Op::Read { site, index } => {
+                    let index = index % cluster.data_capacity(site);
+                    match cluster.read(Actor::Client, site, index) {
+                        Ok((got, _)) => {
+                            let want = oracle
+                                .get(&(site, index))
+                                .cloned()
+                                .unwrap_or_else(|| vec![0u8; BLOCK]);
+                            prop_assert_eq!(&got[..], &want[..], "site {} idx {}", site, index);
+                        }
+                        Err(e) => prop_assert!(
+                            matches!(e, RaddError::MultipleFailure { .. }),
+                            "unexpected read error {e:?}"
+                        ),
+                    }
+                }
+                Op::FailSite { site } | Op::Disaster { site } => {
+                    if let Some(f) = failed {
+                        repair(&mut cluster, f);
+                    }
+                    if matches!(op, Op::Disaster { .. }) {
+                        cluster.disaster(site);
+                    } else {
+                        cluster.fail_site(site);
+                    }
+                    failed = Some(site);
+                }
+                Op::Repair { site } => {
+                    if cluster.site_state(site) != SiteState::Up {
+                        repair(&mut cluster, site);
+                        if failed == Some(site) {
+                            failed = None;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Quiesce: repair anything still broken, then check everything.
+        for site in 0..6 {
+            if cluster.site_state(site) != SiteState::Up {
+                repair(&mut cluster, site);
+            }
+        }
+        for (&(site, index), want) in &oracle {
+            let (got, receipt) = cluster.read(Actor::Site(site), site, index).unwrap();
+            prop_assert_eq!(&got[..], &want[..], "final state: site {} idx {}", site, index);
+            prop_assert_eq!(receipt.counts.formula(), "R", "fully recovered ⇒ local read");
+        }
+        prop_assert!(cluster.verify_parity().is_ok());
+    }
+
+    /// The cost model never charges a successful healthy read more than R
+    /// nor a write more than W+RW, regardless of history.
+    #[test]
+    fn healthy_costs_are_tight(
+        writes in proptest::collection::vec((0usize..6, 0u64..8, any::<u8>()), 1..30),
+    ) {
+        let mut cfg = RaddConfig::small_g4();
+        cfg.block_size = BLOCK;
+        let mut cluster = RaddCluster::new(cfg).unwrap();
+        for &(site, index, tag) in &writes {
+            let index = index % cluster.data_capacity(site);
+            let r = cluster.write(Actor::Site(site), site, index, &[tag; BLOCK]).unwrap();
+            prop_assert_eq!(r.counts.formula(), "W+RW");
+            let (_, r) = cluster.read(Actor::Site(site), site, index).unwrap();
+            prop_assert_eq!(r.counts.formula(), "R");
+        }
+    }
+}

@@ -1,0 +1,558 @@
+//! End-to-end protocol tests for the RADD cluster, including exact checks
+//! of the paper's Figure 3 operation-count formulas and Figure 4 latencies.
+
+use radd_core::{
+    Actor, ParityMode, RaddCluster, RaddConfig, RaddError, SiteState, SparePolicy,
+};
+use radd_net::PartitionMap;
+
+fn cluster_g4() -> RaddCluster {
+    RaddCluster::new(RaddConfig::small_g4()).unwrap()
+}
+
+fn cluster_g8() -> RaddCluster {
+    let mut cfg = RaddConfig::paper_g8();
+    cfg.block_size = 256; // keep tests fast
+    RaddCluster::new(cfg).unwrap()
+}
+
+fn block(cluster: &RaddCluster, tag: u8) -> Vec<u8> {
+    vec![tag; cluster.config().block_size]
+}
+
+// ---------------------------------------------------------------------
+// Normal operation (Figure 3 rows 1–2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn no_failure_read_costs_r() {
+    let mut c = cluster_g8();
+    let data = block(&c, 7);
+    c.write(Actor::Site(0), 0, 3, &data).unwrap();
+    let (got, receipt) = c.read(Actor::Site(0), 0, 3).unwrap();
+    assert_eq!(&got[..], &data[..]);
+    assert_eq!(receipt.counts.formula(), "R");
+    assert_eq!(receipt.latency.as_millis(), 30); // Figure 4
+}
+
+#[test]
+fn no_failure_write_costs_w_plus_rw() {
+    let mut c = cluster_g8();
+    let receipt = c.write(Actor::Site(2), 2, 0, &block(&c, 9)).unwrap();
+    assert_eq!(receipt.counts.formula(), "W+RW");
+    assert_eq!(receipt.latency.as_millis(), 105); // Figure 4: 30 + 75
+}
+
+#[test]
+fn write_then_read_roundtrip_all_sites() {
+    let mut c = cluster_g4();
+    for site in 0..6 {
+        for idx in 0..c.data_capacity(site) {
+            let data = vec![(site as u8) * 16 + idx as u8 + 1; c.config().block_size];
+            c.write(Actor::Site(site), site, idx, &data).unwrap();
+        }
+    }
+    for site in 0..6 {
+        for idx in 0..c.data_capacity(site) {
+            let want = vec![(site as u8) * 16 + idx as u8 + 1; c.config().block_size];
+            let (got, _) = c.read(Actor::Site(site), site, idx).unwrap();
+            assert_eq!(&got[..], &want[..], "site {site} idx {idx}");
+        }
+    }
+    c.verify_parity().unwrap();
+}
+
+#[test]
+fn parity_invariant_after_repeated_overwrites() {
+    let mut c = cluster_g4();
+    for round in 0..5u8 {
+        for site in 0..6 {
+            let data = vec![round.wrapping_mul(31).wrapping_add(site as u8); 64];
+            c.write(Actor::Site(site), site, 1, &data).unwrap();
+        }
+        c.verify_parity().unwrap();
+    }
+}
+
+#[test]
+fn out_of_range_and_wrong_size_rejected() {
+    let mut c = cluster_g4();
+    let cap = c.data_capacity(0);
+    assert!(matches!(
+        c.read(Actor::Client, 0, cap).unwrap_err(),
+        RaddError::OutOfRange { .. }
+    ));
+    assert!(matches!(
+        c.write(Actor::Client, 0, 0, &[1, 2, 3]).unwrap_err(),
+        RaddError::WrongBlockSize { .. }
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Site failure (Figure 3 rows 6–7)
+// ---------------------------------------------------------------------
+
+#[test]
+fn site_failure_first_read_costs_g_rr() {
+    let mut c = cluster_g8();
+    let data = block(&c, 5);
+    c.write(Actor::Site(4), 4, 2, &data).unwrap();
+    c.fail_site(4);
+    c.reset_stats();
+    let (got, receipt) = c.read(Actor::Client, 4, 2).unwrap();
+    assert_eq!(&got[..], &data[..], "reconstruction recovers the data");
+    assert_eq!(receipt.counts.formula(), "8*RR"); // G*RR with G = 8
+    assert_eq!(receipt.latency.as_millis(), 600); // Figure 4
+}
+
+#[test]
+fn site_failure_subsequent_read_uses_spare() {
+    let mut c = cluster_g8();
+    let data = block(&c, 5);
+    c.write(Actor::Site(4), 4, 2, &data).unwrap();
+    c.fail_site(4);
+    c.read(Actor::Client, 4, 2).unwrap(); // reconstruct + install spare
+    let (got, receipt) = c.read(Actor::Client, 4, 2).unwrap();
+    assert_eq!(&got[..], &data[..]);
+    assert_eq!(receipt.counts.formula(), "RR", "spare resolves the read");
+}
+
+#[test]
+fn site_failure_write_costs_2_rw() {
+    let mut c = cluster_g8();
+    c.fail_site(4);
+    let receipt = c.write(Actor::Client, 4, 2, &block(&c, 8)).unwrap();
+    assert_eq!(receipt.counts.formula(), "2*RW");
+    assert_eq!(receipt.latency.as_millis(), 150); // Figure 4
+}
+
+#[test]
+fn down_site_write_then_read_sees_new_data() {
+    let mut c = cluster_g4();
+    let old = block(&c, 1);
+    let new = block(&c, 2);
+    c.write(Actor::Site(3), 3, 0, &old).unwrap();
+    c.fail_site(3);
+    c.write(Actor::Client, 3, 0, &new).unwrap();
+    let (got, _) = c.read(Actor::Client, 3, 0).unwrap();
+    assert_eq!(&got[..], &new[..]);
+    c.verify_parity().unwrap();
+}
+
+#[test]
+fn writes_survive_temporary_failure_and_recovery() {
+    let mut c = cluster_g4();
+    let v1 = block(&c, 1);
+    let v2 = block(&c, 2);
+    c.write(Actor::Site(2), 2, 1, &v1).unwrap();
+    c.fail_site(2);
+    c.write(Actor::Client, 2, 1, &v2).unwrap();
+    c.restore_site(2);
+    assert_eq!(c.site_state(2), SiteState::Recovering);
+    let report = c.run_recovery(2).unwrap();
+    assert_eq!(c.site_state(2), SiteState::Up);
+    assert_eq!(report.spares_drained, 1);
+    // The recovered site serves the new content locally.
+    let (got, receipt) = c.read(Actor::Site(2), 2, 1).unwrap();
+    assert_eq!(&got[..], &v2[..]);
+    assert_eq!(receipt.counts.formula(), "R");
+    c.verify_parity().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Recovering state (Figure 3 row 5: previously reconstructed read)
+// ---------------------------------------------------------------------
+
+#[test]
+fn recovering_read_of_spare_superseded_block_costs_r_plus_rr() {
+    let mut c = cluster_g8();
+    let v1 = block(&c, 1);
+    let v2 = block(&c, 2);
+    c.write(Actor::Site(3), 3, 0, &v1).unwrap();
+    c.fail_site(3);
+    c.write(Actor::Client, 3, 0, &v2).unwrap(); // lands in the spare
+    c.restore_site(3);
+    c.reset_stats();
+    let (got, receipt) = c.read(Actor::Site(3), 3, 0).unwrap();
+    assert_eq!(&got[..], &v2[..], "the spare supersedes the stale local block");
+    assert_eq!(receipt.counts.formula(), "R+RR"); // Figure 3 row 5
+    assert_eq!(receipt.latency.as_millis(), 105); // Figure 4
+}
+
+#[test]
+fn recovering_read_refreshes_local_block_as_side_effect() {
+    let mut c = cluster_g4();
+    let v2 = block(&c, 2);
+    c.write(Actor::Site(3), 3, 0, &block(&c, 1)).unwrap();
+    c.fail_site(3);
+    c.write(Actor::Client, 3, 0, &v2).unwrap();
+    c.restore_site(3);
+    c.read(Actor::Site(3), 3, 0).unwrap();
+    // Second read is now purely local.
+    let (got, receipt) = c.read(Actor::Site(3), 3, 0).unwrap();
+    assert_eq!(&got[..], &v2[..]);
+    assert_eq!(receipt.counts.formula(), "R");
+}
+
+#[test]
+fn recovering_read_of_untouched_block_is_local() {
+    let mut c = cluster_g4();
+    let v = block(&c, 9);
+    c.write(Actor::Site(1), 1, 2, &v).unwrap();
+    c.fail_site(1);
+    c.restore_site(1);
+    let (got, receipt) = c.read(Actor::Site(1), 1, 2).unwrap();
+    assert_eq!(&got[..], &v[..]);
+    // No spare exists: local read plus the free validity probe.
+    assert_eq!(receipt.counts.formula(), "R");
+}
+
+#[test]
+fn recovering_write_invalidates_spare() {
+    let mut c = cluster_g4();
+    let v2 = block(&c, 2);
+    let v3 = block(&c, 3);
+    c.write(Actor::Site(0), 0, 0, &block(&c, 1)).unwrap();
+    c.fail_site(0);
+    c.write(Actor::Client, 0, 0, &v2).unwrap(); // spare now valid
+    c.restore_site(0);
+    let receipt = c.write(Actor::Site(0), 0, 0, &v3).unwrap();
+    assert_eq!(receipt.counts.formula(), "W+RW", "writes proceed as for up sites");
+    let (got, _) = c.read(Actor::Site(0), 0, 0).unwrap();
+    assert_eq!(&got[..], &v3[..]);
+    c.verify_parity().unwrap();
+    // Recovery finds nothing left to drain.
+    let report = c.run_recovery(0).unwrap();
+    assert_eq!(report.spares_drained, 0);
+}
+
+// ---------------------------------------------------------------------
+// Disk failure (Figure 3 rows 3–4)
+// ---------------------------------------------------------------------
+
+#[test]
+fn disk_failure_read_costs_g_rr() {
+    let mut c = cluster_g8();
+    let data = block(&c, 6);
+    c.write(Actor::Site(1), 1, 0, &data).unwrap();
+    let row = c.geometry().data_to_physical(1, 0);
+    let disk = (row / c.config().blocks_per_disk()) as usize;
+    c.fail_disk(1, disk);
+    assert_eq!(c.site_state(1), SiteState::Recovering);
+    c.reset_stats();
+    let (got, receipt) = c.read(Actor::Site(1), 1, 0).unwrap();
+    assert_eq!(&got[..], &data[..]);
+    assert_eq!(receipt.counts.formula(), "8*RR"); // Figure 3: G*RR
+    assert_eq!(receipt.latency.as_millis(), 600);
+}
+
+#[test]
+fn disk_failure_write_costs_2_rw() {
+    let mut c = cluster_g8();
+    let row = c.geometry().data_to_physical(1, 0);
+    let disk = (row / c.config().blocks_per_disk()) as usize;
+    c.fail_disk(1, disk);
+    let receipt = c.write(Actor::Site(1), 1, 0, &block(&c, 3)).unwrap();
+    assert_eq!(receipt.counts.formula(), "2*RW");
+    assert_eq!(receipt.latency.as_millis(), 150);
+}
+
+#[test]
+fn blocks_on_healthy_disks_unaffected_by_disk_failure() {
+    let mut c = cluster_g8();
+    // Site 1, two blocks on different disks.
+    let i_failed = 0u64;
+    let i_ok = c.data_capacity(1) - 1;
+    let row_a = c.geometry().data_to_physical(1, i_failed);
+    let row_b = c.geometry().data_to_physical(1, i_ok);
+    let bpd = c.config().blocks_per_disk();
+    assert_ne!(row_a / bpd, row_b / bpd, "pick blocks on distinct disks");
+    let data = block(&c, 4);
+    c.write(Actor::Site(1), 1, i_ok, &data).unwrap();
+    c.fail_disk(1, (row_a / bpd) as usize);
+    let (got, receipt) = c.read(Actor::Site(1), 1, i_ok).unwrap();
+    assert_eq!(&got[..], &data[..]);
+    assert_eq!(receipt.counts.formula(), "R", "healthy disk still local");
+}
+
+#[test]
+fn disk_replacement_and_recovery_rebuilds_contents() {
+    let mut c = cluster_g4();
+    // Populate everything.
+    for site in 0..6 {
+        for idx in 0..c.data_capacity(site) {
+            let data = vec![(site * 7 + idx as usize + 1) as u8; 64];
+            c.write(Actor::Site(site), site, idx, &data).unwrap();
+        }
+    }
+    // Site 2 loses its only disk.
+    c.fail_disk(2, 0);
+    c.replace_disk(2, 0);
+    let report = c.run_recovery(2).unwrap();
+    assert!(report.data_reconstructed > 0);
+    assert!(report.parity_rebuilt > 0);
+    assert_eq!(c.site_state(2), SiteState::Up);
+    for idx in 0..c.data_capacity(2) {
+        let want = [(2 * 7 + idx as usize + 1) as u8; 64];
+        let (got, receipt) = c.read(Actor::Site(2), 2, idx).unwrap();
+        assert_eq!(&got[..], &want[..], "idx {idx}");
+        assert_eq!(receipt.counts.formula(), "R");
+    }
+    c.verify_parity().unwrap();
+}
+
+// ---------------------------------------------------------------------
+// Disasters
+// ---------------------------------------------------------------------
+
+#[test]
+fn disaster_recovery_restores_all_data() {
+    let mut c = cluster_g4();
+    for site in 0..6 {
+        for idx in 0..c.data_capacity(site) {
+            let data = vec![(site * 11 + idx as usize + 1) as u8; 64];
+            c.write(Actor::Site(site), site, idx, &data).unwrap();
+        }
+    }
+    c.disaster(5);
+    // Data of the destroyed site stays readable (reconstruction)…
+    let (got, _) = c.read(Actor::Client, 5, 0).unwrap();
+    assert_eq!(&got[..], &vec![(5 * 11 + 1) as u8; 64][..]);
+    // …and writable (spare).
+    let newv = vec![0xEE; 64];
+    c.write(Actor::Client, 5, 1, &newv).unwrap();
+    // Restore on blank hardware and recover.
+    c.restore_site(5);
+    let report = c.run_recovery(5).unwrap();
+    assert!(report.spares_drained >= 1);
+    assert!(report.data_reconstructed > 0);
+    for idx in 0..c.data_capacity(5) {
+        let want = if idx == 1 {
+            newv.clone()
+        } else {
+            vec![(5 * 11 + idx as usize + 1) as u8; 64]
+        };
+        let (got, _) = c.read(Actor::Site(5), 5, idx).unwrap();
+        assert_eq!(&got[..], &want[..], "idx {idx}");
+    }
+    c.verify_parity().unwrap();
+}
+
+#[test]
+fn writes_to_other_sites_proceed_during_disaster() {
+    let mut c = cluster_g4();
+    c.disaster(0);
+    for site in 1..6 {
+        let receipt = c.write(Actor::Site(site), site, 0, &block(&c, site as u8)).unwrap();
+        // Some rows have their parity at site 0 (down) — those writes pay
+        // extra background work but still complete.
+        assert!(receipt.counts.local_writes + receipt.counts.remote_writes >= 2);
+    }
+    c.restore_site(0);
+    c.run_recovery(0).unwrap();
+    c.verify_parity().unwrap();
+    for site in 1..6 {
+        let (got, _) = c.read(Actor::Site(site), site, 0).unwrap();
+        assert_eq!(&got[..], &block(&c, site as u8)[..]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Multiple failures are refused, not corrupted
+// ---------------------------------------------------------------------
+
+#[test]
+fn double_site_failure_is_detected() {
+    let mut c = cluster_g4();
+    c.write(Actor::Site(2), 2, 0, &block(&c, 1)).unwrap();
+    c.fail_site(2);
+    c.fail_site(3);
+    let err = c.read(Actor::Client, 2, 0).unwrap_err();
+    assert!(
+        matches!(err, RaddError::MultipleFailure { .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn spare_conflict_between_two_failed_sites_is_detected() {
+    // Two sites fail in sequence; the second one's block in the same row
+    // would need the same spare.
+    let mut c = cluster_g4();
+    c.write(Actor::Site(2), 2, 0, &block(&c, 1)).unwrap();
+    let row = c.geometry().data_to_physical(2, 0);
+    // Find another data site in the same row.
+    let other = *c
+        .geometry()
+        .data_sites(row)
+        .iter()
+        .find(|&&s| s != 2)
+        .unwrap();
+    let other_idx = c.geometry().physical_to_data(other, row).unwrap();
+    c.fail_site(2);
+    c.read(Actor::Client, 2, 0).unwrap(); // installs the spare for site 2
+    c.restore_site(2);
+    c.fail_site(other);
+    let err = c.read(Actor::Client, other, other_idx).unwrap_err();
+    assert!(matches!(err, RaddError::MultipleFailure { .. }), "got {err:?}");
+}
+
+// ---------------------------------------------------------------------
+// Spare policy ablation (§7.2)
+// ---------------------------------------------------------------------
+
+#[test]
+fn no_spares_every_down_read_reconstructs() {
+    let mut cfg = RaddConfig::small_g4();
+    cfg.spare_policy = SparePolicy::None;
+    let mut c = RaddCluster::new(cfg).unwrap();
+    let data = block(&c, 2);
+    c.write(Actor::Site(1), 1, 0, &data).unwrap();
+    c.fail_site(1);
+    for _ in 0..3 {
+        let (got, receipt) = c.read(Actor::Client, 1, 0).unwrap();
+        assert_eq!(&got[..], &data[..]);
+        assert_eq!(receipt.counts.formula(), "4*RR", "no spare: G*RR every time");
+    }
+}
+
+#[test]
+fn no_spares_down_writes_are_unavailable() {
+    let mut cfg = RaddConfig::small_g4();
+    cfg.spare_policy = SparePolicy::None;
+    let mut c = RaddCluster::new(cfg).unwrap();
+    c.fail_site(1);
+    let err = c.write(Actor::Client, 1, 0, &block(&c, 1)).unwrap_err();
+    assert!(matches!(err, RaddError::Unavailable { site: 1 }));
+}
+
+// ---------------------------------------------------------------------
+// §3.3 UID validation under in-flight parity updates
+// ---------------------------------------------------------------------
+
+#[test]
+fn queued_parity_makes_reconstruction_inconsistent_until_flush() {
+    let mut cfg = RaddConfig::small_g4();
+    cfg.parity_mode = ParityMode::Queued;
+    let mut c = RaddCluster::new(cfg).unwrap();
+    let data = block(&c, 3);
+    c.write(Actor::Site(2), 2, 0, &data).unwrap();
+    assert_eq!(c.pending_parity_updates(), 1);
+    // Reconstruction of a *different* site's block in the same row sees a
+    // data UID the parity array has not recorded yet.
+    let row = c.geometry().data_to_physical(2, 0);
+    let victim = *c
+        .geometry()
+        .data_sites(row)
+        .iter()
+        .find(|&&s| s != 2)
+        .unwrap();
+    let victim_idx = c.geometry().physical_to_data(victim, row).unwrap();
+    c.fail_site(victim);
+    let err = c.read(Actor::Client, victim, victim_idx).unwrap_err();
+    assert!(matches!(err, RaddError::InconsistentRead { site: 2 }), "got {err:?}");
+    // After the parity message lands, the retry succeeds (§3.3: "must be
+    // retried").
+    c.flush_parity().unwrap();
+    let (_, receipt) = c.read(Actor::Client, victim, victim_idx).unwrap();
+    assert_eq!(receipt.counts.formula(), "4*RR");
+}
+
+#[test]
+fn disabling_uid_validation_returns_stale_garbage() {
+    // The ablation: without §3.3 validation, reconstruction silently XORs a
+    // new data block against an old parity block.
+    let mut cfg = RaddConfig::small_g4();
+    cfg.parity_mode = ParityMode::Queued;
+    cfg.uid_validation = false;
+    let mut c = RaddCluster::new(cfg).unwrap();
+    let victim_data = block(&c, 1);
+    c.write(Actor::Site(3), 3, 0, &victim_data).unwrap();
+    c.flush_parity().unwrap();
+    let row = c.geometry().data_to_physical(3, 0);
+    let writer = *c
+        .geometry()
+        .data_sites(row)
+        .iter()
+        .find(|&&s| s != 3)
+        .unwrap();
+    let writer_idx = c.geometry().physical_to_data(writer, row).unwrap();
+    c.write(Actor::Site(writer), writer, writer_idx, &block(&c, 0xFF))
+        .unwrap(); // parity update stays queued
+    c.fail_site(3);
+    let (got, _) = c.read(Actor::Client, 3, 0).unwrap();
+    assert_ne!(&got[..], &victim_data[..], "unvalidated read returned stale data");
+}
+
+// ---------------------------------------------------------------------
+// §5 partitions
+// ---------------------------------------------------------------------
+
+#[test]
+fn single_failure_like_partition_behaves_as_site_failure() {
+    let mut c = cluster_g4();
+    let data = block(&c, 4);
+    c.write(Actor::Site(2), 2, 0, &data).unwrap();
+    c.set_partition(PartitionMap::isolate(6, 2));
+    // The majority reads the isolated site's data via reconstruction.
+    let (got, receipt) = c.read(Actor::Client, 2, 0).unwrap();
+    assert_eq!(&got[..], &data[..]);
+    assert_eq!(receipt.counts.formula(), "4*RR");
+    // The isolated site must cease processing.
+    let err = c.read(Actor::Site(2), 2, 0).unwrap_err();
+    assert!(matches!(err, RaddError::ActorIsolated { site: 2 }));
+    // Healing restores normal operation.
+    c.set_partition(PartitionMap::connected(6));
+    let (_, receipt) = c.read(Actor::Site(2), 2, 0).unwrap();
+    assert_eq!(receipt.counts.formula(), "R");
+}
+
+#[test]
+fn multi_way_partition_blocks_everyone() {
+    let mut c = cluster_g4();
+    c.set_partition(PartitionMap::from_groups(vec![0, 0, 0, 1, 1, 1]));
+    assert!(matches!(
+        c.read(Actor::Client, 0, 0).unwrap_err(),
+        RaddError::Blocked
+    ));
+    assert!(matches!(
+        c.write(Actor::Site(1), 1, 0, &block(&c, 1)).unwrap_err(),
+        RaddError::Blocked
+    ));
+}
+
+// ---------------------------------------------------------------------
+// Traffic accounting sanity (full §7.4 analysis lives in the bench)
+// ---------------------------------------------------------------------
+
+#[test]
+fn small_edits_ship_small_parity_messages() {
+    let mut cfg = RaddConfig::paper_g8();
+    cfg.block_size = 4096;
+    let mut c = RaddCluster::new(cfg).unwrap();
+    let mut page = vec![0u8; 4096];
+    c.write(Actor::Site(0), 0, 0, &page).unwrap();
+    c.reset_stats();
+    // A 100-byte record update.
+    for b in &mut page[500..600] {
+        *b = 0xAB;
+    }
+    c.write(Actor::Site(0), 0, 0, &page).unwrap();
+    let bytes = c.traffic().parity_updates.bytes_sent;
+    assert!(bytes < 200, "parity message was {bytes} bytes");
+    assert!(
+        (bytes as f64) < 0.05 * 4096.0,
+        "§7.4: mask traffic ≪ block size"
+    );
+}
+
+#[test]
+fn tracer_records_reconstruction() {
+    let mut c = cluster_g4();
+    c.set_tracer(radd_sim::Tracer::enabled());
+    c.write(Actor::Site(1), 1, 0, &block(&c, 1)).unwrap();
+    c.fail_site(1);
+    c.read(Actor::Client, 1, 0).unwrap();
+    assert_eq!(c.tracer().count_kind("reconstruct"), 1);
+    assert!(c.tracer().count_kind("parity_update") >= 1);
+}

@@ -1,0 +1,171 @@
+//! Cluster geometry: group size, site count, and the §3.1 space accounting.
+//!
+//! For a site with `N·B` physical blocks the paper prescribes
+//!
+//! ```text
+//! N·B·G/(G+2)   data blocks
+//! N·B/(G+2)     parity blocks
+//! N·B/(G+2)     spare blocks
+//! ```
+//!
+//! [`Geometry`] owns these counts and the derived space-overhead figure
+//! (Figure 2: 2 extra blocks per `G` data blocks, i.e. `2/G` — 25 % at the
+//! paper's `G = 8`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static shape of a RADD cluster: `G + 2` sites, each holding `rows`
+/// physical blocks that rotate through the parity/spare/data roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geometry {
+    group_size: usize,
+    rows: u64,
+}
+
+/// Errors constructing a [`Geometry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// `G` must be at least 1.
+    ZeroGroup,
+    /// There must be at least one block row.
+    ZeroRows,
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::ZeroGroup => write!(f, "group size G must be ≥ 1"),
+            GeometryError::ZeroRows => write!(f, "cluster must have at least one block row"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+impl Geometry {
+    /// A geometry with group size `G` and `rows` physical block rows per
+    /// site. Data capacity per site is maximised when `rows` is a multiple
+    /// of `G + 2` (each complete cycle gives every site exactly `G` data
+    /// blocks).
+    pub fn new(group_size: usize, rows: u64) -> Result<Self, GeometryError> {
+        if group_size == 0 {
+            return Err(GeometryError::ZeroGroup);
+        }
+        if rows == 0 {
+            return Err(GeometryError::ZeroRows);
+        }
+        Ok(Geometry { group_size, rows })
+    }
+
+    /// The paper's evaluation geometry: `G = 8`, so 10 sites.
+    pub fn paper_g8(rows: u64) -> Self {
+        Geometry::new(8, rows).expect("valid")
+    }
+
+    /// Group size `G`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of sites `m = G + 2`.
+    pub fn num_sites(&self) -> usize {
+        self.group_size + 2
+    }
+
+    /// Physical block rows per site.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+
+    /// Number of *data* blocks each site can store. Each complete cycle of
+    /// `G + 2` rows contributes `G`; a trailing partial cycle contributes its
+    /// non-special rows, which depends on the site, so this conservative
+    /// count uses complete cycles only.
+    pub fn data_blocks_per_site(&self) -> u64 {
+        (self.rows / self.num_sites() as u64) * self.group_size as u64
+    }
+
+    /// Number of parity blocks per site (complete cycles).
+    pub fn parity_blocks_per_site(&self) -> u64 {
+        self.rows / self.num_sites() as u64
+    }
+
+    /// Number of spare blocks per site (complete cycles).
+    pub fn spare_blocks_per_site(&self) -> u64 {
+        self.rows / self.num_sites() as u64
+    }
+
+    /// Space overhead as a fraction of data capacity: `2/G` with one spare
+    /// block per parity block (Figure 2 reports 25 % for `G = 8`).
+    pub fn space_overhead(&self) -> f64 {
+        2.0 / self.group_size as f64
+    }
+
+    /// Space overhead without spare blocks (`1/G`), the lower-availability
+    /// configuration §7.2 mentions.
+    pub fn space_overhead_no_spares(&self) -> f64 {
+        1.0 / self.group_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        assert_eq!(Geometry::new(0, 10), Err(GeometryError::ZeroGroup));
+        assert_eq!(Geometry::new(4, 0), Err(GeometryError::ZeroRows));
+    }
+
+    #[test]
+    fn paper_g8_has_ten_sites() {
+        let geo = Geometry::paper_g8(100);
+        assert_eq!(geo.group_size(), 8);
+        assert_eq!(geo.num_sites(), 10);
+    }
+
+    #[test]
+    fn space_overhead_matches_figure2() {
+        // Figure 2: RADD at G = 8 → 25 %; 1/2-RADD (G = 4) → 50 %.
+        assert_eq!(Geometry::paper_g8(10).space_overhead(), 0.25);
+        assert_eq!(Geometry::new(4, 6).unwrap().space_overhead(), 0.5);
+    }
+
+    #[test]
+    fn block_composition_matches_section_31() {
+        // N·B = 60 blocks per site, G = 4, m = 6:
+        // data = 60·4/6 = 40, parity = 10, spare = 10.
+        let geo = Geometry::new(4, 60).unwrap();
+        assert_eq!(geo.data_blocks_per_site(), 40);
+        assert_eq!(geo.parity_blocks_per_site(), 10);
+        assert_eq!(geo.spare_blocks_per_site(), 10);
+    }
+
+    #[test]
+    fn composition_sums_to_rows_for_complete_cycles() {
+        for g in [1usize, 2, 4, 8] {
+            let m = g as u64 + 2;
+            let geo = Geometry::new(g, 7 * m).unwrap();
+            assert_eq!(
+                geo.data_blocks_per_site()
+                    + geo.parity_blocks_per_site()
+                    + geo.spare_blocks_per_site(),
+                geo.rows()
+            );
+        }
+    }
+
+    #[test]
+    fn no_spare_overhead_is_half() {
+        let geo = Geometry::paper_g8(10);
+        assert_eq!(geo.space_overhead_no_spares(), 0.125);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GeometryError::ZeroGroup.to_string().contains("G"));
+        assert!(GeometryError::ZeroRows.to_string().contains("row"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Section 4: forming RADD groups from sites with unequal disk systems.
+//!
+//! Given `L > G + 2` sites with `N[0], …, N[L-1]` drives, a total of
+//! `A·(G+2)` drives, and no site holding more than `A` drives, the paper's
+//! greedy algorithm builds `A` groups of `G + 2` drives, each group drawing
+//! its drives from `G + 2` *different* sites: repeatedly take one drive from
+//! each of the `G + 2` sites with the most remaining drives.
+//!
+//! Non-uniform disk *sizes* reduce to the same problem by chunking each
+//! site's blocks into logical drives of a common size `B`
+//! ([`chunk_logical_drives`]).
+
+use crate::placement::SiteId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A drive (physical or logical) participating in group assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LogicalDrive {
+    /// The site owning the drive.
+    pub site: SiteId,
+    /// Index of the drive within its site.
+    pub drive: usize,
+}
+
+/// Why group assignment is impossible for the given inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupError {
+    /// The total number of drives is not a multiple of `G + 2`.
+    TotalNotMultiple {
+        /// Total drives across all sites.
+        total: usize,
+        /// Required group width `G + 2`.
+        width: usize,
+    },
+    /// Some site holds more than `A = total / (G+2)` drives, so its drives
+    /// cannot all land in distinct groups.
+    SiteTooLarge {
+        /// The offending site.
+        site: SiteId,
+        /// Its drive count.
+        drives: usize,
+        /// The maximum allowed, `A`.
+        max: usize,
+    },
+}
+
+impl fmt::Display for GroupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GroupError::TotalNotMultiple { total, width } => {
+                write!(f, "total drive count {total} is not a multiple of G+2 = {width}")
+            }
+            GroupError::SiteTooLarge { site, drives, max } => {
+                write!(f, "site {site} has {drives} drives, more than A = {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GroupError {}
+
+/// Run the Section 4 greedy algorithm.
+///
+/// `drives_per_site[i]` is `N[i]`; `group_width` is `G + 2`. On success,
+/// returns `A` groups, each containing exactly `group_width` drives, all on
+/// distinct sites.
+///
+/// ```
+/// use radd_layout::assign_groups;
+/// // 5 sites with 2+2+2+1+1 = 8 drives, G+2 = 4 → A = 2 groups.
+/// let groups = assign_groups(&[2, 2, 2, 1, 1], 4).unwrap();
+/// assert_eq!(groups.len(), 2);
+/// for g in &groups {
+///     let mut sites: Vec<_> = g.iter().map(|d| d.site).collect();
+///     sites.dedup();
+///     assert_eq!(sites.len(), 4, "all drives on distinct sites");
+/// }
+/// ```
+pub fn assign_groups(
+    drives_per_site: &[usize],
+    group_width: usize,
+) -> Result<Vec<Vec<LogicalDrive>>, GroupError> {
+    assert!(group_width >= 1, "group width must be positive");
+    let total: usize = drives_per_site.iter().sum();
+    if !total.is_multiple_of(group_width) {
+        return Err(GroupError::TotalNotMultiple {
+            total,
+            width: group_width,
+        });
+    }
+    let a = total / group_width;
+    if let Some((site, &drives)) = drives_per_site
+        .iter()
+        .enumerate()
+        .find(|&(_, &n)| n > a)
+    {
+        return Err(GroupError::SiteTooLarge {
+            site,
+            drives,
+            max: a,
+        });
+    }
+    // Note: "too few non-empty sites" cannot happen once the two checks
+    // above pass — the paper's own argument: if only k < G+2 sites had
+    // drives, then total ≤ k·A < (G+2)·A = total, a contradiction. The same
+    // argument applies inductively each round, which is why the greedy pick
+    // below always finds `group_width` sites with drives remaining.
+    let mut remaining: Vec<usize> = drives_per_site.to_vec();
+    // Next drive index to hand out per site.
+    let mut next_drive: Vec<usize> = vec![0; drives_per_site.len()];
+    let mut groups = Vec::with_capacity(a);
+
+    for _round in 0..a {
+        // Pick the `group_width` sites with the most remaining drives,
+        // breaking ties by site id (the paper allows arbitrary tie-breaks;
+        // site id keeps the result deterministic).
+        let mut order: Vec<SiteId> = (0..remaining.len()).collect();
+        order.sort_by(|&x, &y| remaining[y].cmp(&remaining[x]).then(x.cmp(&y)));
+        let chosen = &order[..group_width];
+        debug_assert!(
+            chosen.iter().all(|&s| remaining[s] > 0),
+            "invariant of the paper's §4 argument: the top G+2 sites all \
+             still have drives"
+        );
+        let mut group = Vec::with_capacity(group_width);
+        for &site in chosen {
+            group.push(LogicalDrive {
+                site,
+                drive: next_drive[site],
+            });
+            next_drive[site] += 1;
+            remaining[site] -= 1;
+        }
+        groups.push(group);
+    }
+    debug_assert!(remaining.iter().all(|&n| n == 0));
+    Ok(groups)
+}
+
+/// Chunk per-site block capacities into logical drives of `chunk_blocks`
+/// blocks each, the §4 reduction for non-uniform disk *sizes*. Returns the
+/// logical-drive count per site. Errors if some site's capacity is not a
+/// multiple of the chunk size ("assuming that B divides the total number of
+/// blocks at each site").
+pub fn chunk_logical_drives(
+    blocks_per_site: &[u64],
+    chunk_blocks: u64,
+) -> Result<Vec<usize>, ChunkError> {
+    assert!(chunk_blocks > 0, "chunk size must be positive");
+    blocks_per_site
+        .iter()
+        .enumerate()
+        .map(|(site, &blocks)| {
+            if blocks % chunk_blocks != 0 {
+                Err(ChunkError {
+                    site,
+                    blocks,
+                    chunk: chunk_blocks,
+                })
+            } else {
+                Ok((blocks / chunk_blocks) as usize)
+            }
+        })
+        .collect()
+}
+
+/// A site capacity that the chunk size does not divide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkError {
+    /// The offending site.
+    pub site: SiteId,
+    /// Its block count.
+    pub blocks: u64,
+    /// The chunk size that fails to divide it.
+    pub chunk: u64,
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "site {} has {} blocks, not a multiple of chunk size {}",
+            self.site, self.blocks, self.chunk
+        )
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid(groups: &[Vec<LogicalDrive>], drives_per_site: &[usize], width: usize) {
+        let total: usize = drives_per_site.iter().sum();
+        assert_eq!(groups.len(), total / width);
+        let mut used_per_site = vec![0usize; drives_per_site.len()];
+        for g in groups {
+            assert_eq!(g.len(), width);
+            let mut sites: Vec<_> = g.iter().map(|d| d.site).collect();
+            sites.sort_unstable();
+            sites.dedup();
+            assert_eq!(sites.len(), width, "distinct sites within a group");
+            for d in g {
+                assert_eq!(d.drive, {
+                    let u = used_per_site[d.site];
+                    used_per_site[d.site] += 1;
+                    u
+                });
+            }
+        }
+        assert_eq!(used_per_site, drives_per_site, "every drive used exactly once");
+    }
+
+    #[test]
+    fn uniform_sites() {
+        let n = [5, 5, 5, 5, 5, 5];
+        let groups = assign_groups(&n, 6).unwrap();
+        assert_valid(&groups, &n, 6);
+    }
+
+    #[test]
+    fn skewed_sites() {
+        // 8 sites, total 24, width 4, A = 6, max(N) = 6 ≤ A.
+        let n = [6, 5, 4, 3, 3, 1, 1, 1];
+        let groups = assign_groups(&n, 4).unwrap();
+        assert_valid(&groups, &n, 4);
+    }
+
+    #[test]
+    fn max_equal_to_a_is_feasible() {
+        // One site holds exactly A drives — must appear in every group.
+        let n = [3, 1, 1, 1, 1, 2, 3];
+        // total = 12, width 4 → A = 3, max = 3.
+        let groups = assign_groups(&n, 4).unwrap();
+        assert_valid(&groups, &n, 4);
+        for g in &groups {
+            assert!(g.iter().any(|d| d.site == 0), "site 0 in every group");
+        }
+    }
+
+    #[test]
+    fn rejects_non_multiple_total() {
+        let err = assign_groups(&[3, 3, 3], 4).unwrap_err();
+        assert!(matches!(err, GroupError::TotalNotMultiple { total: 9, width: 4 }));
+    }
+
+    #[test]
+    fn rejects_oversized_site() {
+        // total = 8, width 4 → A = 2, but site 0 has 3 > 2.
+        let err = assign_groups(&[3, 3, 1, 1], 4).unwrap_err();
+        assert!(matches!(
+            err,
+            GroupError::SiteTooLarge { site: 0, drives: 3, max: 2 }
+        ));
+    }
+
+    #[test]
+    fn too_few_sites_is_unreachable() {
+        // If fewer than `width` sites have drives, some site must exceed
+        // A = total/width (the paper's §4 argument), so the SiteTooLarge
+        // check always fires first.
+        let err = assign_groups(&[2, 2, 0, 0], 4).unwrap_err();
+        assert!(matches!(err, GroupError::SiteTooLarge { .. }));
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let groups = assign_groups(&[0, 0, 0, 0], 4).unwrap();
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn chunking_uniform() {
+        let counts = chunk_logical_drives(&[400, 200, 600], 100).unwrap();
+        assert_eq!(counts, vec![4, 2, 6]);
+    }
+
+    #[test]
+    fn chunking_rejects_remainder() {
+        let err = chunk_logical_drives(&[400, 250], 100).unwrap_err();
+        assert_eq!(err.site, 1);
+        assert_eq!(err.blocks, 250);
+    }
+
+    #[test]
+    fn chunk_then_group_end_to_end() {
+        // §4 example flavour: heterogeneous capacities, B = 50 blocks.
+        let blocks = [200u64, 200, 200, 150, 150, 100, 100, 100];
+        let drives = chunk_logical_drives(&blocks, 50).unwrap();
+        // total logical drives = 4+4+4+3+3+2+2+2 = 24; width 6 → A = 4,
+        // and no site exceeds A.
+        let groups = assign_groups(&drives, 6).unwrap();
+        assert_valid(&groups, &drives, 6);
+    }
+
+    #[test]
+    fn error_messages_mention_values() {
+        let e = assign_groups(&[3, 3, 3], 4).unwrap_err();
+        assert!(e.to_string().contains('9'));
+        let e = chunk_logical_drives(&[7], 2).unwrap_err();
+        assert!(e.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,31 @@
+//! # radd-layout — block placement for a RADD cluster
+//!
+//! A RADD spreads redundancy across `G + 2` sites. Every physical block row
+//! `K` (the same block number at every site) contains exactly one **parity**
+//! block, one **spare** block, and `G` **data** blocks, with the parity and
+//! spare roles rotating round-robin across sites (paper Figure 1):
+//!
+//! ```text
+//!           S[0] S[1] S[2] S[3] S[4] S[5]        (G = 4)
+//! block 0     P    S    0    0    0    0
+//! block 1     0    P    S    1    1    1
+//! block 2     1    0    P    S    2    2
+//! block 3     2    1    1    P    S    3
+//! block 4     3    2    2    2    P    S
+//! block 5     S    3    3    3    3    P
+//! ```
+//!
+//! [`placement`] implements the row→role mapping and the logical⇄physical
+//! data-block addressing; [`grouping`] implements the Section 4 greedy
+//! algorithm that forms RADD groups out of sites with unequal numbers (and
+//! sizes) of disks.
+
+#![warn(missing_docs)]
+
+pub mod geometry;
+pub mod grouping;
+pub mod placement;
+
+pub use geometry::Geometry;
+pub use grouping::{assign_groups, chunk_logical_drives, ChunkError, GroupError, LogicalDrive};
+pub use placement::{DataIndex, PhysRow, Role, SiteId};

@@ -1,0 +1,324 @@
+//! Row→role mapping and data-block addressing (paper Figure 1 and §3.2).
+//!
+//! With `m = G + 2` sites, physical row `K` places:
+//!
+//! * the **parity** block at site `A = K mod m` — the paper's step W2,
+//!   `A = remainder(K / (G+2))`;
+//! * the **spare** block at site `A' = (K + 1) mod m` — the paper's
+//!   `A' = remainder((K+1) / (G+2))`;
+//! * **data** blocks at the remaining `G` sites, numbered `0, 1, 2, …`
+//!   per site in ascending row order.
+//!
+//! The paper gives the logical→physical formula for site `S[1]`
+//! (`K = (G+2)·⌊I/G⌋ + (I mod G) + 2`); [`Geometry::data_to_physical`]
+//! generalises it to every site and [`Geometry::physical_to_data`] inverts it.
+
+use crate::geometry::Geometry;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a site (column of Figure 1), `0 ≤ SiteId < G + 2`.
+pub type SiteId = usize;
+
+/// A physical block row number `K` (same row exists at every site).
+pub type PhysRow = u64;
+
+/// A site-local logical data block number `I` (what clients read and write).
+pub type DataIndex = u64;
+
+/// The role a physical block plays at a particular site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Role {
+    /// Holds parity for the `G` data blocks of this row at other sites.
+    Parity,
+    /// Stand-in storage for this row's blocks while another site is down.
+    Spare,
+    /// Holds local site data; the payload is the site-local data index `I`.
+    Data(DataIndex),
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Parity => write!(f, "P"),
+            Role::Spare => write!(f, "S"),
+            Role::Data(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl Geometry {
+    /// The site holding the parity block of row `K` (paper step W2).
+    pub fn parity_site(&self, row: PhysRow) -> SiteId {
+        (row % self.num_sites() as u64) as SiteId
+    }
+
+    /// The site holding the spare block of row `K`.
+    pub fn spare_site(&self, row: PhysRow) -> SiteId {
+        ((row + 1) % self.num_sites() as u64) as SiteId
+    }
+
+    /// The role block row `row` plays at site `site`.
+    pub fn role(&self, site: SiteId, row: PhysRow) -> Role {
+        debug_assert!(site < self.num_sites());
+        if self.parity_site(row) == site {
+            Role::Parity
+        } else if self.spare_site(row) == site {
+            Role::Spare
+        } else {
+            Role::Data(self.physical_to_data(site, row).expect("non-special row is data"))
+        }
+    }
+
+    /// Row offsets within one cycle of `m` rows at which `site` stores data,
+    /// in ascending order. These are all offsets except the parity offset
+    /// (`site`) and the spare offset (`site - 1 mod m`).
+    fn data_offsets(&self, site: SiteId) -> impl Iterator<Item = u64> + '_ {
+        let m = self.num_sites() as u64;
+        let s = site as u64;
+        let spare_off = (s + m - 1) % m;
+        (0..m).filter(move |&o| o != s && o != spare_off)
+    }
+
+    /// Physical row `K` holding the `I`-th data block of `site`
+    /// (generalisation of the paper's site-`S[1]` formula).
+    pub fn data_to_physical(&self, site: SiteId, index: DataIndex) -> PhysRow {
+        debug_assert!(site < self.num_sites());
+        let g = self.group_size() as u64;
+        let m = self.num_sites() as u64;
+        let cycle = index / g;
+        let i = index % g;
+        let offset = self
+            .data_offsets(site)
+            .nth(i as usize)
+            .expect("i < G data offsets per cycle");
+        cycle * m + offset
+    }
+
+    /// Inverse of [`data_to_physical`]: the data index stored at row `K` of
+    /// `site`, or `None` if that row is the site's parity or spare block.
+    ///
+    /// [`data_to_physical`]: Geometry::data_to_physical
+    pub fn physical_to_data(&self, site: SiteId, row: PhysRow) -> Option<DataIndex> {
+        debug_assert!(site < self.num_sites());
+        let m = self.num_sites() as u64;
+        let g = self.group_size() as u64;
+        let o = row % m;
+        let rank = self.data_offsets(site).position(|d| d == o)?;
+        Some((row / m) * g + rank as u64)
+    }
+
+    /// Number of data blocks `site` can store within the geometry's `rows`
+    /// physical rows (complete cycles contribute `G` each; a trailing
+    /// partial cycle contributes its data rows below the cut).
+    pub fn data_capacity(&self, site: SiteId) -> u64 {
+        let m = self.num_sites() as u64;
+        let g = self.group_size() as u64;
+        let full = self.rows() / m;
+        let rem = self.rows() % m;
+        let partial = self.data_offsets(site).filter(|&o| o < rem).count() as u64;
+        full * g + partial
+    }
+
+    /// The sites holding data blocks in row `K`, ascending (everything except
+    /// the parity and spare sites). These are the `G` blocks XORed together
+    /// by the paper's reconstruction formula (2).
+    pub fn data_sites(&self, row: PhysRow) -> Vec<SiteId> {
+        let p = self.parity_site(row);
+        let s = self.spare_site(row);
+        (0..self.num_sites()).filter(|&j| j != p && j != s).collect()
+    }
+
+    /// Render the layout table for the first `rows` rows, matching the
+    /// paper's Figure 1 presentation.
+    pub fn render_figure(&self, rows: u64) -> String {
+        let mut out = String::new();
+        out.push_str("         ");
+        for j in 0..self.num_sites() {
+            out.push_str(&format!("S[{j}]  "));
+        }
+        out.push('\n');
+        for k in 0..rows {
+            out.push_str(&format!("block {k:<3}"));
+            for j in 0..self.num_sites() {
+                out.push_str(&format!("{:<6}", self.role(j, k).to_string()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g4() -> Geometry {
+        Geometry::new(4, 6).unwrap()
+    }
+
+    /// The exact Figure 1 table from the paper, G = 4, rows 0–5.
+    #[test]
+    fn figure1_exact_match() {
+        let geo = g4();
+        let expected: [[&str; 6]; 6] = [
+            ["P", "S", "0", "0", "0", "0"],
+            ["0", "P", "S", "1", "1", "1"],
+            ["1", "0", "P", "S", "2", "2"],
+            ["2", "1", "1", "P", "S", "3"],
+            ["3", "2", "2", "2", "P", "S"],
+            ["S", "3", "3", "3", "3", "P"],
+        ];
+        for (k, row) in expected.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(
+                    geo.role(j, k as u64).to_string(),
+                    *cell,
+                    "row {k} site {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_site1_formula() {
+        // K = (G+2)*quotient(I/G) + remainder(I/G) + 2 for site S[1].
+        let geo = g4();
+        for i in 0..40u64 {
+            let k = 6 * (i / 4) + (i % 4) + 2;
+            assert_eq!(geo.data_to_physical(1, i), k, "I={i}");
+        }
+    }
+
+    #[test]
+    fn parity_and_spare_sites_rotate() {
+        let geo = g4();
+        for k in 0..24u64 {
+            assert_eq!(geo.parity_site(k), (k % 6) as usize);
+            assert_eq!(geo.spare_site(k), ((k + 1) % 6) as usize);
+            assert_ne!(geo.parity_site(k), geo.spare_site(k));
+        }
+    }
+
+    #[test]
+    fn each_row_has_one_parity_one_spare_g_data() {
+        let geo = Geometry::new(8, 100).unwrap();
+        for k in 0..100u64 {
+            let mut p = 0;
+            let mut s = 0;
+            let mut d = 0;
+            for j in 0..geo.num_sites() {
+                match geo.role(j, k) {
+                    Role::Parity => p += 1,
+                    Role::Spare => s += 1,
+                    Role::Data(_) => d += 1,
+                }
+            }
+            assert_eq!((p, s, d), (1, 1, 8), "row {k}");
+        }
+    }
+
+    #[test]
+    fn addressing_roundtrip() {
+        for g in [1usize, 2, 4, 8, 16] {
+            let geo = Geometry::new(g, 10 * (g as u64 + 2)).unwrap();
+            for site in 0..geo.num_sites() {
+                for i in 0..(8 * g as u64) {
+                    let k = geo.data_to_physical(site, i);
+                    assert_eq!(
+                        geo.physical_to_data(site, k),
+                        Some(i),
+                        "G={g} site={site} I={i}"
+                    );
+                    assert_eq!(geo.role(site, k), Role::Data(i));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn physical_to_data_rejects_special_rows() {
+        let geo = g4();
+        // Site 2: parity at rows ≡ 2, spare at rows ≡ 1 (mod 6).
+        assert_eq!(geo.physical_to_data(2, 2), None);
+        assert_eq!(geo.physical_to_data(2, 1), None);
+        assert_eq!(geo.physical_to_data(2, 8), None);
+        assert!(geo.physical_to_data(2, 0).is_some());
+    }
+
+    #[test]
+    fn data_indices_ascend_with_rows() {
+        // Figure 1 numbers data blocks in ascending physical order.
+        let geo = Geometry::new(8, 1000).unwrap();
+        for site in 0..geo.num_sites() {
+            let mut last = None;
+            for k in 0..1000u64 {
+                if let Some(i) = geo.physical_to_data(site, k) {
+                    if let Some(prev) = last {
+                        assert_eq!(i, prev + 1, "site {site} row {k}");
+                    } else {
+                        assert_eq!(i, 0);
+                    }
+                    last = Some(i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_sites_excludes_parity_and_spare() {
+        let geo = g4();
+        for k in 0..12u64 {
+            let ds = geo.data_sites(k);
+            assert_eq!(ds.len(), 4);
+            assert!(!ds.contains(&geo.parity_site(k)));
+            assert!(!ds.contains(&geo.spare_site(k)));
+        }
+    }
+
+    #[test]
+    fn render_matches_header_and_rows() {
+        let geo = g4();
+        let s = geo.render_figure(6);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 7);
+        assert!(lines[0].contains("S[0]") && lines[0].contains("S[5]"));
+        assert!(lines[1].starts_with("block 0"));
+        assert!(lines[1].contains('P'));
+    }
+
+    #[test]
+    fn data_capacity_counts_exactly_the_mappable_indices() {
+        for g in [1usize, 3, 4, 8] {
+            for rows in 1..40u64 {
+                let geo = Geometry::new(g, rows).unwrap();
+                for site in 0..geo.num_sites() {
+                    let cap = geo.data_capacity(site);
+                    // Every index below cap maps inside the row budget…
+                    if cap > 0 {
+                        assert!(geo.data_to_physical(site, cap - 1) < rows);
+                    }
+                    // …and cap itself maps outside it.
+                    assert!(geo.data_to_physical(site, cap) >= rows);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_size_one_rowb_analogue() {
+        // The paper notes ROWB "is essentially the same as a RADD with a
+        // group size of 1": with G = 1 every row is one data block, one
+        // parity block (the mirror), one spare.
+        let geo = Geometry::new(1, 9).unwrap();
+        for k in 0..9u64 {
+            let mut data = 0;
+            for j in 0..3 {
+                if matches!(geo.role(j, k), Role::Data(_)) {
+                    data += 1;
+                }
+            }
+            assert_eq!(data, 1);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the layout math: the addressing must be a
+//! bijection between logical data indices and non-special physical rows for
+//! every geometry, and group assignment must succeed exactly when the paper's
+//! preconditions hold.
+
+use proptest::prelude::*;
+use radd_layout::{assign_groups, Geometry, Role};
+
+proptest! {
+    /// data_to_physical and physical_to_data are mutually inverse.
+    #[test]
+    fn addressing_is_bijective(g in 1usize..12, site_sel in 0usize..14, idx in 0u64..10_000) {
+        let geo = Geometry::new(g, u64::MAX / 2).unwrap();
+        let site = site_sel % geo.num_sites();
+        let k = geo.data_to_physical(site, idx);
+        prop_assert_eq!(geo.physical_to_data(site, k), Some(idx));
+        prop_assert_eq!(geo.role(site, k), Role::Data(idx));
+    }
+
+    /// Every physical row decomposes into exactly 1 parity + 1 spare + G data.
+    #[test]
+    fn row_composition(g in 1usize..12, row in 0u64..100_000) {
+        let geo = Geometry::new(g, u64::MAX / 2).unwrap();
+        let mut parity = 0;
+        let mut spare = 0;
+        let mut data = 0;
+        for j in 0..geo.num_sites() {
+            match geo.role(j, row) {
+                Role::Parity => parity += 1,
+                Role::Spare => spare += 1,
+                Role::Data(_) => data += 1,
+            }
+        }
+        prop_assert_eq!((parity, spare, data), (1, 1, g));
+    }
+
+    /// Distinct data indices at one site map to distinct rows.
+    #[test]
+    fn no_aliasing(g in 1usize..10, a in 0u64..5_000, b in 0u64..5_000) {
+        prop_assume!(a != b);
+        let geo = Geometry::new(g, u64::MAX / 2).unwrap();
+        for site in 0..geo.num_sites() {
+            prop_assert_ne!(geo.data_to_physical(site, a), geo.data_to_physical(site, b));
+        }
+    }
+
+    /// Group assignment succeeds whenever totals divide and no site exceeds A,
+    /// and the result uses each drive once with distinct sites per group.
+    #[test]
+    fn grouping_succeeds_under_preconditions(
+        width in 2usize..8,
+        mut counts in proptest::collection::vec(0usize..6, 8..20),
+    ) {
+        // Massage counts to satisfy the preconditions: pad the total to a
+        // multiple of `width` by incrementing the smallest sites.
+        let mut total: usize = counts.iter().sum();
+        while !total.is_multiple_of(width) {
+            let i = (0..counts.len()).min_by_key(|&i| counts[i]).unwrap();
+            counts[i] += 1;
+            total += 1;
+        }
+        let a = total / width;
+        for c in counts.iter_mut() {
+            if *c > a { *c = a; }
+        }
+        // Re-pad after clamping (clamping can break divisibility).
+        let mut total: usize = counts.iter().sum();
+        while !total.is_multiple_of(width) {
+            let i = (0..counts.len())
+                .filter(|&i| counts[i] < total / width)
+                .min_by_key(|&i| counts[i]);
+            match i {
+                Some(i) => { counts[i] += 1; total += 1; }
+                None => break,
+            }
+        }
+        let total: usize = counts.iter().sum();
+        let a = total / width;
+        prop_assume!(total.is_multiple_of(width));
+        prop_assume!(counts.iter().all(|&c| c <= a));
+        prop_assume!(counts.iter().filter(|&&c| c > 0).count() >= width || a == 0);
+
+        let groups = assign_groups(&counts, width).unwrap();
+        prop_assert_eq!(groups.len(), a);
+        let mut used = vec![0usize; counts.len()];
+        for g in &groups {
+            let mut sites: Vec<_> = g.iter().map(|d| d.site).collect();
+            sites.sort_unstable();
+            sites.dedup();
+            prop_assert_eq!(sites.len(), width);
+            for d in g { used[d.site] += 1; }
+        }
+        prop_assert_eq!(used, counts);
+    }
+}

@@ -1,0 +1,206 @@
+//! A point-to-point link on the simulation clock.
+//!
+//! [`LossyLink`] models one direction of a connection: sends are delayed by
+//! a configurable latency, dropped with a configurable probability, and
+//! blocked entirely while the link is partitioned. Deliveries surface in
+//! timestamp order via [`LossyLink::poll`].
+
+use crate::stats::NetStats;
+use radd_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+/// Link behaviour knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// One-way delivery latency.
+    pub latency: SimDuration,
+    /// Probability each message is silently lost.
+    pub loss_probability: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency: SimDuration::from_millis(5),
+            loss_probability: 0.0,
+        }
+    }
+}
+
+/// A message that arrived at the receiving end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// When it arrived (virtual time).
+    pub at: SimTime,
+    /// The payload.
+    pub payload: M,
+}
+
+/// One direction of a link with latency, loss, and partitioning.
+#[derive(Debug)]
+pub struct LossyLink<M> {
+    config: LinkConfig,
+    queue: EventQueue<M>,
+    rng: SimRng,
+    partitioned: bool,
+    stats: NetStats,
+}
+
+impl<M> LossyLink<M> {
+    /// A link with the given behaviour, seeded for reproducible loss.
+    pub fn new(config: LinkConfig, seed: u64) -> LossyLink<M> {
+        assert!(
+            (0.0..=1.0).contains(&config.loss_probability),
+            "loss probability out of range"
+        );
+        LossyLink {
+            config,
+            queue: EventQueue::new(),
+            rng: SimRng::seed_from_u64(seed),
+            partitioned: false,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Current virtual time at this link.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Sever (or heal) the link. While severed, every send is dropped.
+    pub fn set_partitioned(&mut self, partitioned: bool) {
+        self.partitioned = partitioned;
+    }
+
+    /// True while the link is severed.
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
+    }
+
+    /// Hand a message of `size` payload bytes to the link at time `now`.
+    /// Returns whether the network accepted it for delivery (callers cannot
+    /// observe this in a real system; it exists for tests and statistics).
+    pub fn send(&mut self, now: SimTime, payload: M, size: usize) -> bool {
+        self.queue.advance_to(now);
+        self.stats.record_send(size);
+        if self.partitioned || self.rng.chance(self.config.loss_probability) {
+            self.stats.record_drop();
+            return false;
+        }
+        self.queue.schedule(self.config.latency, payload);
+        true
+    }
+
+    /// Deliver every message whose arrival time is ≤ `now`, in order.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Delivery<M>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.queue.peek_time() {
+            if t > now {
+                break;
+            }
+            let (at, payload) = self.queue.pop().expect("peeked event exists");
+            self.stats.record_delivery();
+            out.push(Delivery { at, payload });
+        }
+        out
+    }
+
+    /// Number of messages still in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn delivers_after_latency() {
+        let mut link = LossyLink::new(LinkConfig::default(), 1);
+        link.send(t(0), "hello", 5);
+        assert!(link.poll(t(4)).is_empty(), "not yet");
+        let got = link.poll(t(5));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].payload, "hello");
+        assert_eq!(got[0].at, t(5));
+    }
+
+    #[test]
+    fn preserves_order_of_same_latency_sends() {
+        let mut link = LossyLink::new(LinkConfig::default(), 1);
+        for i in 0..10 {
+            link.send(t(i), i, 1);
+        }
+        let got = link.poll(t(100));
+        let payloads: Vec<u64> = got.iter().map(|d| d.payload).collect();
+        assert_eq!(payloads, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn lossless_link_drops_nothing() {
+        let mut link = LossyLink::new(LinkConfig::default(), 7);
+        for i in 0..100 {
+            assert!(link.send(t(i), (), 10));
+        }
+        assert_eq!(link.poll(t(1000)).len(), 100);
+        assert_eq!(link.stats().messages_dropped, 0);
+        assert_eq!(link.stats().bytes_sent, 1000);
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_p() {
+        let mut link = LossyLink::new(
+            LinkConfig {
+                latency: SimDuration::from_millis(1),
+                loss_probability: 0.3,
+            },
+            42,
+        );
+        for i in 0..10_000 {
+            link.send(t(i), (), 1);
+        }
+        let rate = link.stats().loss_rate();
+        assert!((rate - 0.3).abs() < 0.03, "loss rate {rate}");
+    }
+
+    #[test]
+    fn partition_drops_everything() {
+        let mut link = LossyLink::new(LinkConfig::default(), 1);
+        link.set_partitioned(true);
+        assert!(!link.send(t(0), (), 1));
+        assert!(link.poll(t(100)).is_empty());
+        link.set_partitioned(false);
+        assert!(link.send(t(100), (), 1));
+        assert_eq!(link.poll(t(200)).len(), 1);
+    }
+
+    #[test]
+    fn messages_sent_before_partition_still_arrive() {
+        // Partitioning severs the link for new sends; messages already in
+        // flight were already on the wire.
+        let mut link = LossyLink::new(LinkConfig::default(), 1);
+        link.send(t(0), "early", 1);
+        link.set_partitioned(true);
+        let got = link.poll(t(10));
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn in_flight_counts_pending() {
+        let mut link = LossyLink::new(LinkConfig::default(), 1);
+        link.send(t(0), (), 1);
+        link.send(t(1), (), 1);
+        assert_eq!(link.in_flight(), 2);
+        link.poll(t(100));
+        assert_eq!(link.in_flight(), 0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Network partitions and the §5 single-failure classification.
+//!
+//! "In the case of network partitions, we assume that the sites divide into
+//! two or more mutually exclusive collections that can communicate within
+//! individual partitions but not across partition boundaries. If the
+//! partition looks like a single failure, e.g. there are two collections
+//! with respectively G+1 and 1 site, then the algorithms of Section 3 apply
+//! to the partition with G+1 members. … Any other network partition looks
+//! like a multiple site failure … the system must block."
+
+use serde::{Deserialize, Serialize};
+
+/// Assignment of sites to partition groups. Group ids are arbitrary labels;
+/// two sites can communicate iff they share a group.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionMap {
+    group_of: Vec<u32>,
+}
+
+/// What a partition means for RADD availability (§5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionVerdict {
+    /// All sites in one group — no partition, normal operation.
+    Connected,
+    /// The split looks like a single site failure: the listed majority group
+    /// (`G + 1` of the `G + 2` sites) may run the Section 3 algorithms,
+    /// treating the singleton as down; the singleton must cease processing.
+    SingleFailureLike {
+        /// Sites in the surviving majority partition.
+        majority: Vec<usize>,
+        /// The isolated site, treated as down.
+        isolated: usize,
+    },
+    /// Any other split is a multiple failure: block until reconnection.
+    MustBlock,
+}
+
+impl PartitionMap {
+    /// All `n` sites connected (one group).
+    pub fn connected(n: usize) -> PartitionMap {
+        PartitionMap {
+            group_of: vec![0; n],
+        }
+    }
+
+    /// Build from an explicit site→group assignment.
+    pub fn from_groups(group_of: Vec<u32>) -> PartitionMap {
+        PartitionMap { group_of }
+    }
+
+    /// Isolate one site from the rest.
+    pub fn isolate(n: usize, site: usize) -> PartitionMap {
+        let mut group_of = vec![0u32; n];
+        group_of[site] = 1;
+        PartitionMap { group_of }
+    }
+
+    /// Number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.group_of.len()
+    }
+
+    /// Can `a` and `b` exchange messages?
+    pub fn can_communicate(&self, a: usize, b: usize) -> bool {
+        self.group_of[a] == self.group_of[b]
+    }
+
+    /// The sites sharing a group with `site` (including itself).
+    pub fn group_members(&self, site: usize) -> Vec<usize> {
+        let g = self.group_of[site];
+        (0..self.group_of.len())
+            .filter(|&j| self.group_of[j] == g)
+            .collect()
+    }
+
+    /// Classify per §5 for a cluster of `G + 2` sites.
+    pub fn classify(&self, group_size_g: usize) -> PartitionVerdict {
+        let n = self.group_of.len();
+        debug_assert_eq!(n, group_size_g + 2, "RADD cluster has G+2 sites");
+        let mut groups: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+        for (site, &g) in self.group_of.iter().enumerate() {
+            groups.entry(g).or_default().push(site);
+        }
+        match groups.len() {
+            1 => PartitionVerdict::Connected,
+            2 => {
+                let mut parts: Vec<Vec<usize>> = groups.into_values().collect();
+                parts.sort_by_key(|p| p.len());
+                let (small, large) = (&parts[0], &parts[1]);
+                if small.len() == 1 && large.len() == group_size_g + 1 {
+                    PartitionVerdict::SingleFailureLike {
+                        majority: large.clone(),
+                        isolated: small[0],
+                    }
+                } else {
+                    PartitionVerdict::MustBlock
+                }
+            }
+            _ => PartitionVerdict::MustBlock,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connected_cluster() {
+        let p = PartitionMap::connected(10);
+        assert_eq!(p.classify(8), PartitionVerdict::Connected);
+        assert!(p.can_communicate(0, 9));
+        assert_eq!(p.group_members(3).len(), 10);
+    }
+
+    #[test]
+    fn isolating_one_site_is_single_failure_like() {
+        let p = PartitionMap::isolate(10, 4);
+        assert!(!p.can_communicate(4, 0));
+        assert!(p.can_communicate(0, 9));
+        match p.classify(8) {
+            PartitionVerdict::SingleFailureLike { majority, isolated } => {
+                assert_eq!(isolated, 4);
+                assert_eq!(majority.len(), 9);
+                assert!(!majority.contains(&4));
+            }
+            v => panic!("unexpected verdict {v:?}"),
+        }
+    }
+
+    #[test]
+    fn even_split_must_block() {
+        let p = PartitionMap::from_groups(vec![0, 0, 0, 1, 1, 1]);
+        assert_eq!(p.classify(4), PartitionVerdict::MustBlock);
+    }
+
+    #[test]
+    fn two_isolated_sites_must_block() {
+        // 8 + 1 + 1 split of a G=8 cluster: multiple failure.
+        let mut groups = vec![0u32; 10];
+        groups[2] = 1;
+        groups[7] = 2;
+        let p = PartitionMap::from_groups(groups);
+        assert_eq!(p.classify(8), PartitionVerdict::MustBlock);
+    }
+
+    #[test]
+    fn two_against_rest_must_block() {
+        // G+0 vs 2 split is not single-failure-like.
+        let mut groups = vec![0u32; 10];
+        groups[0] = 1;
+        groups[1] = 1;
+        let p = PartitionMap::from_groups(groups);
+        assert_eq!(p.classify(8), PartitionVerdict::MustBlock);
+    }
+
+    #[test]
+    fn group_members_of_isolated_site() {
+        let p = PartitionMap::isolate(6, 5);
+        assert_eq!(p.group_members(5), vec![5]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Network traffic accounting.
+//!
+//! Section 7.4's argument is quantitative: with change-mask encoding, a 100
+//! byte record update ships ~100 bytes while the disk moves 8 KB, so
+//! "aggregate network bandwidth needs to be only 1/20 of the aggregate disk
+//! bandwidth". These counters capture the network side of that ratio.
+
+use serde::{Deserialize, Serialize};
+
+/// Message and byte counters for a network (or one category of traffic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to their destination.
+    pub messages_delivered: u64,
+    /// Messages dropped (loss or partition).
+    pub messages_dropped: u64,
+    /// Payload bytes handed to the network.
+    pub bytes_sent: u64,
+}
+
+impl NetStats {
+    /// Record a send of `bytes` payload bytes.
+    pub fn record_send(&mut self, bytes: usize) {
+        self.messages_sent += 1;
+        self.bytes_sent += bytes as u64;
+    }
+
+    /// Record a successful delivery.
+    pub fn record_delivery(&mut self) {
+        self.messages_delivered += 1;
+    }
+
+    /// Record a drop.
+    pub fn record_drop(&mut self) {
+        self.messages_dropped += 1;
+    }
+
+    /// Fold another counter set into this one.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_dropped += other.messages_dropped;
+        self.bytes_sent += other.bytes_sent;
+    }
+
+    /// Fraction of sent messages that were dropped.
+    pub fn loss_rate(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.messages_dropped as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = NetStats::default();
+        s.record_send(100);
+        s.record_send(50);
+        s.record_delivery();
+        s.record_drop();
+        assert_eq!(s.messages_sent, 2);
+        assert_eq!(s.bytes_sent, 150);
+        assert_eq!(s.messages_delivered, 1);
+        assert_eq!(s.messages_dropped, 1);
+        assert_eq!(s.loss_rate(), 0.5);
+    }
+
+    #[test]
+    fn loss_rate_of_idle_network_is_zero() {
+        assert_eq!(NetStats::default().loss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = NetStats::default();
+        a.record_send(10);
+        let mut b = NetStats::default();
+        b.record_send(20);
+        b.record_delivery();
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 2);
+        assert_eq!(a.bytes_sent, 30);
+        assert_eq!(a.messages_delivered, 1);
+    }
+}

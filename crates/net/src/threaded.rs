@@ -1,0 +1,223 @@
+//! A real-concurrency network over crossbeam channels.
+//!
+//! The discrete-event simulator gives deterministic measurements; the
+//! threaded runtime gives real message passing for integration tests that
+//! exercise the protocol code under actual concurrency. Each site owns a
+//! [`ThreadedEndpoint`]; any endpoint can send to any site id. Partitioning
+//! a site makes its sends and receives fail, emulating the §5 model at the
+//! process level.
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message with its source address.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inbound<M> {
+    /// Sending site.
+    pub src: usize,
+    /// Payload.
+    pub payload: M,
+}
+
+/// Errors from the threaded network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Destination id does not exist.
+    NoSuchSite(usize),
+    /// Source or destination is partitioned away.
+    Partitioned,
+    /// No message arrived within the timeout.
+    Timeout,
+    /// All senders disconnected (network shut down).
+    Disconnected,
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NoSuchSite(s) => write!(f, "no such site {s}"),
+            NetError::Partitioned => write!(f, "link severed by partition"),
+            NetError::Timeout => write!(f, "receive timed out"),
+            NetError::Disconnected => write!(f, "network shut down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct Shared<M> {
+    senders: Vec<Sender<Inbound<M>>>,
+    partitioned: RwLock<Vec<bool>>,
+}
+
+/// Factory and control plane for a set of endpoints.
+pub struct ThreadedNet<M> {
+    shared: Arc<Shared<M>>,
+}
+
+/// One site's handle: send to any site, receive what was sent to this one.
+pub struct ThreadedEndpoint<M> {
+    id: usize,
+    shared: Arc<Shared<M>>,
+    inbox: Receiver<Inbound<M>>,
+}
+
+impl<M: Send + 'static> ThreadedNet<M> {
+    /// Build a fully connected network of `n` sites; returns the control
+    /// handle and one endpoint per site.
+    pub fn new(n: usize) -> (ThreadedNet<M>, Vec<ThreadedEndpoint<M>>) {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            senders,
+            partitioned: RwLock::new(vec![false; n]),
+        });
+        let endpoints = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, inbox)| ThreadedEndpoint {
+                id,
+                shared: Arc::clone(&shared),
+                inbox,
+            })
+            .collect();
+        (ThreadedNet { shared }, endpoints)
+    }
+
+    /// Cut a site off from everyone (its sends and receives fail).
+    pub fn set_partitioned(&self, site: usize, partitioned: bool) {
+        self.shared.partitioned.write()[site] = partitioned;
+    }
+}
+
+impl<M: Send + 'static> ThreadedEndpoint<M> {
+    /// This endpoint's site id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Send `payload` to `dst`.
+    pub fn send(&self, dst: usize, payload: M) -> Result<(), NetError> {
+        {
+            let part = self.shared.partitioned.read();
+            if part.get(self.id).copied().unwrap_or(false)
+                || part.get(dst).copied().unwrap_or(false)
+            {
+                return Err(NetError::Partitioned);
+            }
+        }
+        let tx = self
+            .shared
+            .senders
+            .get(dst)
+            .ok_or(NetError::NoSuchSite(dst))?;
+        tx.send(Inbound {
+            src: self.id,
+            payload,
+        })
+        .map_err(|_| NetError::Disconnected)
+    }
+
+    /// Receive the next message, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Inbound<M>, NetError> {
+        if self.shared.partitioned.read()[self.id] {
+            return Err(NetError::Partitioned);
+        }
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Receive without blocking.
+    pub fn try_recv(&self) -> Option<Inbound<M>> {
+        if self.shared.partitioned.read()[self.id] {
+            return None;
+        }
+        self.inbox.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let (_net, eps) = ThreadedNet::new(3);
+        eps[0].send(2, "hi").unwrap();
+        let got = eps[2].recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(got.src, 0);
+        assert_eq!(got.payload, "hi");
+    }
+
+    #[test]
+    fn cross_thread_ping_pong() {
+        let (_net, mut eps) = ThreadedNet::new(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let t = thread::spawn(move || {
+            let m = b.recv_timeout(Duration::from_secs(2)).unwrap();
+            b.send(m.src, m.payload + 1).unwrap();
+        });
+        a.send(1, 41).unwrap();
+        let reply = a.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(reply.payload, 42);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn unknown_destination() {
+        let (_net, eps) = ThreadedNet::<u8>::new(1);
+        assert_eq!(eps[0].send(9, 0).unwrap_err(), NetError::NoSuchSite(9));
+    }
+
+    #[test]
+    fn partitioned_site_cannot_send_or_receive() {
+        let (net, eps) = ThreadedNet::new(2);
+        net.set_partitioned(1, true);
+        assert_eq!(eps[0].send(1, ()).unwrap_err(), NetError::Partitioned);
+        assert_eq!(eps[1].send(0, ()).unwrap_err(), NetError::Partitioned);
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_millis(10)).unwrap_err(),
+            NetError::Partitioned
+        );
+        // Healing restores connectivity.
+        net.set_partitioned(1, false);
+        eps[0].send(1, ()).unwrap();
+        assert!(eps[1].recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (_net, eps) = ThreadedNet::<u8>::new(2);
+        assert!(eps[1].try_recv().is_none());
+        eps[0].send(1, 5).unwrap();
+        // Unbounded channel: send completes before we poll.
+        let got = eps[1]
+            .try_recv()
+            .or_else(|| {
+                thread::sleep(Duration::from_millis(50));
+                eps[1].try_recv()
+            })
+            .unwrap();
+        assert_eq!(got.payload, 5);
+    }
+
+    #[test]
+    fn timeout_when_idle() {
+        let (_net, eps) = ThreadedNet::<u8>::new(1);
+        assert_eq!(
+            eps[0].recv_timeout(Duration::from_millis(20)).unwrap_err(),
+            NetError::Timeout
+        );
+    }
+}

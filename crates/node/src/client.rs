@@ -1,0 +1,414 @@
+//! The client library: normal operations against the owning site, and the
+//! client-driven degraded paths of §3.2 (spare probe, validated
+//! reconstruction, spare install, W1' redirected writes, recovery drain).
+
+use crate::message::{Msg, NackReason};
+use crate::site::{self};
+use radd_layout::Geometry;
+use radd_net::ThreadedEndpoint;
+use radd_parity::{xor_in_place, ChangeMask, Uid, UidArray, UidGen};
+use std::time::Duration;
+
+/// How long to wait for a reply before concluding the peer is dead.
+const REPLY_TIMEOUT: Duration = Duration::from_millis(1500);
+/// §3.3 retry budget for inconsistent reconstruction reads.
+const RECONSTRUCT_RETRIES: u32 = 20;
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Address out of range.
+    OutOfRange,
+    /// Payload size mismatch.
+    BadSize,
+    /// A needed peer did not answer.
+    Timeout {
+        /// The unresponsive site.
+        site: usize,
+    },
+    /// Two failures overlap (e.g. the spare already stands in for another
+    /// site).
+    MultipleFailure,
+    /// Reconstruction kept failing §3.3 UID validation.
+    Inconsistent,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::OutOfRange => write!(f, "address out of range"),
+            ClientError::BadSize => write!(f, "payload size mismatch"),
+            ClientError::Timeout { site } => write!(f, "site {site} did not answer"),
+            ClientError::MultipleFailure => write!(f, "multiple overlapping failures"),
+            ClientError::Inconsistent => {
+                write!(f, "reconstruction stayed inconsistent after retries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The cluster client.
+pub struct NodeClient {
+    ep: ThreadedEndpoint<Msg>,
+    ep_base: usize,
+    geo: Geometry,
+    block_size: usize,
+    uid_gen: UidGen,
+    next_tag: u64,
+    down: Vec<bool>,
+    /// Replies that arrived while we were waiting for a different tag —
+    /// fan-out responses come back in arbitrary order.
+    stash: std::collections::HashMap<u64, Msg>,
+}
+
+
+
+impl NodeClient {
+    pub(crate) fn new(
+        ep: ThreadedEndpoint<Msg>,
+        ep_base: usize,
+        g: usize,
+        rows: u64,
+        block_size: usize,
+    ) -> NodeClient {
+        // Every client mints UIDs from its own namespace keyed by its
+        // endpoint id, so concurrent clients never collide.
+        let uid_site = u16::MAX - ep.id() as u16;
+        NodeClient {
+            ep,
+            ep_base,
+            geo: Geometry::new(g, rows).expect("valid geometry"),
+            block_size,
+            // Any "local system" may mint UIDs, per §3.2 — uniqueness is
+            // all that matters.
+            uid_gen: UidGen::new(uid_site),
+            next_tag: 0,
+            down: vec![false; g + 2],
+            stash: std::collections::HashMap::new(),
+        }
+    }
+
+    pub(crate) fn mark_down(&mut self, site: usize, down: bool) {
+        self.down[site] = down;
+    }
+
+    /// The cluster geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    fn tag(&mut self) -> u64 {
+        self.next_tag += 1;
+        self.next_tag
+    }
+
+    /// Wait for the reply carrying `tag`. Replies to *other* outstanding
+    /// requests (fan-outs answer in arbitrary order) are stashed for their
+    /// own `wait` calls; only a reply whose tag was never issued is truly
+    /// stale.
+    fn wait(&mut self, tag: u64) -> Option<Msg> {
+        if let Some(m) = self.stash.remove(&tag) {
+            return Some(m);
+        }
+        let deadline = std::time::Instant::now() + REPLY_TIMEOUT;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            match self.ep.recv_timeout(left) {
+                Ok(inbound) if inbound.payload.tag() == tag => return Some(inbound.payload),
+                Ok(other) => {
+                    self.stash.insert(other.payload.tag(), other.payload);
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Read the `index`-th data block of `site`.
+    pub fn read(&mut self, site: usize, index: u64) -> Result<Vec<u8>, ClientError> {
+        if index >= self.geo.data_capacity(site) {
+            return Err(ClientError::OutOfRange);
+        }
+        if !self.down[site] {
+            let tag = self.tag();
+            let _ = self.ep.send(self.ep_base + site, Msg::Read { index, tag });
+            match self.wait(tag) {
+                Some(Msg::ReadOk { data, .. }) => return Ok(data),
+                Some(Msg::Nack { reason, .. }) => return Err(map_nack(reason)),
+                Some(_) => {}
+                None => { /* fall through to the degraded path */ }
+            }
+        }
+        self.degraded_read(site, index)
+    }
+
+    /// Write the `index`-th data block of `site`.
+    pub fn write(&mut self, site: usize, index: u64, data: &[u8]) -> Result<(), ClientError> {
+        if index >= self.geo.data_capacity(site) {
+            return Err(ClientError::OutOfRange);
+        }
+        if data.len() != self.block_size {
+            return Err(ClientError::BadSize);
+        }
+        if !self.down[site] {
+            let tag = self.tag();
+            let _ = self.ep.send(
+                self.ep_base + site,
+                Msg::Write {
+                    index,
+                    data: data.to_vec(),
+                    tag,
+                },
+            );
+            match self.wait(tag) {
+                Some(Msg::WriteOk { .. }) => return Ok(()),
+                Some(Msg::Nack { reason, .. }) => return Err(map_nack(reason)),
+                Some(_) => {}
+                None => {}
+            }
+        }
+        self.degraded_write(site, index, data)
+    }
+
+    /// §3.2 down-site read: spare if valid, else validated reconstruction,
+    /// installed into the spare for subsequent reads.
+    fn degraded_read(&mut self, site: usize, index: u64) -> Result<Vec<u8>, ClientError> {
+        let row = self.geo.data_to_physical(site, index);
+        match self.probe_spare(row)? {
+            Some((for_site, data, _uid)) if for_site == site => return Ok(data),
+            Some(_) => return Err(ClientError::MultipleFailure),
+            None => {}
+        }
+        let (data, uid) = self.reconstruct(site, row)?;
+        self.install_spare(row, site, &data, uid)?;
+        Ok(data)
+    }
+
+    /// W1': ship the new contents to the spare site, then run W2–W4 from
+    /// here (the client computes the change mask against the logical old
+    /// value).
+    fn degraded_write(
+        &mut self,
+        site: usize,
+        index: u64,
+        data: &[u8],
+    ) -> Result<(), ClientError> {
+        let row = self.geo.data_to_physical(site, index);
+        let old = match self.probe_spare(row)? {
+            Some((for_site, old, _)) if for_site == site => old,
+            Some(_) => return Err(ClientError::MultipleFailure),
+            None => self.reconstruct(site, row)?.0,
+        };
+        let uid = self.uid_gen.next_uid();
+        self.install_spare(row, site, data, uid)?;
+        // W3 to the parity site, tagged with the new UID.
+        let mask = ChangeMask::diff(&old, data);
+        let parity_site = self.geo.parity_site(row);
+        let tag = self.tag();
+        let _ = self.ep.send(
+            self.ep_base + parity_site,
+            Msg::ParityUpdate {
+                row,
+                mask_wire: mask.encode().to_vec(),
+                uid,
+                from_site: site,
+                tag,
+            },
+        );
+        match self.wait(tag) {
+            Some(Msg::Ack { .. }) => Ok(()),
+            _ => Err(ClientError::Timeout { site: parity_site }),
+        }
+    }
+
+    fn probe_spare(
+        &mut self,
+        row: u64,
+    ) -> Result<Option<(usize, Vec<u8>, Uid)>, ClientError> {
+        let spare_site = self.geo.spare_site(row);
+        let tag = self.tag();
+        let _ = self.ep.send(self.ep_base + spare_site, Msg::SpareProbe { row, tag });
+        match self.wait(tag) {
+            Some(Msg::SpareState { slot, .. }) => Ok(slot),
+            _ => Err(ClientError::Timeout { site: spare_site }),
+        }
+    }
+
+    fn install_spare(
+        &mut self,
+        row: u64,
+        for_site: usize,
+        data: &[u8],
+        uid: Uid,
+    ) -> Result<(), ClientError> {
+        let spare_site = self.geo.spare_site(row);
+        let tag = self.tag();
+        let _ = self.ep.send(
+            self.ep_base + spare_site,
+            Msg::SpareInstall {
+                row,
+                for_site,
+                data: data.to_vec(),
+                uid,
+                tag,
+            },
+        );
+        match self.wait(tag) {
+            Some(Msg::Ack { .. }) => Ok(()),
+            _ => Err(ClientError::Timeout { site: spare_site }),
+        }
+    }
+
+    /// Formula (2) with §3.3 validation and retry: fan `BlockRead` out to
+    /// the `G` surviving sites, compare every data UID against the parity
+    /// site's array, XOR on success. Returns the data and the UID the
+    /// parity array holds for the failed site (for a consistent spare
+    /// install).
+    fn reconstruct(&mut self, owner: usize, row: u64) -> Result<(Vec<u8>, Uid), ClientError> {
+        let spare_site = self.geo.spare_site(row);
+        let parity_site = self.geo.parity_site(row);
+        let sources: Vec<usize> = (0..self.geo.num_sites())
+            .filter(|&s| s != owner && s != spare_site)
+            .collect();
+        'attempt: for _ in 0..RECONSTRUCT_RETRIES {
+            // Fan out.
+            let mut tags = Vec::with_capacity(sources.len());
+            for &s in &sources {
+                if self.down[s] {
+                    return Err(ClientError::MultipleFailure);
+                }
+                let tag = self.tag();
+                let _ = self.ep.send(self.ep_base + s, Msg::BlockRead { row, tag });
+                tags.push((s, tag));
+            }
+            // Collect.
+            let mut acc = vec![0u8; self.block_size];
+            let mut uids: Vec<(usize, Uid)> = Vec::new();
+            let mut parity_array: Option<UidArray> = None;
+            for (s, tag) in tags {
+                match self.wait(tag) {
+                    Some(Msg::BlockData {
+                        data,
+                        uid,
+                        parity_uids,
+                        ..
+                    }) => {
+                        xor_in_place(&mut acc, &data);
+                        if s == parity_site {
+                            let mut arr = UidArray::new(self.geo.num_sites());
+                            for (i, u) in parity_uids
+                                .expect("parity site returns its array")
+                                .into_iter()
+                                .enumerate()
+                            {
+                                arr.set(i, u);
+                            }
+                            parity_array = Some(arr);
+                        } else {
+                            uids.push((s, uid));
+                        }
+                    }
+                    _ => return Err(ClientError::Timeout { site: s }),
+                }
+            }
+            let arr = parity_array.expect("parity site was among the sources");
+            // §3.3: any mismatch ⇒ a parity update is in flight; retry.
+            for (s, uid) in &uids {
+                if !arr.matches(*s, *uid) {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue 'attempt;
+                }
+            }
+            return Ok((acc, arr.get(owner)));
+        }
+        Err(ClientError::Inconsistent)
+    }
+
+    /// Recovery drain for a revived site (§3.2's background process, driven
+    /// from here): collect every spare standing in for it, restore the
+    /// blocks, invalidate the spares. Returns the number of blocks drained.
+    pub fn recover(&mut self, site: usize) -> Result<u64, ClientError> {
+        let mut drained = 0;
+        for s in 0..self.geo.num_sites() {
+            if s == site {
+                continue;
+            }
+            let tag = self.tag();
+            let _ = self.ep.send(self.ep_base + s, Msg::SpareDrainList { for_site: site, tag });
+            let rows = match self.wait(tag) {
+                Some(Msg::SpareRows { rows, .. }) => rows,
+                _ => return Err(ClientError::Timeout { site: s }),
+            };
+            for row in rows {
+                let tag = self.tag();
+                let _ = self.ep.send(self.ep_base + s, Msg::SpareTake { row, tag });
+                let (for_site, data, uid) = match self.wait(tag) {
+                    Some(Msg::SpareState { slot: Some(slot), .. }) => slot,
+                    Some(Msg::SpareState { slot: None, .. }) => continue, // raced away
+                    _ => return Err(ClientError::Timeout { site: s }),
+                };
+                debug_assert_eq!(for_site, site);
+                let tag = self.tag();
+                let _ = self
+                    .ep
+                    .send(self.ep_base + site, Msg::RestoreBlock { row, data, uid, tag });
+                match self.wait(tag) {
+                    Some(Msg::Ack { .. }) => drained += 1,
+                    _ => return Err(ClientError::Timeout { site }),
+                }
+            }
+        }
+        Ok(drained)
+    }
+
+    /// Verify the stripe invariant over every row by reading all blocks
+    /// (requires every site up). Returns the first violated row.
+    pub fn verify_parity(&mut self) -> Result<(), String> {
+        for row in 0..self.geo.rows() {
+            let parity_site = self.geo.parity_site(row);
+            let spare_site = self.geo.spare_site(row);
+            let mut acc = vec![0u8; self.block_size];
+            let mut parity = vec![0u8; self.block_size];
+            for s in 0..self.geo.num_sites() {
+                if s == spare_site {
+                    continue;
+                }
+                let tag = self.tag();
+                let _ = self.ep.send(self.ep_base + s, Msg::BlockRead { row, tag });
+                match self.wait(tag) {
+                    Some(Msg::BlockData { data, .. }) => {
+                        if s == parity_site {
+                            parity = data;
+                        } else {
+                            xor_in_place(&mut acc, &data);
+                        }
+                    }
+                    _ => return Err(format!("site {s} did not answer for row {row}")),
+                }
+            }
+            if acc != parity {
+                return Err(format!("parity mismatch in row {row}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn map_nack(reason: NackReason) -> ClientError {
+    match reason {
+        NackReason::OutOfRange => ClientError::OutOfRange,
+        NackReason::BadSize => ClientError::BadSize,
+        NackReason::Down => ClientError::MultipleFailure,
+    }
+}
+
+// Silence the unused-import warning for `site` (the module is referenced
+// for its types by lib.rs; the client only needs its endpoint convention).
+#[allow(unused)]
+fn _endpoint_convention_matches() {
+    let _ = site::Control::Shutdown;
+}

@@ -1,0 +1,282 @@
+//! The per-site server thread.
+//!
+//! One event loop per site, owning all site state. The only subtlety is
+//! the write path: W1 happens locally, the W3 parity message goes out, and
+//! the client's `WriteOk` is **deferred** until the parity site's ack
+//! arrives (a pending table keyed by the parity message's tag) — so no
+//! site ever blocks waiting on another site, and cyclic waits cannot form.
+
+use crate::message::{Msg, NackReason};
+use radd_blockdev::{BlockDevice, MemDisk};
+use radd_layout::Geometry;
+use radd_net::ThreadedEndpoint;
+use radd_parity::{ChangeMask, Uid, UidArray, UidGen};
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+/// Control-plane commands (out of band, from the test harness).
+#[derive(Debug)]
+pub enum Control {
+    /// Mark the site down (refuse protocol messages) or back up. The ack
+    /// channel makes the transition synchronous: the harness knows the
+    /// site has crossed the boundary before it issues further traffic
+    /// (otherwise a revive could be observed *before* the kill, leaving
+    /// the site transiently deaf).
+    SetDown(bool, std::sync::mpsc::Sender<()>),
+    /// Stop the thread.
+    Shutdown,
+}
+
+/// Static site parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteConfig {
+    /// This site's id (0-based).
+    pub site: usize,
+    /// Group size `G`.
+    pub group_size: usize,
+    /// Block rows.
+    pub rows: u64,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Endpoint id of site 0 (clients occupy the endpoints below it).
+    pub ep_base: usize,
+}
+
+struct SpareSlot {
+    for_site: usize,
+    uid: Uid,
+}
+
+/// A write whose client reply is waiting for a parity ack.
+struct PendingWrite {
+    client: usize,
+    client_tag: u64,
+}
+
+struct SiteState {
+    cfg: SiteConfig,
+    geo: Geometry,
+    disk: MemDisk,
+    block_uids: Vec<Uid>,
+    parity_uids: HashMap<u64, UidArray>,
+    spares: HashMap<u64, SpareSlot>,
+    uid_gen: UidGen,
+    down: bool,
+    next_tag: u64,
+    pending: HashMap<u64, PendingWrite>,
+}
+
+impl SiteState {
+    fn new(cfg: SiteConfig) -> SiteState {
+        SiteState {
+            geo: Geometry::new(cfg.group_size, cfg.rows).expect("valid geometry"),
+            disk: MemDisk::new(cfg.rows, cfg.block_size),
+            block_uids: vec![Uid::INVALID; cfg.rows as usize],
+            parity_uids: HashMap::new(),
+            spares: HashMap::new(),
+            uid_gen: UidGen::new(cfg.site as u16),
+            down: false,
+            next_tag: 0,
+            pending: HashMap::new(),
+            cfg,
+        }
+    }
+
+    fn fresh_tag(&mut self) -> u64 {
+        self.next_tag += 1;
+        // Site-unique tag space: site id in the high bits.
+        ((self.cfg.site as u64 + 1) << 48) | self.next_tag
+    }
+
+    fn num_sites(&self) -> usize {
+        self.cfg.group_size + 2
+    }
+}
+
+
+
+/// Run the site event loop until shutdown.
+pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Control>) {
+    let mut st = SiteState::new(cfg);
+    loop {
+        // Drain the whole control backlog first (non-blocking), then serve
+        // protocol traffic.
+        loop {
+            match control.try_recv() {
+                Ok(Control::SetDown(d, ack)) => {
+                    st.down = d;
+                    let _ = ack.send(());
+                }
+                Ok(Control::Shutdown) => return,
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
+                Err(std::sync::mpsc::TryRecvError::Empty) => break,
+            }
+        }
+        let inbound = match ep.recv_timeout(Duration::from_millis(20)) {
+            Ok(m) => m,
+            Err(_) => continue,
+        };
+        let src = inbound.src;
+        let msg = inbound.payload;
+        // A down site answers nothing except its own pending acks never
+        // arrive either — exactly a crashed process from the network's
+        // point of view. (We do swallow the message rather than queueing.)
+        if st.down {
+            continue;
+        }
+        handle(&mut st, &ep, src, msg);
+    }
+}
+
+fn nack(ep: &ThreadedEndpoint<Msg>, to: usize, tag: u64, reason: NackReason) {
+    let _ = ep.send(to, Msg::Nack { tag, reason });
+}
+
+fn handle(st: &mut SiteState, ep: &ThreadedEndpoint<Msg>, src: usize, msg: Msg) {
+    match msg {
+        Msg::Read { index, tag } => {
+            if index >= st.geo.data_capacity(st.cfg.site) {
+                return nack(ep, src, tag, NackReason::OutOfRange);
+            }
+            let row = st.geo.data_to_physical(st.cfg.site, index);
+            let data = st.disk.read_block(row).expect("in range").to_vec();
+            let _ = ep.send(src, Msg::ReadOk { tag, data });
+        }
+        Msg::Write { index, data, tag } => {
+            if index >= st.geo.data_capacity(st.cfg.site) {
+                return nack(ep, src, tag, NackReason::OutOfRange);
+            }
+            if data.len() != st.cfg.block_size {
+                return nack(ep, src, tag, NackReason::BadSize);
+            }
+            let row = st.geo.data_to_physical(st.cfg.site, index);
+            // W1: local write with a fresh UID (old value from the "buffer
+            // pool" — our own disk).
+            let old = st.disk.read_block(row).expect("in range");
+            let uid = st.uid_gen.next_uid();
+            st.disk.write_block(row, &data).expect("in range");
+            st.block_uids[row as usize] = uid;
+            // W2–W3: mask to the parity site; defer the client reply until
+            // the ack (the §6 "done = prepared" discipline).
+            let mask = ChangeMask::diff(&old, &data);
+            let parity_site = st.geo.parity_site(row);
+            let ptag = st.fresh_tag();
+            st.pending.insert(
+                ptag,
+                PendingWrite {
+                    client: src,
+                    client_tag: tag,
+                },
+            );
+            let _ = ep.send(
+                st.cfg.ep_base + parity_site,
+                Msg::ParityUpdate {
+                    row,
+                    mask_wire: mask.encode().to_vec(),
+                    uid,
+                    from_site: st.cfg.site,
+                    tag: ptag,
+                },
+            );
+        }
+        Msg::ParityUpdate {
+            row,
+            mask_wire,
+            uid,
+            from_site,
+            tag,
+        } => {
+            debug_assert_eq!(st.geo.parity_site(row), st.cfg.site);
+            let mask = ChangeMask::decode(&mask_wire).expect("well-formed mask");
+            let mut parity = st.disk.read_block(row).expect("in range").to_vec();
+            mask.apply(&mut parity); // formula (1)
+            st.disk.write_block(row, &parity).expect("in range");
+            let n = st.num_sites();
+            st.parity_uids
+                .entry(row)
+                .or_insert_with(|| UidArray::new(n))
+                .set(from_site, uid); // W4
+            let _ = ep.send(src, Msg::Ack { tag });
+        }
+        Msg::Ack { tag } => {
+            // A parity ack completing one of our writes.
+            if let Some(p) = st.pending.remove(&tag) {
+                let _ = ep.send(p.client, Msg::WriteOk { tag: p.client_tag });
+            }
+        }
+        Msg::SpareProbe { row, tag } => {
+            debug_assert_eq!(st.geo.spare_site(row), st.cfg.site);
+            let slot = st.spares.get(&row).map(|s| {
+                let data = st.disk.read_block(row).expect("in range").to_vec();
+                (s.for_site, data, s.uid)
+            });
+            let _ = ep.send(src, Msg::SpareState { tag, slot });
+        }
+        Msg::SpareInstall {
+            row,
+            for_site,
+            data,
+            uid,
+            tag,
+        } => {
+            st.disk.write_block(row, &data).expect("in range");
+            st.spares.insert(row, SpareSlot { for_site, uid });
+            let _ = ep.send(src, Msg::Ack { tag });
+        }
+        Msg::BlockRead { row, tag } => {
+            let data = st.disk.read_block(row).expect("in range").to_vec();
+            let parity_uids = if st.geo.parity_site(row) == st.cfg.site {
+                let n = st.num_sites();
+                Some(
+                    st.parity_uids
+                        .get(&row)
+                        .cloned()
+                        .unwrap_or_else(|| UidArray::new(n))
+                        .slots()
+                        .to_vec(),
+                )
+            } else {
+                None
+            };
+            let _ = ep.send(
+                src,
+                Msg::BlockData {
+                    tag,
+                    data,
+                    uid: st.block_uids[row as usize],
+                    parity_uids,
+                },
+            );
+        }
+        Msg::SpareDrainList { for_site, tag } => {
+            let rows: Vec<u64> = st
+                .spares
+                .iter()
+                .filter(|(_, s)| s.for_site == for_site)
+                .map(|(&r, _)| r)
+                .collect();
+            let _ = ep.send(src, Msg::SpareRows { tag, rows });
+        }
+        Msg::SpareTake { row, tag } => {
+            let slot = st.spares.remove(&row).map(|s| {
+                let data = st.disk.read_block(row).expect("in range").to_vec();
+                (s.for_site, data, s.uid)
+            });
+            let _ = ep.send(src, Msg::SpareState { tag, slot });
+        }
+        Msg::RestoreBlock { row, data, uid, tag } => {
+            st.disk.write_block(row, &data).expect("in range");
+            st.block_uids[row as usize] = uid;
+            let _ = ep.send(src, Msg::Ack { tag });
+        }
+        // Replies that reach a site outside the pending table are stale
+        // (e.g. an ack for a write whose site restarted): drop them.
+        Msg::ReadOk { .. }
+        | Msg::WriteOk { .. }
+        | Msg::Nack { .. }
+        | Msg::BlockData { .. }
+        | Msg::SpareState { .. }
+        | Msg::SpareRows { .. } => {}
+    }
+}

@@ -1,0 +1,33 @@
+//! # radd-parity — parity mathematics for RAID and RADD
+//!
+//! The two formulas the entire paper rests on:
+//!
+//! * **(1) parity update** — `parity' = parity XOR (new XOR old)`: toggling a
+//!   data bit toggles the corresponding parity bit. The `new XOR old` term is
+//!   the **change mask** shipped to the parity site in write step W3.
+//! * **(2) reconstruction** — `failed = XOR { other blocks in the group }`.
+//!
+//! Modules:
+//!
+//! * [`xor`] — word-at-a-time XOR primitives.
+//! * [`mask`] — change masks with a run-length wire encoding (Section 7.4
+//!   argues masks make RADD's bandwidth comparable to a hot standby's).
+//! * [`delta`] — record-level page edits (insert/delete/overwrite) and their
+//!   wire sizes, the paper's B-tree insert/delete encoding argument.
+//! * [`uid`] — globally unique identifiers and the per-parity-block UID
+//!   array used for consistency validation (§3.3).
+//! * [`stripe`] — reconstruction with UID validation and retry.
+
+#![warn(missing_docs)]
+
+pub mod delta;
+pub mod mask;
+pub mod stripe;
+pub mod uid;
+pub mod xor;
+
+pub use delta::PageEdit;
+pub use mask::ChangeMask;
+pub use stripe::{reconstruct, reconstruct_validated, StripeRead, ValidationError};
+pub use uid::{Uid, UidArray, UidGen};
+pub use xor::{xor_bytes, xor_in_place, xor_many};

@@ -1,0 +1,175 @@
+//! Stripe reconstruction with UID validation (§3.2 formula (2), §3.3).
+//!
+//! Reconstructing a block on a down site reads the `G` surviving data blocks
+//! plus the parity block and XORs them. Those reads take no locks, so a
+//! parity update can race them; the paper's defence is the UID protocol:
+//! each data-block read returns its stored UID, the parity block returns its
+//! UID array, and "if any UIDs fail to match, then the read was not
+//! consistent and must be retried".
+
+use crate::uid::{Uid, UidArray};
+use crate::xor::xor_many;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One surviving data block as read during reconstruction: payload plus the
+/// UID stored alongside it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StripeRead {
+    /// Site the block was read from.
+    pub site: usize,
+    /// Block payload.
+    pub data: Vec<u8>,
+    /// The UID stored with the block.
+    pub uid: Uid,
+}
+
+/// A UID mismatch detected during validated reconstruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// The site whose data-block UID disagreed with the parity array.
+    pub site: usize,
+    /// UID stored with the data block.
+    pub data_uid: Uid,
+    /// UID recorded in the parity block's array for that site.
+    pub parity_uid: Uid,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inconsistent stripe read at site {}: data block has {}, parity array has {} — retry",
+            self.site, self.data_uid, self.parity_uid
+        )
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Unvalidated reconstruction — formula (2): XOR the surviving data blocks
+/// with the parity block. Panics if `survivors` is empty (a stripe always
+/// has at least the parity block).
+pub fn reconstruct(survivors: &[StripeRead], parity: &[u8]) -> Vec<u8> {
+    xor_many(
+        survivors
+            .iter()
+            .map(|s| s.data.as_slice())
+            .chain(std::iter::once(parity)),
+    )
+    .expect("at least the parity block")
+}
+
+/// Validated reconstruction (§3.3): check every survivor's UID against the
+/// parity block's UID array before XORing. On mismatch the caller must
+/// re-read the stripe and try again.
+pub fn reconstruct_validated(
+    survivors: &[StripeRead],
+    parity: &[u8],
+    parity_uids: &UidArray,
+) -> Result<Vec<u8>, ValidationError> {
+    for s in survivors {
+        if !parity_uids.matches(s.site, s.uid) {
+            return Err(ValidationError {
+                site: s.site,
+                data_uid: s.uid,
+                parity_uid: parity_uids.get(s.site),
+            });
+        }
+    }
+    Ok(reconstruct(survivors, parity))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uid::UidGen;
+    use crate::xor::{xor_in_place, xor_many};
+
+    /// Build a consistent stripe: G data blocks, parity, UID bookkeeping.
+    fn make_stripe(g: usize, block: usize) -> (Vec<StripeRead>, Vec<u8>, UidArray) {
+        let mut gens: Vec<UidGen> = (0..g as u16).map(UidGen::new).collect();
+        let mut uids = UidArray::new(g + 2);
+        let mut blocks = Vec::new();
+        for (i, gen) in gens.iter_mut().enumerate() {
+            let data: Vec<u8> = (0..block).map(|b| ((b + i * 37) % 256) as u8).collect();
+            let uid = gen.next_uid();
+            uids.set(i, uid);
+            blocks.push(StripeRead { site: i, data, uid });
+        }
+        let parity = xor_many(blocks.iter().map(|b| b.data.as_slice())).unwrap();
+        (blocks, parity, uids)
+    }
+
+    #[test]
+    fn reconstruct_recovers_any_block() {
+        let (blocks, parity, _) = make_stripe(8, 128);
+        for victim in 0..8 {
+            let survivors: Vec<StripeRead> = blocks
+                .iter()
+                .filter(|b| b.site != victim)
+                .cloned()
+                .collect();
+            let got = reconstruct(&survivors, &parity);
+            assert_eq!(got, blocks[victim].data, "victim {victim}");
+        }
+    }
+
+    #[test]
+    fn validated_reconstruction_succeeds_when_consistent() {
+        let (blocks, parity, uids) = make_stripe(4, 64);
+        let survivors = &blocks[1..]; // block 0 is the "failed" one
+        let got = reconstruct_validated(survivors, &parity, &uids).unwrap();
+        assert_eq!(got, blocks[0].data);
+    }
+
+    #[test]
+    fn validated_reconstruction_detects_stale_parity() {
+        // Simulate the §3.3 race: site 2 wrote new data (new UID) but its
+        // parity update has not arrived, so the parity array still holds the
+        // old UID. The reader must get an error, not garbage.
+        let (mut blocks, parity, uids) = make_stripe(4, 64);
+        let mut gen = UidGen::new(2);
+        gen.next_uid(); // consume the uid minted in make_stripe
+        let new_uid = gen.next_uid();
+        blocks[2].data[0] ^= 0xFF;
+        blocks[2].uid = new_uid;
+        let survivors = &blocks[1..];
+        let err = reconstruct_validated(survivors, &parity, &uids).unwrap_err();
+        assert_eq!(err.site, 2);
+        assert_eq!(err.data_uid, new_uid);
+        assert!(err.to_string().contains("retry"));
+    }
+
+    #[test]
+    fn retry_after_parity_catches_up_succeeds() {
+        // Same race, but the parity site then applies the update: apply the
+        // change mask to the parity and record the new UID — reconstruction
+        // must now succeed and reflect the new data.
+        let (mut blocks, mut parity, mut uids) = make_stripe(4, 64);
+        let mut gen = UidGen::new(2);
+        gen.next_uid();
+        let new_uid = gen.next_uid();
+        let old = blocks[2].data.clone();
+        blocks[2].data[10] = !blocks[2].data[10];
+        blocks[2].uid = new_uid;
+        // Parity update: parity ^= old ^ new; UID array slot 2 ← new UID.
+        let mut mask = old;
+        xor_in_place(&mut mask, &blocks[2].data);
+        xor_in_place(&mut parity, &mask);
+        uids.set(2, new_uid);
+
+        let survivors = &blocks[1..];
+        let got = reconstruct_validated(survivors, &parity, &uids).unwrap();
+        assert_eq!(got, blocks[0].data);
+    }
+
+    #[test]
+    fn group_size_one_mirror_case() {
+        // G = 1: the parity block IS a mirror of the single data block.
+        let (blocks, parity, _) = make_stripe(1, 32);
+        assert_eq!(parity, blocks[0].data);
+        let got = reconstruct(&[], &parity);
+        assert_eq!(got, blocks[0].data);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the parity codec: the stripe invariant must
+//! survive arbitrary sequences of masked updates, and every encoding must
+//! round-trip.
+
+use proptest::prelude::*;
+use radd_parity::{
+    reconstruct, xor_many, ChangeMask, PageEdit, StripeRead, Uid,
+};
+
+fn arb_block(len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), len)
+}
+
+proptest! {
+    /// parity = XOR(data blocks) stays true under masked updates, and any
+    /// single block is reconstructible afterwards.
+    #[test]
+    fn stripe_invariant_under_updates(
+        seed_blocks in proptest::collection::vec(arb_block(64), 2..8),
+        updates in proptest::collection::vec((0usize..8, arb_block(64)), 0..12),
+        victim_sel in 0usize..8,
+    ) {
+        let mut blocks = seed_blocks;
+        let g = blocks.len();
+        let mut parity = xor_many(blocks.iter().map(|b| b.as_slice())).unwrap();
+
+        for (idx, new) in updates {
+            let i = idx % g;
+            let mask = ChangeMask::diff(&blocks[i], &new);
+            mask.apply(&mut parity);   // formula (1)
+            blocks[i] = new;
+        }
+
+        let victim = victim_sel % g;
+        let survivors: Vec<StripeRead> = blocks.iter().enumerate()
+            .filter(|&(i, _)| i != victim)
+            .map(|(i, b)| StripeRead { site: i, data: b.clone(), uid: Uid::from_raw(1) })
+            .collect();
+        prop_assert_eq!(reconstruct(&survivors, &parity), blocks[victim].clone());
+    }
+
+    /// ChangeMask::diff/apply converts old→new for arbitrary blocks.
+    #[test]
+    fn mask_diff_apply(old in arb_block(200), new in arb_block(200)) {
+        let mask = ChangeMask::diff(&old, &new);
+        let mut buf = old.clone();
+        mask.apply(&mut buf);
+        prop_assert_eq!(buf, new);
+    }
+
+    /// Wire encoding round-trips for arbitrary diffs.
+    #[test]
+    fn mask_encode_decode(old in arb_block(300), new in arb_block(300)) {
+        let mask = ChangeMask::diff(&old, &new);
+        let back = ChangeMask::decode(&mask.encode()).unwrap();
+        prop_assert_eq!(back, mask);
+    }
+
+    /// Wire size never exceeds full-block shipping by more than one span
+    /// header — the mask encoding is never pathologically worse than naive.
+    #[test]
+    fn mask_wire_size_bounded(old in arb_block(256), new in arb_block(256)) {
+        let mask = ChangeMask::diff(&old, &new);
+        prop_assert!(mask.wire_size() <= 256 + 8 * 8,
+            "wire {} for 256-byte block", mask.wire_size());
+    }
+
+    /// Page edits keep the page length and replaying via change mask equals
+    /// direct application.
+    #[test]
+    fn page_edit_mask_equivalence(
+        page in arb_block(512),
+        offset in 0usize..600,
+        payload in arb_block(40),
+        del_len in 0usize..600,
+        which in 0u8..3,
+    ) {
+        let edit = match which {
+            0 => PageEdit::Insert { offset, bytes: payload },
+            1 => PageEdit::Delete { offset, len: del_len },
+            _ => PageEdit::Overwrite { offset, bytes: payload },
+        };
+        let mut direct = page.clone();
+        edit.apply(&mut direct);
+        prop_assert_eq!(direct.len(), page.len());
+        let mask = edit.to_change_mask(&page);
+        let mut via = page.clone();
+        mask.apply(&mut via);
+        prop_assert_eq!(via, direct);
+    }
+}

@@ -1,0 +1,340 @@
+//! Closed-form MTTU and MTTF (Figures 5 and 6).
+//!
+//! ### MTTU (Figure 5)
+//!
+//! The paper's per-scheme formulas, reproduced literally:
+//!
+//! * RADD (and C-RAID): `site-MTTF² / (site-MTTR · (G+1))` — a specific
+//!   site goes down, and one of the other `G+1` fails during its repair.
+//! * ROWB: the same with the single partner: `site-MTTF² / (site-MTTR · 2)`.
+//! * RAID: `site-MTTF` — any outage of the one site makes data unavailable.
+//! * 2D-RADD: `site-MTTF³ / (site-MTTR · (G+1)²)` — two specific further
+//!   sites must fail inside the repair window (this reproduces the printed
+//!   83,333 h).
+//! * 1/2-RADD: the RADD formula with `G/2` gives 9,000 h; the paper prints
+//!   10,000 h (exactly 2 × RADD, the first-order scaling). Both values are
+//!   exposed; [`mttu_hours`] returns the formula value.
+//!
+//! ### MTTF (Figure 6)
+//!
+//! The paper lists four loss events for RADD and approximates MTTF by the
+//! dominant one. The memo's printed formula (4) does not reproduce its own
+//! Figure 6 numbers under any bracketing we tried, so this module derives
+//! every event's rate explicitly (independent exponential failures,
+//! first-order in `MTTR/MTTF`) and combines them as competing risks
+//! (`1/MTTF = Σ rateᵢ`). The qualitative claims all hold: see the tests.
+
+use crate::constants::{ReliabilityConstants, HOURS_PER_YEAR};
+use serde::{Deserialize, Serialize};
+
+/// The six schemes of Section 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Distributed RAID, group size `G`.
+    Radd,
+    /// Read-one-write-both mirroring.
+    Rowb,
+    /// Single-site Level-5 RAID.
+    Raid,
+    /// RADD over local RAIDs.
+    CRaid,
+    /// Row + column parity grid.
+    TwoDRadd,
+    /// RADD at half group size.
+    HalfRadd,
+}
+
+impl Scheme {
+    /// All schemes in the paper's Figure 5/6 row order.
+    pub const ALL: [Scheme; 6] = [
+        Scheme::Radd,
+        Scheme::Rowb,
+        Scheme::Raid,
+        Scheme::CRaid,
+        Scheme::TwoDRadd,
+        Scheme::HalfRadd,
+    ];
+
+    /// Display name as in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Radd => "RADD",
+            Scheme::Rowb => "ROWB",
+            Scheme::Raid => "RAID",
+            Scheme::CRaid => "C-RAID",
+            Scheme::TwoDRadd => "2D-RADD",
+            Scheme::HalfRadd => "1/2-RADD",
+        }
+    }
+
+    /// The MTTU the paper prints in Figure 5 (hours), for side-by-side
+    /// reporting.
+    pub fn paper_mttu_hours(self) -> f64 {
+        match self {
+            Scheme::Radd => 5_000.0,
+            Scheme::Rowb => 22_500.0,
+            Scheme::Raid => 150.0,
+            Scheme::CRaid => 5_000.0,
+            Scheme::TwoDRadd => 83_333.0,
+            Scheme::HalfRadd => 10_000.0,
+        }
+    }
+
+    /// The MTTF the paper prints in Figure 6 (years), per environment in
+    /// Table 2 column order. `f64::INFINITY` stands for the ">500" and
+    /// ">100" entries.
+    pub fn paper_mttf_years(self) -> [f64; 4] {
+        match self {
+            Scheme::Radd => [1.71, 28.5, 6.84, 20.0],
+            Scheme::Rowb => [1.71, 28.5, 6.84, 20.0],
+            Scheme::Raid => [1.71, 1.71, 6.84, 6.84],
+            Scheme::CRaid => [500.0, 500.0, 500.0, 500.0],
+            Scheme::TwoDRadd => [500.0, 500.0, 500.0, 500.0],
+            Scheme::HalfRadd => [3.42, 100.0, 13.7, 100.0],
+        }
+    }
+}
+
+/// MTTU in hours for `scheme` with group size `g` (Figure 5 formulas).
+pub fn mttu_hours(scheme: Scheme, g: usize, c: &ReliabilityConstants) -> f64 {
+    let mttf = c.site_mttf;
+    let mttr = c.site_mttr;
+    match scheme {
+        Scheme::Radd | Scheme::CRaid => mttf * mttf / (mttr * (g as f64 + 1.0)),
+        Scheme::HalfRadd => {
+            let gh = (g / 2) as f64;
+            mttf * mttf / (mttr * (gh + 1.0))
+        }
+        Scheme::Rowb => mttf * mttf / (mttr * 2.0),
+        Scheme::Raid => mttf,
+        Scheme::TwoDRadd => mttf.powi(3) / (mttr * (g as f64 + 1.0).powi(2)),
+    }
+}
+
+/// The four RADD loss events of §7.5, as first-order rates (per hour) for a
+/// group of `g + 2` sites with `N` disks each.
+///
+/// A data item is lost when content-destroying failures overlap at two
+/// sites *and* cover the same blocks:
+///
+/// 1. second disaster while recovering from the first — any other site,
+///    full overlap;
+/// 2. disaster (other site) while recovering from a disk failure — full
+///    overlap with the failed disk's blocks;
+/// 3. second disk crash while recovering from the first — overlapping rows
+///    only when it is the same disk position at another site (probability
+///    `1/N` per crash, i.e. `g+1` overlapping candidates);
+/// 4. disk failure while recovering from a disaster — the probability of
+///    *some* disk failing during the long disaster repair saturates at 1
+///    with many disks, which is the paper's explanation for RADD matching
+///    RAID in 100-disk environments.
+pub fn radd_loss_rates(g: usize, c: &ReliabilityConstants) -> [f64; 4] {
+    let sites = g as f64 + 2.0;
+    let others = g as f64 + 1.0;
+    let n = c.disks_per_site as f64;
+    let disaster_rate = sites / c.disaster_mttf;
+    let disk_rate = sites * n / c.disk_mttf;
+    // Vulnerability windows: a disk failure stays exposed for its rebuild
+    // time (`disk_mttr` — the paper's 1 h / 8 h figures are exactly the
+    // rebuild); a disaster stays exposed until the spare blocks absorb the
+    // site (see `disaster_vulnerability_hours`).
+    let disk_window = c.disk_mttr;
+    let disaster_window = c.disaster_vulnerability_hours();
+
+    let p = |x: f64| x.min(1.0);
+    [
+        // (1) disaster, then another disaster while still vulnerable.
+        disaster_rate * p(others * disaster_window / c.disaster_mttf),
+        // (2) disk failure, then a disaster elsewhere during its rebuild.
+        disk_rate * p(others * disk_window / c.disaster_mttf),
+        // (3) disk failure, then the same-position disk at another site
+        //     during its rebuild.
+        disk_rate * p(others * disk_window / c.disk_mttf),
+        // (4) disaster, then any disk elsewhere while still vulnerable.
+        disaster_rate * p(others * n * disaster_window / c.disk_mttf),
+    ]
+}
+
+/// MTTF in hours for `scheme` with group size `g`.
+pub fn mttf_hours(scheme: Scheme, g: usize, c: &ReliabilityConstants) -> f64 {
+    match scheme {
+        Scheme::Radd => 1.0 / radd_loss_rates(g, c).iter().sum::<f64>(),
+        Scheme::HalfRadd => {
+            // Half the group size, same number of sites overall: rates per
+            // group shrink with the smaller fan-in; a site's data is spread
+            // over groups of g/2 + 2. First-order: the RADD rates with g/2.
+            1.0 / radd_loss_rates(g / 2, c).iter().sum::<f64>()
+        }
+        Scheme::Rowb => {
+            // Mirrored pairs: the same four events with exactly one
+            // "other" site carrying overlapping content (the paper uses the
+            // random-placement conservative case, equivalent to the RADD
+            // value; we model the specific-partner structure with 2
+            // partners — predecessor and successor each share data with a
+            // site). A mirror re-copy is bounded by the disk rebuild time,
+            // so the disaster vulnerability window matches RADD's.
+            let n = c.disks_per_site as f64;
+            let sites = g as f64 + 2.0; // same machine count as the RADD
+            let partners = 2.0;
+            let disaster_rate = sites / c.disaster_mttf;
+            let disk_rate = sites * n / c.disk_mttf;
+            let disaster_window = c.disaster_vulnerability_hours();
+            let p = |x: f64| x.min(1.0);
+            let rates = [
+                disaster_rate * p(partners * disaster_window / c.disaster_mttf),
+                disk_rate * p(partners * c.disk_mttr / c.disaster_mttf),
+                disk_rate * p(partners * c.disk_mttr / c.disk_mttf),
+                disaster_rate * p(partners * n * disaster_window / c.disk_mttf),
+            ];
+            1.0 / rates.iter().sum::<f64>()
+        }
+        Scheme::Raid => {
+            // "MTTF = disaster-MTTF / (G + 2)": the first disaster among
+            // the G+2 boxes (each a RAID) destroys that box's data.
+            c.disaster_mttf / (g as f64 + 2.0)
+        }
+        Scheme::CRaid | Scheme::TwoDRadd => {
+            // Both need a *third*-order coincidence (paper: "each of these
+            // events has a mean time to occur of more than 500 years").
+            // Dominant event: a second disaster during recovery from the
+            // first, with a third overlapping loss required — approximated
+            // by the double-disaster rate times the probability of a
+            // further disk/disaster hit inside the same window.
+            let sites = g as f64 + 2.0;
+            let others = g as f64 + 1.0;
+            let n = c.disks_per_site as f64;
+            let w = c.disaster_vulnerability_hours();
+            let double_disaster =
+                sites / c.disaster_mttf * (others * w / c.disaster_mttf).min(1.0);
+            let third_hit =
+                ((others * n * w / c.disk_mttf) + (others * w / c.disaster_mttf)).min(1.0);
+            1.0 / (double_disaster * third_hit)
+        }
+    }
+}
+
+/// Convenience: MTTF in years.
+pub fn mttf_years(scheme: Scheme, g: usize, c: &ReliabilityConstants) -> f64 {
+    mttf_hours(scheme, g, c) / HOURS_PER_YEAR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constants::Environment;
+
+    const G: usize = 8;
+
+    #[test]
+    fn mttu_matches_figure5_where_the_paper_is_self_consistent() {
+        let c = Environment::CautiousConventional.constants();
+        assert_eq!(mttu_hours(Scheme::Radd, G, &c), 5_000.0);
+        assert_eq!(mttu_hours(Scheme::Rowb, G, &c), 22_500.0);
+        assert_eq!(mttu_hours(Scheme::Raid, G, &c), 150.0);
+        assert_eq!(mttu_hours(Scheme::CRaid, G, &c), 5_000.0);
+        assert!((mttu_hours(Scheme::TwoDRadd, G, &c) - 83_333.3).abs() < 1.0);
+        // 1/2-RADD: formula gives 9,000; the paper prints 10,000 (2× RADD).
+        assert_eq!(mttu_hours(Scheme::HalfRadd, G, &c), 9_000.0);
+    }
+
+    #[test]
+    fn mttu_is_independent_of_environment() {
+        // Figure 5 is printed once because all four columns share the site
+        // constants.
+        for scheme in Scheme::ALL {
+            let a = mttu_hours(scheme, G, &Environment::CautiousRaid.constants());
+            let b = mttu_hours(scheme, G, &Environment::NormalConventional.constants());
+            assert_eq!(a, b, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn raid_mttf_matches_figure6_exactly() {
+        // disaster-MTTF/(G+2): 150,000/10 h = 1.71 yr; 600,000/10 = 6.84 yr.
+        let cautious = mttf_years(Scheme::Raid, G, &Environment::CautiousRaid.constants());
+        assert!((cautious - 1.71).abs() < 0.01, "{cautious}");
+        let normal = mttf_years(Scheme::Raid, G, &Environment::NormalRaid.constants());
+        assert!((normal - 6.84).abs() < 0.01, "{normal}");
+    }
+
+    #[test]
+    fn radd_beats_raid_decisively_in_conventional_environments() {
+        // The paper's headline claim (Figure 7 discussion): RADD
+        // reliability is far better than RAID at equal space overhead. The
+        // paper quotes >16× for cautious conventional; our model, which
+        // additionally accounts for concurrent disk-disk losses (the
+        // paper's event 3, which its own constants make non-negligible),
+        // lands at ~6×. The direction and magnitude class agree.
+        let c = Environment::CautiousConventional.constants();
+        let ratio = mttf_years(Scheme::Radd, G, &c) / mttf_years(Scheme::Raid, G, &c);
+        assert!(ratio > 4.0, "cautious conventional: ratio {ratio:.1}");
+        let c = Environment::NormalConventional.constants();
+        let ratio = mttf_years(Scheme::Radd, G, &c) / mttf_years(Scheme::Raid, G, &c);
+        assert!(ratio > 1.5, "normal conventional: ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn radd_matches_raid_with_many_disks() {
+        // "RADD and ROWB … offer no better reliability than RAID when there
+        // are a large number of disks at each site" — the disk-during-
+        // disaster-recovery probability saturates.
+        let c = Environment::NormalRaid.constants();
+        let radd = mttf_years(Scheme::Radd, G, &c);
+        let raid = mttf_years(Scheme::Raid, G, &c);
+        assert!(
+            radd < 2.5 * raid,
+            "RADD {radd:.1} yr should be within ~2× of RAID {raid:.1} yr"
+        );
+    }
+
+    #[test]
+    fn craid_and_2d_exceed_500_years_everywhere() {
+        for env in Environment::ALL {
+            let c = env.constants();
+            for scheme in [Scheme::CRaid, Scheme::TwoDRadd] {
+                let years = mttf_years(scheme, G, &c);
+                assert!(years > 500.0, "{} {scheme:?}: {years:.0} yr", env.label());
+            }
+        }
+    }
+
+    #[test]
+    fn half_radd_beats_radd_on_mttf() {
+        // Figure 6: 1/2-RADD is roughly 2× RADD (3.42 vs 1.71, 13.7 vs
+        // 6.84) and crosses 100 years in conventional environments.
+        for env in Environment::ALL {
+            let c = env.constants();
+            assert!(
+                mttf_years(Scheme::HalfRadd, G, &c) > mttf_years(Scheme::Radd, G, &c),
+                "{}",
+                env.label()
+            );
+        }
+    }
+
+    #[test]
+    fn loss_event_four_dominates_in_disk_heavy_environments() {
+        // The paper: "it turns out that 4) is much more frequent than the
+        // other three events" — strongest where N is large.
+        let c = Environment::CautiousRaid.constants();
+        let rates = radd_loss_rates(G, &c);
+        assert!(rates[3] > rates[0] && rates[3] > rates[1] && rates[3] > rates[2],
+            "rates: {rates:?}");
+    }
+
+    #[test]
+    fn mttu_ordering_matches_figure5() {
+        // 2D-RADD > ROWB > 1/2-RADD > RADD = C-RAID > RAID.
+        let c = Environment::CautiousConventional.constants();
+        let v: Vec<f64> = Scheme::ALL
+            .iter()
+            .map(|&s| mttu_hours(s, G, &c))
+            .collect();
+        let (radd, rowb, raid, craid, twod, half) = (v[0], v[1], v[2], v[3], v[4], v[5]);
+        assert!(twod > rowb);
+        assert!(rowb > half);
+        assert!(half > radd);
+        assert_eq!(radd, craid);
+        assert!(radd > raid);
+    }
+}

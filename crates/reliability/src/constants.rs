@@ -1,0 +1,125 @@
+//! The paper's Table 2: reliability constants for four environments.
+
+use serde::{Deserialize, Serialize};
+
+/// Hours per year (Julian year, as the paper's "1.71 years ≈ 15,000 hours"
+/// arithmetic implies ~8766 h/yr).
+pub const HOURS_PER_YEAR: f64 = 8766.0;
+
+/// The four columns of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Environment {
+    /// Cautious user (serious disaster-recovery plan), RAID-style disk farm.
+    CautiousRaid,
+    /// Cautious user, conventional machine room.
+    CautiousConventional,
+    /// Normal user, RAID-style disk farm.
+    NormalRaid,
+    /// Normal user, conventional machine room.
+    NormalConventional,
+}
+
+impl Environment {
+    /// All four environments in the paper's column order.
+    pub const ALL: [Environment; 4] = [
+        Environment::CautiousRaid,
+        Environment::CautiousConventional,
+        Environment::NormalRaid,
+        Environment::NormalConventional,
+    ];
+
+    /// Column header as printed in Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            Environment::CautiousRaid => "cautious RAID",
+            Environment::CautiousConventional => "cautious conventional",
+            Environment::NormalRaid => "normal RAID",
+            Environment::NormalConventional => "normal conventional",
+        }
+    }
+
+    /// The Table 2 constants for this environment.
+    pub fn constants(self) -> ReliabilityConstants {
+        let (disk_mttr, n) = match self {
+            Environment::CautiousRaid | Environment::NormalRaid => (1.0, 100),
+            Environment::CautiousConventional | Environment::NormalConventional => (8.0, 10),
+        };
+        let (disaster_mttf, disaster_mttr) = match self {
+            Environment::CautiousRaid | Environment::CautiousConventional => (150_000.0, 24.0),
+            Environment::NormalRaid | Environment::NormalConventional => (600_000.0, 300.0),
+        };
+        ReliabilityConstants {
+            disk_mttf: 30_000.0,
+            disk_mttr,
+            site_mttf: 150.0,
+            site_mttr: 0.5,
+            disaster_mttf,
+            disaster_mttr,
+            disks_per_site: n,
+        }
+    }
+}
+
+/// One column of Table 2, all times in hours.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityConstants {
+    /// Mean time to failure of one disk (30,000 h ≈ 4 years).
+    pub disk_mttf: f64,
+    /// Mean time to repair a failed disk.
+    pub disk_mttr: f64,
+    /// Mean time between temporary failures of one site (~weekly).
+    pub site_mttf: f64,
+    /// Mean time to restore a temporarily failed site (30 minutes).
+    pub site_mttr: f64,
+    /// Mean time between disasters at one site.
+    pub disaster_mttf: f64,
+    /// Mean time to restore a site after a disaster.
+    pub disaster_mttr: f64,
+    /// Disks per site, `N`.
+    pub disks_per_site: usize,
+}
+
+impl ReliabilityConstants {
+    /// How long a disaster-struck site's data stays *vulnerable* — i.e.
+    /// dependent on every other site's disks. The hardware repair takes
+    /// `disaster_mttr`, but the §3.2 background process reconstructs the
+    /// lost blocks onto the group's spare blocks long before that: at the
+    /// paper's "recovery time can easily be contained to an hour" per
+    /// disk, a whole site of `N` disks is absorbed in about `N` hours.
+    /// After absorption, a further disk failure elsewhere no longer loses
+    /// data. Without this window, the paper's own Figure 6 numbers are
+    /// unreachable (a 300-hour disaster repair with 90 exposed disks would
+    /// make loss event 4 near-certain in *every* environment).
+    pub fn disaster_vulnerability_hours(&self) -> f64 {
+        (self.disks_per_site as f64).min(self.disaster_mttr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values() {
+        let c = Environment::CautiousRaid.constants();
+        assert_eq!(c.disk_mttf, 30_000.0);
+        assert_eq!(c.disk_mttr, 1.0);
+        assert_eq!(c.site_mttf, 150.0);
+        assert_eq!(c.site_mttr, 0.5);
+        assert_eq!(c.disaster_mttf, 150_000.0);
+        assert_eq!(c.disaster_mttr, 24.0);
+        assert_eq!(c.disks_per_site, 100);
+
+        let c = Environment::NormalConventional.constants();
+        assert_eq!(c.disk_mttr, 8.0);
+        assert_eq!(c.disaster_mttf, 600_000.0);
+        assert_eq!(c.disaster_mttr, 300.0);
+        assert_eq!(c.disks_per_site, 10);
+    }
+
+    #[test]
+    fn labels_match_paper_columns() {
+        assert_eq!(Environment::ALL.len(), 4);
+        assert_eq!(Environment::CautiousConventional.label(), "cautious conventional");
+    }
+}

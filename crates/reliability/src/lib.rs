@@ -1,0 +1,36 @@
+//! # radd-reliability — MTTU / MTTF models (paper Section 7.5)
+//!
+//! Two metrics, per the paper:
+//!
+//! * **MTTU** — mean time to unavailability: "the mean time until the
+//!   particular data item is unavailable because the algorithms must wait
+//!   for some site failure to be repaired" (Figure 5);
+//! * **MTTF** — mean time to data loss: "the mean time until there exists a
+//!   data item that cannot be restored" (Figure 6, four environments).
+//!
+//! Three layers:
+//!
+//! * [`constants`] — the Table 2 environments;
+//! * [`analytic`] — closed-form rates. The memo's printed formulas contain
+//!   typographic ambiguities and its Figures 5/6 are not all mutually
+//!   consistent, so this module derives each loss event's rate from first
+//!   principles (documented per function) *and* records the paper's
+//!   published values for side-by-side comparison;
+//! * [`monte_carlo`] — an event-driven simulation of the exponential
+//!   failure/repair processes that measures both metrics directly, the
+//!   ground truth the bench harness prints next to the closed forms;
+//! * [`markov`] — exact absorbing-CTMC MTTU (expected-absorption linear
+//!   system), the third triangulation point between the first-order
+//!   formulas and the sampled simulation.
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod constants;
+pub mod markov;
+pub mod monte_carlo;
+
+pub use analytic::{mttf_hours, mttu_hours, Scheme};
+pub use constants::{Environment, ReliabilityConstants, HOURS_PER_YEAR};
+pub use markov::{mttu_exact_radd, mttu_exact_rowb};
+pub use monte_carlo::{MonteCarlo, McEstimate};

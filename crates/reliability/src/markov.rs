@@ -1,0 +1,198 @@
+//! Exact Markov-chain MTTU: the third triangulation point.
+//!
+//! The paper's Figure 5 values are first-order approximations; the Monte
+//! Carlo measures the true both-orderings process. This module closes the
+//! loop by solving the availability process *exactly* as an absorbing
+//! continuous-time Markov chain, using the standard expected-absorption
+//! linear system
+//!
+//! ```text
+//! t(s) = 1/rate_out(s) + Σ_s' P(s → s') · t(s')
+//! ```
+//!
+//! solved by Gaussian elimination. For a data item of one site in a group
+//! of `G + 2` sites with exponential site failures (rate λ = 1/MTTF) and
+//! repairs (rate μ = 1/MTTR), the item is unavailable as soon as its home
+//! site and any other site are down together — the states are
+//! (home up/down, number of other sites down).
+//!
+//! The solver treats repairs as exponential and sites as independent, the
+//! same assumptions as the closed forms and the simulator, so the three
+//! methods are directly comparable (see the tests and `fig5_mttu`).
+
+use crate::constants::ReliabilityConstants;
+
+/// Solve `A·x = b` by Gaussian elimination with partial pivoting.
+/// Panics on a singular system (cannot happen for an absorbing chain with
+/// strictly positive rates).
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        assert!(a[col][col].abs() > 1e-30, "singular system");
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            // Indexing both the pivot row and the target row: split_at_mut
+            // gymnastics would obscure the elimination.
+            #[allow(clippy::needless_range_loop)]
+            for k in col..n {
+                let pivot_val = a[col][k];
+                a[row][k] -= f * pivot_val;
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    (0..n).map(|i| b[i] / a[i][i]).collect()
+}
+
+/// Exact MTTU (hours) of a specific data item in a RADD group of `g + 2`
+/// sites: expected time until the item's home site and at least one other
+/// site are down simultaneously.
+///
+/// States are `(home_down, k)` with `k` = number of *other* sites down,
+/// `0 ≤ k ≤ G+1`. Absorbing states: `home_down && k ≥ 1`. Since any
+/// `(true, k ≥ 1)` is absorbing, only `(false, k)` for all `k` and
+/// `(true, 0)` are transient.
+pub fn mttu_exact_radd(g: usize, c: &ReliabilityConstants) -> f64 {
+    let others = g + 1;
+    let lambda = 1.0 / c.site_mttf;
+    let mu = 1.0 / c.site_mttr;
+    // Transient states: 0..=others → (home up, k others down);
+    //                    others+1  → (home down, 0 others down).
+    let n = others + 2;
+    let idx_up = |k: usize| k;
+    let idx_home_down = others + 1;
+
+    let mut a = vec![vec![0.0; n]; n];
+    let mut b = vec![0.0; n];
+    for k in 0..=others {
+        let i = idx_up(k);
+        // Out-rates from (up, k): home fails λ; another of (others-k) fails;
+        // one of k repairs μ·k.
+        let fail_home = lambda;
+        let fail_other = lambda * (others - k) as f64;
+        let repair = mu * k as f64;
+        let total = fail_home + fail_other + repair;
+        // t_i = 1/total + Σ P(next) t_next ; absorbing targets contribute 0.
+        a[i][i] = 1.0;
+        b[i] = 1.0 / total;
+        // Home fails: if k ≥ 1 → absorbed (unavailable). If k = 0 → state
+        // (down, 0).
+        if k == 0 {
+            a[i][idx_home_down] -= fail_home / total;
+        }
+        // Another site fails: (up, k+1) — unless k = others (impossible,
+        // fail_other = 0 there).
+        if k < others {
+            a[i][idx_up(k + 1)] -= fail_other / total;
+        }
+        // A repair: (up, k-1).
+        if k > 0 {
+            a[i][idx_up(k - 1)] -= repair / total;
+        }
+    }
+    {
+        // (down, 0): home repairs at μ, or one of the others fails → absorbed.
+        let i = idx_home_down;
+        let repair_home = mu;
+        let fail_other = lambda * others as f64;
+        let total = repair_home + fail_other;
+        a[i][i] = 1.0;
+        b[i] = 1.0 / total;
+        a[i][idx_up(0)] -= repair_home / total;
+        // fail_other → absorbed, contributes nothing.
+    }
+    let t = solve(a, b);
+    t[idx_up(0)]
+}
+
+/// Exact MTTU for ROWB (a specific mirrored pair): the same chain with one
+/// partner instead of `G + 1` others.
+pub fn mttu_exact_rowb(c: &ReliabilityConstants) -> f64 {
+    // Equivalent to a "group" with exactly 1 other site.
+    mttu_exact_radd(0, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::{mttu_hours, Scheme};
+    use crate::constants::Environment;
+    use crate::monte_carlo::MonteCarlo;
+
+    const G: usize = 8;
+
+    #[test]
+    fn solver_handles_a_known_system() {
+        // 2x + y = 5 ; x + 3y = 10 → x = 1, y = 3.
+        let x = solve(vec![vec![2.0, 1.0], vec![1.0, 3.0]], vec![5.0, 10.0]);
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_mttu_sits_between_half_and_full_closed_form() {
+        // The closed form counts one ordering; the exact chain counts both,
+        // so it lands near half the closed form (repairs are fast relative
+        // to failures, so the two orderings contribute almost equally).
+        let c = Environment::CautiousConventional.constants();
+        let exact = mttu_exact_radd(G, &c);
+        let formula = mttu_hours(Scheme::Radd, G, &c);
+        let ratio = exact / formula;
+        assert!(
+            (0.45..0.75).contains(&ratio),
+            "exact {exact:.0} vs formula {formula:.0}: ratio {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn exact_mttu_agrees_with_monte_carlo() {
+        let c = Environment::CautiousConventional.constants();
+        let exact = mttu_exact_radd(G, &c);
+        let mc = MonteCarlo::new(G, c, 77).mttu_radd(1500);
+        let dev = (mc.mean_hours - exact).abs();
+        assert!(
+            dev < 5.0 * mc.std_error + 0.02 * exact,
+            "exact {exact:.0} vs MC {:.0} ± {:.0}",
+            mc.mean_hours,
+            mc.std_error
+        );
+    }
+
+    #[test]
+    fn rowb_exact_agrees_with_monte_carlo() {
+        let c = Environment::CautiousConventional.constants();
+        let exact = mttu_exact_rowb(&c);
+        let mut mc_engine = MonteCarlo::new(G, c, 78);
+        let mc = mc_engine.mttu_rowb(800);
+        let dev = (mc.mean_hours - exact).abs();
+        assert!(
+            dev < 5.0 * mc.std_error + 0.03 * exact,
+            "exact {exact:.0} vs MC {:.0} ± {:.0}",
+            mc.mean_hours,
+            mc.std_error
+        );
+    }
+
+    #[test]
+    fn more_sites_means_less_available() {
+        let c = Environment::CautiousConventional.constants();
+        let mut last = f64::INFINITY;
+        for g in [1usize, 2, 4, 8, 16] {
+            let v = mttu_exact_radd(g, &c);
+            assert!(v < last, "G={g}: {v} should shrink");
+            last = v;
+        }
+    }
+}

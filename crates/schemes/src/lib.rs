@@ -1,0 +1,37 @@
+//! # radd-schemes — the paper's six high-availability schemes
+//!
+//! Section 7 compares RADD against five alternatives. All six are
+//! implemented here behind one [`ReplicationScheme`] trait so the bench
+//! harness can run the same workloads and failure scripts over each:
+//!
+//! | scheme | crate type | space overhead (G = 8) |
+//! |---|---|---|
+//! | RADD | [`Radd`] (wraps `radd-core`) | 25 % |
+//! | ROWB | [`Rowb`] — read-one-write-both mirroring | 100 % |
+//! | RAID | [`Raid5`] — a single-site Level-5 RAID | 25 % |
+//! | C-RAID | [`CRaid`] — RADD over local RAIDs | 56.25 % |
+//! | 2D-RADD | [`TwoDRadd`] — row + column parity grid | 50 % |
+//! | 1/2-RADD | [`Radd`] with `G = 4` | 50 % |
+//!
+//! Each implementation stores real blocks and maintains real redundancy —
+//! reads during failures return reconstructed contents, not placeholders —
+//! and returns [`OpReceipt`]s whose counts reproduce the paper's Figure 3
+//! formulas.
+
+#![warn(missing_docs)]
+
+pub mod craid;
+pub mod radd;
+pub mod raid5;
+pub mod rowb;
+pub mod traits;
+pub mod twod;
+
+pub use craid::CRaid;
+pub use radd::Radd;
+pub use raid5::Raid5;
+pub use rowb::Rowb;
+pub use traits::{FailureKind, ReplicationScheme};
+pub use twod::TwoDRadd;
+
+pub use radd_core::{Actor, OpReceipt, RaddError};

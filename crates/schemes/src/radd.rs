@@ -1,0 +1,174 @@
+//! RADD and 1/2-RADD as [`ReplicationScheme`]s (thin wrapper over
+//! `radd-core`).
+
+use crate::traits::{FailureKind, ReplicationScheme};
+use bytes::Bytes;
+use radd_core::{Actor, OpReceipt, RaddCluster, RaddConfig, RaddError, SiteId, SiteState};
+
+/// The paper's RADD, or 1/2-RADD when constructed with half the group size.
+#[derive(Debug)]
+pub struct Radd {
+    cluster: RaddCluster,
+    name: &'static str,
+    pending_disk: Vec<Option<usize>>,
+}
+
+impl Radd {
+    /// A RADD with the given configuration.
+    pub fn new(config: RaddConfig) -> Result<Radd, RaddError> {
+        let n = config.num_sites();
+        Ok(Radd {
+            cluster: RaddCluster::new(config)?,
+            name: "RADD",
+            pending_disk: vec![None; n],
+        })
+    }
+
+    /// The paper's 1/2-RADD: group size halved (`G = 4` next to the
+    /// evaluation's `G = 8`), doubling the space overhead to 50 % but
+    /// halving reconstruction fan-in (`G·RR/2` in Figure 3).
+    pub fn half(mut config: RaddConfig) -> Result<Radd, RaddError> {
+        config.group_size /= 2;
+        assert!(config.group_size >= 1, "half of G must be at least 1");
+        let n = config.num_sites();
+        Ok(Radd {
+            cluster: RaddCluster::new(config)?,
+            name: "1/2-RADD",
+            pending_disk: vec![None; n],
+        })
+    }
+
+    /// Access to the underlying cluster (traffic stats, tracer, …).
+    pub fn cluster(&mut self) -> &mut RaddCluster {
+        &mut self.cluster
+    }
+}
+
+impl ReplicationScheme for Radd {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn space_overhead(&self) -> f64 {
+        // Accounts for partial spare allocation (§7.2): parity is always
+        // 1/G; spares contribute their allocated fraction.
+        self.cluster
+            .config()
+            .spare_policy
+            .space_overhead(self.cluster.config().group_size)
+    }
+
+    fn num_sites(&self) -> usize {
+        self.cluster.config().num_sites()
+    }
+
+    fn data_capacity(&self, site: SiteId) -> u64 {
+        self.cluster.data_capacity(site)
+    }
+
+    fn block_size(&self) -> usize {
+        self.cluster.config().block_size
+    }
+
+    fn read(
+        &mut self,
+        actor: Actor,
+        site: SiteId,
+        index: u64,
+    ) -> Result<(Bytes, OpReceipt), RaddError> {
+        self.cluster.read(actor, site, index)
+    }
+
+    fn write(
+        &mut self,
+        actor: Actor,
+        site: SiteId,
+        index: u64,
+        data: &[u8],
+    ) -> Result<OpReceipt, RaddError> {
+        self.cluster.write(actor, site, index, data)
+    }
+
+    fn inject(&mut self, site: SiteId, kind: FailureKind) -> Result<(), RaddError> {
+        match kind {
+            FailureKind::SiteFailure => self.cluster.fail_site(site),
+            FailureKind::Disaster => self.cluster.disaster(site),
+            FailureKind::DiskFailure { disk } => {
+                self.cluster.fail_disk(site, disk);
+                self.pending_disk[site] = Some(disk);
+            }
+        }
+        Ok(())
+    }
+
+    fn repair(&mut self, site: SiteId) -> Result<(), RaddError> {
+        if let Some(disk) = self.pending_disk[site].take() {
+            self.cluster.replace_disk(site, disk);
+        }
+        if self.cluster.site_state(site) == SiteState::Down {
+            self.cluster.restore_site(site);
+        }
+        if self.cluster.site_state(site) == SiteState::Recovering {
+            self.cluster.run_recovery(site)?;
+        }
+        Ok(())
+    }
+
+    fn verify(&mut self) -> Result<(), String> {
+        self.cluster.verify_parity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radd_space_overhead_matches_figure2() {
+        let r = Radd::new(RaddConfig::paper_g8()).unwrap();
+        assert_eq!(r.space_overhead(), 0.25);
+        assert_eq!(r.name(), "RADD");
+    }
+
+    #[test]
+    fn half_radd_space_overhead_is_50_percent() {
+        let mut cfg = RaddConfig::paper_g8();
+        cfg.rows = 60; // divisible by the 6 sites of G = 4
+        cfg.disks_per_site = 10;
+        let r = Radd::half(cfg).unwrap();
+        assert_eq!(r.space_overhead(), 0.5);
+        assert_eq!(r.name(), "1/2-RADD");
+        assert_eq!(r.num_sites(), 6);
+    }
+
+    #[test]
+    fn half_radd_failure_read_is_half_fanin() {
+        let mut cfg = RaddConfig::paper_g8();
+        cfg.rows = 60;
+        cfg.block_size = 64;
+        let mut r = Radd::half(cfg).unwrap();
+        let data = vec![5u8; 64];
+        r.write(Actor::Site(1), 1, 0, &data).unwrap();
+        r.inject(1, FailureKind::SiteFailure).unwrap();
+        let (got, receipt) = r.read(Actor::Client, 1, 0).unwrap();
+        assert_eq!(&got[..], &data[..]);
+        assert_eq!(receipt.counts.formula(), "4*RR"); // G·RR/2 with G = 8
+    }
+
+    #[test]
+    fn inject_and_repair_disk_failure() {
+        let mut cfg = RaddConfig::paper_g8();
+        cfg.block_size = 64;
+        let mut r = Radd::new(cfg).unwrap();
+        let data = vec![9u8; 64];
+        r.write(Actor::Site(0), 0, 0, &data).unwrap();
+        let row = r.cluster().geometry().data_to_physical(0, 0);
+        let disk = (row / r.cluster().config().blocks_per_disk()) as usize;
+        r.inject(0, FailureKind::DiskFailure { disk }).unwrap();
+        r.repair(0).unwrap();
+        let (got, receipt) = r.read(Actor::Site(0), 0, 0).unwrap();
+        assert_eq!(&got[..], &data[..]);
+        assert_eq!(receipt.counts.formula(), "R");
+        r.verify().unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! The common interface every scheme implements.
+
+use bytes::Bytes;
+use radd_core::{Actor, OpReceipt, RaddError, SiteId};
+use serde::{Deserialize, Serialize};
+
+/// The paper's three failure kinds (§3.1), as injectable events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Temporary site failure: the site stops; its disks keep their data.
+    SiteFailure,
+    /// Site disaster: the site stops and all its disks are lost.
+    Disaster,
+    /// One disk at the site fails; the site stays operational.
+    DiskFailure {
+        /// Which disk.
+        disk: usize,
+    },
+}
+
+/// A redundancy scheme under test: block reads/writes plus failure
+/// injection, with per-operation cost receipts.
+///
+/// Addresses are `(site, index)` pairs: which site owns the data block and
+/// its site-local index. Single-site schemes (RAID) use `site = 0`.
+pub trait ReplicationScheme {
+    /// Scheme name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Space overhead as a fraction of data capacity (Figure 2).
+    fn space_overhead(&self) -> f64;
+
+    /// Number of sites the scheme spans.
+    fn num_sites(&self) -> usize;
+
+    /// Data blocks addressable at `site`.
+    fn data_capacity(&self, site: SiteId) -> u64;
+
+    /// Block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Read a data block.
+    fn read(
+        &mut self,
+        actor: Actor,
+        site: SiteId,
+        index: u64,
+    ) -> Result<(Bytes, OpReceipt), RaddError>;
+
+    /// Write a data block.
+    fn write(
+        &mut self,
+        actor: Actor,
+        site: SiteId,
+        index: u64,
+        data: &[u8],
+    ) -> Result<OpReceipt, RaddError>;
+
+    /// Inject a failure at `site`.
+    fn inject(&mut self, site: SiteId, kind: FailureKind) -> Result<(), RaddError>;
+
+    /// Repair the failure at `site` and run whatever recovery the scheme
+    /// needs until the site is fully caught up.
+    fn repair(&mut self, site: SiteId) -> Result<(), RaddError>;
+
+    /// Check the scheme's internal redundancy invariant (parity equations,
+    /// mirror equality); returns a description of the first violation.
+    fn verify(&mut self) -> Result<(), String>;
+}

@@ -1,0 +1,399 @@
+//! The paper's cost model (Table 1 / Figures 3 and 4).
+//!
+//! Every I/O an algorithm performs is one of four kinds: a **local read**
+//! (`R`), **local write** (`W`), **remote read** (`RR`) or **remote write**
+//! (`RW`). Section 7.3 evaluates all schemes by counting these per operation
+//! (Figure 3) and then pricing them with `R = W = 30 ms` and
+//! `RR = RW = 75 ms` (Figure 4, constants from \[LAZO86\]).
+//!
+//! [`OpCounts`] accumulates the four counters and can render itself both as
+//! the paper's symbolic formulas (`"W+RW"`, `"8*RR"`) and as priced
+//! latencies, which is how the bench harness checks measured behaviour
+//! against the published rows.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// The four I/O kinds of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// `R` — a block read on a disk attached to the acting site.
+    LocalRead,
+    /// `W` — a block write on a disk attached to the acting site.
+    LocalWrite,
+    /// `RR` — a block read served by another site over the network.
+    RemoteRead,
+    /// `RW` — a block write performed at another site over the network
+    /// (including the parity read-modify-write, which the paper prices as a
+    /// single `RW` thanks to old-value buffering and parity prefetch).
+    RemoteWrite,
+}
+
+impl OpKind {
+    /// The paper's symbol for this kind.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            OpKind::LocalRead => "R",
+            OpKind::LocalWrite => "W",
+            OpKind::RemoteRead => "RR",
+            OpKind::RemoteWrite => "RW",
+        }
+    }
+}
+
+/// Latency assigned to each [`OpKind`] (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Cost of a local read (`R`).
+    pub local_read: SimDuration,
+    /// Cost of a local write (`W`).
+    pub local_write: SimDuration,
+    /// Cost of a remote read (`RR`).
+    pub remote_read: SimDuration,
+    /// Cost of a remote write (`RW`).
+    pub remote_write: SimDuration,
+}
+
+impl CostParams {
+    /// The constants Section 7.3 uses for Figure 4: `R = W = 30 ms`, remote
+    /// operations 2.5× more costly (`RR = RW = 75 ms`).
+    pub fn paper_defaults() -> Self {
+        CostParams {
+            local_read: SimDuration::from_millis(30),
+            local_write: SimDuration::from_millis(30),
+            remote_read: SimDuration::from_millis(75),
+            remote_write: SimDuration::from_millis(75),
+        }
+    }
+
+    /// Uniform symbolic costs (`R = W = 1`, `RR = RW = 1`); with these, a
+    /// priced [`OpCounts`] equals the total op count — handy in tests.
+    pub fn unit() -> Self {
+        let one = SimDuration::from_millis(1);
+        CostParams {
+            local_read: one,
+            local_write: one,
+            remote_read: one,
+            remote_write: one,
+        }
+    }
+
+    /// Latency of one operation of the given kind.
+    pub fn cost_of(&self, kind: OpKind) -> SimDuration {
+        match kind {
+            OpKind::LocalRead => self.local_read,
+            OpKind::LocalWrite => self.local_write,
+            OpKind::RemoteRead => self.remote_read,
+            OpKind::RemoteWrite => self.remote_write,
+        }
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+/// Counts of the four operation kinds, the currency of Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Number of local reads (`R`).
+    pub local_reads: u64,
+    /// Number of local writes (`W`).
+    pub local_writes: u64,
+    /// Number of remote reads (`RR`).
+    pub remote_reads: u64,
+    /// Number of remote writes (`RW`).
+    pub remote_writes: u64,
+}
+
+impl OpCounts {
+    /// All-zero counts.
+    pub const ZERO: OpCounts = OpCounts {
+        local_reads: 0,
+        local_writes: 0,
+        remote_reads: 0,
+        remote_writes: 0,
+    };
+
+    /// Shorthand constructor in the paper's `(R, W, RR, RW)` order.
+    pub fn new(r: u64, w: u64, rr: u64, rw: u64) -> Self {
+        OpCounts {
+            local_reads: r,
+            local_writes: w,
+            remote_reads: rr,
+            remote_writes: rw,
+        }
+    }
+
+    /// Record one operation of the given kind.
+    pub fn record(&mut self, kind: OpKind) {
+        match kind {
+            OpKind::LocalRead => self.local_reads += 1,
+            OpKind::LocalWrite => self.local_writes += 1,
+            OpKind::RemoteRead => self.remote_reads += 1,
+            OpKind::RemoteWrite => self.remote_writes += 1,
+        }
+    }
+
+    /// Record `n` operations of the given kind.
+    pub fn record_n(&mut self, kind: OpKind, n: u64) {
+        match kind {
+            OpKind::LocalRead => self.local_reads += n,
+            OpKind::LocalWrite => self.local_writes += n,
+            OpKind::RemoteRead => self.remote_reads += n,
+            OpKind::RemoteWrite => self.remote_writes += n,
+        }
+    }
+
+    /// Total number of operations of all kinds.
+    pub fn total(&self) -> u64 {
+        self.local_reads + self.local_writes + self.remote_reads + self.remote_writes
+    }
+
+    /// Price these counts under the given parameters — this is how a Figure 3
+    /// row becomes a Figure 4 row.
+    pub fn priced(&self, params: &CostParams) -> SimDuration {
+        params.cost_of(OpKind::LocalRead) * self.local_reads
+            + params.cost_of(OpKind::LocalWrite) * self.local_writes
+            + params.cost_of(OpKind::RemoteRead) * self.remote_reads
+            + params.cost_of(OpKind::RemoteWrite) * self.remote_writes
+    }
+
+    /// Render in the paper's formula notation, e.g. `W+RW`, `8*RR`, `2*RW`.
+    /// Zero counts are omitted; all-zero renders as `0`.
+    pub fn formula(&self) -> String {
+        let mut parts = Vec::with_capacity(4);
+        for (count, sym) in [
+            (self.local_reads, "R"),
+            (self.local_writes, "W"),
+            (self.remote_reads, "RR"),
+            (self.remote_writes, "RW"),
+        ] {
+            match count {
+                0 => {}
+                1 => parts.push(sym.to_string()),
+                n => parts.push(format!("{n}*{sym}")),
+            }
+        }
+        if parts.is_empty() {
+            "0".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    /// Mean counts over `n` operations (for reporting averages of measured
+    /// runs). Returns per-kind floating means in `(R, W, RR, RW)` order.
+    pub fn mean_over(&self, n: u64) -> [f64; 4] {
+        let d = n.max(1) as f64;
+        [
+            self.local_reads as f64 / d,
+            self.local_writes as f64 / d,
+            self.remote_reads as f64 / d,
+            self.remote_writes as f64 / d,
+        ]
+    }
+}
+
+impl Add for OpCounts {
+    type Output = OpCounts;
+    fn add(self, o: OpCounts) -> OpCounts {
+        OpCounts {
+            local_reads: self.local_reads + o.local_reads,
+            local_writes: self.local_writes + o.local_writes,
+            remote_reads: self.remote_reads + o.remote_reads,
+            remote_writes: self.remote_writes + o.remote_writes,
+        }
+    }
+}
+
+impl AddAssign for OpCounts {
+    fn add_assign(&mut self, o: OpCounts) {
+        *self = *self + o;
+    }
+}
+
+impl fmt::Display for OpCounts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.formula())
+    }
+}
+
+/// Accumulates operation counts and priced latency for a whole experiment
+/// run, with **foreground** (on the critical path of a client operation, what
+/// Figures 3/4 report) and **background** (recovery daemons, side-effect
+/// spare installs) kept separate — the paper prices only the former into
+/// response times.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CostLedger {
+    /// Cost parameters used for pricing.
+    pub params: CostParams,
+    /// Counts charged on operation critical paths.
+    pub foreground: OpCounts,
+    /// Counts charged to background/recovery activity.
+    pub background: OpCounts,
+    /// Total priced foreground latency.
+    pub latency: SimDuration,
+}
+
+impl CostLedger {
+    /// A ledger pricing with the given parameters.
+    pub fn new(params: CostParams) -> Self {
+        CostLedger {
+            params,
+            ..Default::default()
+        }
+    }
+
+    /// Charge one foreground operation; returns its latency so callers can
+    /// advance their virtual clock.
+    pub fn charge(&mut self, kind: OpKind) -> SimDuration {
+        self.foreground.record(kind);
+        let d = self.params.cost_of(kind);
+        self.latency += d;
+        d
+    }
+
+    /// Charge one background operation (not added to foreground latency).
+    pub fn charge_background(&mut self, kind: OpKind) {
+        self.background.record(kind);
+    }
+
+    /// Counts of everything charged, foreground plus background.
+    pub fn total_counts(&self) -> OpCounts {
+        self.foreground + self.background
+    }
+
+    /// Reset all counters, keeping the parameters.
+    pub fn reset(&mut self) {
+        self.foreground = OpCounts::ZERO;
+        self.background = OpCounts::ZERO;
+        self.latency = SimDuration::ZERO;
+    }
+
+    /// Take a snapshot of the foreground counters, for measuring a single
+    /// operation: call before and after, subtract.
+    pub fn snapshot(&self) -> (OpCounts, SimDuration) {
+        (self.foreground, self.latency)
+    }
+
+    /// Difference between the current state and an earlier [`snapshot`].
+    ///
+    /// [`snapshot`]: CostLedger::snapshot
+    pub fn since(&self, snap: (OpCounts, SimDuration)) -> (OpCounts, SimDuration) {
+        let (c0, l0) = snap;
+        (
+            OpCounts {
+                local_reads: self.foreground.local_reads - c0.local_reads,
+                local_writes: self.foreground.local_writes - c0.local_writes,
+                remote_reads: self.foreground.remote_reads - c0.remote_reads,
+                remote_writes: self.foreground.remote_writes - c0.remote_writes,
+            },
+            self.latency - l0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_73() {
+        let p = CostParams::paper_defaults();
+        assert_eq!(p.local_read.as_millis(), 30);
+        assert_eq!(p.local_write.as_millis(), 30);
+        assert_eq!(p.remote_read.as_millis(), 75);
+        assert_eq!(p.remote_write.as_millis(), 75);
+    }
+
+    #[test]
+    fn radd_normal_write_prices_to_105ms() {
+        // Figure 4, row "no failure write time", column RADD: W + RW = 105.
+        let counts = OpCounts::new(0, 1, 0, 1);
+        assert_eq!(counts.priced(&CostParams::paper_defaults()).as_millis(), 105);
+    }
+
+    #[test]
+    fn disk_failure_read_prices_to_600ms() {
+        // Figure 4, RADD disk-failure read: G*RR with G = 8 → 600 ms.
+        let counts = OpCounts::new(0, 0, 8, 0);
+        assert_eq!(counts.priced(&CostParams::paper_defaults()).as_millis(), 600);
+    }
+
+    #[test]
+    fn formula_rendering() {
+        assert_eq!(OpCounts::new(1, 0, 0, 0).formula(), "R");
+        assert_eq!(OpCounts::new(0, 1, 0, 1).formula(), "W+RW");
+        assert_eq!(OpCounts::new(0, 0, 8, 0).formula(), "8*RR");
+        assert_eq!(OpCounts::new(0, 3, 0, 1).formula(), "3*W+RW");
+        assert_eq!(OpCounts::new(1, 0, 1, 0).formula(), "R+RR");
+        assert_eq!(OpCounts::ZERO.formula(), "0");
+    }
+
+    #[test]
+    fn record_and_total() {
+        let mut c = OpCounts::ZERO;
+        c.record(OpKind::LocalRead);
+        c.record(OpKind::RemoteWrite);
+        c.record_n(OpKind::RemoteRead, 8);
+        assert_eq!(c.total(), 10);
+        assert_eq!(c, OpCounts::new(1, 0, 8, 1));
+    }
+
+    #[test]
+    fn counts_add() {
+        let a = OpCounts::new(1, 2, 3, 4);
+        let b = OpCounts::new(10, 20, 30, 40);
+        assert_eq!(a + b, OpCounts::new(11, 22, 33, 44));
+    }
+
+    #[test]
+    fn ledger_charges_foreground_latency() {
+        let mut l = CostLedger::new(CostParams::paper_defaults());
+        let d1 = l.charge(OpKind::LocalWrite);
+        let d2 = l.charge(OpKind::RemoteWrite);
+        assert_eq!(d1.as_millis(), 30);
+        assert_eq!(d2.as_millis(), 75);
+        assert_eq!(l.latency.as_millis(), 105);
+        assert_eq!(l.foreground, OpCounts::new(0, 1, 0, 1));
+    }
+
+    #[test]
+    fn ledger_background_not_in_latency() {
+        let mut l = CostLedger::new(CostParams::paper_defaults());
+        l.charge_background(OpKind::RemoteWrite);
+        assert_eq!(l.latency, SimDuration::ZERO);
+        assert_eq!(l.background.remote_writes, 1);
+        assert_eq!(l.total_counts().remote_writes, 1);
+    }
+
+    #[test]
+    fn ledger_snapshot_diff() {
+        let mut l = CostLedger::new(CostParams::paper_defaults());
+        l.charge(OpKind::LocalRead);
+        let snap = l.snapshot();
+        l.charge(OpKind::RemoteRead);
+        l.charge(OpKind::RemoteRead);
+        let (counts, latency) = l.since(snap);
+        assert_eq!(counts, OpCounts::new(0, 0, 2, 0));
+        assert_eq!(latency.as_millis(), 150);
+    }
+
+    #[test]
+    fn unit_params_count_ops() {
+        let c = OpCounts::new(1, 2, 3, 4);
+        assert_eq!(c.priced(&CostParams::unit()).as_millis(), 10);
+    }
+
+    #[test]
+    fn mean_over_divides() {
+        let c = OpCounts::new(10, 0, 80, 0);
+        let m = c.mean_over(10);
+        assert_eq!(m, [1.0, 0.0, 8.0, 0.0]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Cancellable, deterministic event queue.
+//!
+//! [`EventQueue`] is the scheduling core shared by the simulated network
+//! (message deliveries), the recovery daemons (background reconstruction
+//! steps) and the Monte-Carlo reliability simulator (failure and repair
+//! events). It is generic over the event payload so each subsystem defines
+//! its own event enum.
+//!
+//! Two properties matter for reproducibility:
+//!
+//! * **Deterministic tie-breaking** — events scheduled for the same instant
+//!   fire in the order they were scheduled (FIFO), regardless of heap
+//!   internals.
+//! * **O(log n) cancellation** — cancelled events are tombstoned and skipped
+//!   on pop, so retransmission timers can be cancelled cheaply.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handle for a scheduled event, usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+// Order by (time, seq): seq gives FIFO among simultaneous events.
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A priority queue of timestamped events with a built-in virtual clock.
+///
+/// Popping an event advances the clock to the event's timestamp. The clock
+/// never moves backwards; scheduling in the past is rejected at debug time
+/// and clamped to `now` in release builds.
+///
+/// ```
+/// use radd_sim::{EventQueue, SimDuration};
+///
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(SimDuration::from_millis(30), "disk done");
+/// let timer = q.schedule(SimDuration::from_millis(10), "timeout");
+/// q.cancel(timer);
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(e, "disk done");
+/// assert_eq!(t.as_millis(), 30);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Schedule `payload` at the absolute instant `at` (clamped to `now`).
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, payload }));
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `false` if the event has
+    /// already fired or was already cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        // Only mark if it is plausibly still queued; popped events have been
+        // removed from the heap, and double-cancel is a no-op.
+        self.cancelled.insert(id.0)
+    }
+
+    /// Pop the next live event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            self.now = ev.at;
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+
+    /// Peek the timestamp of the next live event without firing it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop leading tombstones so peek is accurate.
+        while let Some(Reverse(ev)) = self.heap.peek() {
+            if self.cancelled.contains(&ev.seq) {
+                let seq = ev.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(ev.at);
+            }
+        }
+        None
+    }
+
+    /// Advance the clock to `at` without firing anything (used when an
+    /// external actor, e.g. a synchronous client operation, consumes time).
+    /// Panics in debug builds if this would skip over a queued event... it
+    /// does not: events before `at` remain queued and fire with their
+    /// original timestamps on the next `pop`.
+    pub fn advance_to(&mut self, at: SimTime) {
+        if at > self.now {
+            self.now = at;
+        }
+    }
+
+    /// Run events until the queue is empty or `deadline` is reached, calling
+    /// `handler` for each. Events scheduled by the handler are processed too.
+    /// Returns the number of events fired.
+    pub fn run_until<F>(&mut self, deadline: SimTime, mut handler: F) -> usize
+    where
+        F: FnMut(&mut Self, SimTime, E),
+    {
+        let mut fired = 0;
+        loop {
+            match self.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (at, ev) = self.pop().expect("peeked event vanished");
+                    handler(self, at, ev);
+                    fired += 1;
+                }
+                _ => break,
+            }
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> SimDuration {
+        SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(ms(30), "c");
+        q.schedule(ms(10), "a");
+        q.schedule(ms(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(ms(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(ms(42), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_millis(42));
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(ms(10), "a");
+        q.schedule(ms(20), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel is a no-op");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn peek_time_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(ms(10), "a");
+        q.schedule(ms(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(20)));
+    }
+
+    #[test]
+    fn run_until_fires_cascading_events() {
+        let mut q = EventQueue::new();
+        q.schedule(ms(10), 1u32);
+        let mut seen = Vec::new();
+        let fired = q.run_until(SimTime::from_millis(100), |q, _t, e| {
+            seen.push(e);
+            if e < 3 {
+                q.schedule(ms(10), e + 1);
+            }
+        });
+        assert_eq!(fired, 3);
+        assert_eq!(seen, vec![1, 2, 3]);
+        assert_eq!(q.now(), SimTime::from_millis(100), "clock reaches deadline");
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut q = EventQueue::new();
+        q.schedule(ms(10), "in");
+        q.schedule(ms(200), "out");
+        let mut seen = Vec::new();
+        q.run_until(SimTime::from_millis(100), |_, _, e| seen.push(e));
+        assert_eq!(seen, vec!["in"]);
+        assert_eq!(q.len(), 1, "late event still queued");
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        q.advance_to(SimTime::from_millis(50));
+        q.advance_to(SimTime::from_millis(10));
+        assert_eq!(q.now(), SimTime::from_millis(50));
+    }
+
+    #[test]
+    fn empty_queue_reports_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.peek_time(), None);
+    }
+}

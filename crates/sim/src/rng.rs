@@ -1,0 +1,197 @@
+//! Seeded randomness for workloads and reliability simulation.
+//!
+//! [`SimRng`] wraps a fixed, documented generator (`StdRng` seeded from a
+//! `u64`) and adds the distribution samplers the testbed needs. The
+//! exponential sampler implements inverse-transform sampling directly, so the
+//! dependency set stays within the approved crate list (no `rand_distr`).
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Deterministic random source.
+///
+/// ```
+/// use radd_sim::SimRng;
+/// let mut a = SimRng::seed_from_u64(7);
+/// let mut b = SimRng::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Create a generator from a 64-bit seed. The same seed always yields the
+    /// same stream.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child generator; used to give each site or each
+    /// Monte-Carlo trial its own stream without correlation.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.inner.next_u64())
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.inner.random_range(0..n)
+    }
+
+    /// Uniform usize index in `[0, n)`.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+
+    /// Bernoulli trial with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.uniform_f64() < p
+    }
+
+    /// Exponentially distributed value with the given `mean` (inverse
+    /// transform: `-mean * ln(1 - u)`). This is the distribution the paper's
+    /// reliability analysis assumes for failure and repair processes
+    /// ("the standard assumptions of exponential distributions").
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0, "exponential mean must be positive");
+        let u: f64 = self.uniform_f64(); // in [0, 1)
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Exponentially distributed duration with the given mean.
+    pub fn exponential_duration(&mut self, mean: SimDuration) -> SimDuration {
+        let sampled = self.exponential(mean.as_micros() as f64);
+        SimDuration::from_micros(sampled.round() as u64)
+    }
+
+    /// Fill a byte buffer with random data (used to generate block payloads).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// A random byte vector of length `len`.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.fill_bytes(&mut v);
+        v
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = SimRng::seed_from_u64(9);
+        let mut parent2 = SimRng::seed_from_u64(9);
+        let mut c1 = parent1.fork();
+        let mut c2 = parent2.fork();
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        // The parent stream continues past the fork identically.
+        assert_eq!(parent1.next_u64(), parent2.next_u64());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(r.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        // Law of large numbers check: the sample mean of 100k draws must be
+        // within a few percent of the configured mean.
+        let mut r = SimRng::seed_from_u64(1234);
+        let mean = 150.0;
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() / mean < 0.02,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_nonnegative() {
+        let mut r = SimRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(r.exponential(1.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_duration_scales() {
+        let mut r = SimRng::seed_from_u64(8);
+        let mean = SimDuration::from_hours(150);
+        let n = 20_000u64;
+        let total: u64 = (0..n)
+            .map(|_| r.exponential_duration(mean).as_micros())
+            .sum();
+        let sample_mean = total as f64 / n as f64;
+        let expect = mean.as_micros() as f64;
+        assert!((sample_mean - expect).abs() / expect < 0.03);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(11);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = SimRng::seed_from_u64(20);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not stay sorted");
+    }
+}

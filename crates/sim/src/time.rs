@@ -1,0 +1,262 @@
+//! Virtual time.
+//!
+//! The simulation clock counts microseconds in a `u64`, which covers
+//! ~585,000 simulated years — comfortably more than the multi-century MTTF
+//! horizons of the paper's Figure 6. Milliseconds are the natural unit of the
+//! paper's cost model (`R = W = 30 ms`), hours the natural unit of its
+//! reliability model, and both convert losslessly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant on the virtual clock, measured in microseconds since the start
+/// of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The beginning of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; no event is ever scheduled here.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Raw microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since simulation start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional milliseconds since simulation start.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Fractional hours since simulation start.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / SimDuration::MICROS_PER_HOUR as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    const MICROS_PER_HOUR: u64 = 3_600_000_000;
+
+    /// Construct from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Construct from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Construct from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Construct from whole hours (the paper's reliability constants are in
+    /// hours).
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * Self::MICROS_PER_HOUR)
+    }
+
+    /// Construct from fractional hours, rounding to the nearest microsecond.
+    pub fn from_hours_f64(h: f64) -> Self {
+        debug_assert!(h >= 0.0, "negative duration");
+        SimDuration((h * Self::MICROS_PER_HOUR as f64).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / Self::MICROS_PER_HOUR as f64
+    }
+
+    /// Checked multiplication by an integer count.
+    pub fn checked_mul(self, n: u64) -> Option<SimDuration> {
+        self.0.checked_mul(n).map(SimDuration)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 - other.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, other: SimDuration) {
+        self.0 -= other.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, n: u64) -> SimDuration {
+        SimDuration(self.0 * n)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, n: u64) -> SimDuration {
+        SimDuration(self.0 / n)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn millis_roundtrip() {
+        let t = SimTime::from_millis(30);
+        assert_eq!(t.as_millis(), 30);
+        assert_eq!(t.as_micros(), 30_000);
+    }
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::from_millis(10) + SimDuration::from_millis(20);
+        assert_eq!(t, SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn time_difference() {
+        let a = SimTime::from_millis(100);
+        let b = SimTime::from_millis(75);
+        assert_eq!(a - b, SimDuration::from_millis(25));
+        assert_eq!(b.since(a), SimDuration::ZERO, "since saturates");
+    }
+
+    #[test]
+    fn hours_conversion() {
+        let d = SimDuration::from_hours(150);
+        assert_eq!(d.as_hours_f64(), 150.0);
+        let d2 = SimDuration::from_hours_f64(0.5);
+        assert_eq!(d2, SimDuration::from_secs(1800));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(30) * 8;
+        assert_eq!(d.as_millis(), 240);
+        assert_eq!(d / 8, SimDuration::from_millis(30));
+        let sum: SimDuration = (0..4).map(|_| SimDuration::from_millis(75)).sum();
+        assert_eq!(sum.as_millis(), 300);
+    }
+
+    #[test]
+    fn max_covers_mttf_horizon() {
+        // Figure 6 talks about >500 year MTTFs; the clock must not overflow
+        // well past that.
+        let five_thousand_years = SimDuration::from_hours(5_000 * 8_766);
+        let t = SimTime::ZERO + five_thousand_years;
+        assert!(t < SimTime::MAX);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_millis(5).to_string(), "t=5.000ms");
+        assert_eq!(SimDuration::from_micros(1500).to_string(), "1.500ms");
+    }
+}

@@ -1,0 +1,148 @@
+//! Lightweight structured tracing for simulation runs.
+//!
+//! Protocol code emits [`TraceEvent`]s into a [`Tracer`]; tests assert on the
+//! recorded sequence (e.g. "a down-site read really did touch G other
+//! sites"), and debug runs can dump it. Tracing is off by default and costs
+//! one branch per emission when disabled.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One recorded protocol step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time at which the step happened.
+    pub at: SimTime,
+    /// Acting entity, e.g. `site:3` or `client`.
+    pub actor: String,
+    /// Step kind, e.g. `parity_update`, `reconstruct`, `spare_write`.
+    pub kind: String,
+    /// Free-form detail (block numbers, UIDs, …).
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} {}: {}", self.at, self.actor, self.kind, self.detail)
+    }
+}
+
+/// Collector of [`TraceEvent`]s.
+#[derive(Debug, Default, Clone)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// A disabled tracer (emissions are dropped).
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// An enabled tracer that records everything.
+    pub fn enabled() -> Self {
+        Tracer {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether events are currently being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn emit(
+        &mut self,
+        at: SimTime,
+        actor: impl Into<String>,
+        kind: impl Into<String>,
+        detail: impl fmt::Display,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                actor: actor.into(),
+                kind: kind.into(),
+                detail: detail.to_string(),
+            });
+        }
+    }
+
+    /// All recorded events in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose kind matches `kind`.
+    pub fn of_kind<'a>(&'a self, kind: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Count of events of the given kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.of_kind(kind).count()
+    }
+
+    /// Clear the recorded events, keeping the enabled state.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.emit(SimTime::ZERO, "site:0", "write", "block 5");
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order() {
+        let mut t = Tracer::enabled();
+        t.emit(SimTime::from_millis(1), "site:0", "write", "block 5");
+        t.emit(SimTime::from_millis(2), "site:1", "parity_update", "block 5");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].kind, "write");
+        assert_eq!(t.events()[1].actor, "site:1");
+    }
+
+    #[test]
+    fn filter_by_kind() {
+        let mut t = Tracer::enabled();
+        for i in 0..3 {
+            t.emit(SimTime::ZERO, "x", "reconstruct", i);
+        }
+        t.emit(SimTime::ZERO, "x", "write", 0);
+        assert_eq!(t.count_kind("reconstruct"), 3);
+        assert_eq!(t.count_kind("write"), 1);
+        assert_eq!(t.count_kind("nope"), 0);
+    }
+
+    #[test]
+    fn clear_keeps_enabled() {
+        let mut t = Tracer::enabled();
+        t.emit(SimTime::ZERO, "x", "k", "");
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+    }
+
+    #[test]
+    fn display_format() {
+        let e = TraceEvent {
+            at: SimTime::from_millis(5),
+            actor: "site:2".into(),
+            kind: "spare_write".into(),
+            detail: "block 7".into(),
+        };
+        assert_eq!(e.to_string(), "[t=5.000ms] site:2 spare_write: block 7");
+    }
+}

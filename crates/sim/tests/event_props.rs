@@ -1,0 +1,81 @@
+//! Property tests for the event kernel: ordering, cancellation, and clock
+//! monotonicity under arbitrary schedules.
+
+use proptest::prelude::*;
+use radd_sim::{EventQueue, SimDuration, SimTime};
+
+proptest! {
+    /// Events always pop in non-decreasing time order, FIFO within ties,
+    /// and the clock never runs backwards.
+    #[test]
+    fn pops_are_time_ordered_and_fifo(
+        delays in proptest::collection::vec(0u64..1000, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &d) in delays.iter().enumerate() {
+            q.schedule(SimDuration::from_millis(d), (d, i));
+        }
+        let mut last_time = SimTime::ZERO;
+        let mut last_seq_at_time: Option<(u64, usize)> = None;
+        while let Some((t, (d, seq))) = q.pop() {
+            prop_assert!(t >= last_time, "clock went backwards");
+            prop_assert_eq!(t, SimTime::from_millis(d));
+            if t == last_time {
+                if let Some((ld, ls)) = last_seq_at_time {
+                    if ld == d {
+                        prop_assert!(seq > ls, "FIFO violated within a tie");
+                    }
+                }
+            }
+            last_time = t;
+            last_seq_at_time = Some((d, seq));
+        }
+    }
+
+    /// Cancelled events never fire; everything else fires exactly once.
+    #[test]
+    fn cancellation_is_exact(
+        delays in proptest::collection::vec(0u64..500, 1..100),
+        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for (i, &d) in delays.iter().enumerate() {
+            ids.push(q.schedule(SimDuration::from_millis(d), i));
+        }
+        let mut cancelled = Vec::new();
+        for (i, id) in ids.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                prop_assert!(q.cancel(*id));
+                cancelled.push(i);
+            }
+        }
+        let mut fired: Vec<usize> = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            fired.push(i);
+        }
+        fired.sort_unstable();
+        let expected: Vec<usize> =
+            (0..delays.len()).filter(|i| !cancelled.contains(i)).collect();
+        prop_assert_eq!(fired, expected);
+    }
+
+    /// run_until fires exactly the events at or before the deadline.
+    #[test]
+    fn run_until_respects_deadline_exactly(
+        delays in proptest::collection::vec(1u64..1000, 1..100),
+        deadline in 1u64..1000,
+    ) {
+        let mut q = EventQueue::new();
+        for &d in &delays {
+            q.schedule(SimDuration::from_millis(d), d);
+        }
+        let mut fired = Vec::new();
+        q.run_until(SimTime::from_millis(deadline), |_, _, d| fired.push(d));
+        let expect = delays.iter().filter(|&&d| d <= deadline).count();
+        prop_assert_eq!(fired.len(), expect);
+        prop_assert!(fired.iter().all(|&d| d <= deadline));
+        prop_assert_eq!(q.len(), delays.len() - expect);
+        prop_assert_eq!(q.now(), SimTime::from_millis(deadline));
+    }
+}

@@ -1,0 +1,335 @@
+//! A slotted page — the record-level page organisation the §7.4 bandwidth
+//! argument assumes.
+//!
+//! Layout (classic):
+//!
+//! ```text
+//! ┌──────────┬──────────────┬──────────────┬────────── ───────────────┐
+//! │ n_slots  │ free_end     │ slot dir →   │   free    ← record heap  │
+//! │ (u16)    │ (u16)        │ (off,len)×n  │                          │
+//! └──────────┴──────────────┴──────────────┴────────── ───────────────┘
+//! ```
+//!
+//! Records grow downward from the page end; the slot directory grows
+//! upward after the header. Deletes compact the heap (shifting records),
+//! which is precisely why the paper argues for shipping *logical* edits:
+//! the physical change mask of a compaction touches half the page, while
+//! the logical `delete(slot)` is a few bytes. The tests demonstrate both
+//! sides of that trade with real [`ChangeMask`] measurements.
+
+use radd_parity::ChangeMask;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const HEADER: usize = 4;
+const SLOT: usize = 4;
+
+/// Slot index within a page.
+pub type SlotId = u16;
+
+/// Errors from slotted-page operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PageError {
+    /// Not enough contiguous free space for the record + slot.
+    Full,
+    /// No such live slot.
+    NoSuchSlot,
+    /// Record larger than a page can ever hold.
+    TooLarge,
+}
+
+impl fmt::Display for PageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageError::Full => write!(f, "page full"),
+            PageError::NoSuchSlot => write!(f, "no such slot"),
+            PageError::TooLarge => write!(f, "record exceeds page capacity"),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// A fixed-size slotted page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlottedPage {
+    data: Vec<u8>,
+}
+
+impl SlottedPage {
+    /// An empty page of `size` bytes (at least 16).
+    pub fn new(size: usize) -> SlottedPage {
+        assert!(size >= 16 && size <= u16::MAX as usize, "page size out of range");
+        let mut data = vec![0u8; size];
+        // free_end starts at the page end.
+        data[2..4].copy_from_slice(&(size as u16).to_le_bytes());
+        SlottedPage { data }
+    }
+
+    /// Rehydrate from raw bytes (e.g. a block read).
+    pub fn from_bytes(data: Vec<u8>) -> SlottedPage {
+        assert!(data.len() >= 16);
+        SlottedPage { data }
+    }
+
+    /// The raw page image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    fn n_slots(&self) -> usize {
+        u16::from_le_bytes(self.data[0..2].try_into().unwrap()) as usize
+    }
+
+    fn set_n_slots(&mut self, n: usize) {
+        self.data[0..2].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    fn free_end(&self) -> usize {
+        u16::from_le_bytes(self.data[2..4].try_into().unwrap()) as usize
+    }
+
+    fn set_free_end(&mut self, v: usize) {
+        self.data[2..4].copy_from_slice(&(v as u16).to_le_bytes());
+    }
+
+    fn slot(&self, s: SlotId) -> (usize, usize) {
+        let at = HEADER + s as usize * SLOT;
+        let off = u16::from_le_bytes(self.data[at..at + 2].try_into().unwrap()) as usize;
+        let len = u16::from_le_bytes(self.data[at + 2..at + 4].try_into().unwrap()) as usize;
+        (off, len)
+    }
+
+    fn set_slot(&mut self, s: SlotId, off: usize, len: usize) {
+        let at = HEADER + s as usize * SLOT;
+        self.data[at..at + 2].copy_from_slice(&(off as u16).to_le_bytes());
+        self.data[at + 2..at + 4].copy_from_slice(&(len as u16).to_le_bytes());
+    }
+
+    /// Contiguous free bytes between the slot directory and the heap.
+    pub fn free_space(&self) -> usize {
+        self.free_end() - (HEADER + self.n_slots() * SLOT)
+    }
+
+    /// Number of live records.
+    pub fn live_records(&self) -> usize {
+        (0..self.n_slots() as u16)
+            .filter(|&s| self.slot(s).1 > 0)
+            .count()
+    }
+
+    /// Read a record.
+    pub fn get(&self, s: SlotId) -> Result<&[u8], PageError> {
+        if s as usize >= self.n_slots() {
+            return Err(PageError::NoSuchSlot);
+        }
+        let (off, len) = self.slot(s);
+        if len == 0 {
+            return Err(PageError::NoSuchSlot);
+        }
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Insert a record, reusing a dead slot if one exists. Returns its slot.
+    pub fn insert(&mut self, payload: &[u8]) -> Result<SlotId, PageError> {
+        if payload.is_empty() || payload.len() + HEADER + SLOT > self.data.len() {
+            return Err(PageError::TooLarge);
+        }
+        // Find a reusable slot, else plan a new one.
+        let reuse = (0..self.n_slots() as u16).find(|&s| self.slot(s).1 == 0);
+        let slot_cost = if reuse.is_some() { 0 } else { SLOT };
+        if self.free_space() < payload.len() + slot_cost {
+            return Err(PageError::Full);
+        }
+        let off = self.free_end() - payload.len();
+        self.data[off..off + payload.len()].copy_from_slice(payload);
+        self.set_free_end(off);
+        let s = match reuse {
+            Some(s) => s,
+            None => {
+                let s = self.n_slots() as u16;
+                self.set_n_slots(s as usize + 1);
+                s
+            }
+        };
+        self.set_slot(s, off, payload.len());
+        Ok(s)
+    }
+
+    /// Delete a record and compact the heap (shifting every record below
+    /// it and fixing up their slots).
+    pub fn delete(&mut self, s: SlotId) -> Result<(), PageError> {
+        if s as usize >= self.n_slots() {
+            return Err(PageError::NoSuchSlot);
+        }
+        let (off, len) = self.slot(s);
+        if len == 0 {
+            return Err(PageError::NoSuchSlot);
+        }
+        let free_end = self.free_end();
+        // Shift the heap segment [free_end, off) down by `len`.
+        self.data.copy_within(free_end..off, free_end + len);
+        for z in free_end..free_end + len {
+            self.data[z] = 0;
+        }
+        self.set_free_end(free_end + len);
+        self.set_slot(s, 0, 0);
+        // Fix up every slot that pointed below the deleted record.
+        for other in 0..self.n_slots() as u16 {
+            let (o, l) = self.slot(other);
+            if l > 0 && o < off {
+                self.set_slot(other, o + len, l);
+            }
+        }
+        Ok(())
+    }
+
+    /// Update a record in place when the size matches, else delete+insert
+    /// (the slot id may change). Atomic: on `Full` the original record is
+    /// untouched. Returns the (possibly new) slot.
+    pub fn update(&mut self, s: SlotId, payload: &[u8]) -> Result<SlotId, PageError> {
+        let (off, len) = {
+            if s as usize >= self.n_slots() {
+                return Err(PageError::NoSuchSlot);
+            }
+            self.slot(s)
+        };
+        if len == 0 {
+            return Err(PageError::NoSuchSlot);
+        }
+        if payload.len() == len {
+            self.data[off..off + len].copy_from_slice(payload);
+            return Ok(s);
+        }
+        if payload.is_empty() || payload.len() + HEADER + SLOT > self.data.len() {
+            return Err(PageError::TooLarge);
+        }
+        // Check capacity *before* deleting so a failed resize leaves the
+        // record intact: deleting frees `len` bytes and this slot.
+        if self.free_space() + len < payload.len() {
+            return Err(PageError::Full);
+        }
+        self.delete(s).expect("slot verified live");
+        Ok(self.insert(payload).expect("capacity checked above"))
+    }
+
+    /// The physical change mask between this page and an older image —
+    /// what a RADD write of the page would ship.
+    pub fn mask_from(&self, old: &SlottedPage) -> ChangeMask {
+        ChangeMask::diff(old.as_bytes(), self.as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = SlottedPage::new(256);
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a).unwrap(), b"hello");
+        assert_eq!(p.get(b).unwrap(), b"world!");
+        assert_eq!(p.live_records(), 2);
+    }
+
+    #[test]
+    fn delete_compacts_and_preserves_others() {
+        let mut p = SlottedPage::new(256);
+        let a = p.insert(&[1u8; 20]).unwrap();
+        let b = p.insert(&[2u8; 30]).unwrap();
+        let c = p.insert(&[3u8; 10]).unwrap();
+        let free_before = p.free_space();
+        p.delete(b).unwrap();
+        assert_eq!(p.get(a).unwrap(), &[1u8; 20][..]);
+        assert_eq!(p.get(c).unwrap(), &[3u8; 10][..]);
+        assert!(p.get(b).is_err());
+        assert_eq!(p.free_space(), free_before + 30, "space reclaimed");
+    }
+
+    #[test]
+    fn slots_are_reused_after_delete() {
+        let mut p = SlottedPage::new(128);
+        let a = p.insert(&[1u8; 10]).unwrap();
+        p.delete(a).unwrap();
+        let b = p.insert(&[2u8; 10]).unwrap();
+        assert_eq!(a, b, "dead slot reused");
+    }
+
+    #[test]
+    fn update_same_size_in_place() {
+        let mut p = SlottedPage::new(128);
+        let s = p.insert(&[1u8; 16]).unwrap();
+        let s2 = p.update(s, &[9u8; 16]).unwrap();
+        assert_eq!(s, s2);
+        assert_eq!(p.get(s).unwrap(), &[9u8; 16][..]);
+    }
+
+    #[test]
+    fn update_resize_moves_record() {
+        let mut p = SlottedPage::new(256);
+        let s = p.insert(&[1u8; 16]).unwrap();
+        p.insert(&[2u8; 16]).unwrap();
+        let s2 = p.update(s, &[9u8; 40]).unwrap();
+        assert_eq!(p.get(s2).unwrap(), &[9u8; 40][..]);
+    }
+
+    #[test]
+    fn page_full_is_reported() {
+        let mut p = SlottedPage::new(64);
+        p.insert(&[0u8; 40]).unwrap();
+        assert_eq!(p.insert(&[0u8; 40]).unwrap_err(), PageError::Full);
+        assert_eq!(p.insert(&[0u8; 4096]).unwrap_err(), PageError::TooLarge);
+    }
+
+    #[test]
+    fn fill_and_drain_many_times() {
+        let mut p = SlottedPage::new(512);
+        for round in 0..10u8 {
+            let mut slots = Vec::new();
+            loop {
+                match p.insert(&[round; 24]) {
+                    Ok(s) => slots.push(s),
+                    Err(PageError::Full) => break,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+            assert!(slots.len() >= 15, "round {round}: only {}", slots.len());
+            for s in slots {
+                p.delete(s).unwrap();
+            }
+            assert_eq!(p.live_records(), 0);
+        }
+    }
+
+    /// The §7.4 argument, measured: an *append* ships a small mask, but a
+    /// *delete with compaction* physically moves half the heap — its mask
+    /// is enormous compared with the 9-byte logical edit. This is exactly
+    /// why the paper proposes logical insert/delete encodings for B-tree
+    /// pages.
+    #[test]
+    fn compaction_masks_dwarf_logical_edits() {
+        let mut p = SlottedPage::new(4096);
+        let mut slots = Vec::new();
+        for i in 0..30 {
+            slots.push(p.insert(&[i as u8 + 1; 100]).unwrap());
+        }
+        // Case 1: appending one record — mask ≈ record size.
+        let before = p.clone();
+        p.insert(&[0xEE; 100]).unwrap();
+        let append_mask = p.mask_from(&before).wire_size();
+        assert!(append_mask < 200, "append mask {append_mask}");
+
+        // Case 2: deleting the *last-inserted-first-positioned* record —
+        // compaction shifts every record below it.
+        let before = p.clone();
+        p.delete(slots[0]).unwrap();
+        let delete_mask = p.mask_from(&before).wire_size();
+        assert!(
+            delete_mask > 10 * 9,
+            "compaction mask {delete_mask} should dwarf the 9-byte logical delete"
+        );
+        assert!(delete_mask > append_mask);
+    }
+}

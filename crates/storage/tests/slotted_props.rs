@@ -1,0 +1,93 @@
+//! Property test: the slotted page vs a plain `Vec<Option<Vec<u8>>>`
+//! oracle through arbitrary insert/update/delete sequences.
+
+use proptest::prelude::*;
+use radd_storage::{PageError, SlottedPage};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>),
+    Update { victim: u8, payload: Vec<u8> },
+    Delete { victim: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let payload = proptest::collection::vec(any::<u8>(), 1..60);
+    prop_oneof![
+        4 => payload.clone().prop_map(Op::Insert),
+        2 => (any::<u8>(), payload).prop_map(|(victim, payload)| Op::Update { victim, payload }),
+        2 => any::<u8>().prop_map(|victim| Op::Delete { victim }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn slotted_page_matches_oracle(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut page = SlottedPage::new(1024);
+        // slot → payload; slots are stable across unrelated mutations.
+        let mut oracle: HashMap<u16, Vec<u8>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(payload) => match page.insert(&payload) {
+                    Ok(slot) => {
+                        prop_assert!(!oracle.contains_key(&slot), "slot double-allocated");
+                        oracle.insert(slot, payload);
+                    }
+                    Err(PageError::Full) => {
+                        // Plausible only when the oracle really is big.
+                        let live: usize = oracle.values().map(|v| v.len()).sum();
+                        prop_assert!(live + payload.len() + 64 > 900,
+                            "spurious Full at {live} live bytes");
+                    }
+                    Err(e) => prop_assert!(false, "unexpected {e}"),
+                },
+                Op::Update { victim, payload } => {
+                    let keys: Vec<u16> = oracle.keys().copied().collect();
+                    if keys.is_empty() { continue; }
+                    let slot = keys[victim as usize % keys.len()];
+                    match page.update(slot, &payload) {
+                        Ok(new_slot) => {
+                            oracle.remove(&slot);
+                            oracle.insert(new_slot, payload);
+                        }
+                        Err(PageError::Full) => {}
+                        Err(e) => prop_assert!(false, "unexpected {e}"),
+                    }
+                }
+                Op::Delete { victim } => {
+                    let keys: Vec<u16> = oracle.keys().copied().collect();
+                    if keys.is_empty() {
+                        prop_assert!(page.live_records() == 0);
+                        continue;
+                    }
+                    let slot = keys[victim as usize % keys.len()];
+                    page.delete(slot).unwrap();
+                    oracle.remove(&slot);
+                }
+            }
+            // Full cross-check after every op.
+            prop_assert_eq!(page.live_records(), oracle.len());
+            for (&slot, payload) in &oracle {
+                prop_assert_eq!(page.get(slot).unwrap(), &payload[..], "slot {}", slot);
+            }
+        }
+    }
+
+    /// Round-trip through raw bytes preserves everything.
+    #[test]
+    fn byte_roundtrip(payloads in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..40), 1..12)) {
+        let mut page = SlottedPage::new(1024);
+        let mut slots = Vec::new();
+        for p in &payloads {
+            slots.push(page.insert(p).unwrap());
+        }
+        let rehydrated = SlottedPage::from_bytes(page.as_bytes().to_vec());
+        for (slot, p) in slots.iter().zip(&payloads) {
+            prop_assert_eq!(rehydrated.get(*slot).unwrap(), &p[..]);
+        }
+    }
+}

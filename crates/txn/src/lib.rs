@@ -1,0 +1,29 @@
+//! # radd-txn — distributed transactions over a RADD (paper Section 6)
+//!
+//! Three pieces:
+//!
+//! * [`two_phase`] — a message-counted two-phase commit (\[SKEE81\] style):
+//!   prepare / vote / decision / ack, with participant and coordinator
+//!   failure injection, including the classic blocking window.
+//! * [`mod@radd_commit`] — the paper's observation that a RADD can often skip
+//!   2PC: "if the message for each such write is sent and received reliably
+//!   before the slave returns **done**, then a slave can crash any time
+//!   after returning done, and the information written in the buffer pool
+//!   is recoverable. Each slave is thereby **prepared** after each
+//!   command" — one decision message per slave instead of the full two
+//!   rounds.
+//! * [`distributed`] — a transaction executor over a live [`RaddCluster`]:
+//!   2PL block locks, multi-site reads/writes, commit via either protocol,
+//!   and §6 plan relocation (a down site's work executes elsewhere).
+//!
+//! [`RaddCluster`]: radd_core::RaddCluster
+
+#![warn(missing_docs)]
+
+pub mod distributed;
+pub mod radd_commit;
+pub mod two_phase;
+
+pub use distributed::{DistributedTxn, TxnError};
+pub use radd_commit::{radd_commit, RaddCommitConfig};
+pub use two_phase::{two_phase_commit, CommitOutcome, CommitStats, FailureScript};

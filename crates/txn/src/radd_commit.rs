@@ -1,0 +1,94 @@
+//! The §6 commit optimisation: "done = prepared".
+//!
+//! In a RADD, every local write a slave performs already ships a reliable
+//! parity-update message before the slave replies `done`. If the slave then
+//! crashes, its buffer-pool writes are reconstructable from parity — the
+//! slave is effectively in the prepared state *for free*. The coordinator
+//! can therefore issue `commit` as soon as it has collected `done` from all
+//! slaves, with no prepare round and no prepare log forces.
+//!
+//! The paper's preconditions: (a) the network delivers reliably (or the §5
+//! ack conditions are enforced), (b) only single failures occur. This
+//! module counts the commit-overhead messages of the optimised protocol —
+//! compare with [`two_phase_commit`](crate::two_phase_commit) — and the
+//! `sec6_commit` bench prints them side by side.
+
+use crate::two_phase::{CommitOutcome, CommitStats};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for the optimised commit.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RaddCommitConfig {
+    /// Number of slave sites in the transaction.
+    pub slaves: usize,
+    /// Whether every slave's parity-update messages were acknowledged
+    /// before it replied `done` (the §5/§6 precondition). When false the
+    /// coordinator must fall back to a full two-phase commit.
+    pub parity_acks_complete: bool,
+}
+
+/// Commit-overhead accounting for the optimised protocol. Counts only the
+/// *extra* messages beyond the command/`done` exchange that any protocol
+/// needs (2PC's counts are measured against the same baseline).
+pub fn radd_commit(config: RaddCommitConfig) -> CommitStats {
+    assert!(config.slaves > 0, "need at least one slave");
+    if !config.parity_acks_complete {
+        // Precondition broken (lossy network without the §5 conditions):
+        // fall back to classic 2PC.
+        return crate::two_phase::two_phase_commit(
+            &vec![true; config.slaves],
+            Default::default(),
+        );
+    }
+    CommitStats {
+        // One decision message per slave; the `done` replies double as
+        // votes, so no extra inbound round.
+        messages: config.slaves as u64,
+        rounds: 1,
+        // The coordinator still forces its decision once; slaves need no
+        // prepare force (parity holds their writes) and no commit force on
+        // the critical path.
+        forced_log_writes: 1,
+        outcome: CommitOutcome::Committed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::two_phase::two_phase_commit;
+
+    #[test]
+    fn optimised_commit_is_one_round_one_message_per_slave() {
+        let s = radd_commit(RaddCommitConfig {
+            slaves: 5,
+            parity_acks_complete: true,
+        });
+        assert_eq!(s.outcome, CommitOutcome::Committed);
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.forced_log_writes, 1);
+    }
+
+    #[test]
+    fn saves_three_quarters_of_2pc_messages() {
+        let n = 8;
+        let full = two_phase_commit(&vec![true; n], Default::default());
+        let opt = radd_commit(RaddCommitConfig {
+            slaves: n,
+            parity_acks_complete: true,
+        });
+        assert_eq!(full.messages, 4 * opt.messages);
+        assert!(opt.forced_log_writes < full.forced_log_writes / 4);
+    }
+
+    #[test]
+    fn missing_parity_acks_falls_back_to_2pc() {
+        let s = radd_commit(RaddCommitConfig {
+            slaves: 3,
+            parity_acks_complete: false,
+        });
+        assert_eq!(s.messages, 12, "full 2PC message count");
+        assert_eq!(s.rounds, 4);
+    }
+}

@@ -1,0 +1,181 @@
+//! Two-phase commit with message and log-force accounting.
+//!
+//! The canonical protocol (\[SKEE81\]): the coordinator sends `prepare` to
+//! every participant; each participant force-writes a prepare record and
+//! votes; on unanimous yes the coordinator force-writes the decision and
+//! broadcasts `commit`; participants force-commit and `ack`. Any "no" vote
+//! or a participant failure before voting aborts. A coordinator failure
+//! after the votes are in but before the decision reaches the participants
+//! leaves them **blocked** — the window the paper's §6 optimisation argues
+//! a RADD can close.
+
+use serde::{Deserialize, Serialize};
+
+/// How the commit attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommitOutcome {
+    /// All participants committed.
+    Committed,
+    /// All participants aborted.
+    Aborted,
+    /// Participants hold prepared state and cannot decide — the blocking
+    /// window of 2PC.
+    Blocked {
+        /// Number of participants stuck in the prepared state.
+        prepared_participants: usize,
+    },
+}
+
+/// Cost accounting for one commit attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommitStats {
+    /// Messages exchanged (both directions).
+    pub messages: u64,
+    /// Sequential message rounds (latency in round trips).
+    pub rounds: u32,
+    /// Forced (synchronous) log writes across all parties.
+    pub forced_log_writes: u64,
+    /// The outcome.
+    pub outcome: CommitOutcome,
+}
+
+/// Failure injection for one commit attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FailureScript {
+    /// This participant crashes before voting (its vote never arrives).
+    pub participant_crashes_before_vote: Option<usize>,
+    /// The coordinator crashes after collecting all votes but before any
+    /// decision message leaves.
+    pub coordinator_crashes_before_decision: bool,
+}
+
+/// Run one two-phase commit over `participants` parties with the given
+/// votes (`true` = ready to commit) and failure script.
+///
+/// ```
+/// use radd_txn::{two_phase_commit, CommitOutcome, FailureScript};
+/// let stats = two_phase_commit(&[true, true, true], FailureScript::default());
+/// assert_eq!(stats.outcome, CommitOutcome::Committed);
+/// assert_eq!(stats.messages, 12); // 4 per participant
+/// ```
+pub fn two_phase_commit(votes: &[bool], failures: FailureScript) -> CommitStats {
+    let n = votes.len();
+    assert!(n > 0, "need at least one participant");
+    let mut messages = 0u64;
+    let mut forced = 0u64;
+
+    // Round 1: prepare out.
+    messages += n as u64;
+    // Participants force a prepare record and vote (unless crashed).
+    let mut all_yes = true;
+    let mut voted = 0usize;
+    for (i, &vote) in votes.iter().enumerate() {
+        if failures.participant_crashes_before_vote == Some(i) {
+            all_yes = false; // timeout counts as a no
+            continue;
+        }
+        forced += 1; // prepare record
+        messages += 1; // the vote
+        voted += 1;
+        if !vote {
+            all_yes = false;
+        }
+    }
+
+    if failures.coordinator_crashes_before_decision {
+        // Every participant that voted yes is prepared and now blocked.
+        let prepared = votes
+            .iter()
+            .enumerate()
+            .filter(|&(i, &v)| v && failures.participant_crashes_before_vote != Some(i))
+            .count();
+        return CommitStats {
+            messages,
+            rounds: 2,
+            forced_log_writes: forced,
+            outcome: CommitOutcome::Blocked {
+                prepared_participants: prepared,
+            },
+        };
+    }
+
+    // Coordinator forces its decision record.
+    forced += 1;
+    // Round 2: decision out + acks back (from live participants).
+    messages += n as u64 + voted as u64;
+    for (i, _) in votes.iter().enumerate() {
+        if failures.participant_crashes_before_vote != Some(i) {
+            forced += 1; // commit/abort record at the participant
+        }
+    }
+    CommitStats {
+        messages,
+        rounds: 4,
+        forced_log_writes: forced,
+        outcome: if all_yes {
+            CommitOutcome::Committed
+        } else {
+            CommitOutcome::Aborted
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unanimous_yes_commits_with_4n_messages() {
+        let s = two_phase_commit(&[true; 5], FailureScript::default());
+        assert_eq!(s.outcome, CommitOutcome::Committed);
+        assert_eq!(s.messages, 20);
+        assert_eq!(s.rounds, 4);
+        // 5 prepare forces + 1 decision + 5 commit forces.
+        assert_eq!(s.forced_log_writes, 11);
+    }
+
+    #[test]
+    fn one_no_vote_aborts_everyone() {
+        let s = two_phase_commit(&[true, false, true], FailureScript::default());
+        assert_eq!(s.outcome, CommitOutcome::Aborted);
+    }
+
+    #[test]
+    fn participant_crash_before_vote_aborts() {
+        let s = two_phase_commit(
+            &[true, true],
+            FailureScript {
+                participant_crashes_before_vote: Some(1),
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.outcome, CommitOutcome::Aborted);
+        // The crashed participant neither votes nor forces.
+        assert_eq!(s.messages, 2 /* prepare */ + 1 /* one vote */ + 2 /* decision */ + 1 /* one ack */);
+    }
+
+    #[test]
+    fn coordinator_crash_blocks_prepared_participants() {
+        let s = two_phase_commit(
+            &[true, true, true],
+            FailureScript {
+                coordinator_crashes_before_decision: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            s.outcome,
+            CommitOutcome::Blocked {
+                prepared_participants: 3
+            }
+        );
+        assert_eq!(s.rounds, 2, "never reached the decision round");
+    }
+
+    #[test]
+    fn single_participant_still_pays_both_rounds() {
+        let s = two_phase_commit(&[true], FailureScript::default());
+        assert_eq!(s.messages, 4);
+        assert_eq!(s.forced_log_writes, 3);
+    }
+}

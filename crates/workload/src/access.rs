@@ -1,0 +1,122 @@
+//! Block access patterns.
+
+use radd_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// How block indices are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Every block equally likely.
+    Uniform,
+    /// Zipf-distributed with skew `theta` (θ → 0 approaches uniform; the
+    /// classic "80/20" database skew sits near θ = 0.8–1.0).
+    Zipf {
+        /// Skew parameter.
+        theta: f64,
+    },
+    /// Round-robin sequential scan.
+    Sequential,
+}
+
+/// A sampler of block indices in `[0, n)` following a pattern.
+#[derive(Debug)]
+pub struct AccessSampler {
+    pattern: AccessPattern,
+    n: u64,
+    /// Cumulative distribution for Zipf (length `n`).
+    cdf: Vec<f64>,
+    cursor: u64,
+}
+
+impl AccessSampler {
+    /// Build a sampler over `n` blocks.
+    pub fn new(pattern: AccessPattern, n: u64) -> AccessSampler {
+        assert!(n > 0, "need at least one block");
+        let cdf = if let AccessPattern::Zipf { theta } = pattern {
+            let mut weights: Vec<f64> = (1..=n).map(|k| 1.0 / (k as f64).powf(theta)).collect();
+            let total: f64 = weights.iter().sum();
+            let mut acc = 0.0;
+            for w in &mut weights {
+                acc += *w / total;
+                *w = acc;
+            }
+            weights
+        } else {
+            Vec::new()
+        };
+        AccessSampler {
+            pattern,
+            n,
+            cdf,
+            cursor: 0,
+        }
+    }
+
+    /// Draw the next block index.
+    pub fn next_index(&mut self, rng: &mut SimRng) -> u64 {
+        match self.pattern {
+            AccessPattern::Uniform => rng.below(self.n),
+            AccessPattern::Sequential => {
+                let i = self.cursor;
+                self.cursor = (self.cursor + 1) % self.n;
+                i
+            }
+            AccessPattern::Zipf { .. } => {
+                let u = rng.uniform_f64();
+                // Binary search the CDF.
+                self.cdf.partition_point(|&c| c < u).min(self.n as usize - 1) as u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_the_range() {
+        let mut s = AccessSampler::new(AccessPattern::Uniform, 10);
+        let mut rng = SimRng::seed_from_u64(1);
+        let mut seen = [0u32; 10];
+        for _ in 0..10_000 {
+            seen[s.next_index(&mut rng) as usize] += 1;
+        }
+        for (i, &c) in seen.iter().enumerate() {
+            assert!((800..1200).contains(&c), "index {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn sequential_wraps() {
+        let mut s = AccessSampler::new(AccessPattern::Sequential, 3);
+        let mut rng = SimRng::seed_from_u64(1);
+        let got: Vec<u64> = (0..7).map(|_| s.next_index(&mut rng)).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let mut s = AccessSampler::new(AccessPattern::Zipf { theta: 1.0 }, 100);
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut low = 0u32;
+        let trials = 20_000;
+        for _ in 0..trials {
+            if s.next_index(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // With θ = 1 over 100 items, the top 10 carry ~56 % of mass.
+        let frac = low as f64 / trials as f64;
+        assert!((0.5..0.65).contains(&frac), "low fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let mut s = AccessSampler::new(AccessPattern::Zipf { theta: 0.5 }, 7);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(s.next_index(&mut rng) < 7);
+        }
+    }
+}

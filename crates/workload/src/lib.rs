@@ -1,0 +1,26 @@
+//! # radd-workload — workload generators and failure scenarios
+//!
+//! Drives the measured experiments:
+//!
+//! * [`access`] — block access patterns (uniform, Zipf, sequential);
+//! * [`mix`] — read/write mixes over any [`ReplicationScheme`], producing
+//!   aggregated operation counts and priced latency (the paper's Figure 7
+//!   uses a 2-reads-per-write mix);
+//! * [`records`] — the §7.4 record-update workload: 100-byte records in
+//!   4 KB pages, with buffer-pool write absorption, for the network/disk
+//!   bandwidth ratio;
+//! * [`scenario`] — scripted failure timelines interleaved with load.
+//!
+//! [`ReplicationScheme`]: radd_schemes::ReplicationScheme
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod mix;
+pub mod records;
+pub mod scenario;
+
+pub use access::AccessPattern;
+pub use mix::{run_mix, Mix, MixReport};
+pub use records::{run_record_workload, RecordWorkload, RecordReport};
+pub use scenario::{run_scenario, PhaseReport, ScenarioStep};

@@ -1,0 +1,178 @@
+//! The §7.4 record-update workload.
+//!
+//! "If blocks are 4K in size and records are 100 bytes, then an update of
+//! all fields of a data record will cause 2.5 percent of the block to be
+//! changed. … In the case that locality of reference results in the
+//! average block being changed four times in memory before it is returned
+//! to disk, then 8K of disk I/O will result in 400 bytes of network
+//! traffic. Hence, the aggregate network bandwidth needs to be only 1/20 of
+//! the aggregate disk bandwidth."
+//!
+//! [`run_record_workload`] reproduces that pipeline against a live
+//! [`RaddCluster`]: records are updated in a buffer-pool image of the page
+//! (absorption), and only page flushes reach the cluster — whose traffic
+//! counters then yield the network side of the ratio.
+
+use radd_core::{Actor, RaddCluster, RaddError, SiteId};
+use radd_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Workload shape.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RecordWorkload {
+    /// Record size in bytes (the paper uses 100).
+    pub record_bytes: usize,
+    /// Record updates absorbed in memory per page flush (the paper uses 4).
+    pub updates_per_flush: u32,
+    /// Total page flushes to perform.
+    pub flushes: u64,
+    /// Whether to ship full blocks instead of change masks — the ablation
+    /// of the paper's mask encoding.
+    pub full_block_shipping: bool,
+}
+
+impl RecordWorkload {
+    /// The §7.4 parameters: 100-byte records, 4× absorption.
+    pub fn paper(flushes: u64) -> RecordWorkload {
+        RecordWorkload {
+            record_bytes: 100,
+            updates_per_flush: 4,
+            flushes,
+            full_block_shipping: false,
+        }
+    }
+}
+
+/// Results: both sides of the bandwidth ratio.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct RecordReport {
+    /// Page flushes performed.
+    pub flushes: u64,
+    /// Record updates applied in memory.
+    pub record_updates: u64,
+    /// Disk bytes moved (the 8 KB per flush of the paper's arithmetic:
+    /// page in + page out).
+    pub disk_bytes: u64,
+    /// Network payload bytes (parity-update traffic).
+    pub network_bytes: u64,
+}
+
+impl RecordReport {
+    /// Network bytes as a fraction of disk bytes — the paper's "1/20".
+    pub fn bandwidth_ratio(&self) -> f64 {
+        if self.disk_bytes == 0 {
+            0.0
+        } else {
+            self.network_bytes as f64 / self.disk_bytes as f64
+        }
+    }
+}
+
+/// Run the workload against one site of a cluster.
+pub fn run_record_workload(
+    cluster: &mut RaddCluster,
+    site: SiteId,
+    workload: RecordWorkload,
+    rng: &mut SimRng,
+) -> Result<RecordReport, RaddError> {
+    let page_size = cluster.config().block_size;
+    assert!(
+        workload.record_bytes <= page_size,
+        "records must fit in a page"
+    );
+    let capacity = cluster.data_capacity(site);
+    let records_per_page = page_size / workload.record_bytes;
+    let traffic_before = cluster.traffic().parity_updates.bytes_sent
+        + cluster.traffic().spare_writes.bytes_sent;
+    let mut report = RecordReport::default();
+
+    for _ in 0..workload.flushes {
+        let index = rng.below(capacity);
+        // Page in (disk read into the buffer pool).
+        let mut page = cluster.logical_content(site, index)?.to_vec();
+        report.disk_bytes += page_size as u64;
+        // Absorb several record updates in memory.
+        for _ in 0..workload.updates_per_flush {
+            let slot = rng.index(records_per_page);
+            let offset = slot * workload.record_bytes;
+            let fresh = rng.bytes(workload.record_bytes);
+            if workload.full_block_shipping {
+                // Ablation: pretend every field of every byte changed, so
+                // the mask degenerates to the whole block.
+                for b in page.iter_mut() {
+                    *b = b.wrapping_add(1);
+                }
+            }
+            page[offset..offset + workload.record_bytes].copy_from_slice(&fresh);
+            report.record_updates += 1;
+        }
+        // Page out: one RADD write ships the accumulated change mask.
+        cluster.write(Actor::Site(site), site, index, &page)?;
+        report.disk_bytes += page_size as u64;
+        report.flushes += 1;
+    }
+    let traffic_after = cluster.traffic().parity_updates.bytes_sent
+        + cluster.traffic().spare_writes.bytes_sent;
+    report.network_bytes = traffic_after - traffic_before;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radd_core::RaddConfig;
+
+    fn cluster_4k() -> RaddCluster {
+        let mut cfg = RaddConfig::paper_g8();
+        cfg.block_size = 4096;
+        cfg.rows = 20;
+        cfg.disks_per_site = 2;
+        RaddCluster::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn masked_shipping_is_a_small_fraction_of_disk_bandwidth() {
+        let mut c = cluster_4k();
+        let mut rng = SimRng::seed_from_u64(1);
+        let report =
+            run_record_workload(&mut c, 0, RecordWorkload::paper(50), &mut rng).unwrap();
+        assert_eq!(report.flushes, 50);
+        assert_eq!(report.record_updates, 200);
+        // The paper's arithmetic: 400 bytes of change per 8 KB of disk I/O
+        // → ratio ≈ 1/20. Span headers and UIDs add a little.
+        let ratio = report.bandwidth_ratio();
+        assert!(
+            (0.02..0.12).contains(&ratio),
+            "ratio {ratio} (network {} / disk {})",
+            report.network_bytes,
+            report.disk_bytes
+        );
+    }
+
+    #[test]
+    fn full_block_shipping_ablation_is_an_order_of_magnitude_worse() {
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut c1 = cluster_4k();
+        let masked =
+            run_record_workload(&mut c1, 0, RecordWorkload::paper(30), &mut rng).unwrap();
+        let mut rng = SimRng::seed_from_u64(2);
+        let mut c2 = cluster_4k();
+        let mut wl = RecordWorkload::paper(30);
+        wl.full_block_shipping = true;
+        let full = run_record_workload(&mut c2, 0, wl, &mut rng).unwrap();
+        assert!(
+            full.network_bytes > 5 * masked.network_bytes,
+            "full {} vs masked {}",
+            full.network_bytes,
+            masked.network_bytes
+        );
+    }
+
+    #[test]
+    fn workload_preserves_parity() {
+        let mut c = cluster_4k();
+        let mut rng = SimRng::seed_from_u64(3);
+        run_record_workload(&mut c, 3, RecordWorkload::paper(20), &mut rng).unwrap();
+        c.verify_parity().unwrap();
+    }
+}

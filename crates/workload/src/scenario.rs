@@ -1,0 +1,152 @@
+//! Scripted failure timelines.
+//!
+//! A scenario interleaves load phases with failure injection and repair,
+//! producing one [`MixReport`] per load phase — how the bench harness
+//! measures "during failure" rows and the §7.4 claim that a single site
+//! failure raises the surviving sites' load by ~50 %.
+
+use crate::access::AccessPattern;
+use crate::mix::{run_mix, Mix, MixReport};
+use radd_core::{RaddError, SiteId};
+use radd_schemes::{FailureKind, ReplicationScheme};
+use radd_sim::SimRng;
+
+/// One step of a scenario.
+#[derive(Debug, Clone, Copy)]
+pub enum ScenarioStep {
+    /// Run `ops` operations of the given mix.
+    Load {
+        /// Operation count.
+        ops: u64,
+        /// Read/write mix.
+        mix: Mix,
+        /// A label for the resulting report.
+        label: &'static str,
+    },
+    /// Inject a failure.
+    Inject(SiteId, FailureKind),
+    /// Repair a site (runs the scheme's recovery to completion).
+    Repair(SiteId),
+}
+
+/// A labelled per-phase result.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// The load step's label.
+    pub label: &'static str,
+    /// Its measurements.
+    pub report: MixReport,
+}
+
+/// Run a scenario to completion.
+pub fn run_scenario<S: ReplicationScheme + ?Sized>(
+    scheme: &mut S,
+    rng: &mut SimRng,
+    pattern: AccessPattern,
+    steps: &[ScenarioStep],
+) -> Result<Vec<PhaseReport>, RaddError> {
+    let mut phases = Vec::new();
+    for step in steps {
+        match *step {
+            ScenarioStep::Load { ops, mix, label } => {
+                let report = run_mix(scheme, rng, ops, mix, pattern)?;
+                phases.push(PhaseReport { label, report });
+            }
+            ScenarioStep::Inject(site, kind) => scheme.inject(site, kind)?,
+            ScenarioStep::Repair(site) => scheme.repair(site)?,
+        }
+    }
+    Ok(phases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radd_core::RaddConfig;
+    use radd_schemes::Radd;
+
+    #[test]
+    fn healthy_failed_recovered_lifecycle() {
+        let mut cfg = RaddConfig::small_g4();
+        cfg.block_size = 32;
+        let mut scheme = Radd::new(cfg).unwrap();
+        let mut rng = SimRng::seed_from_u64(9);
+        let phases = run_scenario(
+            &mut scheme,
+            &mut rng,
+            AccessPattern::Uniform,
+            &[
+                ScenarioStep::Load {
+                    ops: 600,
+                    mix: Mix::paper_2to1(),
+                    label: "healthy",
+                },
+                ScenarioStep::Inject(2, FailureKind::SiteFailure),
+                ScenarioStep::Load {
+                    ops: 600,
+                    mix: Mix::paper_2to1(),
+                    label: "degraded",
+                },
+                ScenarioStep::Repair(2),
+                ScenarioStep::Load {
+                    ops: 600,
+                    mix: Mix::paper_2to1(),
+                    label: "recovered",
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(phases.len(), 3);
+        let healthy = phases[0].report.mean_latency_ms();
+        let degraded = phases[1].report.mean_latency_ms();
+        let recovered = phases[2].report.mean_latency_ms();
+        assert!(
+            degraded > healthy * 1.1,
+            "failure must hurt: {healthy} → {degraded}"
+        );
+        assert!(
+            (recovered - healthy).abs() < healthy * 0.2,
+            "recovery restores performance: {healthy} vs {recovered}"
+        );
+        scheme.verify().unwrap();
+    }
+
+    #[test]
+    fn degraded_read_amplification_matches_section_74() {
+        // "If a single site fails, then (G-1)/G of the read operations are
+        // unaffected while 1/G of them require G physical reads. Hence, on
+        // average, each read requires two physical read operations during
+        // failures."
+        let mut cfg = RaddConfig::small_g4(); // G = 4
+        cfg.block_size = 32;
+        // No spares: every down-site read reconstructs, which is the
+        // steady-state the paper's arithmetic describes (spares would
+        // absorb repeats at one read each).
+        cfg.spare_policy = radd_core::SparePolicy::None;
+        let mut scheme = Radd::new(cfg).unwrap();
+        let mut rng = SimRng::seed_from_u64(5);
+        let phases = run_scenario(
+            &mut scheme,
+            &mut rng,
+            AccessPattern::Uniform,
+            &[
+                ScenarioStep::Inject(1, FailureKind::SiteFailure),
+                ScenarioStep::Load {
+                    ops: 4000,
+                    mix: Mix::read_only(),
+                    label: "degraded reads",
+                },
+            ],
+        )
+        .unwrap();
+        let r = &phases[0].report;
+        let physical_reads = r.counts.local_reads + r.counts.remote_reads;
+        let amplification = physical_reads as f64 / r.reads as f64;
+        // 1/6 of reads target the down site and cost G = 4 reads each:
+        // (5/6)·1 + (1/6)·4 = 1.5.
+        assert!(
+            (1.35..1.65).contains(&amplification),
+            "amplification {amplification}"
+        );
+    }
+}

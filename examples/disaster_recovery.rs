@@ -1,0 +1,92 @@
+//! Disaster recovery with two storage managers (§3.4).
+//!
+//! A bank-ish transactional workload runs at a site; the site crashes. We
+//! compare how quickly service resumes under a WAL manager (two-phase log
+//! recovery — expensive, and ruinous when the log must be reconstructed
+//! remotely through RADD) versus a POSTGRES-style no-overwrite manager
+//! (instant).
+//!
+//! ```sh
+//! cargo run --example disaster_recovery
+//! ```
+
+use radd::prelude::*;
+use radd::storage::RecoveryStats;
+
+fn workload<M: StorageManager>(m: &mut M, txns: u64) {
+    let page_size = m.page_size();
+    for t in 0..txns {
+        let txn = m.begin().expect("begin");
+        for p in 0..3 {
+            m.write(txn, (t * 3 + p) % 32, &vec![(t % 250 + 1) as u8; page_size])
+                .expect("write");
+        }
+        if t % 10 != 9 {
+            m.commit(txn).expect("commit");
+        } else {
+            m.abort(txn).expect("abort");
+        }
+        // One transaction per ten stays open and dies in the crash.
+    }
+    let open = m.begin().expect("begin");
+    m.write(open, 0, &vec![0xEE; page_size]).expect("write");
+}
+
+fn report(label: &str, stats: &RecoveryStats) {
+    let cost = stats.cost.priced(&CostParams::paper_defaults());
+    println!(
+        "{label:<46} log blocks: {:>4}   pages replayed: {:>4}   priced: {:>10.1} ms",
+        stats.log_blocks_read,
+        stats.pages_redone + stats.pages_undone,
+        cost.as_millis_f64(),
+    );
+}
+
+fn main() {
+    println!("Workload: 300 transactions × 3 page writes, 10% aborts, one in-flight at crash\n");
+
+    // WAL manager, recovered locally and remotely-through-RADD.
+    for (label, ctx) in [
+        ("WAL, local restart", RecoveryContext::Local),
+        ("WAL, rebuilt remotely through RADD (G = 8)", RecoveryContext::RemoteRadd { g: 8 }),
+    ] {
+        let mut wal = WalManager::new(64, 2048);
+        workload(&mut wal, 300);
+        wal.crash();
+        let stats = wal.recover(ctx).expect("recovery");
+        report(label, &stats);
+    }
+
+    // No-overwrite manager: nothing to replay, in any context.
+    for (label, ctx) in [
+        ("no-overwrite, local restart", RecoveryContext::Local),
+        ("no-overwrite, remote through RADD", RecoveryContext::RemoteRadd { g: 8 }),
+    ] {
+        let mut now = NoOverwriteManager::new(64, 2048);
+        workload(&mut now, 300);
+        now.crash();
+        let stats = now.recover(ctx).expect("recovery");
+        report(label, &stats);
+    }
+
+    println!(
+        "\nThe paper's §3.4 conclusion, reproduced: a WAL makes remote RADD\n\
+         recovery pointless for short outages (every log block costs G remote\n\
+         reads), while a no-overwrite manager lets RADD mask site failures,\n\
+         disk failures AND disasters."
+    );
+
+    // And the RADD side of the story: remote operations proceed with no
+    // intervening recovery stage at all.
+    let mut cluster = RaddCluster::new(RaddConfig::paper_g8()).expect("cluster");
+    let block = vec![9u8; cluster.config().block_size];
+    cluster.write(Actor::Site(2), 2, 0, &block).expect("write");
+    cluster.disaster(2);
+    let (data, receipt) = cluster.read(Actor::Client, 2, 0).expect("read");
+    assert_eq!(&data[..], &block[..]);
+    println!(
+        "\nDuring the disaster, site 2's data stayed readable: {} = {} ms",
+        receipt.counts.formula(),
+        receipt.latency.as_millis()
+    );
+}

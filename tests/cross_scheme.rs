@@ -1,0 +1,145 @@
+//! Cross-scheme integration: all six schemes run the same workload and the
+//! same failure lifecycle, and must agree on contents and invariants.
+
+use radd::prelude::*;
+use radd::workload::MixReport;
+
+const BLOCK: usize = 512;
+
+fn build_all() -> Vec<Box<dyn ReplicationScheme>> {
+    let mut cfg = RaddConfig::paper_g8();
+    cfg.block_size = BLOCK;
+    let mut half_cfg = cfg.clone();
+    half_cfg.rows = 60;
+    vec![
+        Box::new(Radd::new(cfg.clone()).unwrap()),
+        Box::new(Rowb::new(10, 80, 10, BLOCK, CostParams::paper_defaults()).unwrap()),
+        Box::new(Raid5::paper_g8(10, BLOCK).unwrap()),
+        Box::new(CRaid::new(cfg).unwrap()),
+        Box::new(TwoDRadd::paper_8x8(10, BLOCK).unwrap()),
+        Box::new(Radd::half(half_cfg).unwrap()),
+    ]
+}
+
+#[test]
+fn every_scheme_round_trips_every_addressable_block() {
+    for mut scheme in build_all() {
+        let sites = scheme.num_sites();
+        for site in 0..sites {
+            let cap = scheme.data_capacity(site).min(6);
+            for idx in 0..cap {
+                let tag = (site * 31 + idx as usize % 97 + 1) as u8;
+                let data = vec![tag; BLOCK];
+                scheme.write(Actor::Site(site), site, idx, &data).unwrap();
+                let (got, _) = scheme.read(Actor::Site(site), site, idx).unwrap();
+                assert_eq!(&got[..], &data[..], "{} site {site} idx {idx}", scheme.name());
+            }
+        }
+        scheme.verify().unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+    }
+}
+
+#[test]
+fn every_distributed_scheme_survives_a_site_failure_lifecycle() {
+    for mut scheme in build_all() {
+        if scheme.name() == "RAID" {
+            continue; // the paper's point: a RAID cannot survive this
+        }
+        let name = scheme.name();
+        let data = vec![0x77u8; BLOCK];
+        scheme.write(Actor::Site(1), 1, 0, &data).unwrap();
+        scheme.inject(1, FailureKind::SiteFailure).unwrap();
+        // Read during the failure.
+        let (got, receipt) = scheme.read(Actor::Client, 1, 0).unwrap();
+        assert_eq!(&got[..], &data[..], "{name}: degraded read");
+        assert!(receipt.counts.remote_reads >= 1, "{name}: must go remote");
+        // Write during the failure.
+        let newer = vec![0x78u8; BLOCK];
+        scheme.write(Actor::Client, 1, 0, &newer).unwrap();
+        // Repair and verify the write survived.
+        scheme.repair(1).unwrap();
+        let (got, _) = scheme.read(Actor::Site(1), 1, 0).unwrap();
+        assert_eq!(&got[..], &newer[..], "{name}: write survived the outage");
+        scheme.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn every_scheme_survives_a_disk_failure() {
+    for mut scheme in build_all() {
+        let name = scheme.name();
+        let (site, disk) = if name == "RAID" { (0, 0) } else { (1, 0) };
+        let data = vec![0x55u8; BLOCK];
+        scheme.write(Actor::Site(site), site, 0, &data).unwrap();
+        scheme.inject(site, FailureKind::DiskFailure { disk }).unwrap();
+        let (got, _) = scheme.read(Actor::Client, site, 0).unwrap();
+        assert_eq!(&got[..], &data[..], "{name}: read with disk failed");
+        scheme.repair(site).unwrap();
+        let (got, _) = scheme.read(Actor::Site(site), site, 0).unwrap();
+        assert_eq!(&got[..], &data[..], "{name}: read after repair");
+        scheme.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn disasters_lose_data_only_on_raid() {
+    for mut scheme in build_all() {
+        let name = scheme.name();
+        let data = vec![0x99u8; BLOCK];
+        scheme.write(Actor::Site(0), 0, 1, &data).unwrap();
+        scheme.inject(0, FailureKind::Disaster).unwrap();
+        scheme.repair(0).unwrap();
+        let (got, _) = scheme.read(Actor::Site(0), 0, 1).unwrap();
+        if name == "RAID" {
+            assert_eq!(&got[..], &vec![0u8; BLOCK][..], "RAID loses everything");
+        } else {
+            assert_eq!(&got[..], &data[..], "{name}: disaster survived");
+        }
+    }
+}
+
+#[test]
+fn identical_workload_runs_on_all_schemes() {
+    let mut results: Vec<(String, MixReport)> = Vec::new();
+    for mut scheme in build_all() {
+        let mut rng = SimRng::seed_from_u64(99);
+        let report = run_mix(
+            scheme.as_mut(),
+            &mut rng,
+            800,
+            Mix::paper_2to1(),
+            AccessPattern::Zipf { theta: 0.8 },
+        )
+        .unwrap();
+        assert_eq!(report.unavailable, 0, "{}", scheme.name());
+        scheme.verify().unwrap();
+        results.push((scheme.name().to_string(), report));
+    }
+    // Figure 7 ordering under no failures: RAID cheapest, 2D-RADD dearest.
+    let latency = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap()
+            .1
+            .mean_latency_ms()
+    };
+    assert!(latency("RAID") < latency("RADD"));
+    assert!(latency("RADD") < latency("C-RAID"));
+    assert!(latency("C-RAID") < latency("2D-RADD"));
+    assert!((latency("RADD") - latency("ROWB")).abs() < 3.0);
+    assert!((latency("RADD") - latency("1/2-RADD")).abs() < 3.0);
+}
+
+#[test]
+fn space_overheads_match_figure2() {
+    let expected = [0.25, 1.0, 0.25, 0.5625, 0.5, 0.5];
+    for (scheme, want) in build_all().iter().zip(expected) {
+        assert!(
+            (scheme.space_overhead() - want).abs() < 1e-9,
+            "{}: {} vs {want}",
+            scheme.name(),
+            scheme.space_overhead()
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Soak test: a long randomized lifetime of one G = 8 cluster — load,
+//! failures of all three kinds, repairs — with full content verification
+//! against an oracle at every checkpoint.
+
+use radd::prelude::*;
+use std::collections::HashMap;
+
+const BLOCK: usize = 128;
+
+#[test]
+fn long_lifetime_with_rotating_failures() {
+    let mut cfg = RaddConfig::paper_g8();
+    cfg.block_size = BLOCK;
+    let mut cluster = RaddCluster::new(cfg).unwrap();
+    let sites = cluster.config().num_sites();
+    let mut rng = SimRng::seed_from_u64(0xDEADBEEF);
+    let mut oracle: HashMap<(usize, u64), Vec<u8>> = HashMap::new();
+
+    for cycle in 0..12u32 {
+        // A burst of load.
+        for _ in 0..150 {
+            let site = rng.index(sites);
+            let index = rng.below(cluster.data_capacity(site));
+            if rng.chance(0.6) {
+                let data = rng.bytes(BLOCK);
+                cluster.write(Actor::Site(site), site, index, &data).unwrap();
+                oracle.insert((site, index), data);
+            } else {
+                let (got, _) = cluster.read(Actor::Site(site), site, index).unwrap();
+                let want = oracle
+                    .get(&(site, index))
+                    .cloned()
+                    .unwrap_or_else(|| vec![0u8; BLOCK]);
+                assert_eq!(&got[..], &want[..], "cycle {cycle} site {site} idx {index}");
+            }
+        }
+        // One failure of a rotating kind and victim.
+        let victim = (cycle as usize * 3 + 1) % sites;
+        match cycle % 3 {
+            0 => cluster.fail_site(victim),
+            1 => cluster.disaster(victim),
+            _ => {
+                cluster.fail_disk(victim, (cycle as usize / 3) % 10);
+            }
+        }
+        // Load continues through the failure (client-relocated).
+        for _ in 0..100 {
+            let site = rng.index(sites);
+            let index = rng.below(cluster.data_capacity(site));
+            if rng.chance(0.5) {
+                let data = rng.bytes(BLOCK);
+                if cluster.write(Actor::Client, site, index, &data).is_ok() {
+                    oracle.insert((site, index), data);
+                }
+            } else if let Ok((got, _)) = cluster.read(Actor::Client, site, index) {
+                let want = oracle
+                    .get(&(site, index))
+                    .cloned()
+                    .unwrap_or_else(|| vec![0u8; BLOCK]);
+                assert_eq!(&got[..], &want[..], "degraded cycle {cycle}");
+            }
+        }
+        // Repair.
+        if cycle % 3 == 2 {
+            cluster.replace_disk(victim, (cycle as usize / 3) % 10);
+        } else {
+            cluster.restore_site(victim);
+        }
+        cluster.run_recovery(victim).unwrap();
+        // Checkpoint: everything verifies, locally.
+        for (&(site, index), want) in &oracle {
+            let (got, receipt) = cluster.read(Actor::Site(site), site, index).unwrap();
+            assert_eq!(&got[..], &want[..], "checkpoint cycle {cycle}");
+            assert_eq!(receipt.counts.formula(), "R");
+        }
+        cluster.verify_parity().unwrap();
+    }
+}
