@@ -1046,6 +1046,22 @@ impl RaddCluster {
         self.sites[site].block_uids[row as usize]
     }
 
+    /// Raw content of a physical block at a site, uncharged — inspection
+    /// hook for tests and the fault harness.
+    pub fn raw_block(&mut self, site: SiteId, row: PhysRow) -> Bytes {
+        self.sites[site].read_block(row).expect("row in range")
+    }
+
+    /// Fault-injection hook: overwrite the raw content of `site`'s
+    /// physical block `row` **behind the protocol's back** — no UID, spare
+    /// or parity bookkeeping. This breaks the stripe invariant on purpose;
+    /// the invariant checker is expected to catch it.
+    pub fn corrupt_block(&mut self, site: SiteId, row: PhysRow, data: &[u8]) {
+        self.sites[site]
+            .write_block(row, data)
+            .expect("row in range, right size");
+    }
+
     /// Public oracle: the logical content of a data block, bypassing all
     /// cost accounting. For assertions in tests, examples and benches.
     pub fn logical_content(

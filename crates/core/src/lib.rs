@@ -39,12 +39,14 @@
 
 pub mod cluster;
 pub mod config;
+pub mod driver;
 pub mod error;
 pub mod locks;
 pub mod site;
 pub mod stats;
 
 pub use cluster::{RaddCluster, RecoveryReport};
+pub use driver::{CheckError, CheckedCluster};
 pub use config::{ParityMode, RaddConfig, SparePolicy};
 pub use error::RaddError;
 pub use locks::{LockKind, LockManager};
@@ -53,5 +55,6 @@ pub use stats::{Actor, OpReceipt, TrafficStats};
 
 // Re-export the vocabulary types callers need alongside the cluster.
 pub use radd_layout::{DataIndex, Geometry, PhysRow, Role, SiteId};
+pub use radd_net::{PartitionMap, PartitionVerdict};
 pub use radd_parity::Uid;
 pub use radd_sim::{CostParams, OpCounts, OpKind, SimDuration};

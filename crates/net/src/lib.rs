@@ -17,7 +17,10 @@
 //!   the §5 classification: a `G+1`/`1` split looks like a single site
 //!   failure and the majority side proceeds; anything else must block.
 //! * [`threaded`] — a crossbeam-channel network for the threaded cluster
-//!   runtime (real concurrency rather than virtual time).
+//!   runtime (real concurrency rather than virtual time), with silent
+//!   message-loss injection and a wall-clock
+//!   [`threaded::ReliableChannel`] retransmission tracker mirroring the
+//!   simulated one.
 
 #![warn(missing_docs)]
 

@@ -9,8 +9,10 @@
 
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A message with its source address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,9 +49,30 @@ impl std::fmt::Display for NetError {
 
 impl std::error::Error for NetError {}
 
+/// Message-loss injection parameters. Loss is decided per send from a
+/// counter hashed with the seed, so a given `(seed, permille)` pair drops a
+/// reproducible *fraction* of traffic (the exact victims depend on thread
+/// interleaving, which is fine: the reliable layers above must converge for
+/// any loss pattern below certainty).
+struct LossState {
+    /// Probability of dropping a message, in 1/1000 units (0 = off).
+    permille: u16,
+    seed: u64,
+}
+
 struct Shared<M> {
     senders: Vec<Sender<Inbound<M>>>,
     partitioned: RwLock<Vec<bool>>,
+    loss: RwLock<LossState>,
+    loss_counter: AtomicU64,
+    dropped: AtomicU64,
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Factory and control plane for a set of endpoints.
@@ -78,6 +101,12 @@ impl<M: Send + 'static> ThreadedNet<M> {
         let shared = Arc::new(Shared {
             senders,
             partitioned: RwLock::new(vec![false; n]),
+            loss: RwLock::new(LossState {
+                permille: 0,
+                seed: 0,
+            }),
+            loss_counter: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         });
         let endpoints = receivers
             .into_iter()
@@ -94,6 +123,22 @@ impl<M: Send + 'static> ThreadedNet<M> {
     /// Cut a site off from everyone (its sends and receives fail).
     pub fn set_partitioned(&self, site: usize, partitioned: bool) {
         self.shared.partitioned.write()[site] = partitioned;
+    }
+
+    /// Start dropping roughly `permille`/1000 of all sends, with victims
+    /// chosen by hashing a running counter with `seed`. `permille == 0`
+    /// turns loss off. Loss is *silent*: the sender sees `Ok`, the message
+    /// never arrives — exactly what timer-based retransmission must absorb.
+    pub fn set_loss(&self, permille: u16, seed: u64) {
+        assert!(permille < 1000, "loss probability must stay below certainty");
+        let mut loss = self.shared.loss.write();
+        loss.permille = permille;
+        loss.seed = seed;
+    }
+
+    /// Number of messages dropped by loss injection so far.
+    pub fn dropped(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -118,6 +163,17 @@ impl<M: Send + 'static> ThreadedEndpoint<M> {
             .senders
             .get(dst)
             .ok_or(NetError::NoSuchSite(dst))?;
+        {
+            let loss = self.shared.loss.read();
+            if loss.permille > 0 {
+                let n = self.shared.loss_counter.fetch_add(1, Ordering::Relaxed);
+                if splitmix64(loss.seed ^ n) % 1000 < loss.permille as u64 {
+                    // Silent drop: delivery simply never happens.
+                    self.shared.dropped.fetch_add(1, Ordering::Relaxed);
+                    return Ok(());
+                }
+            }
+        }
         tx.send(Inbound {
             src: self.id,
             payload,
@@ -145,10 +201,126 @@ impl<M: Send + 'static> ThreadedEndpoint<M> {
     }
 }
 
+struct Outstanding<M> {
+    dst: usize,
+    msg: M,
+    next_resend: Instant,
+    backoff: Duration,
+}
+
+/// Wall-clock counterpart of [`crate::reliable::ReliableChannel`]:
+/// retransmission-with-backoff bookkeeping for messages sent over a
+/// [`ThreadedEndpoint`]. The tracker never touches the wire itself — the
+/// owner sends a message once, [`track`](ReliableChannel::track)s it, and
+/// periodically resends whatever [`due`](ReliableChannel::due) returns
+/// until the matching [`ack`](ReliableChannel::ack) arrives. Because each
+/// retransmission is an independent trial, delivery converges whenever the
+/// transport loses messages with probability below certainty
+/// ([`ThreadedNet::set_loss`]) and partitions eventually heal.
+///
+/// The receiver must apply tracked messages *idempotently*: the lost
+/// message may have been the ack, in which case a retransmission arrives
+/// for work already done.
+pub struct ReliableChannel<M> {
+    outstanding: HashMap<u64, Outstanding<M>>,
+    base: Duration,
+    cap: Duration,
+}
+
+impl<M: Clone> ReliableChannel<M> {
+    /// A tracker whose first retransmission fires after `base`, doubling up
+    /// to `cap` thereafter.
+    pub fn new(base: Duration, cap: Duration) -> ReliableChannel<M> {
+        assert!(!base.is_zero(), "zero backoff would spin");
+        ReliableChannel {
+            outstanding: HashMap::new(),
+            base,
+            cap,
+        }
+    }
+
+    /// Start tracking `msg` (already sent once to `dst`) under `tag`.
+    pub fn track(&mut self, tag: u64, dst: usize, msg: M) {
+        self.outstanding.insert(
+            tag,
+            Outstanding {
+                dst,
+                msg,
+                next_resend: Instant::now() + self.base,
+                backoff: self.base,
+            },
+        );
+    }
+
+    /// An ack for `tag` arrived; returns whether it was outstanding (a
+    /// duplicate ack from a retransmission returns `false`).
+    pub fn ack(&mut self, tag: u64) -> bool {
+        self.outstanding.remove(&tag).is_some()
+    }
+
+    /// The messages whose backoff timers have expired, as `(dst, msg)`
+    /// pairs to resend now. Each returned entry has its timer doubled (up
+    /// to the cap) and stays tracked until acked.
+    pub fn due(&mut self, now: Instant) -> Vec<(usize, M)> {
+        let mut resend = Vec::new();
+        for o in self.outstanding.values_mut() {
+            if now >= o.next_resend {
+                resend.push((o.dst, o.msg.clone()));
+                o.backoff = (o.backoff * 2).min(self.cap);
+                o.next_resend = now + o.backoff;
+            }
+        }
+        resend
+    }
+
+    /// True when nothing awaits an ack — the channel has quiesced. This is
+    /// the §5/§6 commit precondition in wall-clock form: a site may treat
+    /// its writes as fully reflected in parity only when this holds.
+    pub fn all_acked(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+
+    /// Number of messages still awaiting their ack.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::thread;
+
+    #[test]
+    fn tracker_starts_quiesced_and_counts_outstanding() {
+        let mut c: ReliableChannel<&str> =
+            ReliableChannel::new(Duration::from_millis(10), Duration::from_millis(40));
+        assert!(c.all_acked());
+        c.track(1, 5, "a");
+        c.track(2, 6, "b");
+        assert!(!c.all_acked());
+        assert_eq!(c.outstanding(), 2);
+        assert!(c.ack(1));
+        assert!(!c.ack(1), "second ack is a duplicate");
+    }
+
+    #[test]
+    fn tracker_resends_with_doubling_backoff_until_acked() {
+        let mut c: ReliableChannel<&str> =
+            ReliableChannel::new(Duration::from_millis(10), Duration::from_millis(40));
+        c.track(1, 3, "a");
+        let t0 = Instant::now();
+        assert!(c.due(t0).is_empty(), "nothing due before the base interval");
+        let r1 = c.due(t0 + Duration::from_millis(11));
+        assert_eq!(r1, vec![(3, "a")]);
+        // Backoff doubled to 20 ms: quiet at +26 ms, due again by +32 ms.
+        assert!(c.due(t0 + Duration::from_millis(26)).is_empty());
+        assert_eq!(c.due(t0 + Duration::from_millis(32)), vec![(3, "a")]);
+        assert_eq!(c.outstanding(), 1, "stays tracked until acked");
+        assert!(c.ack(1));
+        assert!(c.due(t0 + Duration::from_secs(10)).is_empty());
+        assert!(c.all_acked());
+    }
 
     #[test]
     fn point_to_point_delivery() {
@@ -210,6 +382,29 @@ mod tests {
             })
             .unwrap();
         assert_eq!(got.payload, 5);
+    }
+
+    #[test]
+    fn loss_drops_a_fraction_silently() {
+        let (net, eps) = ThreadedNet::<u32>::new(2);
+        net.set_loss(400, 0xFEED);
+        for i in 0..1000 {
+            eps[0].send(1, i).unwrap(); // loss is invisible to the sender
+        }
+        let mut got = 0;
+        while eps[1].try_recv().is_some() {
+            got += 1;
+        }
+        let dropped = net.dropped();
+        assert_eq!(got + dropped as usize, 1000);
+        assert!(
+            (200..600).contains(&dropped),
+            "~40% of 1000 sends should drop, got {dropped}"
+        );
+        // Turning loss off restores perfect delivery.
+        net.set_loss(0, 0);
+        eps[0].send(1, 7).unwrap();
+        assert_eq!(eps[1].recv_timeout(Duration::from_secs(1)).unwrap().payload, 7);
     }
 
     #[test]

@@ -1,18 +1,37 @@
 //! The client library: normal operations against the owning site, and the
 //! client-driven degraded paths of §3.2 (spare probe, validated
 //! reconstruction, spare install, W1' redirected writes, recovery drain).
+//!
+//! Requests are retried with a growing per-attempt timeout before the
+//! client gives up, so lost messages (see
+//! [`radd_net::ThreadedNet::set_loss`]) delay operations instead of
+//! failing them. Every request the client can resend is idempotent on the
+//! receiving site: reads and probes trivially, `SpareInstall` and
+//! `RestoreBlock` by overwriting with identical contents, `ParityUpdate`
+//! by the parity site's UID comparison, and a duplicate `Write` re-applies
+//! identical bytes (its second change mask is empty). The one destructive
+//! request, `SpareTake`, is only issued *after* the block it covers has
+//! been restored, so a lost reply costs nothing.
 
 use crate::message::{Msg, NackReason};
-use crate::site::{self};
 use radd_layout::Geometry;
 use radd_net::ThreadedEndpoint;
 use radd_parity::{xor_in_place, ChangeMask, Uid, UidArray, UidGen};
 use std::time::Duration;
 
-/// How long to wait for a reply before concluding the peer is dead.
-const REPLY_TIMEOUT: Duration = Duration::from_millis(1500);
+/// First per-attempt reply timeout; grows 1.5× per retry.
+const ATTEMPT_TIMEOUT: Duration = Duration::from_millis(150);
+/// Per-attempt timeout ceiling.
+const ATTEMPT_CAP: Duration = Duration::from_millis(900);
+/// How many times a request is (re)sent before the peer is declared dead.
+/// Sized so that even a 30% loss burst (the generator's ceiling) has a
+/// negligible chance of exhausting the budget on a live peer.
+const REQUEST_ATTEMPTS: u32 = 12;
 /// §3.3 retry budget for inconsistent reconstruction reads.
 const RECONSTRUCT_RETRIES: u32 = 20;
+/// Stash entries older than this many tags behind the newest are stale
+/// duplicates (e.g. a second `WriteOk` from a retransmitted write).
+const STASH_HORIZON: u64 = 256;
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,7 +40,7 @@ pub enum ClientError {
     OutOfRange,
     /// Payload size mismatch.
     BadSize,
-    /// A needed peer did not answer.
+    /// A needed peer did not answer (after all retries).
     Timeout {
         /// The unresponsive site.
         site: usize,
@@ -63,8 +82,6 @@ pub struct NodeClient {
     stash: std::collections::HashMap<u64, Msg>,
 }
 
-
-
 impl NodeClient {
     pub(crate) fn new(
         ep: ThreadedEndpoint<Msg>,
@@ -94,6 +111,11 @@ impl NodeClient {
         self.down[site] = down;
     }
 
+    /// Whether this client currently believes `site` is down.
+    pub fn is_marked_down(&self, site: usize) -> bool {
+        self.down[site]
+    }
+
     /// The cluster geometry.
     pub fn geometry(&self) -> &Geometry {
         &self.geo
@@ -101,6 +123,13 @@ impl NodeClient {
 
     fn tag(&mut self) -> u64 {
         self.next_tag += 1;
+        // Duplicate replies from retransmitted requests accumulate in the
+        // stash; anything far behind the newest tag can never be waited on
+        // again.
+        if self.stash.len() > STASH_HORIZON as usize {
+            let horizon = self.next_tag.saturating_sub(STASH_HORIZON);
+            self.stash.retain(|&t, _| t >= horizon);
+        }
         self.next_tag
     }
 
@@ -108,11 +137,11 @@ impl NodeClient {
     /// requests (fan-outs answer in arbitrary order) are stashed for their
     /// own `wait` calls; only a reply whose tag was never issued is truly
     /// stale.
-    fn wait(&mut self, tag: u64) -> Option<Msg> {
+    fn wait(&mut self, tag: u64, timeout: Duration) -> Option<Msg> {
         if let Some(m) = self.stash.remove(&tag) {
             return Some(m);
         }
-        let deadline = std::time::Instant::now() + REPLY_TIMEOUT;
+        let deadline = std::time::Instant::now() + timeout;
         loop {
             let left = deadline.saturating_duration_since(std::time::Instant::now());
             if left.is_zero() {
@@ -128,22 +157,36 @@ impl NodeClient {
         }
     }
 
+    /// Send `msg` (which must already carry `tag`) to endpoint `dst`,
+    /// retrying with exponential backoff until a reply arrives or the
+    /// attempt budget is spent. All retried requests are idempotent at the
+    /// receiver (see the module docs).
+    fn request(&mut self, dst: usize, tag: u64, msg: Msg) -> Option<Msg> {
+        let mut timeout = ATTEMPT_TIMEOUT;
+        for _ in 0..REQUEST_ATTEMPTS {
+            let _ = self.ep.send(dst, msg.clone());
+            if let Some(reply) = self.wait(tag, timeout) {
+                return Some(reply);
+            }
+            timeout = (timeout * 3 / 2).min(ATTEMPT_CAP);
+        }
+        None
+    }
+
     /// Read the `index`-th data block of `site`.
     pub fn read(&mut self, site: usize, index: u64) -> Result<Vec<u8>, ClientError> {
         if index >= self.geo.data_capacity(site) {
             return Err(ClientError::OutOfRange);
         }
-        if !self.down[site] {
-            let tag = self.tag();
-            let _ = self.ep.send(self.ep_base + site, Msg::Read { index, tag });
-            match self.wait(tag) {
-                Some(Msg::ReadOk { data, .. }) => return Ok(data),
-                Some(Msg::Nack { reason, .. }) => return Err(map_nack(reason)),
-                Some(_) => {}
-                None => { /* fall through to the degraded path */ }
-            }
+        if self.down[site] {
+            return self.degraded_read(site, index);
         }
-        self.degraded_read(site, index)
+        let tag = self.tag();
+        match self.request(self.ep_base + site, tag, Msg::Read { index, tag }) {
+            Some(Msg::ReadOk { data, .. }) => Ok(data),
+            Some(Msg::Nack { reason, .. }) => Err(map_nack(reason)),
+            _ => Err(ClientError::Timeout { site }),
+        }
     }
 
     /// Write the `index`-th data block of `site`.
@@ -154,24 +197,20 @@ impl NodeClient {
         if data.len() != self.block_size {
             return Err(ClientError::BadSize);
         }
-        if !self.down[site] {
-            let tag = self.tag();
-            let _ = self.ep.send(
-                self.ep_base + site,
-                Msg::Write {
-                    index,
-                    data: data.to_vec(),
-                    tag,
-                },
-            );
-            match self.wait(tag) {
-                Some(Msg::WriteOk { .. }) => return Ok(()),
-                Some(Msg::Nack { reason, .. }) => return Err(map_nack(reason)),
-                Some(_) => {}
-                None => {}
-            }
+        if self.down[site] {
+            return self.degraded_write(site, index, data);
         }
-        self.degraded_write(site, index, data)
+        let tag = self.tag();
+        let msg = Msg::Write {
+            index,
+            data: data.to_vec(),
+            tag,
+        };
+        match self.request(self.ep_base + site, tag, msg) {
+            Some(Msg::WriteOk { .. }) => Ok(()),
+            Some(Msg::Nack { reason, .. }) => Err(map_nack(reason)),
+            _ => Err(ClientError::Timeout { site }),
+        }
     }
 
     /// §3.2 down-site read: spare if valid, else validated reconstruction,
@@ -205,21 +244,19 @@ impl NodeClient {
         };
         let uid = self.uid_gen.next_uid();
         self.install_spare(row, site, data, uid)?;
-        // W3 to the parity site, tagged with the new UID.
+        // W3 to the parity site, tagged with the new UID. Safe to resend:
+        // the parity site applies each UID at most once.
         let mask = ChangeMask::diff(&old, data);
         let parity_site = self.geo.parity_site(row);
         let tag = self.tag();
-        let _ = self.ep.send(
-            self.ep_base + parity_site,
-            Msg::ParityUpdate {
-                row,
-                mask_wire: mask.encode().to_vec(),
-                uid,
-                from_site: site,
-                tag,
-            },
-        );
-        match self.wait(tag) {
+        let msg = Msg::ParityUpdate {
+            row,
+            mask_wire: mask.encode().to_vec(),
+            uid,
+            from_site: site,
+            tag,
+        };
+        match self.request(self.ep_base + parity_site, tag, msg) {
             Some(Msg::Ack { .. }) => Ok(()),
             _ => Err(ClientError::Timeout { site: parity_site }),
         }
@@ -231,8 +268,7 @@ impl NodeClient {
     ) -> Result<Option<(usize, Vec<u8>, Uid)>, ClientError> {
         let spare_site = self.geo.spare_site(row);
         let tag = self.tag();
-        let _ = self.ep.send(self.ep_base + spare_site, Msg::SpareProbe { row, tag });
-        match self.wait(tag) {
+        match self.request(self.ep_base + spare_site, tag, Msg::SpareProbe { row, tag }) {
             Some(Msg::SpareState { slot, .. }) => Ok(slot),
             _ => Err(ClientError::Timeout { site: spare_site }),
         }
@@ -247,23 +283,20 @@ impl NodeClient {
     ) -> Result<(), ClientError> {
         let spare_site = self.geo.spare_site(row);
         let tag = self.tag();
-        let _ = self.ep.send(
-            self.ep_base + spare_site,
-            Msg::SpareInstall {
-                row,
-                for_site,
-                data: data.to_vec(),
-                uid,
-                tag,
-            },
-        );
-        match self.wait(tag) {
+        let msg = Msg::SpareInstall {
+            row,
+            for_site,
+            data: data.to_vec(),
+            uid,
+            tag,
+        };
+        match self.request(self.ep_base + spare_site, tag, msg) {
             Some(Msg::Ack { .. }) => Ok(()),
             _ => Err(ClientError::Timeout { site: spare_site }),
         }
     }
 
-    /// Formula (2) with §3.3 validation and retry: fan `BlockRead` out to
+    /// Formula (2) with §3.3 validation and retry: `BlockRead` from each of
     /// the `G` surviving sites, compare every data UID against the parity
     /// site's array, XOR on success. Returns the data and the UID the
     /// parity array holds for the failed site (for a consistent spare
@@ -275,22 +308,15 @@ impl NodeClient {
             .filter(|&s| s != owner && s != spare_site)
             .collect();
         'attempt: for _ in 0..RECONSTRUCT_RETRIES {
-            // Fan out.
-            let mut tags = Vec::with_capacity(sources.len());
+            let mut acc = vec![0u8; self.block_size];
+            let mut uids: Vec<(usize, Uid)> = Vec::new();
+            let mut parity_array: Option<UidArray> = None;
             for &s in &sources {
                 if self.down[s] {
                     return Err(ClientError::MultipleFailure);
                 }
                 let tag = self.tag();
-                let _ = self.ep.send(self.ep_base + s, Msg::BlockRead { row, tag });
-                tags.push((s, tag));
-            }
-            // Collect.
-            let mut acc = vec![0u8; self.block_size];
-            let mut uids: Vec<(usize, Uid)> = Vec::new();
-            let mut parity_array: Option<UidArray> = None;
-            for (s, tag) in tags {
-                match self.wait(tag) {
+                match self.request(self.ep_base + s, tag, Msg::BlockRead { row, tag }) {
                     Some(Msg::BlockData {
                         data,
                         uid,
@@ -329,8 +355,10 @@ impl NodeClient {
     }
 
     /// Recovery drain for a revived site (§3.2's background process, driven
-    /// from here): collect every spare standing in for it, restore the
-    /// blocks, invalidate the spares. Returns the number of blocks drained.
+    /// from here): for every spare standing in for it, restore the block at
+    /// the revived site first, *then* invalidate the spare — so a lost
+    /// reply at any step leaves the data reachable and every step safe to
+    /// retry. Returns the number of blocks drained.
     pub fn recover(&mut self, site: usize) -> Result<u64, ClientError> {
         let mut drained = 0;
         for s in 0..self.geo.num_sites() {
@@ -338,27 +366,40 @@ impl NodeClient {
                 continue;
             }
             let tag = self.tag();
-            let _ = self.ep.send(self.ep_base + s, Msg::SpareDrainList { for_site: site, tag });
-            let rows = match self.wait(tag) {
+            let rows = match self.request(
+                self.ep_base + s,
+                tag,
+                Msg::SpareDrainList { for_site: site, tag },
+            ) {
                 Some(Msg::SpareRows { rows, .. }) => rows,
                 _ => return Err(ClientError::Timeout { site: s }),
             };
             for row in rows {
+                // Non-destructive read of the spare contents.
                 let tag = self.tag();
-                let _ = self.ep.send(self.ep_base + s, Msg::SpareTake { row, tag });
-                let (for_site, data, uid) = match self.wait(tag) {
+                let (for_site, data, uid) = match self.request(
+                    self.ep_base + s,
+                    tag,
+                    Msg::SpareProbe { row, tag },
+                ) {
                     Some(Msg::SpareState { slot: Some(slot), .. }) => slot,
                     Some(Msg::SpareState { slot: None, .. }) => continue, // raced away
                     _ => return Err(ClientError::Timeout { site: s }),
                 };
                 debug_assert_eq!(for_site, site);
+                // Land the block at the restored site.
                 let tag = self.tag();
-                let _ = self
-                    .ep
-                    .send(self.ep_base + site, Msg::RestoreBlock { row, data, uid, tag });
-                match self.wait(tag) {
-                    Some(Msg::Ack { .. }) => drained += 1,
+                let msg = Msg::RestoreBlock { row, data, uid, tag };
+                match self.request(self.ep_base + site, tag, msg) {
+                    Some(Msg::Ack { .. }) => {}
                     _ => return Err(ClientError::Timeout { site }),
+                }
+                // Only now invalidate the spare; if the reply is lost a
+                // resend simply observes the empty slot.
+                let tag = self.tag();
+                match self.request(self.ep_base + s, tag, Msg::SpareTake { row, tag }) {
+                    Some(Msg::SpareState { .. }) => drained += 1,
+                    _ => return Err(ClientError::Timeout { site: s }),
                 }
             }
         }
@@ -378,8 +419,7 @@ impl NodeClient {
                     continue;
                 }
                 let tag = self.tag();
-                let _ = self.ep.send(self.ep_base + s, Msg::BlockRead { row, tag });
-                match self.wait(tag) {
+                match self.request(self.ep_base + s, tag, Msg::BlockRead { row, tag }) {
                     Some(Msg::BlockData { data, .. }) => {
                         if s == parity_site {
                             parity = data;
@@ -404,11 +444,4 @@ fn map_nack(reason: NackReason) -> ClientError {
         NackReason::BadSize => ClientError::BadSize,
         NackReason::Down => ClientError::MultipleFailure,
     }
-}
-
-// Silence the unused-import warning for `site` (the module is referenced
-// for its types by lib.rs; the client only needs its endpoint convention).
-#[allow(unused)]
-fn _endpoint_convention_matches() {
-    let _ = site::Control::Shutdown;
 }

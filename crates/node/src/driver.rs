@@ -1,0 +1,229 @@
+//! [`FaultDriver`] implementation for the threaded cluster, so one
+//! [`FaultPlan`](radd_workload::faults::FaultPlan) exercises both the DES
+//! and the real-concurrency runtime.
+//!
+//! The threaded runtime models temporary site failures, partitions and
+//! message loss faithfully; two DES-only events degrade gracefully here:
+//!
+//! * **Disk events.** `FailDisk`/`ReplaceDisk` need failure injection
+//!   *inside* a site thread, which this runtime does not model; both are
+//!   no-ops (the paired `Recover` then drains nothing).
+//! * **Disaster** is applied as a temporary site failure: the protocol
+//!   exercise (kill, degraded operation, drain on recovery) is identical,
+//!   only the disks keep their contents.
+//!
+//! One genuine protocol gap is *skipped* rather than faked: a write whose
+//! row's **parity site** is the currently failed/isolated site. The DES
+//! absorbs those with a parity stand-in spare (§3.2 step W3'); the
+//! threaded site would retransmit the parity update until the site
+//! returned, stalling the plan. Such writes are counted in
+//! [`ThreadedDriver::skipped_writes`] and left out of the oracle.
+//!
+//! A revived or healed site is kept on the client's down-list until the
+//! plan's `Recover` event drains the spares back to it — between those
+//! events its local blocks may be stale (the spare absorbed writes while
+//! it was away), exactly the window §3.2's recovering state covers on the
+//! DES.
+
+use crate::{ClientError, NodeCluster};
+use radd_workload::faults::{payload, FaultDriver, FaultEvent};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// How long a quiesce may poll before the plan is declared stuck.
+const QUIESCE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Drives a [`NodeCluster`] from a fault plan, tracking an oracle of every
+/// acknowledged write for content checks.
+pub struct ThreadedDriver {
+    cluster: NodeCluster,
+    block_size: usize,
+    /// Logical content per `(site, index)` — every write the cluster
+    /// acknowledged must read back exactly.
+    oracle: HashMap<(usize, u64), Vec<u8>>,
+    /// The one site currently failed or isolated (plans carry at most one
+    /// failure at a time).
+    impaired: Option<usize>,
+    /// Whether a loss burst is active (suppresses invariant sweeps — they
+    /// would pass anyway, but each dropped probe costs a retry timeout).
+    lossy: bool,
+    skipped_writes: u64,
+}
+
+impl ThreadedDriver {
+    /// Spawn a fresh threaded cluster sized for a plan shape.
+    pub fn start(g: usize, rows: u64, block_size: usize) -> ThreadedDriver {
+        ThreadedDriver {
+            cluster: NodeCluster::start(g, rows, block_size),
+            block_size,
+            oracle: HashMap::new(),
+            impaired: None,
+            lossy: false,
+            skipped_writes: 0,
+        }
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &NodeCluster {
+        &self.cluster
+    }
+
+    /// Mutable access to the underlying cluster.
+    pub fn cluster_mut(&mut self) -> &mut NodeCluster {
+        &mut self.cluster
+    }
+
+    /// Writes skipped because the row's parity site was the failed site
+    /// (see the module docs).
+    pub fn skipped_writes(&self) -> u64 {
+        self.skipped_writes
+    }
+
+    /// Acknowledged writes tracked by the oracle.
+    pub fn oracle_len(&self) -> usize {
+        self.oracle.len()
+    }
+
+    /// Stop the cluster threads.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+
+    fn parity_site_of(&mut self, site: usize, index: u64) -> usize {
+        let geo = self.cluster.client().geometry();
+        let row = geo.data_to_physical(site, index);
+        geo.parity_site(row)
+    }
+}
+
+/// Protocol refusals a scenario makes legal (vs. broken guarantees).
+fn is_refusal(e: &ClientError) -> bool {
+    matches!(e, ClientError::MultipleFailure)
+}
+
+impl FaultDriver for ThreadedDriver {
+    fn apply(&mut self, event: &FaultEvent) -> Result<(), String> {
+        match *event {
+            FaultEvent::Write { site, index, fill } => {
+                let parity_site = self.parity_site_of(site, index);
+                if self.impaired == Some(parity_site) {
+                    self.skipped_writes += 1;
+                    return Ok(());
+                }
+                let data = payload(fill, self.block_size);
+                match self.cluster.client().write(site, index, &data) {
+                    Ok(()) => {
+                        self.oracle.insert((site, index), data);
+                        Ok(())
+                    }
+                    Err(e) if is_refusal(&e) => Ok(()),
+                    Err(e) => Err(format!("write(site {site}, index {index}): {e}")),
+                }
+            }
+            FaultEvent::Read { site, index } => {
+                match self.cluster.client().read(site, index) {
+                    Ok(data) => match self.oracle.get(&(site, index)) {
+                        Some(want) if *want != data => Err(format!(
+                            "read(site {site}, index {index}) returned stale or \
+                             corrupt data"
+                        )),
+                        _ => Ok(()),
+                    },
+                    Err(e) if is_refusal(&e) => Ok(()),
+                    Err(e) => Err(format!("read(site {site}, index {index}): {e}")),
+                }
+            }
+            // Quiesce before killing: a site dying with an unacked parity
+            // update is the §6 in-doubt problem (see the site module docs).
+            FaultEvent::FailSite { site } | FaultEvent::Disaster { site } => {
+                FaultDriver::quiesce(self)?;
+                self.cluster.kill_site(site);
+                self.impaired = Some(site);
+                Ok(())
+            }
+            FaultEvent::FailDisk { .. } | FaultEvent::ReplaceDisk { .. } => Ok(()),
+            FaultEvent::RestoreSite { site } => {
+                self.cluster.revive_site(site);
+                // Stale until its spares are drained: keep the degraded
+                // paths (which prefer the spare) until `Recover`.
+                self.cluster.client().mark_down(site, true);
+                Ok(())
+            }
+            FaultEvent::Recover { site } => {
+                match self.cluster.client().recover(site) {
+                    Ok(_) => {
+                        self.cluster.client().mark_down(site, false);
+                        self.impaired = None;
+                        Ok(())
+                    }
+                    Err(e) => Err(format!("recovery of site {site}: {e}")),
+                }
+            }
+            FaultEvent::Isolate { site } => {
+                FaultDriver::quiesce(self)?;
+                self.cluster.isolate_site(site);
+                self.impaired = Some(site);
+                Ok(())
+            }
+            FaultEvent::Heal { site } => {
+                self.cluster.heal_site(site);
+                self.cluster.client().mark_down(site, true);
+                Ok(())
+            }
+            FaultEvent::LossBurst { permille, seed } => {
+                self.cluster.set_loss(permille, seed);
+                self.lossy = true;
+                Ok(())
+            }
+            FaultEvent::LossEnd => {
+                self.cluster.set_loss(0, 0);
+                self.lossy = false;
+                Ok(())
+            }
+            FaultEvent::FlushParity => FaultDriver::quiesce(self),
+        }
+    }
+
+    fn verify(&mut self) -> Result<bool, String> {
+        // Mid-failure the stripe invariant cannot be swept (a site won't
+        // answer); under loss it could be, but every dropped probe costs a
+        // retry timeout, so sweeps wait for the burst to end.
+        if self.impaired.is_some() || self.lossy {
+            return Ok(false);
+        }
+        FaultDriver::quiesce(self)?;
+        if !self.cluster.all_acked() {
+            return Err(
+                "quiesced but a retransmission channel still holds unacked \
+                 parity updates"
+                    .to_string(),
+            );
+        }
+        self.cluster.client().verify_parity()?;
+        let entries: Vec<((usize, u64), Vec<u8>)> = self
+            .oracle
+            .iter()
+            .map(|(&k, v)| (k, v.clone()))
+            .collect();
+        for ((site, index), want) in entries {
+            match self.cluster.client().read(site, index) {
+                Ok(got) if got == want => {}
+                Ok(_) => {
+                    return Err(format!(
+                        "oracle mismatch at site {site} index {index}"
+                    ))
+                }
+                Err(e) => {
+                    return Err(format!(
+                        "oracle read-back at site {site} index {index}: {e}"
+                    ))
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn quiesce(&mut self) -> Result<(), String> {
+        self.cluster.quiesce(QUIESCE_TIMEOUT)
+    }
+}

@@ -19,6 +19,11 @@
 //!   site, [`client::NodeClient`] probes the spare site, reconstructs from
 //!   the `G` survivors with §3.3 UID validation, installs the result into
 //!   the spare, and redirects writes (W1').
+//! * The cluster keeps its [`ThreadedNet`] control handle, so fault
+//!   harnesses can inject silent message loss ([`NodeCluster::set_loss`])
+//!   and network partitions ([`NodeCluster::isolate_site`]); sites absorb
+//!   both by retransmitting unacked parity updates with backoff, and
+//!   [`NodeCluster::quiesce`] waits until every pending table is empty.
 //!
 //! Temporary site failures and recovery are fully supported; disk
 //! failures and disasters are covered by the deterministic runtime (they
@@ -45,21 +50,26 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod driver;
 pub mod message;
 pub mod site;
 
 pub use client::{ClientError, NodeClient};
+pub use driver::ThreadedDriver;
 pub use message::Msg;
 
 use radd_net::ThreadedNet;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A running threaded cluster: `G + 2` site threads plus a client handle.
 pub struct NodeCluster {
+    net: ThreadedNet<Msg>,
     client: NodeClient,
     control: Vec<std::sync::mpsc::Sender<site::Control>>,
     handles: Vec<JoinHandle<()>>,
     num_sites: usize,
+    ep_base: usize,
 }
 
 impl NodeCluster {
@@ -84,7 +94,7 @@ impl NodeCluster {
         assert!(clients >= 1, "need at least one client");
         let num_sites = g + 2;
         let ep_base = clients;
-        let (_net, mut endpoints) = ThreadedNet::<Msg>::new(num_sites + clients);
+        let (net, mut endpoints) = ThreadedNet::<Msg>::new(num_sites + clients);
         let site_eps = endpoints.split_off(clients);
         let mut client_eps = endpoints;
         let mut handles = Vec::new();
@@ -111,10 +121,12 @@ impl NodeCluster {
             .collect();
         (
             NodeCluster {
+                net,
                 client: main_client,
                 control,
                 handles,
                 num_sites,
+                ep_base,
             },
             extra,
         )
@@ -135,12 +147,14 @@ impl NodeCluster {
         let _ = self.control[site].send(site::Control::SetDown(down, ack_tx));
         // Synchronous: the site has crossed the boundary before we return,
         // so subsequent traffic observes a consistent state.
-        let _ = ack_rx.recv_timeout(std::time::Duration::from_secs(5));
+        let _ = ack_rx.recv_timeout(Duration::from_secs(5));
         self.client.mark_down(site, down);
     }
 
     /// Temporary site failure: the site stops answering protocol messages
-    /// (its disks keep their contents).
+    /// (its disks keep their contents). Quiesce first (see
+    /// [`NodeCluster::quiesce`]) unless you *want* an in-doubt parity
+    /// update stranded at the dead site.
     pub fn kill_site(&mut self, site: usize) {
         self.set_down(site, true);
     }
@@ -149,6 +163,75 @@ impl NodeCluster {
     /// [`NodeClient::recover`] to drain its spares and mark it up.
     pub fn revive_site(&mut self, site: usize) {
         self.set_down(site, false);
+    }
+
+    /// Start dropping roughly `permille`/1000 of all network sends,
+    /// silently (sender still sees success). `0` turns loss off. Sites
+    /// converge anyway by retransmitting unacked parity updates.
+    pub fn set_loss(&self, permille: u16, seed: u64) {
+        self.net.set_loss(permille, seed);
+    }
+
+    /// Messages dropped by loss injection so far.
+    pub fn dropped_messages(&self) -> u64 {
+        self.net.dropped()
+    }
+
+    /// §5 partition: cut `site` off from the network (its sends and
+    /// receives fail; its thread keeps running). The client treats it like
+    /// a down site and takes the degraded paths.
+    pub fn isolate_site(&mut self, site: usize) {
+        self.net.set_partitioned(self.ep_base + site, true);
+        self.client.mark_down(site, true);
+    }
+
+    /// Heal a partition created by [`NodeCluster::isolate_site`]. The site
+    /// immediately resumes retransmitting whatever parity updates it could
+    /// not deliver while cut off. Run [`NodeClient::recover`] afterwards to
+    /// drain spares populated on its behalf during the partition.
+    pub fn heal_site(&mut self, site: usize) {
+        self.net.set_partitioned(self.ep_base + site, false);
+        self.client.mark_down(site, false);
+    }
+
+    /// How many writes at `site` still await their parity ack.
+    pub fn pending_writes(&self, site: usize) -> usize {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let _ = self.control[site].send(site::Control::QueryPending(tx));
+        rx.recv_timeout(Duration::from_secs(5)).unwrap_or(0)
+    }
+
+    /// Whether every site's retransmission channel reports
+    /// [`all_acked`](radd_net::threaded::ReliableChannel::all_acked) —
+    /// i.e. no parity update anywhere is still awaiting its ack.
+    pub fn all_acked(&self) -> bool {
+        (0..self.num_sites).all(|s| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let _ = self.control[s].send(site::Control::QueryAllAcked(tx));
+            rx.recv_timeout(Duration::from_secs(5)).unwrap_or(false)
+        })
+    }
+
+    /// Wait until no site holds an unacked parity update (i.e. every
+    /// acknowledged write is fully reflected in parity), polling for up to
+    /// `timeout`. Partitioned sites cannot drain — heal them first.
+    pub fn quiesce(&self, timeout: Duration) -> Result<(), String> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let pending: Vec<(usize, usize)> = (0..self.num_sites)
+                .map(|s| (s, self.pending_writes(s)))
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            if pending.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(format!(
+                    "quiesce timed out; unacked parity updates remain: {pending:?}"
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
     }
 
     /// Stop every site thread and join them.

@@ -1,19 +1,45 @@
 //! The per-site server thread.
 //!
-//! One event loop per site, owning all site state. The only subtlety is
-//! the write path: W1 happens locally, the W3 parity message goes out, and
-//! the client's `WriteOk` is **deferred** until the parity site's ack
-//! arrives (a pending table keyed by the parity message's tag) — so no
-//! site ever blocks waiting on another site, and cyclic waits cannot form.
+//! One event loop per site, owning all site state. Two subtleties:
+//!
+//! * **Deferred write acks.** W1 happens locally, the W3 parity message
+//!   goes out, and the client's `WriteOk` is deferred until the parity
+//!   site's ack arrives (a pending table keyed by the parity message's
+//!   tag) — so no site ever blocks waiting on another site, and cyclic
+//!   waits cannot form.
+//! * **Retransmission with backoff.** The network may drop messages (see
+//!   [`radd_net::ThreadedNet::set_loss`]); a pending parity update is
+//!   resent on an exponential-backoff timer until its ack arrives. The
+//!   parity site applies updates *idempotently* — a retransmission whose
+//!   mask was already applied (same UID already recorded in the row's UID
+//!   array slot) is acknowledged without touching the parity block, so a
+//!   lost ack never double-applies a change mask. Because the UID guard
+//!   only remembers the *latest* UID per slot, updates for one row are
+//!   sent **stop-and-wait**: a second write to a block queues its mask
+//!   until the first's ack arrives, otherwise a retransmitted first mask
+//!   could land after the second and XOR itself in twice.
+//!
+//! Fault harnesses must quiesce a site (wait for its pending table to
+//! drain, via [`Control::QueryPending`]) before killing it: a temporary
+//! failure with an in-doubt parity update would otherwise leave data and
+//! parity divergent, which is the §6 in-doubt-transaction problem the
+//! paper resolves with coordinator logs that this in-memory runtime does
+//! not model.
 
 use crate::message::{Msg, NackReason};
 use radd_blockdev::{BlockDevice, MemDisk};
 use radd_layout::Geometry;
+use radd_net::threaded::ReliableChannel;
 use radd_net::ThreadedEndpoint;
 use radd_parity::{ChangeMask, Uid, UidArray, UidGen};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::Receiver;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// First retransmission delay for an unacked parity update.
+const RETRANSMIT_BASE: Duration = Duration::from_millis(40);
+/// Retransmission backoff ceiling.
+const RETRANSMIT_CAP: Duration = Duration::from_millis(640);
 
 /// Control-plane commands (out of band, from the test harness).
 #[derive(Debug)]
@@ -24,6 +50,13 @@ pub enum Control {
     /// (otherwise a revive could be observed *before* the kill, leaving
     /// the site transiently deaf).
     SetDown(bool, std::sync::mpsc::Sender<()>),
+    /// Report how many writes are still waiting for a parity ack. The
+    /// harness polls this to quiesce the cluster before failure injection
+    /// or invariant checks.
+    QueryPending(std::sync::mpsc::Sender<usize>),
+    /// Report whether the site's retransmission channel has no unacked
+    /// parity updates in flight ([`ReliableChannel::all_acked`]).
+    QueryAllAcked(std::sync::mpsc::Sender<bool>),
     /// Stop the thread.
     Shutdown,
 }
@@ -48,10 +81,14 @@ struct SpareSlot {
     uid: Uid,
 }
 
-/// A write whose client reply is waiting for a parity ack.
+/// A write whose client reply is waiting for a parity ack (the outbound
+/// parity message itself lives in the site's [`ReliableChannel`] or, if
+/// an earlier update for the same row is still unacked, in the row's
+/// stop-and-wait queue).
 struct PendingWrite {
     client: usize,
     client_tag: u64,
+    row: u64,
 }
 
 struct SiteState {
@@ -65,6 +102,17 @@ struct SiteState {
     down: bool,
     next_tag: u64,
     pending: HashMap<u64, PendingWrite>,
+    /// Retransmission tracker for the *in-flight* parity updates, keyed by
+    /// the same tags as `pending`. Because each non-empty row queue keeps
+    /// its head tracked here, `rel.all_acked()` ⇔ `pending.is_empty()`.
+    rel: ReliableChannel<Msg>,
+    /// Stop-and-wait per row: the front entry is in flight, the rest wait
+    /// for its ack. At most one UID per (row, site) is ever outstanding,
+    /// so a retransmission can never race a *later* update for the same
+    /// slot — without this, a dropped ack followed by a second write to
+    /// the block lets the retransmitted first mask re-apply on top of the
+    /// second (the parity site's UID guard only remembers the latest UID).
+    parity_queue: HashMap<u64, VecDeque<(u64, Msg)>>,
 }
 
 impl SiteState {
@@ -79,6 +127,8 @@ impl SiteState {
             down: false,
             next_tag: 0,
             pending: HashMap::new(),
+            rel: ReliableChannel::new(RETRANSMIT_BASE, RETRANSMIT_CAP),
+            parity_queue: HashMap::new(),
             cfg,
         }
     }
@@ -108,10 +158,19 @@ pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Co
                     st.down = d;
                     let _ = ack.send(());
                 }
+                Ok(Control::QueryPending(reply)) => {
+                    let _ = reply.send(st.pending.len());
+                }
+                Ok(Control::QueryAllAcked(reply)) => {
+                    let _ = reply.send(st.rel.all_acked());
+                }
                 Ok(Control::Shutdown) => return,
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
                 Err(std::sync::mpsc::TryRecvError::Empty) => break,
             }
+        }
+        if !st.down {
+            retransmit_due(&mut st, &ep);
         }
         let inbound = match ep.recv_timeout(Duration::from_millis(20)) {
             Ok(m) => m,
@@ -126,6 +185,17 @@ pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Co
             continue;
         }
         handle(&mut st, &ep, src, msg);
+    }
+}
+
+/// Resend every pending parity update whose backoff timer has expired.
+/// The send may itself be dropped by loss injection or refused during a
+/// partition; either way the timer doubles and the update stays queued, so
+/// convergence only needs the loss probability to be below certainty and
+/// partitions to eventually heal.
+fn retransmit_due(st: &mut SiteState, ep: &ThreadedEndpoint<Msg>) {
+    for (dst, msg) in st.rel.due(Instant::now()) {
+        let _ = ep.send(dst, msg);
     }
 }
 
@@ -162,23 +232,30 @@ fn handle(st: &mut SiteState, ep: &ThreadedEndpoint<Msg>, src: usize, msg: Msg) 
             let mask = ChangeMask::diff(&old, &data);
             let parity_site = st.geo.parity_site(row);
             let ptag = st.fresh_tag();
+            let parity_ep = st.cfg.ep_base + parity_site;
+            let update = Msg::ParityUpdate {
+                row,
+                mask_wire: mask.encode().to_vec(),
+                uid,
+                from_site: st.cfg.site,
+                tag: ptag,
+            };
             st.pending.insert(
                 ptag,
                 PendingWrite {
                     client: src,
                     client_tag: tag,
-                },
-            );
-            let _ = ep.send(
-                st.cfg.ep_base + parity_site,
-                Msg::ParityUpdate {
                     row,
-                    mask_wire: mask.encode().to_vec(),
-                    uid,
-                    from_site: st.cfg.site,
-                    tag: ptag,
                 },
             );
+            // Stop-and-wait per row: send immediately only if no earlier
+            // update for this row is still awaiting its ack.
+            let queue = st.parity_queue.entry(row).or_default();
+            queue.push_back((ptag, update.clone()));
+            if queue.len() == 1 {
+                let _ = ep.send(parity_ep, update.clone());
+                st.rel.track(ptag, parity_ep, update);
+            }
         }
         Msg::ParityUpdate {
             row,
@@ -188,21 +265,47 @@ fn handle(st: &mut SiteState, ep: &ThreadedEndpoint<Msg>, src: usize, msg: Msg) 
             tag,
         } => {
             debug_assert_eq!(st.geo.parity_site(row), st.cfg.site);
-            let mask = ChangeMask::decode(&mask_wire).expect("well-formed mask");
-            let mut parity = st.disk.read_block(row).expect("in range").to_vec();
-            mask.apply(&mut parity); // formula (1)
-            st.disk.write_block(row, &parity).expect("in range");
             let n = st.num_sites();
-            st.parity_uids
+            let uids = st
+                .parity_uids
                 .entry(row)
-                .or_insert_with(|| UidArray::new(n))
-                .set(from_site, uid); // W4
+                .or_insert_with(|| UidArray::new(n));
+            // Idempotence: a retransmission whose ack was lost arrives with
+            // a UID this slot already records — re-applying its XOR mask
+            // would corrupt the parity block, so just ack again.
+            if uids.get(from_site) != uid {
+                let mask = ChangeMask::decode(&mask_wire).expect("well-formed mask");
+                let mut parity = st.disk.read_block(row).expect("in range").to_vec();
+                mask.apply(&mut parity); // formula (1)
+                st.disk.write_block(row, &parity).expect("in range");
+                st.parity_uids
+                    .entry(row)
+                    .or_insert_with(|| UidArray::new(n))
+                    .set(from_site, uid); // W4
+            }
             let _ = ep.send(src, Msg::Ack { tag });
         }
         Msg::Ack { tag } => {
-            // A parity ack completing one of our writes.
+            // A parity ack completing one of our writes; duplicate acks
+            // (from retransmissions whose originals also got through) fall
+            // out of the pending table as no-ops.
+            st.rel.ack(tag);
             if let Some(p) = st.pending.remove(&tag) {
                 let _ = ep.send(p.client, Msg::WriteOk { tag: p.client_tag });
+                // Advance the row's stop-and-wait queue: launch the next
+                // queued update now that its predecessor is applied.
+                if let Some(queue) = st.parity_queue.get_mut(&p.row) {
+                    if queue.front().map(|&(t, _)| t) == Some(tag) {
+                        queue.pop_front();
+                    }
+                    if let Some((next_tag, next)) = queue.front().cloned() {
+                        let parity_ep = st.cfg.ep_base + st.geo.parity_site(p.row);
+                        let _ = ep.send(parity_ep, next.clone());
+                        st.rel.track(next_tag, parity_ep, next);
+                    } else {
+                        st.parity_queue.remove(&p.row);
+                    }
+                }
             }
         }
         Msg::SpareProbe { row, tag } => {

@@ -1,0 +1,81 @@
+//! Fault plans against the threaded cluster: the same engine that drives
+//! the DES drives real site threads here, with message loss and a §5
+//! partition in the mix. Convergence relies on the sites' retransmission
+//! channels; at every quiesce point `ReliableChannel::all_acked()` must
+//! hold across the cluster.
+
+use radd_node::ThreadedDriver;
+use radd_workload::faults::{
+    run_plan, seed_from_name, FaultEvent, FaultPlan, PlanShape,
+};
+
+const BLOCK: usize = 64;
+
+#[test]
+fn named_seed_plan_completes_on_the_threaded_runtime() {
+    let shape = PlanShape::default();
+    let plan = FaultPlan::generate(seed_from_name("0xRADD0001"), &shape);
+    let mut driver = ThreadedDriver::start(shape.group_size, shape.rows, BLOCK);
+    let report = run_plan(&mut driver, &plan).unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(report.applied, plan.events.len());
+    assert!(report.invariant_checks > 0, "healthy stretches must be swept");
+    assert!(
+        driver.cluster().all_acked(),
+        "no parity update may still be in flight after the final quiesce"
+    );
+    driver.shutdown();
+}
+
+#[test]
+fn loss_burst_and_partition_converge_via_retransmission() {
+    use FaultEvent::*;
+    // Hand-composed: a heavy loss burst (30% of all messages silently
+    // dropped) overlapping a partition. Every write here must still be
+    // durably reflected in parity once the cluster quiesces.
+    let plan = FaultPlan::from_events(vec![
+        Write { site: 0, index: 0, fill: 0x11 },
+        Write { site: 1, index: 0, fill: 0x22 },
+        LossBurst { permille: 300, seed: 0xC0FFEE },
+        Write { site: 2, index: 0, fill: 0x33 },
+        Write { site: 3, index: 1, fill: 0x44 },
+        Isolate { site: 1 },
+        // Degraded write: the spare site absorbs it (W1').
+        Write { site: 1, index: 2, fill: 0x55 },
+        Write { site: 4, index: 1, fill: 0x66 },
+        // Degraded read straight back from the spare, under loss.
+        Read { site: 1, index: 2 },
+        Heal { site: 1 },
+        Recover { site: 1 },
+        LossEnd,
+        Write { site: 0, index: 3, fill: 0x77 },
+        Read { site: 1, index: 2 },
+        FlushParity,
+    ]);
+    let mut driver = ThreadedDriver::start(4, 12, BLOCK);
+    let report = run_plan(&mut driver, &plan).unwrap_or_else(|f| panic!("{f}"));
+    assert!(report.invariant_checks > 0);
+    // The satellite assertion: after the plan's final quiesce, every
+    // site's ReliableChannel reports all_acked — retry/backoff drained
+    // every parity update the loss burst swallowed.
+    assert!(driver.cluster().all_acked());
+    assert!(driver.oracle_len() > 0);
+    driver.shutdown();
+}
+
+#[test]
+fn quiesce_reports_all_acked_even_after_heavy_loss() {
+    use FaultEvent::*;
+    // Loss only — no failures — so every event is followed by a full
+    // invariant sweep once the burst ends.
+    let mut events = vec![LossBurst { permille: 250, seed: 0xFEED }];
+    for i in 0..8u64 {
+        events.push(Write { site: (i % 6) as usize, index: i % 4, fill: 0x100 + i });
+    }
+    events.push(LossEnd);
+    events.push(FlushParity);
+    let plan = FaultPlan::from_events(events);
+    let mut driver = ThreadedDriver::start(4, 12, BLOCK);
+    run_plan(&mut driver, &plan).unwrap_or_else(|f| panic!("{f}"));
+    assert!(driver.cluster().all_acked());
+    driver.shutdown();
+}

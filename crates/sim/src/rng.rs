@@ -1,13 +1,15 @@
 //! Seeded randomness for workloads and reliability simulation.
 //!
-//! [`SimRng`] wraps a fixed, documented generator (`StdRng` seeded from a
-//! `u64`) and adds the distribution samplers the testbed needs. The
-//! exponential sampler implements inverse-transform sampling directly, so the
-//! dependency set stays within the approved crate list (no `rand_distr`).
+//! [`SimRng`] is a self-contained xoshiro256++ generator (Blackman & Vigna)
+//! whose 256-bit state is expanded from a `u64` seed with splitmix64 — the
+//! same seeding scheme the reference implementation recommends. Keeping the
+//! generator in-tree (rather than depending on `rand`) makes every stream a
+//! pure function of the seed across toolchains and platforms, which the
+//! fault-plan engine relies on for replayable failures. The distribution
+//! samplers the testbed needs (uniform, Bernoulli, exponential) are
+//! implemented directly on top of the raw stream.
 
 use crate::time::SimDuration;
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
 
 /// Deterministic random source.
 ///
@@ -17,40 +19,79 @@ use rand::{Rng, RngExt, SeedableRng};
 /// let mut b = SimRng::seed_from_u64(7);
 /// assert_eq!(a.next_u64(), b.next_u64());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Create a generator from a 64-bit seed. The same seed always yields the
     /// same stream.
     pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
     /// Derive an independent child generator; used to give each site or each
     /// Monte-Carlo trial its own stream without correlation.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from_u64(self.inner.next_u64())
+        SimRng::seed_from_u64(self.next_u64())
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++ step).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform_f64(&mut self) -> f64 {
-        self.inner.random::<f64>()
+        // 53 high bits → the standard dyadic-rational construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn below(&mut self, n: u64) -> u64 {
         assert!(n > 0, "below(0)");
-        self.inner.random_range(0..n)
+        // Lemire's multiply-shift rejection method: unbiased for every n.
+        let mut x = self.next_u64();
+        let mut m = x as u128 * n as u128;
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = x as u128 * n as u128;
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
     }
 
     /// Uniform usize index in `[0, n)`.
@@ -82,7 +123,15 @@ impl SimRng {
 
     /// Fill a byte buffer with random data (used to generate block payloads).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        let mut chunks = buf.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&word[..rest.len()]);
+        }
     }
 
     /// A random byte vector of length `len`.
@@ -142,6 +191,18 @@ mod tests {
     }
 
     #[test]
+    fn below_covers_all_residues() {
+        let mut r = SimRng::seed_from_u64(77);
+        let mut seen = [0u32; 5];
+        for _ in 0..5000 {
+            seen[r.below(5) as usize] += 1;
+        }
+        // Uniformity sanity check: every residue appears a reasonable number
+        // of times (expected 1000 each).
+        assert!(seen.iter().all(|&c| c > 700), "skewed counts {seen:?}");
+    }
+
+    #[test]
     fn exponential_mean_is_close() {
         // Law of large numbers check: the sample mean of 100k draws must be
         // within a few percent of the configured mean.
@@ -182,6 +243,18 @@ mod tests {
         let mut r = SimRng::seed_from_u64(11);
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn fill_bytes_handles_unaligned_lengths() {
+        let mut r = SimRng::seed_from_u64(13);
+        for len in [0usize, 1, 7, 8, 9, 64, 65] {
+            let v = r.bytes(len);
+            assert_eq!(v.len(), len);
+        }
+        // Non-trivial payloads should not be all zeros.
+        let v = SimRng::seed_from_u64(14).bytes(64);
+        assert!(v.iter().any(|&b| b != 0));
     }
 
     #[test]

@@ -1,0 +1,707 @@
+//! The deterministic fault-plan engine.
+//!
+//! A [`FaultPlan`] is a declarative list of [`FaultEvent`]s — load (reads
+//! and writes), failures (disk, site, disaster, partition, message-loss
+//! bursts) and their repairs — generated from a single `u64` seed by
+//! [`FaultPlan::generate`] or composed explicitly. One plan runs against
+//! any runtime implementing [`FaultDriver`]: the deterministic DES
+//! [`CheckedCluster`] (implemented here) and the threaded `radd-node`
+//! cluster (implemented in that crate), so the *same* scenario exercises
+//! both the simulated and the real-concurrency protocol code.
+//!
+//! [`run_plan`] applies events one at a time and validates the cluster
+//! invariants after every event. On a violation it stops with a
+//! [`PlanFailure`] carrying the seed, the failing event index and the full
+//! event log; [`minimize_failure`] then greedily shrinks the event prefix
+//! to the smallest subsequence that still reproduces the violation, which
+//! is what gets printed for replay:
+//!
+//! ```text
+//! fault plan seed 0x00000000deadbeef failed at event 17: violation: ...
+//! replay: FaultPlan::generate(0xdeadbeef, &shape) — or the minimized 4-event prefix below
+//! ```
+//!
+//! Determinism: plan generation uses only [`SimRng`] streams derived from
+//! the seed, and payloads are pure functions of per-event `fill` seeds
+//! ([`payload`]), so a `(seed, shape)` pair names the same plan — and on
+//! the DES the same event log and invariant-check count — forever, on
+//! every platform.
+
+use radd_core::{
+    CheckError, CheckedCluster, PartitionMap, RaddError, SiteState,
+};
+use radd_sim::SimRng;
+use std::fmt;
+
+/// One step of a fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// Client write of a deterministic payload (see [`payload`]).
+    Write {
+        /// Target site.
+        site: usize,
+        /// Site-local data index.
+        index: u64,
+        /// Seed for the payload bytes.
+        fill: u64,
+    },
+    /// Client read (content is checked against the oracle where known).
+    Read {
+        /// Target site.
+        site: usize,
+        /// Site-local data index.
+        index: u64,
+    },
+    /// Temporary site failure (disks keep their contents).
+    FailSite {
+        /// The failing site.
+        site: usize,
+    },
+    /// Site disaster: down *and* all disk contents lost.
+    Disaster {
+        /// The destroyed site.
+        site: usize,
+    },
+    /// One disk fails; the site moves to recovering (§3.1).
+    FailDisk {
+        /// The affected site.
+        site: usize,
+        /// The failed disk.
+        disk: usize,
+    },
+    /// Swap a blank drive in for a failed disk.
+    ReplaceDisk {
+        /// The affected site.
+        site: usize,
+        /// The replaced disk.
+        disk: usize,
+    },
+    /// Bring a down site back (recovering state).
+    RestoreSite {
+        /// The returning site.
+        site: usize,
+    },
+    /// Run the recovery daemon for a recovering site (drain spares,
+    /// rebuild lost blocks, mark up).
+    Recover {
+        /// The recovering site.
+        site: usize,
+    },
+    /// §5 partition: cut one site off from the other `G + 1`.
+    Isolate {
+        /// The isolated site.
+        site: usize,
+    },
+    /// Heal the partition. The previously isolated site re-enters through
+    /// the recovering state (it may have missed writes absorbed by
+    /// spares).
+    Heal {
+        /// The site that was isolated.
+        site: usize,
+    },
+    /// Start dropping roughly `permille`/1000 of messages (threaded
+    /// runtime; the DES models a reliable §3 network and ignores it).
+    LossBurst {
+        /// Drop probability in 1/1000 units.
+        permille: u16,
+        /// Seed for victim selection.
+        seed: u64,
+    },
+    /// End the message-loss burst.
+    LossEnd,
+    /// Apply queued parity updates (DES `ParityMode::Queued`; elsewhere a
+    /// no-op).
+    FlushParity,
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::Write { site, index, fill } => {
+                write!(f, "write site {site} index {index} (fill {fill:#x})")
+            }
+            FaultEvent::Read { site, index } => write!(f, "read site {site} index {index}"),
+            FaultEvent::FailSite { site } => write!(f, "fail site {site}"),
+            FaultEvent::Disaster { site } => write!(f, "disaster at site {site}"),
+            FaultEvent::FailDisk { site, disk } => write!(f, "fail disk {disk} of site {site}"),
+            FaultEvent::ReplaceDisk { site, disk } => {
+                write!(f, "replace disk {disk} of site {site}")
+            }
+            FaultEvent::RestoreSite { site } => write!(f, "restore site {site}"),
+            FaultEvent::Recover { site } => write!(f, "recover site {site}"),
+            FaultEvent::Isolate { site } => write!(f, "isolate site {site}"),
+            FaultEvent::Heal { site } => write!(f, "heal partition around site {site}"),
+            FaultEvent::LossBurst { permille, seed } => {
+                write!(f, "message loss {permille}‰ (seed {seed:#x})")
+            }
+            FaultEvent::LossEnd => write!(f, "message loss off"),
+            FaultEvent::FlushParity => write!(f, "flush queued parity updates"),
+        }
+    }
+}
+
+/// The deterministic payload for a [`FaultEvent::Write`]: a pure function
+/// of the event's `fill` seed, identical across runtimes and platforms.
+pub fn payload(fill: u64, block_size: usize) -> Vec<u8> {
+    SimRng::seed_from_u64(fill).bytes(block_size)
+}
+
+/// Derive a plan seed from a human-readable name (FNV-1a). CI uses this so
+/// seeds can be spelled as strings like `"0xRADD0001"` in workflow files
+/// and test names while staying honest 64-bit seeds.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Shape parameters for plan generation: the cluster the plan is meant for
+/// and how many load/fault steps to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanShape {
+    /// Group size `G` (the cluster has `G + 2` sites).
+    pub group_size: usize,
+    /// Physical rows per site.
+    pub rows: u64,
+    /// Disks per site (bounds `FailDisk` events).
+    pub disks_per_site: usize,
+    /// Steps to draw (repairs ride along, so plans run slightly longer).
+    pub steps: usize,
+}
+
+impl Default for PlanShape {
+    /// Matches `RaddConfig::small_g4` and `NodeCluster::start(4, 12, _)`.
+    fn default() -> PlanShape {
+        PlanShape {
+            group_size: 4,
+            rows: 12,
+            disks_per_site: 1,
+            steps: 60,
+        }
+    }
+}
+
+/// A named, replayable sequence of fault events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (0 for hand-composed plans).
+    pub seed: u64,
+    /// The events, in execution order.
+    pub events: Vec<FaultEvent>,
+}
+
+/// Generator bookkeeping: at most one failure is in effect at a time (the
+/// paper's algorithms survive single failures only).
+enum Active {
+    None,
+    Down(usize),
+    Disk(usize, usize),
+    Isolated(usize),
+}
+
+impl FaultPlan {
+    /// A hand-composed plan.
+    pub fn from_events(events: Vec<FaultEvent>) -> FaultPlan {
+        FaultPlan { seed: 0, events }
+    }
+
+    /// Generate a plan from a seed: mostly load, with failure/repair
+    /// cycles (one failure in effect at a time), loss bursts and parity
+    /// flushes mixed in. Every failure is repaired and every burst ended
+    /// before the plan finishes, so the final invariant check runs on a
+    /// fully healthy cluster.
+    pub fn generate(seed: u64, shape: &PlanShape) -> FaultPlan {
+        let geo = radd_core::Geometry::new(shape.group_size, shape.rows)
+            .expect("valid plan shape");
+        let n = shape.group_size + 2;
+        let mut rng = SimRng::seed_from_u64(seed);
+        let mut events = Vec::with_capacity(shape.steps + 8);
+        let mut active = Active::None;
+        let mut loss = false;
+
+        let push_repair = |active: &mut Active, events: &mut Vec<FaultEvent>| {
+            match *active {
+                Active::None => {}
+                Active::Down(site) => {
+                    events.push(FaultEvent::RestoreSite { site });
+                    events.push(FaultEvent::Recover { site });
+                }
+                Active::Disk(site, disk) => {
+                    events.push(FaultEvent::ReplaceDisk { site, disk });
+                    events.push(FaultEvent::Recover { site });
+                }
+                Active::Isolated(site) => {
+                    events.push(FaultEvent::Heal { site });
+                    events.push(FaultEvent::Recover { site });
+                }
+            }
+            *active = Active::None;
+        };
+
+        for _ in 0..shape.steps {
+            match rng.below(100) {
+                // Load: writes dominate, as failure behaviour is mostly
+                // about whether updates survive.
+                0..=54 => {
+                    let site = rng.index(n);
+                    let index = rng.below(geo.data_capacity(site));
+                    let fill = rng.next_u64();
+                    events.push(FaultEvent::Write { site, index, fill });
+                }
+                55..=69 => {
+                    let site = rng.index(n);
+                    let index = rng.below(geo.data_capacity(site));
+                    events.push(FaultEvent::Read { site, index });
+                }
+                // Failure injection — or repair, if one is already active.
+                70..=84 => match active {
+                    Active::None => {
+                        let site = rng.index(n);
+                        match rng.below(4) {
+                            0 => {
+                                events.push(FaultEvent::FailSite { site });
+                                active = Active::Down(site);
+                            }
+                            1 => {
+                                events.push(FaultEvent::Disaster { site });
+                                active = Active::Down(site);
+                            }
+                            2 => {
+                                let disk = rng.index(shape.disks_per_site);
+                                events.push(FaultEvent::FailDisk { site, disk });
+                                active = Active::Disk(site, disk);
+                            }
+                            _ => {
+                                events.push(FaultEvent::Isolate { site });
+                                active = Active::Isolated(site);
+                            }
+                        }
+                    }
+                    _ => push_repair(&mut active, &mut events),
+                },
+                // Message-loss toggle.
+                85..=92 => {
+                    if loss {
+                        events.push(FaultEvent::LossEnd);
+                    } else {
+                        events.push(FaultEvent::LossBurst {
+                            permille: 100 + rng.below(200) as u16,
+                            seed: rng.next_u64(),
+                        });
+                    }
+                    loss = !loss;
+                }
+                _ => events.push(FaultEvent::FlushParity),
+            }
+        }
+        // Wind down to a fully healthy cluster.
+        if loss {
+            events.push(FaultEvent::LossEnd);
+        }
+        push_repair(&mut active, &mut events);
+        events.push(FaultEvent::FlushParity);
+        FaultPlan { seed, events }
+    }
+}
+
+/// A runtime a fault plan can drive. Both the DES [`CheckedCluster`] and
+/// the threaded `radd_node::ThreadedDriver` implement this, so one plan
+/// exercises both runtimes.
+pub trait FaultDriver {
+    /// Apply one event. `Err` means an *engine-level* failure (a violated
+    /// guarantee), not a legitimate protocol refusal — drivers swallow
+    /// refusals that the scenario makes legal (e.g. a write rejected while
+    /// blocked by a partition).
+    fn apply(&mut self, event: &FaultEvent) -> Result<(), String>;
+
+    /// Validate the runtime's invariants if currently checkable; returns
+    /// whether a check was actually performed (`Ok(false)` = legitimately
+    /// skipped, e.g. the threaded runtime mid-failure).
+    fn verify(&mut self) -> Result<bool, String>;
+
+    /// Wait/settle until no acknowledged work is still in flight.
+    fn quiesce(&mut self) -> Result<(), String>;
+}
+
+/// A completed plan run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanReport {
+    /// The plan's seed.
+    pub seed: u64,
+    /// Events applied.
+    pub applied: usize,
+    /// Invariant checks actually performed.
+    pub invariant_checks: u64,
+    /// Human-readable event log, one line per event.
+    pub event_log: Vec<String>,
+}
+
+/// A plan run stopped by a violation (or an engine failure).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanFailure {
+    /// The plan's seed — print this; it replays the failure.
+    pub seed: u64,
+    /// Index of the event at which the run failed.
+    pub failed_at: usize,
+    /// What went wrong.
+    pub error: String,
+    /// Event log up to and including the failing event.
+    pub event_log: Vec<String>,
+}
+
+impl fmt::Display for PlanFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault plan seed {:#018x} failed at event {}: {}",
+            self.seed, self.failed_at, self.error
+        )?;
+        writeln!(f, "event log:")?;
+        for line in &self.event_log {
+            writeln!(f, "  {line}")?;
+        }
+        write!(
+            f,
+            "replay: FaultPlan::generate({:#x}, &shape) with the same shape, \
+             or run the minimized prefix via minimize_failure",
+            self.seed
+        )
+    }
+}
+
+impl std::error::Error for PlanFailure {}
+
+/// Execute `plan` against `driver`, checking invariants after every event.
+/// Ends with a quiesce + final check so in-flight work cannot hide a
+/// violation.
+pub fn run_plan<D: FaultDriver>(
+    driver: &mut D,
+    plan: &FaultPlan,
+) -> Result<PlanReport, PlanFailure> {
+    let mut log = Vec::with_capacity(plan.events.len());
+    let mut checks = 0u64;
+    for (i, event) in plan.events.iter().enumerate() {
+        log.push(format!("[{i}] {event}"));
+        let fail = |error: String, log: &[String]| PlanFailure {
+            seed: plan.seed,
+            failed_at: i,
+            error,
+            event_log: log.to_vec(),
+        };
+        if let Err(e) = driver.apply(event) {
+            return Err(fail(e, &log));
+        }
+        match driver.verify() {
+            Ok(true) => checks += 1,
+            Ok(false) => {}
+            Err(e) => return Err(fail(format!("invariant violated: {e}"), &log)),
+        }
+    }
+    let end = plan.events.len().saturating_sub(1);
+    let fail_end = |error: String, log: &[String]| PlanFailure {
+        seed: plan.seed,
+        failed_at: end,
+        error,
+        event_log: log.to_vec(),
+    };
+    if let Err(e) = driver.quiesce() {
+        return Err(fail_end(format!("failed to quiesce: {e}"), &log));
+    }
+    match driver.verify() {
+        Ok(true) => checks += 1,
+        Ok(false) => {}
+        Err(e) => return Err(fail_end(format!("invariant violated at quiesce: {e}"), &log)),
+    }
+    Ok(PlanReport {
+        seed: plan.seed,
+        applied: plan.events.len(),
+        invariant_checks: checks,
+        event_log: log,
+    })
+}
+
+/// Greedily shrink a failing plan to a minimal subsequence that still
+/// fails, re-running a fresh driver from `factory` per candidate. The
+/// result is what a human replays: usually a handful of events instead of
+/// hundreds.
+pub fn minimize_failure<D, F>(mut factory: F, plan: &FaultPlan) -> FaultPlan
+where
+    D: FaultDriver,
+    F: FnMut() -> D,
+{
+    let still_fails = |events: &[FaultEvent], factory: &mut F| {
+        let candidate = FaultPlan {
+            seed: plan.seed,
+            events: events.to_vec(),
+        };
+        run_plan(&mut factory(), &candidate).is_err()
+    };
+    // Start from the prefix ending at the original failure point.
+    let mut events = match run_plan(&mut factory(), plan) {
+        Err(f) => plan.events[..=f.failed_at.min(plan.events.len() - 1)].to_vec(),
+        Ok(_) => return plan.clone(), // flaky elsewhere; nothing to minimize
+    };
+    let mut i = 0;
+    while i < events.len() {
+        let mut candidate = events.clone();
+        candidate.remove(i);
+        if still_fails(&candidate, &mut factory) {
+            events = candidate; // the event was irrelevant; drop it
+        } else {
+            i += 1; // load-bearing; keep it
+        }
+    }
+    FaultPlan {
+        seed: plan.seed,
+        events,
+    }
+}
+
+/// Is this protocol error a legitimate refusal under some failure/partition
+/// scenario (as opposed to a broken guarantee)?
+fn is_refusal(e: &RaddError) -> bool {
+    matches!(
+        e,
+        RaddError::MultipleFailure { .. }
+            | RaddError::Blocked
+            | RaddError::ActorIsolated { .. }
+            | RaddError::Unavailable { .. }
+            | RaddError::InconsistentRead { .. }
+    )
+}
+
+impl FaultDriver for CheckedCluster {
+    fn apply(&mut self, event: &FaultEvent) -> Result<(), String> {
+        let num_sites = self.cluster().config().num_sites();
+        match *event {
+            FaultEvent::Write { site, index, fill } => {
+                let data = payload(fill, self.cluster().config().block_size);
+                match self.write(site, index, &data) {
+                    Ok(()) => Ok(()),
+                    Err(e) if is_refusal(&e) => Ok(()),
+                    Err(e) => Err(format!("write(site {site}, index {index}): {e}")),
+                }
+            }
+            FaultEvent::Read { site, index } => match self.read(site, index) {
+                Ok(_) => Ok(()),
+                Err(CheckError::Protocol(e)) if is_refusal(&e) => Ok(()),
+                Err(e) => Err(format!("read(site {site}, index {index}): {e}")),
+            },
+            // Failure injection quiesces first: killing a site with parity
+            // updates still queued is the §6 in-doubt problem, which needs
+            // coordinator logs this runtime does not model.
+            FaultEvent::FailSite { site } => {
+                self.quiesce()?;
+                self.cluster_mut().fail_site(site);
+                Ok(())
+            }
+            FaultEvent::Disaster { site } => {
+                self.quiesce()?;
+                self.cluster_mut().disaster(site);
+                Ok(())
+            }
+            FaultEvent::FailDisk { site, disk } => {
+                self.quiesce()?;
+                self.cluster_mut().fail_disk(site, disk);
+                Ok(())
+            }
+            FaultEvent::ReplaceDisk { site, disk } => {
+                self.cluster_mut().replace_disk(site, disk);
+                Ok(())
+            }
+            FaultEvent::RestoreSite { site } => {
+                self.cluster_mut().restore_site(site);
+                Ok(())
+            }
+            FaultEvent::Recover { site } => {
+                if self.cluster().site_state(site) == SiteState::Recovering {
+                    self.cluster_mut()
+                        .run_recovery(site)
+                        .map(|_| ())
+                        .map_err(|e| format!("recovery of site {site}: {e}"))
+                } else {
+                    Ok(())
+                }
+            }
+            FaultEvent::Isolate { site } => {
+                self.quiesce()?;
+                self.cluster_mut()
+                    .set_partition(PartitionMap::isolate(num_sites, site));
+                Ok(())
+            }
+            FaultEvent::Heal { site } => {
+                self.cluster_mut()
+                    .set_partition(PartitionMap::connected(num_sites));
+                // §5: the reconnected site re-enters through recovery — it
+                // may hold stale blocks whose writes were absorbed by
+                // spares while it was cut off.
+                if self.cluster().site_state(site) == SiteState::Up {
+                    self.cluster_mut().fail_site(site);
+                    self.cluster_mut().restore_site(site);
+                }
+                Ok(())
+            }
+            // The DES models the reliable network of §3; loss bursts only
+            // bite on the threaded runtime.
+            FaultEvent::LossBurst { .. } | FaultEvent::LossEnd => Ok(()),
+            FaultEvent::FlushParity => self.quiesce(),
+        }
+    }
+
+    fn verify(&mut self) -> Result<bool, String> {
+        self.check_invariants().map(|()| true)
+    }
+
+    fn quiesce(&mut self) -> Result<(), String> {
+        self.cluster_mut()
+            .flush_parity()
+            .map_err(|e| format!("parity flush: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radd_core::RaddConfig;
+
+    fn des() -> CheckedCluster {
+        CheckedCluster::new(RaddConfig::small_g4()).unwrap()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let shape = PlanShape::default();
+        let a = FaultPlan::generate(42, &shape);
+        let b = FaultPlan::generate(42, &shape);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(43, &shape);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn generated_plans_repair_everything() {
+        // After any generated plan, a fresh DES cluster ends fully healthy:
+        // every site up, no partition, no queued parity.
+        for seed in [1u64, 2, 3, 0xDEAD, 0xBEEF] {
+            let plan = FaultPlan::generate(seed, &PlanShape::default());
+            let mut cc = des();
+            let report = run_plan(&mut cc, &plan)
+                .unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+            assert_eq!(report.applied, plan.events.len());
+            assert!(report.invariant_checks > 0);
+            for s in 0..cc.cluster().config().num_sites() {
+                assert_eq!(cc.cluster().site_state(s), SiteState::Up, "site {s}");
+            }
+            assert_eq!(cc.cluster().pending_parity_updates(), 0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_event_log_and_check_count() {
+        let plan = FaultPlan::generate(7, &PlanShape::default());
+        let r1 = run_plan(&mut des(), &plan).unwrap();
+        let r2 = run_plan(&mut des(), &plan).unwrap();
+        assert_eq!(r1, r2, "DES runs of one plan must be identical");
+    }
+
+    #[test]
+    fn corruption_is_reported_with_seed_and_prefix() {
+        // A plan that writes, then trips over concealed corruption.
+        let plan = FaultPlan {
+            seed: 0x51EE7,
+            events: vec![
+                FaultEvent::Write { site: 0, index: 0, fill: 1 },
+                FaultEvent::Write { site: 1, index: 0, fill: 2 },
+                FaultEvent::Read { site: 0, index: 0 },
+            ],
+        };
+        let mut cc = des();
+        // Run the first two events, then corrupt behind the protocol's back.
+        let prefix = FaultPlan { seed: plan.seed, events: plan.events[..2].to_vec() };
+        run_plan(&mut cc, &prefix).unwrap();
+        let row = cc.cluster().geometry().data_to_physical(0, 0);
+        let bs = cc.cluster().config().block_size;
+        cc.cluster_mut().corrupt_block(0, row, &vec![0xAA; bs]);
+        let failure = run_plan(&mut cc, &FaultPlan {
+            seed: plan.seed,
+            events: plan.events[2..].to_vec(),
+        })
+        .unwrap_err();
+        assert_eq!(failure.seed, 0x51EE7);
+        let msg = failure.to_string();
+        assert!(msg.contains("0x0000000000051ee7"), "seed in report: {msg}");
+        assert!(msg.contains("replay"), "replay instructions: {msg}");
+    }
+
+    #[test]
+    fn minimizer_shrinks_to_the_load_bearing_events() {
+        // Build a long plan whose failure needs exactly two events: the
+        // write that feeds the oracle and the read that exposes the
+        // corruption. Everything in between is chaff the minimizer drops.
+        let mut events = vec![FaultEvent::Write { site: 2, index: 1, fill: 9 }];
+        for i in 0..10 {
+            events.push(FaultEvent::Read { site: 3, index: i % 4 });
+        }
+        events.push(FaultEvent::Read { site: 2, index: 1 });
+        let plan = FaultPlan { seed: 0xBAD, events };
+
+        // Driver factory: a cluster whose site-2 block is corrupted right
+        // after the oracle write lands. We model that by wrapping apply.
+        struct Sabotage {
+            cc: CheckedCluster,
+            armed: bool,
+        }
+        impl FaultDriver for Sabotage {
+            fn apply(&mut self, event: &FaultEvent) -> Result<(), String> {
+                self.cc.apply(event)?;
+                if !self.armed {
+                    if let FaultEvent::Write { site: 2, index: 1, .. } = event {
+                        let row = self.cc.cluster().geometry().data_to_physical(2, 1);
+                        let bs = self.cc.cluster().config().block_size;
+                        self.cc.cluster_mut().corrupt_block(2, row, &vec![0x55; bs]);
+                        self.armed = true;
+                    }
+                }
+                Ok(())
+            }
+            fn verify(&mut self) -> Result<bool, String> {
+                // Only the explicit read trips it — keeps the minimization
+                // interesting (per-event invariant checks would fire at the
+                // write itself).
+                Ok(false)
+            }
+            fn quiesce(&mut self) -> Result<(), String> {
+                FaultDriver::quiesce(&mut self.cc)
+            }
+        }
+        let factory = || Sabotage { cc: des(), armed: false };
+        assert!(run_plan(&mut factory(), &plan).is_err());
+        let minimized = minimize_failure(factory, &plan);
+        assert_eq!(
+            minimized.events,
+            vec![
+                FaultEvent::Write { site: 2, index: 1, fill: 9 },
+                FaultEvent::Read { site: 2, index: 1 },
+            ],
+            "chaff reads dropped, load-bearing write+read kept"
+        );
+    }
+
+    #[test]
+    fn seed_from_name_is_stable_and_distinct() {
+        let a = seed_from_name("0xRADD0001");
+        assert_eq!(a, seed_from_name("0xRADD0001"), "stable across calls");
+        assert_ne!(a, seed_from_name("0xRADD0002"));
+        assert_ne!(a, 0);
+    }
+
+    #[test]
+    fn payload_is_a_pure_function_of_fill() {
+        assert_eq!(payload(5, 64), payload(5, 64));
+        assert_ne!(payload(5, 64), payload(6, 64));
+        assert_eq!(payload(5, 64).len(), 64);
+    }
+}

@@ -9,18 +9,28 @@
 //! * [`records`] — the §7.4 record-update workload: 100-byte records in
 //!   4 KB pages, with buffer-pool write absorption, for the network/disk
 //!   bandwidth ratio;
-//! * [`scenario`] — scripted failure timelines interleaved with load.
+//! * [`scenario`] — scripted failure timelines interleaved with load;
+//! * [`faults`] — the deterministic fault-plan engine: seed-generated
+//!   event sequences (failures, partitions, loss bursts, repairs) that
+//!   run against any [`faults::FaultDriver`] with invariants checked
+//!   after every event, reporting a replayable seed + minimized event
+//!   prefix on violation.
 //!
 //! [`ReplicationScheme`]: radd_schemes::ReplicationScheme
 
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod faults;
 pub mod mix;
 pub mod records;
 pub mod scenario;
 
 pub use access::AccessPattern;
+pub use faults::{
+    minimize_failure, run_plan, seed_from_name, FaultDriver, FaultEvent, FaultPlan,
+    PlanFailure, PlanReport, PlanShape,
+};
 pub use mix::{run_mix, Mix, MixReport};
 pub use records::{run_record_workload, RecordWorkload, RecordReport};
 pub use scenario::{run_scenario, PhaseReport, ScenarioStep};

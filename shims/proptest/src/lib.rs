@@ -1,0 +1,605 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the real crate's surface (`proptest!`, `prop_assert*`,
+//! `prop_oneof!`, `any`, `Just`, `Strategy::prop_map`, `collection::vec`,
+//! `ProptestConfig::with_cases`) but swaps the engine for a deterministic
+//! seeded runner:
+//!
+//! * every test's case sequence derives from an FNV hash of the test's full
+//!   path, so runs are reproducible across processes and machines;
+//! * each case gets its own `u64` seed; on failure the seed is printed with
+//!   replay instructions (`PROPTEST_SEED=0x... cargo test <name>` reruns
+//!   exactly that case);
+//! * `PROPTEST_CASES` scales the case count globally;
+//! * there is no shrinking — the per-case seed already pinpoints the input.
+
+/// Deterministic splitmix64 generator handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn uniform_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration. Only `cases` is honoured by the shim; the
+    /// struct is non-exhaustive in spirit, so construct it via
+    /// [`ProptestConfig::with_cases`] or `Default`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating values of `Self::Value` from a seeded RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for std::ops::Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        assert!(
+                            self.start < self.end,
+                            "empty range strategy {:?}..{:?}", self.start, self.end
+                        );
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+                impl Strategy for std::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy {lo:?}..={hi:?}");
+                        let span = (hi as i128 - lo as i128 + 1) as u64;
+                        if span == 0 {
+                            // Full-width inclusive range.
+                            return rng.next_u64() as $t;
+                        }
+                        (lo as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty f64 range strategy");
+            self.start + rng.uniform_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for std::ops::Range<f32> {
+        type Value = f32;
+        fn sample(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty f32 range strategy");
+            self.start + (rng.uniform_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $t:ident),+))+) => {
+            $(
+                impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+                    type Value = ($($t::Value,)+);
+                    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                        ($(self.$n.sample(rng),)+)
+                    }
+                }
+            )+
+        };
+    }
+
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+
+    /// Weighted choice among boxed strategies — the engine behind
+    /// `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total }
+        }
+
+        /// Box an arm, erasing its concrete strategy type.
+        pub fn arm<S>(s: S) -> Box<dyn Strategy<Value = T>>
+        where
+            S: Strategy<Value = T> + 'static,
+        {
+            Box::new(s)
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                if pick < *w as u64 {
+                    return s.sample(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for u128 {
+        fn arbitrary(rng: &mut TestRng) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Arbitrary for i128 {
+        fn arbitrary(rng: &mut TestRng) -> i128 {
+            u128::arbitrary(rng) as i128
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Scalar values below the surrogate range are always valid.
+            char::from_u32(rng.below(0xD800) as u32).unwrap()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.uniform_f64()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.uniform_f64() as f32
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`any::<u64>()` etc.).
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Length bound for [`vec()`](fn@vec): an exact size or a half-open/inclusive range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+#[doc(hidden)]
+pub mod __private {
+    use super::test_runner::ProptestConfig;
+    use super::TestRng;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    fn env_u64(name: &str) -> Option<u64> {
+        let raw = std::env::var(name).ok()?;
+        let raw = raw.trim();
+        let parsed = if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16)
+        } else {
+            raw.parse()
+        };
+        match parsed {
+            Ok(v) => Some(v),
+            Err(_) => {
+                eprintln!("proptest shim: ignoring unparsable {name}={raw:?}");
+                None
+            }
+        }
+    }
+
+    /// Drive one property through its deterministic case schedule.
+    pub fn run_cases<F: FnMut(&mut TestRng)>(name: &str, config: &ProptestConfig, mut f: F) {
+        // Explicit replay: run exactly the one failing case.
+        if let Some(seed) = env_u64("PROPTEST_SEED") {
+            eprintln!("proptest shim: replaying {name} with seed {seed:#018x}");
+            let mut rng = TestRng::new(seed);
+            f(&mut rng);
+            return;
+        }
+        let cases = env_u64("PROPTEST_CASES")
+            .map(|c| c.min(u32::MAX as u64) as u32)
+            .unwrap_or(config.cases)
+            .max(1);
+        let base = fnv1a(name);
+        for case in 0..cases {
+            // Per-case seed: mix the base with the index so any case can be
+            // replayed in isolation via PROPTEST_SEED.
+            let seed = base
+                .wrapping_add((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                .rotate_left(17)
+                ^ 0x5851_F42D_4C95_7F2D;
+            let mut rng = TestRng::new(seed);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+                eprintln!(
+                    "proptest shim: {name} failed at case {case}/{cases} \
+                     (seed {seed:#018x}); replay just this case with \
+                     PROPTEST_SEED={seed:#x}"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Property-test harness macro. Accepts an optional
+/// `#![proptest_config(expr)]` header followed by any number of test
+/// functions whose parameters use `pattern in strategy` syntax. Attributes
+/// (including `#[test]` and doc comments) are passed through verbatim.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$attr:meta])*
+     fn $name:ident($($p:pat_param in $s:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $config;
+            let __strats = ($($s,)+);
+            $crate::__private::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &__config,
+                |__rng| {
+                    let ($($p,)+) =
+                        $crate::strategy::Strategy::sample(&__strats, __rng);
+                    $body
+                },
+            );
+        }
+        $crate::__proptest_fns!(($config) $($rest)*);
+    };
+}
+
+/// Assert within a property; panics abort the case and print its seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Skip the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Weighted (`w => strategy`) or uniform choice between strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Union::arm($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Union::arm($strategy))),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// Re-exported for strategies written against the crate root path.
+pub use arbitrary::any;
+pub use strategy::{Just, Strategy};
+pub use test_runner::ProptestConfig;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn determinism() {
+        use super::strategy::Strategy;
+        let strat = super::collection::vec(0u8..200, 3..9);
+        let a: Vec<Vec<u8>> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        let b: Vec<Vec<u8>> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| strat.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        use super::strategy::Strategy;
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (5usize..17).sample(&mut rng);
+            assert!((5..17).contains(&v));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let i = (-4i64..=4).sample(&mut rng);
+            assert!((-4..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        use super::strategy::Strategy;
+        let strat = prop_oneof![
+            1 => Just(0u8),
+            3 => (1u8..4).prop_map(|v| v),
+        ];
+        let mut rng = TestRng::new(99);
+        let mut seen = [false; 4];
+        for _ in 0..500 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    // The macro itself, exercised end to end.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Sum of sampled parts stays within the strategy bounds.
+        #[test]
+        fn macro_roundtrip(
+            a in 0u64..100,
+            mut v in super::collection::vec(any::<u8>(), 1..5),
+            flag in any::<bool>(),
+        ) {
+            v.push(0);
+            prop_assume!(a < 100);
+            prop_assert!(v.len() >= 2);
+            prop_assert_eq!(u64::from(flag) / 2, 0);
+            prop_assert_ne!(v.len(), 0, "len {}", v.len());
+            prop_assert!(a < 100, "a was {}", a);
+        }
+    }
+}
+

@@ -1,0 +1,266 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde models serialization through a generic `Serializer`
+//! visitor; this workspace only ever serializes to JSON (via
+//! `serde_json::to_string_pretty` in the bench report writer), so the shim
+//! collapses the abstraction: [`Serialize`] writes JSON text directly into a
+//! `String`. `#[derive(Serialize)]` (from the sibling `serde_derive` shim)
+//! generates field-by-field implementations; `#[derive(Deserialize)]` is
+//! accepted and expands to nothing, since nothing in the workspace
+//! deserializes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can write themselves as JSON.
+pub trait Serialize {
+    /// Append this value's JSON encoding to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Marker trait accepted where real serde's `Deserialize` would be named.
+pub trait DeserializeShim {}
+
+/// Mirror of serde's `ser` module path.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Append `s` as a JSON string literal (quoted, escaped).
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialize a map key: JSON object keys must be strings, so non-string
+/// keys (integers, etc.) are wrapped in quotes the way serde_json does.
+pub fn write_json_key<K: Serialize + ?Sized>(key: &K, out: &mut String) {
+    let mut tmp = String::new();
+    key.serialize_json(&mut tmp);
+    if tmp.starts_with('"') {
+        out.push_str(&tmp);
+    } else {
+        out.push('"');
+        out.push_str(&tmp);
+        out.push('"');
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        })*
+    };
+}
+
+int_impls!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` keeps a decimal point or exponent so the value
+                    // reads back as a float ("1.0", not "1").
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+        })*
+    };
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for char {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(&self.to_string(), out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_json_string(self, out);
+    }
+}
+
+impl Serialize for () {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str("null");
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_json(&self, out: &mut String) {
+        (**self).serialize_json(out);
+    }
+}
+
+fn write_seq<'a, T: Serialize + 'a, I: Iterator<Item = &'a T>>(iter: I, out: &mut String) {
+    out.push('[');
+    let mut first = true;
+    for item in iter {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        item.serialize_json(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($n:tt $t:ident),+))+) => {
+        $(impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        })+
+    };
+}
+
+tuple_impls! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+fn write_map<'a, K, V, I>(iter: I, out: &mut String)
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    out.push('{');
+    let mut first = true;
+    for (k, v) in iter {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_json_key(k, out);
+        out.push(':');
+        v.serialize_json(out);
+    }
+    out.push('}');
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        write_map(self.iter(), out);
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+    fn serialize_json(&self, out: &mut String) {
+        write_map(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn serialize_json(&self, out: &mut String) {
+        write_seq(self.iter(), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.serialize_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(&3u32), "3");
+        assert_eq!(json(&-4i64), "-4");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&2.0f64), "2.0");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&"a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1u8, 2]), "[1,2]");
+        assert_eq!(json(&Some(5u8)), "5");
+        assert_eq!(json(&None::<u8>), "null");
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(7u64, 9u64);
+        assert_eq!(json(&m), "{\"7\":9}");
+        assert_eq!(json(&(1u8, "x")), "[1,\"x\"]");
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! A dependency-free (no syn/quote) derive pair:
+//!
+//! * `#[derive(Serialize)]` parses the struct/enum token stream by hand and
+//!   generates an `impl serde::Serialize` that writes JSON field by field
+//!   (externally-tagged enums, newtype transparency — matching serde_json's
+//!   default output shapes).
+//! * `#[derive(Deserialize)]` expands to nothing: the workspace never
+//!   deserializes, it only needs the attribute to be accepted.
+//!
+//! Supported shapes cover everything the workspace derives: non-generic
+//! structs with named fields, tuple structs, unit structs, and enums whose
+//! variants are unit, tuple or struct-like. Generic types are rejected with
+//! a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Accept and discard `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Generate a JSON `serde::Serialize` implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input) {
+        Ok(src) => src.parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+enum Item {
+    Struct(Body),
+    Enum(Vec<(String, Body)>),
+}
+
+fn generate(input: TokenStream) -> Result<String, String> {
+    let (name, item) = parse_item(input)?;
+    let mut f = String::new();
+    f.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n"
+    ));
+    match item {
+        Item::Struct(Body::Named(fields)) => {
+            f.push_str("out.push('{');\n");
+            for (i, field) in fields.iter().enumerate() {
+                if i > 0 {
+                    f.push_str("out.push(',');\n");
+                }
+                f.push_str(&format!("out.push_str(\"\\\"{field}\\\":\");\n"));
+                f.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{field}, out);\n"
+                ));
+            }
+            f.push_str("out.push('}');\n");
+        }
+        Item::Struct(Body::Tuple(1)) => {
+            // Newtype transparency, as in serde_json.
+            f.push_str("::serde::Serialize::serialize_json(&self.0, out);\n");
+        }
+        Item::Struct(Body::Tuple(n)) => {
+            f.push_str("out.push('[');\n");
+            for i in 0..n {
+                if i > 0 {
+                    f.push_str("out.push(',');\n");
+                }
+                f.push_str(&format!(
+                    "::serde::Serialize::serialize_json(&self.{i}, out);\n"
+                ));
+            }
+            f.push_str("out.push(']');\n");
+        }
+        Item::Struct(Body::Unit) => {
+            f.push_str("out.push_str(\"null\");\n");
+        }
+        Item::Enum(variants) => {
+            f.push_str("match self {\n");
+            for (vname, body) in &variants {
+                match body {
+                    Body::Unit => {
+                        f.push_str(&format!(
+                            "{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+                        ));
+                    }
+                    Body::Tuple(1) => {
+                        f.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{\n\
+                             out.push_str(\"{{\\\"{vname}\\\":\");\n\
+                             ::serde::Serialize::serialize_json(__f0, out);\n\
+                             out.push('}}');\n}}\n"
+                        ));
+                    }
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        f.push_str(&format!(
+                            "{name}::{vname}({}) => {{\n\
+                             out.push_str(\"{{\\\"{vname}\\\":[\");\n",
+                            binds.join(", ")
+                        ));
+                        for (i, b) in binds.iter().enumerate() {
+                            if i > 0 {
+                                f.push_str("out.push(',');\n");
+                            }
+                            f.push_str(&format!(
+                                "::serde::Serialize::serialize_json({b}, out);\n"
+                            ));
+                        }
+                        f.push_str("out.push_str(\"]}}\");\n}\n");
+                    }
+                    Body::Named(fields) => {
+                        f.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             out.push_str(\"{{\\\"{vname}\\\":{{\");\n",
+                            fields.join(", ")
+                        ));
+                        for (i, field) in fields.iter().enumerate() {
+                            if i > 0 {
+                                f.push_str("out.push(',');\n");
+                            }
+                            f.push_str(&format!("out.push_str(\"\\\"{field}\\\":\");\n"));
+                            f.push_str(&format!(
+                                "::serde::Serialize::serialize_json({field}, out);\n"
+                            ));
+                        }
+                        f.push_str("out.push_str(\"}}}}\");\n}\n");
+                    }
+                }
+            }
+            f.push_str("}\n");
+        }
+    }
+    f.push_str("}\n}\n");
+    Ok(f)
+}
+
+/// Consume leading `#[...]` attribute pairs.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Consume `pub`, `pub(...)`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<(String, Item), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("expected struct or enum, found `{kind}`"));
+    }
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok((name, Item::Struct(Body::Named(fields))))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                Ok((name, Item::Struct(Body::Tuple(n))))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok((name, Item::Struct(Body::Unit)))
+            }
+            other => Err(format!("unsupported struct body: {other:?}")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok((name, Item::Enum(variants)))
+            }
+            other => Err(format!("unsupported enum body: {other:?}")),
+        }
+    }
+}
+
+/// Parse `name: Type, ...` — commas inside `<...>` belong to the type.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        fields.push(fname);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected ':' after field, found {other:?}")),
+        }
+        // Skip the type up to a top-level comma.
+        let mut angle_depth: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Count tuple-struct fields by top-level commas.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut angle_depth: i32 = 0;
+    let mut saw_tokens_since_comma = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                n += 1;
+                saw_tokens_since_comma = false;
+            }
+            _ => saw_tokens_since_comma = true,
+        }
+    }
+    if !saw_tokens_since_comma {
+        n -= 1; // trailing comma
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Body)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Body::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Body::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Body::Unit,
+        };
+        // Skip a `= discriminant` and advance past the separating comma.
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((vname, body));
+    }
+    Ok(variants)
+}

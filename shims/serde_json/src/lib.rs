@@ -1,0 +1,128 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Serializes via the serde shim's direct-to-JSON [`serde::Serialize`]
+//! trait. `to_string` emits compact JSON; `to_string_pretty` re-indents it
+//! with the same 2-space style serde_json uses, so the files under
+//! `results/` stay human-readable.
+
+use std::fmt;
+
+/// Serialization error (the shim's serializers are infallible, but the
+/// signature keeps call sites source-compatible with real serde_json).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serialize `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    Ok(prettify(&compact))
+}
+
+/// Re-indent compact JSON. Structure-aware but not validating: strings are
+/// passed through opaquely, separators outside strings get newlines and
+/// indentation.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let push_indent = |out: &mut String, n: usize| {
+        out.push('\n');
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    };
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                if let Some(&next) = chars.peek() {
+                    if (c == '{' && next == '}') || (c == '[' && next == ']') {
+                        out.push(chars.next().unwrap());
+                        continue;
+                    }
+                }
+                indent += 1;
+                push_indent(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_indent(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                push_indent(&mut out, indent);
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty() {
+        let v = vec![1u8, 2];
+        assert_eq!(to_string(&v).unwrap(), "[1,2]");
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn pretty_keeps_strings_opaque() {
+        let s = "a{b,c}d";
+        assert_eq!(to_string_pretty(&s).unwrap(), "\"a{b,c}d\"");
+    }
+
+    #[test]
+    fn error_converts_to_io() {
+        let e = Error("x".into());
+        let io: std::io::Error = e.into();
+        assert_eq!(io.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

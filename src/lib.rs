@@ -64,8 +64,10 @@ pub use radd_workload as workload;
 /// The names most programs need.
 pub mod prelude {
     pub use radd_core::{
-        Actor, ParityMode, RaddCluster, RaddConfig, RaddError, SiteState, SparePolicy,
+        Actor, CheckError, CheckedCluster, ParityMode, RaddCluster, RaddConfig,
+        RaddError, SiteState, SparePolicy,
     };
+    pub use radd_node::{NodeCluster, ThreadedDriver};
     pub use radd_layout::{assign_groups, Geometry, Role};
     pub use radd_reliability::{Environment, MonteCarlo, Scheme};
     pub use radd_schemes::{
@@ -76,5 +78,9 @@ pub mod prelude {
         NoOverwriteManager, RecoveryContext, StorageManager, WalManager,
     };
     pub use radd_txn::{radd_commit, two_phase_commit, DistributedTxn, RaddCommitConfig};
-    pub use radd_workload::{run_mix, run_scenario, AccessPattern, Mix, ScenarioStep};
+    pub use radd_workload::{
+        minimize_failure, run_mix, run_plan, run_scenario, seed_from_name,
+        AccessPattern, FaultDriver, FaultEvent, FaultPlan, Mix, PlanFailure,
+        PlanReport, PlanShape, ScenarioStep,
+    };
 }
