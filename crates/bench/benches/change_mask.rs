@@ -1,8 +1,8 @@
 //! Change-mask diff/encode/apply — the per-write CPU cost of step W3.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use radd_parity::ChangeMask;
+use std::hint::black_box;
 
 fn page_pair(edit_bytes: usize) -> (Vec<u8>, Vec<u8>) {
     let old: Vec<u8> = (0..4096).map(|i| (i % 251) as u8).collect();

@@ -1,8 +1,8 @@
 //! Layout addressing math — on every I/O's fast path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use radd_layout::Geometry;
+use std::hint::black_box;
 
 fn bench_layout(c: &mut Criterion) {
     let geo = Geometry::paper_g8(1_000_000);

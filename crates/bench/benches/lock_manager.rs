@@ -1,8 +1,8 @@
 //! Lock-table throughput (§3.3 dynamic locking).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use radd_core::{LockKind, LockManager};
+use std::hint::black_box;
 
 fn bench_locks(c: &mut Criterion) {
     c.bench_function("locks/exclusive_lock_unlock", |b| {
@@ -10,7 +10,8 @@ fn bench_locks(c: &mut Criterion) {
         let mut row = 0u64;
         b.iter(|| {
             row = (row + 1) % 1024;
-            lm.try_lock(0, black_box(row), LockKind::Exclusive, 1).unwrap();
+            lm.try_lock(0, black_box(row), LockKind::Exclusive, 1)
+                .unwrap();
             lm.unlock(0, row, 1);
         });
     });

@@ -1,8 +1,8 @@
 //! Throughput of the XOR primitives behind formulas (1) and (2).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use radd_parity::{xor_in_place, xor_many};
+use std::hint::black_box;
 
 fn bench_xor(c: &mut Criterion) {
     let mut group = c.benchmark_group("parity_xor");

@@ -2,8 +2,8 @@
 //! synchronous parity) and one degraded read (reconstruction), 4 KB blocks.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use radd_core::{Actor, RaddCluster, RaddConfig};
+use std::hint::black_box;
 
 fn cluster() -> RaddCluster {
     let mut cfg = RaddConfig::paper_g8();

@@ -32,7 +32,15 @@ fn main() {
             // Fall back to cargo when running via `cargo run` without the
             // siblings built yet.
             Command::new("cargo")
-                .args(["run", "--quiet", "--release", "-p", "radd-bench", "--bin", bin])
+                .args([
+                    "run",
+                    "--quiet",
+                    "--release",
+                    "-p",
+                    "radd-bench",
+                    "--bin",
+                    bin,
+                ])
                 .status()
         };
         match status {

@@ -7,7 +7,12 @@ fn main() {
     let rows = figure2();
     let mut t = Table::new(
         "Figure 2 — A Space Comparison",
-        &["System", "overhead % (ours)", "overhead % (paper)", "layout census %"],
+        &[
+            "System",
+            "overhead % (ours)",
+            "overhead % (paper)",
+            "layout census %",
+        ],
     );
     for r in &rows {
         t.row(&[

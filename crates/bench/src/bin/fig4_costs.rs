@@ -13,7 +13,11 @@ fn main() {
     for r in &rows {
         let mut m = vec![r.row.label().to_string()];
         for c in &r.cells {
-            m.push(c.as_ref().map(|c| fmt_f(c.ms)).unwrap_or_else(|| "-".into()));
+            m.push(
+                c.as_ref()
+                    .map(|c| fmt_f(c.ms))
+                    .unwrap_or_else(|| "-".into()),
+            );
         }
         measured.row(&m);
         let mut p = vec![r.row.label().to_string()];

@@ -8,7 +8,14 @@ fn main() {
     let rows = figure5(trials, 42);
     let mut t = Table::new(
         format!("Figure 5 — MTTU (hours); Monte Carlo: {trials} trials"),
-        &["system", "paper", "closed form", "exact Markov", "Monte Carlo", "± stderr"],
+        &[
+            "system",
+            "paper",
+            "closed form",
+            "exact Markov",
+            "Monte Carlo",
+            "± stderr",
+        ],
     );
     for r in &rows {
         t.row(&[
@@ -17,7 +24,9 @@ fn main() {
             fmt_f(r.formula_hours),
             r.markov_hours.map(fmt_f).unwrap_or_else(|| "—".into()),
             r.monte_carlo_hours.map(fmt_f).unwrap_or_else(|| "—".into()),
-            r.monte_carlo_stderr.map(fmt_f).unwrap_or_else(|| "—".into()),
+            r.monte_carlo_stderr
+                .map(fmt_f)
+                .unwrap_or_else(|| "—".into()),
         ]);
     }
     t.print();

@@ -8,7 +8,12 @@ fn main() {
     let rows = section2(2_000, 42);
     let mut t = Table::new(
         "§2 — write throughput vs concurrency (G = 8, 9 drives, W = 30 ms)",
-        &["writers", "Level 4", "Level 5 (random)", "Level 5 (scheduled)"],
+        &[
+            "writers",
+            "Level 4",
+            "Level 5 (random)",
+            "Level 5 (scheduled)",
+        ],
     );
     for r in &rows {
         t.row(&[

@@ -8,7 +8,12 @@ fn main() {
     let rows = section34(200, 4, 8).expect("storage failure");
     let mut t = Table::new(
         "§3.4 — crash-recovery cost by storage manager and context",
-        &["manager / context", "log blocks", "pages replayed", "recovery ms"],
+        &[
+            "manager / context",
+            "log blocks",
+            "pages replayed",
+            "recovery ms",
+        ],
     );
     for r in &rows {
         t.row(&[

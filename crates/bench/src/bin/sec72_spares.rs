@@ -7,7 +7,13 @@ fn main() {
     let rows = spare_sweep(20_000, 42).expect("sweep failed");
     let mut t = Table::new(
         "§7.2 — spare allocation vs availability (one site down, 50% reads, G = 8)",
-        &["spare policy", "space %", "availability", "degraded op ms", "degraded read ms"],
+        &[
+            "spare policy",
+            "space %",
+            "availability",
+            "degraded op ms",
+            "degraded read ms",
+        ],
     );
     for r in &rows {
         t.row(&[

@@ -27,7 +27,10 @@ fn main() {
         "hot standby (logical log)".into(),
         bw.hot_standby_bytes.to_string(),
         bw.disk_bytes.to_string(),
-        format!("1/{:.0}", bw.disk_bytes as f64 / bw.hot_standby_bytes as f64),
+        format!(
+            "1/{:.0}",
+            bw.disk_bytes as f64 / bw.hot_standby_bytes as f64
+        ),
         "≈ RADD".into(),
     ]);
     t.print();
@@ -44,14 +47,20 @@ fn main() {
     );
     t.row(&["all sites up".into(), fmt_f(dl.healthy_ops_per_op)]);
     t.row(&["one site down".into(), fmt_f(dl.degraded_ops_per_op)]);
-    t.row(&["total increase".into(), format!("{:.0} %", (dl.increase_factor - 1.0) * 100.0)]);
+    t.row(&[
+        "total increase".into(),
+        format!("{:.0} %", (dl.increase_factor - 1.0) * 100.0),
+    ]);
     t.row(&[
         "read amplification".into(),
         format!("{:.2}× (paper: ~2×)", dl.read_amplification),
     ]);
     t.row(&[
         "paper-style aggregate".into(),
-        format!("+{:.0} % (paper: +50 %)", (dl.paper_style_increase - 1.0) * 100.0),
+        format!(
+            "+{:.0} % (paper: +50 %)",
+            (dl.paper_style_increase - 1.0) * 100.0
+        ),
     ]);
     t.print();
     println!(

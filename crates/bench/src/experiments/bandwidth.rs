@@ -14,9 +14,7 @@
 use radd_core::{RaddCluster, RaddConfig, RaddError, SparePolicy};
 use radd_schemes::{FailureKind, Radd, ReplicationScheme};
 use radd_sim::SimRng;
-use radd_workload::{
-    run_mix, run_record_workload, AccessPattern, Mix, RecordWorkload,
-};
+use radd_workload::{run_mix, run_record_workload, AccessPattern, Mix, RecordWorkload};
 use serde::Serialize;
 
 /// Results of the bandwidth-ratio experiment.
@@ -124,23 +122,27 @@ pub fn degraded_load(ops: u64, seed: u64) -> Result<DegradedLoadReport, RaddErro
     let mut scheme = Radd::new(cfg.clone())?;
     let mut rng = SimRng::seed_from_u64(seed);
     let healthy = run_mix(&mut scheme, &mut rng, ops, mix, AccessPattern::Uniform)?;
-    let healthy_ratio =
-        healthy.counts.total() as f64 / (healthy.reads + healthy.writes) as f64;
+    let healthy_ratio = healthy.counts.total() as f64 / (healthy.reads + healthy.writes) as f64;
 
     let mut scheme = Radd::new(cfg.clone())?;
     scheme.inject(3, FailureKind::SiteFailure)?;
     let mut rng = SimRng::seed_from_u64(seed);
     let degraded = run_mix(&mut scheme, &mut rng, ops, mix, AccessPattern::Uniform)?;
     // Without spares, down-site writes are refused; count served ops only.
-    let degraded_ratio =
-        degraded.counts.total() as f64 / (degraded.reads + degraded.writes) as f64;
+    let degraded_ratio = degraded.counts.total() as f64 / (degraded.reads + degraded.writes) as f64;
 
     // Read amplification in isolation (a read-only run on a degraded
     // cluster), which is the quantity the paper's 50 % figure is built on.
     let mut scheme = Radd::new(cfg)?;
     scheme.inject(3, FailureKind::SiteFailure)?;
     let mut rng = SimRng::seed_from_u64(seed + 1);
-    let reads = run_mix(&mut scheme, &mut rng, ops, Mix::read_only(), AccessPattern::Uniform)?;
+    let reads = run_mix(
+        &mut scheme,
+        &mut rng,
+        ops,
+        Mix::read_only(),
+        AccessPattern::Uniform,
+    )?;
     let read_amplification =
         (reads.counts.local_reads + reads.counts.remote_reads) as f64 / reads.reads as f64;
 

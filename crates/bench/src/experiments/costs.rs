@@ -200,7 +200,8 @@ fn measure_one(which: usize, row: CostRow) -> Result<Option<MeasuredCell>, RaddE
             cell(r)
         }
         CostRow::DiskFailRead | CostRow::DiskFailWrite => {
-            any.as_dyn().inject(site, FailureKind::DiskFailure { disk })?;
+            any.as_dyn()
+                .inject(site, FailureKind::DiskFailure { disk })?;
             // The 2D grid's "disk failure" downs the data site, so its
             // owner cannot act; everyone else measures from the owner's
             // perspective as the paper does.
@@ -251,7 +252,9 @@ fn measure_one(which: usize, row: CostRow) -> Result<Option<MeasuredCell>, RaddE
         CostRow::SiteFailRead | CostRow::SiteFailWrite => {
             any.as_dyn().inject(site, FailureKind::SiteFailure)?;
             let result = if row == CostRow::SiteFailRead {
-                any.as_dyn().read(Actor::Client, site, index).map(|(_, r)| r)
+                any.as_dyn()
+                    .read(Actor::Client, site, index)
+                    .map(|(_, r)| r)
             } else {
                 any.as_dyn().write(Actor::Client, site, index, &fresh)
             };
@@ -290,8 +293,8 @@ mod tests {
         // RAID's site-failure cells are the only "-" entries.
         for r in &rows {
             for (i, c) in r.cells.iter().enumerate() {
-                let expect_dash = i == 2
-                    && matches!(r.row, CostRow::SiteFailRead | CostRow::SiteFailWrite);
+                let expect_dash =
+                    i == 2 && matches!(r.row, CostRow::SiteFailRead | CostRow::SiteFailWrite);
                 assert_eq!(c.is_none(), expect_dash, "{:?} {}", r.row, SCHEME_NAMES[i]);
             }
         }
@@ -346,11 +349,7 @@ mod tests {
                     .find(|&&(row, c, _)| row == r.row && c == col)
                     .map(|&(_, _, v)| Some(v))
                     .unwrap_or(paper[col]);
-                assert_eq!(
-                    measured, expected,
-                    "{:?} / {}",
-                    r.row, SCHEME_NAMES[col]
-                );
+                assert_eq!(measured, expected, "{:?} / {}", r.row, SCHEME_NAMES[col]);
             }
         }
     }

@@ -10,9 +10,7 @@
 //! * no-overwrite — nothing to scan at all, in either context.
 
 use radd_sim::CostParams;
-use radd_storage::{
-    NoOverwriteManager, RecoveryContext, StorageError, StorageManager, WalManager,
-};
+use radd_storage::{NoOverwriteManager, RecoveryContext, StorageError, StorageManager, WalManager};
 use serde::Serialize;
 
 /// One recovery measurement.
@@ -52,7 +50,11 @@ fn drive<M: StorageManager>(
 
 /// Run the §3.4 comparison. `g` is the RADD group size for the remote
 /// context.
-pub fn section34(txns: u64, writes_per_txn: u64, g: usize) -> Result<Vec<RecoveryRow>, StorageError> {
+pub fn section34(
+    txns: u64,
+    writes_per_txn: u64,
+    g: usize,
+) -> Result<Vec<RecoveryRow>, StorageError> {
     let pages = 64;
     let page_size = 1024;
     let cost = CostParams::paper_defaults();

@@ -91,7 +91,9 @@ pub fn figure6(trials: u32, seed: u64) -> Vec<MttfRow> {
                     let c = env.constants();
                     let mc_hours = match s {
                         Scheme::Radd => Some(
-                            MonteCarlo::new(G, c, seed + i as u64).mttf_radd(trials).mean_hours,
+                            MonteCarlo::new(G, c, seed + i as u64)
+                                .mttf_radd(trials)
+                                .mean_hours,
                         ),
                         Scheme::Rowb => Some(
                             MonteCarlo::new(G, c, seed + 10 + i as u64)
@@ -145,9 +147,17 @@ mod tests {
         let rows = figure6(25, 11);
         assert_eq!(rows.len(), 6);
         // C-RAID and 2D-RADD must clear 500 years everywhere.
-        for row in rows.iter().filter(|r| r.scheme == "C-RAID" || r.scheme == "2D-RADD") {
+        for row in rows
+            .iter()
+            .filter(|r| r.scheme == "C-RAID" || r.scheme == "2D-RADD")
+        {
             for cell in &row.cells {
-                assert!(cell.model_years > 500.0, "{} {}", row.scheme, cell.environment);
+                assert!(
+                    cell.model_years > 500.0,
+                    "{} {}",
+                    row.scheme,
+                    cell.environment
+                );
             }
         }
         // RADD beats RAID in the cautious conventional column.

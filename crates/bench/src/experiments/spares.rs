@@ -39,15 +39,24 @@ pub fn spare_sweep(ops: u64, seed: u64) -> Result<Vec<SpareSweepRow>, RaddError>
         ("no spares (0/1)".into(), SparePolicy::None),
         (
             "1 of 4 rows".into(),
-            SparePolicy::Fraction { numerator: 1, denominator: 4 },
+            SparePolicy::Fraction {
+                numerator: 1,
+                denominator: 4,
+            },
         ),
         (
             "1 of 2 rows".into(),
-            SparePolicy::Fraction { numerator: 1, denominator: 2 },
+            SparePolicy::Fraction {
+                numerator: 1,
+                denominator: 2,
+            },
         ),
         (
             "3 of 4 rows".into(),
-            SparePolicy::Fraction { numerator: 3, denominator: 4 },
+            SparePolicy::Fraction {
+                numerator: 3,
+                denominator: 4,
+            },
         ),
         ("one per parity (paper)".into(), SparePolicy::OnePerParity),
     ];

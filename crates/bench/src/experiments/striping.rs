@@ -114,8 +114,13 @@ pub fn section2(ops_each: u64, seed: u64) -> Vec<StripingRow> {
         .map(|&writers| {
             let m4 = makespan(ParityLayout::Dedicated, g, writers, ops_each, seed + 1);
             let m5 = makespan(ParityLayout::Striped, g, writers, ops_each, seed + 1);
-            let m5s =
-                makespan(ParityLayout::StripedScheduled, g, writers, ops_each, seed + 1);
+            let m5s = makespan(
+                ParityLayout::StripedScheduled,
+                g,
+                writers,
+                ops_each,
+                seed + 1,
+            );
             StripingRow {
                 writers,
                 level4_speedup: writers as f64 * base4.as_millis_f64() / m4.as_millis_f64(),

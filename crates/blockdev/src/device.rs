@@ -68,12 +68,21 @@ mod tests {
 
     #[test]
     fn error_messages() {
-        assert_eq!(DevError::Failed { disk: 3 }.to_string(), "disk 3 has failed");
-        assert!(DevError::OutOfRange { block: 9, capacity: 8 }
-            .to_string()
-            .contains("capacity 8"));
-        assert!(DevError::WrongBlockSize { got: 10, expected: 4096 }
-            .to_string()
-            .contains("4096"));
+        assert_eq!(
+            DevError::Failed { disk: 3 }.to_string(),
+            "disk 3 has failed"
+        );
+        assert!(DevError::OutOfRange {
+            block: 9,
+            capacity: 8
+        }
+        .to_string()
+        .contains("capacity 8"));
+        assert!(DevError::WrongBlockSize {
+            got: 10,
+            expected: 4096
+        }
+        .to_string()
+        .contains("4096"));
     }
 }

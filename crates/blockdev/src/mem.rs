@@ -67,7 +67,10 @@ impl BlockDevice for MemDisk {
         let slot = self
             .blocks
             .get(block as usize)
-            .ok_or(DevError::OutOfRange { block, capacity: cap })?;
+            .ok_or(DevError::OutOfRange {
+                block,
+                capacity: cap,
+            })?;
         self.stats.reads += 1;
         self.stats.bytes_read += self.block_size as u64;
         Ok(slot.clone().unwrap_or_else(|| self.zero_block()))
@@ -84,7 +87,10 @@ impl BlockDevice for MemDisk {
         let slot = self
             .blocks
             .get_mut(block as usize)
-            .ok_or(DevError::OutOfRange { block, capacity: cap })?;
+            .ok_or(DevError::OutOfRange {
+                block,
+                capacity: cap,
+            })?;
         *slot = Some(Bytes::copy_from_slice(data));
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
@@ -118,7 +124,10 @@ mod tests {
         let mut d = MemDisk::new(2, 8);
         assert_eq!(
             d.read_block(2).unwrap_err(),
-            DevError::OutOfRange { block: 2, capacity: 2 }
+            DevError::OutOfRange {
+                block: 2,
+                capacity: 2
+            }
         );
         assert!(matches!(
             d.write_block(99, &[0u8; 8]).unwrap_err(),
@@ -131,7 +140,10 @@ mod tests {
         let mut d = MemDisk::new(2, 8);
         assert_eq!(
             d.write_block(0, &[0u8; 7]).unwrap_err(),
-            DevError::WrongBlockSize { got: 7, expected: 8 }
+            DevError::WrongBlockSize {
+                got: 7,
+                expected: 8
+            }
         );
     }
 

@@ -1,20 +1,26 @@
-//! The RADD cluster: Section 3's algorithms end to end.
+//! The RADD cluster: a synchronous effect interpreter around the sans-IO
+//! protocol machines.
 //!
-//! One [`RaddCluster`] owns the `G + 2` sites, the lock table, the cost
-//! ledger and the per-category traffic counters. All protocol logic lives in
-//! its methods:
+//! One [`RaddCluster`] owns the `G + 2` sites — each a
+//! [`radd_protocol::SiteMachine`] paired with its disk array — plus one
+//! persistent [`radd_protocol::ClientMachine`], the lock table, the cost
+//! ledger and the per-category traffic counters. All §3 protocol logic
+//! (W1–W4 ordering, UID validation, spare-slot lifecycle, the recovery
+//! drain) lives in the machines; this module only
 //!
-//! * [`read`](RaddCluster::read) / [`write`](RaddCluster::write) — client
-//!   operations, dispatching on the owning site's state exactly as §3.2
-//!   prescribes, and returning an [`OpReceipt`] of what they cost;
-//! * [`fail_site`](RaddCluster::fail_site) /
-//!   [`disaster`](RaddCluster::disaster) /
-//!   [`fail_disk`](RaddCluster::fail_disk) — the paper's three failure
-//!   kinds;
-//! * [`restore_site`](RaddCluster::restore_site) +
-//!   [`run_recovery`](RaddCluster::run_recovery) — the recovering state and
-//!   its background daemon;
-//! * [`set_partition`](RaddCluster::set_partition) — §5 partition handling.
+//! * delivers machine-emitted [`Effect::Send`]s synchronously (a message
+//!   cascade runs to completion inside one client call),
+//! * prices [`Effect::Read`]/[`Effect::Write`] receipts into the Figure-3
+//!   cost ledger by their [`IoPurpose`],
+//! * injects failures (which machines only observe as
+//!   [`radd_protocol::BlockFault`]s and state transitions), and
+//! * orchestrates the parts the paper assigns to the *system* rather than
+//!   the protocol: the §5 partition gate, recovery locking, and the
+//!   buffer-pool old-value oracle.
+//!
+//! The same machines, driven by threads and real sockets instead, are the
+//! `radd-node` runtime; the differential test in `tests/differential.rs`
+//! checks both interpreters produce identical protocol traces.
 //!
 //! ### Cost accounting conventions
 //!
@@ -23,10 +29,12 @@
 //!
 //! * a parity update is **one** remote write ("careful buffering of the old
 //!   data block can remove one of the reads and prefetching the old parity
-//!   block can remove the latency delay of the second read");
+//!   block can remove the latency delay of the second read") — charged when
+//!   the update is sent; the parity site's `ParityApply` receipts are free;
 //! * the old value of a block being overwritten is available from the buffer
-//!   pool and is not charged as a read — the same buffering assumption, also
-//!   applied to down-site writes (the paper prices them at `2·RW` flat);
+//!   pool and is not charged as a read (`OldValue` receipts are free) — the
+//!   same buffering assumption, also applied to down-site writes (the paper
+//!   prices them at `2·RW` flat);
 //! * probing an *invalid* spare costs no block I/O: validity is a UID check,
 //!   answered with a control message carrying no block payload. Reading a
 //!   *valid* spare is a normal block read;
@@ -36,29 +44,49 @@
 
 use crate::config::{ParityMode, RaddConfig};
 use crate::error::RaddError;
-use crate::locks::LockManager;
+use crate::locks::{LockKind, LockManager};
 use crate::site::{SiteNode, SiteState, SpareKind, SpareSlot};
 use crate::stats::{Actor, OpReceipt, TrafficStats};
 use bytes::Bytes;
+use radd_blockdev::{BlockDevice, DiskArray};
 use radd_layout::{DataIndex, Geometry, PhysRow, Role, SiteId};
 use radd_net::{PartitionMap, PartitionVerdict};
 use radd_parity::{ChangeMask, Uid, UidArray};
+use radd_protocol::{
+    trace, BlockFault, Blocks, ClientErr, ClientMachine, Dest, Effect, IoPurpose, Msg, TraceEntry,
+    BLOCK_MSG_HEADER, CONTROL_MSG_BYTES,
+};
 use radd_sim::{CostLedger, OpKind, Tracer};
+use std::collections::VecDeque;
 
-/// Wire-size model: fixed header bytes on block-carrying messages and on
-/// control messages. These feed the §7.4 bandwidth accounting.
-const BLOCK_MSG_HEADER: usize = 24;
-const CONTROL_MSG_BYTES: usize = 16;
+/// Recovery-drain locks are held by this pseudo transaction id.
+const RECOVERY_TXN: u64 = u64::MAX;
+
+/// [`Blocks`] over a site's disk array: a failed disk surfaces to the
+/// machine as a [`BlockFault`].
+struct ArrayBlocks<'a>(&'a mut DiskArray);
+
+impl Blocks for ArrayBlocks<'_> {
+    fn read(&mut self, row: u64) -> Result<Vec<u8>, BlockFault> {
+        self.0
+            .read_block(row)
+            .map(|b| b.to_vec())
+            .map_err(|_| BlockFault)
+    }
+
+    fn write(&mut self, row: u64, data: &[u8]) -> Result<(), BlockFault> {
+        self.0.write_block(row, data).map_err(|_| BlockFault)
+    }
+}
 
 /// A queued parity-update message (only populated in
-/// [`ParityMode::Queued`]).
+/// [`ParityMode::Queued`]): the wire message plus the peer slot its ack
+/// should be delivered to at flush time.
 #[derive(Debug, Clone)]
 struct PendingParity {
     to: SiteId,
-    row: PhysRow,
-    from_site: SiteId,
-    mask: ChangeMask,
-    uid: Uid,
+    src_peer: usize,
+    msg: Msg,
 }
 
 /// What the recovery daemon did (all background work).
@@ -72,18 +100,30 @@ pub struct RecoveryReport {
     pub parity_rebuilt: u64,
 }
 
+/// A machine-level error paired with the interpreter error (if any) that
+/// caused it; the interpreter error wins when both exist.
+type ClientFailure = (ClientErr, Option<RaddError>);
+
 /// A running RADD cluster of `G + 2` sites.
 #[derive(Debug)]
 pub struct RaddCluster {
     config: RaddConfig,
     geometry: Geometry,
     sites: Vec<SiteNode>,
+    /// The persistent client machine (`Option` only so it can be detached
+    /// while an io adapter borrows the rest of the cluster). Persistent so
+    /// its UID mint never resets — reused UIDs would defeat the parity
+    /// site's idempotence guard.
+    client: Option<ClientMachine>,
     ledger: CostLedger,
     traffic: TrafficStats,
     locks: LockManager,
     tracer: Tracer,
     partition: PartitionMap,
     pending_parity: Vec<PendingParity>,
+    /// Per-site normalised effect traces (differential testing); index `j`
+    /// is site `j`.
+    site_traces: Option<Vec<Vec<TraceEntry>>>,
 }
 
 impl RaddCluster {
@@ -102,21 +142,35 @@ impl RaddCluster {
             .map(|id| {
                 SiteNode::new(
                     id,
+                    config.group_size,
                     config.disks_per_site,
                     config.blocks_per_disk(),
                     config.block_size,
                 )
             })
             .collect();
+        // UID namespace u16::MAX: disjoint from every site's generator
+        // (namespace = site id) and identical to the threaded runtime's
+        // primary client, so differential traces mint the same UIDs.
+        let client = ClientMachine::new(
+            config.group_size,
+            config.rows,
+            config.block_size,
+            config.spare_policy,
+            config.uid_validation,
+            u16::MAX,
+        );
         Ok(RaddCluster {
             ledger: CostLedger::new(config.cost),
             partition: PartitionMap::connected(config.num_sites()),
             geometry,
             sites,
+            client: Some(client),
             traffic: TrafficStats::default(),
             locks: LockManager::new(),
             tracer: Tracer::disabled(),
             pending_parity: Vec::new(),
+            site_traces: None,
             config,
         })
     }
@@ -173,7 +227,7 @@ impl RaddCluster {
     /// Current state of a site (ignoring partitions; see
     /// [`effective_state`](RaddCluster::effective_state)).
     pub fn site_state(&self, site: SiteId) -> SiteState {
-        self.sites[site].state
+        self.sites[site].machine.state()
     }
 
     /// Direct access to a site, for inspection in tests and tooling.
@@ -188,14 +242,14 @@ impl RaddCluster {
     /// A temporary site failure: the site stops processing; its disks keep
     /// their contents.
     pub fn fail_site(&mut self, site: SiteId) {
-        self.sites[site].state = SiteState::Down;
+        self.sites[site].machine.set_state(SiteState::Down);
     }
 
     /// A site disaster: the site goes down and *all* its disk contents are
     /// lost (it will be restored on blank replacement hardware).
     pub fn disaster(&mut self, site: SiteId) {
         self.sites[site].lose_everything();
-        self.sites[site].state = SiteState::Down;
+        self.sites[site].machine.set_state(SiteState::Down);
     }
 
     /// A disk failure: the site stays operational but the disk's blocks are
@@ -203,8 +257,8 @@ impl RaddCluster {
     /// recovering".
     pub fn fail_disk(&mut self, site: SiteId, disk: usize) {
         self.sites[site].array.fail_disk(disk);
-        if self.sites[site].state == SiteState::Up {
-            self.sites[site].state = SiteState::Recovering;
+        if self.sites[site].machine.state() == SiteState::Up {
+            self.sites[site].machine.set_state(SiteState::Recovering);
         }
     }
 
@@ -217,8 +271,8 @@ impl RaddCluster {
 
     /// Bring a down site back: it enters the recovering state (§3.1).
     pub fn restore_site(&mut self, site: SiteId) {
-        if self.sites[site].state == SiteState::Down {
-            self.sites[site].state = SiteState::Recovering;
+        if self.sites[site].machine.state() == SiteState::Down {
+            self.sites[site].machine.set_state(SiteState::Recovering);
         }
     }
 
@@ -236,7 +290,7 @@ impl RaddCluster {
             PartitionVerdict::SingleFailureLike { isolated, .. } if isolated == site => {
                 SiteState::Down
             }
-            _ => self.sites[site].state,
+            _ => self.sites[site].machine.state(),
         }
     }
 
@@ -271,6 +325,50 @@ impl RaddCluster {
         self.traffic.control.record_send(CONTROL_MSG_BYTES);
     }
 
+    /// Price one machine-emitted read receipt at `at` (Figure-3
+    /// conventions; see the module docs).
+    fn charge_io_read(&mut self, actor: Actor, background: bool, at: SiteId, purpose: IoPurpose) {
+        match purpose {
+            // Buffer-pool / prefetch assumptions: free.
+            IoPurpose::OldValue | IoPurpose::ParityApply => {}
+            _ => {
+                if background {
+                    self.ledger.charge_background(if actor.is_local_to(at) {
+                        OpKind::LocalRead
+                    } else {
+                        OpKind::RemoteRead
+                    });
+                    self.traffic
+                        .recovery
+                        .record_send(self.config.block_size + BLOCK_MSG_HEADER);
+                } else {
+                    self.charge_read(actor, at);
+                }
+            }
+        }
+    }
+
+    /// Price one machine-emitted write receipt at `at`.
+    fn charge_io_write(&mut self, actor: Actor, background: bool, at: SiteId, purpose: IoPurpose) {
+        match purpose {
+            // The parity read-modify-write was charged as one RW when the
+            // update was sent.
+            IoPurpose::OldValue | IoPurpose::ParityApply => {}
+            IoPurpose::SpareInstall => {
+                self.traffic
+                    .spare_writes
+                    .record_send(self.config.block_size + BLOCK_MSG_HEADER);
+                if background {
+                    self.ledger.charge_background(OpKind::RemoteWrite);
+                } else {
+                    self.charge_write(actor, at);
+                }
+            }
+            IoPurpose::Restore => self.ledger.charge_background(OpKind::LocalWrite),
+            _ => self.charge_write(actor, at),
+        }
+    }
+
     fn gate_partition(&self, actor: Actor) -> Result<(), RaddError> {
         match self.partition.classify(self.config.group_size) {
             PartitionVerdict::Connected => Ok(()),
@@ -282,7 +380,12 @@ impl RaddCluster {
         }
     }
 
-    fn check_args(&self, site: SiteId, index: DataIndex, data: Option<&[u8]>) -> Result<PhysRow, RaddError> {
+    fn check_args(
+        &self,
+        site: SiteId,
+        index: DataIndex,
+        data: Option<&[u8]>,
+    ) -> Result<PhysRow, RaddError> {
         let capacity = self.geometry.data_capacity(site);
         if index >= capacity {
             return Err(RaddError::OutOfRange { index, capacity });
@@ -302,7 +405,317 @@ impl RaddCluster {
     /// trusted?
     fn local_row_ok(&self, site: SiteId, row: PhysRow) -> bool {
         let s = &self.sites[site];
-        !s.array.is_failed(s.array.disk_of(row)) && !s.invalid_rows.contains(&row)
+        !s.array.is_failed(s.array.disk_of(row)) && !s.machine.invalid_rows().contains(&row)
+    }
+
+    // ------------------------------------------------------------------
+    // The effect interpreter
+    // ------------------------------------------------------------------
+
+    /// Deliver `msg` to site `dst` as peer `src` (0 = the client, `1 + j` =
+    /// site `j`) and run the resulting message cascade to completion.
+    /// Returns the reply addressed to peer 0, if the cascade produced one.
+    fn deliver(
+        &mut self,
+        actor: Actor,
+        background: bool,
+        dst: SiteId,
+        src: usize,
+        msg: Msg,
+    ) -> Result<Option<Msg>, RaddError> {
+        let mut queue: VecDeque<(SiteId, usize, Msg)> = VecDeque::new();
+        queue.push_back((dst, src, msg));
+        let mut reply: Option<Msg> = None;
+        while let Some((d, s, m)) = queue.pop_front() {
+            let mut out = Vec::new();
+            {
+                let node = &mut self.sites[d];
+                let mut blocks = ArrayBlocks(&mut node.array);
+                node.machine.handle(&mut blocks, s, m.clone(), &mut out);
+            }
+            if let Some(bufs) = &mut self.site_traces {
+                for eff in &out {
+                    if let Some(e) = trace(eff) {
+                        bufs[d].push(e);
+                    }
+                }
+            }
+            if let Msg::ParityUpdate { row, from_site, .. } = &m {
+                // Trace the apply itself, not redeliveries or duplicates.
+                let applied = out.iter().any(|e| {
+                    matches!(
+                        e,
+                        Effect::Write {
+                            purpose: IoPurpose::ParityApply,
+                            ..
+                        }
+                    )
+                });
+                if applied {
+                    self.tracer.emit(
+                        Default::default(),
+                        format!("site:{d}"),
+                        "parity_update",
+                        format!("row {row} from site {from_site}"),
+                    );
+                }
+            }
+            for eff in out {
+                match eff {
+                    Effect::Read { purpose, .. } => {
+                        self.charge_io_read(actor, background, d, purpose)
+                    }
+                    Effect::Write { purpose, .. } => {
+                        self.charge_io_write(actor, background, d, purpose)
+                    }
+                    Effect::Send {
+                        to, msg: sm, wire, ..
+                    } => match to {
+                        Dest::Peer(0) => reply = Some(sm),
+                        Dest::Peer(p) => queue.push_back((p - 1, d + 1, sm)),
+                        Dest::Site(t) => self.route_site_send(actor, d, t, sm, wire, &mut queue)?,
+                    },
+                    // Synchronous delivery: acks are immediate, timers are
+                    // moot; DeferAck resolves within this same cascade.
+                    Effect::DeferAck { .. }
+                    | Effect::SetTimer { .. }
+                    | Effect::ClearTimer { .. } => {}
+                    Effect::NeedParityRebuild { row } => {
+                        // Recovering parity site, row not yet rebuilt: the
+                        // paper's recovery daemon rebuilds it, then the
+                        // update is re-delivered (no reply was cached, so
+                        // the replay guard does not fire).
+                        self.rebuild_parity_row(d, row)?;
+                        queue.push_front((d, s, m.clone()));
+                    }
+                    Effect::ParityUnservable { row } => {
+                        // The disk holding the parity row is failed:
+                        // redirect the update to the row's spare stand-in
+                        // and ack on the stand-in's behalf.
+                        let Msg::ParityUpdate {
+                            mask_wire,
+                            uid,
+                            from_site,
+                            tag,
+                            ..
+                        } = m.clone()
+                        else {
+                            debug_assert!(false, "ParityUnservable from a non-parity-update");
+                            continue;
+                        };
+                        let mask = ChangeMask::decode(&mask_wire)
+                            .ok_or_else(|| RaddError::BadConfig("malformed change mask".into()))?;
+                        self.apply_parity_to_spare(actor, d, row, from_site, &mask, uid)?;
+                        if s == 0 {
+                            reply = Some(Msg::Ack { tag });
+                        } else {
+                            queue.push_back((s - 1, d + 1, Msg::Ack { tag }));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(reply)
+    }
+
+    /// Route a site-to-site send. Parity updates get the paper's costing
+    /// (one remote write, charged at send time) and honour the parity mode;
+    /// everything else is delivered directly.
+    fn route_site_send(
+        &mut self,
+        actor: Actor,
+        from: SiteId,
+        to: SiteId,
+        msg: Msg,
+        wire: usize,
+        queue: &mut VecDeque<(SiteId, usize, Msg)>,
+    ) -> Result<(), RaddError> {
+        if let Msg::ParityUpdate { row, .. } = msg {
+            self.traffic.parity_updates.record_send(wire);
+            self.charge_write(actor, to);
+            let tag = msg.tag();
+            match self.config.parity_mode {
+                ParityMode::Queued => {
+                    // Message in flight: store it, ack the sender so its
+                    // stop-and-wait queue advances (the flush-time ack is a
+                    // duplicate the machine ignores).
+                    self.pending_parity.push(PendingParity {
+                        to,
+                        src_peer: from + 1,
+                        msg,
+                    });
+                    queue.push_back((from, to + 1, Msg::Ack { tag }));
+                }
+                ParityMode::Sync => {
+                    if self.effective_state(to) == SiteState::Down {
+                        let Msg::ParityUpdate {
+                            mask_wire,
+                            uid,
+                            from_site,
+                            ..
+                        } = msg
+                        else {
+                            unreachable!("matched above");
+                        };
+                        let mask = ChangeMask::decode(&mask_wire)
+                            .ok_or_else(|| RaddError::BadConfig("malformed change mask".into()))?;
+                        self.apply_parity_to_spare(actor, to, row, from_site, &mask, uid)?;
+                        queue.push_back((from, to + 1, Msg::Ack { tag }));
+                    } else {
+                        queue.push_back((to, from + 1, msg));
+                    }
+                }
+            }
+        } else {
+            queue.push_back((to, from + 1, msg));
+        }
+        Ok(())
+    }
+
+    /// One client request into the cluster: control-traffic accounting, the
+    /// parity-mode split for client-originated W3' updates, then delivery.
+    fn client_request(
+        &mut self,
+        actor: Actor,
+        site: SiteId,
+        msg: Msg,
+        background: bool,
+    ) -> Result<Msg, RaddError> {
+        match &msg {
+            Msg::ParityUpdate { .. } => {
+                self.traffic.parity_updates.record_send(msg.wire_size());
+                self.charge_write(actor, site);
+                let tag = msg.tag();
+                match self.config.parity_mode {
+                    ParityMode::Queued => {
+                        self.pending_parity.push(PendingParity {
+                            to: site,
+                            src_peer: 0,
+                            msg,
+                        });
+                        Ok(Msg::Ack { tag })
+                    }
+                    ParityMode::Sync => {
+                        if self.effective_state(site) == SiteState::Down {
+                            let Msg::ParityUpdate {
+                                row,
+                                mask_wire,
+                                uid,
+                                from_site,
+                                ..
+                            } = msg
+                            else {
+                                unreachable!("matched above");
+                            };
+                            let mask = ChangeMask::decode(&mask_wire).ok_or_else(|| {
+                                RaddError::BadConfig("malformed change mask".into())
+                            })?;
+                            self.apply_parity_to_spare(actor, site, row, from_site, &mask, uid)?;
+                            Ok(Msg::Ack { tag })
+                        } else {
+                            self.deliver(actor, background, site, 0, msg)?
+                                .ok_or(RaddError::Unavailable { site })
+                        }
+                    }
+                }
+            }
+            // Spare-slot control plane: a validity probe is a UID check
+            // answered with a control message, not a block transfer.
+            Msg::SpareProbe { .. } | Msg::SpareTake { .. } | Msg::SpareDrainList { .. } => {
+                self.control_message();
+                self.deliver(actor, background, site, 0, msg)?
+                    .ok_or(RaddError::Unavailable { site })
+            }
+            _ => {
+                if let Msg::BlockRead { row, .. } = &msg {
+                    if site == self.geometry.parity_site(*row) {
+                        // Exactly one BlockRead per reconstruction targets
+                        // the parity site — a stable once-per-reconstruction
+                        // trace hook.
+                        self.tracer.emit(
+                            Default::default(),
+                            format!("actor:{actor:?}"),
+                            "reconstruct",
+                            format!("row {row}"),
+                        );
+                    }
+                }
+                self.deliver(actor, background, site, 0, msg)?
+                    .ok_or(RaddError::Unavailable { site })
+            }
+        }
+    }
+
+    /// Run `f` against the detached client machine with a [`DesIo`] adapter
+    /// over the rest of the cluster. Any interpreter-level error is carried
+    /// alongside the machine's own.
+    fn with_client<R>(
+        &mut self,
+        actor: Actor,
+        oracle: bool,
+        recovery_locks: bool,
+        f: impl FnOnce(&mut ClientMachine, &mut DesIo<'_>) -> Result<R, ClientErr>,
+    ) -> Result<R, ClientFailure> {
+        let mut client = self.client.take().expect("client machine present");
+        let mut io = DesIo {
+            cluster: self,
+            actor,
+            oracle,
+            recovery_locks,
+            held: Vec::new(),
+            stash: None,
+        };
+        let res = f(&mut client, &mut io);
+        let held = std::mem::take(&mut io.held);
+        let stash = io.stash.take();
+        drop(io);
+        // Release drain locks the machine did not get to SpareTake.
+        for (s, r) in held {
+            self.locks.unlock(s, r, RECOVERY_TXN);
+        }
+        self.client = Some(client);
+        res.map_err(|e| (e, stash))
+    }
+
+    /// Refresh the client machine's believed-down list from the effective
+    /// (partition-aware) site states.
+    fn refresh_down_mask(&mut self) {
+        let mask: Vec<bool> = (0..self.sites.len())
+            .map(|s| self.effective_state(s) != SiteState::Up)
+            .collect();
+        let client = self.client.as_mut().expect("client machine present");
+        for (s, down) in mask.into_iter().enumerate() {
+            client.set_down(s, down);
+        }
+    }
+
+    /// Lift a machine error to the cluster error vocabulary; an interpreter
+    /// error that surfaced through the io adapter takes precedence.
+    fn lift(
+        &self,
+        (err, stash): ClientFailure,
+        site: SiteId,
+        index: DataIndex,
+        got: Option<usize>,
+    ) -> RaddError {
+        if let Some(e) = stash {
+            return e;
+        }
+        match err {
+            ClientErr::OutOfRange => RaddError::OutOfRange {
+                index,
+                capacity: self.geometry.data_capacity(site),
+            },
+            ClientErr::BadSize => RaddError::WrongBlockSize {
+                got: got.unwrap_or(0),
+                expected: self.config.block_size,
+            },
+            ClientErr::MultipleFailure { detail } => RaddError::MultipleFailure { detail },
+            ClientErr::Inconsistent { site } => RaddError::InconsistentRead { site },
+            ClientErr::Unavailable { site } | ClientErr::Timeout { site } => {
+                RaddError::Unavailable { site }
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -320,13 +733,12 @@ impl RaddCluster {
         let row = self.check_args(site, index, None)?;
         let snap = self.ledger.snapshot();
         let data = match self.effective_state(site) {
-            SiteState::Up => {
-                // Normal case: one read of the local block.
-                self.charge_read(actor, site);
-                self.sites[site].read_block(row)?
-            }
-            SiteState::Down => self.read_via_spare(actor, site, row)?,
             SiteState::Recovering => self.read_recovering(actor, site, row)?,
+            _ => {
+                self.refresh_down_mask();
+                let res = self.with_client(actor, true, false, |cm, io| cm.read(io, site, index));
+                Bytes::from(res.map_err(|f| self.lift(f, site, index, None))?)
+            }
         };
         let (counts, latency) = self.ledger.since(snap);
         Ok((
@@ -339,54 +751,10 @@ impl RaddCluster {
         ))
     }
 
-    /// §3.2 down-site read: spare if valid, else reconstruct and install
-    /// into the spare.
-    fn read_via_spare(
-        &mut self,
-        actor: Actor,
-        owner: SiteId,
-        row: PhysRow,
-    ) -> Result<Bytes, RaddError> {
-        let spare_site = self.geometry.spare_site(row);
-        debug_assert_ne!(spare_site, owner, "a data site is never its own spare");
-        if self.effective_state(spare_site) != SiteState::Up
-            && !self.local_row_ok(spare_site, row)
-        {
-            return Err(RaddError::MultipleFailure {
-                detail: format!("site {owner} down and spare site {spare_site} unavailable"),
-            });
-        }
-        // Probe spare validity: a UID check, no block I/O.
-        self.control_message();
-        if self.config.spare_policy.has_spare(row)
-            && self.sites[spare_site].spare_valid(row)
-        {
-            let slot = self.sites[spare_site].spares.get(&row).expect("probed valid");
-            if slot.for_site != owner {
-                return Err(RaddError::MultipleFailure {
-                    detail: format!(
-                        "row {row} spare already stands in for site {}",
-                        slot.for_site
-                    ),
-                });
-            }
-            self.charge_read(actor, spare_site);
-            self.tracer
-                .emit(Default::default(), format!("site:{owner}"), "spare_read", row);
-            return Ok(self.sites[spare_site].read_block(row)?);
-        }
-        // Reconstruct from the G surviving blocks.
-        let data = self.reconstruct_block(actor, owner, row, true)?;
-        // Install into the spare so "subsequent reads can thereby be
-        // resolved by accessing only the spare block" (background work).
-        if self.config.spare_policy.has_spare(row) {
-            self.install_spare_from_reconstruction(owner, row, &data)?;
-        }
-        Ok(data)
-    }
-
-    /// §3.2 recovering-site read: check the local block and the spare;
-    /// a valid spare supersedes the local copy.
+    /// §3.2 recovering-site read: check the local block and the spare; a
+    /// valid spare supersedes the local copy. Driver-orchestrated because
+    /// it spans two sites' local state (the protocol client would treat the
+    /// site as simply down).
     fn read_recovering(
         &mut self,
         actor: Actor,
@@ -398,20 +766,23 @@ impl RaddCluster {
         // read is charged normally even if a valid spare supersedes it —
         // this is the "read the spare block and perhaps also the normal
         // block; counting both reads" convention behind Figure 3's R+RR.
-        let disk = self.sites[owner].array.disk_of(row);
-        let local: Option<Bytes> = if self.sites[owner].array.is_failed(disk) {
-            None
-        } else {
+        let disk_ok = {
+            let a = &self.sites[owner].array;
+            !a.is_failed(a.disk_of(row))
+        };
+        let local: Option<Bytes> = if disk_ok {
             self.charge_read(actor, owner);
             Some(self.sites[owner].read_block(row)?)
+        } else {
+            None
         };
         let spare_site = self.geometry.spare_site(row);
         self.control_message(); // validity probe
         let spare_slot_valid = self.config.spare_policy.has_spare(row)
             && self.effective_state(spare_site) == SiteState::Up
-            && self
-                .sites[spare_site]
-                .spares
+            && self.sites[spare_site]
+                .machine
+                .spares()
                 .get(&row)
                 .map(|s| s.for_site == owner)
                 .unwrap_or(false);
@@ -420,150 +791,42 @@ impl RaddCluster {
             let content = self.sites[spare_site].read_block(row)?;
             // Side effects (§3.2): refresh the local block, invalidate the
             // spare — off the critical path.
-            if !self.sites[owner].array.is_failed(disk) {
+            if disk_ok {
                 let slot = self.sites[spare_site]
-                    .spares
+                    .machine
+                    .spares_mut()
                     .remove(&row)
                     .expect("checked valid");
                 self.sites[owner].write_block(row, &content)?;
                 if let SpareKind::Data { data_uid } = slot.kind {
-                    self.sites[owner].block_uids[row as usize] = data_uid;
+                    self.sites[owner].machine.set_block_uid(row, data_uid);
                 }
-                self.sites[owner].invalid_rows.remove(&row);
+                self.sites[owner].machine.invalid_rows_mut().remove(&row);
                 self.ledger.charge_background(OpKind::LocalWrite);
                 self.control_message(); // invalidation
             }
             return Ok(content);
         }
         if let Some(content) = local {
-            if !self.sites[owner].invalid_rows.contains(&row) {
+            if !self.sites[owner].machine.invalid_rows().contains(&row) {
                 return Ok(content);
             }
         }
         // Both invalid: "the block is reconstructed as if the site was
         // down", then written back locally (background).
-        let data = self.reconstruct_block(actor, owner, row, true)?;
-        if !self.sites[owner].array.is_failed(disk) {
+        self.refresh_down_mask();
+        let (data, uid) = self
+            .with_client(actor, true, false, |cm, io| {
+                cm.reconstruct(io, owner, row, false)
+            })
+            .map_err(|f| self.lift(f, owner, 0, None))?;
+        if disk_ok {
             self.sites[owner].write_block(row, &data)?;
-            let parity_site = self.geometry.parity_site(row);
-            let uid = self.sites[parity_site]
-                .parity_uids
-                .get(&row)
-                .map(|a| a.get(owner))
-                .unwrap_or(Uid::INVALID);
-            self.sites[owner].block_uids[row as usize] = uid;
-            self.sites[owner].invalid_rows.remove(&row);
+            self.sites[owner].machine.set_block_uid(row, uid);
+            self.sites[owner].machine.invalid_rows_mut().remove(&row);
             self.ledger.charge_background(OpKind::LocalWrite);
         }
-        Ok(data)
-    }
-
-    /// Formula (2) with §3.3 UID validation: read row `row` at every up site
-    /// except the spare site and `owner`, XOR the results.
-    ///
-    /// `foreground` selects which ledger the G reads are charged to.
-    fn reconstruct_block(
-        &mut self,
-        actor: Actor,
-        owner: SiteId,
-        row: PhysRow,
-        foreground: bool,
-    ) -> Result<Bytes, RaddError> {
-        let spare_site = self.geometry.spare_site(row);
-        let parity_site = self.geometry.parity_site(row);
-        let sources: Vec<SiteId> = (0..self.sites.len())
-            .filter(|&s| s != owner && s != spare_site)
-            .collect();
-        debug_assert_eq!(
-            sources.len(),
-            self.config.group_size,
-            "G sources: the parity site plus the G-1 other data sites"
-        );
-
-        let mut acc = vec![0u8; self.config.block_size];
-        let parity_array = self.sites[parity_site].parity_uids.get(&row).cloned();
-        for &s in &sources {
-            if self.effective_state(s) != SiteState::Up || !self.local_row_ok(s, row) {
-                return Err(RaddError::MultipleFailure {
-                    detail: format!("reconstruction source site {s} unavailable for row {row}"),
-                });
-            }
-            if foreground {
-                self.charge_read(actor, s);
-            } else {
-                self.ledger.charge_background(if actor.is_local_to(s) {
-                    OpKind::LocalRead
-                } else {
-                    OpKind::RemoteRead
-                });
-                self.traffic
-                    .recovery
-                    .record_send(self.config.block_size + BLOCK_MSG_HEADER);
-            }
-            let content = self.sites[s].read_block(row)?;
-            // §3.3: "each read operation must also return the UID of the
-            // stored block … each UID must be compared against the
-            // corresponding UID in the array for the parity block".
-            if self.config.uid_validation && s != parity_site {
-                let read_uid = self.sites[s].block_uids[row as usize];
-                let expected = parity_array
-                    .as_ref()
-                    .map(|a| a.get(s))
-                    .unwrap_or(Uid::INVALID);
-                if read_uid != expected {
-                    return Err(RaddError::InconsistentRead { site: s });
-                }
-            }
-            radd_parity::xor_in_place(&mut acc, &content);
-        }
-        self.tracer.emit(
-            Default::default(),
-            format!("actor:{actor:?}"),
-            "reconstruct",
-            format!("site {owner} row {row}"),
-        );
-        Ok(Bytes::from(acc))
-    }
-
-    /// Record a reconstruction result into the row's spare block
-    /// (background): content write plus a slot whose UID matches the parity
-    /// array, so later validated reads stay consistent.
-    fn install_spare_from_reconstruction(
-        &mut self,
-        owner: SiteId,
-        row: PhysRow,
-        data: &[u8],
-    ) -> Result<(), RaddError> {
-        let spare_site = self.geometry.spare_site(row);
-        let parity_site = self.geometry.parity_site(row);
-        let slot = if owner == parity_site {
-            let uids = self.sites[parity_site]
-                .parity_uids
-                .get(&row)
-                .cloned()
-                .unwrap_or_else(|| UidArray::new(self.sites.len()));
-            SpareSlot {
-                for_site: owner,
-                kind: SpareKind::Parity { uids },
-            }
-        } else {
-            let data_uid = self.sites[parity_site]
-                .parity_uids
-                .get(&row)
-                .map(|a| a.get(owner))
-                .unwrap_or(Uid::INVALID);
-            SpareSlot {
-                for_site: owner,
-                kind: SpareKind::Data { data_uid },
-            }
-        };
-        self.sites[spare_site].write_block(row, data)?;
-        self.sites[spare_site].spares.insert(row, slot);
-        self.ledger.charge_background(OpKind::RemoteWrite);
-        self.traffic
-            .spare_writes
-            .record_send(self.config.block_size + BLOCK_MSG_HEADER);
-        Ok(())
+        Ok(Bytes::from(data))
     }
 
     // ------------------------------------------------------------------
@@ -583,35 +846,12 @@ impl RaddCluster {
         let row = self.check_args(site, index, Some(data))?;
         let snap = self.ledger.snapshot();
         match self.effective_state(site) {
-            SiteState::Up => self.write_up(actor, site, row, data)?,
-            SiteState::Recovering => {
-                if self.local_row_ok(site, row)
-                    || !self.sites[site]
-                        .array
-                        .is_failed(self.sites[site].array.disk_of(row))
-                {
-                    // Disk works: "writes proceed in the same way as for up
-                    // sites. Moreover, the spare block should be invalidated
-                    // as a side effect."
-                    self.write_up(actor, site, row, data)?;
-                    let spare_site = self.geometry.spare_site(row);
-                    if self.sites[spare_site]
-                        .spares
-                        .get(&row)
-                        .map(|s| s.for_site == site)
-                        .unwrap_or(false)
-                    {
-                        self.sites[spare_site].spares.remove(&row);
-                        self.control_message();
-                    }
-                    self.sites[site].invalid_rows.remove(&row);
-                } else {
-                    // Block lives on the failed disk: redirect to the spare
-                    // like a down-site write.
-                    self.write_via_spare(actor, site, row, data)?;
-                }
+            SiteState::Recovering => self.write_recovering(actor, site, row, index, data)?,
+            _ => {
+                self.refresh_down_mask();
+                self.with_client(actor, true, false, |cm, io| cm.write(io, site, index, data))
+                    .map_err(|f| self.lift(f, site, index, Some(data.len())))?;
             }
-            SiteState::Down => self.write_via_spare(actor, site, row, data)?,
         }
         let (counts, latency) = self.ledger.since(snap);
         Ok(OpReceipt {
@@ -621,154 +861,107 @@ impl RaddCluster {
         })
     }
 
-    /// Normal write path W1–W4.
-    fn write_up(
+    /// §3.2 recovering-site write. On a working disk "writes proceed in the
+    /// same way as for up sites. Moreover, the spare block should be
+    /// invalidated as a side effect." — orchestrated here with the old value
+    /// from the logical oracle (the true old value may live in the spare or
+    /// need reconstruction; masking against a blank local block would
+    /// corrupt parity). Rows on the failed disk redirect to the spare like a
+    /// down-site write.
+    fn write_recovering(
         &mut self,
         actor: Actor,
         site: SiteId,
         row: PhysRow,
+        index: DataIndex,
         data: &[u8],
     ) -> Result<(), RaddError> {
-        // Old value comes from the buffer pool (uncharged, per the paper's
-        // buffering assumption). The logical oracle matters on a recovering
-        // site: the true old value may live in the spare or need
-        // reconstruction, and masking against a blank local block would
-        // corrupt the parity.
+        let disk_ok = {
+            let a = &self.sites[site].array;
+            !a.is_failed(a.disk_of(row))
+        };
+        if !disk_ok {
+            self.refresh_down_mask();
+            return self
+                .with_client(actor, true, false, |cm, io| cm.write(io, site, index, data))
+                .map_err(|f| self.lift(f, site, index, Some(data.len())));
+        }
         let old = self.logical_content_by_row(site, row)?;
-        let uid = self.sites[site].uid_gen.next_uid();
-        // W1: local write together with the UID.
-        self.charge_write(actor, site);
-        self.sites[site].write_block(row, data)?;
-        self.sites[site].block_uids[row as usize] = uid;
+        let mut out = Vec::new();
+        let uid = {
+            let node = &mut self.sites[site];
+            let mut blocks = ArrayBlocks(&mut node.array);
+            node.machine.apply_w1(&mut blocks, row, data, &mut out)
+        }
+        .ok_or(RaddError::Unavailable { site })?;
+        for eff in &out {
+            if let Effect::Write { purpose, .. } = eff {
+                self.charge_io_write(actor, false, site, *purpose);
+            }
+        }
+        if let Some(bufs) = &mut self.site_traces {
+            for eff in &out {
+                if let Some(e) = trace(eff) {
+                    bufs[site].push(e);
+                }
+            }
+        }
         // W2–W4: change mask to the parity site.
         let mask = ChangeMask::diff(&old, data);
-        self.send_parity_update(actor, site, row, mask, uid)?;
-        Ok(())
-    }
-
-    /// W1': the owner's disk is unavailable; the new content goes to the
-    /// spare site, parity is updated as usual.
-    fn write_via_spare(
-        &mut self,
-        actor: Actor,
-        owner: SiteId,
-        row: PhysRow,
-        data: &[u8],
-    ) -> Result<(), RaddError> {
-        if !self.config.spare_policy.has_spare(row) {
-            return Err(RaddError::Unavailable { site: owner });
-        }
+        self.send_parity_from(actor, site, row, &mask, uid)?;
+        // Spare invalidation side effect.
         let spare_site = self.geometry.spare_site(row);
-        if self.effective_state(spare_site) != SiteState::Up {
-            return Err(RaddError::MultipleFailure {
-                detail: format!("site {owner} down and spare site {spare_site} also unavailable"),
-            });
+        let stale = self.sites[spare_site]
+            .machine
+            .spares()
+            .get(&row)
+            .map(|s| s.for_site == site)
+            .unwrap_or(false);
+        if stale {
+            self.sites[spare_site].machine.spares_mut().remove(&row);
+            self.control_message();
         }
-        if let Some(slot) = self.sites[spare_site].spares.get(&row) {
-            if slot.for_site != owner {
-                return Err(RaddError::MultipleFailure {
-                    detail: format!(
-                        "row {row} spare already stands in for site {}",
-                        slot.for_site
-                    ),
-                });
-            }
-        }
-        // Old value for the change mask: the logical current content
-        // (buffer-pool assumption — see module docs).
-        let old = self.logical_content_by_row(owner, row)?;
-        let uid = self.sites[spare_site].uid_gen.next_uid();
-        // W1': ship the block to the spare site.
-        self.charge_write(actor, spare_site);
-        self.traffic
-            .spare_writes
-            .record_send(self.config.block_size + BLOCK_MSG_HEADER);
-        self.sites[spare_site].write_block(row, data)?;
-        self.sites[spare_site].spares.insert(
-            row,
-            SpareSlot {
-                for_site: owner,
-                kind: SpareKind::Data { data_uid: uid },
-            },
-        );
-        // W2–W4 proceed unchanged.
-        let mask = ChangeMask::diff(&old, data);
-        self.send_parity_update(actor, owner, row, mask, uid)?;
         Ok(())
     }
 
-    /// Steps W2–W4: route the change mask + UID to the row's parity site
-    /// (or to its stand-in spare when the parity site is down).
-    fn send_parity_update(
+    /// Steps W2–W4 for a driver-orchestrated W1: route the change mask +
+    /// UID to the row's parity site (or to its stand-in spare when the
+    /// parity site is down), honouring the parity mode.
+    fn send_parity_from(
         &mut self,
         actor: Actor,
         from_site: SiteId,
         row: PhysRow,
-        mask: ChangeMask,
-        uid: Uid,
-    ) -> Result<(), RaddError> {
-        let parity_site = self.geometry.parity_site(row);
-        let wire = mask.encode().len() + CONTROL_MSG_BYTES;
-        self.traffic.parity_updates.record_send(wire);
-        match self.config.parity_mode {
-            ParityMode::Queued => {
-                // Charged now (the message and its eventual disk write are
-                // real); applied at flush time.
-                self.charge_write(actor, parity_site);
-                self.pending_parity.push(PendingParity {
-                    to: parity_site,
-                    row,
-                    from_site,
-                    mask,
-                    uid,
-                });
-                Ok(())
-            }
-            ParityMode::Sync => {
-                self.charge_write(actor, parity_site);
-                self.apply_parity_update(actor, parity_site, row, from_site, &mask, uid)
-            }
-        }
-    }
-
-    /// Apply one parity update at its destination (step W4), redirecting to
-    /// the spare stand-in if the parity site is down.
-    fn apply_parity_update(
-        &mut self,
-        actor: Actor,
-        parity_site: SiteId,
-        row: PhysRow,
-        from_site: SiteId,
         mask: &ChangeMask,
         uid: Uid,
     ) -> Result<(), RaddError> {
-        if self.effective_state(parity_site) == SiteState::Down {
-            return self.apply_parity_to_spare(actor, parity_site, row, from_site, mask, uid);
-        }
-        // A recovering parity site whose array block for this row is blank
-        // must rebuild it before the mask lands on garbage.
-        if !self.local_row_ok(parity_site, row) {
-            if self.sites[parity_site]
-                .array
-                .is_failed(self.sites[parity_site].array.disk_of(row))
-            {
-                return self.apply_parity_to_spare(actor, parity_site, row, from_site, mask, uid);
+        let parity_site = self.geometry.parity_site(row);
+        let tag = self.sites[from_site].machine.fresh_tag();
+        let msg = Msg::ParityUpdate {
+            row,
+            mask_wire: mask.encode().to_vec(),
+            uid,
+            from_site,
+            tag,
+        };
+        self.traffic.parity_updates.record_send(msg.wire_size());
+        self.charge_write(actor, parity_site);
+        match self.config.parity_mode {
+            ParityMode::Queued => {
+                self.pending_parity.push(PendingParity {
+                    to: parity_site,
+                    src_peer: from_site + 1,
+                    msg,
+                });
             }
-            self.rebuild_parity_row(parity_site, row)?;
+            ParityMode::Sync => {
+                if self.effective_state(parity_site) == SiteState::Down {
+                    self.apply_parity_to_spare(actor, parity_site, row, from_site, mask, uid)?;
+                } else {
+                    self.deliver(actor, false, parity_site, from_site + 1, msg)?;
+                }
+            }
         }
-        let num_sites = self.sites.len();
-        let mut parity = self.sites[parity_site].read_block(row)?.to_vec();
-        mask.apply(&mut parity); // formula (1)
-        self.sites[parity_site].write_block(row, &parity)?;
-        self.sites[parity_site]
-            .parity_uid_array(row, num_sites)
-            .set(from_site, uid);
-        self.tracer.emit(
-            Default::default(),
-            format!("site:{parity_site}"),
-            "parity_update",
-            format!("row {row} from site {from_site}"),
-        );
         Ok(())
     }
 
@@ -793,25 +986,22 @@ impl RaddCluster {
             });
         }
         let has_slot = self.sites[spare_site]
-            .spares
+            .machine
+            .spares()
             .get(&row)
             .map(|s| s.for_site == parity_site)
             .unwrap_or(false);
         if !has_slot {
-            if let Some(other) = self.sites[spare_site].spares.get(&row) {
+            if let Some(other) = self.sites[spare_site].machine.spares().get(&row) {
                 return Err(RaddError::MultipleFailure {
                     detail: format!("row {row} spare already used by site {}", other.for_site),
                 });
             }
-            // First parity update while the parity site is down: rebuild
-            // the old parity (XOR of the data blocks, which carry the mask's
-            // *old* side since it has not been applied yet) into the spare.
-            // Note: `from_site`'s local/spare block already holds the NEW
-            // content, so XOR of current contents equals old_parity ⊕ mask;
-            // applying the mask below then double-toggles. Compensate by
-            // starting from the new-content XOR and applying the mask once
-            // here (background reads) — the net effect is the correct new
-            // parity either way; we simply construct new parity directly.
+            // First parity update while the parity site is down: construct
+            // the NEW parity directly (XOR of logical contents, which
+            // already include `from_site`'s new data) with UIDs from the
+            // current logical state plus the sender's fresh one — all
+            // background reads.
             let mut acc = vec![0u8; self.config.block_size];
             let mut uids = UidArray::new(self.sites.len());
             for s in (0..self.sites.len()).filter(|&s| s != parity_site && s != spare_site) {
@@ -829,7 +1019,7 @@ impl RaddCluster {
             }
             uids.set(from_site, uid);
             self.sites[spare_site].write_block(row, &acc)?;
-            self.sites[spare_site].spares.insert(
+            self.sites[spare_site].machine.spares_mut().insert(
                 row,
                 SpareSlot {
                     for_site: parity_site,
@@ -846,7 +1036,7 @@ impl RaddCluster {
         if let Some(SpareSlot {
             kind: SpareKind::Parity { uids },
             ..
-        }) = self.sites[spare_site].spares.get_mut(&row)
+        }) = self.sites[spare_site].machine.spares_mut().get_mut(&row)
         {
             uids.set(from_site, uid);
         }
@@ -857,8 +1047,26 @@ impl RaddCluster {
     pub fn flush_parity(&mut self) -> Result<(), RaddError> {
         let pending = std::mem::take(&mut self.pending_parity);
         for p in pending {
-            // The RW was charged at send time; application is bookkeeping.
-            self.apply_parity_update(Actor::Client, p.to, p.row, p.from_site, &p.mask, p.uid)?;
+            // The RW was charged at send time; application is bookkeeping
+            // (ParityApply receipts are free), so delivery here charges
+            // nothing.
+            if self.effective_state(p.to) == SiteState::Down {
+                let Msg::ParityUpdate {
+                    row,
+                    mask_wire,
+                    uid,
+                    from_site,
+                    ..
+                } = p.msg
+                else {
+                    continue;
+                };
+                let mask = ChangeMask::decode(&mask_wire)
+                    .ok_or_else(|| RaddError::BadConfig("malformed change mask".into()))?;
+                self.apply_parity_to_spare(Actor::Client, p.to, row, from_site, &mask, uid)?;
+            } else {
+                self.deliver(Actor::Client, false, p.to, p.src_peer, p.msg)?;
+            }
         }
         Ok(())
     }
@@ -889,17 +1097,24 @@ impl RaddCluster {
         }
         self.sites[parity_site].write_block(row, &acc)?;
         self.ledger.charge_background(OpKind::LocalWrite);
-        self.sites[parity_site].parity_uids.insert(row, uids);
-        self.sites[parity_site].invalid_rows.remove(&row);
+        self.sites[parity_site]
+            .machine
+            .parity_uids_mut()
+            .insert(row, uids);
+        self.sites[parity_site]
+            .machine
+            .invalid_rows_mut()
+            .remove(&row);
         Ok(())
     }
 
     /// The §3.2 background recovery daemon for a recovering site: drain
-    /// every valid spare standing in for it, reconstruct every invalid
-    /// local block, then mark the site up.
+    /// every valid spare standing in for it (through the protocol's
+    /// lock-protected drain), reconstruct every invalid local block, then
+    /// mark the site up.
     pub fn run_recovery(&mut self, site: SiteId) -> Result<RecoveryReport, RaddError> {
         assert_eq!(
-            self.sites[site].state,
+            self.sites[site].machine.state(),
             SiteState::Recovering,
             "run_recovery on a site that is not recovering"
         );
@@ -914,58 +1129,29 @@ impl RaddCluster {
         // process to lock each valid spare block, copy its contents to the
         // corresponding block of S[J] and then invalidate the contents of
         // the spare block."
-        let mut to_drain: Vec<(SiteId, PhysRow)> = Vec::new();
-        for s in 0..self.sites.len() {
-            for (&row, slot) in &self.sites[s].spares {
-                if slot.for_site == site {
-                    to_drain.push((s, row));
-                }
-            }
-        }
-        for (spare_site, row) in to_drain {
-            self.locks
-                .try_lock(spare_site, row, crate::locks::LockKind::Exclusive, u64::MAX)
-                .map_err(|_| RaddError::BadConfig("recovery lock conflict".into()))?;
-            let content = self.sites[spare_site].read_block(row)?;
-            self.ledger.charge_background(OpKind::RemoteRead);
-            self.traffic
-                .recovery
-                .record_send(self.config.block_size + BLOCK_MSG_HEADER);
-            let slot = self.sites[spare_site]
-                .spares
-                .remove(&row)
-                .expect("slot listed for drain");
-            self.sites[site].write_block(row, &content)?;
-            self.ledger.charge_background(OpKind::LocalWrite);
-            match slot.kind {
-                SpareKind::Data { data_uid } => {
-                    self.sites[site].block_uids[row as usize] = data_uid;
-                }
-                SpareKind::Parity { uids } => {
-                    self.sites[site].parity_uids.insert(row, uids);
-                }
-            }
-            self.sites[site].invalid_rows.remove(&row);
-            self.locks.unlock(spare_site, row, u64::MAX);
-            report.spares_drained += 1;
-        }
+        self.refresh_down_mask();
+        report.spares_drained = self
+            .with_client(Actor::Site(site), true, true, |cm, io| cm.recover(io, site))
+            .map_err(|f| self.lift(f, site, 0, None))?;
 
         // Phase 2: reconstruct blocks lost with disks/disasters.
-        let invalid: Vec<PhysRow> = self.sites[site].invalid_rows.iter().copied().collect();
+        let invalid: Vec<PhysRow> = self.sites[site]
+            .machine
+            .invalid_rows()
+            .iter()
+            .copied()
+            .collect();
         for row in invalid {
             match self.geometry.role(site, row) {
                 Role::Data(_) => {
-                    let data =
-                        self.reconstruct_block(Actor::Site(site), site, row, false)?;
+                    let (data, uid) = self
+                        .with_client(Actor::Site(site), true, false, |cm, io| {
+                            cm.reconstruct(io, site, row, true)
+                        })
+                        .map_err(|f| self.lift(f, site, 0, None))?;
                     self.sites[site].write_block(row, &data)?;
                     self.ledger.charge_background(OpKind::LocalWrite);
-                    let parity_site = self.geometry.parity_site(row);
-                    let uid = self.sites[parity_site]
-                        .parity_uids
-                        .get(&row)
-                        .map(|a| a.get(site))
-                        .unwrap_or(Uid::INVALID);
-                    self.sites[site].block_uids[row as usize] = uid;
+                    self.sites[site].machine.set_block_uid(row, uid);
                     report.data_reconstructed += 1;
                 }
                 Role::Parity => {
@@ -976,10 +1162,10 @@ impl RaddCluster {
                     // An invalid spare block is simply empty — nothing to do.
                 }
             }
-            self.sites[site].invalid_rows.remove(&row);
+            self.sites[site].machine.invalid_rows_mut().remove(&row);
         }
 
-        self.sites[site].state = SiteState::Up;
+        self.sites[site].machine.set_state(SiteState::Up);
         self.tracer.emit(
             Default::default(),
             format!("site:{site}"),
@@ -993,6 +1179,99 @@ impl RaddCluster {
     }
 
     // ------------------------------------------------------------------
+    // Client-mode surface (differential testing against radd-node)
+    // ------------------------------------------------------------------
+    //
+    // These methods drive the cluster with the exact semantics of the
+    // threaded runtime's client: the believed-down list is managed by the
+    // caller (`client_mark_down`, like `NodeClient::mark_down`) and the
+    // old-value oracle is disabled, so degraded writes fetch the old value
+    // through the protocol just as a real client must. With the same plan
+    // applied to both runtimes, the per-machine effect traces are
+    // byte-identical.
+
+    /// Mark `site` as believed-down on the client machine (the threaded
+    /// runtime's `mark_down`). Only meaningful with the `client_*` ops —
+    /// [`read`](Self::read)/[`write`](Self::write) refresh the mask from
+    /// the effective site states.
+    pub fn client_mark_down(&mut self, site: SiteId, down: bool) {
+        self.client
+            .as_mut()
+            .expect("client machine present")
+            .set_down(site, down);
+    }
+
+    /// Client-machine read with a caller-managed down list and no oracle.
+    pub fn client_read(&mut self, site: SiteId, index: DataIndex) -> Result<Vec<u8>, RaddError> {
+        self.check_args(site, index, None)?;
+        self.with_client(Actor::Client, false, false, |cm, io| {
+            cm.read(io, site, index)
+        })
+        .map_err(|f| self.lift(f, site, index, None))
+    }
+
+    /// Client-machine write with a caller-managed down list and no oracle.
+    pub fn client_write(
+        &mut self,
+        site: SiteId,
+        index: DataIndex,
+        data: &[u8],
+    ) -> Result<(), RaddError> {
+        self.check_args(site, index, Some(data))?;
+        self.with_client(Actor::Client, false, false, |cm, io| {
+            cm.write(io, site, index, data)
+        })
+        .map_err(|f| self.lift(f, site, index, Some(data.len())))
+    }
+
+    /// Client-machine recovery drain (the threaded runtime's
+    /// `NodeClient::recover`): drain spares back to `site`, then mark it
+    /// up. Returns the number of blocks drained.
+    pub fn client_recover(&mut self, site: SiteId) -> Result<u64, RaddError> {
+        let drained = self
+            .with_client(Actor::Client, false, false, |cm, io| cm.recover(io, site))
+            .map_err(|f| self.lift(f, site, 0, None))?;
+        if self.sites[site].machine.state() == SiteState::Recovering {
+            self.sites[site].machine.set_state(SiteState::Up);
+        }
+        Ok(drained)
+    }
+
+    /// Start (or stop) recording normalised effect traces on every site
+    /// machine and the client machine.
+    pub fn record_machine_traces(&mut self, on: bool) {
+        self.site_traces = if on {
+            Some(vec![Vec::new(); self.sites.len()])
+        } else {
+            None
+        };
+        if on {
+            self.client
+                .as_mut()
+                .expect("client machine present")
+                .record_trace();
+        }
+    }
+
+    /// Collect the recorded traces: index 0 is the client machine, index
+    /// `1 + j` is site `j` — the same peer numbering
+    /// [`radd_node::NodeCluster::take_traces`] uses.
+    ///
+    /// [`radd_node::NodeCluster::take_traces`]: ../radd_node/struct.NodeCluster.html#method.take_traces
+    pub fn take_machine_traces(&mut self) -> Vec<Vec<TraceEntry>> {
+        let mut all = vec![self
+            .client
+            .as_mut()
+            .expect("client machine present")
+            .take_trace()];
+        match &mut self.site_traces {
+            Some(bufs) => all.extend(bufs.iter_mut().map(std::mem::take)),
+            None => all.extend((0..self.sites.len()).map(|_| Vec::new())),
+        }
+        all
+    }
+
+    // ------------------------------------------------------------------
     // Oracles (uncharged; stand in for buffer caches in the cost model and
     // for test assertions)
     // ------------------------------------------------------------------
@@ -1003,7 +1282,7 @@ impl RaddCluster {
     fn logical_content_by_row(&mut self, site: SiteId, row: PhysRow) -> Result<Bytes, RaddError> {
         let spare_site = self.geometry.spare_site(row);
         if spare_site != site {
-            if let Some(slot) = self.sites[spare_site].spares.get(&row) {
+            if let Some(slot) = self.sites[spare_site].machine.spares().get(&row) {
                 if slot.for_site == site {
                     return Ok(self.sites[spare_site].read_block(row)?);
                 }
@@ -1036,14 +1315,14 @@ impl RaddCluster {
             if let Some(SpareSlot {
                 for_site,
                 kind: SpareKind::Data { data_uid },
-            }) = self.sites[spare_site].spares.get(&row)
+            }) = self.sites[spare_site].machine.spares().get(&row)
             {
                 if *for_site == site {
                     return *data_uid;
                 }
             }
         }
-        self.sites[site].block_uids[row as usize]
+        self.sites[site].machine.block_uid(row)
     }
 
     /// Raw content of a physical block at a site, uncharged — inspection
@@ -1064,11 +1343,7 @@ impl RaddCluster {
 
     /// Public oracle: the logical content of a data block, bypassing all
     /// cost accounting. For assertions in tests, examples and benches.
-    pub fn logical_content(
-        &mut self,
-        site: SiteId,
-        index: DataIndex,
-    ) -> Result<Bytes, RaddError> {
+    pub fn logical_content(&mut self, site: SiteId, index: DataIndex) -> Result<Bytes, RaddError> {
         let row = self.check_args(site, index, None)?;
         self.logical_content_by_row(site, row)
     }
@@ -1099,5 +1374,81 @@ impl RaddCluster {
             }
         }
         Ok(())
+    }
+}
+
+/// The client machine's transport into the DES cluster: synchronous
+/// delivery, the buffer-pool oracle, and recovery-drain locking.
+struct DesIo<'a> {
+    cluster: &'a mut RaddCluster,
+    actor: Actor,
+    /// Serve [`radd_protocol::ClientIo::old_value`] from the logical
+    /// oracle (the paper's buffer-pool assumption). Off in client mode.
+    oracle: bool,
+    /// Lock each spare row exclusively for the duration of its drain
+    /// (§3.2's "lock each valid spare block").
+    recovery_locks: bool,
+    held: Vec<(SiteId, PhysRow)>,
+    stash: Option<RaddError>,
+}
+
+impl radd_protocol::ClientIo for DesIo<'_> {
+    fn exchange(&mut self, site: usize, msg: Msg, background: bool) -> Result<Msg, ClientErr> {
+        if self.recovery_locks {
+            if let Msg::SpareProbe { row, .. } = &msg {
+                if !self.held.contains(&(site, *row))
+                    && self
+                        .cluster
+                        .locks
+                        .try_lock(site, *row, LockKind::Exclusive, RECOVERY_TXN)
+                        .is_err()
+                {
+                    self.stash = Some(RaddError::BadConfig("recovery lock conflict".into()));
+                    return Err(ClientErr::Unavailable { site });
+                }
+                self.held.push((site, *row));
+            }
+        }
+        let taken_row = match &msg {
+            Msg::SpareTake { row, .. } => Some(*row),
+            _ => None,
+        };
+        match self
+            .cluster
+            .client_request(self.actor, site, msg, background)
+        {
+            Ok(reply) => {
+                if let Some(row) = taken_row {
+                    if let Some(pos) = self.held.iter().position(|&(s, r)| s == site && r == row) {
+                        self.held.remove(pos);
+                        self.cluster.locks.unlock(site, row, RECOVERY_TXN);
+                    }
+                }
+                Ok(reply)
+            }
+            Err(e) => {
+                let mapped = match &e {
+                    RaddError::MultipleFailure { detail } => ClientErr::MultipleFailure {
+                        detail: detail.clone(),
+                    },
+                    RaddError::Unavailable { site } => ClientErr::Unavailable { site: *site },
+                    _ => ClientErr::Unavailable { site },
+                };
+                if self.stash.is_none() {
+                    self.stash = Some(e);
+                }
+                Err(mapped)
+            }
+        }
+    }
+
+    fn old_value(&mut self, site: usize, row: u64) -> Option<Vec<u8>> {
+        if !self.oracle {
+            return None;
+        }
+        self.cluster
+            .logical_content_by_row(site, row)
+            .ok()
+            .map(|b| b.to_vec())
     }
 }

@@ -3,68 +3,10 @@
 use radd_sim::CostParams;
 use serde::{Deserialize, Serialize};
 
-/// How many spare blocks to allocate (§7.2).
-///
-/// The paper analyses one spare per parity block and notes that "a smaller
-/// number of spare blocks can be allocated per site if the system
-/// administrator is willing to tolerate lower availability. … Analyzing
-/// availability for lesser numbers of parity blocks is left as a future
-/// exercise." [`SparePolicy::Fraction`] implements that exercise (measured
-/// by the `sec72_spares` bench).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum SparePolicy {
-    /// One spare block per parity block — the paper's analysed configuration
-    /// ("this will allow any block on the down machine to be written while
-    /// the site is down").
-    OnePerParity,
-    /// No spare blocks: 12.5 % space overhead at `G = 8` instead of 25 %,
-    /// but every down-site read reconstructs from scratch and down-site
-    /// writes cannot be absorbed.
-    None,
-    /// Spares on `numerator` of every `denominator` rows. Down-site writes
-    /// to spare-less rows are refused ([`RaddError::Unavailable`]); reads
-    /// of spare-less rows reconstruct every time.
-    ///
-    /// [`RaddError::Unavailable`]: crate::RaddError::Unavailable
-    Fraction {
-        /// Rows with a spare per cycle.
-        numerator: u32,
-        /// Cycle length.
-        denominator: u32,
-    },
-}
-
-impl SparePolicy {
-    /// Does physical row `row` have a usable spare block under this policy?
-    pub fn has_spare(&self, row: u64) -> bool {
-        match *self {
-            SparePolicy::OnePerParity => true,
-            SparePolicy::None => false,
-            SparePolicy::Fraction {
-                numerator,
-                denominator,
-            } => {
-                debug_assert!(numerator <= denominator && denominator > 0);
-                (row % denominator as u64) < numerator as u64
-            }
-        }
-    }
-
-    /// Space overhead as a fraction of data capacity for group size `g`:
-    /// one parity block per `g` data blocks, plus the allocated share of
-    /// spares.
-    pub fn space_overhead(&self, g: usize) -> f64 {
-        let spare_share = match *self {
-            SparePolicy::OnePerParity => 1.0,
-            SparePolicy::None => 0.0,
-            SparePolicy::Fraction {
-                numerator,
-                denominator,
-            } => numerator as f64 / denominator as f64,
-        };
-        (1.0 + spare_share) / g as f64
-    }
-}
+// The §7.2 spare-allocation policy is protocol state (the client machine
+// decides degraded paths by it), so it lives in `radd-protocol`; re-exported
+// here for configuration ergonomics and backwards compatibility.
+pub use radd_protocol::SparePolicy;
 
 /// When parity-update messages are applied at the parity site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -159,7 +101,10 @@ mod tests {
 
     #[test]
     fn spare_fraction_policy() {
-        let p = SparePolicy::Fraction { numerator: 1, denominator: 4 };
+        let p = SparePolicy::Fraction {
+            numerator: 1,
+            denominator: 4,
+        };
         let spared: Vec<u64> = (0..12).filter(|&r| p.has_spare(r)).collect();
         assert_eq!(spared, vec![0, 4, 8]);
         assert!(SparePolicy::OnePerParity.has_spare(99));
@@ -168,7 +113,11 @@ mod tests {
         assert_eq!(SparePolicy::OnePerParity.space_overhead(8), 0.25);
         assert_eq!(SparePolicy::None.space_overhead(8), 0.125);
         assert_eq!(
-            SparePolicy::Fraction { numerator: 1, denominator: 2 }.space_overhead(8),
+            SparePolicy::Fraction {
+                numerator: 1,
+                denominator: 2
+            }
+            .space_overhead(8),
             0.1875
         );
     }

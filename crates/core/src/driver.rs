@@ -98,12 +98,7 @@ impl CheckedCluster {
     /// A checked client write: on success the oracle remembers `data` as
     /// the block's current content. Protocol refusals pass through as
     /// errors without touching the oracle (the write did not happen).
-    pub fn write(
-        &mut self,
-        site: SiteId,
-        index: DataIndex,
-        data: &[u8],
-    ) -> Result<(), RaddError> {
+    pub fn write(&mut self, site: SiteId, index: DataIndex, data: &[u8]) -> Result<(), RaddError> {
         self.cluster.write(Actor::Client, site, index, data)?;
         self.oracle.insert((site, index), data.to_vec());
         Ok(())
@@ -157,7 +152,13 @@ impl CheckedCluster {
             if self.site_row_untrusted(parity_site, row) {
                 continue;
             }
-            let Some(arr) = self.cluster.site(parity_site).parity_uids.get(&row) else {
+            let Some(arr) = self
+                .cluster
+                .site(parity_site)
+                .machine
+                .parity_uids()
+                .get(&row)
+            else {
                 continue; // never written: all-invalid UIDs, trivially consistent
             };
             let arr = arr.clone();
@@ -165,7 +166,7 @@ impl CheckedCluster {
                 // The authoritative UID follows the same precedence as the
                 // content oracle: spare stand-in first, then the local block
                 // (skip if the local copy is untrusted).
-                let spare = self.cluster.site(spare_site).spares.get(&row);
+                let spare = self.cluster.site(spare_site).machine.spares().get(&row);
                 let current = match spare {
                     Some(slot) if slot.for_site == s => match &slot.kind {
                         SpareKind::Data { data_uid } => *data_uid,
@@ -180,7 +181,7 @@ impl CheckedCluster {
                         if self.site_row_untrusted(s, row) {
                             continue;
                         }
-                        self.cluster.site(s).block_uids[row as usize]
+                        self.cluster.site(s).machine.block_uid(row)
                     }
                 };
                 if arr.get(s) != current {
@@ -204,7 +205,7 @@ impl CheckedCluster {
         let s = self.cluster.site(site);
         self.cluster.effective_state(site) != SiteState::Up
             || s.array.is_failed(s.array.disk_of(row))
-            || s.invalid_rows.contains(&row)
+            || s.machine.invalid_rows().contains(&row)
     }
 
     /// Structural validity of every spare slot.
@@ -212,7 +213,7 @@ impl CheckedCluster {
         let num_sites = self.cluster.config().num_sites();
         let policy = self.cluster.config().spare_policy;
         for holder in 0..num_sites {
-            for (&row, slot) in &self.cluster.site(holder).spares {
+            for (&row, slot) in self.cluster.site(holder).machine.spares() {
                 let expected_holder = self.cluster.geometry().spare_site(row);
                 if holder != expected_holder {
                     return Err(format!(

@@ -73,7 +73,10 @@ impl fmt::Display for RaddError {
                 "network partition is a multiple failure; blocking until reconnection"
             ),
             RaddError::ActorIsolated { site } => {
-                write!(f, "site {site} is isolated by a partition and must cease processing")
+                write!(
+                    f,
+                    "site {site} is isolated by a partition and must cease processing"
+                )
             }
             RaddError::MultipleFailure { detail } => {
                 write!(f, "multiple simultaneous failures not survivable: {detail}")
@@ -83,7 +86,10 @@ impl fmt::Display for RaddError {
                 "UID mismatch at site {site} during reconstruction; retry after parity settles"
             ),
             RaddError::Unavailable { site } => {
-                write!(f, "data at site {site} unavailable until the failure is repaired")
+                write!(
+                    f,
+                    "data at site {site} unavailable until the failure is repaired"
+                )
             }
             RaddError::Device(e) => write!(f, "device error: {e}"),
             RaddError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
@@ -112,10 +118,15 @@ mod tests {
 
     #[test]
     fn display_mentions_specifics() {
-        let e = RaddError::OutOfRange { index: 9, capacity: 8 };
+        let e = RaddError::OutOfRange {
+            index: 9,
+            capacity: 8,
+        };
         assert!(e.to_string().contains('9'));
         assert!(RaddError::Blocked.to_string().contains("partition"));
-        assert!(RaddError::InconsistentRead { site: 2 }.to_string().contains("retry"));
+        assert!(RaddError::InconsistentRead { site: 2 }
+            .to_string()
+            .contains("retry"));
     }
 
     #[test]

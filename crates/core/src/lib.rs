@@ -46,8 +46,8 @@ pub mod site;
 pub mod stats;
 
 pub use cluster::{RaddCluster, RecoveryReport};
-pub use driver::{CheckError, CheckedCluster};
 pub use config::{ParityMode, RaddConfig, SparePolicy};
+pub use driver::{CheckError, CheckedCluster};
 pub use error::RaddError;
 pub use locks::{LockKind, LockManager};
 pub use site::{SiteNode, SiteState, SpareKind, SpareSlot};

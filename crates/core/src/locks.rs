@@ -220,7 +220,10 @@ mod tests {
         lm.try_lock(1, 2, LockKind::Shared, 8).unwrap();
         lm.release_all(7);
         assert!(!lm.holds(0, 1, LockKind::Exclusive, 7));
-        assert!(lm.holds(1, 2, LockKind::Shared, 8), "other owners keep theirs");
+        assert!(
+            lm.holds(1, 2, LockKind::Shared, 8),
+            "other owners keep theirs"
+        );
         assert_eq!(lm.locked_blocks(), 1);
     }
 

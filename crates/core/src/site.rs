@@ -1,95 +1,42 @@
-//! Per-site state: disks, UID bookkeeping, spare slots, failure status.
+//! Per-site state: a sans-IO protocol machine paired with a disk array.
+//!
+//! All §3 bookkeeping — block UIDs, parity UID arrays, spare slots,
+//! invalid-row marks, the site state — lives in
+//! [`radd_protocol::SiteMachine`]. This module binds one machine to the
+//! storage it cannot own: a [`DiskArray`] that can fail a disk or lose
+//! everything in a disaster, which the pure machine only ever observes as
+//! [`radd_protocol::BlockFault`]s.
 
 use bytes::Bytes;
 use radd_blockdev::{BlockDevice, DevError, DiskArray};
 use radd_layout::{PhysRow, SiteId};
-use radd_parity::{Uid, UidArray, UidGen};
-use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use radd_protocol::SiteMachine;
 
-/// The three states of §3.1: "up — functioning normally, down — not
-/// functioning, recovering — running recovery actions".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum SiteState {
-    /// Functioning normally.
-    Up,
-    /// Not functioning (temporary failure or disaster).
-    Down,
-    /// Restored and running recovery actions; also entered directly on a
-    /// disk failure ("a disk failure will move a site directly from up to
-    /// recovering").
-    Recovering,
-}
+pub use radd_protocol::{SiteState, SpareKind, SpareSlot};
 
-/// What kind of block a spare slot stands in for. The paper's row-K spare
-/// can absorb *any* of the down site's row-K blocks; when the down site was
-/// the row's parity site, the stand-in carries the UID array instead of a
-/// single UID.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SpareKind {
-    /// Stand-in for a data block.
-    Data {
-        /// The UID consistent with the row's parity UID array (so validated
-        /// reconstruction involving this content succeeds). The paper's
-        /// "new UID … to make the block valid" corresponds to this slot
-        /// existing.
-        data_uid: Uid,
-    },
-    /// Stand-in for the down site's parity block.
-    Parity {
-        /// The row's UID array, maintained here while the parity site is
-        /// down.
-        uids: UidArray,
-    },
-}
-
-/// A valid spare slot: this site's spare block of some row currently stands
-/// in for another site's block (the content lives in the array block).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SpareSlot {
-    /// Whose block this spare holds.
-    pub for_site: SiteId,
-    /// Data or parity stand-in.
-    pub kind: SpareKind,
-}
-
-/// One of the `G + 2` computer systems.
+/// One of the `G + 2` computer systems: the §3 protocol machine plus the
+/// disk array backing its rows.
 #[derive(Debug)]
 pub struct SiteNode {
-    /// Site id, `0 ≤ id < G + 2`.
-    pub id: SiteId,
-    /// Current availability state.
-    pub state: SiteState,
+    /// The sans-IO server machine (UIDs, spares, invalid rows, state).
+    pub machine: SiteMachine,
     /// The site's disk array (`rows` blocks across `N` disks).
     pub array: DiskArray,
-    /// UID stored with each physical block (meaningful for data rows and,
-    /// as content-uid, tracked separately for spares/parity).
-    pub block_uids: Vec<Uid>,
-    /// UID arrays for the rows where this site is the parity site.
-    pub parity_uids: BTreeMap<PhysRow, UidArray>,
-    /// Valid spare slots for the rows where this site is the spare site.
-    /// Absence means the spare block is invalid (zero UID in the paper).
-    pub spares: BTreeMap<PhysRow, SpareSlot>,
-    /// Rows whose local content is untrustworthy (blank after a disk
-    /// replacement or a disaster) and must be reconstructed.
-    pub invalid_rows: BTreeSet<PhysRow>,
-    /// This site's UID mint.
-    pub uid_gen: UidGen,
 }
 
 impl SiteNode {
     /// A fresh, healthy site.
-    pub fn new(id: SiteId, disks: usize, blocks_per_disk: u64, block_size: usize) -> SiteNode {
+    pub fn new(
+        id: SiteId,
+        group_size: usize,
+        disks: usize,
+        blocks_per_disk: u64,
+        block_size: usize,
+    ) -> SiteNode {
         let rows = disks as u64 * blocks_per_disk;
         SiteNode {
-            id,
-            state: SiteState::Up,
+            machine: SiteMachine::new(id, group_size, rows, block_size),
             array: DiskArray::new(disks, blocks_per_disk, block_size),
-            block_uids: vec![Uid::INVALID; rows as usize],
-            parity_uids: BTreeMap::new(),
-            spares: BTreeMap::new(),
-            invalid_rows: BTreeSet::new(),
-            uid_gen: UidGen::new(id as u16),
         }
     }
 
@@ -103,77 +50,53 @@ impl SiteNode {
         self.array.write_block(row, data)
     }
 
-    /// The UID array for a parity row at this site, created empty on first
-    /// touch (all slots zero — consistent with never-written data blocks).
-    pub fn parity_uid_array(&mut self, row: PhysRow, num_sites: usize) -> &mut UidArray {
-        self.parity_uids
-            .entry(row)
-            .or_insert_with(|| UidArray::new(num_sites))
-    }
-
-    /// Is the spare block of `row` valid at this site?
-    pub fn spare_valid(&self, row: PhysRow) -> bool {
-        self.spares.contains_key(&row)
-    }
-
     /// Mark every row on `disk` as lost (after a replacement swap-in):
     /// blanked content, zeroed UIDs, dropped parity arrays and spare slots.
     pub fn lose_disk_rows(&mut self, disk: usize) {
-        let range = self.array.blocks_on_disk(disk);
-        for row in range {
-            self.block_uids[row as usize] = Uid::INVALID;
-            self.parity_uids.remove(&row);
-            self.spares.remove(&row);
-            self.invalid_rows.insert(row);
-        }
+        self.machine.forget_rows(self.array.blocks_on_disk(disk));
     }
 
     /// A site disaster: every disk blanked, all metadata lost.
     pub fn lose_everything(&mut self) {
         self.array.disaster();
-        for u in &mut self.block_uids {
-            *u = Uid::INVALID;
-        }
-        self.parity_uids.clear();
-        self.spares.clear();
-        self.invalid_rows = (0..self.block_uids.len() as u64).collect();
+        self.machine.forget_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use radd_parity::Uid;
 
     fn site() -> SiteNode {
-        SiteNode::new(2, 2, 6, 32) // 12 rows
+        SiteNode::new(2, 4, 2, 6, 32) // G = 4, 12 rows on 2 disks
     }
 
     #[test]
     fn fresh_site_is_up_and_zeroed() {
         let mut s = site();
-        assert_eq!(s.state, SiteState::Up);
-        assert_eq!(s.block_uids.len(), 12);
-        assert!(s.block_uids.iter().all(|u| !u.is_valid()));
+        assert_eq!(s.machine.state(), SiteState::Up);
+        assert!((0..12).all(|r| !s.machine.block_uid(r).is_valid()));
         assert_eq!(&s.read_block(0).unwrap()[..], &[0u8; 32]);
-        assert!(!s.spare_valid(3));
-        assert!(s.invalid_rows.is_empty());
+        assert!(!s.machine.spare_valid(3));
+        assert!(s.machine.invalid_rows().is_empty());
     }
 
     #[test]
     fn parity_array_created_on_demand() {
         let mut s = site();
-        let arr = s.parity_uid_array(2, 6);
+        let arr = s.machine.parity_uid_array(2);
         assert_eq!(arr.len(), 6);
         arr.set(1, Uid::from_raw(9));
-        assert_eq!(s.parity_uids[&2].get(1), Uid::from_raw(9));
+        assert_eq!(s.machine.parity_uids()[&2].get(1), Uid::from_raw(9));
     }
 
     #[test]
     fn lose_disk_rows_invalidates_exactly_that_disk() {
         let mut s = site();
-        s.block_uids[3] = Uid::from_raw(1);
-        s.block_uids[7] = Uid::from_raw(2);
-        s.spares.insert(
+        s.machine.set_block_uid(3, Uid::from_raw(1));
+        s.machine.set_block_uid(7, Uid::from_raw(2));
+        s.machine.spares_mut().insert(
             7,
             SpareSlot {
                 for_site: 0,
@@ -185,11 +108,11 @@ mod tests {
         s.array.fail_disk(1); // rows 6..12
         s.array.replace_disk(1);
         s.lose_disk_rows(1);
-        assert!(s.block_uids[3].is_valid(), "disk 0 rows untouched");
-        assert!(!s.block_uids[7].is_valid());
-        assert!(!s.spare_valid(7));
+        assert!(s.machine.block_uid(3).is_valid(), "disk 0 rows untouched");
+        assert!(!s.machine.block_uid(7).is_valid());
+        assert!(!s.machine.spare_valid(7));
         assert_eq!(
-            s.invalid_rows.iter().copied().collect::<Vec<_>>(),
+            s.machine.invalid_rows().iter().copied().collect::<Vec<_>>(),
             (6..12).collect::<Vec<_>>()
         );
     }
@@ -198,12 +121,12 @@ mod tests {
     fn disaster_invalidates_everything() {
         let mut s = site();
         s.write_block(0, &[9u8; 32]).unwrap();
-        s.block_uids[0] = Uid::from_raw(5);
-        s.parity_uid_array(2, 6).set(0, Uid::from_raw(5));
+        s.machine.set_block_uid(0, Uid::from_raw(5));
+        s.machine.parity_uid_array(2).set(0, Uid::from_raw(5));
         s.lose_everything();
         assert_eq!(&s.read_block(0).unwrap()[..], &[0u8; 32]);
-        assert!(!s.block_uids[0].is_valid());
-        assert!(s.parity_uids.is_empty());
-        assert_eq!(s.invalid_rows.len(), 12);
+        assert!(!s.machine.block_uid(0).is_valid());
+        assert!(s.machine.parity_uids().is_empty());
+        assert_eq!(s.machine.invalid_rows().len(), 12);
     }
 }

@@ -1,8 +1,8 @@
 //! Per-operation receipts and per-category traffic accounting.
 
+use radd_layout::SiteId;
 use radd_net::NetStats;
 use radd_sim::{OpCounts, SimDuration};
-use radd_layout::SiteId;
 use serde::{Deserialize, Serialize};
 
 /// Who is performing an operation, for local-vs-remote cost attribution.

@@ -42,7 +42,9 @@ fn repair(cluster: &mut RaddCluster, site: usize) {
         cluster.restore_site(site);
     }
     if cluster.site_state(site) == SiteState::Recovering {
-        cluster.run_recovery(site).expect("single-failure recovery succeeds");
+        cluster
+            .run_recovery(site)
+            .expect("single-failure recovery succeeds");
     }
 }
 

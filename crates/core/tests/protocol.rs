@@ -1,9 +1,7 @@
 //! End-to-end protocol tests for the RADD cluster, including exact checks
 //! of the paper's Figure 3 operation-count formulas and Figure 4 latencies.
 
-use radd_core::{
-    Actor, ParityMode, RaddCluster, RaddConfig, RaddError, SiteState, SparePolicy,
-};
+use radd_core::{Actor, ParityMode, RaddCluster, RaddConfig, RaddError, SiteState, SparePolicy};
 use radd_net::PartitionMap;
 
 fn cluster_g4() -> RaddCluster {
@@ -174,7 +172,11 @@ fn recovering_read_of_spare_superseded_block_costs_r_plus_rr() {
     c.restore_site(3);
     c.reset_stats();
     let (got, receipt) = c.read(Actor::Site(3), 3, 0).unwrap();
-    assert_eq!(&got[..], &v2[..], "the spare supersedes the stale local block");
+    assert_eq!(
+        &got[..],
+        &v2[..],
+        "the spare supersedes the stale local block"
+    );
     assert_eq!(receipt.counts.formula(), "R+RR"); // Figure 3 row 5
     assert_eq!(receipt.latency.as_millis(), 105); // Figure 4
 }
@@ -217,7 +219,11 @@ fn recovering_write_invalidates_spare() {
     c.write(Actor::Client, 0, 0, &v2).unwrap(); // spare now valid
     c.restore_site(0);
     let receipt = c.write(Actor::Site(0), 0, 0, &v3).unwrap();
-    assert_eq!(receipt.counts.formula(), "W+RW", "writes proceed as for up sites");
+    assert_eq!(
+        receipt.counts.formula(),
+        "W+RW",
+        "writes proceed as for up sites"
+    );
     let (got, _) = c.read(Actor::Site(0), 0, 0).unwrap();
     assert_eq!(&got[..], &v3[..]);
     c.verify_parity().unwrap();
@@ -343,7 +349,9 @@ fn writes_to_other_sites_proceed_during_disaster() {
     let mut c = cluster_g4();
     c.disaster(0);
     for site in 1..6 {
-        let receipt = c.write(Actor::Site(site), site, 0, &block(&c, site as u8)).unwrap();
+        let receipt = c
+            .write(Actor::Site(site), site, 0, &block(&c, site as u8))
+            .unwrap();
         // Some rows have their parity at site 0 (down) — those writes pay
         // extra background work but still complete.
         assert!(receipt.counts.local_writes + receipt.counts.remote_writes >= 2);
@@ -394,7 +402,10 @@ fn spare_conflict_between_two_failed_sites_is_detected() {
     c.restore_site(2);
     c.fail_site(other);
     let err = c.read(Actor::Client, other, other_idx).unwrap_err();
-    assert!(matches!(err, RaddError::MultipleFailure { .. }), "got {err:?}");
+    assert!(
+        matches!(err, RaddError::MultipleFailure { .. }),
+        "got {err:?}"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -412,7 +423,11 @@ fn no_spares_every_down_read_reconstructs() {
     for _ in 0..3 {
         let (got, receipt) = c.read(Actor::Client, 1, 0).unwrap();
         assert_eq!(&got[..], &data[..]);
-        assert_eq!(receipt.counts.formula(), "4*RR", "no spare: G*RR every time");
+        assert_eq!(
+            receipt.counts.formula(),
+            "4*RR",
+            "no spare: G*RR every time"
+        );
     }
 }
 
@@ -450,7 +465,10 @@ fn queued_parity_makes_reconstruction_inconsistent_until_flush() {
     let victim_idx = c.geometry().physical_to_data(victim, row).unwrap();
     c.fail_site(victim);
     let err = c.read(Actor::Client, victim, victim_idx).unwrap_err();
-    assert!(matches!(err, RaddError::InconsistentRead { site: 2 }), "got {err:?}");
+    assert!(
+        matches!(err, RaddError::InconsistentRead { site: 2 }),
+        "got {err:?}"
+    );
     // After the parity message lands, the retry succeeds (§3.3: "must be
     // retried").
     c.flush_parity().unwrap();
@@ -481,7 +499,11 @@ fn disabling_uid_validation_returns_stale_garbage() {
         .unwrap(); // parity update stays queued
     c.fail_site(3);
     let (got, _) = c.read(Actor::Client, 3, 0).unwrap();
-    assert_ne!(&got[..], &victim_data[..], "unvalidated read returned stale data");
+    assert_ne!(
+        &got[..],
+        &victim_data[..],
+        "unvalidated read returned stale data"
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -49,7 +49,10 @@ impl fmt::Display for GroupError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GroupError::TotalNotMultiple { total, width } => {
-                write!(f, "total drive count {total} is not a multiple of G+2 = {width}")
+                write!(
+                    f,
+                    "total drive count {total} is not a multiple of G+2 = {width}"
+                )
             }
             GroupError::SiteTooLarge { site, drives, max } => {
                 write!(f, "site {site} has {drives} drives, more than A = {max}")
@@ -90,11 +93,7 @@ pub fn assign_groups(
         });
     }
     let a = total / group_width;
-    if let Some((site, &drives)) = drives_per_site
-        .iter()
-        .enumerate()
-        .find(|&(_, &n)| n > a)
-    {
+    if let Some((site, &drives)) = drives_per_site.iter().enumerate().find(|&(_, &n)| n > a) {
         return Err(GroupError::SiteTooLarge {
             site,
             drives,
@@ -210,7 +209,10 @@ mod tests {
                 });
             }
         }
-        assert_eq!(used_per_site, drives_per_site, "every drive used exactly once");
+        assert_eq!(
+            used_per_site, drives_per_site,
+            "every drive used exactly once"
+        );
     }
 
     #[test]
@@ -243,7 +245,10 @@ mod tests {
     #[test]
     fn rejects_non_multiple_total() {
         let err = assign_groups(&[3, 3, 3], 4).unwrap_err();
-        assert!(matches!(err, GroupError::TotalNotMultiple { total: 9, width: 4 }));
+        assert!(matches!(
+            err,
+            GroupError::TotalNotMultiple { total: 9, width: 4 }
+        ));
     }
 
     #[test]
@@ -252,7 +257,11 @@ mod tests {
         let err = assign_groups(&[3, 3, 1, 1], 4).unwrap_err();
         assert!(matches!(
             err,
-            GroupError::SiteTooLarge { site: 0, drives: 3, max: 2 }
+            GroupError::SiteTooLarge {
+                site: 0,
+                drives: 3,
+                max: 2
+            }
         ));
     }
 

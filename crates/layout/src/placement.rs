@@ -66,7 +66,10 @@ impl Geometry {
         } else if self.spare_site(row) == site {
             Role::Spare
         } else {
-            Role::Data(self.physical_to_data(site, row).expect("non-special row is data"))
+            Role::Data(
+                self.physical_to_data(site, row)
+                    .expect("non-special row is data"),
+            )
         }
     }
 
@@ -126,7 +129,9 @@ impl Geometry {
     pub fn data_sites(&self, row: PhysRow) -> Vec<SiteId> {
         let p = self.parity_site(row);
         let s = self.spare_site(row);
-        (0..self.num_sites()).filter(|&j| j != p && j != s).collect()
+        (0..self.num_sites())
+            .filter(|&j| j != p && j != s)
+            .collect()
     }
 
     /// Render the layout table for the first `rows` rows, matching the
@@ -171,11 +176,7 @@ mod tests {
         ];
         for (k, row) in expected.iter().enumerate() {
             for (j, cell) in row.iter().enumerate() {
-                assert_eq!(
-                    geo.role(j, k as u64).to_string(),
-                    *cell,
-                    "row {k} site {j}"
-                );
+                assert_eq!(geo.role(j, k as u64).to_string(), *cell, "row {k} site {j}");
             }
         }
     }

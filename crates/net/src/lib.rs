@@ -34,4 +34,4 @@ pub use link::{Delivery, LinkConfig, LossyLink};
 pub use partition::{PartitionMap, PartitionVerdict};
 pub use reliable::ReliableChannel;
 pub use stats::NetStats;
-pub use threaded::{ThreadedNet, ThreadedEndpoint};
+pub use threaded::{ThreadedEndpoint, ThreadedNet};

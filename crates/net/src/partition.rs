@@ -10,29 +10,15 @@
 
 use serde::{Deserialize, Serialize};
 
+// The §5 availability rules live in the sans-IO protocol crate, exactly
+// once; this substrate module only tracks *who can talk to whom*.
+pub use radd_protocol::partition::PartitionVerdict;
+
 /// Assignment of sites to partition groups. Group ids are arbitrary labels;
 /// two sites can communicate iff they share a group.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PartitionMap {
     group_of: Vec<u32>,
-}
-
-/// What a partition means for RADD availability (§5).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PartitionVerdict {
-    /// All sites in one group — no partition, normal operation.
-    Connected,
-    /// The split looks like a single site failure: the listed majority group
-    /// (`G + 1` of the `G + 2` sites) may run the Section 3 algorithms,
-    /// treating the singleton as down; the singleton must cease processing.
-    SingleFailureLike {
-        /// Sites in the surviving majority partition.
-        majority: Vec<usize>,
-        /// The isolated site, treated as down.
-        isolated: usize,
-    },
-    /// Any other split is a multiple failure: block until reconnection.
-    MustBlock,
 }
 
 impl PartitionMap {
@@ -75,29 +61,7 @@ impl PartitionMap {
 
     /// Classify per §5 for a cluster of `G + 2` sites.
     pub fn classify(&self, group_size_g: usize) -> PartitionVerdict {
-        let n = self.group_of.len();
-        debug_assert_eq!(n, group_size_g + 2, "RADD cluster has G+2 sites");
-        let mut groups: std::collections::HashMap<u32, Vec<usize>> = Default::default();
-        for (site, &g) in self.group_of.iter().enumerate() {
-            groups.entry(g).or_default().push(site);
-        }
-        match groups.len() {
-            1 => PartitionVerdict::Connected,
-            2 => {
-                let mut parts: Vec<Vec<usize>> = groups.into_values().collect();
-                parts.sort_by_key(|p| p.len());
-                let (small, large) = (&parts[0], &parts[1]);
-                if small.len() == 1 && large.len() == group_size_g + 1 {
-                    PartitionVerdict::SingleFailureLike {
-                        majority: large.clone(),
-                        isolated: small[0],
-                    }
-                } else {
-                    PartitionVerdict::MustBlock
-                }
-            }
-            _ => PartitionVerdict::MustBlock,
-        }
+        radd_protocol::partition::classify(&self.group_of, group_size_g)
     }
 }
 

@@ -130,7 +130,10 @@ impl<M: Send + 'static> ThreadedNet<M> {
     /// turns loss off. Loss is *silent*: the sender sees `Ok`, the message
     /// never arrives — exactly what timer-based retransmission must absorb.
     pub fn set_loss(&self, permille: u16, seed: u64) {
-        assert!(permille < 1000, "loss probability must stay below certainty");
+        assert!(
+            permille < 1000,
+            "loss probability must stay below certainty"
+        );
         let mut loss = self.shared.loss.write();
         loss.permille = permille;
         loss.seed = seed;
@@ -404,7 +407,10 @@ mod tests {
         // Turning loss off restores perfect delivery.
         net.set_loss(0, 0);
         eps[0].send(1, 7).unwrap();
-        assert_eq!(eps[1].recv_timeout(Duration::from_secs(1)).unwrap().payload, 7);
+        assert_eq!(
+            eps[1].recv_timeout(Duration::from_secs(1)).unwrap().payload,
+            7
+        );
     }
 
     #[test]

@@ -1,22 +1,24 @@
-//! The client library: normal operations against the owning site, and the
-//! client-driven degraded paths of §3.2 (spare probe, validated
-//! reconstruction, spare install, W1' redirected writes, recovery drain).
+//! The client library: a [`ClientMachine`] bound to a real endpoint.
 //!
-//! Requests are retried with a growing per-attempt timeout before the
-//! client gives up, so lost messages (see
+//! All §3.2/§3.3 client logic — degraded reads via spare or validated
+//! reconstruction, W1' redirected writes, the recovery drain — lives in
+//! [`radd_protocol::ClientMachine`]. This module supplies its
+//! [`ClientIo`]: requests are retried with a growing per-attempt timeout
+//! before the client gives up, so lost messages (see
 //! [`radd_net::ThreadedNet::set_loss`]) delay operations instead of
 //! failing them. Every request the client can resend is idempotent on the
 //! receiving site: reads and probes trivially, `SpareInstall` and
 //! `RestoreBlock` by overwriting with identical contents, `ParityUpdate`
-//! by the parity site's UID comparison, and a duplicate `Write` re-applies
-//! identical bytes (its second change mask is empty). The one destructive
-//! request, `SpareTake`, is only issued *after* the block it covers has
-//! been restored, so a lost reply costs nothing.
+//! by the parity site's UID comparison, duplicates of anything else by the
+//! site's reply cache. The one destructive request, `SpareTake`, is only
+//! issued *after* the block it covers has been restored, so a lost reply
+//! costs nothing.
 
-use crate::message::{Msg, NackReason};
-use radd_layout::Geometry;
+use crate::message::Msg;
 use radd_net::ThreadedEndpoint;
-use radd_parity::{xor_in_place, ChangeMask, Uid, UidArray, UidGen};
+use radd_parity::xor_in_place;
+use radd_protocol::{ClientErr, ClientIo, ClientMachine, SparePolicy, TraceEntry};
+use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
 
 /// First per-attempt reply timeout; grows 1.5× per retry.
@@ -29,9 +31,12 @@ const ATTEMPT_CAP: Duration = Duration::from_millis(900);
 const REQUEST_ATTEMPTS: u32 = 12;
 /// §3.3 retry budget for inconsistent reconstruction reads.
 const RECONSTRUCT_RETRIES: u32 = 20;
-/// Stash entries older than this many tags behind the newest are stale
-/// duplicates (e.g. a second `WriteOk` from a retransmitted write).
-const STASH_HORIZON: u64 = 256;
+/// Replies stashed beyond this count have their oldest entries dropped
+/// (stale duplicates, e.g. a second `WriteOk` from a retransmitted write).
+const STASH_CAP: usize = 512;
+/// Tag-space bit marking requests minted outside the protocol machine
+/// (oracle sweeps like [`NodeClient::verify_parity`]).
+const ORACLE_TAG_BIT: u64 = 1 << 46;
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -68,75 +73,35 @@ impl std::fmt::Display for ClientError {
 
 impl std::error::Error for ClientError {}
 
-/// The cluster client.
-pub struct NodeClient {
-    ep: ThreadedEndpoint<Msg>,
-    ep_base: usize,
-    geo: Geometry,
-    block_size: usize,
-    uid_gen: UidGen,
-    next_tag: u64,
-    down: Vec<bool>,
-    /// Replies that arrived while we were waiting for a different tag —
-    /// fan-out responses come back in arbitrary order.
-    stash: std::collections::HashMap<u64, Msg>,
+impl From<ClientErr> for ClientError {
+    fn from(e: ClientErr) -> ClientError {
+        match e {
+            ClientErr::OutOfRange => ClientError::OutOfRange,
+            ClientErr::BadSize => ClientError::BadSize,
+            ClientErr::Timeout { site } => ClientError::Timeout { site },
+            ClientErr::MultipleFailure { .. } | ClientErr::Unavailable { .. } => {
+                ClientError::MultipleFailure
+            }
+            ClientErr::Inconsistent { .. } => ClientError::Inconsistent,
+        }
+    }
 }
 
-impl NodeClient {
-    pub(crate) fn new(
-        ep: ThreadedEndpoint<Msg>,
-        ep_base: usize,
-        g: usize,
-        rows: u64,
-        block_size: usize,
-    ) -> NodeClient {
-        // Every client mints UIDs from its own namespace keyed by its
-        // endpoint id, so concurrent clients never collide.
-        let uid_site = u16::MAX - ep.id() as u16;
-        NodeClient {
-            ep,
-            ep_base,
-            geo: Geometry::new(g, rows).expect("valid geometry"),
-            block_size,
-            // Any "local system" may mint UIDs, per §3.2 — uniqueness is
-            // all that matters.
-            uid_gen: UidGen::new(uid_site),
-            next_tag: 0,
-            down: vec![false; g + 2],
-            stash: std::collections::HashMap::new(),
-        }
-    }
+/// The machine's transport: request/reply over a threaded endpoint with
+/// retry and backoff.
+struct NetIo {
+    ep: ThreadedEndpoint<Msg>,
+    ep_base: usize,
+    /// Replies that arrived while we were waiting for a different tag —
+    /// fan-out responses come back in arbitrary order.
+    stash: HashMap<u64, Msg>,
+    stash_order: VecDeque<u64>,
+}
 
-    pub(crate) fn mark_down(&mut self, site: usize, down: bool) {
-        self.down[site] = down;
-    }
-
-    /// Whether this client currently believes `site` is down.
-    pub fn is_marked_down(&self, site: usize) -> bool {
-        self.down[site]
-    }
-
-    /// The cluster geometry.
-    pub fn geometry(&self) -> &Geometry {
-        &self.geo
-    }
-
-    fn tag(&mut self) -> u64 {
-        self.next_tag += 1;
-        // Duplicate replies from retransmitted requests accumulate in the
-        // stash; anything far behind the newest tag can never be waited on
-        // again.
-        if self.stash.len() > STASH_HORIZON as usize {
-            let horizon = self.next_tag.saturating_sub(STASH_HORIZON);
-            self.stash.retain(|&t, _| t >= horizon);
-        }
-        self.next_tag
-    }
-
+impl NetIo {
     /// Wait for the reply carrying `tag`. Replies to *other* outstanding
-    /// requests (fan-outs answer in arbitrary order) are stashed for their
-    /// own `wait` calls; only a reply whose tag was never issued is truly
-    /// stale.
+    /// requests are stashed for their own `wait` calls; only a reply whose
+    /// tag was never issued is truly stale.
     fn wait(&mut self, tag: u64, timeout: Duration) -> Option<Msg> {
         if let Some(m) = self.stash.remove(&tag) {
             return Some(m);
@@ -150,18 +115,27 @@ impl NodeClient {
             match self.ep.recv_timeout(left) {
                 Ok(inbound) if inbound.payload.tag() == tag => return Some(inbound.payload),
                 Ok(other) => {
-                    self.stash.insert(other.payload.tag(), other.payload);
+                    let t = other.payload.tag();
+                    if self.stash.insert(t, other.payload).is_none() {
+                        self.stash_order.push_back(t);
+                        if self.stash_order.len() > STASH_CAP {
+                            if let Some(old) = self.stash_order.pop_front() {
+                                self.stash.remove(&old);
+                            }
+                        }
+                    }
                 }
                 Err(_) => return None,
             }
         }
     }
 
-    /// Send `msg` (which must already carry `tag`) to endpoint `dst`,
-    /// retrying with exponential backoff until a reply arrives or the
-    /// attempt budget is spent. All retried requests are idempotent at the
-    /// receiver (see the module docs).
-    fn request(&mut self, dst: usize, tag: u64, msg: Msg) -> Option<Msg> {
+    /// Send `msg` to `site`, retrying with exponential backoff until a
+    /// reply arrives or the attempt budget is spent. All retried requests
+    /// are idempotent at the receiver (see the module docs).
+    fn request(&mut self, site: usize, msg: Msg) -> Option<Msg> {
+        let tag = msg.tag();
+        let dst = self.ep_base + site;
         let mut timeout = ATTEMPT_TIMEOUT;
         for _ in 0..REQUEST_ATTEMPTS {
             let _ = self.ep.send(dst, msg.clone());
@@ -172,184 +146,104 @@ impl NodeClient {
         }
         None
     }
+}
+
+impl ClientIo for NetIo {
+    fn exchange(&mut self, site: usize, msg: Msg, _background: bool) -> Result<Msg, ClientErr> {
+        self.request(site, msg).ok_or(ClientErr::Timeout { site })
+    }
+    // old_value stays `None`: this runtime has no buffer-pool oracle, so
+    // degraded writes fetch the old value through the protocol.
+}
+
+/// The cluster client.
+pub struct NodeClient {
+    machine: ClientMachine,
+    io: NetIo,
+    block_size: usize,
+    /// Tag counter for oracle sweeps issued outside the machine.
+    next_oracle_tag: u64,
+}
+
+impl NodeClient {
+    pub(crate) fn new(
+        ep: ThreadedEndpoint<Msg>,
+        ep_base: usize,
+        g: usize,
+        rows: u64,
+        block_size: usize,
+    ) -> NodeClient {
+        // Every client mints UIDs from its own namespace keyed by its
+        // endpoint id, so concurrent clients never collide. Any "local
+        // system" may mint UIDs, per §3.2 — uniqueness is all that matters.
+        let uid_namespace = u16::MAX - ep.id() as u16;
+        NodeClient {
+            machine: ClientMachine::new(
+                g,
+                rows,
+                block_size,
+                SparePolicy::OnePerParity,
+                true,
+                uid_namespace,
+            ),
+            io: NetIo {
+                ep,
+                ep_base,
+                stash: HashMap::new(),
+                stash_order: VecDeque::new(),
+            },
+            block_size,
+            next_oracle_tag: 0,
+        }
+    }
+
+    /// Tell the machine `site` is believed down (or back up). In a real
+    /// deployment this input comes from a failure detector; tests and the
+    /// fault driver set it explicitly.
+    pub fn mark_down(&mut self, site: usize, down: bool) {
+        self.machine.set_down(site, down);
+    }
+
+    /// Whether this client currently believes `site` is down.
+    pub fn is_marked_down(&self, site: usize) -> bool {
+        self.machine.is_down(site)
+    }
+
+    /// The cluster geometry.
+    pub fn geometry(&self) -> &radd_layout::Geometry {
+        self.machine.geometry()
+    }
+
+    /// Start recording this client's normalised request trace.
+    pub fn record_trace(&mut self) {
+        self.machine.record_trace();
+    }
+
+    /// Take the recorded trace, leaving recording enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.machine.take_trace()
+    }
 
     /// Read the `index`-th data block of `site`.
     pub fn read(&mut self, site: usize, index: u64) -> Result<Vec<u8>, ClientError> {
-        if index >= self.geo.data_capacity(site) {
-            return Err(ClientError::OutOfRange);
+        // §3.3: an inconsistent reconstruction means a parity update is in
+        // flight; back off and retry the whole degraded read.
+        for _ in 0..RECONSTRUCT_RETRIES {
+            match self.machine.read(&mut self.io, site, index) {
+                Err(ClientErr::Inconsistent { .. }) => std::thread::sleep(Duration::from_millis(5)),
+                other => return other.map_err(ClientError::from),
+            }
         }
-        if self.down[site] {
-            return self.degraded_read(site, index);
-        }
-        let tag = self.tag();
-        match self.request(self.ep_base + site, tag, Msg::Read { index, tag }) {
-            Some(Msg::ReadOk { data, .. }) => Ok(data),
-            Some(Msg::Nack { reason, .. }) => Err(map_nack(reason)),
-            _ => Err(ClientError::Timeout { site }),
-        }
+        Err(ClientError::Inconsistent)
     }
 
     /// Write the `index`-th data block of `site`.
     pub fn write(&mut self, site: usize, index: u64, data: &[u8]) -> Result<(), ClientError> {
-        if index >= self.geo.data_capacity(site) {
-            return Err(ClientError::OutOfRange);
-        }
-        if data.len() != self.block_size {
-            return Err(ClientError::BadSize);
-        }
-        if self.down[site] {
-            return self.degraded_write(site, index, data);
-        }
-        let tag = self.tag();
-        let msg = Msg::Write {
-            index,
-            data: data.to_vec(),
-            tag,
-        };
-        match self.request(self.ep_base + site, tag, msg) {
-            Some(Msg::WriteOk { .. }) => Ok(()),
-            Some(Msg::Nack { reason, .. }) => Err(map_nack(reason)),
-            _ => Err(ClientError::Timeout { site }),
-        }
-    }
-
-    /// §3.2 down-site read: spare if valid, else validated reconstruction,
-    /// installed into the spare for subsequent reads.
-    fn degraded_read(&mut self, site: usize, index: u64) -> Result<Vec<u8>, ClientError> {
-        let row = self.geo.data_to_physical(site, index);
-        match self.probe_spare(row)? {
-            Some((for_site, data, _uid)) if for_site == site => return Ok(data),
-            Some(_) => return Err(ClientError::MultipleFailure),
-            None => {}
-        }
-        let (data, uid) = self.reconstruct(site, row)?;
-        self.install_spare(row, site, &data, uid)?;
-        Ok(data)
-    }
-
-    /// W1': ship the new contents to the spare site, then run W2–W4 from
-    /// here (the client computes the change mask against the logical old
-    /// value).
-    fn degraded_write(
-        &mut self,
-        site: usize,
-        index: u64,
-        data: &[u8],
-    ) -> Result<(), ClientError> {
-        let row = self.geo.data_to_physical(site, index);
-        let old = match self.probe_spare(row)? {
-            Some((for_site, old, _)) if for_site == site => old,
-            Some(_) => return Err(ClientError::MultipleFailure),
-            None => self.reconstruct(site, row)?.0,
-        };
-        let uid = self.uid_gen.next_uid();
-        self.install_spare(row, site, data, uid)?;
-        // W3 to the parity site, tagged with the new UID. Safe to resend:
-        // the parity site applies each UID at most once.
-        let mask = ChangeMask::diff(&old, data);
-        let parity_site = self.geo.parity_site(row);
-        let tag = self.tag();
-        let msg = Msg::ParityUpdate {
-            row,
-            mask_wire: mask.encode().to_vec(),
-            uid,
-            from_site: site,
-            tag,
-        };
-        match self.request(self.ep_base + parity_site, tag, msg) {
-            Some(Msg::Ack { .. }) => Ok(()),
-            _ => Err(ClientError::Timeout { site: parity_site }),
-        }
-    }
-
-    fn probe_spare(
-        &mut self,
-        row: u64,
-    ) -> Result<Option<(usize, Vec<u8>, Uid)>, ClientError> {
-        let spare_site = self.geo.spare_site(row);
-        let tag = self.tag();
-        match self.request(self.ep_base + spare_site, tag, Msg::SpareProbe { row, tag }) {
-            Some(Msg::SpareState { slot, .. }) => Ok(slot),
-            _ => Err(ClientError::Timeout { site: spare_site }),
-        }
-    }
-
-    fn install_spare(
-        &mut self,
-        row: u64,
-        for_site: usize,
-        data: &[u8],
-        uid: Uid,
-    ) -> Result<(), ClientError> {
-        let spare_site = self.geo.spare_site(row);
-        let tag = self.tag();
-        let msg = Msg::SpareInstall {
-            row,
-            for_site,
-            data: data.to_vec(),
-            uid,
-            tag,
-        };
-        match self.request(self.ep_base + spare_site, tag, msg) {
-            Some(Msg::Ack { .. }) => Ok(()),
-            _ => Err(ClientError::Timeout { site: spare_site }),
-        }
-    }
-
-    /// Formula (2) with §3.3 validation and retry: `BlockRead` from each of
-    /// the `G` surviving sites, compare every data UID against the parity
-    /// site's array, XOR on success. Returns the data and the UID the
-    /// parity array holds for the failed site (for a consistent spare
-    /// install).
-    fn reconstruct(&mut self, owner: usize, row: u64) -> Result<(Vec<u8>, Uid), ClientError> {
-        let spare_site = self.geo.spare_site(row);
-        let parity_site = self.geo.parity_site(row);
-        let sources: Vec<usize> = (0..self.geo.num_sites())
-            .filter(|&s| s != owner && s != spare_site)
-            .collect();
-        'attempt: for _ in 0..RECONSTRUCT_RETRIES {
-            let mut acc = vec![0u8; self.block_size];
-            let mut uids: Vec<(usize, Uid)> = Vec::new();
-            let mut parity_array: Option<UidArray> = None;
-            for &s in &sources {
-                if self.down[s] {
-                    return Err(ClientError::MultipleFailure);
-                }
-                let tag = self.tag();
-                match self.request(self.ep_base + s, tag, Msg::BlockRead { row, tag }) {
-                    Some(Msg::BlockData {
-                        data,
-                        uid,
-                        parity_uids,
-                        ..
-                    }) => {
-                        xor_in_place(&mut acc, &data);
-                        if s == parity_site {
-                            let mut arr = UidArray::new(self.geo.num_sites());
-                            for (i, u) in parity_uids
-                                .expect("parity site returns its array")
-                                .into_iter()
-                                .enumerate()
-                            {
-                                arr.set(i, u);
-                            }
-                            parity_array = Some(arr);
-                        } else {
-                            uids.push((s, uid));
-                        }
-                    }
-                    _ => return Err(ClientError::Timeout { site: s }),
-                }
+        for _ in 0..RECONSTRUCT_RETRIES {
+            match self.machine.write(&mut self.io, site, index, data) {
+                Err(ClientErr::Inconsistent { .. }) => std::thread::sleep(Duration::from_millis(5)),
+                other => return other.map_err(ClientError::from),
             }
-            let arr = parity_array.expect("parity site was among the sources");
-            // §3.3: any mismatch ⇒ a parity update is in flight; retry.
-            for (s, uid) in &uids {
-                if !arr.matches(*s, *uid) {
-                    std::thread::sleep(Duration::from_millis(5));
-                    continue 'attempt;
-                }
-            }
-            return Ok((acc, arr.get(owner)));
         }
         Err(ClientError::Inconsistent)
     }
@@ -360,66 +254,31 @@ impl NodeClient {
     /// reply at any step leaves the data reachable and every step safe to
     /// retry. Returns the number of blocks drained.
     pub fn recover(&mut self, site: usize) -> Result<u64, ClientError> {
-        let mut drained = 0;
-        for s in 0..self.geo.num_sites() {
-            if s == site {
-                continue;
-            }
-            let tag = self.tag();
-            let rows = match self.request(
-                self.ep_base + s,
-                tag,
-                Msg::SpareDrainList { for_site: site, tag },
-            ) {
-                Some(Msg::SpareRows { rows, .. }) => rows,
-                _ => return Err(ClientError::Timeout { site: s }),
-            };
-            for row in rows {
-                // Non-destructive read of the spare contents.
-                let tag = self.tag();
-                let (for_site, data, uid) = match self.request(
-                    self.ep_base + s,
-                    tag,
-                    Msg::SpareProbe { row, tag },
-                ) {
-                    Some(Msg::SpareState { slot: Some(slot), .. }) => slot,
-                    Some(Msg::SpareState { slot: None, .. }) => continue, // raced away
-                    _ => return Err(ClientError::Timeout { site: s }),
-                };
-                debug_assert_eq!(for_site, site);
-                // Land the block at the restored site.
-                let tag = self.tag();
-                let msg = Msg::RestoreBlock { row, data, uid, tag };
-                match self.request(self.ep_base + site, tag, msg) {
-                    Some(Msg::Ack { .. }) => {}
-                    _ => return Err(ClientError::Timeout { site }),
-                }
-                // Only now invalidate the spare; if the reply is lost a
-                // resend simply observes the empty slot.
-                let tag = self.tag();
-                match self.request(self.ep_base + s, tag, Msg::SpareTake { row, tag }) {
-                    Some(Msg::SpareState { .. }) => drained += 1,
-                    _ => return Err(ClientError::Timeout { site: s }),
-                }
-            }
-        }
-        Ok(drained)
+        self.machine
+            .recover(&mut self.io, site)
+            .map_err(ClientError::from)
+    }
+
+    fn oracle_tag(&mut self) -> u64 {
+        self.next_oracle_tag += 1;
+        ORACLE_TAG_BIT | self.next_oracle_tag
     }
 
     /// Verify the stripe invariant over every row by reading all blocks
     /// (requires every site up). Returns the first violated row.
     pub fn verify_parity(&mut self) -> Result<(), String> {
-        for row in 0..self.geo.rows() {
-            let parity_site = self.geo.parity_site(row);
-            let spare_site = self.geo.spare_site(row);
+        let geo = *self.machine.geometry();
+        for row in 0..geo.rows() {
+            let parity_site = geo.parity_site(row);
+            let spare_site = geo.spare_site(row);
             let mut acc = vec![0u8; self.block_size];
             let mut parity = vec![0u8; self.block_size];
-            for s in 0..self.geo.num_sites() {
+            for s in 0..geo.num_sites() {
                 if s == spare_site {
                     continue;
                 }
-                let tag = self.tag();
-                match self.request(self.ep_base + s, tag, Msg::BlockRead { row, tag }) {
+                let tag = self.oracle_tag();
+                match self.io.request(s, Msg::BlockRead { row, tag }) {
                     Some(Msg::BlockData { data, .. }) => {
                         if s == parity_site {
                             parity = data;
@@ -435,13 +294,5 @@ impl NodeClient {
             }
         }
         Ok(())
-    }
-}
-
-fn map_nack(reason: NackReason) -> ClientError {
-    match reason {
-        NackReason::OutOfRange => ClientError::OutOfRange,
-        NackReason::BadSize => ClientError::BadSize,
-        NackReason::Down => ClientError::MultipleFailure,
     }
 }

@@ -26,7 +26,7 @@
 //! DES.
 
 use crate::{ClientError, NodeCluster};
-use radd_workload::faults::{payload, FaultDriver, FaultEvent};
+use radd_workload::faults::{payload, FailureKind, FaultDriver, FaultEvent};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -120,28 +120,32 @@ impl FaultDriver for ThreadedDriver {
                     Err(e) => Err(format!("write(site {site}, index {index}): {e}")),
                 }
             }
-            FaultEvent::Read { site, index } => {
-                match self.cluster.client().read(site, index) {
-                    Ok(data) => match self.oracle.get(&(site, index)) {
-                        Some(want) if *want != data => Err(format!(
-                            "read(site {site}, index {index}) returned stale or \
+            FaultEvent::Read { site, index } => match self.cluster.client().read(site, index) {
+                Ok(data) => match self.oracle.get(&(site, index)) {
+                    Some(want) if *want != data => Err(format!(
+                        "read(site {site}, index {index}) returned stale or \
                              corrupt data"
-                        )),
-                        _ => Ok(()),
-                    },
-                    Err(e) if is_refusal(&e) => Ok(()),
-                    Err(e) => Err(format!("read(site {site}, index {index}): {e}")),
-                }
+                    )),
+                    _ => Ok(()),
+                },
+                Err(e) if is_refusal(&e) => Ok(()),
+                Err(e) => Err(format!("read(site {site}, index {index}): {e}")),
+            },
+            // Disk failures are DES-only (see the module docs); the other
+            // §3.1 kinds quiesce before killing — a site dying with an
+            // unacked parity update is the §6 in-doubt problem (see the
+            // site module docs).
+            FaultEvent::Fail {
+                kind: FailureKind::DiskFailure { .. },
+                ..
             }
-            // Quiesce before killing: a site dying with an unacked parity
-            // update is the §6 in-doubt problem (see the site module docs).
-            FaultEvent::FailSite { site } | FaultEvent::Disaster { site } => {
+            | FaultEvent::ReplaceDisk { .. } => Ok(()),
+            FaultEvent::Fail { site, .. } => {
                 FaultDriver::quiesce(self)?;
                 self.cluster.kill_site(site);
                 self.impaired = Some(site);
                 Ok(())
             }
-            FaultEvent::FailDisk { .. } | FaultEvent::ReplaceDisk { .. } => Ok(()),
             FaultEvent::RestoreSite { site } => {
                 self.cluster.revive_site(site);
                 // Stale until its spares are drained: keep the degraded
@@ -149,16 +153,14 @@ impl FaultDriver for ThreadedDriver {
                 self.cluster.client().mark_down(site, true);
                 Ok(())
             }
-            FaultEvent::Recover { site } => {
-                match self.cluster.client().recover(site) {
-                    Ok(_) => {
-                        self.cluster.client().mark_down(site, false);
-                        self.impaired = None;
-                        Ok(())
-                    }
-                    Err(e) => Err(format!("recovery of site {site}: {e}")),
+            FaultEvent::Recover { site } => match self.cluster.client().recover(site) {
+                Ok(_) => {
+                    self.cluster.client().mark_down(site, false);
+                    self.impaired = None;
+                    Ok(())
                 }
-            }
+                Err(e) => Err(format!("recovery of site {site}: {e}")),
+            },
             FaultEvent::Isolate { site } => {
                 FaultDriver::quiesce(self)?;
                 self.cluster.isolate_site(site);
@@ -193,26 +195,17 @@ impl FaultDriver for ThreadedDriver {
         }
         FaultDriver::quiesce(self)?;
         if !self.cluster.all_acked() {
-            return Err(
-                "quiesced but a retransmission channel still holds unacked \
+            return Err("quiesced but a retransmission channel still holds unacked \
                  parity updates"
-                    .to_string(),
-            );
+                .to_string());
         }
         self.cluster.client().verify_parity()?;
-        let entries: Vec<((usize, u64), Vec<u8>)> = self
-            .oracle
-            .iter()
-            .map(|(&k, v)| (k, v.clone()))
-            .collect();
+        let entries: Vec<((usize, u64), Vec<u8>)> =
+            self.oracle.iter().map(|(&k, v)| (k, v.clone())).collect();
         for ((site, index), want) in entries {
             match self.cluster.client().read(site, index) {
                 Ok(got) if got == want => {}
-                Ok(_) => {
-                    return Err(format!(
-                        "oracle mismatch at site {site} index {index}"
-                    ))
-                }
+                Ok(_) => return Err(format!("oracle mismatch at site {site} index {index}")),
                 Err(e) => {
                     return Err(format!(
                         "oracle read-back at site {site} index {index}: {e}"

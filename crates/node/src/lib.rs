@@ -113,8 +113,7 @@ impl NodeCluster {
                 site::run_site(cfg, ep, ctl_rx);
             }));
         }
-        let main_client =
-            NodeClient::new(client_eps.remove(0), ep_base, g, rows, block_size);
+        let main_client = NodeClient::new(client_eps.remove(0), ep_base, g, rows, block_size);
         let extra: Vec<NodeClient> = client_eps
             .into_iter()
             .map(|ep| NodeClient::new(ep, ep_base, g, rows, block_size))
@@ -201,8 +200,8 @@ impl NodeCluster {
         rx.recv_timeout(Duration::from_secs(5)).unwrap_or(0)
     }
 
-    /// Whether every site's retransmission channel reports
-    /// [`all_acked`](radd_net::threaded::ReliableChannel::all_acked) —
+    /// Whether every site machine reports
+    /// [`all_acked`](radd_protocol::SiteMachine::all_acked) —
     /// i.e. no parity update anywhere is still awaiting its ack.
     pub fn all_acked(&self) -> bool {
         (0..self.num_sites).all(|s| {
@@ -210,6 +209,33 @@ impl NodeCluster {
             let _ = self.control[s].send(site::Control::QueryAllAcked(tx));
             rx.recv_timeout(Duration::from_secs(5)).unwrap_or(false)
         })
+    }
+
+    /// Start (or stop) recording normalised effect traces on every site
+    /// machine and the attached client, for differential comparison with
+    /// the DES interpreter.
+    pub fn record_traces(&mut self, on: bool) {
+        for s in 0..self.num_sites {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let _ = self.control[s].send(site::Control::RecordTrace(on, tx));
+            let _ = rx.recv_timeout(Duration::from_secs(5));
+        }
+        if on {
+            self.client.record_trace();
+        }
+    }
+
+    /// Collect the recorded traces: index 0 is the attached client, index
+    /// `1 + j` is site `j` — the same peer numbering the DES interpreter
+    /// uses.
+    pub fn take_traces(&mut self) -> Vec<Vec<radd_protocol::TraceEntry>> {
+        let mut all = vec![self.client.take_trace()];
+        for s in 0..self.num_sites {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let _ = self.control[s].send(site::Control::TakeTrace(tx));
+            all.push(rx.recv_timeout(Duration::from_secs(5)).unwrap_or_default());
+        }
+        all
     }
 
     /// Wait until no site holds an unacked parity update (i.e. every

@@ -1,222 +1,8 @@
 //! The wire protocol between sites (and the client).
 //!
-//! Every request carries a `tag` that the reply echoes, so endpoints can
-//! match responses without blocking their event loops.
+//! The vocabulary lives in [`radd_protocol::wire`] — one definition shared
+//! with the DES cluster — and is re-exported here for backwards
+//! compatibility. Addresses are endpoint ids (`0..ep_base` = clients, site
+//! `j` = `ep_base + j`).
 
-use radd_parity::Uid;
-
-/// Protocol messages. Addresses are endpoint ids (`0` = client, site `j`
-/// = `j + 1`).
-#[derive(Debug, Clone)]
-pub enum Msg {
-    // ------------------------------------------------ client → owner site
-    /// Read the site's `index`-th data block.
-    Read {
-        /// Site-local data index.
-        index: u64,
-        /// Request tag.
-        tag: u64,
-    },
-    /// Write the site's `index`-th data block (W1–W4; the site replies
-    /// only after its parity update is acknowledged).
-    Write {
-        /// Site-local data index.
-        index: u64,
-        /// New contents.
-        data: Vec<u8>,
-        /// Request tag.
-        tag: u64,
-    },
-
-    // ----------------------------------------------------- between sites
-    /// Step W3: apply a change mask to the parity block of `row` and
-    /// record `uid` in slot `from_site` (step W4). Acked.
-    ParityUpdate {
-        /// Physical row.
-        row: u64,
-        /// Encoded [`ChangeMask`](radd_parity::ChangeMask).
-        mask_wire: Vec<u8>,
-        /// The writer's new UID.
-        uid: Uid,
-        /// The writing site.
-        from_site: usize,
-        /// Request tag.
-        tag: u64,
-    },
-
-    // --------------------------------------- client-driven degraded paths
-    /// Probe the spare block of `row`: validity, stand-in owner, contents.
-    SpareProbe {
-        /// Physical row.
-        row: u64,
-        /// Request tag.
-        tag: u64,
-    },
-    /// Install reconstructed contents into the spare block of `row` on
-    /// behalf of `for_site`.
-    SpareInstall {
-        /// Physical row.
-        row: u64,
-        /// Whose block the spare stands in for.
-        for_site: usize,
-        /// Contents.
-        data: Vec<u8>,
-        /// UID consistent with the parity array.
-        uid: Uid,
-        /// Request tag.
-        tag: u64,
-    },
-    /// Read block `row` for reconstruction: returns contents, the stored
-    /// UID, and (if this site is the row's parity site) the UID array.
-    BlockRead {
-        /// Physical row.
-        row: u64,
-        /// Request tag.
-        tag: u64,
-    },
-    /// Recovery: list the rows whose spare here stands in for `for_site`.
-    SpareDrainList {
-        /// The recovering site.
-        for_site: usize,
-        /// Request tag.
-        tag: u64,
-    },
-    /// Recovery: hand the spare contents of `row` to the recovering site
-    /// and invalidate the slot.
-    SpareTake {
-        /// Physical row.
-        row: u64,
-        /// Request tag.
-        tag: u64,
-    },
-    /// Recovery: write `row` locally with the given contents and UID (the
-    /// drained spare landing at the restored site).
-    RestoreBlock {
-        /// Physical row.
-        row: u64,
-        /// Contents.
-        data: Vec<u8>,
-        /// UID to store with the block.
-        uid: Uid,
-        /// Request tag.
-        tag: u64,
-    },
-
-    // ------------------------------------------------------------ replies
-    /// Successful read.
-    ReadOk {
-        /// Echoed tag.
-        tag: u64,
-        /// Block contents.
-        data: Vec<u8>,
-    },
-    /// Successful write (parity ack included).
-    WriteOk {
-        /// Echoed tag.
-        tag: u64,
-    },
-    /// Generic positive ack.
-    Ack {
-        /// Echoed tag.
-        tag: u64,
-    },
-    /// Negative reply.
-    Nack {
-        /// Echoed tag.
-        tag: u64,
-        /// Why.
-        reason: NackReason,
-    },
-    /// Reply to [`Msg::BlockRead`].
-    BlockData {
-        /// Echoed tag.
-        tag: u64,
-        /// Contents.
-        data: Vec<u8>,
-        /// Stored UID.
-        uid: Uid,
-        /// UID array, when the row is this site's parity row.
-        parity_uids: Option<Vec<Uid>>,
-    },
-    /// Reply to [`Msg::SpareProbe`] / [`Msg::SpareTake`].
-    SpareState {
-        /// Echoed tag.
-        tag: u64,
-        /// `Some((for_site, data, uid))` when valid.
-        slot: Option<(usize, Vec<u8>, Uid)>,
-    },
-    /// Reply to [`Msg::SpareDrainList`].
-    SpareRows {
-        /// Echoed tag.
-        tag: u64,
-        /// Rows held for the recovering site.
-        rows: Vec<u64>,
-    },
-}
-
-/// Why a request was refused.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NackReason {
-    /// The site is down (temporary failure).
-    Down,
-    /// Address out of range.
-    OutOfRange,
-    /// Payload size mismatch.
-    BadSize,
-}
-
-impl Msg {
-    /// The tag of any message (requests and replies all carry one).
-    pub fn tag(&self) -> u64 {
-        match self {
-            Msg::Read { tag, .. }
-            | Msg::Write { tag, .. }
-            | Msg::ParityUpdate { tag, .. }
-            | Msg::SpareProbe { tag, .. }
-            | Msg::SpareInstall { tag, .. }
-            | Msg::BlockRead { tag, .. }
-            | Msg::SpareDrainList { tag, .. }
-            | Msg::SpareTake { tag, .. }
-            | Msg::RestoreBlock { tag, .. }
-            | Msg::ReadOk { tag, .. }
-            | Msg::WriteOk { tag }
-            | Msg::Ack { tag }
-            | Msg::Nack { tag, .. }
-            | Msg::BlockData { tag, .. }
-            | Msg::SpareState { tag, .. }
-            | Msg::SpareRows { tag, .. } => *tag,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use radd_parity::Uid;
-
-    #[test]
-    fn every_variant_reports_its_tag() {
-        let u = Uid::from_raw(5);
-        let msgs: Vec<Msg> = vec![
-            Msg::Read { index: 0, tag: 1 },
-            Msg::Write { index: 0, data: vec![], tag: 2 },
-            Msg::ParityUpdate { row: 0, mask_wire: vec![], uid: u, from_site: 0, tag: 3 },
-            Msg::SpareProbe { row: 0, tag: 4 },
-            Msg::SpareInstall { row: 0, for_site: 0, data: vec![], uid: u, tag: 5 },
-            Msg::BlockRead { row: 0, tag: 6 },
-            Msg::SpareDrainList { for_site: 0, tag: 7 },
-            Msg::SpareTake { row: 0, tag: 8 },
-            Msg::RestoreBlock { row: 0, data: vec![], uid: u, tag: 9 },
-            Msg::ReadOk { tag: 10, data: vec![] },
-            Msg::WriteOk { tag: 11 },
-            Msg::Ack { tag: 12 },
-            Msg::Nack { tag: 13, reason: NackReason::Down },
-            Msg::BlockData { tag: 14, data: vec![], uid: u, parity_uids: None },
-            Msg::SpareState { tag: 15, slot: None },
-            Msg::SpareRows { tag: 16, rows: vec![] },
-        ];
-        for (i, m) in msgs.iter().enumerate() {
-            assert_eq!(m.tag(), i as u64 + 1, "variant {i}");
-        }
-    }
-}
+pub use radd_protocol::wire::{Msg, MsgKind, NackReason, SpareContent, SpareSlotWire};

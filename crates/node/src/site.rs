@@ -1,23 +1,20 @@
-//! The per-site server thread.
+//! The per-site server thread: a [`SiteMachine`] driven by a real event
+//! loop.
 //!
-//! One event loop per site, owning all site state. Two subtleties:
+//! All protocol logic — W1–W4 deferred acks, the parity UID idempotence
+//! guard, stop-and-wait per-row retransmission, spare slots, the
+//! at-most-once reply cache — lives in [`radd_protocol::SiteMachine`]. This
+//! module owns only what the sans-IO machine cannot: the endpoint, the
+//! wall clock, and the control channel. Each loop iteration
 //!
-//! * **Deferred write acks.** W1 happens locally, the W3 parity message
-//!   goes out, and the client's `WriteOk` is deferred until the parity
-//!   site's ack arrives (a pending table keyed by the parity message's
-//!   tag) — so no site ever blocks waiting on another site, and cyclic
-//!   waits cannot form.
-//! * **Retransmission with backoff.** The network may drop messages (see
-//!   [`radd_net::ThreadedNet::set_loss`]); a pending parity update is
-//!   resent on an exponential-backoff timer until its ack arrives. The
-//!   parity site applies updates *idempotently* — a retransmission whose
-//!   mask was already applied (same UID already recorded in the row's UID
-//!   array slot) is acknowledged without touching the parity block, so a
-//!   lost ack never double-applies a change mask. Because the UID guard
-//!   only remembers the *latest* UID per slot, updates for one row are
-//!   sent **stop-and-wait**: a second write to a block queues its mask
-//!   until the first's ack arrives, otherwise a retransmitted first mask
-//!   could land after the second and XOR itself in twice.
+//! 1. drains harness control commands,
+//! 2. fires due retransmit timers into [`SiteMachine::on_timer`],
+//! 3. feeds one inbound message into [`SiteMachine::handle`],
+//!
+//! and interprets the resulting effects: `Send` → endpoint send, `SetTimer`
+//! → an exponential-backoff deadline in the local timer wheel, `ClearTimer`
+//! → disarm. Block I/O receipts need no interpretation here (the machine
+//! already performed the I/O against its in-memory [`MemBlocks`]).
 //!
 //! Fault harnesses must quiesce a site (wait for its pending table to
 //! drain, via [`Control::QueryPending`]) before killing it: a temporary
@@ -26,20 +23,21 @@
 //! paper resolves with coordinator logs that this in-memory runtime does
 //! not model.
 
-use crate::message::{Msg, NackReason};
-use radd_blockdev::{BlockDevice, MemDisk};
-use radd_layout::Geometry;
-use radd_net::threaded::ReliableChannel;
+use crate::message::Msg;
 use radd_net::ThreadedEndpoint;
-use radd_parity::{ChangeMask, Uid, UidArray, UidGen};
-use std::collections::{HashMap, VecDeque};
+use radd_protocol::{trace, Dest, Effect, MemBlocks, SiteMachine, TraceEntry};
+use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
 use std::time::{Duration, Instant};
 
 /// First retransmission delay for an unacked parity update.
-const RETRANSMIT_BASE: Duration = Duration::from_millis(40);
+const RETRANSMIT_BASE_MS: u64 = 40;
 /// Retransmission backoff ceiling.
-const RETRANSMIT_CAP: Duration = Duration::from_millis(640);
+const RETRANSMIT_CAP_MS: u64 = 640;
+
+fn backoff(step: u32) -> Duration {
+    Duration::from_millis((RETRANSMIT_BASE_MS << step.min(10)).min(RETRANSMIT_CAP_MS))
+}
 
 /// Control-plane commands (out of band, from the test harness).
 #[derive(Debug)]
@@ -54,9 +52,14 @@ pub enum Control {
     /// harness polls this to quiesce the cluster before failure injection
     /// or invariant checks.
     QueryPending(std::sync::mpsc::Sender<usize>),
-    /// Report whether the site's retransmission channel has no unacked
-    /// parity updates in flight ([`ReliableChannel::all_acked`]).
+    /// Report whether no request of this site is awaiting an ack
+    /// ([`SiteMachine::all_acked`]).
     QueryAllAcked(std::sync::mpsc::Sender<bool>),
+    /// Start (`true`) or stop recording the site's normalised effect trace
+    /// (for differential tests against the DES interpreter).
+    RecordTrace(bool, std::sync::mpsc::Sender<()>),
+    /// Hand over the recorded trace, clearing the buffer.
+    TakeTrace(std::sync::mpsc::Sender<Vec<TraceEntry>>),
     /// Stop the thread.
     Shutdown,
 }
@@ -76,79 +79,83 @@ pub struct SiteConfig {
     pub ep_base: usize,
 }
 
-struct SpareSlot {
-    for_site: usize,
-    uid: Uid,
-}
-
-/// A write whose client reply is waiting for a parity ack (the outbound
-/// parity message itself lives in the site's [`ReliableChannel`] or, if
-/// an earlier update for the same row is still unacked, in the row's
-/// stop-and-wait queue).
-struct PendingWrite {
-    client: usize,
-    client_tag: u64,
-    row: u64,
-}
-
-struct SiteState {
+struct SiteDriver {
     cfg: SiteConfig,
-    geo: Geometry,
-    disk: MemDisk,
-    block_uids: Vec<Uid>,
-    parity_uids: HashMap<u64, UidArray>,
-    spares: HashMap<u64, SpareSlot>,
-    uid_gen: UidGen,
+    machine: SiteMachine,
+    blocks: MemBlocks,
     down: bool,
-    next_tag: u64,
-    pending: HashMap<u64, PendingWrite>,
-    /// Retransmission tracker for the *in-flight* parity updates, keyed by
-    /// the same tags as `pending`. Because each non-empty row queue keeps
-    /// its head tracked here, `rel.all_acked()` ⇔ `pending.is_empty()`.
-    rel: ReliableChannel<Msg>,
-    /// Stop-and-wait per row: the front entry is in flight, the rest wait
-    /// for its ack. At most one UID per (row, site) is ever outstanding,
-    /// so a retransmission can never race a *later* update for the same
-    /// slot — without this, a dropped ack followed by a second write to
-    /// the block lets the retransmitted first mask re-apply on top of the
-    /// second (the parity site's UID guard only remembers the latest UID).
-    parity_queue: HashMap<u64, VecDeque<(u64, Msg)>>,
+    /// Retransmit deadlines by outstanding tag.
+    timers: BTreeMap<u64, Instant>,
+    trace: Option<Vec<TraceEntry>>,
 }
 
-impl SiteState {
-    fn new(cfg: SiteConfig) -> SiteState {
-        SiteState {
-            geo: Geometry::new(cfg.group_size, cfg.rows).expect("valid geometry"),
-            disk: MemDisk::new(cfg.rows, cfg.block_size),
-            block_uids: vec![Uid::INVALID; cfg.rows as usize],
-            parity_uids: HashMap::new(),
-            spares: HashMap::new(),
-            uid_gen: UidGen::new(cfg.site as u16),
-            down: false,
-            next_tag: 0,
-            pending: HashMap::new(),
-            rel: ReliableChannel::new(RETRANSMIT_BASE, RETRANSMIT_CAP),
-            parity_queue: HashMap::new(),
-            cfg,
+impl SiteDriver {
+    fn interpret(&mut self, ep: &ThreadedEndpoint<Msg>, out: Vec<Effect>) {
+        let now = Instant::now();
+        for eff in out {
+            if let Some(buf) = &mut self.trace {
+                if let Some(e) = trace(&eff) {
+                    buf.push(e);
+                }
+            }
+            match eff {
+                Effect::Send { to, msg, .. } => {
+                    let dst = match to {
+                        Dest::Site(s) => self.cfg.ep_base + s,
+                        Dest::Peer(p) => p,
+                    };
+                    let _ = ep.send(dst, msg);
+                }
+                Effect::SetTimer { tag, step } => {
+                    self.timers.insert(tag, now + backoff(step));
+                }
+                Effect::ClearTimer { tag } => {
+                    self.timers.remove(&tag);
+                }
+                // The machine already performed the I/O on `blocks`; the
+                // receipts matter only to cost-accounting drivers.
+                Effect::Read { .. } | Effect::Write { .. } | Effect::DeferAck { .. } => {}
+                // Disk-fault escalations cannot happen here: MemBlocks
+                // never faults and this runtime injects no disk failures.
+                Effect::NeedParityRebuild { .. } | Effect::ParityUnservable { .. } => {
+                    debug_assert!(false, "disk-fault escalation in a faultless runtime");
+                }
+            }
         }
     }
 
-    fn fresh_tag(&mut self) -> u64 {
-        self.next_tag += 1;
-        // Site-unique tag space: site id in the high bits.
-        ((self.cfg.site as u64 + 1) << 48) | self.next_tag
-    }
-
-    fn num_sites(&self) -> usize {
-        self.cfg.group_size + 2
+    /// Fire every retransmit timer whose deadline has passed. The resend
+    /// may itself be dropped by loss injection or refused during a
+    /// partition; either way the timer re-arms with a doubled delay, so
+    /// convergence only needs the loss probability to be below certainty
+    /// and partitions to eventually heal.
+    fn fire_due_timers(&mut self, ep: &ThreadedEndpoint<Msg>) {
+        let now = Instant::now();
+        let due: Vec<u64> = self
+            .timers
+            .iter()
+            .filter(|&(_, &at)| at <= now)
+            .map(|(&tag, _)| tag)
+            .collect();
+        for tag in due {
+            self.timers.remove(&tag);
+            let mut out = Vec::new();
+            self.machine.on_timer(tag, &mut out);
+            self.interpret(ep, out);
+        }
     }
 }
 
-
-
 /// Run the site event loop until shutdown.
 pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Control>) {
-    let mut st = SiteState::new(cfg);
+    let mut st = SiteDriver {
+        machine: SiteMachine::new(cfg.site, cfg.group_size, cfg.rows, cfg.block_size),
+        blocks: MemBlocks::new(cfg.rows, cfg.block_size),
+        down: false,
+        timers: BTreeMap::new(),
+        trace: None,
+        cfg,
+    };
     loop {
         // Drain the whole control backlog first (non-blocking), then serve
         // protocol traffic.
@@ -159,10 +166,18 @@ pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Co
                     let _ = ack.send(());
                 }
                 Ok(Control::QueryPending(reply)) => {
-                    let _ = reply.send(st.pending.len());
+                    let _ = reply.send(st.machine.pending_writes());
                 }
                 Ok(Control::QueryAllAcked(reply)) => {
-                    let _ = reply.send(st.rel.all_acked());
+                    let _ = reply.send(st.machine.all_acked());
+                }
+                Ok(Control::RecordTrace(on, ack)) => {
+                    st.trace = if on { Some(Vec::new()) } else { None };
+                    let _ = ack.send(());
+                }
+                Ok(Control::TakeTrace(reply)) => {
+                    let buf = st.trace.replace(Vec::new()).unwrap_or_default();
+                    let _ = reply.send(buf);
                 }
                 Ok(Control::Shutdown) => return,
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
@@ -170,216 +185,21 @@ pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Co
             }
         }
         if !st.down {
-            retransmit_due(&mut st, &ep);
+            st.fire_due_timers(&ep);
         }
         let inbound = match ep.recv_timeout(Duration::from_millis(20)) {
             Ok(m) => m,
             Err(_) => continue,
         };
-        let src = inbound.src;
-        let msg = inbound.payload;
-        // A down site answers nothing except its own pending acks never
+        // A down site answers nothing, and its own pending acks never
         // arrive either — exactly a crashed process from the network's
-        // point of view. (We do swallow the message rather than queueing.)
+        // point of view. (We swallow the message rather than queueing.)
         if st.down {
             continue;
         }
-        handle(&mut st, &ep, src, msg);
-    }
-}
-
-/// Resend every pending parity update whose backoff timer has expired.
-/// The send may itself be dropped by loss injection or refused during a
-/// partition; either way the timer doubles and the update stays queued, so
-/// convergence only needs the loss probability to be below certainty and
-/// partitions to eventually heal.
-fn retransmit_due(st: &mut SiteState, ep: &ThreadedEndpoint<Msg>) {
-    for (dst, msg) in st.rel.due(Instant::now()) {
-        let _ = ep.send(dst, msg);
-    }
-}
-
-fn nack(ep: &ThreadedEndpoint<Msg>, to: usize, tag: u64, reason: NackReason) {
-    let _ = ep.send(to, Msg::Nack { tag, reason });
-}
-
-fn handle(st: &mut SiteState, ep: &ThreadedEndpoint<Msg>, src: usize, msg: Msg) {
-    match msg {
-        Msg::Read { index, tag } => {
-            if index >= st.geo.data_capacity(st.cfg.site) {
-                return nack(ep, src, tag, NackReason::OutOfRange);
-            }
-            let row = st.geo.data_to_physical(st.cfg.site, index);
-            let data = st.disk.read_block(row).expect("in range").to_vec();
-            let _ = ep.send(src, Msg::ReadOk { tag, data });
-        }
-        Msg::Write { index, data, tag } => {
-            if index >= st.geo.data_capacity(st.cfg.site) {
-                return nack(ep, src, tag, NackReason::OutOfRange);
-            }
-            if data.len() != st.cfg.block_size {
-                return nack(ep, src, tag, NackReason::BadSize);
-            }
-            let row = st.geo.data_to_physical(st.cfg.site, index);
-            // W1: local write with a fresh UID (old value from the "buffer
-            // pool" — our own disk).
-            let old = st.disk.read_block(row).expect("in range");
-            let uid = st.uid_gen.next_uid();
-            st.disk.write_block(row, &data).expect("in range");
-            st.block_uids[row as usize] = uid;
-            // W2–W3: mask to the parity site; defer the client reply until
-            // the ack (the §6 "done = prepared" discipline).
-            let mask = ChangeMask::diff(&old, &data);
-            let parity_site = st.geo.parity_site(row);
-            let ptag = st.fresh_tag();
-            let parity_ep = st.cfg.ep_base + parity_site;
-            let update = Msg::ParityUpdate {
-                row,
-                mask_wire: mask.encode().to_vec(),
-                uid,
-                from_site: st.cfg.site,
-                tag: ptag,
-            };
-            st.pending.insert(
-                ptag,
-                PendingWrite {
-                    client: src,
-                    client_tag: tag,
-                    row,
-                },
-            );
-            // Stop-and-wait per row: send immediately only if no earlier
-            // update for this row is still awaiting its ack.
-            let queue = st.parity_queue.entry(row).or_default();
-            queue.push_back((ptag, update.clone()));
-            if queue.len() == 1 {
-                let _ = ep.send(parity_ep, update.clone());
-                st.rel.track(ptag, parity_ep, update);
-            }
-        }
-        Msg::ParityUpdate {
-            row,
-            mask_wire,
-            uid,
-            from_site,
-            tag,
-        } => {
-            debug_assert_eq!(st.geo.parity_site(row), st.cfg.site);
-            let n = st.num_sites();
-            let uids = st
-                .parity_uids
-                .entry(row)
-                .or_insert_with(|| UidArray::new(n));
-            // Idempotence: a retransmission whose ack was lost arrives with
-            // a UID this slot already records — re-applying its XOR mask
-            // would corrupt the parity block, so just ack again.
-            if uids.get(from_site) != uid {
-                let mask = ChangeMask::decode(&mask_wire).expect("well-formed mask");
-                let mut parity = st.disk.read_block(row).expect("in range").to_vec();
-                mask.apply(&mut parity); // formula (1)
-                st.disk.write_block(row, &parity).expect("in range");
-                st.parity_uids
-                    .entry(row)
-                    .or_insert_with(|| UidArray::new(n))
-                    .set(from_site, uid); // W4
-            }
-            let _ = ep.send(src, Msg::Ack { tag });
-        }
-        Msg::Ack { tag } => {
-            // A parity ack completing one of our writes; duplicate acks
-            // (from retransmissions whose originals also got through) fall
-            // out of the pending table as no-ops.
-            st.rel.ack(tag);
-            if let Some(p) = st.pending.remove(&tag) {
-                let _ = ep.send(p.client, Msg::WriteOk { tag: p.client_tag });
-                // Advance the row's stop-and-wait queue: launch the next
-                // queued update now that its predecessor is applied.
-                if let Some(queue) = st.parity_queue.get_mut(&p.row) {
-                    if queue.front().map(|&(t, _)| t) == Some(tag) {
-                        queue.pop_front();
-                    }
-                    if let Some((next_tag, next)) = queue.front().cloned() {
-                        let parity_ep = st.cfg.ep_base + st.geo.parity_site(p.row);
-                        let _ = ep.send(parity_ep, next.clone());
-                        st.rel.track(next_tag, parity_ep, next);
-                    } else {
-                        st.parity_queue.remove(&p.row);
-                    }
-                }
-            }
-        }
-        Msg::SpareProbe { row, tag } => {
-            debug_assert_eq!(st.geo.spare_site(row), st.cfg.site);
-            let slot = st.spares.get(&row).map(|s| {
-                let data = st.disk.read_block(row).expect("in range").to_vec();
-                (s.for_site, data, s.uid)
-            });
-            let _ = ep.send(src, Msg::SpareState { tag, slot });
-        }
-        Msg::SpareInstall {
-            row,
-            for_site,
-            data,
-            uid,
-            tag,
-        } => {
-            st.disk.write_block(row, &data).expect("in range");
-            st.spares.insert(row, SpareSlot { for_site, uid });
-            let _ = ep.send(src, Msg::Ack { tag });
-        }
-        Msg::BlockRead { row, tag } => {
-            let data = st.disk.read_block(row).expect("in range").to_vec();
-            let parity_uids = if st.geo.parity_site(row) == st.cfg.site {
-                let n = st.num_sites();
-                Some(
-                    st.parity_uids
-                        .get(&row)
-                        .cloned()
-                        .unwrap_or_else(|| UidArray::new(n))
-                        .slots()
-                        .to_vec(),
-                )
-            } else {
-                None
-            };
-            let _ = ep.send(
-                src,
-                Msg::BlockData {
-                    tag,
-                    data,
-                    uid: st.block_uids[row as usize],
-                    parity_uids,
-                },
-            );
-        }
-        Msg::SpareDrainList { for_site, tag } => {
-            let rows: Vec<u64> = st
-                .spares
-                .iter()
-                .filter(|(_, s)| s.for_site == for_site)
-                .map(|(&r, _)| r)
-                .collect();
-            let _ = ep.send(src, Msg::SpareRows { tag, rows });
-        }
-        Msg::SpareTake { row, tag } => {
-            let slot = st.spares.remove(&row).map(|s| {
-                let data = st.disk.read_block(row).expect("in range").to_vec();
-                (s.for_site, data, s.uid)
-            });
-            let _ = ep.send(src, Msg::SpareState { tag, slot });
-        }
-        Msg::RestoreBlock { row, data, uid, tag } => {
-            st.disk.write_block(row, &data).expect("in range");
-            st.block_uids[row as usize] = uid;
-            let _ = ep.send(src, Msg::Ack { tag });
-        }
-        // Replies that reach a site outside the pending table are stale
-        // (e.g. an ack for a write whose site restarted): drop them.
-        Msg::ReadOk { .. }
-        | Msg::WriteOk { .. }
-        | Msg::Nack { .. }
-        | Msg::BlockData { .. }
-        | Msg::SpareState { .. }
-        | Msg::SpareRows { .. } => {}
+        let mut out = Vec::new();
+        st.machine
+            .handle(&mut st.blocks, inbound.src, inbound.payload, &mut out);
+        st.interpret(&ep, out);
     }
 }

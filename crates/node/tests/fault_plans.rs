@@ -5,9 +5,7 @@
 //! hold across the cluster.
 
 use radd_node::ThreadedDriver;
-use radd_workload::faults::{
-    run_plan, seed_from_name, FaultEvent, FaultPlan, PlanShape,
-};
+use radd_workload::faults::{run_plan, seed_from_name, FaultEvent, FaultPlan, PlanShape};
 
 const BLOCK: usize = 64;
 
@@ -18,7 +16,10 @@ fn named_seed_plan_completes_on_the_threaded_runtime() {
     let mut driver = ThreadedDriver::start(shape.group_size, shape.rows, BLOCK);
     let report = run_plan(&mut driver, &plan).unwrap_or_else(|f| panic!("{f}"));
     assert_eq!(report.applied, plan.events.len());
-    assert!(report.invariant_checks > 0, "healthy stretches must be swept");
+    assert!(
+        report.invariant_checks > 0,
+        "healthy stretches must be swept"
+    );
     assert!(
         driver.cluster().all_acked(),
         "no parity update may still be in flight after the final quiesce"
@@ -33,21 +34,52 @@ fn loss_burst_and_partition_converge_via_retransmission() {
     // dropped) overlapping a partition. Every write here must still be
     // durably reflected in parity once the cluster quiesces.
     let plan = FaultPlan::from_events(vec![
-        Write { site: 0, index: 0, fill: 0x11 },
-        Write { site: 1, index: 0, fill: 0x22 },
-        LossBurst { permille: 300, seed: 0xC0FFEE },
-        Write { site: 2, index: 0, fill: 0x33 },
-        Write { site: 3, index: 1, fill: 0x44 },
+        Write {
+            site: 0,
+            index: 0,
+            fill: 0x11,
+        },
+        Write {
+            site: 1,
+            index: 0,
+            fill: 0x22,
+        },
+        LossBurst {
+            permille: 300,
+            seed: 0xC0FFEE,
+        },
+        Write {
+            site: 2,
+            index: 0,
+            fill: 0x33,
+        },
+        Write {
+            site: 3,
+            index: 1,
+            fill: 0x44,
+        },
         Isolate { site: 1 },
         // Degraded write: the spare site absorbs it (W1').
-        Write { site: 1, index: 2, fill: 0x55 },
-        Write { site: 4, index: 1, fill: 0x66 },
+        Write {
+            site: 1,
+            index: 2,
+            fill: 0x55,
+        },
+        Write {
+            site: 4,
+            index: 1,
+            fill: 0x66,
+        },
         // Degraded read straight back from the spare, under loss.
         Read { site: 1, index: 2 },
         Heal { site: 1 },
         Recover { site: 1 },
         LossEnd,
-        Write { site: 0, index: 3, fill: 0x77 },
+        Write {
+            site: 0,
+            index: 3,
+            fill: 0x77,
+        },
         Read { site: 1, index: 2 },
         FlushParity,
     ]);
@@ -67,9 +99,16 @@ fn quiesce_reports_all_acked_even_after_heavy_loss() {
     use FaultEvent::*;
     // Loss only — no failures — so every event is followed by a full
     // invariant sweep once the burst ends.
-    let mut events = vec![LossBurst { permille: 250, seed: 0xFEED }];
+    let mut events = vec![LossBurst {
+        permille: 250,
+        seed: 0xFEED,
+    }];
     for i in 0..8u64 {
-        events.push(Write { site: (i % 6) as usize, index: i % 4, fill: 0x100 + i });
+        events.push(Write {
+            site: (i % 6) as usize,
+            index: i % 4,
+            fill: 0x100 + i,
+        });
     }
     events.push(LossEnd);
     events.push(FlushParity);

@@ -48,7 +48,11 @@ fn write_while_down_survives_recovery() {
     cluster.revive_site(3);
     let drained = cluster.client().recover(3).unwrap();
     assert_eq!(drained, 1);
-    assert_eq!(cluster.client().read(3, 1).unwrap(), v2, "served locally again");
+    assert_eq!(
+        cluster.client().read(3, 1).unwrap(),
+        v2,
+        "served locally again"
+    );
     cluster.client().verify_parity().unwrap();
     cluster.shutdown();
 }
@@ -103,7 +107,10 @@ fn many_writes_keep_parity_consistent_under_concurrency() {
     for round in 0..5u8 {
         for site in 0..cluster.num_sites() {
             let data = vec![round * 40 + site as u8 + 1; BLOCK];
-            cluster.client().write(site, (round % 4) as u64, &data).unwrap();
+            cluster
+                .client()
+                .write(site, (round % 4) as u64, &data)
+                .unwrap();
         }
     }
     cluster.client().verify_parity().unwrap();
@@ -120,7 +127,9 @@ fn concurrent_clients_on_distinct_blocks_stay_consistent() {
     let writer = std::thread::spawn(move || {
         for round in 0..20u8 {
             for site in 0..3 {
-                other.write(site, 0, &[round.wrapping_mul(3) + 1; BLOCK]).unwrap();
+                other
+                    .write(site, 0, &[round.wrapping_mul(3) + 1; BLOCK])
+                    .unwrap();
             }
         }
         other
@@ -137,10 +146,16 @@ fn concurrent_clients_on_distinct_blocks_stay_consistent() {
     cluster.client().verify_parity().unwrap();
     // Final contents are the last writes.
     for site in 0..3 {
-        assert_eq!(cluster.client().read(site, 0).unwrap(), vec![19u8 * 3 + 1; BLOCK]);
+        assert_eq!(
+            cluster.client().read(site, 0).unwrap(),
+            vec![19u8 * 3 + 1; BLOCK]
+        );
     }
     for site in 3..6 {
-        assert_eq!(cluster.client().read(site, 1).unwrap(), vec![19u8 * 5 + 2; BLOCK]);
+        assert_eq!(
+            cluster.client().read(site, 1).unwrap(),
+            vec![19u8 * 5 + 2; BLOCK]
+        );
     }
     cluster.shutdown();
 }

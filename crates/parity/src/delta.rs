@@ -154,19 +154,38 @@ mod tests {
         }
         .apply(&mut page);
         assert_eq!(page, vec![1u8; 8]);
-        PageEdit::Delete { offset: 6, len: 100 }.apply(&mut page);
+        PageEdit::Delete {
+            offset: 6,
+            len: 100,
+        }
+        .apply(&mut page);
         assert_eq!(page, vec![1, 1, 1, 1, 1, 1, 0, 0]);
     }
 
     #[test]
     fn wire_size_counts_payload() {
         assert_eq!(
-            PageEdit::Insert { offset: 0, bytes: vec![0; 100] }.wire_size(),
+            PageEdit::Insert {
+                offset: 0,
+                bytes: vec![0; 100]
+            }
+            .wire_size(),
             109
         );
-        assert_eq!(PageEdit::Delete { offset: 0, len: 500 }.wire_size(), 9);
         assert_eq!(
-            PageEdit::Overwrite { offset: 0, bytes: vec![0; 10] }.wire_size(),
+            PageEdit::Delete {
+                offset: 0,
+                len: 500
+            }
+            .wire_size(),
+            9
+        );
+        assert_eq!(
+            PageEdit::Overwrite {
+                offset: 0,
+                bytes: vec![0; 10]
+            }
+            .wire_size(),
             19
         );
     }
@@ -191,9 +210,18 @@ mod tests {
     fn change_mask_replay_matches_direct_apply() {
         let page: Vec<u8> = (0..256).map(|i| (i * 3 % 250) as u8).collect();
         for edit in [
-            PageEdit::Insert { offset: 7, bytes: vec![1, 2, 3, 4, 5] },
-            PageEdit::Delete { offset: 100, len: 20 },
-            PageEdit::Overwrite { offset: 200, bytes: vec![9; 30] },
+            PageEdit::Insert {
+                offset: 7,
+                bytes: vec![1, 2, 3, 4, 5],
+            },
+            PageEdit::Delete {
+                offset: 100,
+                len: 20,
+            },
+            PageEdit::Overwrite {
+                offset: 200,
+                bytes: vec![9; 30],
+            },
         ] {
             let mut direct = page.clone();
             edit.apply(&mut direct);

@@ -36,7 +36,11 @@ const SPAN_HEADER_BYTES: usize = 8;
 impl ChangeMask {
     /// Compute the mask between `old` and `new` (equal lengths required).
     pub fn diff(old: &[u8], new: &[u8]) -> ChangeMask {
-        assert_eq!(old.len(), new.len(), "mask operands must be the same length");
+        assert_eq!(
+            old.len(),
+            new.len(),
+            "mask operands must be the same length"
+        );
         let dense = xor_bytes(old, new);
         Self::from_dense(&dense)
     }
@@ -157,7 +161,8 @@ impl ChangeMask {
     /// [`encode`]: ChangeMask::encode
     pub fn decode(buf: &[u8]) -> Option<ChangeMask> {
         let read_u32 = |b: &[u8], at: usize| -> Option<u32> {
-            b.get(at..at + 4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+            b.get(at..at + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
         };
         let block_len = read_u32(buf, 0)? as usize;
         let n_spans = read_u32(buf, 4)? as usize;

@@ -8,11 +8,7 @@
 /// `dst ^= src`, element-wise. Panics if lengths differ — stripe blocks are
 /// always the same size, so a mismatch is a logic error, not an I/O error.
 pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
-    assert_eq!(
-        dst.len(),
-        src.len(),
-        "XOR operands must be the same length"
-    );
+    assert_eq!(dst.len(), src.len(), "XOR operands must be the same length");
     // Word-at-a-time main loop, byte tail.
     let n = dst.len() / 8 * 8;
     for i in (0..n).step_by(8) {

@@ -3,9 +3,7 @@
 //! round-trip.
 
 use proptest::prelude::*;
-use radd_parity::{
-    reconstruct, xor_many, ChangeMask, PageEdit, StripeRead, Uid,
-};
+use radd_parity::{reconstruct, xor_many, ChangeMask, PageEdit, StripeRead, Uid};
 
 fn arb_block(len: usize) -> impl Strategy<Value = Vec<u8>> {
     proptest::collection::vec(any::<u8>(), len)

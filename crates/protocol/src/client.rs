@@ -1,0 +1,651 @@
+//! The client-side protocol machine (§3.2–§3.3 read/write/recovery logic),
+//! sans-IO.
+//!
+//! [`ClientMachine`] owns every §3 *decision* a RADD client makes — when to
+//! go degraded, how to probe/install spares, which sources feed an XOR
+//! reconstruction and how their UIDs are validated, and how a recovering
+//! site's redirected writes are drained — while delegating every *exchange*
+//! to a [`ClientIo`] implementation. The DES cluster implements `ClientIo`
+//! by synchronous in-memory delivery with cost-ledger charging; the threaded
+//! runtime implements it with endpoint sends, timeouts, and retries.
+
+use crate::effect::Dest;
+use crate::trace::TraceEntry;
+use crate::wire::{Msg, NackReason, SpareContent, SpareSlotWire};
+use radd_layout::Geometry;
+use radd_parity::{Uid, UidArray, UidGen};
+use serde::{Deserialize, Serialize};
+
+/// How many spare blocks are allocated (§7.2).
+///
+/// The paper analyses one spare per parity block and notes that "a smaller
+/// number of spare blocks can be allocated per site if the system
+/// administrator is willing to tolerate lower availability. … Analyzing
+/// availability for lesser numbers of parity blocks is left as a future
+/// exercise." [`SparePolicy::Fraction`] implements that exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SparePolicy {
+    /// One spare block per parity block — the paper's analysed configuration
+    /// ("this will allow any block on the down machine to be written while
+    /// the site is down").
+    OnePerParity,
+    /// No spare blocks: 12.5 % space overhead at `G = 8` instead of 25 %,
+    /// but every down-site read reconstructs from scratch and down-site
+    /// writes cannot be absorbed (they are refused as unavailable).
+    None,
+    /// Spares on `numerator` of every `denominator` rows. Down-site writes
+    /// to spare-less rows are refused; reads of spare-less rows reconstruct
+    /// every time.
+    Fraction {
+        /// Rows with a spare per cycle.
+        numerator: u32,
+        /// Cycle length.
+        denominator: u32,
+    },
+}
+
+impl SparePolicy {
+    /// Does physical row `row` have a usable spare block under this policy?
+    pub fn has_spare(&self, row: u64) -> bool {
+        match *self {
+            SparePolicy::OnePerParity => true,
+            SparePolicy::None => false,
+            SparePolicy::Fraction {
+                numerator,
+                denominator,
+            } => {
+                debug_assert!(numerator <= denominator && denominator > 0);
+                (row % denominator as u64) < numerator as u64
+            }
+        }
+    }
+
+    /// Space overhead as a fraction of data capacity for group size `g`:
+    /// one parity block per `g` data blocks, plus the allocated share of
+    /// spares.
+    pub fn space_overhead(&self, g: usize) -> f64 {
+        let spare_share = match *self {
+            SparePolicy::OnePerParity => 1.0,
+            SparePolicy::None => 0.0,
+            SparePolicy::Fraction {
+                numerator,
+                denominator,
+            } => numerator as f64 / denominator as f64,
+        };
+        (1.0 + spare_share) / g as f64
+    }
+}
+
+/// Why a client operation failed, transport-independently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientErr {
+    /// Block index beyond the site's data capacity.
+    OutOfRange,
+    /// Payload length does not match the block size.
+    BadSize,
+    /// The combination of failures exceeds what one parity group masks.
+    MultipleFailure {
+        /// Human-readable diagnosis.
+        detail: String,
+    },
+    /// §3.3 validation failed: `site`'s block UID disagrees with the parity
+    /// UID array (a parity update is still in flight).
+    Inconsistent {
+        /// The stale or racing source site.
+        site: usize,
+    },
+    /// The block exists but cannot be served (e.g. a spare-less row on a
+    /// down site under a partial [`SparePolicy`]).
+    Unavailable {
+        /// The refusing site.
+        site: usize,
+    },
+    /// The transport gave up on `site` (threaded runtime only; the DES
+    /// transport never times out).
+    Timeout {
+        /// The unresponsive site.
+        site: usize,
+    },
+}
+
+impl ClientErr {
+    fn multiple(detail: impl Into<String>) -> ClientErr {
+        ClientErr::MultipleFailure {
+            detail: detail.into(),
+        }
+    }
+}
+
+/// The transport half of a client: one request/reply exchange with a site.
+///
+/// `background` marks recovery-daemon traffic (drivers charge it to the
+/// background ledger rather than to a foreground operation's latency).
+pub trait ClientIo {
+    /// Send `msg` to `site` and return the (matching-tag) reply.
+    fn exchange(&mut self, site: usize, msg: Msg, background: bool) -> Result<Msg, ClientErr>;
+
+    /// Driver-supplied old value of the failed site's block at `row`, if the
+    /// driver has one (the DES cluster's buffer-pool oracle, honouring the
+    /// paper's costing where a degraded write needs no spare read). `None`
+    /// makes [`ClientMachine::write`] fetch it with a charged spare read.
+    fn old_value(&mut self, _site: usize, _row: u64) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// The client-side state machine.
+#[derive(Debug)]
+pub struct ClientMachine {
+    geo: Geometry,
+    block_size: usize,
+    spare_policy: SparePolicy,
+    validate_uids: bool,
+    uid_gen: UidGen,
+    next_tag: u64,
+    down: Vec<bool>,
+    trace: Option<Vec<TraceEntry>>,
+}
+
+impl ClientMachine {
+    /// A new client for a `G = group_size`, `rows`-row cluster.
+    /// `uid_namespace` disambiguates UIDs this client mints for redirected
+    /// writes from every site's generator.
+    pub fn new(
+        group_size: usize,
+        rows: u64,
+        block_size: usize,
+        spare_policy: SparePolicy,
+        validate_uids: bool,
+        uid_namespace: u16,
+    ) -> ClientMachine {
+        let geo = Geometry::new(group_size, rows).expect("valid geometry");
+        let n = geo.num_sites();
+        ClientMachine {
+            geo,
+            block_size,
+            spare_policy,
+            validate_uids,
+            uid_gen: UidGen::new(uid_namespace),
+            next_tag: 0,
+            down: vec![false; n],
+            trace: None,
+        }
+    }
+
+    /// The layout geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Mark `site` as believed-down (`true`) or back up (`false`). While a
+    /// site is believed down the machine never sends to it — it serves reads
+    /// by spare/reconstruction and absorbs writes into the row's spare.
+    pub fn set_down(&mut self, site: usize, down: bool) {
+        self.down[site] = down;
+    }
+
+    /// Is `site` currently believed down?
+    pub fn is_down(&self, site: usize) -> bool {
+        self.down[site]
+    }
+
+    /// Start recording a normalised request trace (for differential tests).
+    pub fn record_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace, leaving recording enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.replace(Vec::new()).unwrap_or_default()
+    }
+
+    fn tag(&mut self) -> u64 {
+        self.next_tag += 1;
+        self.next_tag
+    }
+
+    fn send(
+        &mut self,
+        io: &mut dyn ClientIo,
+        site: usize,
+        msg: Msg,
+        background: bool,
+    ) -> Result<Msg, ClientErr> {
+        debug_assert!(
+            !self.down[site],
+            "protocol bug: request sent to believed-down site {site}"
+        );
+        self.send_unchecked(io, site, msg, background)
+    }
+
+    /// Like [`send`](Self::send) but without the believed-down assertion:
+    /// the recovery drain legitimately targets the recovering site, which
+    /// stays on the down-list (degraded paths preferred) until the drain
+    /// completes.
+    fn send_unchecked(
+        &mut self,
+        io: &mut dyn ClientIo,
+        site: usize,
+        msg: Msg,
+        background: bool,
+    ) -> Result<Msg, ClientErr> {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry::Send {
+                to: Dest::Site(site),
+                kind: msg.kind(),
+                tag: msg.tag(),
+                wire: msg.wire_size(),
+            });
+        }
+        io.exchange(site, msg, background)
+    }
+
+    fn map_nack(site: usize, reason: NackReason) -> ClientErr {
+        match reason {
+            NackReason::OutOfRange => ClientErr::OutOfRange,
+            NackReason::BadSize => ClientErr::BadSize,
+            NackReason::Down | NackReason::Unavailable => ClientErr::multiple(format!(
+                "site {site} cannot serve the block (second failure in the group)"
+            )),
+            NackReason::Conflict => ClientErr::multiple(format!(
+                "row spare at site {site} already stands in for another site"
+            )),
+        }
+    }
+
+    // -- §3.2 reads ------------------------------------------------------
+
+    /// Read data block `index` of `site`, going degraded if the site is
+    /// believed down.
+    pub fn read(
+        &mut self,
+        io: &mut dyn ClientIo,
+        site: usize,
+        index: u64,
+    ) -> Result<Vec<u8>, ClientErr> {
+        if index >= self.geo.data_capacity(site) {
+            return Err(ClientErr::OutOfRange);
+        }
+        if self.down[site] {
+            return self.degraded_read(io, site, index);
+        }
+        let tag = self.tag();
+        match self.send(io, site, Msg::Read { index, tag }, false)? {
+            Msg::ReadOk { data, .. } => Ok(data),
+            Msg::Nack { reason, .. } => Err(Self::map_nack(site, reason)),
+            other => Err(ClientErr::multiple(format!(
+                "unexpected reply {:?} to Read",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// §3.2 down-site read: serve from the row's spare if a redirected write
+    /// landed there, otherwise reconstruct from the other `G` blocks and
+    /// cache the result in the spare for subsequent reads.
+    fn degraded_read(
+        &mut self,
+        io: &mut dyn ClientIo,
+        owner: usize,
+        index: u64,
+    ) -> Result<Vec<u8>, ClientErr> {
+        let row = self.geo.data_to_physical(owner, index);
+        let spare = self.geo.spare_site(row);
+        if self.spare_policy.has_spare(row) && !self.down[spare] {
+            let tag = self.tag();
+            let probe = Msg::SpareProbe {
+                row,
+                want_data: true,
+                tag,
+            };
+            match self.send(io, spare, probe, false)? {
+                Msg::SpareState {
+                    slot: Some(SpareSlotWire { for_site, data, .. }),
+                    ..
+                } if for_site == owner => return Ok(data),
+                Msg::SpareState {
+                    slot: Some(SpareSlotWire { for_site, .. }),
+                    ..
+                } => {
+                    // The spare absorbed a different site's failure: two
+                    // failures in one parity group.
+                    return Err(ClientErr::multiple(format!(
+                        "row {row} spare already used by site {for_site}"
+                    )));
+                }
+                Msg::SpareState { slot: None, .. } => {}
+                Msg::Nack { reason, .. } => return Err(Self::map_nack(spare, reason)),
+                other => {
+                    return Err(ClientErr::multiple(format!(
+                        "unexpected reply {:?} to SpareProbe",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+        let (data, uid) = self.reconstruct(io, owner, row, false)?;
+        if self.spare_policy.has_spare(row) && !self.down[spare] {
+            // Cache the reconstruction in the spare (§3.2: subsequent reads
+            // then cost one block access, not G). Installed in the
+            // background; a conflict just means a racing failure claimed the
+            // slot first — the read itself already succeeded.
+            let tag = self.tag();
+            let install = Msg::SpareInstall {
+                row,
+                for_site: owner,
+                data: data.clone(),
+                content: SpareContent::Data { uid },
+                tag,
+            };
+            self.send(io, spare, install, true)?;
+        }
+        Ok(data)
+    }
+
+    // -- §3.2 writes -----------------------------------------------------
+
+    /// Write data block `index` of `site` (W1–W4 at the site, or the W1'
+    /// spare redirect if the site is believed down).
+    pub fn write(
+        &mut self,
+        io: &mut dyn ClientIo,
+        site: usize,
+        index: u64,
+        data: &[u8],
+    ) -> Result<(), ClientErr> {
+        if index >= self.geo.data_capacity(site) {
+            return Err(ClientErr::OutOfRange);
+        }
+        if data.len() != self.block_size {
+            return Err(ClientErr::BadSize);
+        }
+        if self.down[site] {
+            return self.degraded_write(io, site, index, data);
+        }
+        let tag = self.tag();
+        let msg = Msg::Write {
+            index,
+            data: data.to_vec(),
+            tag,
+        };
+        match self.send(io, site, msg, false)? {
+            Msg::WriteOk { .. } => Ok(()),
+            Msg::Nack { reason, .. } => Err(Self::map_nack(site, reason)),
+            other => Err(ClientErr::multiple(format!(
+                "unexpected reply {:?} to Write",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// §3.2 down-site write (W1'): redirect the block into the row's spare
+    /// with a fresh UID and send the change mask to the parity site as
+    /// usual, so the down site's block stays reconstructable.
+    fn degraded_write(
+        &mut self,
+        io: &mut dyn ClientIo,
+        owner: usize,
+        index: u64,
+        data: &[u8],
+    ) -> Result<(), ClientErr> {
+        let row = self.geo.data_to_physical(owner, index);
+        let spare = self.geo.spare_site(row);
+        let parity = self.geo.parity_site(row);
+        if !self.spare_policy.has_spare(row) {
+            return Err(ClientErr::Unavailable { site: owner });
+        }
+        if self.down[spare] {
+            return Err(ClientErr::multiple(format!(
+                "row {row} spare site {spare} is down along with site {owner}"
+            )));
+        }
+        if self.down[parity] {
+            return Err(ClientErr::multiple(format!(
+                "row {row} parity site {parity} is down along with site {owner}"
+            )));
+        }
+        // W2': the old value, needed for the change mask. The driver may
+        // have it in its buffer pool (the paper's costing); otherwise fetch
+        // whatever the spare already absorbed, or reconstruct.
+        let oracle_old = io.old_value(owner, row);
+        let want_data = oracle_old.is_none();
+        let tag = self.tag();
+        let probe = Msg::SpareProbe {
+            row,
+            want_data,
+            tag,
+        };
+        let old = match self.send(io, spare, probe, false)? {
+            Msg::SpareState {
+                slot: Some(SpareSlotWire { for_site, data, .. }),
+                ..
+            } if for_site == owner => {
+                if want_data {
+                    data
+                } else {
+                    oracle_old.expect("want_data is false only with an oracle value")
+                }
+            }
+            Msg::SpareState {
+                slot: Some(SpareSlotWire { for_site, .. }),
+                ..
+            } => {
+                return Err(ClientErr::multiple(format!(
+                    "row {row} spare already used by site {for_site}"
+                )));
+            }
+            Msg::SpareState { slot: None, .. } => match oracle_old {
+                Some(v) => v,
+                None => self.reconstruct(io, owner, row, false)?.0,
+            },
+            Msg::Nack { reason, .. } => return Err(Self::map_nack(spare, reason)),
+            other => {
+                return Err(ClientErr::multiple(format!(
+                    "unexpected reply {:?} to SpareProbe",
+                    other.kind()
+                )))
+            }
+        };
+        // W1': install the new content in the spare under a client-minted
+        // UID…
+        let uid = self.uid_gen.next_uid();
+        let tag = self.tag();
+        let install = Msg::SpareInstall {
+            row,
+            for_site: owner,
+            data: data.to_vec(),
+            content: SpareContent::Data { uid },
+            tag,
+        };
+        match self.send(io, spare, install, false)? {
+            Msg::Ack { .. } => {}
+            Msg::Nack { reason, .. } => return Err(Self::map_nack(spare, reason)),
+            other => {
+                return Err(ClientErr::multiple(format!(
+                    "unexpected reply {:?} to SpareInstall",
+                    other.kind()
+                )))
+            }
+        }
+        // …and W3': ship the mask so the parity site records the new UID.
+        let mask = radd_parity::ChangeMask::diff(&old, data);
+        let tag = self.tag();
+        let update = Msg::ParityUpdate {
+            row,
+            mask_wire: mask.encode().to_vec(),
+            uid,
+            from_site: owner,
+            tag,
+        };
+        match self.send(io, parity, update, false)? {
+            Msg::Ack { .. } => Ok(()),
+            Msg::Nack { reason, .. } => Err(Self::map_nack(parity, reason)),
+            other => Err(ClientErr::multiple(format!(
+                "unexpected reply {:?} to ParityUpdate",
+                other.kind()
+            ))),
+        }
+    }
+
+    // -- §3.3 reconstruction ---------------------------------------------
+
+    /// Reconstruct `owner`'s block at `row` by XOR of the row's other `G`
+    /// blocks, validating every source UID against the parity UID array
+    /// (§3.3) when enabled. Returns the block and the UID the parity array
+    /// records for `owner` (what the reconstruction is valid *as of*).
+    pub fn reconstruct(
+        &mut self,
+        io: &mut dyn ClientIo,
+        owner: usize,
+        row: u64,
+        background: bool,
+    ) -> Result<(Vec<u8>, Uid), ClientErr> {
+        let n = self.geo.num_sites();
+        let spare = self.geo.spare_site(row);
+        let parity = self.geo.parity_site(row);
+        let mut acc = vec![0u8; self.block_size];
+        let mut sources: Vec<(usize, Uid)> = Vec::with_capacity(n - 2);
+        let mut parity_arr: Option<UidArray> = None;
+        for s in (0..n).filter(|&s| s != owner && s != spare) {
+            if self.down[s] {
+                return Err(ClientErr::multiple(format!(
+                    "cannot reconstruct row {row}: source site {s} is down too"
+                )));
+            }
+            let tag = self.tag();
+            let reply = self.send(io, s, Msg::BlockRead { row, tag }, background)?;
+            match reply {
+                Msg::BlockData {
+                    data,
+                    uid,
+                    parity_uids,
+                    ..
+                } => {
+                    for (a, b) in acc.iter_mut().zip(data.iter()) {
+                        *a ^= b;
+                    }
+                    if s == parity {
+                        let mut arr = UidArray::new(n);
+                        for (i, u) in parity_uids.unwrap_or_default().iter().enumerate().take(n) {
+                            arr.set(i, *u);
+                        }
+                        parity_arr = Some(arr);
+                    } else {
+                        sources.push((s, uid));
+                    }
+                }
+                Msg::Nack { reason, .. } => return Err(Self::map_nack(s, reason)),
+                other => {
+                    return Err(ClientErr::multiple(format!(
+                        "unexpected reply {:?} to BlockRead",
+                        other.kind()
+                    )))
+                }
+            }
+        }
+        let arr = parity_arr.unwrap_or_else(|| UidArray::new(n));
+        if self.validate_uids {
+            // §3.3: "the UIDs of the blocks used in the reconstruction must
+            // agree with the UIDs in the [parity] array" — otherwise a
+            // parity update is still in flight and the XOR would be stale.
+            for &(s, uid) in &sources {
+                if !arr.matches(s, uid) {
+                    return Err(ClientErr::Inconsistent { site: s });
+                }
+            }
+        }
+        Ok((acc, arr.get(owner)))
+    }
+
+    // -- §3.2 recovery drain ---------------------------------------------
+
+    /// Drain every spare that absorbed writes for recovering `site`: copy
+    /// the absorbed blocks (and their UID metadata) back to `site`, then
+    /// release the slots. Returns how many blocks were drained. All traffic
+    /// is background.
+    pub fn recover(&mut self, io: &mut dyn ClientIo, site: usize) -> Result<u64, ClientErr> {
+        let n = self.geo.num_sites();
+        let mut drained = 0u64;
+        for s in (0..n).filter(|&s| s != site) {
+            if self.down[s] {
+                return Err(ClientErr::multiple(format!(
+                    "cannot drain spares: site {s} is down during recovery of {site}"
+                )));
+            }
+            let tag = self.tag();
+            let rows = match self.send(
+                io,
+                s,
+                Msg::SpareDrainList {
+                    for_site: site,
+                    tag,
+                },
+                true,
+            )? {
+                Msg::SpareRows { rows, .. } => rows,
+                Msg::Nack { reason, .. } => return Err(Self::map_nack(s, reason)),
+                other => {
+                    return Err(ClientErr::multiple(format!(
+                        "unexpected reply {:?} to SpareDrainList",
+                        other.kind()
+                    )))
+                }
+            };
+            for row in rows {
+                let tag = self.tag();
+                let probe = Msg::SpareProbe {
+                    row,
+                    want_data: true,
+                    tag,
+                };
+                let slot = match self.send(io, s, probe, true)? {
+                    Msg::SpareState { slot, .. } => slot,
+                    Msg::Nack { reason, .. } => return Err(Self::map_nack(s, reason)),
+                    other => {
+                        return Err(ClientErr::multiple(format!(
+                            "unexpected reply {:?} to SpareProbe",
+                            other.kind()
+                        )))
+                    }
+                };
+                let slot = match slot {
+                    // Raced with another drain or the slot is gone: nothing
+                    // to restore.
+                    None => continue,
+                    Some(s) if s.for_site != site => continue,
+                    Some(s) => s,
+                };
+                let tag = self.tag();
+                let restore = Msg::RestoreBlock {
+                    row,
+                    data: slot.data,
+                    content: slot.content,
+                    tag,
+                };
+                match self.send_unchecked(io, site, restore, true)? {
+                    Msg::Ack { .. } => {}
+                    Msg::Nack { reason, .. } => return Err(Self::map_nack(site, reason)),
+                    other => {
+                        return Err(ClientErr::multiple(format!(
+                            "unexpected reply {:?} to RestoreBlock",
+                            other.kind()
+                        )))
+                    }
+                }
+                let tag = self.tag();
+                match self.send(io, s, Msg::SpareTake { row, tag }, true)? {
+                    Msg::Ack { .. } => {}
+                    Msg::Nack { reason, .. } => return Err(Self::map_nack(s, reason)),
+                    other => {
+                        return Err(ClientErr::multiple(format!(
+                            "unexpected reply {:?} to SpareTake",
+                            other.kind()
+                        )))
+                    }
+                }
+                drained += 1;
+            }
+        }
+        Ok(drained)
+    }
+}

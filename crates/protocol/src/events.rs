@@ -1,0 +1,20 @@
+//! Shared failure-event vocabulary (§3.1).
+//!
+//! Defined once here; `radd-schemes` and `radd-workload` re-export it so
+//! scheme drivers and fault plans speak the same language.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's three failure kinds (§3.1), as injectable events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// Temporary site failure: the site stops; its disks keep their data.
+    SiteFailure,
+    /// Site disaster: the site stops and all its disks are lost.
+    Disaster,
+    /// One disk at the site fails; the site stays operational.
+    DiskFailure {
+        /// Which disk.
+        disk: usize,
+    },
+}

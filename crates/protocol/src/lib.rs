@@ -1,0 +1,44 @@
+//! # radd-protocol — the sans-IO RADD state machines
+//!
+//! One implementation of the paper's §3 multiple-copy algorithm and §5
+//! partition rules, shared by every runtime. The crate is deliberately
+//! **pure**: no clocks, no threads, no channels, no sockets — machines
+//! consume *events* (delivered messages, timer firings, state transitions)
+//! and emit *effects* (sends with wire sizes, local block I/O receipts,
+//! timer arm/disarm requests) that a surrounding driver interprets.
+//!
+//! * [`SiteMachine`] — the per-site server: W1–W4 deferred-ack writes,
+//!   parity read-modify-write with the §3.2 UID idempotence guard,
+//!   stop-and-wait per-row retransmission, spare-slot lifecycle, §3.3
+//!   UID-array maintenance, and an at-most-once reply cache.
+//! * [`ClientMachine`] — the client: degraded reads via spare or validated
+//!   XOR reconstruction, W1' redirected writes, and the recovery drain.
+//! * [`partition`] — §5: when a network partition may be treated as a
+//!   single site failure and when the system must block.
+//!
+//! Two drivers ship in this workspace: the deterministic DES cluster
+//! (`radd-core`), which interprets effects synchronously and turns them
+//! into Figure-3 cost receipts, and the threaded runtime (`radd-node`),
+//! which interprets them over lossy in-process endpoints with real
+//! retransmission timers. A differential test drives both with the same
+//! workload and asserts identical normalised effect traces.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod effect;
+pub mod events;
+pub mod partition;
+pub mod server;
+pub mod trace;
+pub mod wire;
+
+pub use client::{ClientErr, ClientIo, ClientMachine, SparePolicy};
+pub use effect::{BlockFault, Blocks, Dest, Effect, IoPurpose, MemBlocks};
+pub use events::FailureKind;
+pub use partition::{classify, gate, Gate, PartitionVerdict};
+pub use server::{kind_from_content, SiteMachine, SiteState, SpareKind, SpareSlot};
+pub use trace::{trace, TraceEntry};
+pub use wire::{
+    Msg, MsgKind, NackReason, SpareContent, SpareSlotWire, BLOCK_MSG_HEADER, CONTROL_MSG_BYTES,
+};

@@ -1,0 +1,116 @@
+//! §5 network-partition rules, exactly once.
+//!
+//! "If the partition looks like a single failure, e.g. there are two
+//! collections with respectively G+1 and 1 site, then the algorithms of
+//! Section 3 apply to the partition with G+1 members. … Any other network
+//! partition looks like a multiple site failure … the system must block."
+//!
+//! The substrate (`radd-net`) owns *who can talk to whom*; this module owns
+//! what a given split **means** for availability, and both the DES cluster
+//! and any future transport gate operations through [`gate`].
+
+use serde::{Deserialize, Serialize};
+
+/// What a partition means for RADD availability (§5).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionVerdict {
+    /// All sites in one group — no partition, normal operation.
+    Connected,
+    /// The split looks like a single site failure: the listed majority group
+    /// (`G + 1` of the `G + 2` sites) may run the Section 3 algorithms,
+    /// treating the singleton as down; the singleton must cease processing.
+    SingleFailureLike {
+        /// Sites in the surviving majority partition.
+        majority: Vec<usize>,
+        /// The isolated site, treated as down.
+        isolated: usize,
+    },
+    /// Any other split is a multiple failure: block until reconnection.
+    MustBlock,
+}
+
+/// Classify a site→group assignment per §5 for a cluster of `G + 2` sites.
+pub fn classify(group_of: &[u32], group_size_g: usize) -> PartitionVerdict {
+    let n = group_of.len();
+    debug_assert_eq!(n, group_size_g + 2, "RADD cluster has G+2 sites");
+    let mut groups: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+    for (site, &g) in group_of.iter().enumerate() {
+        groups.entry(g).or_default().push(site);
+    }
+    match groups.len() {
+        1 => PartitionVerdict::Connected,
+        2 => {
+            let mut parts: Vec<Vec<usize>> = groups.into_values().collect();
+            parts.sort_by_key(|p| p.len());
+            let (small, large) = (&parts[0], &parts[1]);
+            if small.len() == 1 && large.len() == group_size_g + 1 {
+                PartitionVerdict::SingleFailureLike {
+                    majority: large.clone(),
+                    isolated: small[0],
+                }
+            } else {
+                PartitionVerdict::MustBlock
+            }
+        }
+        _ => PartitionVerdict::MustBlock,
+    }
+}
+
+/// May `actor` operate under `verdict`?
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Operation may proceed.
+    Proceed,
+    /// The actor sits in the isolated singleton and must cease processing.
+    ActorIsolated {
+        /// The isolated site.
+        site: usize,
+    },
+    /// The whole system must block until reconnection.
+    Blocked,
+}
+
+/// Gate an operation by `actor_site` (`None` for an external client attached
+/// to the majority) against the current partition verdict.
+pub fn gate(verdict: &PartitionVerdict, actor_site: Option<usize>) -> Gate {
+    match verdict {
+        PartitionVerdict::Connected => Gate::Proceed,
+        PartitionVerdict::MustBlock => Gate::Blocked,
+        PartitionVerdict::SingleFailureLike { isolated, .. } => {
+            if actor_site == Some(*isolated) {
+                Gate::ActorIsolated { site: *isolated }
+            } else {
+                Gate::Proceed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_plus_1_and_1_is_single_failure_like() {
+        let mut groups = vec![0u32; 10];
+        groups[4] = 1;
+        let v = classify(&groups, 8);
+        assert!(matches!(
+            v,
+            PartitionVerdict::SingleFailureLike { isolated: 4, .. }
+        ));
+        assert_eq!(gate(&v, None), Gate::Proceed);
+        assert_eq!(gate(&v, Some(0)), Gate::Proceed);
+        assert_eq!(gate(&v, Some(4)), Gate::ActorIsolated { site: 4 });
+    }
+
+    #[test]
+    fn any_other_split_blocks() {
+        let mut groups = vec![0u32; 10];
+        groups[0] = 1;
+        groups[1] = 1;
+        let v = classify(&groups, 8);
+        assert_eq!(v, PartitionVerdict::MustBlock);
+        assert_eq!(gate(&v, None), Gate::Blocked);
+    }
+}

@@ -1,0 +1,786 @@
+//! The per-site protocol state machine (§3.2–§3.3 server side), sans-IO.
+//!
+//! [`SiteMachine::handle`] consumes one delivered message and pushes the
+//! resulting [`Effect`]s; [`SiteMachine::on_timer`] consumes a retransmit
+//! timer firing. The machine owns every piece of §3 server state — block
+//! UIDs, parity UID arrays, spare slots, the W1–W4 deferred-ack pipeline,
+//! per-row stop-and-wait parity retransmission, and an at-most-once reply
+//! cache — but never touches a socket, a thread, or a clock. The DES
+//! cluster and the threaded runtime are both thin interpreters around it.
+//!
+//! ### Idempotence and retransmission
+//!
+//! Every request carries a `(src, tag)` identity. The machine remembers the
+//! reply it gave to each recent request and *replays* it (marked
+//! `replay: true`) when a retransmission arrives, so no request is executed
+//! twice no matter how often the transport duplicates it. Parity updates
+//! carry a second, protocol-level guard: the UID recorded in the row's
+//! array slot (a retransmission whose ack was lost arrives with a UID the
+//! slot already records — re-applying its XOR mask would corrupt parity).
+//! Outbound parity updates are stop-and-wait per row: at most one UID per
+//! `(row, site)` slot is ever in flight, so a retransmitted older mask can
+//! never land after a newer one (the ABA the PR-1 soak plans exposed).
+
+use crate::effect::{Blocks, Dest, Effect, IoPurpose};
+use crate::wire::{Msg, NackReason, SpareContent, SpareSlotWire};
+use radd_layout::Geometry;
+use radd_parity::{ChangeMask, Uid, UidArray, UidGen};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The three states of §3.1: "up — functioning normally, down — not
+/// functioning, recovering — running recovery actions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteState {
+    /// Functioning normally.
+    Up,
+    /// Not functioning (temporary failure or disaster).
+    Down,
+    /// Restored and running recovery actions; also entered directly on a
+    /// disk failure ("a disk failure will move a site directly from up to
+    /// recovering").
+    Recovering,
+}
+
+/// What kind of block a spare slot stands in for. The paper's row-K spare
+/// can absorb *any* of the down site's row-K blocks; when the down site was
+/// the row's parity site, the stand-in carries the UID array instead of a
+/// single UID.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpareKind {
+    /// Stand-in for a data block.
+    Data {
+        /// The UID consistent with the row's parity UID array (so validated
+        /// reconstruction involving this content succeeds). The paper's
+        /// "new UID … to make the block valid" corresponds to this slot
+        /// existing.
+        data_uid: Uid,
+    },
+    /// Stand-in for the down site's parity block.
+    Parity {
+        /// The row's UID array, maintained here while the parity site is
+        /// down.
+        uids: UidArray,
+    },
+}
+
+/// A valid spare slot: this site's spare block of some row currently stands
+/// in for another site's block (the content lives in the storage row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpareSlot {
+    /// Whose block this spare holds.
+    pub for_site: usize,
+    /// Data or parity stand-in.
+    pub kind: SpareKind,
+}
+
+impl SpareSlot {
+    /// The slot's UID metadata in wire form.
+    pub fn content(&self) -> SpareContent {
+        match &self.kind {
+            SpareKind::Data { data_uid } => SpareContent::Data { uid: *data_uid },
+            SpareKind::Parity { uids } => SpareContent::Parity {
+                uids: uids.slots().to_vec(),
+            },
+        }
+    }
+}
+
+/// Build a [`SpareKind`] back from its wire form.
+pub fn kind_from_content(content: &SpareContent, num_sites: usize) -> SpareKind {
+    match content {
+        SpareContent::Data { uid } => SpareKind::Data { data_uid: *uid },
+        SpareContent::Parity { uids } => {
+            let mut arr = UidArray::new(num_sites);
+            for (i, u) in uids.iter().enumerate().take(num_sites) {
+                arr.set(i, *u);
+            }
+            SpareKind::Parity { uids: arr }
+        }
+    }
+}
+
+/// A write whose client reply is deferred until its parity ack (W1 done,
+/// W4 pending).
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    client: usize,
+    client_tag: u64,
+    row: u64,
+}
+
+/// An outbound request awaiting its ack, for retransmission.
+#[derive(Debug, Clone)]
+struct Inflight {
+    to: usize,
+    msg: Msg,
+    step: u32,
+}
+
+/// How many distinct `(src, tag)` replies the at-most-once cache retains.
+const REPLY_CACHE_CAP: usize = 1024;
+
+/// The per-site server machine.
+#[derive(Debug)]
+pub struct SiteMachine {
+    site: usize,
+    geo: Geometry,
+    block_size: usize,
+    state: SiteState,
+    block_uids: Vec<Uid>,
+    parity_uids: BTreeMap<u64, UidArray>,
+    spares: BTreeMap<u64, SpareSlot>,
+    invalid_rows: BTreeSet<u64>,
+    uid_gen: UidGen,
+    next_tag: u64,
+    /// Writes whose client reply awaits a parity ack, keyed by the parity
+    /// message's tag.
+    pending: BTreeMap<u64, PendingWrite>,
+    /// `(client, client_tag)` of writes currently in `pending` — a
+    /// duplicate of an in-progress write is swallowed (its reply will go
+    /// out when the parity ack lands).
+    in_progress: BTreeSet<(usize, u64)>,
+    /// Stop-and-wait per row: the front entry is in flight, the rest wait
+    /// for its ack.
+    parity_queue: BTreeMap<u64, VecDeque<(u64, Msg)>>,
+    /// In-flight requests by tag, for timer-driven retransmission.
+    inflight: BTreeMap<u64, Inflight>,
+    /// At-most-once reply cache.
+    replies: BTreeMap<(usize, u64), Msg>,
+    reply_order: VecDeque<(usize, u64)>,
+}
+
+impl SiteMachine {
+    /// A fresh, healthy site machine.
+    pub fn new(site: usize, group_size: usize, rows: u64, block_size: usize) -> SiteMachine {
+        SiteMachine {
+            site,
+            geo: Geometry::new(group_size, rows).expect("valid geometry"),
+            block_size,
+            state: SiteState::Up,
+            block_uids: vec![Uid::INVALID; rows as usize],
+            parity_uids: BTreeMap::new(),
+            spares: BTreeMap::new(),
+            invalid_rows: BTreeSet::new(),
+            uid_gen: UidGen::new(site as u16),
+            next_tag: 0,
+            pending: BTreeMap::new(),
+            in_progress: BTreeSet::new(),
+            parity_queue: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            replies: BTreeMap::new(),
+            reply_order: VecDeque::new(),
+        }
+    }
+
+    // -- accessors used by drivers and invariant checkers ----------------
+
+    /// This machine's site id.
+    pub fn site(&self) -> usize {
+        self.site
+    }
+
+    /// The layout geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geo
+    }
+
+    /// Current availability state.
+    pub fn state(&self) -> SiteState {
+        self.state
+    }
+
+    /// Drive an up/down/recovering transition (an input event owned by the
+    /// driver: process death, revival, §5 isolation).
+    pub fn set_state(&mut self, state: SiteState) {
+        self.state = state;
+    }
+
+    /// The UID stored with the block at `row`.
+    pub fn block_uid(&self, row: u64) -> Uid {
+        self.block_uids[row as usize]
+    }
+
+    /// Overwrite the UID stored with the block at `row` (recovery
+    /// bookkeeping).
+    pub fn set_block_uid(&mut self, row: u64, uid: Uid) {
+        self.block_uids[row as usize] = uid;
+    }
+
+    /// UID arrays for the rows where this site is the parity site.
+    pub fn parity_uids(&self) -> &BTreeMap<u64, UidArray> {
+        &self.parity_uids
+    }
+
+    /// Mutable parity UID arrays (recovery bookkeeping).
+    pub fn parity_uids_mut(&mut self) -> &mut BTreeMap<u64, UidArray> {
+        &mut self.parity_uids
+    }
+
+    /// The UID array for a parity row, created empty on first touch (all
+    /// slots zero — consistent with never-written data blocks).
+    pub fn parity_uid_array(&mut self, row: u64) -> &mut UidArray {
+        let n = self.geo.num_sites();
+        self.parity_uids
+            .entry(row)
+            .or_insert_with(|| UidArray::new(n))
+    }
+
+    /// Valid spare slots held by this site.
+    pub fn spares(&self) -> &BTreeMap<u64, SpareSlot> {
+        &self.spares
+    }
+
+    /// Mutable spare slots (driver-orchestrated installs/invalidations).
+    pub fn spares_mut(&mut self) -> &mut BTreeMap<u64, SpareSlot> {
+        &mut self.spares
+    }
+
+    /// Is the spare block of `row` valid at this site?
+    pub fn spare_valid(&self, row: u64) -> bool {
+        self.spares.contains_key(&row)
+    }
+
+    /// Rows whose local content is untrustworthy and must be rebuilt.
+    pub fn invalid_rows(&self) -> &BTreeSet<u64> {
+        &self.invalid_rows
+    }
+
+    /// Mutable invalid-row set (failure injection / recovery bookkeeping).
+    pub fn invalid_rows_mut(&mut self) -> &mut BTreeSet<u64> {
+        &mut self.invalid_rows
+    }
+
+    /// Mint a fresh UID from this site's generator.
+    pub fn mint_uid(&mut self) -> Uid {
+        self.uid_gen.next_uid()
+    }
+
+    /// A fresh site-unique request tag (site id in the high bits).
+    pub fn fresh_tag(&mut self) -> u64 {
+        self.next_tag += 1;
+        ((self.site as u64 + 1) << 48) | self.next_tag
+    }
+
+    /// Writes still awaiting their parity ack.
+    pub fn pending_writes(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// No request of ours is awaiting an ack (quiesced).
+    pub fn all_acked(&self) -> bool {
+        self.inflight.is_empty() && self.pending.is_empty()
+    }
+
+    /// Forget everything a site disaster loses: block UIDs, parity arrays,
+    /// spare slots; every row becomes invalid.
+    pub fn forget_all(&mut self) {
+        for u in &mut self.block_uids {
+            *u = Uid::INVALID;
+        }
+        self.parity_uids.clear();
+        self.spares.clear();
+        self.invalid_rows = (0..self.block_uids.len() as u64).collect();
+    }
+
+    /// Forget the metadata of `rows` (a replaced disk's blank blocks).
+    pub fn forget_rows(&mut self, rows: std::ops::Range<u64>) {
+        for row in rows {
+            self.block_uids[row as usize] = Uid::INVALID;
+            self.parity_uids.remove(&row);
+            self.spares.remove(&row);
+            self.invalid_rows.insert(row);
+        }
+    }
+
+    /// W1 applied under driver orchestration (a recovering site's write,
+    /// where the driver supplies the old value from its oracle): write the
+    /// block with a fresh UID, clear the row's invalid mark, and return the
+    /// UID for the caller's W3.
+    pub fn apply_w1(
+        &mut self,
+        blocks: &mut dyn Blocks,
+        row: u64,
+        data: &[u8],
+        out: &mut Vec<Effect>,
+    ) -> Option<Uid> {
+        let uid = self.uid_gen.next_uid();
+        blocks.write(row, data).ok()?;
+        out.push(Effect::Write {
+            row,
+            purpose: IoPurpose::WriteData,
+        });
+        self.block_uids[row as usize] = uid;
+        self.invalid_rows.remove(&row);
+        Some(uid)
+    }
+
+    // -- the event handlers ----------------------------------------------
+
+    fn reply(&mut self, out: &mut Vec<Effect>, src: usize, request_tag: u64, msg: Msg) {
+        self.cache_reply(src, request_tag, msg.clone());
+        out.push(Effect::send(Dest::Peer(src), msg));
+    }
+
+    fn cache_reply(&mut self, src: usize, tag: u64, msg: Msg) {
+        if self.replies.insert((src, tag), msg).is_none() {
+            self.reply_order.push_back((src, tag));
+            if self.reply_order.len() > REPLY_CACHE_CAP {
+                if let Some(old) = self.reply_order.pop_front() {
+                    self.replies.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Handle one delivered message from peer `src`, appending effects.
+    pub fn handle(&mut self, blocks: &mut dyn Blocks, src: usize, msg: Msg, out: &mut Vec<Effect>) {
+        if msg.is_request() {
+            let key = (src, msg.tag());
+            // At-most-once: replay the cached reply to a duplicate request
+            // without re-executing it.
+            if let Some(cached) = self.replies.get(&key) {
+                out.push(Effect::Send {
+                    to: Dest::Peer(src),
+                    wire: cached.wire_size(),
+                    msg: cached.clone(),
+                    retransmit: false,
+                    replay: true,
+                });
+                return;
+            }
+            // A duplicate of a write still waiting for its parity ack:
+            // swallow; the deferred reply will answer the original.
+            if self.in_progress.contains(&key) {
+                return;
+            }
+        }
+        match msg {
+            Msg::Read { index, tag } => self.on_read(blocks, src, index, tag, out),
+            Msg::Write { index, data, tag } => self.on_write(blocks, src, index, data, tag, out),
+            Msg::ParityUpdate {
+                row,
+                mask_wire,
+                uid,
+                from_site,
+                tag,
+            } => self.on_parity_update(blocks, src, row, mask_wire, uid, from_site, tag, out),
+            Msg::Ack { tag } => self.on_ack(src, tag, out),
+            Msg::SpareProbe {
+                row,
+                want_data,
+                tag,
+            } => self.on_spare_probe(blocks, src, row, want_data, tag, out),
+            Msg::SpareInstall {
+                row,
+                for_site,
+                data,
+                content,
+                tag,
+            } => self.on_spare_install(blocks, src, row, for_site, data, content, tag, out),
+            Msg::BlockRead { row, tag } => self.on_block_read(blocks, src, row, tag, out),
+            Msg::SpareDrainList { for_site, tag } => {
+                let rows: Vec<u64> = self
+                    .spares
+                    .iter()
+                    .filter(|(_, s)| s.for_site == for_site)
+                    .map(|(&r, _)| r)
+                    .collect();
+                self.reply(out, src, tag, Msg::SpareRows { tag, rows });
+            }
+            Msg::SpareTake { row, tag } => {
+                // Idempotent invalidation: acked even if the slot is
+                // already gone (the drain restored the block first, so a
+                // lost ack costs nothing).
+                self.spares.remove(&row);
+                self.reply(out, src, tag, Msg::Ack { tag });
+            }
+            Msg::RestoreBlock {
+                row,
+                data,
+                content,
+                tag,
+            } => self.on_restore(blocks, src, row, data, content, tag, out),
+            // Replies that reach a site outside its pending table are stale
+            // (e.g. an ack for a write whose site restarted): drop them.
+            Msg::ReadOk { .. }
+            | Msg::WriteOk { .. }
+            | Msg::Nack { .. }
+            | Msg::BlockData { .. }
+            | Msg::SpareState { .. }
+            | Msg::SpareRows { .. } => {}
+        }
+    }
+
+    fn on_read(
+        &mut self,
+        blocks: &mut dyn Blocks,
+        src: usize,
+        index: u64,
+        tag: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        if index >= self.geo.data_capacity(self.site) {
+            return self.nack(out, src, tag, NackReason::OutOfRange);
+        }
+        let row = self.geo.data_to_physical(self.site, index);
+        if self.invalid_rows.contains(&row) {
+            return self.nack(out, src, tag, NackReason::Unavailable);
+        }
+        let data = match blocks.read(row) {
+            Ok(d) => d,
+            Err(_) => return self.nack(out, src, tag, NackReason::Unavailable),
+        };
+        out.push(Effect::Read {
+            row,
+            purpose: IoPurpose::Data,
+        });
+        self.reply(out, src, tag, Msg::ReadOk { tag, data });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_write(
+        &mut self,
+        blocks: &mut dyn Blocks,
+        src: usize,
+        index: u64,
+        data: Vec<u8>,
+        tag: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        if index >= self.geo.data_capacity(self.site) {
+            return self.nack(out, src, tag, NackReason::OutOfRange);
+        }
+        if data.len() != self.block_size {
+            return self.nack(out, src, tag, NackReason::BadSize);
+        }
+        let row = self.geo.data_to_physical(self.site, index);
+        // W2: old value from the "buffer pool" — our own storage.
+        let old = match blocks.read(row) {
+            Ok(d) => d,
+            Err(_) => return self.nack(out, src, tag, NackReason::Unavailable),
+        };
+        out.push(Effect::Read {
+            row,
+            purpose: IoPurpose::OldValue,
+        });
+        // W1: local write with a fresh UID.
+        let uid = self.uid_gen.next_uid();
+        if blocks.write(row, &data).is_err() {
+            return self.nack(out, src, tag, NackReason::Unavailable);
+        }
+        out.push(Effect::Write {
+            row,
+            purpose: IoPurpose::WriteData,
+        });
+        self.block_uids[row as usize] = uid;
+        self.invalid_rows.remove(&row);
+        // W3: change mask to the parity site; defer the client reply until
+        // the ack (the §6 "done = prepared" discipline).
+        let mask = ChangeMask::diff(&old, &data);
+        let ptag = self.fresh_tag();
+        let update = Msg::ParityUpdate {
+            row,
+            mask_wire: mask.encode().to_vec(),
+            uid,
+            from_site: self.site,
+            tag: ptag,
+        };
+        self.pending.insert(
+            ptag,
+            PendingWrite {
+                client: src,
+                client_tag: tag,
+                row,
+            },
+        );
+        self.in_progress.insert((src, tag));
+        out.push(Effect::DeferAck { tag, row });
+        // Stop-and-wait per row: send immediately only if no earlier
+        // update for this row is still awaiting its ack.
+        let queue = self.parity_queue.entry(row).or_default();
+        queue.push_back((ptag, update.clone()));
+        if queue.len() == 1 {
+            self.launch(self.geo.parity_site(row), ptag, update, out);
+        }
+    }
+
+    fn launch(&mut self, to: usize, tag: u64, msg: Msg, out: &mut Vec<Effect>) {
+        out.push(Effect::send(Dest::Site(to), msg.clone()));
+        out.push(Effect::SetTimer { tag, step: 0 });
+        self.inflight
+            .insert(msg.tag(), Inflight { to, msg, step: 0 });
+        debug_assert_eq!(tag, self.inflight[&tag].msg.tag());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_parity_update(
+        &mut self,
+        blocks: &mut dyn Blocks,
+        src: usize,
+        row: u64,
+        mask_wire: Vec<u8>,
+        uid: Uid,
+        from_site: usize,
+        tag: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        debug_assert_eq!(self.geo.parity_site(row), self.site);
+        // A recovering parity site whose array block for this row is blank
+        // must have the row rebuilt before the mask lands on garbage. The
+        // machine cannot rebuild (that needs remote reads); escalate to the
+        // driver, which rebuilds and re-delivers.
+        if self.invalid_rows.contains(&row) {
+            out.push(Effect::NeedParityRebuild { row });
+            return;
+        }
+        // §3.2 idempotence guard: a retransmission whose ack was lost
+        // arrives with a UID this slot already records — re-applying its
+        // XOR mask would corrupt the parity block, so just ack again.
+        let n = self.geo.num_sites();
+        let already = self
+            .parity_uids
+            .get(&row)
+            .map(|a| a.get(from_site) == uid)
+            .unwrap_or(false);
+        if !already {
+            let mut parity = match blocks.read(row) {
+                Ok(d) => d,
+                Err(_) => {
+                    // Row lives on a failed disk: the row's spare block
+                    // must stand in; escalate to the driver.
+                    out.push(Effect::ParityUnservable { row });
+                    return;
+                }
+            };
+            out.push(Effect::Read {
+                row,
+                purpose: IoPurpose::ParityApply,
+            });
+            let mask = ChangeMask::decode(&mask_wire).expect("well-formed mask");
+            mask.apply(&mut parity); // formula (1)
+            if blocks.write(row, &parity).is_err() {
+                out.push(Effect::ParityUnservable { row });
+                return;
+            }
+            out.push(Effect::Write {
+                row,
+                purpose: IoPurpose::ParityApply,
+            });
+            self.parity_uids
+                .entry(row)
+                .or_insert_with(|| UidArray::new(n))
+                .set(from_site, uid); // W4
+        }
+        self.reply(out, src, tag, Msg::Ack { tag });
+    }
+
+    fn on_ack(&mut self, _src: usize, tag: u64, out: &mut Vec<Effect>) {
+        if self.inflight.remove(&tag).is_some() {
+            out.push(Effect::ClearTimer { tag });
+        }
+        // Duplicate acks (from retransmissions whose originals also got
+        // through) fall out of the pending table as no-ops.
+        if let Some(p) = self.pending.remove(&tag) {
+            self.in_progress.remove(&(p.client, p.client_tag));
+            let done = Msg::WriteOk { tag: p.client_tag };
+            self.cache_reply(p.client, p.client_tag, done.clone());
+            out.push(Effect::send(Dest::Peer(p.client), done));
+            // Advance the row's stop-and-wait queue: launch the next queued
+            // update now that its predecessor is applied.
+            if let Some(queue) = self.parity_queue.get_mut(&p.row) {
+                if queue.front().map(|&(t, _)| t) == Some(tag) {
+                    queue.pop_front();
+                }
+                if let Some((next_tag, next)) = queue.front().cloned() {
+                    self.launch(self.geo.parity_site(p.row), next_tag, next, out);
+                } else {
+                    self.parity_queue.remove(&p.row);
+                }
+            }
+        }
+    }
+
+    fn on_spare_probe(
+        &mut self,
+        blocks: &mut dyn Blocks,
+        src: usize,
+        row: u64,
+        want_data: bool,
+        tag: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        debug_assert_eq!(self.geo.spare_site(row), self.site);
+        let slot = match self.spares.get(&row) {
+            None => None,
+            Some(s) => {
+                let (data, io) = if want_data {
+                    match blocks.read(row) {
+                        Ok(d) => (d, true),
+                        Err(_) => return self.nack(out, src, tag, NackReason::Unavailable),
+                    }
+                } else {
+                    // Validity/ownership is a metadata check — a control
+                    // message, no block I/O (the paper's "probing an
+                    // invalid spare costs no block I/O" convention extends
+                    // to ownership probes).
+                    (Vec::new(), false)
+                };
+                if io {
+                    out.push(Effect::Read {
+                        row,
+                        purpose: IoPurpose::SpareRead,
+                    });
+                }
+                Some(SpareSlotWire {
+                    for_site: s.for_site,
+                    data,
+                    content: s.content(),
+                })
+            }
+        };
+        self.reply(out, src, tag, Msg::SpareState { tag, slot });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_spare_install(
+        &mut self,
+        blocks: &mut dyn Blocks,
+        src: usize,
+        row: u64,
+        for_site: usize,
+        data: Vec<u8>,
+        content: SpareContent,
+        tag: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        debug_assert_eq!(self.geo.spare_site(row), self.site);
+        if data.len() != self.block_size {
+            return self.nack(out, src, tag, NackReason::BadSize);
+        }
+        // Two failures may not share one spare: an install for a site the
+        // slot does not already stand in for is refused.
+        if let Some(slot) = self.spares.get(&row) {
+            if slot.for_site != for_site {
+                return self.nack(out, src, tag, NackReason::Conflict);
+            }
+        }
+        if blocks.write(row, &data).is_err() {
+            return self.nack(out, src, tag, NackReason::Unavailable);
+        }
+        out.push(Effect::Write {
+            row,
+            purpose: IoPurpose::SpareInstall,
+        });
+        let n = self.geo.num_sites();
+        self.spares.insert(
+            row,
+            SpareSlot {
+                for_site,
+                kind: kind_from_content(&content, n),
+            },
+        );
+        self.reply(out, src, tag, Msg::Ack { tag });
+    }
+
+    fn on_block_read(
+        &mut self,
+        blocks: &mut dyn Blocks,
+        src: usize,
+        row: u64,
+        tag: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        if self.invalid_rows.contains(&row) {
+            return self.nack(out, src, tag, NackReason::Unavailable);
+        }
+        let data = match blocks.read(row) {
+            Ok(d) => d,
+            Err(_) => return self.nack(out, src, tag, NackReason::Unavailable),
+        };
+        out.push(Effect::Read {
+            row,
+            purpose: IoPurpose::Reconstruct,
+        });
+        let parity_uids = if self.geo.parity_site(row) == self.site {
+            let n = self.geo.num_sites();
+            Some(
+                self.parity_uids
+                    .get(&row)
+                    .cloned()
+                    .unwrap_or_else(|| UidArray::new(n))
+                    .slots()
+                    .to_vec(),
+            )
+        } else {
+            None
+        };
+        let uid = self.block_uids[row as usize];
+        self.reply(
+            out,
+            src,
+            tag,
+            Msg::BlockData {
+                tag,
+                data,
+                uid,
+                parity_uids,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_restore(
+        &mut self,
+        blocks: &mut dyn Blocks,
+        src: usize,
+        row: u64,
+        data: Vec<u8>,
+        content: SpareContent,
+        tag: u64,
+        out: &mut Vec<Effect>,
+    ) {
+        if data.len() != self.block_size {
+            return self.nack(out, src, tag, NackReason::BadSize);
+        }
+        if blocks.write(row, &data).is_err() {
+            return self.nack(out, src, tag, NackReason::Unavailable);
+        }
+        out.push(Effect::Write {
+            row,
+            purpose: IoPurpose::Restore,
+        });
+        let n = self.geo.num_sites();
+        match kind_from_content(&content, n) {
+            SpareKind::Data { data_uid } => self.block_uids[row as usize] = data_uid,
+            SpareKind::Parity { uids } => {
+                self.parity_uids.insert(row, uids);
+            }
+        }
+        self.invalid_rows.remove(&row);
+        self.reply(out, src, tag, Msg::Ack { tag });
+    }
+
+    fn nack(&mut self, out: &mut Vec<Effect>, src: usize, tag: u64, reason: NackReason) {
+        self.reply(out, src, tag, Msg::Nack { tag, reason });
+    }
+
+    /// The retransmit timer for `tag` fired: resend if still unacked and
+    /// re-arm with the next backoff step.
+    pub fn on_timer(&mut self, tag: u64, out: &mut Vec<Effect>) {
+        if let Some(inf) = self.inflight.get_mut(&tag) {
+            inf.step += 1;
+            out.push(Effect::Send {
+                to: Dest::Site(inf.to),
+                wire: inf.msg.wire_size(),
+                msg: inf.msg.clone(),
+                retransmit: true,
+                replay: false,
+            });
+            out.push(Effect::SetTimer {
+                tag,
+                step: inf.step,
+            });
+        }
+    }
+}

@@ -204,8 +204,7 @@ pub fn mttf_hours(scheme: Scheme, g: usize, c: &ReliabilityConstants) -> f64 {
             let others = g as f64 + 1.0;
             let n = c.disks_per_site as f64;
             let w = c.disaster_vulnerability_hours();
-            let double_disaster =
-                sites / c.disaster_mttf * (others * w / c.disaster_mttf).min(1.0);
+            let double_disaster = sites / c.disaster_mttf * (others * w / c.disaster_mttf).min(1.0);
             let third_hit =
                 ((others * n * w / c.disk_mttf) + (others * w / c.disaster_mttf)).min(1.0);
             1.0 / (double_disaster * third_hit)
@@ -318,18 +317,17 @@ mod tests {
         // other three events" — strongest where N is large.
         let c = Environment::CautiousRaid.constants();
         let rates = radd_loss_rates(G, &c);
-        assert!(rates[3] > rates[0] && rates[3] > rates[1] && rates[3] > rates[2],
-            "rates: {rates:?}");
+        assert!(
+            rates[3] > rates[0] && rates[3] > rates[1] && rates[3] > rates[2],
+            "rates: {rates:?}"
+        );
     }
 
     #[test]
     fn mttu_ordering_matches_figure5() {
         // 2D-RADD > ROWB > 1/2-RADD > RADD = C-RAID > RAID.
         let c = Environment::CautiousConventional.constants();
-        let v: Vec<f64> = Scheme::ALL
-            .iter()
-            .map(|&s| mttu_hours(s, G, &c))
-            .collect();
+        let v: Vec<f64> = Scheme::ALL.iter().map(|&s| mttu_hours(s, G, &c)).collect();
         let (radd, rowb, raid, craid, twod, half) = (v[0], v[1], v[2], v[3], v[4], v[5]);
         assert!(twod > rowb);
         assert!(rowb > half);

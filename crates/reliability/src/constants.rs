@@ -120,6 +120,9 @@ mod tests {
     #[test]
     fn labels_match_paper_columns() {
         assert_eq!(Environment::ALL.len(), 4);
-        assert_eq!(Environment::CautiousConventional.label(), "cautious conventional");
+        assert_eq!(
+            Environment::CautiousConventional.label(),
+            "cautious conventional"
+        );
     }
 }

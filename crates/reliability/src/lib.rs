@@ -33,4 +33,4 @@ pub mod monte_carlo;
 pub use analytic::{mttf_hours, mttu_hours, Scheme};
 pub use constants::{Environment, ReliabilityConstants, HOURS_PER_YEAR};
 pub use markov::{mttu_exact_radd, mttu_exact_rowb};
-pub use monte_carlo::{MonteCarlo, McEstimate};
+pub use monte_carlo::{McEstimate, MonteCarlo};

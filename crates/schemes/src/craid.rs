@@ -266,7 +266,7 @@ mod tests {
         assert_eq!(&got[..], &data[..]);
         assert_eq!(receipt.counts.formula(), "8*R"); // G·R, local
         assert_eq!(receipt.latency.as_millis(), 240); // Figure 4
-        // Previously reconstructed: 2·R (Figure 3 row 5).
+                                                      // Previously reconstructed: 2·R (Figure 3 row 5).
         let (_, receipt) = c.read(Actor::Site(1), 1, 0).unwrap();
         assert_eq!(receipt.counts.formula(), "2*R");
         assert_eq!(receipt.latency.as_millis(), 60);

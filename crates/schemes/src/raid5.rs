@@ -283,7 +283,8 @@ mod tests {
             RaddError::Unavailable { .. }
         ));
         assert!(matches!(
-            r.write(Actor::Client, 0, 0, [0u8; 64].as_ref()).unwrap_err(),
+            r.write(Actor::Client, 0, 0, [0u8; 64].as_ref())
+                .unwrap_err(),
             RaddError::Unavailable { .. }
         ));
         // Temporary outage: data intact after repair.
@@ -320,7 +321,8 @@ mod tests {
         let mut r = raid();
         let cap = r.data_capacity(0);
         assert_eq!(cap, 80); // 10 rows per disk × 10 disks × 8/10 data
-        r.write(Actor::Client, 0, cap - 1, [9u8; 64].as_ref()).unwrap();
+        r.write(Actor::Client, 0, cap - 1, [9u8; 64].as_ref())
+            .unwrap();
         let (got, _) = r.read(Actor::Client, 0, cap - 1).unwrap();
         assert_eq!(&got[..], &[9u8; 64]);
         assert!(matches!(

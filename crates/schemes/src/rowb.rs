@@ -11,8 +11,8 @@
 
 use crate::traits::{FailureKind, ReplicationScheme};
 use bytes::Bytes;
-use radd_core::{Actor, CostParams, OpCounts, OpKind, OpReceipt, RaddError, SiteId};
 use radd_blockdev::{BlockDevice, MemDisk};
+use radd_core::{Actor, CostParams, OpCounts, OpKind, OpReceipt, RaddError, SiteId};
 use radd_sim::CostLedger;
 use std::collections::HashSet;
 
@@ -285,8 +285,14 @@ impl ReplicationScheme for Rowb {
                 {
                     continue;
                 }
-                let p = self.sites[site].primary.read_block(index).map_err(|e| e.to_string())?;
-                let q = self.sites[b].backup.read_block(index).map_err(|e| e.to_string())?;
+                let p = self.sites[site]
+                    .primary
+                    .read_block(index)
+                    .map_err(|e| e.to_string())?;
+                let q = self.sites[b]
+                    .backup
+                    .read_block(index)
+                    .map_err(|e| e.to_string())?;
                 if p != q {
                     return Err(format!("mirror mismatch: site {site} block {index}"));
                 }

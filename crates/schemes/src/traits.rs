@@ -2,21 +2,10 @@
 
 use bytes::Bytes;
 use radd_core::{Actor, OpReceipt, RaddError, SiteId};
-use serde::{Deserialize, Serialize};
 
-/// The paper's three failure kinds (§3.1), as injectable events.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum FailureKind {
-    /// Temporary site failure: the site stops; its disks keep their data.
-    SiteFailure,
-    /// Site disaster: the site stops and all its disks are lost.
-    Disaster,
-    /// One disk at the site fails; the site stays operational.
-    DiskFailure {
-        /// Which disk.
-        disk: usize,
-    },
-}
+// The §3.1 failure vocabulary is defined once, in the protocol crate, so
+// scheme drivers and fault plans inject the same events.
+pub use radd_protocol::FailureKind;
 
 /// A redundancy scheme under test: block reads/writes plus failure
 /// injection, with per-operation cost receipts.

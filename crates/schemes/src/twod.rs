@@ -20,8 +20,8 @@
 
 use crate::traits::{FailureKind, ReplicationScheme};
 use bytes::Bytes;
-use radd_core::{Actor, CostParams, OpKind, OpReceipt, RaddError, SiteId};
 use radd_blockdev::{BlockDevice, MemDisk};
+use radd_core::{Actor, CostParams, OpKind, OpReceipt, RaddError, SiteId};
 use radd_parity::{xor_in_place, ChangeMask};
 use radd_sim::CostLedger;
 
@@ -55,7 +55,7 @@ pub struct TwoDRadd {
     cols: usize,
     blocks_per_site: u64,
     block_size: usize,
-    sites: Vec<DataSite>,            // row-major r * cols + c
+    sites: Vec<DataSite>,             // row-major r * cols + c
     row_groups: Vec<GroupRedundancy>, // one per grid row
     col_groups: Vec<GroupRedundancy>, // one per grid column
     ledger: CostLedger,
@@ -97,7 +97,13 @@ impl TwoDRadd {
 
     /// The paper's 8 × 8 grid with `G = 8` row/column fan-in.
     pub fn paper_8x8(blocks_per_site: u64, block_size: usize) -> Result<TwoDRadd, RaddError> {
-        TwoDRadd::new(8, 8, blocks_per_site, block_size, CostParams::paper_defaults())
+        TwoDRadd::new(
+            8,
+            8,
+            blocks_per_site,
+            block_size,
+            CostParams::paper_defaults(),
+        )
     }
 
     fn coords(&self, site: SiteId) -> (usize, usize) {
@@ -140,7 +146,10 @@ impl TwoDRadd {
             .map(|cc| self.site_at(r, cc))
             .filter(|&s| s != site)
             .collect();
-        if row_members.iter().all(|&s| self.sites[s].state == State::Up) {
+        if row_members
+            .iter()
+            .all(|&s| self.sites[s].state == State::Up)
+        {
             let mut acc = vec![0u8; self.block_size];
             for &s in &row_members {
                 if foreground {
@@ -165,7 +174,10 @@ impl TwoDRadd {
             .map(|rr| self.site_at(rr, c))
             .filter(|&s| s != site)
             .collect();
-        if col_members.iter().all(|&s| self.sites[s].state == State::Up) {
+        if col_members
+            .iter()
+            .all(|&s| self.sites[s].state == State::Up)
+        {
             let mut acc = vec![0u8; self.block_size];
             for &s in &col_members {
                 if foreground {
@@ -191,7 +203,12 @@ impl TwoDRadd {
     }
 
     /// Apply a change mask to both dimension parities of `(site, index)`.
-    fn update_parities(&mut self, site: SiteId, index: u64, mask: &ChangeMask) -> Result<(), RaddError> {
+    fn update_parities(
+        &mut self,
+        site: SiteId,
+        index: u64,
+        mask: &ChangeMask,
+    ) -> Result<(), RaddError> {
         let (r, c) = self.coords(site);
         let mut p = self.row_groups[r].parity.read_block(index)?.to_vec();
         mask.apply(&mut p);
@@ -223,7 +240,10 @@ impl TwoDRadd {
             .map(|cc| self.site_at(r, cc))
             .filter(|&s| s != site)
             .collect();
-        if row_members.iter().all(|&s| self.sites[s].state == State::Up) {
+        if row_members
+            .iter()
+            .all(|&s| self.sites[s].state == State::Up)
+        {
             let mut acc = self.row_groups[r].parity.read_block(index)?.to_vec();
             for &s in &row_members {
                 let b = self.sites[s].disk.read_block(index)?;
@@ -235,7 +255,10 @@ impl TwoDRadd {
             .map(|rr| self.site_at(rr, c))
             .filter(|&s| s != site)
             .collect();
-        if col_members.iter().all(|&s| self.sites[s].state == State::Up) {
+        if col_members
+            .iter()
+            .all(|&s| self.sites[s].state == State::Up)
+        {
             let mut acc = self.col_groups[c].parity.read_block(index)?.to_vec();
             for &s in &col_members {
                 let b = self.sites[s].disk.read_block(index)?;
@@ -463,7 +486,6 @@ impl ReplicationScheme for TwoDRadd {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,7 +599,11 @@ mod tests {
         g.repair(4).unwrap();
         let (got, receipt) = g.read(Actor::Client, 4, 1).unwrap();
         assert_eq!(&got[..], &v2[..]);
-        assert_eq!(receipt.counts.formula(), "RR", "served by the healthy site remotely");
+        assert_eq!(
+            receipt.counts.formula(),
+            "RR",
+            "served by the healthy site remotely"
+        );
         g.verify().unwrap();
     }
 

@@ -315,14 +315,20 @@ mod tests {
     fn radd_normal_write_prices_to_105ms() {
         // Figure 4, row "no failure write time", column RADD: W + RW = 105.
         let counts = OpCounts::new(0, 1, 0, 1);
-        assert_eq!(counts.priced(&CostParams::paper_defaults()).as_millis(), 105);
+        assert_eq!(
+            counts.priced(&CostParams::paper_defaults()).as_millis(),
+            105
+        );
     }
 
     #[test]
     fn disk_failure_read_prices_to_600ms() {
         // Figure 4, RADD disk-failure read: G*RR with G = 8 → 600 ms.
         let counts = OpCounts::new(0, 0, 8, 0);
-        assert_eq!(counts.priced(&CostParams::paper_defaults()).as_millis(), 600);
+        assert_eq!(
+            counts.priced(&CostParams::paper_defaults()).as_millis(),
+            600
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} {}: {}", self.at, self.actor, self.kind, self.detail)
+        write!(
+            f,
+            "[{}] {} {}: {}",
+            self.at, self.actor, self.kind, self.detail
+        )
     }
 }
 
@@ -108,7 +112,12 @@ mod tests {
     fn enabled_tracer_records_in_order() {
         let mut t = Tracer::enabled();
         t.emit(SimTime::from_millis(1), "site:0", "write", "block 5");
-        t.emit(SimTime::from_millis(2), "site:1", "parity_update", "block 5");
+        t.emit(
+            SimTime::from_millis(2),
+            "site:1",
+            "parity_update",
+            "block 5",
+        );
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.events()[0].kind, "write");
         assert_eq!(t.events()[1].actor, "site:1");

@@ -142,7 +142,12 @@ impl HotStandby {
     fn ship(&mut self, rec: &LogicalRecord) -> Result<(), StorageError> {
         self.wire_bytes += rec.wire_size() as u64;
         self.records_shipped += 1;
-        if let LogicalRecord::UpdateRecord { page, slot, payload } = rec {
+        if let LogicalRecord::UpdateRecord {
+            page,
+            slot,
+            payload,
+        } = rec
+        {
             let mut contents = self
                 .backup
                 .read_block(*page)
@@ -247,7 +252,10 @@ mod tests {
     fn out_of_sync_detected_before_commit() {
         let mut hs = pair();
         hs.update_record(0, 0, &[1u8; 100]).unwrap();
-        assert!(hs.verify_in_sync().is_err(), "pending records not shipped yet");
+        assert!(
+            hs.verify_in_sync().is_err(),
+            "pending records not shipped yet"
+        );
         hs.commit().unwrap();
         hs.verify_in_sync().unwrap();
     }

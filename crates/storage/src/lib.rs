@@ -32,7 +32,7 @@ pub mod slotted;
 pub mod wal;
 
 pub use hot_standby::HotStandby;
-pub use slotted::{PageError, SlotId, SlottedPage};
 pub use manager::{PageId, RecoveryContext, RecoveryStats, StorageError, StorageManager, TxnId};
 pub use no_overwrite::NoOverwriteManager;
+pub use slotted::{PageError, SlotId, SlottedPage};
 pub use wal::WalManager;

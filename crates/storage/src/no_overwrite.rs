@@ -11,9 +11,7 @@
 //! failures* (§3.4): remote operations can proceed "with no intervening
 //! recovery stage".
 
-use crate::manager::{
-    PageId, RecoveryContext, RecoveryStats, StorageError, StorageManager, TxnId,
-};
+use crate::manager::{PageId, RecoveryContext, RecoveryStats, StorageError, StorageManager, TxnId};
 use bytes::Bytes;
 use std::collections::{HashMap, HashSet};
 

@@ -59,7 +59,10 @@ pub struct SlottedPage {
 impl SlottedPage {
     /// An empty page of `size` bytes (at least 16).
     pub fn new(size: usize) -> SlottedPage {
-        assert!(size >= 16 && size <= u16::MAX as usize, "page size out of range");
+        assert!(
+            size >= 16 && size <= u16::MAX as usize,
+            "page size out of range"
+        );
         let mut data = vec![0u8; size];
         // free_end starts at the page end.
         data[2..4].copy_from_slice(&(size as u16).to_le_bytes());

@@ -15,9 +15,7 @@
 //!   priced at `G` remote reads — the paper's "each block accessed during
 //!   the recovery process will require G physical reads at various sites".
 
-use crate::manager::{
-    PageId, RecoveryContext, RecoveryStats, StorageError, StorageManager, TxnId,
-};
+use crate::manager::{PageId, RecoveryContext, RecoveryStats, StorageError, StorageManager, TxnId};
 use bytes::Bytes;
 use radd_blockdev::checksum::crc32;
 use radd_blockdev::{BlockDevice, MemDisk};
@@ -47,7 +45,12 @@ impl LogRecord {
                 body.push(0);
                 body.extend_from_slice(&t.to_le_bytes());
             }
-            LogRecord::Update { txn, page, old, new } => {
+            LogRecord::Update {
+                txn,
+                page,
+                old,
+                new,
+            } => {
                 body.push(1);
                 body.extend_from_slice(&txn.to_le_bytes());
                 body.extend_from_slice(&page.to_le_bytes());
@@ -96,7 +99,12 @@ impl LogRecord {
                 let new_len =
                     u32::from_le_bytes(body[new_off..new_off + 4].try_into().unwrap()) as usize;
                 let new = body[new_off + 4..new_off + 4 + new_len].to_vec();
-                LogRecord::Update { txn, page, old, new }
+                LogRecord::Update {
+                    txn,
+                    page,
+                    old,
+                    new,
+                }
             }
             2 => LogRecord::Commit(u64_at(1)),
             3 => LogRecord::Abort(u64_at(1)),
@@ -320,7 +328,12 @@ impl StorageManager for WalManager {
                         LogRecord::Begin(t) => {
                             seen.insert(t);
                         }
-                        LogRecord::Update { txn, page, old, new } => {
+                        LogRecord::Update {
+                            txn,
+                            page,
+                            old,
+                            new,
+                        } => {
                             updates.push((txn, page, old, new));
                         }
                         LogRecord::Commit(t) | LogRecord::Abort(t) => {
@@ -500,7 +513,11 @@ mod tests {
         assert_eq!(stats.winners, 1);
         assert_eq!(stats.losers, 1);
         assert_eq!(&m.committed(0).unwrap()[..], &page(10)[..]);
-        assert_eq!(&m.committed(1).unwrap()[..], &vec![0u8; 128][..], "loser undone");
+        assert_eq!(
+            &m.committed(1).unwrap()[..],
+            &vec![0u8; 128][..],
+            "loser undone"
+        );
         assert_eq!(&m.committed(2).unwrap()[..], &page(11)[..]);
     }
 

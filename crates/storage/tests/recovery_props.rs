@@ -3,9 +3,7 @@
 //! for both storage managers.
 
 use proptest::prelude::*;
-use radd_storage::{
-    NoOverwriteManager, RecoveryContext, StorageManager, TxnId, WalManager,
-};
+use radd_storage::{NoOverwriteManager, RecoveryContext, StorageManager, TxnId, WalManager};
 use std::collections::HashMap;
 
 const PAGES: u64 = 8;
@@ -33,11 +31,7 @@ fn arb_step() -> impl Strategy<Value = Step> {
 
 /// Drive a manager through the steps, mirroring committed state into an
 /// oracle. Returns the oracle.
-fn drive<M: StorageManager>(
-    m: &mut M,
-    steps: &[Step],
-    allow_steal: bool,
-) -> HashMap<u64, Vec<u8>> {
+fn drive<M: StorageManager>(m: &mut M, steps: &[Step], allow_steal: bool) -> HashMap<u64, Vec<u8>> {
     let mut committed: HashMap<u64, Vec<u8>> = HashMap::new();
     let mut live: Vec<(TxnId, HashMap<u64, Vec<u8>>)> = Vec::new();
     for step in steps {
@@ -46,7 +40,11 @@ fn drive<M: StorageManager>(
                 let t = m.begin().unwrap();
                 live.push((t, HashMap::new()));
             }
-            Step::Write { txn_choice, page, tag } => {
+            Step::Write {
+                txn_choice,
+                page,
+                tag,
+            } => {
                 if live.is_empty() {
                     continue;
                 }

@@ -280,7 +280,11 @@ mod tests {
         c.fail_site(4); // slave crashes after `done`
         t.commit(&mut c).unwrap(); // coordinator decides commit
         let (got, _) = c.read(Actor::Client, 4, 0).unwrap();
-        assert_eq!(&got[..], &data[..], "buffer-pool write recovered from parity");
+        assert_eq!(
+            &got[..],
+            &data[..],
+            "buffer-pool write recovered from parity"
+        );
         // And the slave's recovery brings it fully back.
         c.restore_site(4);
         c.run_recovery(4).unwrap();

@@ -35,10 +35,7 @@ pub fn radd_commit(config: RaddCommitConfig) -> CommitStats {
     if !config.parity_acks_complete {
         // Precondition broken (lossy network without the §5 conditions):
         // fall back to classic 2PC.
-        return crate::two_phase::two_phase_commit(
-            &vec![true; config.slaves],
-            Default::default(),
-        );
+        return crate::two_phase::two_phase_commit(&vec![true; config.slaves], Default::default());
     }
     CommitStats {
         // One decision message per slave; the `done` replies double as

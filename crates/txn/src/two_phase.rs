@@ -151,7 +151,10 @@ mod tests {
         );
         assert_eq!(s.outcome, CommitOutcome::Aborted);
         // The crashed participant neither votes nor forces.
-        assert_eq!(s.messages, 2 /* prepare */ + 1 /* one vote */ + 2 /* decision */ + 1 /* one ack */);
+        assert_eq!(
+            s.messages,
+            2 /* prepare */ + 1 /* one vote */ + 2 /* decision */ + 1 /* one ack */
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ impl AccessSampler {
             AccessPattern::Zipf { .. } => {
                 let u = rng.uniform_f64();
                 // Binary search the CDF.
-                self.cdf.partition_point(|&c| c < u).min(self.n as usize - 1) as u64
+                self.cdf
+                    .partition_point(|&c| c < u)
+                    .min(self.n as usize - 1) as u64
             }
         }
     }

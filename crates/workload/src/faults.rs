@@ -27,11 +27,13 @@
 //! the DES the same event log and invariant-check count — forever, on
 //! every platform.
 
-use radd_core::{
-    CheckError, CheckedCluster, PartitionMap, RaddError, SiteState,
-};
+use radd_core::{CheckError, CheckedCluster, PartitionMap, RaddError, SiteState};
 use radd_sim::SimRng;
 use std::fmt;
+
+// The §3.1 failure vocabulary, shared with the scheme drivers — defined
+// once in `radd-protocol`.
+pub use radd_protocol::FailureKind;
 
 /// One step of a fault plan.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,22 +54,14 @@ pub enum FaultEvent {
         /// Site-local data index.
         index: u64,
     },
-    /// Temporary site failure (disks keep their contents).
-    FailSite {
-        /// The failing site.
-        site: usize,
-    },
-    /// Site disaster: down *and* all disk contents lost.
-    Disaster {
-        /// The destroyed site.
-        site: usize,
-    },
-    /// One disk fails; the site moves to recovering (§3.1).
-    FailDisk {
+    /// Inject one of the §3.1 failures at a site: temporary site failure,
+    /// disaster (all disk contents lost), or a single disk failure (the
+    /// site moves to recovering).
+    Fail {
         /// The affected site.
         site: usize,
-        /// The failed disk.
-        disk: usize,
+        /// Which failure (shared vocabulary from `radd-protocol`).
+        kind: FailureKind,
     },
     /// Swap a blank drive in for a failed disk.
     ReplaceDisk {
@@ -121,9 +115,13 @@ impl fmt::Display for FaultEvent {
                 write!(f, "write site {site} index {index} (fill {fill:#x})")
             }
             FaultEvent::Read { site, index } => write!(f, "read site {site} index {index}"),
-            FaultEvent::FailSite { site } => write!(f, "fail site {site}"),
-            FaultEvent::Disaster { site } => write!(f, "disaster at site {site}"),
-            FaultEvent::FailDisk { site, disk } => write!(f, "fail disk {disk} of site {site}"),
+            FaultEvent::Fail { site, kind } => match kind {
+                FailureKind::SiteFailure => write!(f, "fail site {site}"),
+                FailureKind::Disaster => write!(f, "disaster at site {site}"),
+                FailureKind::DiskFailure { disk } => {
+                    write!(f, "fail disk {disk} of site {site}")
+                }
+            },
             FaultEvent::ReplaceDisk { site, disk } => {
                 write!(f, "replace disk {disk} of site {site}")
             }
@@ -214,8 +212,7 @@ impl FaultPlan {
     /// before the plan finishes, so the final invariant check runs on a
     /// fully healthy cluster.
     pub fn generate(seed: u64, shape: &PlanShape) -> FaultPlan {
-        let geo = radd_core::Geometry::new(shape.group_size, shape.rows)
-            .expect("valid plan shape");
+        let geo = radd_core::Geometry::new(shape.group_size, shape.rows).expect("valid plan shape");
         let n = shape.group_size + 2;
         let mut rng = SimRng::seed_from_u64(seed);
         let mut events = Vec::with_capacity(shape.steps + 8);
@@ -262,16 +259,25 @@ impl FaultPlan {
                         let site = rng.index(n);
                         match rng.below(4) {
                             0 => {
-                                events.push(FaultEvent::FailSite { site });
+                                events.push(FaultEvent::Fail {
+                                    site,
+                                    kind: FailureKind::SiteFailure,
+                                });
                                 active = Active::Down(site);
                             }
                             1 => {
-                                events.push(FaultEvent::Disaster { site });
+                                events.push(FaultEvent::Fail {
+                                    site,
+                                    kind: FailureKind::Disaster,
+                                });
                                 active = Active::Down(site);
                             }
                             2 => {
                                 let disk = rng.index(shape.disks_per_site);
-                                events.push(FaultEvent::FailDisk { site, disk });
+                                events.push(FaultEvent::Fail {
+                                    site,
+                                    kind: FailureKind::DiskFailure { disk },
+                                });
                                 active = Active::Disk(site, disk);
                             }
                             _ => {
@@ -413,7 +419,12 @@ pub fn run_plan<D: FaultDriver>(
     match driver.verify() {
         Ok(true) => checks += 1,
         Ok(false) => {}
-        Err(e) => return Err(fail_end(format!("invariant violated at quiesce: {e}"), &log)),
+        Err(e) => {
+            return Err(fail_end(
+                format!("invariant violated at quiesce: {e}"),
+                &log,
+            ))
+        }
     }
     Ok(PlanReport {
         seed: plan.seed,
@@ -493,19 +504,13 @@ impl FaultDriver for CheckedCluster {
             // Failure injection quiesces first: killing a site with parity
             // updates still queued is the §6 in-doubt problem, which needs
             // coordinator logs this runtime does not model.
-            FaultEvent::FailSite { site } => {
+            FaultEvent::Fail { site, kind } => {
                 self.quiesce()?;
-                self.cluster_mut().fail_site(site);
-                Ok(())
-            }
-            FaultEvent::Disaster { site } => {
-                self.quiesce()?;
-                self.cluster_mut().disaster(site);
-                Ok(())
-            }
-            FaultEvent::FailDisk { site, disk } => {
-                self.quiesce()?;
-                self.cluster_mut().fail_disk(site, disk);
+                match kind {
+                    FailureKind::SiteFailure => self.cluster_mut().fail_site(site),
+                    FailureKind::Disaster => self.cluster_mut().disaster(site),
+                    FailureKind::DiskFailure { disk } => self.cluster_mut().fail_disk(site, disk),
+                }
                 Ok(())
             }
             FaultEvent::ReplaceDisk { site, disk } => {
@@ -588,8 +593,7 @@ mod tests {
         for seed in [1u64, 2, 3, 0xDEAD, 0xBEEF] {
             let plan = FaultPlan::generate(seed, &PlanShape::default());
             let mut cc = des();
-            let report = run_plan(&mut cc, &plan)
-                .unwrap_or_else(|f| panic!("seed {seed}: {f}"));
+            let report = run_plan(&mut cc, &plan).unwrap_or_else(|f| panic!("seed {seed}: {f}"));
             assert_eq!(report.applied, plan.events.len());
             assert!(report.invariant_checks > 0);
             for s in 0..cc.cluster().config().num_sites() {
@@ -613,22 +617,36 @@ mod tests {
         let plan = FaultPlan {
             seed: 0x51EE7,
             events: vec![
-                FaultEvent::Write { site: 0, index: 0, fill: 1 },
-                FaultEvent::Write { site: 1, index: 0, fill: 2 },
+                FaultEvent::Write {
+                    site: 0,
+                    index: 0,
+                    fill: 1,
+                },
+                FaultEvent::Write {
+                    site: 1,
+                    index: 0,
+                    fill: 2,
+                },
                 FaultEvent::Read { site: 0, index: 0 },
             ],
         };
         let mut cc = des();
         // Run the first two events, then corrupt behind the protocol's back.
-        let prefix = FaultPlan { seed: plan.seed, events: plan.events[..2].to_vec() };
+        let prefix = FaultPlan {
+            seed: plan.seed,
+            events: plan.events[..2].to_vec(),
+        };
         run_plan(&mut cc, &prefix).unwrap();
         let row = cc.cluster().geometry().data_to_physical(0, 0);
         let bs = cc.cluster().config().block_size;
         cc.cluster_mut().corrupt_block(0, row, &vec![0xAA; bs]);
-        let failure = run_plan(&mut cc, &FaultPlan {
-            seed: plan.seed,
-            events: plan.events[2..].to_vec(),
-        })
+        let failure = run_plan(
+            &mut cc,
+            &FaultPlan {
+                seed: plan.seed,
+                events: plan.events[2..].to_vec(),
+            },
+        )
         .unwrap_err();
         assert_eq!(failure.seed, 0x51EE7);
         let msg = failure.to_string();
@@ -641,12 +659,22 @@ mod tests {
         // Build a long plan whose failure needs exactly two events: the
         // write that feeds the oracle and the read that exposes the
         // corruption. Everything in between is chaff the minimizer drops.
-        let mut events = vec![FaultEvent::Write { site: 2, index: 1, fill: 9 }];
+        let mut events = vec![FaultEvent::Write {
+            site: 2,
+            index: 1,
+            fill: 9,
+        }];
         for i in 0..10 {
-            events.push(FaultEvent::Read { site: 3, index: i % 4 });
+            events.push(FaultEvent::Read {
+                site: 3,
+                index: i % 4,
+            });
         }
         events.push(FaultEvent::Read { site: 2, index: 1 });
-        let plan = FaultPlan { seed: 0xBAD, events };
+        let plan = FaultPlan {
+            seed: 0xBAD,
+            events,
+        };
 
         // Driver factory: a cluster whose site-2 block is corrupted right
         // after the oracle write lands. We model that by wrapping apply.
@@ -658,7 +686,10 @@ mod tests {
             fn apply(&mut self, event: &FaultEvent) -> Result<(), String> {
                 self.cc.apply(event)?;
                 if !self.armed {
-                    if let FaultEvent::Write { site: 2, index: 1, .. } = event {
+                    if let FaultEvent::Write {
+                        site: 2, index: 1, ..
+                    } = event
+                    {
                         let row = self.cc.cluster().geometry().data_to_physical(2, 1);
                         let bs = self.cc.cluster().config().block_size;
                         self.cc.cluster_mut().corrupt_block(2, row, &vec![0x55; bs]);
@@ -677,13 +708,20 @@ mod tests {
                 FaultDriver::quiesce(&mut self.cc)
             }
         }
-        let factory = || Sabotage { cc: des(), armed: false };
+        let factory = || Sabotage {
+            cc: des(),
+            armed: false,
+        };
         assert!(run_plan(&mut factory(), &plan).is_err());
         let minimized = minimize_failure(factory, &plan);
         assert_eq!(
             minimized.events,
             vec![
-                FaultEvent::Write { site: 2, index: 1, fill: 9 },
+                FaultEvent::Write {
+                    site: 2,
+                    index: 1,
+                    fill: 9
+                },
                 FaultEvent::Read { site: 2, index: 1 },
             ],
             "chaff reads dropped, load-bearing write+read kept"

@@ -28,9 +28,9 @@ pub mod scenario;
 
 pub use access::AccessPattern;
 pub use faults::{
-    minimize_failure, run_plan, seed_from_name, FaultDriver, FaultEvent, FaultPlan,
-    PlanFailure, PlanReport, PlanShape,
+    minimize_failure, run_plan, seed_from_name, FaultDriver, FaultEvent, FaultPlan, PlanFailure,
+    PlanReport, PlanShape,
 };
 pub use mix::{run_mix, Mix, MixReport};
-pub use records::{run_record_workload, RecordWorkload, RecordReport};
+pub use records::{run_record_workload, RecordReport, RecordWorkload};
 pub use scenario::{run_scenario, PhaseReport, ScenarioStep};

@@ -82,8 +82,8 @@ pub fn run_record_workload(
     );
     let capacity = cluster.data_capacity(site);
     let records_per_page = page_size / workload.record_bytes;
-    let traffic_before = cluster.traffic().parity_updates.bytes_sent
-        + cluster.traffic().spare_writes.bytes_sent;
+    let traffic_before =
+        cluster.traffic().parity_updates.bytes_sent + cluster.traffic().spare_writes.bytes_sent;
     let mut report = RecordReport::default();
 
     for _ in 0..workload.flushes {
@@ -111,8 +111,8 @@ pub fn run_record_workload(
         report.disk_bytes += page_size as u64;
         report.flushes += 1;
     }
-    let traffic_after = cluster.traffic().parity_updates.bytes_sent
-        + cluster.traffic().spare_writes.bytes_sent;
+    let traffic_after =
+        cluster.traffic().parity_updates.bytes_sent + cluster.traffic().spare_writes.bytes_sent;
     report.network_bytes = traffic_after - traffic_before;
     Ok(report)
 }
@@ -134,8 +134,7 @@ mod tests {
     fn masked_shipping_is_a_small_fraction_of_disk_bandwidth() {
         let mut c = cluster_4k();
         let mut rng = SimRng::seed_from_u64(1);
-        let report =
-            run_record_workload(&mut c, 0, RecordWorkload::paper(50), &mut rng).unwrap();
+        let report = run_record_workload(&mut c, 0, RecordWorkload::paper(50), &mut rng).unwrap();
         assert_eq!(report.flushes, 50);
         assert_eq!(report.record_updates, 200);
         // The paper's arithmetic: 400 bytes of change per 8 KB of disk I/O
@@ -153,8 +152,7 @@ mod tests {
     fn full_block_shipping_ablation_is_an_order_of_magnitude_worse() {
         let mut rng = SimRng::seed_from_u64(2);
         let mut c1 = cluster_4k();
-        let masked =
-            run_record_workload(&mut c1, 0, RecordWorkload::paper(30), &mut rng).unwrap();
+        let masked = run_record_workload(&mut c1, 0, RecordWorkload::paper(30), &mut rng).unwrap();
         let mut rng = SimRng::seed_from_u64(2);
         let mut c2 = cluster_4k();
         let mut wl = RecordWorkload::paper(30);

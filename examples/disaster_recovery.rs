@@ -48,7 +48,10 @@ fn main() {
     // WAL manager, recovered locally and remotely-through-RADD.
     for (label, ctx) in [
         ("WAL, local restart", RecoveryContext::Local),
-        ("WAL, rebuilt remotely through RADD (G = 8)", RecoveryContext::RemoteRadd { g: 8 }),
+        (
+            "WAL, rebuilt remotely through RADD (G = 8)",
+            RecoveryContext::RemoteRadd { g: 8 },
+        ),
     ] {
         let mut wal = WalManager::new(64, 2048);
         workload(&mut wal, 300);
@@ -60,7 +63,10 @@ fn main() {
     // No-overwrite manager: nothing to replay, in any context.
     for (label, ctx) in [
         ("no-overwrite, local restart", RecoveryContext::Local),
-        ("no-overwrite, remote through RADD", RecoveryContext::RemoteRadd { g: 8 }),
+        (
+            "no-overwrite, remote through RADD",
+            RecoveryContext::RemoteRadd { g: 8 },
+        ),
     ] {
         let mut now = NoOverwriteManager::new(64, 2048);
         workload(&mut now, 300);

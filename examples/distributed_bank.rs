@@ -33,7 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for acct in 0..ACCOUNTS_PER_SITE {
             txn_id += 1;
             let mut t = DistributedTxn::begin(txn_id);
-            t.write(&mut cluster, Actor::Site(site), site, acct, &encode(1000, block_size))?;
+            t.write(
+                &mut cluster,
+                Actor::Site(site),
+                site,
+                acct,
+                &encode(1000, block_size),
+            )?;
             t.commit(&mut cluster)?;
         }
     }
@@ -41,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .flat_map(|s| (0..ACCOUNTS_PER_SITE).map(move |a| (s, a)))
         .map(|(s, a)| decode(&cluster.logical_content(s, a).unwrap()))
         .sum();
-    println!("opened {} accounts, total {}", sites as u64 * ACCOUNTS_PER_SITE, total_before);
+    println!(
+        "opened {} accounts, total {}",
+        sites as u64 * ACCOUNTS_PER_SITE,
+        total_before
+    );
 
     // Run cross-site transfers with a deterministic RNG.
     let mut rng = SimRng::seed_from_u64(2024);
@@ -63,8 +73,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             t.abort(&mut cluster)?;
             continue;
         }
-        t.write(&mut cluster, Actor::Site(from_site), from_site, from, &encode(a - amount, block_size))?;
-        t.write(&mut cluster, Actor::Site(to_site), to_site, to, &encode(b + amount, block_size))?;
+        t.write(
+            &mut cluster,
+            Actor::Site(from_site),
+            from_site,
+            from,
+            &encode(a - amount, block_size),
+        )?;
+        t.write(
+            &mut cluster,
+            Actor::Site(to_site),
+            to_site,
+            to,
+            &encode(b + amount, block_size),
+        )?;
         t.commit(&mut cluster)?;
         commits += 1;
     }
@@ -82,21 +104,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     txn_id += 1;
     let mut t = DistributedTxn::begin(txn_id);
     let a = decode(&t.read(&mut cluster, Actor::Site(0), 0, 0)?);
-    t.write(&mut cluster, Actor::Site(0), 0, 0, &encode(a + 77, block_size))?;
+    t.write(
+        &mut cluster,
+        Actor::Site(0),
+        0,
+        0,
+        &encode(a + 77, block_size),
+    )?;
     cluster.fail_site(0); // slave dies after done, before any commit message
     t.commit(&mut cluster)?;
     let recovered = decode(&cluster.read(Actor::Client, 0, 0)?.0);
     assert_eq!(recovered, a + 77);
-    println!("\nslave crashed after `done`; committed balance recovered from parity: {recovered} ✓");
+    println!(
+        "\nslave crashed after `done`; committed balance recovered from parity: {recovered} ✓"
+    );
 
     // And the protocol economics that make it worthwhile:
     let full = two_phase_commit(&[true; 4], Default::default());
-    let opt = radd_commit(RaddCommitConfig { slaves: 4, parity_acks_complete: true });
+    let opt = radd_commit(RaddCommitConfig {
+        slaves: 4,
+        parity_acks_complete: true,
+    });
     println!(
         "\ncommit overhead for 4 slaves — 2PC: {} msgs / {} forces / {} rounds,\n\
          RADD done=prepared: {} msgs / {} forces / {} rounds",
-        full.messages, full.forced_log_writes, full.rounds,
-        opt.messages, opt.forced_log_writes, opt.rounds,
+        full.messages,
+        full.forced_log_writes,
+        full.rounds,
+        opt.messages,
+        opt.forced_log_writes,
+        opt.rounds,
     );
     Ok(())
 }

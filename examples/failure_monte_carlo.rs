@@ -42,16 +42,28 @@ fn main() {
     let radd = mc.mttu_radd(trials);
     let rowb = mc.mttu_rowb(trials);
     let raid = mc.mttu_raid(trials);
-    println!("  RADD unavailability: {:>8.0} ± {:>5.0} h", radd.mean_hours, radd.std_error);
-    println!("  ROWB unavailability: {:>8.0} ± {:>5.0} h", rowb.mean_hours, rowb.std_error);
-    println!("  RAID unavailability: {:>8.0} ± {:>5.0} h", raid.mean_hours, raid.std_error);
+    println!(
+        "  RADD unavailability: {:>8.0} ± {:>5.0} h",
+        radd.mean_hours, radd.std_error
+    );
+    println!(
+        "  ROWB unavailability: {:>8.0} ± {:>5.0} h",
+        rowb.mean_hours, rowb.std_error
+    );
+    println!(
+        "  RAID unavailability: {:>8.0} ± {:>5.0} h",
+        raid.mean_hours, raid.std_error
+    );
 
     println!("\nMTTF (years), model vs Monte Carlo:");
     for env in [Environment::CautiousRaid, Environment::CautiousConventional] {
         let c = env.constants();
         let model = mttf_hours(Scheme::Radd, g, &c) / HOURS_PER_YEAR;
         let mc = MonteCarlo::new(g, c, 11).mttf_radd(120).mean_hours / HOURS_PER_YEAR;
-        println!("  RADD, {:<24} model {model:>6.2}   Monte Carlo {mc:>6.2}", env.label());
+        println!(
+            "  RADD, {:<24} model {model:>6.2}   Monte Carlo {mc:>6.2}",
+            env.label()
+        );
     }
     println!(
         "\n(The MTTU simulation counts both failure orderings, so it sits near\n\

@@ -25,12 +25,17 @@ fn des() -> CheckedCluster {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "radd-demo".into());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "radd-demo".into());
     let seed = parse_seed(&arg);
     let shape = PlanShape::default();
     let plan = FaultPlan::generate(seed, &shape);
 
-    println!("plan \"{arg}\" → seed {seed:#018x}, {} events:", plan.events.len());
+    println!(
+        "plan \"{arg}\" → seed {seed:#018x}, {} events:",
+        plan.events.len()
+    );
     for (i, event) in plan.events.iter().enumerate() {
         println!("  [{i}] {event}");
     }

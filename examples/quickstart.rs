@@ -23,19 +23,39 @@ fn main() -> Result<(), RaddError> {
     let payload = vec![0x42u8; block_size];
     let w = cluster.write(Actor::Site(3), 3, 0, &payload)?;
     let (_, r) = cluster.read(Actor::Site(3), 3, 0)?;
-    println!("\nhealthy write: {:>6} = {} ms", w.counts.formula(), w.latency.as_millis());
-    println!("healthy read:  {:>6} = {} ms", r.counts.formula(), r.latency.as_millis());
+    println!(
+        "\nhealthy write: {:>6} = {} ms",
+        w.counts.formula(),
+        w.latency.as_millis()
+    );
+    println!(
+        "healthy read:  {:>6} = {} ms",
+        r.counts.formula(),
+        r.latency.as_millis()
+    );
 
     // 1. Temporary site failure: reads reconstruct, writes hit the spare.
     cluster.fail_site(3);
     let (data, r) = cluster.read(Actor::Client, 3, 0)?;
     assert_eq!(&data[..], &payload[..]);
-    println!("\nsite 3 down — first read reconstructs: {} = {} ms", r.counts.formula(), r.latency.as_millis());
+    println!(
+        "\nsite 3 down — first read reconstructs: {} = {} ms",
+        r.counts.formula(),
+        r.latency.as_millis()
+    );
     let (_, r) = cluster.read(Actor::Client, 3, 0)?;
-    println!("site 3 down — spare serves repeats:    {} = {} ms", r.counts.formula(), r.latency.as_millis());
+    println!(
+        "site 3 down — spare serves repeats:    {} = {} ms",
+        r.counts.formula(),
+        r.latency.as_millis()
+    );
     let newer = vec![0x43u8; block_size];
     let w = cluster.write(Actor::Client, 3, 0, &newer)?;
-    println!("site 3 down — write redirected:        {} = {} ms", w.counts.formula(), w.latency.as_millis());
+    println!(
+        "site 3 down — write redirected:        {} = {} ms",
+        w.counts.formula(),
+        w.latency.as_millis()
+    );
 
     // The site returns; the background daemon drains the spare back.
     cluster.restore_site(3);
@@ -50,10 +70,17 @@ fn main() -> Result<(), RaddError> {
     cluster.fail_disk(5, 0);
     let probe = vec![0x07u8; block_size];
     let w = cluster.write(Actor::Site(5), 5, 0, &probe)?;
-    println!("\ndisk 0 of site 5 dead — write: {} = {} ms", w.counts.formula(), w.latency.as_millis());
+    println!(
+        "\ndisk 0 of site 5 dead — write: {} = {} ms",
+        w.counts.formula(),
+        w.latency.as_millis()
+    );
     cluster.replace_disk(5, 0);
     let report = cluster.run_recovery(5)?;
-    println!("replacement rebuilt: {} blocks reconstructed", report.data_reconstructed + report.parity_rebuilt);
+    println!(
+        "replacement rebuilt: {} blocks reconstructed",
+        report.data_reconstructed + report.parity_rebuilt
+    );
 
     // 3. Disaster: everything at site 7 is ash; the cluster shrugs.
     cluster.write(Actor::Site(7), 7, 4, &payload)?;
@@ -65,6 +92,9 @@ fn main() -> Result<(), RaddError> {
     println!("\ndisaster at site 7 survived; data verified after rebuild");
 
     cluster.verify_parity().expect("stripe invariant");
-    println!("\nparity invariant verified across all {} rows ✓", cluster.config().rows);
+    println!(
+        "\nparity invariant verified across all {} rows ✓",
+        cluster.config().rows
+    );
     Ok(())
 }

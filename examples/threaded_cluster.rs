@@ -27,7 +27,10 @@ fn main() {
             writes += 1;
         }
     }
-    println!("{writes} writes in {:?} (write → parity → ack → reply)", t0.elapsed());
+    println!(
+        "{writes} writes in {:?} (write → parity → ack → reply)",
+        t0.elapsed()
+    );
 
     // Kill a site process. Reads keep working via reconstruction.
     cluster.kill_site(4);

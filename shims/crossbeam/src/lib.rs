@@ -8,8 +8,8 @@
 
 /// Multi-producer channels (std-backed subset of `crossbeam-channel`).
 pub mod channel {
-    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
     use std::sync::mpsc;
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
     use std::time::Duration;
 
     /// The sending half of a channel.

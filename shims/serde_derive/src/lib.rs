@@ -110,9 +110,7 @@ fn generate(input: TokenStream) -> Result<String, String> {
                             if i > 0 {
                                 f.push_str("out.push(',');\n");
                             }
-                            f.push_str(&format!(
-                                "::serde::Serialize::serialize_json({b}, out);\n"
-                            ));
+                            f.push_str(&format!("::serde::Serialize::serialize_json({b}, out);\n"));
                         }
                         f.push_str("out.push_str(\"]}}\");\n}\n");
                     }
@@ -205,9 +203,7 @@ fn parse_item(input: TokenStream) -> Result<(String, Item), String> {
                 let n = count_tuple_fields(g.stream());
                 Ok((name, Item::Struct(Body::Tuple(n))))
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                Ok((name, Item::Struct(Body::Unit)))
-            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Item::Struct(Body::Unit))),
             other => Err(format!("unsupported struct body: {other:?}")),
         }
     } else {

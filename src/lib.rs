@@ -64,23 +64,18 @@ pub use radd_workload as workload;
 /// The names most programs need.
 pub mod prelude {
     pub use radd_core::{
-        Actor, CheckError, CheckedCluster, ParityMode, RaddCluster, RaddConfig,
-        RaddError, SiteState, SparePolicy,
+        Actor, CheckError, CheckedCluster, ParityMode, RaddCluster, RaddConfig, RaddError,
+        SiteState, SparePolicy,
     };
-    pub use radd_node::{NodeCluster, ThreadedDriver};
     pub use radd_layout::{assign_groups, Geometry, Role};
+    pub use radd_node::{NodeCluster, ThreadedDriver};
     pub use radd_reliability::{Environment, MonteCarlo, Scheme};
-    pub use radd_schemes::{
-        CRaid, FailureKind, Radd, Raid5, ReplicationScheme, Rowb, TwoDRadd,
-    };
+    pub use radd_schemes::{CRaid, FailureKind, Radd, Raid5, ReplicationScheme, Rowb, TwoDRadd};
     pub use radd_sim::{CostParams, OpCounts, SimRng};
-    pub use radd_storage::{
-        NoOverwriteManager, RecoveryContext, StorageManager, WalManager,
-    };
+    pub use radd_storage::{NoOverwriteManager, RecoveryContext, StorageManager, WalManager};
     pub use radd_txn::{radd_commit, two_phase_commit, DistributedTxn, RaddCommitConfig};
     pub use radd_workload::{
-        minimize_failure, run_mix, run_plan, run_scenario, seed_from_name,
-        AccessPattern, FaultDriver, FaultEvent, FaultPlan, Mix, PlanFailure,
-        PlanReport, PlanShape, ScenarioStep,
+        minimize_failure, run_mix, run_plan, run_scenario, seed_from_name, AccessPattern,
+        FaultDriver, FaultEvent, FaultPlan, Mix, PlanFailure, PlanReport, PlanShape, ScenarioStep,
     };
 }

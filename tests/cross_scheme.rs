@@ -32,10 +32,17 @@ fn every_scheme_round_trips_every_addressable_block() {
                 let data = vec![tag; BLOCK];
                 scheme.write(Actor::Site(site), site, idx, &data).unwrap();
                 let (got, _) = scheme.read(Actor::Site(site), site, idx).unwrap();
-                assert_eq!(&got[..], &data[..], "{} site {site} idx {idx}", scheme.name());
+                assert_eq!(
+                    &got[..],
+                    &data[..],
+                    "{} site {site} idx {idx}",
+                    scheme.name()
+                );
             }
         }
-        scheme.verify().unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+        scheme
+            .verify()
+            .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
     }
 }
 
@@ -71,7 +78,9 @@ fn every_scheme_survives_a_disk_failure() {
         let (site, disk) = if name == "RAID" { (0, 0) } else { (1, 0) };
         let data = vec![0x55u8; BLOCK];
         scheme.write(Actor::Site(site), site, 0, &data).unwrap();
-        scheme.inject(site, FailureKind::DiskFailure { disk }).unwrap();
+        scheme
+            .inject(site, FailureKind::DiskFailure { disk })
+            .unwrap();
         let (got, _) = scheme.read(Actor::Client, site, 0).unwrap();
         assert_eq!(&got[..], &data[..], "{name}: read with disk failed");
         scheme.repair(site).unwrap();

@@ -29,7 +29,8 @@ fn transactions_interleaved_with_failures_preserve_atomicity() {
     // A transaction writes one leg, then aborts while a site is down:
     // the abort must undo through the spare.
     let mut t = DistributedTxn::begin(2);
-    t.write(&mut cluster, Actor::Site(0), 0, 0, &vec![11u8; BLOCK]).unwrap();
+    t.write(&mut cluster, Actor::Site(0), 0, 0, &vec![11u8; BLOCK])
+        .unwrap();
     cluster.fail_site(0);
     t.abort(&mut cluster).unwrap();
     let (got, _) = cluster.read(Actor::Client, 0, 0).unwrap();
@@ -65,7 +66,11 @@ fn partition_then_heal_with_recovery() {
     cluster.restore_site(4);
     cluster.run_recovery(4).unwrap();
     let (got, receipt) = cluster.read(Actor::Site(4), 4, 0).unwrap();
-    assert_eq!(&got[..], &newer[..], "partition-era write visible after heal");
+    assert_eq!(
+        &got[..],
+        &newer[..],
+        "partition-era write visible after heal"
+    );
     assert_eq!(receipt.counts.formula(), "R");
     cluster.verify_parity().unwrap();
 }
@@ -116,7 +121,8 @@ fn threaded_sites_serve_remote_reads() {
         handles.push(std::thread::spawn(move || {
             let mut disk = MemDisk::new(16, 64);
             for b in 0..16u64 {
-                disk.write_block(b, &[ep.id() as u8 * 16 + b as u8; 64]).unwrap();
+                disk.write_block(b, &[ep.id() as u8 * 16 + b as u8; 64])
+                    .unwrap();
             }
             loop {
                 match ep.recv_timeout(Duration::from_secs(5)) {
@@ -135,7 +141,15 @@ fn threaded_sites_serve_remote_reads() {
     }
     // The client reads one block from every site.
     for site in 1..n {
-        client.send(site, Msg::Read { block: 3, reply_to: 0 }).unwrap();
+        client
+            .send(
+                site,
+                Msg::Read {
+                    block: 3,
+                    reply_to: 0,
+                },
+            )
+            .unwrap();
     }
     let mut got = 0;
     while got < n - 1 {

@@ -49,7 +49,10 @@ fn parity_corruption_is_caught_with_a_replayable_report() {
     // must trip, and the report must be replayable.
     let failure = run_plan(
         &mut cc,
-        &FaultPlan { seed, events: vec![FaultEvent::FlushParity] },
+        &FaultPlan {
+            seed,
+            events: vec![FaultEvent::FlushParity],
+        },
     )
     .expect_err("a corrupted parity block must not survive the invariant sweep");
 
@@ -98,13 +101,20 @@ fn staged_race(uid_validation: bool) -> (RaddCluster, usize, u64, Vec<u8>) {
     // Consistent baseline.
     let block_a = vec![0xA5u8; bs];
     cluster.write(Actor::Site(a), a, ia, &block_a).unwrap();
-    cluster.write(Actor::Site(b), b, ib, &vec![0x11u8; bs]).unwrap();
+    cluster
+        .write(Actor::Site(b), b, ib, &vec![0x11u8; bs])
+        .unwrap();
     cluster.flush_parity().unwrap();
 
     // The racing write: B's block changes locally (new UID), but the
     // parity update sits in the queue — the window §3.3 describes.
-    cluster.write(Actor::Site(b), b, ib, &vec![0x22u8; bs]).unwrap();
-    assert!(cluster.pending_parity_updates() > 0, "update must still be queued");
+    cluster
+        .write(Actor::Site(b), b, ib, &vec![0x22u8; bs])
+        .unwrap();
+    assert!(
+        cluster.pending_parity_updates() > 0,
+        "update must still be queued"
+    );
 
     // A fails inside the window; reading A now requires reconstruction.
     cluster.fail_site(a);

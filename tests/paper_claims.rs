@@ -17,9 +17,23 @@ fn abstract_claim_less_space_equal_normal_performance() {
     assert!(radd.space_overhead() < 0.3 && rowb.space_overhead() == 1.0);
 
     let mut rng = SimRng::seed_from_u64(5);
-    let a = run_mix(&mut radd, &mut rng, 1200, Mix::paper_2to1(), AccessPattern::Uniform).unwrap();
+    let a = run_mix(
+        &mut radd,
+        &mut rng,
+        1200,
+        Mix::paper_2to1(),
+        AccessPattern::Uniform,
+    )
+    .unwrap();
     let mut rng = SimRng::seed_from_u64(5);
-    let b = run_mix(&mut rowb, &mut rng, 1200, Mix::paper_2to1(), AccessPattern::Uniform).unwrap();
+    let b = run_mix(
+        &mut rowb,
+        &mut rng,
+        1200,
+        Mix::paper_2to1(),
+        AccessPattern::Uniform,
+    )
+    .unwrap();
     let (la, lb) = (a.mean_latency_ms(), b.mean_latency_ms());
     assert!(
         (la - lb).abs() < 1.0,
@@ -40,9 +54,23 @@ fn abstract_claim_failures_favor_rowb() {
     rowb.inject(2, FailureKind::SiteFailure).unwrap();
 
     let mut rng = SimRng::seed_from_u64(6);
-    let a = run_mix(&mut radd, &mut rng, 1500, Mix::read_only(), AccessPattern::Uniform).unwrap();
+    let a = run_mix(
+        &mut radd,
+        &mut rng,
+        1500,
+        Mix::read_only(),
+        AccessPattern::Uniform,
+    )
+    .unwrap();
     let mut rng = SimRng::seed_from_u64(6);
-    let b = run_mix(&mut rowb, &mut rng, 1500, Mix::read_only(), AccessPattern::Uniform).unwrap();
+    let b = run_mix(
+        &mut rowb,
+        &mut rng,
+        1500,
+        Mix::read_only(),
+        AccessPattern::Uniform,
+    )
+    .unwrap();
     assert!(
         a.mean_latency_ms() > 1.5 * b.mean_latency_ms(),
         "degraded RADD {} ms vs ROWB {} ms",
@@ -99,12 +127,8 @@ fn conclusion_dominant_alternatives() {
         );
     }
     // 2D-RADD offers the best MTTU of the trio (Figure 5).
-    assert!(
-        mttu_hours(Scheme::TwoDRadd, G, &env) > mttu_hours(Scheme::HalfRadd, G, &env)
-    );
-    assert!(
-        mttu_hours(Scheme::HalfRadd, G, &env) > mttu_hours(Scheme::Radd, G, &env)
-    );
+    assert!(mttu_hours(Scheme::TwoDRadd, G, &env) > mttu_hours(Scheme::HalfRadd, G, &env));
+    assert!(mttu_hours(Scheme::HalfRadd, G, &env) > mttu_hours(Scheme::Radd, G, &env));
 }
 
 /// §7 conclusions (normal RAID environment): "RADD, ROWB and RAID all offer
@@ -135,9 +159,15 @@ fn uid_validation_is_load_bearing() {
         c.flush_parity().unwrap();
         // A second writer's parity update is in flight…
         let row = c.geometry().data_to_physical(3, 0);
-        let writer = *c.geometry().data_sites(row).iter().find(|&&s| s != 3).unwrap();
+        let writer = *c
+            .geometry()
+            .data_sites(row)
+            .iter()
+            .find(|&&s| s != 3)
+            .unwrap();
         let widx = c.geometry().physical_to_data(writer, row).unwrap();
-        c.write(Actor::Site(writer), writer, widx, &[2u8; 128]).unwrap();
+        c.write(Actor::Site(writer), writer, widx, &[2u8; 128])
+            .unwrap();
         // …while site 3 dies and someone reconstructs its block.
         c.fail_site(3);
         let result = c.read(Actor::Client, 3, 0);

@@ -51,18 +51,27 @@ fn parse_seed(s: &str) -> u64 {
 fn run_seed(label: &str, seed: u64) {
     let plan = FaultPlan::generate(seed, &soak_shape());
     let mut cc = soak_cluster();
-    let report = run_plan(&mut cc, &plan).unwrap_or_else(|failure| {
-        panic!("soak seed {label} ({seed:#018x}):\n{failure}")
-    });
+    let report = run_plan(&mut cc, &plan)
+        .unwrap_or_else(|failure| panic!("soak seed {label} ({seed:#018x}):\n{failure}"));
     assert_eq!(report.applied, plan.events.len(), "seed {label}");
-    assert!(report.invariant_checks > 0, "seed {label}: nothing was checked");
+    assert!(
+        report.invariant_checks > 0,
+        "seed {label}: nothing was checked"
+    );
     // Generated plans wind down to full health: every site up, no queued
     // parity, and the final post-quiesce sweep already passed.
     for s in 0..cc.cluster().config().num_sites() {
-        assert_eq!(cc.cluster().site_state(s), SiteState::Up, "seed {label} site {s}");
+        assert_eq!(
+            cc.cluster().site_state(s),
+            SiteState::Up,
+            "seed {label} site {s}"
+        );
     }
     assert_eq!(cc.cluster().pending_parity_updates(), 0, "seed {label}");
-    assert!(cc.oracle_len() > 0, "seed {label}: plan never wrote anything");
+    assert!(
+        cc.oracle_len() > 0,
+        "seed {label}: plan never wrote anything"
+    );
 }
 
 #[test]
@@ -84,8 +93,7 @@ fn one_cluster_survives_consecutive_plans() {
     let mut cc = soak_cluster();
     for round in 0..3u64 {
         let plan = FaultPlan::generate(seed_from_name("radd-soak-steady") ^ round, &soak_shape());
-        run_plan(&mut cc, &plan)
-            .unwrap_or_else(|failure| panic!("round {round}:\n{failure}"));
+        run_plan(&mut cc, &plan).unwrap_or_else(|failure| panic!("round {round}:\n{failure}"));
     }
     assert_eq!(cc.cluster().pending_parity_updates(), 0);
 }
