@@ -1,11 +1,19 @@
 //! Throughput of the XOR primitives behind formulas (1) and (2).
+//!
+//! `xor_in_place` dispatches at runtime to the widest XOR kernel the CPU
+//! offers (AVX2 → SSE2 → scalar on x86-64, NEON on aarch64); the
+//! `xor2_scalar/*` rows pin the portable u64 reference so the kernel
+//! speedup is visible in one run. `reconstruct_g8_4k` is the whole-stripe
+//! fold a degraded read performs — one multi-way `xor_fold` pass instead
+//! of `G + 1` two-way passes.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use radd_parity::{xor_in_place, xor_many};
+use radd_parity::{kernels, xor_fold, xor_in_place, xor_many};
 use std::hint::black_box;
 
 fn bench_xor(c: &mut Criterion) {
     let mut group = c.benchmark_group("parity_xor");
+    eprintln!("# active XOR kernel: {}", kernels::active_kernel_name());
     for &size in &[512usize, 4096, 65_536] {
         let a: Vec<u8> = (0..size).map(|i| i as u8).collect();
         let b: Vec<u8> = (0..size).map(|i| (i * 7) as u8).collect();
@@ -16,12 +24,37 @@ fn bench_xor(c: &mut Criterion) {
                 xor_in_place(black_box(&mut dst), black_box(&b));
             });
         });
+        group.bench_function(format!("xor2_scalar/{size}"), |bencher| {
+            let mut dst = a.clone();
+            bencher.iter(|| {
+                kernels::xor2_scalar(black_box(&mut dst), black_box(&b));
+            });
+        });
     }
     // Reconstruction of one 4 KB block from a G = 8 stripe.
     let stripe: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i.wrapping_mul(31); 4096]).collect();
     group.throughput(Throughput::Bytes(9 * 4096));
     group.bench_function("reconstruct_g8_4k", |bencher| {
         bencher.iter(|| xor_many(stripe.iter().map(|b| black_box(b.as_slice()))).unwrap());
+    });
+    // The same stripe folded serially with the scalar kernel: the baseline
+    // `reconstruct_g8_4k` improves over.
+    group.bench_function("reconstruct_g8_4k_scalar_serial", |bencher| {
+        bencher.iter(|| {
+            let mut acc = stripe[0].clone();
+            for b in &stripe[1..] {
+                kernels::xor2_scalar(black_box(&mut acc), black_box(b));
+            }
+            acc
+        });
+    });
+    // Multi-way fold in isolation (no accumulator clone).
+    group.bench_function("xor_fold_8way_4k", |bencher| {
+        let mut acc = stripe[0].clone();
+        let views: Vec<&[u8]> = stripe[1..].iter().map(|b| b.as_slice()).collect();
+        bencher.iter(|| {
+            xor_fold(black_box(&mut acc), black_box(&views));
+        });
     });
     group.finish();
 }

@@ -92,7 +92,7 @@ fn bench_protocol(c: &mut Criterion) {
         let mut blocks = MemBlocks::new(ROWS, BLOCK);
         let old = vec![0u8; BLOCK];
         let new = vec![0xA5u8; BLOCK];
-        let mask_wire = ChangeMask::diff(&old, &new).encode().to_vec();
+        let mask_wire = ChangeMask::diff(&old, &new).encode();
         let mut raw = 0u64;
         bencher.iter(|| {
             raw += 1;

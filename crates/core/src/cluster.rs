@@ -67,11 +67,8 @@ const RECOVERY_TXN: u64 = u64::MAX;
 struct ArrayBlocks<'a>(&'a mut DiskArray);
 
 impl Blocks for ArrayBlocks<'_> {
-    fn read(&mut self, row: u64) -> Result<Vec<u8>, BlockFault> {
-        self.0
-            .read_block(row)
-            .map(|b| b.to_vec())
-            .map_err(|_| BlockFault)
+    fn read(&mut self, row: u64) -> Result<Bytes, BlockFault> {
+        self.0.read_block(row).map_err(|_| BlockFault)
     }
 
     fn write(&mut self, row: u64, data: &[u8]) -> Result<(), BlockFault> {
@@ -737,7 +734,7 @@ impl RaddCluster {
             _ => {
                 self.refresh_down_mask();
                 let res = self.with_client(actor, true, false, |cm, io| cm.read(io, site, index));
-                Bytes::from(res.map_err(|f| self.lift(f, site, index, None))?)
+                res.map_err(|f| self.lift(f, site, index, None))?
             }
         };
         let (counts, latency) = self.ledger.since(snap);
@@ -939,7 +936,7 @@ impl RaddCluster {
         let tag = self.sites[from_site].machine.fresh_tag();
         let msg = Msg::ParityUpdate {
             row,
-            mask_wire: mask.encode().to_vec(),
+            mask_wire: mask.encode(),
             uid,
             from_site,
             tag,
@@ -1207,6 +1204,7 @@ impl RaddCluster {
         self.with_client(Actor::Client, false, false, |cm, io| {
             cm.read(io, site, index)
         })
+        .map(|b| b.to_vec())
         .map_err(|f| self.lift(f, site, index, None))
     }
 

@@ -152,6 +152,31 @@ impl ClientIo for NetIo {
     fn exchange(&mut self, site: usize, msg: Msg, _background: bool) -> Result<Msg, ClientErr> {
         self.request(site, msg).ok_or(ClientErr::Timeout { site })
     }
+
+    /// Pipelined batch: every request goes on the wire before any reply is
+    /// awaited, so the target sites serve them concurrently. Replies are
+    /// then collected in request order; out-of-order arrivals land in the
+    /// tag-keyed stash exactly as fan-out replies always have. A request
+    /// whose reply misses the batch window falls back to the serial retry
+    /// path (all batched requests are idempotent at the receiver).
+    fn exchange_batch(
+        &mut self,
+        reqs: Vec<(usize, Msg)>,
+        _background: bool,
+    ) -> Vec<Result<Msg, ClientErr>> {
+        for (site, msg) in &reqs {
+            let _ = self.ep.send(self.ep_base + site, msg.clone());
+        }
+        reqs.into_iter()
+            .map(|(site, msg)| {
+                let tag = msg.tag();
+                if let Some(reply) = self.wait(tag, ATTEMPT_TIMEOUT) {
+                    return Ok(reply);
+                }
+                self.request(site, msg).ok_or(ClientErr::Timeout { site })
+            })
+            .collect()
+    }
     // old_value stays `None`: this runtime has no buffer-pool oracle, so
     // degraded writes fetch the old value through the protocol.
 }
@@ -231,7 +256,7 @@ impl NodeClient {
         for _ in 0..RECONSTRUCT_RETRIES {
             match self.machine.read(&mut self.io, site, index) {
                 Err(ClientErr::Inconsistent { .. }) => std::thread::sleep(Duration::from_millis(5)),
-                other => return other.map_err(ClientError::from),
+                other => return other.map(|b| b.to_vec()).map_err(ClientError::from),
             }
         }
         Err(ClientError::Inconsistent)
@@ -281,7 +306,7 @@ impl NodeClient {
                 match self.io.request(s, Msg::BlockRead { row, tag }) {
                     Some(Msg::BlockData { data, .. }) => {
                         if s == parity_site {
-                            parity = data;
+                            parity = data.to_vec();
                         } else {
                             xor_in_place(&mut acc, &data);
                         }

@@ -59,6 +59,7 @@ pub use driver::ThreadedDriver;
 pub use message::Msg;
 
 use radd_net::ThreadedNet;
+use radd_protocol::CoalescePolicy;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -85,11 +86,30 @@ impl NodeCluster {
     /// handles: one stays attached to the cluster, the rest are returned
     /// for use from other threads (each owns its own endpoint and UID
     /// namespace).
+    ///
+    /// Sites run with parity-update coalescing on
+    /// ([`radd_protocol::CoalescePolicy::Merge`]): while a row's update is
+    /// unacknowledged, further queued masks XOR-merge into one pending
+    /// update. Use [`start_with`](NodeCluster::start_with) to pick the
+    /// policy explicitly (differential harnesses turn it off to stay
+    /// message-for-message identical to the DES interpreter).
     pub fn start_multi(
         g: usize,
         rows: u64,
         block_size: usize,
         clients: usize,
+    ) -> (NodeCluster, Vec<NodeClient>) {
+        NodeCluster::start_with(g, rows, block_size, clients, CoalescePolicy::Merge)
+    }
+
+    /// [`start_multi`](NodeCluster::start_multi) with an explicit
+    /// parity-update [`CoalescePolicy`].
+    pub fn start_with(
+        g: usize,
+        rows: u64,
+        block_size: usize,
+        clients: usize,
+        coalesce: CoalescePolicy,
     ) -> (NodeCluster, Vec<NodeClient>) {
         assert!(clients >= 1, "need at least one client");
         let num_sites = g + 2;
@@ -108,6 +128,7 @@ impl NodeCluster {
                 rows,
                 block_size,
                 ep_base,
+                coalesce,
             };
             handles.push(std::thread::spawn(move || {
                 site::run_site(cfg, ep, ctl_rx);

@@ -25,7 +25,7 @@
 
 use crate::message::Msg;
 use radd_net::ThreadedEndpoint;
-use radd_protocol::{trace, Dest, Effect, MemBlocks, SiteMachine, TraceEntry};
+use radd_protocol::{trace, CoalescePolicy, Dest, Effect, MemBlocks, SiteMachine, TraceEntry};
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
 use std::time::{Duration, Instant};
@@ -77,6 +77,12 @@ pub struct SiteConfig {
     pub block_size: usize,
     /// Endpoint id of site 0 (clients occupy the endpoints below it).
     pub ep_base: usize,
+    /// Parity-update coalescing policy. The threaded runtime defaults to
+    /// [`CoalescePolicy::Merge`] (queued masks for a row XOR-merge while an
+    /// update is in flight); differential harnesses pass
+    /// [`CoalescePolicy::Off`] to stay message-for-message identical to the
+    /// DES interpreter.
+    pub coalesce: CoalescePolicy,
 }
 
 struct SiteDriver {
@@ -148,8 +154,10 @@ impl SiteDriver {
 
 /// Run the site event loop until shutdown.
 pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Control>) {
+    let mut machine = SiteMachine::new(cfg.site, cfg.group_size, cfg.rows, cfg.block_size);
+    machine.set_coalesce(cfg.coalesce);
     let mut st = SiteDriver {
-        machine: SiteMachine::new(cfg.site, cfg.group_size, cfg.rows, cfg.block_size),
+        machine,
         blocks: MemBlocks::new(cfg.rows, cfg.block_size),
         down: false,
         timers: BTreeMap::new(),

@@ -9,7 +9,9 @@
 //!
 //! Modules:
 //!
-//! * [`xor`] — word-at-a-time XOR primitives.
+//! * [`xor`] — XOR primitives over runtime-dispatched SIMD kernels.
+//! * [`kernels`] — the kernels themselves (AVX2/SSE2/NEON/scalar) plus the
+//!   k-way fold used by reconstruction.
 //! * [`mask`] — change masks with a run-length wire encoding (Section 7.4
 //!   argues masks make RADD's bandwidth comparable to a hot standby's).
 //! * [`delta`] — record-level page edits (insert/delete/overwrite) and their
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod delta;
+pub mod kernels;
 pub mod mask;
 pub mod stripe;
 pub mod uid;
@@ -30,4 +33,4 @@ pub use delta::PageEdit;
 pub use mask::ChangeMask;
 pub use stripe::{reconstruct, reconstruct_validated, StripeRead, ValidationError};
 pub use uid::{Uid, UidArray, UidGen};
-pub use xor::{xor_bytes, xor_in_place, xor_many};
+pub use xor::{xor_bytes, xor_fold, xor_in_place, xor_many};

@@ -10,8 +10,15 @@
 //! zero. The wire encoding here is a simple span format — `(offset, len,
 //! bytes)` runs of nonzero data — which captures the paper's claim that only
 //! changed bits need to travel.
+//!
+//! Storage layout: all span payloads live concatenated in **one** buffer
+//! (`payload`), with spans recording only `(offset, len)`. `diff` finds the
+//! spans in a single fused scan of `old`/`new` (no intermediate dense
+//! block), and `decode` fills the shared buffer instead of allocating one
+//! `Vec` per span — both previously the dominant allocations on the healthy
+//! write path.
 
-use crate::xor::{xor_bytes, xor_in_place};
+use crate::xor::xor_in_place;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
@@ -21,72 +28,168 @@ pub struct ChangeMask {
     block_len: usize,
     /// Nonzero spans of the dense mask, sorted by offset, non-adjacent.
     spans: Vec<Span>,
+    /// All span bytes, concatenated in span order.
+    payload: Vec<u8>,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 struct Span {
     offset: usize,
-    bytes: Vec<u8>,
+    len: usize,
 }
 
 /// Per-span wire overhead: a 4-byte offset plus a 4-byte length, mirroring
 /// what a compact network encoding would spend.
 const SPAN_HEADER_BYTES: usize = 8;
 
+/// Walk `0..len` and report maximal nonzero extents to `emit(start, end)`.
+/// Two nonzero bytes belong to the same extent when the zero gap between
+/// them is shorter than a span header ([`SPAN_HEADER_BYTES`]) — bridging is
+/// then cheaper than opening a new span.
+///
+/// The scan works a u64 at a time: `words` yields the delta bytes as
+/// little-endian words (zero ⇔ unchanged), `tail` the `len % 8` trailing
+/// delta bytes. Byte positions inside one word are at most 7 apart —
+/// always within the bridging threshold — so a dirty word contributes a
+/// single run, and an all-zero word between two dirty ones always splits
+/// them (the nonzero bytes are then at least 9 apart). Exact byte
+/// boundaries are therefore only computed at run edges; the result is
+/// byte-for-byte identical to a per-byte scan and — because the rule is
+/// pure byte distance — independent of how the words are framed.
+#[inline]
+fn scan_spans(
+    words: impl Iterator<Item = u64>,
+    tail: impl Iterator<Item = u8>,
+    mut emit: impl FnMut(usize, usize),
+) {
+    // Consecutive dirty words bridge iff the zero gap straddling their
+    // boundary is shorter than a span header: with `lzb` whole zero bytes
+    // atop the earlier word and `tzb` below the later one, the nonzero
+    // bytes are `1 + lzb + tzb` apart. The first two tests short-circuit
+    // the count leaving the common case (dirty bytes touching the
+    // boundary) a single compare.
+    let bridges = |ld: u64, delta: u64| {
+        (ld >> 56) != 0
+            || (delta & 0xFF) != 0
+            || ld.leading_zeros() / 8 + delta.trailing_zeros() / 8 < 8
+    };
+    // Open extent as (exact first byte `start`, offset of last dirty word
+    // `lw`, its delta `ld`): the extent's exact last byte is needed only
+    // when it closes. Plain locals keep the hot extend path — consecutive
+    // dirty words — a pair of register moves.
+    let mut open = false;
+    let (mut start, mut lw, mut ld) = (0usize, 0usize, 0u64);
+    let mut i = 0;
+    for delta in words {
+        if delta != 0 {
+            if !(open && i == lw + 8 && bridges(ld, delta)) {
+                if open {
+                    emit(start, lw + 8 - (ld.leading_zeros() / 8) as usize);
+                }
+                start = i + (delta.trailing_zeros() / 8) as usize;
+                open = true;
+            }
+            lw = i;
+            ld = delta;
+        }
+        i += 8;
+    }
+    // (start, last) = open extent covering nonzero bytes start..=last.
+    let mut span: Option<(usize, usize)> = if open {
+        Some((start, lw + 7 - (ld.leading_zeros() / 8) as usize))
+    } else {
+        None
+    };
+    for delta in tail {
+        if delta != 0 {
+            span = match span {
+                // Gap of `i - prev - 1` zero bytes: bridge when shorter
+                // than a span header.
+                Some((start, prev)) if i - prev <= SPAN_HEADER_BYTES => Some((start, i)),
+                Some((start, prev)) => {
+                    emit(start, prev + 1);
+                    Some((i, i))
+                }
+                None => Some((i, i)),
+            };
+        }
+        i += 1;
+    }
+    if let Some((start, last)) = span {
+        emit(start, last + 1);
+    }
+}
+
+/// An 8-byte chunk as a little-endian u64.
+#[inline]
+fn word(chunk: &[u8]) -> u64 {
+    u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"))
+}
+
 impl ChangeMask {
-    /// Compute the mask between `old` and `new` (equal lengths required).
+    /// Compute the mask between `old` and `new` (equal lengths required) in
+    /// one fused scan: equal regions are skipped a word at a time and span
+    /// payloads are XORed straight into the mask's buffer — no intermediate
+    /// dense block is materialised.
     pub fn diff(old: &[u8], new: &[u8]) -> ChangeMask {
         assert_eq!(
             old.len(),
             new.len(),
             "mask operands must be the same length"
         );
-        let dense = xor_bytes(old, new);
-        Self::from_dense(&dense)
+        let mut mask = ChangeMask::empty(old.len());
+        let (ow, nw) = (old.chunks_exact(8), new.chunks_exact(8));
+        let tail = ow
+            .remainder()
+            .iter()
+            .zip(nw.remainder())
+            .map(|(a, b)| a ^ b);
+        scan_spans(
+            ow.clone().zip(nw.clone()).map(|(a, b)| word(a) ^ word(b)),
+            tail,
+            |start, end| mask.push_diff_span(start, end, old, new),
+        );
+        mask
     }
 
     /// Build from a dense XOR buffer, extracting nonzero spans. Adjacent
-    /// nonzero bytes coalesce; single zero bytes between nonzero runs are
+    /// nonzero bytes coalesce; zero gaps shorter than a span header are
     /// absorbed when bridging them is cheaper than a new span header.
     pub fn from_dense(dense: &[u8]) -> ChangeMask {
-        let mut spans: Vec<Span> = Vec::new();
-        let mut i = 0;
-        while i < dense.len() {
-            if dense[i] == 0 {
-                i += 1;
-                continue;
-            }
-            let start = i;
-            let mut end = i + 1; // exclusive end of the current nonzero run
-            let mut j = i + 1;
-            loop {
-                // Extend across zero gaps shorter than a span header.
-                while j < dense.len() && dense[j] != 0 {
-                    j += 1;
-                    end = j;
-                }
-                let gap_start = j;
-                while j < dense.len() && dense[j] == 0 {
-                    j += 1;
-                }
-                if j < dense.len() && (j - gap_start) < SPAN_HEADER_BYTES {
-                    // Bridging is cheaper than opening a new span.
-                    end = j + 1;
-                    j += 1;
-                } else {
-                    break;
-                }
-            }
-            spans.push(Span {
-                offset: start,
-                bytes: dense[start..end].to_vec(),
-            });
-            i = j;
-        }
-        ChangeMask {
-            block_len: dense.len(),
-            spans,
-        }
+        Self::from_dense_region(dense, 0, dense.len())
+    }
+
+    /// [`from_dense`](ChangeMask::from_dense) over a window: `dense` holds
+    /// the mask bytes for block positions `base..base + dense.len()` of a
+    /// block `block_len` long; everything outside the window is zero.
+    fn from_dense_region(dense: &[u8], base: usize, block_len: usize) -> ChangeMask {
+        debug_assert!(base + dense.len() <= block_len);
+        let mut mask = ChangeMask::empty(block_len);
+        let chunks = dense.chunks_exact(8);
+        scan_spans(
+            chunks.clone().map(word),
+            chunks.remainder().iter().copied(),
+            |start, end| {
+                mask.payload.extend_from_slice(&dense[start..end]);
+                mask.spans.push(Span {
+                    offset: base + start,
+                    len: end - start,
+                });
+            },
+        );
+        mask
+    }
+
+    /// Append span `start..end`, computing its payload as `old XOR new`
+    /// directly into the shared buffer.
+    fn push_diff_span(&mut self, start: usize, end: usize, old: &[u8], new: &[u8]) {
+        let at = self.payload.len();
+        self.payload.extend_from_slice(&new[start..end]);
+        xor_in_place(&mut self.payload[at..], &old[start..end]);
+        self.spans.push(Span {
+            offset: start,
+            len: end - start,
+        });
     }
 
     /// An all-zero mask (no change) for a block of `block_len` bytes.
@@ -94,6 +197,7 @@ impl ChangeMask {
         ChangeMask {
             block_len,
             spans: Vec::new(),
+            payload: Vec::new(),
         }
     }
 
@@ -112,12 +216,53 @@ impl ChangeMask {
     /// block.
     pub fn apply(&self, target: &mut [u8]) {
         assert_eq!(target.len(), self.block_len, "mask/block length mismatch");
+        let mut at = 0;
         for span in &self.spans {
             xor_in_place(
-                &mut target[span.offset..span.offset + span.bytes.len()],
-                &span.bytes,
+                &mut target[span.offset..span.offset + span.len],
+                &self.payload[at..at + span.len],
             );
+            at += span.len;
         }
+    }
+
+    /// The XOR-composition of two masks over the same block: applying the
+    /// merged mask equals applying `self` then `other` (XOR commutes, so
+    /// order does not matter). This is what lets a parity site's sender
+    /// coalesce queued updates for one row into a single wire message.
+    pub fn merge(&self, other: &ChangeMask) -> ChangeMask {
+        assert_eq!(
+            self.block_len, other.block_len,
+            "merged masks must cover the same block"
+        );
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        // Densify only the window both masks touch, XOR them there, and
+        // rescan — overlaps cancel and bridged spans re-canonicalise.
+        let lo = self.spans[0].offset.min(other.spans[0].offset);
+        let hi = self
+            .spans
+            .last()
+            .map(|s| s.offset + s.len)
+            .unwrap()
+            .max(other.spans.last().map(|s| s.offset + s.len).unwrap());
+        let mut dense = vec![0u8; hi - lo];
+        for m in [self, other] {
+            let mut at = 0;
+            for span in &m.spans {
+                let base = span.offset - lo;
+                xor_in_place(
+                    &mut dense[base..base + span.len],
+                    &m.payload[at..at + span.len],
+                );
+                at += span.len;
+            }
+        }
+        Self::from_dense_region(&dense, lo, self.block_len)
     }
 
     /// Materialise the dense XOR buffer.
@@ -131,10 +276,7 @@ impl ChangeMask {
     /// headers. This is the quantity Section 7.4 compares against shipping
     /// the whole block.
     pub fn wire_size(&self) -> usize {
-        self.spans
-            .iter()
-            .map(|s| s.bytes.len() + SPAN_HEADER_BYTES)
-            .sum()
+        self.payload.len() + self.spans.len() * SPAN_HEADER_BYTES
     }
 
     /// Wire size of the naive alternative: the full dense block.
@@ -148,15 +290,63 @@ impl ChangeMask {
         let mut out = Vec::with_capacity(8 + self.wire_size());
         out.extend_from_slice(&(self.block_len as u32).to_le_bytes());
         out.extend_from_slice(&(self.spans.len() as u32).to_le_bytes());
+        let mut at = 0;
         for s in &self.spans {
             out.extend_from_slice(&(s.offset as u32).to_le_bytes());
-            out.extend_from_slice(&(s.bytes.len() as u32).to_le_bytes());
-            out.extend_from_slice(&s.bytes);
+            out.extend_from_slice(&(s.len as u32).to_le_bytes());
+            out.extend_from_slice(&self.payload[at..at + s.len]);
+            at += s.len;
         }
         Bytes::from(out)
     }
 
-    /// Inverse of [`encode`]. Returns `None` on malformed input.
+    /// Apply an [`encode`]d mask straight off the wire: `target ^= mask`
+    /// with the span payloads XORed directly from `buf` — no intermediate
+    /// [`ChangeMask`] and no payload copy. Returns `None` (with `target`
+    /// untouched) on malformed input or a block-length mismatch; the
+    /// validation walk runs fully before the first XOR so a bad message
+    /// cannot half-apply.
+    ///
+    /// [`encode`]: ChangeMask::encode
+    pub fn apply_wire(buf: &[u8], target: &mut [u8]) -> Option<()> {
+        let read_u32 = |b: &[u8], at: usize| -> Option<u32> {
+            b.get(at..at + 4)
+                .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        };
+        let block_len = read_u32(buf, 0)? as usize;
+        if target.len() != block_len {
+            return None;
+        }
+        let n_spans = read_u32(buf, 4)? as usize;
+        let mut at = 8;
+        for _ in 0..n_spans {
+            let offset = read_u32(buf, at)? as usize;
+            let len = read_u32(buf, at + 4)? as usize;
+            buf.get(at + 8..at + 8 + len)?;
+            if offset + len > block_len {
+                return None;
+            }
+            at += 8 + len;
+        }
+        if at != buf.len() {
+            return None;
+        }
+        let mut at = 8;
+        for _ in 0..n_spans {
+            let offset = read_u32(buf, at).unwrap() as usize;
+            let len = read_u32(buf, at + 4).unwrap() as usize;
+            xor_in_place(
+                &mut target[offset..offset + len],
+                &buf[at + 8..at + 8 + len],
+            );
+            at += 8 + len;
+        }
+        Some(())
+    }
+
+    /// Inverse of [`encode`]. Returns `None` on malformed input. All span
+    /// payloads land in the mask's one shared buffer — decoding allocates
+    /// twice (metadata + payload) regardless of span count.
     ///
     /// [`encode`]: ChangeMask::encode
     pub fn decode(buf: &[u8]) -> Option<ChangeMask> {
@@ -166,28 +356,31 @@ impl ChangeMask {
         };
         let block_len = read_u32(buf, 0)? as usize;
         let n_spans = read_u32(buf, 4)? as usize;
-        let mut spans = Vec::with_capacity(n_spans);
+        let mut mask = ChangeMask::empty(block_len);
+        mask.spans.reserve(n_spans.min(buf.len() / 8));
         let mut at = 8;
         for _ in 0..n_spans {
             let offset = read_u32(buf, at)? as usize;
             let len = read_u32(buf, at + 4)? as usize;
-            let bytes = buf.get(at + 8..at + 8 + len)?.to_vec();
+            let bytes = buf.get(at + 8..at + 8 + len)?;
             if offset + len > block_len {
                 return None;
             }
-            spans.push(Span { offset, bytes });
+            mask.payload.extend_from_slice(bytes);
+            mask.spans.push(Span { offset, len });
             at += 8 + len;
         }
         if at != buf.len() {
             return None;
         }
-        Some(ChangeMask { block_len, spans })
+        Some(mask)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::xor::xor_bytes;
 
     #[test]
     fn diff_then_apply_recovers_new_block() {
@@ -271,6 +464,30 @@ mod tests {
     }
 
     #[test]
+    fn diff_matches_from_dense_on_awkward_shapes() {
+        // The fused scan and the dense scan must produce identical masks —
+        // same spans, same payload — across gap widths that straddle the
+        // bridging threshold and block ends.
+        for gap in 0..12usize {
+            for len in [17usize, 64, 100, 4099] {
+                let old = vec![0u8; len];
+                let mut new = old.clone();
+                new[3] = 1;
+                let second = 4 + gap;
+                if second < len {
+                    new[second] = 2;
+                }
+                if len > 1 {
+                    new[len - 1] = 3;
+                }
+                let fused = ChangeMask::diff(&old, &new);
+                let dense = ChangeMask::from_dense(&xor_bytes(&old, &new));
+                assert_eq!(fused, dense, "gap={gap} len={len}");
+            }
+        }
+    }
+
+    #[test]
     fn encode_decode_roundtrip() {
         let old: Vec<u8> = (0..512).map(|i| (i % 251) as u8).collect();
         let mut new = old.clone();
@@ -284,6 +501,42 @@ mod tests {
         let mut buf = old.clone();
         back.apply(&mut buf);
         assert_eq!(buf, new);
+    }
+
+    #[test]
+    fn apply_wire_matches_decode_then_apply() {
+        let old: Vec<u8> = (0..512).map(|i| (i * 13 % 251) as u8).collect();
+        let mut new = old.clone();
+        new[0] = 0x42;
+        new[100..140].fill(0x77);
+        new[300] = 0;
+        new[511] = 0x99;
+        let wire = ChangeMask::diff(&old, &new).encode();
+        let mut via_decode = old.clone();
+        ChangeMask::decode(&wire).unwrap().apply(&mut via_decode);
+        let mut via_wire = old.clone();
+        ChangeMask::apply_wire(&wire, &mut via_wire).unwrap();
+        assert_eq!(via_wire, via_decode);
+        assert_eq!(via_wire, new);
+    }
+
+    #[test]
+    fn apply_wire_rejects_what_decode_rejects() {
+        let target_len = 8usize;
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&8u32.to_le_bytes()); // block_len = 8
+        bad.extend_from_slice(&1u32.to_le_bytes()); // one span
+        bad.extend_from_slice(&6u32.to_le_bytes()); // offset 6
+        bad.extend_from_slice(&4u32.to_le_bytes()); // len 4 → 6+4 > 8
+        bad.extend_from_slice(&[0xAA; 4]);
+        let mut target = vec![0x55u8; target_len];
+        let before = target.clone();
+        assert!(ChangeMask::apply_wire(&bad, &mut target).is_none());
+        assert_eq!(target, before, "failed apply must leave target untouched");
+        // Length mismatch between wire header and target.
+        let wire = ChangeMask::empty(16).encode();
+        assert!(ChangeMask::apply_wire(&wire, &mut target).is_none());
+        assert!(ChangeMask::apply_wire(&[1, 2, 3], &mut target).is_none());
     }
 
     #[test]
@@ -328,5 +581,50 @@ mod tests {
             let mask = ChangeMask::from_dense(&dense);
             assert_eq!(mask.to_dense(), dense, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn merge_equals_sequential_application() {
+        let base: Vec<u8> = (0..256).map(|i| (i * 3) as u8).collect();
+        let mut v1 = base.clone();
+        v1[10..30].fill(0xAB);
+        let mut v2 = v1.clone();
+        v2[20..50].fill(0xCD); // overlaps v1's edit
+        v2[200] = 0x01;
+        let a = ChangeMask::diff(&base, &v1);
+        let b = ChangeMask::diff(&v1, &v2);
+        let merged = a.merge(&b);
+        let mut seq = base.clone();
+        a.apply(&mut seq);
+        b.apply(&mut seq);
+        let mut one = base.clone();
+        merged.apply(&mut one);
+        assert_eq!(one, seq);
+        assert_eq!(one, v2);
+        // Canonical form: merging yields the same mask as a direct diff.
+        assert_eq!(merged, ChangeMask::diff(&base, &v2));
+    }
+
+    #[test]
+    fn merge_cancels_reverted_edits() {
+        let base = vec![0u8; 128];
+        let mut edited = base.clone();
+        edited[40..48].fill(0x77);
+        let there = ChangeMask::diff(&base, &edited);
+        let back = ChangeMask::diff(&edited, &base);
+        let merged = there.merge(&back);
+        assert!(merged.is_empty(), "A then A⁻¹ must cancel: {merged:?}");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let base = vec![1u8; 64];
+        let mut new = base.clone();
+        new[5] = 9;
+        let m = ChangeMask::diff(&base, &new);
+        let e = ChangeMask::empty(64);
+        assert_eq!(m.merge(&e), m);
+        assert_eq!(e.merge(&m), m);
+        assert!(e.merge(&ChangeMask::empty(64)).is_empty());
     }
 }

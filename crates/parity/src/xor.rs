@@ -1,31 +1,40 @@
 //! XOR primitives.
 //!
 //! Blocks in the testbed are byte buffers of equal length within a stripe.
-//! The hot path XORs 8 bytes at a time; the compiler auto-vectorises the
-//! chunked loop, which Criterion's `parity_xor` bench confirms runs at
-//! memory bandwidth for 4 KB blocks.
+//! The public functions here validate lengths and delegate to the
+//! runtime-dispatched kernels in [`crate::kernels`] — AVX2/SSE2 on x86-64,
+//! NEON on aarch64, a `chunks_exact` scalar loop everywhere else. The
+//! Criterion `parity_xor` bench confirms the dispatched path runs at memory
+//! bandwidth for 4 KB blocks.
+
+use crate::kernels;
 
 /// `dst ^= src`, element-wise. Panics if lengths differ — stripe blocks are
 /// always the same size, so a mismatch is a logic error, not an I/O error.
+#[inline]
 pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
     assert_eq!(dst.len(), src.len(), "XOR operands must be the same length");
-    // Word-at-a-time main loop, byte tail.
-    let n = dst.len() / 8 * 8;
-    for i in (0..n).step_by(8) {
-        let a = u64::from_ne_bytes(dst[i..i + 8].try_into().unwrap());
-        let b = u64::from_ne_bytes(src[i..i + 8].try_into().unwrap());
-        dst[i..i + 8].copy_from_slice(&(a ^ b).to_ne_bytes());
-    }
-    for i in n..dst.len() {
-        dst[i] ^= src[i];
-    }
+    kernels::xor2(dst, src);
 }
 
 /// `a XOR b` into a fresh buffer.
+#[inline]
 pub fn xor_bytes(a: &[u8], b: &[u8]) -> Vec<u8> {
     let mut out = a.to_vec();
     xor_in_place(&mut out, b);
     out
+}
+
+/// `dst ^= s` for every source block, folding up to
+/// [`kernels::FOLD_WAYS`] sources per pass over `dst`, so `dst` streams
+/// through the cache once per group instead of once per source. Panics on
+/// any length mismatch.
+#[inline]
+pub fn xor_fold(dst: &mut [u8], sources: &[&[u8]]) {
+    for s in sources {
+        assert_eq!(dst.len(), s.len(), "XOR operands must be the same length");
+    }
+    kernels::fold(dst, sources);
 }
 
 /// XOR of many equal-length blocks — the paper's reconstruction formula (2),
@@ -38,9 +47,8 @@ where
     let mut iter = blocks.into_iter();
     let first = iter.next()?;
     let mut acc = first.to_vec();
-    for b in iter {
-        xor_in_place(&mut acc, b);
-    }
+    let rest: Vec<&[u8]> = iter.collect();
+    xor_fold(&mut acc, &rest);
     Some(acc)
 }
 
@@ -81,6 +89,28 @@ mod tests {
     fn mismatched_lengths_panic() {
         let mut a = vec![0u8; 4];
         xor_in_place(&mut a, &[0u8; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn fold_mismatched_lengths_panic() {
+        let mut a = vec![0u8; 4];
+        let b = vec![0u8; 4];
+        let c = vec![0u8; 5];
+        xor_fold(&mut a, &[&b, &c]);
+    }
+
+    #[test]
+    fn fold_matches_serial_application() {
+        let sources: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i * 19 + 1; 129]).collect();
+        let refs: Vec<&[u8]> = sources.iter().map(|s| s.as_slice()).collect();
+        let mut serial = vec![0x5Au8; 129];
+        let mut folded = serial.clone();
+        for s in &refs {
+            xor_in_place(&mut serial, s);
+        }
+        xor_fold(&mut folded, &refs);
+        assert_eq!(folded, serial);
     }
 
     #[test]

@@ -12,8 +12,9 @@
 use crate::effect::Dest;
 use crate::trace::TraceEntry;
 use crate::wire::{Msg, NackReason, SpareContent, SpareSlotWire};
+use bytes::Bytes;
 use radd_layout::Geometry;
-use radd_parity::{Uid, UidArray, UidGen};
+use radd_parity::{xor_fold, Uid, UidArray, UidGen};
 use serde::{Deserialize, Serialize};
 
 /// How many spare blocks are allocated (§7.2).
@@ -123,6 +124,22 @@ impl ClientErr {
 pub trait ClientIo {
     /// Send `msg` to `site` and return the (matching-tag) reply.
     fn exchange(&mut self, site: usize, msg: Msg, background: bool) -> Result<Msg, ClientErr>;
+
+    /// Issue a batch of independent request/reply exchanges and return the
+    /// replies in request order. The default runs them one at a time —
+    /// exactly the serial behaviour a deterministic interpreter wants. A
+    /// pipelining transport (the threaded runtime) overrides this to put
+    /// every request on the wire before collecting replies, so the target
+    /// sites work concurrently.
+    fn exchange_batch(
+        &mut self,
+        reqs: Vec<(usize, Msg)>,
+        background: bool,
+    ) -> Vec<Result<Msg, ClientErr>> {
+        reqs.into_iter()
+            .map(|(site, msg)| self.exchange(site, msg, background))
+            .collect()
+    }
 
     /// Driver-supplied old value of the failed site's block at `row`, if the
     /// driver has one (the DES cluster's buffer-pool oracle, honouring the
@@ -240,6 +257,30 @@ impl ClientMachine {
         io.exchange(site, msg, background)
     }
 
+    /// Batched counterpart of [`send`](Self::send): records one trace entry
+    /// per request (in request order — identical to issuing them serially)
+    /// and hands the whole batch to the transport, which may pipeline it.
+    /// No believed-down assertion; callers vet targets (the recovery drain
+    /// legitimately restores onto the still-listed-down recovering site).
+    fn send_batch(
+        &mut self,
+        io: &mut dyn ClientIo,
+        reqs: Vec<(usize, Msg)>,
+        background: bool,
+    ) -> Vec<Result<Msg, ClientErr>> {
+        if let Some(trace) = &mut self.trace {
+            for (site, msg) in &reqs {
+                trace.push(TraceEntry::Send {
+                    to: Dest::Site(*site),
+                    kind: msg.kind(),
+                    tag: msg.tag(),
+                    wire: msg.wire_size(),
+                });
+            }
+        }
+        io.exchange_batch(reqs, background)
+    }
+
     fn map_nack(site: usize, reason: NackReason) -> ClientErr {
         match reason {
             NackReason::OutOfRange => ClientErr::OutOfRange,
@@ -256,13 +297,14 @@ impl ClientMachine {
     // -- §3.2 reads ------------------------------------------------------
 
     /// Read data block `index` of `site`, going degraded if the site is
-    /// believed down.
+    /// believed down. The returned [`Bytes`] is the refcounted buffer the
+    /// reply carried — no copy between storage and caller.
     pub fn read(
         &mut self,
         io: &mut dyn ClientIo,
         site: usize,
         index: u64,
-    ) -> Result<Vec<u8>, ClientErr> {
+    ) -> Result<Bytes, ClientErr> {
         if index >= self.geo.data_capacity(site) {
             return Err(ClientErr::OutOfRange);
         }
@@ -288,7 +330,7 @@ impl ClientMachine {
         io: &mut dyn ClientIo,
         owner: usize,
         index: u64,
-    ) -> Result<Vec<u8>, ClientErr> {
+    ) -> Result<Bytes, ClientErr> {
         let row = self.geo.data_to_physical(owner, index);
         let spare = self.geo.spare_site(row);
         if self.spare_policy.has_spare(row) && !self.down[spare] {
@@ -324,6 +366,7 @@ impl ClientMachine {
             }
         }
         let (data, uid) = self.reconstruct(io, owner, row, false)?;
+        let data = Bytes::from(data);
         if self.spare_policy.has_spare(row) && !self.down[spare] {
             // Cache the reconstruction in the spare (§3.2: subsequent reads
             // then cost one block access, not G). Installed in the
@@ -365,7 +408,7 @@ impl ClientMachine {
         let tag = self.tag();
         let msg = Msg::Write {
             index,
-            data: data.to_vec(),
+            data: Bytes::copy_from_slice(data),
             tag,
         };
         match self.send(io, site, msg, false)? {
@@ -421,7 +464,7 @@ impl ClientMachine {
                 ..
             } if for_site == owner => {
                 if want_data {
-                    data
+                    data.to_vec()
                 } else {
                     oracle_old.expect("want_data is false only with an oracle value")
                 }
@@ -453,7 +496,7 @@ impl ClientMachine {
         let install = Msg::SpareInstall {
             row,
             for_site: owner,
-            data: data.to_vec(),
+            data: Bytes::copy_from_slice(data),
             content: SpareContent::Data { uid },
             tag,
         };
@@ -472,7 +515,7 @@ impl ClientMachine {
         let tag = self.tag();
         let update = Msg::ParityUpdate {
             row,
-            mask_wire: mask.encode().to_vec(),
+            mask_wire: mask.encode(),
             uid,
             from_site: owner,
             tag,
@@ -493,6 +536,10 @@ impl ClientMachine {
     /// blocks, validating every source UID against the parity UID array
     /// (§3.3) when enabled. Returns the block and the UID the parity array
     /// records for `owner` (what the reconstruction is valid *as of*).
+    ///
+    /// All `G` source reads go out as one batch — a pipelining transport
+    /// fetches them concurrently — and the XOR folds all sources in one
+    /// multi-way [`xor_fold`] pass instead of `G` two-way passes.
     pub fn reconstruct(
         &mut self,
         io: &mut dyn ClientIo,
@@ -503,27 +550,33 @@ impl ClientMachine {
         let n = self.geo.num_sites();
         let spare = self.geo.spare_site(row);
         let parity = self.geo.parity_site(row);
-        let mut acc = vec![0u8; self.block_size];
-        let mut sources: Vec<(usize, Uid)> = Vec::with_capacity(n - 2);
-        let mut parity_arr: Option<UidArray> = None;
-        for s in (0..n).filter(|&s| s != owner && s != spare) {
+        let read_sites: Vec<usize> = (0..n).filter(|&s| s != owner && s != spare).collect();
+        for &s in &read_sites {
             if self.down[s] {
                 return Err(ClientErr::multiple(format!(
                     "cannot reconstruct row {row}: source site {s} is down too"
                 )));
             }
-            let tag = self.tag();
-            let reply = self.send(io, s, Msg::BlockRead { row, tag }, background)?;
-            match reply {
+        }
+        let reqs: Vec<(usize, Msg)> = read_sites
+            .iter()
+            .map(|&s| {
+                let tag = self.tag();
+                (s, Msg::BlockRead { row, tag })
+            })
+            .collect();
+        let replies = self.send_batch(io, reqs, background);
+        let mut blocks: Vec<Bytes> = Vec::with_capacity(read_sites.len());
+        let mut sources: Vec<(usize, Uid)> = Vec::with_capacity(n - 2);
+        let mut parity_arr: Option<UidArray> = None;
+        for (&s, reply) in read_sites.iter().zip(replies) {
+            match reply? {
                 Msg::BlockData {
                     data,
                     uid,
                     parity_uids,
                     ..
                 } => {
-                    for (a, b) in acc.iter_mut().zip(data.iter()) {
-                        *a ^= b;
-                    }
                     if s == parity {
                         let mut arr = UidArray::new(n);
                         for (i, u) in parity_uids.unwrap_or_default().iter().enumerate().take(n) {
@@ -533,6 +586,7 @@ impl ClientMachine {
                     } else {
                         sources.push((s, uid));
                     }
+                    blocks.push(data);
                 }
                 Msg::Nack { reason, .. } => return Err(Self::map_nack(s, reason)),
                 other => {
@@ -543,6 +597,9 @@ impl ClientMachine {
                 }
             }
         }
+        let mut acc = vec![0u8; self.block_size];
+        let views: Vec<&[u8]> = blocks.iter().map(|b| &b[..]).collect();
+        xor_fold(&mut acc, &views);
         let arr = parity_arr.unwrap_or_else(|| UidArray::new(n));
         if self.validate_uids {
             // §3.3: "the UIDs of the blocks used in the reconstruction must
@@ -563,6 +620,14 @@ impl ClientMachine {
     /// the absorbed blocks (and their UID metadata) back to `site`, then
     /// release the slots. Returns how many blocks were drained. All traffic
     /// is background.
+    ///
+    /// Each per-site drain runs as three *waves* — probe every listed row,
+    /// restore every absorbed block, then release every drained slot —
+    /// rather than one row at a time. Rows are independent, so a pipelining
+    /// transport overlaps the whole wave; the serial default preserves the
+    /// deterministic site-ascending, list-order schedule. Errors surface in
+    /// that same deterministic order (first failing reply of the first
+    /// failing wave).
     pub fn recover(&mut self, io: &mut dyn ClientIo, site: usize) -> Result<u64, ClientErr> {
         let n = self.geo.num_sites();
         let mut drained = 0u64;
@@ -591,15 +656,35 @@ impl ClientMachine {
                     )))
                 }
             };
-            for row in rows {
-                let tag = self.tag();
-                let probe = Msg::SpareProbe {
-                    row,
-                    want_data: true,
-                    tag,
-                };
-                let slot = match self.send(io, s, probe, true)? {
-                    Msg::SpareState { slot, .. } => slot,
+            if rows.is_empty() {
+                continue;
+            }
+            // Wave 1: probe every listed row for its absorbed payload.
+            let probes: Vec<(usize, Msg)> = rows
+                .iter()
+                .map(|&row| {
+                    let tag = self.tag();
+                    (
+                        s,
+                        Msg::SpareProbe {
+                            row,
+                            want_data: true,
+                            tag,
+                        },
+                    )
+                })
+                .collect();
+            let replies = self.send_batch(io, probes, true);
+            let mut pending: Vec<(u64, SpareSlotWire)> = Vec::with_capacity(rows.len());
+            for (&row, reply) in rows.iter().zip(replies) {
+                match reply? {
+                    Msg::SpareState { slot, .. } => match slot {
+                        // Raced with another drain or the slot is gone:
+                        // nothing to restore.
+                        None => {}
+                        Some(slot) if slot.for_site != site => {}
+                        Some(slot) => pending.push((row, slot)),
+                    },
                     Msg::Nack { reason, .. } => return Err(Self::map_nack(s, reason)),
                     other => {
                         return Err(ClientErr::multiple(format!(
@@ -607,22 +692,33 @@ impl ClientMachine {
                             other.kind()
                         )))
                     }
-                };
-                let slot = match slot {
-                    // Raced with another drain or the slot is gone: nothing
-                    // to restore.
-                    None => continue,
-                    Some(s) if s.for_site != site => continue,
-                    Some(s) => s,
-                };
-                let tag = self.tag();
-                let restore = Msg::RestoreBlock {
-                    row,
-                    data: slot.data,
-                    content: slot.content,
-                    tag,
-                };
-                match self.send_unchecked(io, site, restore, true)? {
+                }
+            }
+            if pending.is_empty() {
+                continue;
+            }
+            // Wave 2: restore every absorbed block onto the recovering site.
+            // The slot payloads are refcounted, so building the restore
+            // messages moves the buffers rather than copying blocks.
+            let mut restore_rows: Vec<u64> = Vec::with_capacity(pending.len());
+            let restores: Vec<(usize, Msg)> = pending
+                .into_iter()
+                .map(|(row, slot)| {
+                    restore_rows.push(row);
+                    let tag = self.tag();
+                    (
+                        site,
+                        Msg::RestoreBlock {
+                            row,
+                            data: slot.data,
+                            content: slot.content,
+                            tag,
+                        },
+                    )
+                })
+                .collect();
+            for reply in self.send_batch(io, restores, true) {
+                match reply? {
                     Msg::Ack { .. } => {}
                     Msg::Nack { reason, .. } => return Err(Self::map_nack(site, reason)),
                     other => {
@@ -632,8 +728,17 @@ impl ClientMachine {
                         )))
                     }
                 }
-                let tag = self.tag();
-                match self.send(io, s, Msg::SpareTake { row, tag }, true)? {
+            }
+            // Wave 3: release the drained slots.
+            let takes: Vec<(usize, Msg)> = restore_rows
+                .iter()
+                .map(|&row| {
+                    let tag = self.tag();
+                    (s, Msg::SpareTake { row, tag })
+                })
+                .collect();
+            for reply in self.send_batch(io, takes, true) {
+                match reply? {
                     Msg::Ack { .. } => {}
                     Msg::Nack { reason, .. } => return Err(Self::map_nack(s, reason)),
                     other => {

@@ -10,6 +10,7 @@
 //!   into retransmission deadlines.
 
 use crate::wire::Msg;
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// Where a message goes: a protocol site (routable by site id) or an opaque
@@ -58,39 +59,52 @@ pub struct BlockFault;
 /// for it without re-deriving the protocol.
 pub trait Blocks {
     /// Read physical row `row`. `Err(BlockFault)` means the disk holding it
-    /// is failed/lost.
-    fn read(&mut self, row: u64) -> Result<Vec<u8>, BlockFault>;
+    /// is failed/lost. The returned [`Bytes`] is a refcounted view — storage
+    /// backends hand out their buffer without copying, and the machine can
+    /// forward it into a reply without copying either.
+    fn read(&mut self, row: u64) -> Result<Bytes, BlockFault>;
     /// Write physical row `row`.
     fn write(&mut self, row: u64, data: &[u8]) -> Result<(), BlockFault>;
+    /// Write physical row `row`, taking ownership of the buffer. In-memory
+    /// backends can adopt the refcounted buffer as-is — a message body
+    /// lands in storage without a copy. Defaults to [`write`](Blocks::write).
+    fn write_owned(&mut self, row: u64, data: Bytes) -> Result<(), BlockFault> {
+        self.write(row, &data)
+    }
 }
 
-/// In-memory [`Blocks`]: one contiguous `Vec<u8>` per site, never faults.
+/// In-memory [`Blocks`]: one refcounted buffer per row, never faults.
 /// Used by tests, proptests, and the protocol microbench.
 #[derive(Debug, Clone)]
 pub struct MemBlocks {
-    block_size: usize,
-    data: Vec<u8>,
+    zero: Bytes,
+    rows: Vec<Option<Bytes>>,
 }
 
 impl MemBlocks {
     /// `rows` zeroed blocks of `block_size` bytes.
     pub fn new(rows: u64, block_size: usize) -> MemBlocks {
         MemBlocks {
-            block_size,
-            data: vec![0; rows as usize * block_size],
+            zero: Bytes::from(vec![0; block_size]),
+            rows: vec![None; rows as usize],
         }
     }
 }
 
 impl Blocks for MemBlocks {
-    fn read(&mut self, row: u64) -> Result<Vec<u8>, BlockFault> {
-        let o = row as usize * self.block_size;
-        Ok(self.data[o..o + self.block_size].to_vec())
+    fn read(&mut self, row: u64) -> Result<Bytes, BlockFault> {
+        Ok(self.rows[row as usize]
+            .clone()
+            .unwrap_or_else(|| self.zero.clone()))
     }
 
     fn write(&mut self, row: u64, data: &[u8]) -> Result<(), BlockFault> {
-        let o = row as usize * self.block_size;
-        self.data[o..o + self.block_size].copy_from_slice(data);
+        self.rows[row as usize] = Some(Bytes::copy_from_slice(data));
+        Ok(())
+    }
+
+    fn write_owned(&mut self, row: u64, data: Bytes) -> Result<(), BlockFault> {
+        self.rows[row as usize] = Some(data);
         Ok(())
     }
 }

@@ -1,0 +1,110 @@
+//! A minimal multiply-rotate hasher for the machines' bookkeeping maps.
+//!
+//! Every healthy write touches the pending/inflight/reply tables several
+//! times, all keyed by small integers (tags, rows, peer ids). The standard
+//! library's default SipHash is DoS-resistant but costs more than the
+//! lookup itself for such keys; this hasher — the well-known `FxHash`
+//! scheme from the Firefox/rustc codebases — is a rotate, an XOR, and a
+//! multiply per word. Keys here are protocol-internal (never
+//! attacker-chosen), so collision-flooding resistance buys nothing.
+//!
+//! Only maps that are **never iterated** may use these aliases: iteration
+//! order of a hash map is arbitrary, and the deterministic simulator's
+//! receipts must not depend on it. Tables whose iteration order reaches
+//! effects (spare slots, invalid rows, parity UID arrays) stay in
+//! `BTreeMap`s.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher; state is a single `u64`.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// Knuth-style multiplicative constant (golden ratio of 2^64).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(last));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed through [`FxHasher`]. Lookup-only tables — never iterate.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed through [`FxHasher`]. Lookup-only tables — never iterate.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_keys_hash_distinctly_enough() {
+        let mut seen = std::collections::BTreeSet::new();
+        for tag in 0u64..10_000 {
+            let mut h = FxHasher::default();
+            h.write_u64(tag);
+            seen.insert(h.finish());
+        }
+        assert_eq!(seen.len(), 10_000, "sequential tags must not collide");
+    }
+
+    #[test]
+    fn maps_behave_like_std() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(8, "eight");
+        assert_eq!(m.remove(&7), Some("seven"));
+        assert_eq!(m.get(&8), Some(&"eight"));
+        let mut s: FxHashSet<(usize, u64)> = FxHashSet::default();
+        assert!(s.insert((1, 2)));
+        assert!(!s.insert((1, 2)));
+        assert!(s.contains(&(1, 2)));
+    }
+}

@@ -28,6 +28,7 @@
 pub mod client;
 pub mod effect;
 pub mod events;
+pub mod fasthash;
 pub mod partition;
 pub mod server;
 pub mod trace;
@@ -37,7 +38,7 @@ pub use client::{ClientErr, ClientIo, ClientMachine, SparePolicy};
 pub use effect::{BlockFault, Blocks, Dest, Effect, IoPurpose, MemBlocks};
 pub use events::FailureKind;
 pub use partition::{classify, gate, Gate, PartitionVerdict};
-pub use server::{kind_from_content, SiteMachine, SiteState, SpareKind, SpareSlot};
+pub use server::{kind_from_content, CoalescePolicy, SiteMachine, SiteState, SpareKind, SpareSlot};
 pub use trace::{trace, TraceEntry};
 pub use wire::{
     Msg, MsgKind, NackReason, SpareContent, SpareSlotWire, BLOCK_MSG_HEADER, CONTROL_MSG_BYTES,

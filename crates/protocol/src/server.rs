@@ -20,9 +20,23 @@
 //! Outbound parity updates are stop-and-wait per row: at most one UID per
 //! `(row, site)` slot is ever in flight, so a retransmitted older mask can
 //! never land after a newer one (the ABA the PR-1 soak plans exposed).
+//!
+//! ### Parity-update coalescing
+//!
+//! While a row's update is in flight, further writes to the row queue
+//! behind it. Under [`CoalescePolicy::Merge`] the queued masks are
+//! XOR-merged ([`ChangeMask::merge`]) into a *single* waiting update
+//! carrying the newest UID — §7.4's bandwidth argument applied to bursts:
+//! one wire message and one parity read-modify-write absorb the whole
+//! burst, and every absorbed write's client reply resolves on that one
+//! ack. The policy defaults to [`CoalescePolicy::Off`] so the DES
+//! interpreter's Figure 3/4 cost receipts stay bit-for-bit unchanged; the
+//! threaded runtime switches it on.
 
 use crate::effect::{Blocks, Dest, Effect, IoPurpose};
+use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::wire::{Msg, NackReason, SpareContent, SpareSlotWire};
+use bytes::Bytes;
 use radd_layout::Geometry;
 use radd_parity::{ChangeMask, Uid, UidArray, UidGen};
 use serde::{Deserialize, Serialize};
@@ -100,6 +114,21 @@ pub fn kind_from_content(content: &SpareContent, num_sites: usize) -> SpareKind 
     }
 }
 
+/// Whether queued parity updates for one row may be XOR-merged while an
+/// earlier update is in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CoalescePolicy {
+    /// Every write ships its own parity update, strictly in order. The DES
+    /// interpreter's default: cost receipts match the paper's per-write
+    /// accounting exactly.
+    #[default]
+    Off,
+    /// Masks queued behind an in-flight update merge into one waiting
+    /// update (newest UID wins; every absorbed write is acknowledged by the
+    /// merged update's ack). The threaded runtime's default.
+    Merge,
+}
+
 /// A write whose client reply is deferred until its parity ack (W1 done,
 /// W4 pending).
 #[derive(Debug, Clone)]
@@ -107,6 +136,20 @@ struct PendingWrite {
     client: usize,
     client_tag: u64,
     row: u64,
+}
+
+/// A parity update waiting its turn in a row's stop-and-wait queue. The
+/// wire message is built at launch time from the stored mask, so a merged
+/// entry ships exactly one encoding.
+#[derive(Debug, Clone)]
+struct QueuedUpdate {
+    tag: u64,
+    uid: Uid,
+    mask: ChangeMask,
+    /// Parity tags of later writes folded into this entry
+    /// ([`CoalescePolicy::Merge`]): their pending client replies resolve
+    /// when this entry's ack lands.
+    absorbed: Vec<u64>,
 }
 
 /// An outbound request awaiting its ack, for retransmission.
@@ -134,19 +177,20 @@ pub struct SiteMachine {
     uid_gen: UidGen,
     next_tag: u64,
     /// Writes whose client reply awaits a parity ack, keyed by the parity
-    /// message's tag.
-    pending: BTreeMap<u64, PendingWrite>,
+    /// message's tag. Lookup-only (never iterated), so a fast hash map.
+    pending: FxHashMap<u64, PendingWrite>,
     /// `(client, client_tag)` of writes currently in `pending` — a
     /// duplicate of an in-progress write is swallowed (its reply will go
     /// out when the parity ack lands).
-    in_progress: BTreeSet<(usize, u64)>,
+    in_progress: FxHashSet<(usize, u64)>,
     /// Stop-and-wait per row: the front entry is in flight, the rest wait
     /// for its ack.
-    parity_queue: BTreeMap<u64, VecDeque<(u64, Msg)>>,
+    parity_queue: FxHashMap<u64, VecDeque<QueuedUpdate>>,
+    coalesce: CoalescePolicy,
     /// In-flight requests by tag, for timer-driven retransmission.
-    inflight: BTreeMap<u64, Inflight>,
-    /// At-most-once reply cache.
-    replies: BTreeMap<(usize, u64), Msg>,
+    inflight: FxHashMap<u64, Inflight>,
+    /// At-most-once reply cache; eviction order lives in `reply_order`.
+    replies: FxHashMap<(usize, u64), Msg>,
     reply_order: VecDeque<(usize, u64)>,
 }
 
@@ -164,11 +208,12 @@ impl SiteMachine {
             invalid_rows: BTreeSet::new(),
             uid_gen: UidGen::new(site as u16),
             next_tag: 0,
-            pending: BTreeMap::new(),
-            in_progress: BTreeSet::new(),
-            parity_queue: BTreeMap::new(),
-            inflight: BTreeMap::new(),
-            replies: BTreeMap::new(),
+            pending: FxHashMap::default(),
+            in_progress: FxHashSet::default(),
+            parity_queue: FxHashMap::default(),
+            coalesce: CoalescePolicy::Off,
+            inflight: FxHashMap::default(),
+            replies: FxHashMap::default(),
             reply_order: VecDeque::new(),
         }
     }
@@ -194,6 +239,16 @@ impl SiteMachine {
     /// driver: process death, revival, §5 isolation).
     pub fn set_state(&mut self, state: SiteState) {
         self.state = state;
+    }
+
+    /// Select the parity-update coalescing policy (see [`CoalescePolicy`]).
+    pub fn set_coalesce(&mut self, policy: CoalescePolicy) {
+        self.coalesce = policy;
+    }
+
+    /// The active coalescing policy.
+    pub fn coalesce(&self) -> CoalescePolicy {
+        self.coalesce
     }
 
     /// The UID stored with the block at `row`.
@@ -444,7 +499,7 @@ impl SiteMachine {
         blocks: &mut dyn Blocks,
         src: usize,
         index: u64,
-        data: Vec<u8>,
+        data: Bytes,
         tag: u64,
         out: &mut Vec<Effect>,
     ) {
@@ -466,7 +521,7 @@ impl SiteMachine {
         });
         // W1: local write with a fresh UID.
         let uid = self.uid_gen.next_uid();
-        if blocks.write(row, &data).is_err() {
+        if blocks.write_owned(row, data.clone()).is_err() {
             return self.nack(out, src, tag, NackReason::Unavailable);
         }
         out.push(Effect::Write {
@@ -479,13 +534,6 @@ impl SiteMachine {
         // the ack (the §6 "done = prepared" discipline).
         let mask = ChangeMask::diff(&old, &data);
         let ptag = self.fresh_tag();
-        let update = Msg::ParityUpdate {
-            row,
-            mask_wire: mask.encode().to_vec(),
-            uid,
-            from_site: self.site,
-            tag: ptag,
-        };
         self.pending.insert(
             ptag,
             PendingWrite {
@@ -497,12 +545,53 @@ impl SiteMachine {
         self.in_progress.insert((src, tag));
         out.push(Effect::DeferAck { tag, row });
         // Stop-and-wait per row: send immediately only if no earlier
-        // update for this row is still awaiting its ack.
+        // update for this row is still awaiting its ack. Under the Merge
+        // policy a write landing behind an in-flight update folds into the
+        // single waiting entry instead of queueing its own (the front is
+        // never touched — its bytes may already be on the wire).
         let queue = self.parity_queue.entry(row).or_default();
-        queue.push_back((ptag, update.clone()));
-        if queue.len() == 1 {
-            self.launch(self.geo.parity_site(row), ptag, update, out);
+        if self.coalesce == CoalescePolicy::Merge && queue.len() >= 2 {
+            let back = queue.back_mut().expect("len >= 2");
+            back.mask = back.mask.merge(&mask);
+            back.uid = uid;
+            back.absorbed.push(ptag);
+        } else {
+            queue.push_back(QueuedUpdate {
+                tag: ptag,
+                uid,
+                mask,
+                absorbed: Vec::new(),
+            });
+            if queue.len() == 1 {
+                self.launch_front(row, out);
+            }
         }
+    }
+
+    /// Build the wire message for `row`'s queue front and send it.
+    fn launch_front(&mut self, row: u64, out: &mut Vec<Effect>) {
+        let site = self.site;
+        let Some((tag, msg)) = self
+            .parity_queue
+            .get(&row)
+            .and_then(|q| q.front())
+            .map(|front| {
+                (
+                    front.tag,
+                    Msg::ParityUpdate {
+                        row,
+                        mask_wire: front.mask.encode(),
+                        uid: front.uid,
+                        from_site: site,
+                        tag: front.tag,
+                    },
+                )
+            })
+        else {
+            return;
+        };
+        let to = self.geo.parity_site(row);
+        self.launch(to, tag, msg, out);
     }
 
     fn launch(&mut self, to: usize, tag: u64, msg: Msg, out: &mut Vec<Effect>) {
@@ -519,7 +608,7 @@ impl SiteMachine {
         blocks: &mut dyn Blocks,
         src: usize,
         row: u64,
-        mask_wire: Vec<u8>,
+        mask_wire: Bytes,
         uid: Uid,
         from_site: usize,
         tag: u64,
@@ -545,7 +634,7 @@ impl SiteMachine {
             .unwrap_or(false);
         if !already {
             let mut parity = match blocks.read(row) {
-                Ok(d) => d,
+                Ok(d) => d.to_vec(),
                 Err(_) => {
                     // Row lives on a failed disk: the row's spare block
                     // must stand in; escalate to the driver.
@@ -557,9 +646,9 @@ impl SiteMachine {
                 row,
                 purpose: IoPurpose::ParityApply,
             });
-            let mask = ChangeMask::decode(&mask_wire).expect("well-formed mask");
-            mask.apply(&mut parity); // formula (1)
-            if blocks.write(row, &parity).is_err() {
+            // Formula (1), XORed straight from the wire buffer.
+            ChangeMask::apply_wire(&mask_wire, &mut parity).expect("well-formed mask");
+            if blocks.write_owned(row, Bytes::from(parity)).is_err() {
                 out.push(Effect::ParityUnservable { row });
                 return;
             }
@@ -575,6 +664,17 @@ impl SiteMachine {
         self.reply(out, src, tag, Msg::Ack { tag });
     }
 
+    /// Acknowledge the deferred write behind parity tag `tag`: emit the
+    /// client's `WriteOk` and cache it for duplicate requests.
+    fn resolve_pending(&mut self, tag: u64, out: &mut Vec<Effect>) {
+        if let Some(p) = self.pending.remove(&tag) {
+            self.in_progress.remove(&(p.client, p.client_tag));
+            let done = Msg::WriteOk { tag: p.client_tag };
+            self.cache_reply(p.client, p.client_tag, done.clone());
+            out.push(Effect::send(Dest::Peer(p.client), done));
+        }
+    }
+
     fn on_ack(&mut self, _src: usize, tag: u64, out: &mut Vec<Effect>) {
         if self.inflight.remove(&tag).is_some() {
             out.push(Effect::ClearTimer { tag });
@@ -586,17 +686,23 @@ impl SiteMachine {
             let done = Msg::WriteOk { tag: p.client_tag };
             self.cache_reply(p.client, p.client_tag, done.clone());
             out.push(Effect::send(Dest::Peer(p.client), done));
-            // Advance the row's stop-and-wait queue: launch the next queued
+            // Advance the row's stop-and-wait queue: resolve every write the
+            // acked entry absorbed (coalescing), then launch the next queued
             // update now that its predecessor is applied.
             if let Some(queue) = self.parity_queue.get_mut(&p.row) {
-                if queue.front().map(|&(t, _)| t) == Some(tag) {
-                    queue.pop_front();
+                if queue.front().map(|q| q.tag) == Some(tag) {
+                    let front = queue.pop_front().expect("front exists");
+                    for atag in front.absorbed {
+                        self.resolve_pending(atag, out);
+                    }
                 }
-                if let Some((next_tag, next)) = queue.front().cloned() {
-                    self.launch(self.geo.parity_site(p.row), next_tag, next, out);
-                } else {
+            }
+            match self.parity_queue.get(&p.row) {
+                Some(queue) if !queue.is_empty() => self.launch_front(p.row, out),
+                Some(_) => {
                     self.parity_queue.remove(&p.row);
                 }
+                None => {}
             }
         }
     }
@@ -624,7 +730,7 @@ impl SiteMachine {
                     // message, no block I/O (the paper's "probing an
                     // invalid spare costs no block I/O" convention extends
                     // to ownership probes).
-                    (Vec::new(), false)
+                    (Bytes::new(), false)
                 };
                 if io {
                     out.push(Effect::Read {
@@ -649,7 +755,7 @@ impl SiteMachine {
         src: usize,
         row: u64,
         for_site: usize,
-        data: Vec<u8>,
+        data: Bytes,
         content: SpareContent,
         tag: u64,
         out: &mut Vec<Effect>,
@@ -665,7 +771,7 @@ impl SiteMachine {
                 return self.nack(out, src, tag, NackReason::Conflict);
             }
         }
-        if blocks.write(row, &data).is_err() {
+        if blocks.write_owned(row, data).is_err() {
             return self.nack(out, src, tag, NackReason::Unavailable);
         }
         out.push(Effect::Write {
@@ -735,7 +841,7 @@ impl SiteMachine {
         blocks: &mut dyn Blocks,
         src: usize,
         row: u64,
-        data: Vec<u8>,
+        data: Bytes,
         content: SpareContent,
         tag: u64,
         out: &mut Vec<Effect>,
@@ -743,7 +849,7 @@ impl SiteMachine {
         if data.len() != self.block_size {
             return self.nack(out, src, tag, NackReason::BadSize);
         }
-        if blocks.write(row, &data).is_err() {
+        if blocks.write_owned(row, data).is_err() {
             return self.nack(out, src, tag, NackReason::Unavailable);
         }
         out.push(Effect::Write {

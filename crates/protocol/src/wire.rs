@@ -5,6 +5,7 @@
 //! [`Msg::wire_size`] pins the §7.4 accounting next to the message itself so
 //! both interpreters charge identical bytes for identical sends.
 
+use bytes::Bytes;
 use radd_parity::Uid;
 use serde::{Deserialize, Serialize};
 
@@ -39,8 +40,9 @@ pub enum SpareContent {
 pub struct SpareSlotWire {
     /// Site whose block this spare stands in for.
     pub for_site: usize,
-    /// Block payload.
-    pub data: Vec<u8>,
+    /// Block payload (refcounted: replies, caches, and retransmit queues
+    /// share one buffer).
+    pub data: Bytes,
     /// UID metadata (data UID or parity UID array).
     pub content: SpareContent,
 }
@@ -78,7 +80,7 @@ pub enum Msg {
         /// Site-local data block index.
         index: u64,
         /// New block payload.
-        data: Vec<u8>,
+        data: Bytes,
         /// Request tag.
         tag: u64,
     },
@@ -87,7 +89,7 @@ pub enum Msg {
         /// Physical row being updated.
         row: u64,
         /// Encoded [`radd_parity::ChangeMask`].
-        mask_wire: Vec<u8>,
+        mask_wire: Bytes,
         /// UID minted by the writer for this version.
         uid: Uid,
         /// Site whose data block changed.
@@ -112,7 +114,7 @@ pub enum Msg {
         /// Site the spare stands in for.
         for_site: usize,
         /// Block payload.
-        data: Vec<u8>,
+        data: Bytes,
         /// UID metadata for the installed block.
         content: SpareContent,
         /// Request tag.
@@ -146,7 +148,7 @@ pub enum Msg {
         /// Physical row.
         row: u64,
         /// Block payload.
-        data: Vec<u8>,
+        data: Bytes,
         /// UID metadata to restore alongside the block.
         content: SpareContent,
         /// Request tag.
@@ -158,7 +160,7 @@ pub enum Msg {
         /// Echoed request tag.
         tag: u64,
         /// Block payload.
-        data: Vec<u8>,
+        data: Bytes,
     },
     /// Write fully applied (W1–W4 complete: parity acked).
     WriteOk {
@@ -182,7 +184,7 @@ pub enum Msg {
         /// Echoed request tag.
         tag: u64,
         /// Block payload.
-        data: Vec<u8>,
+        data: Bytes,
         /// Block UID (data rows) or `Uid::INVALID` for parity rows.
         uid: Uid,
         /// Parity UID array when the row is a parity row at this site.
@@ -330,12 +332,12 @@ mod tests {
             Msg::Read { index: 1, tag: 7 },
             Msg::Write {
                 index: 1,
-                data: vec![0; 4],
+                data: Bytes::from(vec![0; 4]),
                 tag: 7,
             },
             Msg::ParityUpdate {
                 row: 0,
-                mask_wire: vec![],
+                mask_wire: Bytes::new(),
                 uid: Uid::INVALID,
                 from_site: 0,
                 tag: 7,
@@ -348,7 +350,7 @@ mod tests {
             Msg::SpareInstall {
                 row: 0,
                 for_site: 0,
-                data: vec![0; 4],
+                data: Bytes::from(vec![0; 4]),
                 content: SpareContent::Data { uid: Uid::INVALID },
                 tag: 7,
             },
@@ -360,13 +362,13 @@ mod tests {
             Msg::SpareTake { row: 0, tag: 7 },
             Msg::RestoreBlock {
                 row: 0,
-                data: vec![0; 4],
+                data: Bytes::from(vec![0; 4]),
                 content: SpareContent::Data { uid: Uid::INVALID },
                 tag: 7,
             },
             Msg::ReadOk {
                 tag: 7,
-                data: vec![],
+                data: Bytes::new(),
             },
             Msg::WriteOk { tag: 7 },
             Msg::Ack { tag: 7 },
@@ -376,7 +378,7 @@ mod tests {
             },
             Msg::BlockData {
                 tag: 7,
-                data: vec![],
+                data: Bytes::new(),
                 uid: Uid::INVALID,
                 parity_uids: None,
             },
@@ -395,7 +397,7 @@ mod tests {
     fn parity_update_wire_size_is_mask_plus_header() {
         let m = Msg::ParityUpdate {
             row: 0,
-            mask_wire: vec![0; 10],
+            mask_wire: Bytes::from(vec![0; 10]),
             uid: Uid::INVALID,
             from_site: 0,
             tag: 0,
@@ -405,7 +407,7 @@ mod tests {
         assert_eq!(r.wire_size(), CONTROL_MSG_BYTES);
         let w = Msg::Write {
             index: 0,
-            data: vec![0; 64],
+            data: Bytes::from(vec![0; 64]),
             tag: 0,
         };
         assert_eq!(w.wire_size(), 64 + BLOCK_MSG_HEADER);

@@ -1,0 +1,150 @@
+//! Deterministic tests of parity-update coalescing ([`CoalescePolicy`]).
+//!
+//! The driver is the test itself: writes are fed straight into the owner
+//! [`SiteMachine`] and the parity site's acks are *withheld*, so the
+//! per-row stop-and-wait queue actually builds depth — the situation
+//! coalescing exists for. With [`CoalescePolicy::Merge`], the queued masks
+//! must collapse into one pending update whose mask equals the
+//! composition of the individual diffs; with [`CoalescePolicy::Off`], one
+//! update per write must cross the wire, in order.
+
+use bytes::Bytes;
+use radd_layout::Geometry;
+use radd_parity::ChangeMask;
+use radd_protocol::{Blocks, CoalescePolicy, Dest, Effect, MemBlocks, Msg, SiteMachine};
+
+const G: usize = 4;
+const ROWS: u64 = 12;
+const BLOCK: usize = 64;
+
+/// Every `ParityUpdate` the machine pushed into `out`, as
+/// `(wire tag, decoded mask, destination site)`.
+fn parity_updates(out: &[Effect]) -> Vec<(u64, ChangeMask, usize)> {
+    out.iter()
+        .filter_map(|e| match e {
+            Effect::Send {
+                to: Dest::Site(s),
+                msg: Msg::ParityUpdate { mask_wire, tag, .. },
+                ..
+            } => Some((*tag, ChangeMask::decode(mask_wire).unwrap(), *s)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn write_oks(out: &[Effect]) -> Vec<u64> {
+    out.iter()
+        .filter_map(|e| match e {
+            Effect::Send {
+                msg: Msg::WriteOk { tag },
+                ..
+            } => Some(*tag),
+            _ => None,
+        })
+        .collect()
+}
+
+/// One parity update as observed on the wire: (uid, mask, payload bytes).
+type SentUpdate = (u64, ChangeMask, usize);
+
+/// Run three back-to-back writes with the parity ack withheld, then ack
+/// what was sent. Returns (updates sent, WriteOk tags in resolution
+/// order, final block content).
+fn run(policy: CoalescePolicy) -> (Vec<SentUpdate>, Vec<u64>, Vec<u8>) {
+    let geo = Geometry::new(G, ROWS).unwrap();
+    let owner = 2usize;
+    let index = 0u64;
+    let row = geo.data_to_physical(owner, index);
+    let parity = geo.parity_site(row);
+    assert_ne!(parity, owner);
+    let parity_peer = parity + 1; // site j answers from peer j + 1
+
+    let mut machine = SiteMachine::new(owner, G, ROWS, BLOCK);
+    machine.set_coalesce(policy);
+    assert_eq!(machine.coalesce(), policy);
+    let mut blocks = MemBlocks::new(ROWS, BLOCK);
+
+    let payloads: Vec<Vec<u8>> = vec![vec![0x11; BLOCK], vec![0x22; BLOCK], vec![0x33; BLOCK]];
+    let mut sent = Vec::new();
+    let mut oks = Vec::new();
+    for (i, p) in payloads.iter().enumerate() {
+        let mut out = Vec::new();
+        let msg = Msg::Write {
+            index,
+            data: Bytes::copy_from_slice(p),
+            tag: 101 + i as u64,
+        };
+        machine.handle(&mut blocks, 0, msg, &mut out);
+        sent.extend(parity_updates(&out));
+        oks.extend(write_oks(&out));
+    }
+    // Drain the stop-and-wait queue: ack whatever is in flight until the
+    // machine stops sending updates.
+    let mut cursor = 0;
+    while cursor < sent.len() {
+        let tag = sent[cursor].0;
+        cursor += 1;
+        let mut out = Vec::new();
+        machine.handle(&mut blocks, parity_peer, Msg::Ack { tag }, &mut out);
+        sent.extend(parity_updates(&out));
+        oks.extend(write_oks(&out));
+    }
+    let data = Blocks::read(&mut blocks, row).unwrap().to_vec();
+    (sent, oks, data)
+}
+
+#[test]
+fn merge_collapses_queued_updates_into_one() {
+    let (sent, oks, data) = run(CoalescePolicy::Merge);
+    // Write 1's update goes out immediately; writes 2 and 3 merge behind
+    // it into a single second update.
+    assert_eq!(sent.len(), 2, "expected 2 wire updates, got {sent:?}");
+    // Every write is acknowledged exactly once, in order.
+    assert_eq!(oks, vec![101, 102, 103]);
+    // The merged mask is the composition 0x11-block -> 0x33-block.
+    let expect = ChangeMask::diff(&[0x11; BLOCK], &[0x33; BLOCK]);
+    assert_eq!(sent[1].1, expect, "merged mask is not diff(w1, w3)");
+    // W1 storage holds the last write.
+    assert_eq!(data, vec![0x33; BLOCK]);
+}
+
+#[test]
+fn off_ships_every_update_serially() {
+    let (sent, oks, data) = run(CoalescePolicy::Off);
+    assert_eq!(
+        sent.len(),
+        3,
+        "stop-and-wait must ship one update per write"
+    );
+    assert_eq!(oks, vec![101, 102, 103]);
+    // Masks are the individual consecutive diffs.
+    assert_eq!(sent[1].1, ChangeMask::diff(&[0x11; BLOCK], &[0x22; BLOCK]));
+    assert_eq!(sent[2].1, ChangeMask::diff(&[0x22; BLOCK], &[0x33; BLOCK]));
+    assert_eq!(data, vec![0x33; BLOCK]);
+}
+
+/// The parity site ends up with the same parity block either way: apply
+/// the shipped masks of both runs to a zeroed parity block and compare.
+#[test]
+fn both_policies_produce_identical_parity() {
+    let (merged, _, _) = run(CoalescePolicy::Merge);
+    let (serial, _, _) = run(CoalescePolicy::Off);
+    let mut via_merge = vec![0u8; BLOCK];
+    for (_, mask, _) in &merged {
+        mask.apply(&mut via_merge);
+    }
+    let mut via_serial = vec![0u8; BLOCK];
+    for (_, mask, _) in &serial {
+        mask.apply(&mut via_serial);
+    }
+    assert_eq!(via_merge, via_serial);
+}
+
+/// Coalescing only merges *waiting* updates; the defaults keep it off so
+/// existing interpreters (the DES) are bit-for-bit unaffected.
+#[test]
+fn default_policy_is_off() {
+    let machine = SiteMachine::new(0, G, ROWS, BLOCK);
+    assert_eq!(machine.coalesce(), CoalescePolicy::Off);
+    assert_eq!(CoalescePolicy::default(), CoalescePolicy::Off);
+}

@@ -45,7 +45,7 @@ proptest! {
 
         let msg = Msg::ParityUpdate {
             row,
-            mask_wire: ChangeMask::diff(&old, &new).encode().to_vec(),
+            mask_wire: ChangeMask::diff(&old, &new).encode(),
             uid: Uid::from_raw(uid_raw),
             from_site,
             tag: 7,

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Regression gate for the sans-IO protocol hot paths.
+#
+# Runs the protocol_core bench and compares each row's ns/iter against the
+# recorded expectation in results/protocol_core_bench.json ("baseline").
+# A row fails when measured > baseline * BENCH_TOLERANCE. The tolerance
+# default is deliberately loose — these are wall-clock numbers and CI
+# machines are slower and noisier than the recording machine; the gate is
+# meant to catch order-of-magnitude regressions (a copy reintroduced on
+# the write path, a kernel dispatch falling back to scalar), not jitter.
+#
+# Usage:
+#   scripts/bench_check.sh                # tolerance 2.0
+#   BENCH_TOLERANCE=4.0 scripts/bench_check.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TOLERANCE="${BENCH_TOLERANCE:-2.0}"
+BASELINE=results/protocol_core_bench.json
+
+echo "== bench_check: protocol_core vs $BASELINE (tolerance x$TOLERANCE)"
+OUT="$(cargo bench -p radd-bench --bench protocol_core 2>&1 | grep '^bench ' || true)"
+if [ -z "$OUT" ]; then
+    echo "bench_check: no bench output lines produced" >&2
+    exit 1
+fi
+echo "$OUT"
+
+fail=0
+for name in healthy_write_g8_4k parity_apply_g8_4k; do
+    base="$(python3 -c "import json; print(json.load(open('$BASELINE'))['baseline']['$name']['ns_per_iter'])")"
+    got="$(echo "$OUT" | awk -v n="protocol_core/$name" '$2 == n { print $3 }')"
+    if [ -z "$got" ]; then
+        echo "FAIL  $name: row missing from bench output" >&2
+        fail=1
+        continue
+    fi
+    if awk -v m="$got" -v b="$base" -v t="$TOLERANCE" 'BEGIN { exit !(m <= b * t) }'; then
+        echo "ok    $name: $got ns/iter (baseline $base, limit $(awk -v b="$base" -v t="$TOLERANCE" 'BEGIN { printf "%d", b * t }'))"
+    else
+        echo "FAIL  $name: $got ns/iter exceeds baseline $base x $TOLERANCE" >&2
+        fail=1
+    fi
+done
+exit "$fail"

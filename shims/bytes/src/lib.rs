@@ -3,8 +3,11 @@
 //! This workspace builds in environments with no crates.io access, so the
 //! external dependencies are vendored as minimal shims implementing exactly
 //! the API surface the workspace uses. [`Bytes`] here is a cheaply-cloneable
-//! immutable byte buffer backed by `Arc<[u8]>` — reference-counted clones,
-//! slice deref, and the usual comparison traits.
+//! immutable byte buffer backed by `Arc<Vec<u8>>` plus a view range —
+//! reference-counted clones, zero-copy sub-slicing, slice deref, and the
+//! usual comparison traits. Like the real crate, `clone`, `slice`, and
+//! `From<Vec<u8>>` never copy payload bytes (the vector's allocation is
+//! adopted as the backing store); only `copy_from_slice`/`to_vec` do.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -12,9 +15,21 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable contiguous slice of memory.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes {
+            data: Arc::new(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
 }
 
 impl Bytes {
@@ -25,53 +40,77 @@ impl Bytes {
 
     /// Copy `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        Bytes { data: data.into() }
+        Bytes {
+            data: Arc::new(data.to_vec()),
+            start: 0,
+            end: data.len(),
+        }
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copy out into a fresh `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_slice().to_vec()
     }
 
-    /// A sub-range copy (the real crate shares the backing buffer; copying
-    /// preserves semantics, which is all the workspace relies on).
+    /// A zero-copy sub-range view sharing the backing allocation.
     pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        Bytes::copy_from_slice(&self.data[range])
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice {}..{} out of range for Bytes of length {}",
+            range.start,
+            range.end,
+            self.len()
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        Bytes { data: v.into() }
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -96,7 +135,7 @@ impl FromIterator<u8> for Bytes {
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.as_slice() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -107,7 +146,7 @@ impl fmt::Debug for Bytes {
 
 impl PartialEq for Bytes {
     fn eq(&self, other: &Bytes) -> bool {
-        self.data[..] == other.data[..]
+        self.as_slice() == other.as_slice()
     }
 }
 
@@ -121,43 +160,49 @@ impl PartialOrd for Bytes {
 
 impl Ord for Bytes {
     fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
-        self.data.cmp(&other.data)
+        self.as_slice().cmp(other.as_slice())
     }
 }
 
 impl std::hash::Hash for Bytes {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.data.hash(state)
+        self.as_slice().hash(state)
     }
 }
 
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self.data[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<Bytes> for [u8] {
     fn eq(&self, other: &Bytes) -> bool {
-        *self == other.data[..]
+        self == other.as_slice()
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self.data[..] == other[..]
+        *self.as_slice() == other[..]
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self[..] == other.data[..]
+        self[..] == *other.as_slice()
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self.data[..] == **other
+        self.as_slice() == *other
+    }
+}
+
+impl serde::Serialize for Bytes {
+    fn serialize_json(&self, out: &mut String) {
+        self.as_slice().serialize_json(out)
     }
 }
 
@@ -181,5 +226,26 @@ mod tests {
     fn empty_default() {
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::default().len(), 0);
+    }
+
+    #[test]
+    fn slice_shares_backing_allocation() {
+        let b = Bytes::from((0u8..64).collect::<Vec<u8>>());
+        let s = b.slice(8..24);
+        assert_eq!(s.len(), 16);
+        assert_eq!(s[0], 8);
+        // Same allocation: the sub-slice's pointer sits inside the parent's.
+        let parent = b.as_ref().as_ptr() as usize;
+        let child = s.as_ref().as_ptr() as usize;
+        assert_eq!(child, parent + 8);
+        // Nested slices keep composing against the original buffer.
+        let s2 = s.slice(4..8);
+        assert_eq!(s2.to_vec(), vec![12, 13, 14, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        Bytes::from(vec![0u8; 4]).slice(2..6);
     }
 }

@@ -38,6 +38,7 @@
 //! | [`net`] | lossy links, reliable transport, partitions, a threaded network |
 //! | [`layout`] | Figure-1 placement math and §4 group assignment |
 //! | [`parity`] | XOR parity, change masks, page deltas, UIDs |
+//! | [`protocol`] | the sans-IO client/site machines both runtimes share |
 //! | [`core`] | the RADD cluster itself (§3) |
 //! | [`schemes`] | ROWB, RAID-5, C-RAID, 2D-RADD, 1/2-RADD (§7) |
 //! | [`storage`] | WAL and no-overwrite storage managers (§3.4) |
@@ -54,6 +55,7 @@ pub use radd_layout as layout;
 pub use radd_net as net;
 pub use radd_node as node;
 pub use radd_parity as parity;
+pub use radd_protocol as protocol;
 pub use radd_reliability as reliability;
 pub use radd_schemes as schemes;
 pub use radd_sim as sim;
