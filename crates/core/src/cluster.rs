@@ -51,7 +51,9 @@ use bytes::Bytes;
 use radd_blockdev::{BlockDevice, DiskArray};
 use radd_layout::{DataIndex, Geometry, PhysRow, Role, SiteId};
 use radd_net::{PartitionMap, PartitionVerdict};
+use radd_obs::{ClusterObs, ObsSnapshot};
 use radd_parity::{ChangeMask, Uid, UidArray};
+use radd_protocol::obs::ObsEvent;
 use radd_protocol::{
     trace, BlockFault, Blocks, ClientErr, ClientMachine, Dest, Effect, IoPurpose, Msg, TraceEntry,
     BLOCK_MSG_HEADER, CONTROL_MSG_BYTES,
@@ -121,6 +123,10 @@ pub struct RaddCluster {
     /// Per-site normalised effect traces (differential testing); index `j`
     /// is site `j`.
     site_traces: Option<Vec<Vec<TraceEntry>>>,
+    /// Metrics + flight recorder, tapped off the same effect stream. The
+    /// latency histograms record *logical* ledger microseconds, never wall
+    /// time, so an observed DES run stays deterministic.
+    obs: Option<ClusterObs>,
 }
 
 impl RaddCluster {
@@ -168,6 +174,7 @@ impl RaddCluster {
             tracer: Tracer::disabled(),
             pending_parity: Vec::new(),
             site_traces: None,
+            obs: None,
             config,
         })
     }
@@ -437,6 +444,11 @@ impl RaddCluster {
                     }
                 }
             }
+            if let Some(obs) = &mut self.obs {
+                for eff in &out {
+                    obs.site(d).effect(eff);
+                }
+            }
             if let Msg::ParityUpdate { row, from_site, .. } = &m {
                 // Trace the apply itself, not redeliveries or duplicates.
                 let applied = out.iter().any(|e| {
@@ -578,6 +590,16 @@ impl RaddCluster {
         msg: Msg,
         background: bool,
     ) -> Result<Msg, RaddError> {
+        if let Some(obs) = &mut self.obs {
+            obs.client().event(ObsEvent::Send {
+                to: Dest::Site(site),
+                kind: msg.kind(),
+                tag: msg.tag(),
+                wire: msg.wire_size() as u64,
+                retransmit: false,
+                replay: false,
+            });
+        }
         match &msg {
             Msg::ParityUpdate { .. } => {
                 self.traffic.parity_updates.record_send(msg.wire_size());
@@ -738,6 +760,11 @@ impl RaddCluster {
             }
         };
         let (counts, latency) = self.ledger.since(snap);
+        if let Some(obs) = &mut self.obs {
+            obs.client()
+                .metrics()
+                .record_read_latency(latency.as_micros());
+        }
         Ok((
             data,
             OpReceipt {
@@ -851,6 +878,11 @@ impl RaddCluster {
             }
         }
         let (counts, latency) = self.ledger.since(snap);
+        if let Some(obs) = &mut self.obs {
+            obs.client()
+                .metrics()
+                .record_write_latency(latency.as_micros());
+        }
         Ok(OpReceipt {
             counts,
             latency,
@@ -901,6 +933,11 @@ impl RaddCluster {
                 if let Some(e) = trace(eff) {
                     bufs[site].push(e);
                 }
+            }
+        }
+        if let Some(obs) = &mut self.obs {
+            for eff in &out {
+                obs.site(site).effect(eff);
             }
         }
         // W2–W4: change mask to the parity site.
@@ -1163,6 +1200,14 @@ impl RaddCluster {
         }
 
         self.sites[site].machine.set_state(SiteState::Up);
+        if let Some(obs) = &mut self.obs {
+            let m = obs.site(site).metrics();
+            m.recovery_run();
+            m.set_recovery_progress(
+                report.spares_drained + report.data_reconstructed + report.parity_rebuilt,
+                0,
+            );
+        }
         self.tracer.emit(
             Default::default(),
             format!("site:{site}"),
@@ -1232,7 +1277,36 @@ impl RaddCluster {
         if self.sites[site].machine.state() == SiteState::Recovering {
             self.sites[site].machine.set_state(SiteState::Up);
         }
+        if let Some(obs) = &mut self.obs {
+            let m = obs.site(site).metrics();
+            m.recovery_run();
+            m.set_recovery_progress(drained, 0);
+        }
         Ok(drained)
+    }
+
+    /// Enable (or disable) the observability layer: per-machine metrics
+    /// and flight recorders tapped off the effect stream. Purely passive —
+    /// receipts, traces and ledger charges are unchanged whether this is on
+    /// or off.
+    pub fn record_obs(&mut self, on: bool) {
+        self.obs = if on {
+            Some(ClusterObs::new(self.sites.len()))
+        } else {
+            None
+        };
+    }
+
+    /// Freeze the observability state: machine 0 is the client, `1 + j` is
+    /// site `j`. `None` when [`record_obs`](Self::record_obs) is off.
+    pub fn obs_snapshot(&mut self) -> Option<ObsSnapshot> {
+        let n = self.sites.len();
+        let obs = self.obs.as_mut()?;
+        for j in 0..n {
+            let merges = self.sites[j].machine.coalesced_merges();
+            obs.site(j).metrics().set_coalesced_merges(merges);
+        }
+        Some(obs.snapshot())
     }
 
     /// Start (or stop) recording normalised effect traces on every site

@@ -63,10 +63,14 @@ pub struct CheckedCluster {
 }
 
 impl CheckedCluster {
-    /// Wrap a fresh cluster built from `config`.
+    /// Wrap a fresh cluster built from `config`. Observability is on from
+    /// the start: when a fault plan later trips an invariant, the failure
+    /// report carries each machine's flight-recorder tail and metrics.
     pub fn new(config: RaddConfig) -> Result<CheckedCluster, RaddError> {
+        let mut cluster = RaddCluster::new(config)?;
+        cluster.record_obs(true);
         Ok(CheckedCluster {
-            cluster: RaddCluster::new(config)?,
+            cluster,
             oracle: BTreeMap::new(),
             checks: 0,
         })

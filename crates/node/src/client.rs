@@ -13,13 +13,31 @@
 //! site's reply cache. The one destructive request, `SpareTake`, is only
 //! issued *after* the block it covers has been restored, so a lost reply
 //! costs nothing.
+//!
+//! Two degraded-path rules keep retries from compounding:
+//!
+//! * a send onto a **closed** channel fails the request immediately — a
+//!   disconnected endpoint can never answer, so burning the timeout ladder
+//!   only adds latency (a *partitioned* link keeps retrying: partitions
+//!   heal);
+//! * a batch ([`ClientIo::exchange_batch`]) shares **one** attempt budget
+//!   per site across all of its entries, and short-circuits the remaining
+//!   entries for a site that already exhausted it — a G-way degraded read
+//!   with one down site pays one ladder, not one per entry.
+//!
+//! Every wire attempt, retransmission, stash eviction and failed send is
+//! recorded in a per-client [`radd_obs::MachineObs`]; see
+//! [`NodeClient::obs_snapshot`].
 
 use crate::message::Msg;
+use radd_net::threaded::NetError;
 use radd_net::ThreadedEndpoint;
+use radd_obs::{MachineObs, MachineSnapshot};
 use radd_parity::xor_in_place;
-use radd_protocol::{ClientErr, ClientIo, ClientMachine, SparePolicy, TraceEntry};
-use std::collections::{HashMap, VecDeque};
-use std::time::Duration;
+use radd_protocol::obs::ObsEvent;
+use radd_protocol::{ClientErr, ClientIo, ClientMachine, Dest, SparePolicy, TraceEntry};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
 
 /// First per-attempt reply timeout; grows 1.5× per retry.
 const ATTEMPT_TIMEOUT: Duration = Duration::from_millis(150);
@@ -37,6 +55,24 @@ const STASH_CAP: usize = 512;
 /// Tag-space bit marking requests minted outside the protocol machine
 /// (oracle sweeps like [`NodeClient::verify_parity`]).
 const ORACLE_TAG_BIT: u64 = 1 << 46;
+/// Client UID namespaces count *down* from `u16::MAX` while site machines
+/// count *up* from their site id. This cap keeps the two pools provably
+/// disjoint and — more importantly — keeps the `u16` conversion exact: a
+/// truncated endpoint id would alias another client's namespace and break
+/// the §3.2 requirement that UIDs never repeat across writers.
+const MAX_CLIENT_NAMESPACES: usize = 4096;
+
+/// The UID namespace for the client on endpoint `ep_id`. Panics when the
+/// endpoint id would not map injectively into the client pool.
+fn client_uid_namespace(ep_id: usize) -> u16 {
+    assert!(
+        ep_id < MAX_CLIENT_NAMESPACES,
+        "client endpoint id {ep_id} exceeds the {MAX_CLIENT_NAMESPACES}-entry \
+         UID namespace pool; truncating it would alias another writer's \
+         namespace and break §3.2 UID uniqueness"
+    );
+    u16::MAX - ep_id as u16
+}
 
 /// Client-side errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,6 +123,17 @@ impl From<ClientErr> for ClientError {
     }
 }
 
+/// What became of one send attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendResult {
+    /// On the wire (or silently dropped by loss injection / refused by a
+    /// partition — both of which retries are for).
+    Sent,
+    /// The channel is closed or the destination does not exist; no retry
+    /// can ever succeed.
+    Closed,
+}
+
 /// The machine's transport: request/reply over a threaded endpoint with
 /// retry and backoff.
 struct NetIo {
@@ -96,9 +143,70 @@ struct NetIo {
     /// fan-out responses come back in arbitrary order.
     stash: HashMap<u64, Msg>,
     stash_order: VecDeque<u64>,
+    /// Attempt-ladder tuning (the constants above; tests shrink them).
+    attempts: u32,
+    attempt_timeout: Duration,
+    attempt_cap: Duration,
+    stash_cap: usize,
+    /// Per-client metrics + flight recorder.
+    obs: MachineObs,
 }
 
 impl NetIo {
+    fn new(ep: ThreadedEndpoint<Msg>, ep_base: usize) -> NetIo {
+        NetIo {
+            ep,
+            ep_base,
+            stash: HashMap::new(),
+            stash_order: VecDeque::new(),
+            attempts: REQUEST_ATTEMPTS,
+            attempt_timeout: ATTEMPT_TIMEOUT,
+            attempt_cap: ATTEMPT_CAP,
+            stash_cap: STASH_CAP,
+            obs: MachineObs::new(),
+        }
+    }
+
+    /// The wait window for a site's `k`-th attempt (0-based): the base
+    /// timeout grown 1.5× per attempt, capped.
+    fn attempt_window(&self, k: u32) -> Duration {
+        let mut t = self.attempt_timeout;
+        for _ in 0..k {
+            t = (t * 3 / 2).min(self.attempt_cap);
+        }
+        t
+    }
+
+    /// A stashed reply for `tag`, if one already arrived out of band.
+    fn take_stashed(&mut self, tag: u64) -> Option<Msg> {
+        self.stash.remove(&tag)
+    }
+
+    /// One wire attempt: record it, send it, classify the outcome.
+    fn send_attempt(&mut self, site: usize, msg: &Msg, retransmit: bool) -> SendResult {
+        self.obs.event(ObsEvent::Send {
+            to: Dest::Site(site),
+            kind: msg.kind(),
+            tag: msg.tag(),
+            wire: msg.wire_size() as u64,
+            retransmit,
+            replay: false,
+        });
+        match self.ep.send(self.ep_base + site, msg.clone()) {
+            Ok(()) => SendResult::Sent,
+            Err(NetError::Disconnected) | Err(NetError::NoSuchSite(_)) => {
+                self.obs.metrics().send_failure();
+                SendResult::Closed
+            }
+            // A partitioned link refuses the send but may heal before the
+            // ladder is spent — keep retrying, exactly like silent loss.
+            Err(NetError::Partitioned) | Err(NetError::Timeout) => {
+                self.obs.metrics().send_failure();
+                SendResult::Sent
+            }
+        }
+    }
+
     /// Wait for the reply carrying `tag`. Replies to *other* outstanding
     /// requests are stashed for their own `wait` calls; only a reply whose
     /// tag was never issued is truly stale.
@@ -106,9 +214,9 @@ impl NetIo {
         if let Some(m) = self.stash.remove(&tag) {
             return Some(m);
         }
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         loop {
-            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 return None;
             }
@@ -118,9 +226,10 @@ impl NetIo {
                     let t = other.payload.tag();
                     if self.stash.insert(t, other.payload).is_none() {
                         self.stash_order.push_back(t);
-                        if self.stash_order.len() > STASH_CAP {
+                        if self.stash_order.len() > self.stash_cap {
                             if let Some(old) = self.stash_order.pop_front() {
                                 self.stash.remove(&old);
+                                self.obs.metrics().stash_eviction();
                             }
                         }
                     }
@@ -132,17 +241,17 @@ impl NetIo {
 
     /// Send `msg` to `site`, retrying with exponential backoff until a
     /// reply arrives or the attempt budget is spent. All retried requests
-    /// are idempotent at the receiver (see the module docs).
+    /// are idempotent at the receiver (see the module docs). A closed
+    /// channel fails immediately — no answer can ever arrive on it.
     fn request(&mut self, site: usize, msg: Msg) -> Option<Msg> {
         let tag = msg.tag();
-        let dst = self.ep_base + site;
-        let mut timeout = ATTEMPT_TIMEOUT;
-        for _ in 0..REQUEST_ATTEMPTS {
-            let _ = self.ep.send(dst, msg.clone());
-            if let Some(reply) = self.wait(tag, timeout) {
+        for k in 0..self.attempts {
+            if self.send_attempt(site, &msg, k > 0) == SendResult::Closed {
+                return self.take_stashed(tag);
+            }
+            if let Some(reply) = self.wait(tag, self.attempt_window(k)) {
                 return Some(reply);
             }
-            timeout = (timeout * 3 / 2).min(ATTEMPT_CAP);
         }
         None
     }
@@ -156,24 +265,58 @@ impl ClientIo for NetIo {
     /// Pipelined batch: every request goes on the wire before any reply is
     /// awaited, so the target sites serve them concurrently. Replies are
     /// then collected in request order; out-of-order arrivals land in the
-    /// tag-keyed stash exactly as fan-out replies always have. A request
-    /// whose reply misses the batch window falls back to the serial retry
-    /// path (all batched requests are idempotent at the receiver).
+    /// tag-keyed stash exactly as fan-out replies always have.
+    ///
+    /// Retries share **one** attempt budget per site across the whole
+    /// batch: when several entries target a site that is down, the first
+    /// entry's ladder spends the budget and every later entry for that
+    /// site short-circuits to `Timeout` (after checking the stash — its
+    /// reply may have arrived while an earlier entry waited). Without
+    /// this, a G-way degraded read against one dead site would serialise G
+    /// full retry ladders.
     fn exchange_batch(
         &mut self,
         reqs: Vec<(usize, Msg)>,
         _background: bool,
     ) -> Vec<Result<Msg, ClientErr>> {
+        let mut used: HashMap<usize, u32> = HashMap::new();
+        let mut dead: HashSet<usize> = HashSet::new();
         for (site, msg) in &reqs {
-            let _ = self.ep.send(self.ep_base + site, msg.clone());
+            if dead.contains(site) {
+                continue;
+            }
+            if self.send_attempt(*site, msg, false) == SendResult::Closed {
+                dead.insert(*site);
+            }
         }
         reqs.into_iter()
             .map(|(site, msg)| {
                 let tag = msg.tag();
-                if let Some(reply) = self.wait(tag, ATTEMPT_TIMEOUT) {
+                // Served while an earlier entry was waiting?
+                if let Some(reply) = self.take_stashed(tag) {
                     return Ok(reply);
                 }
-                self.request(site, msg).ok_or(ClientErr::Timeout { site })
+                if dead.contains(&site) {
+                    return Err(ClientErr::Timeout { site });
+                }
+                loop {
+                    let k = *used.entry(site).or_insert(0);
+                    if k >= self.attempts {
+                        dead.insert(site);
+                        return Err(ClientErr::Timeout { site });
+                    }
+                    // The first window rides on the pipelined send above;
+                    // later windows resend (idempotent at the receiver).
+                    if k > 0 && self.send_attempt(site, &msg, true) == SendResult::Closed {
+                        dead.insert(site);
+                        return self.take_stashed(tag).ok_or(ClientErr::Timeout { site });
+                    }
+                    let window = self.attempt_window(k);
+                    *used.get_mut(&site).expect("inserted above") += 1;
+                    if let Some(reply) = self.wait(tag, window) {
+                        return Ok(reply);
+                    }
+                }
             })
             .collect()
     }
@@ -201,7 +344,7 @@ impl NodeClient {
         // Every client mints UIDs from its own namespace keyed by its
         // endpoint id, so concurrent clients never collide. Any "local
         // system" may mint UIDs, per §3.2 — uniqueness is all that matters.
-        let uid_namespace = u16::MAX - ep.id() as u16;
+        let uid_namespace = client_uid_namespace(ep.id());
         NodeClient {
             machine: ClientMachine::new(
                 g,
@@ -211,12 +354,7 @@ impl NodeClient {
                 true,
                 uid_namespace,
             ),
-            io: NetIo {
-                ep,
-                ep_base,
-                stash: HashMap::new(),
-                stash_order: VecDeque::new(),
-            },
+            io: NetIo::new(ep, ep_base),
             block_size,
             next_oracle_tag: 0,
         }
@@ -249,14 +387,28 @@ impl NodeClient {
         self.machine.take_trace()
     }
 
+    /// Freeze this client's metrics and flight recorder. Latency
+    /// histograms hold wall-clock nanoseconds per completed operation.
+    pub fn obs_snapshot(&self) -> MachineSnapshot {
+        self.io.obs.snapshot("client")
+    }
+
     /// Read the `index`-th data block of `site`.
     pub fn read(&mut self, site: usize, index: u64) -> Result<Vec<u8>, ClientError> {
+        let started = Instant::now();
         // §3.3: an inconsistent reconstruction means a parity update is in
         // flight; back off and retry the whole degraded read.
         for _ in 0..RECONSTRUCT_RETRIES {
             match self.machine.read(&mut self.io, site, index) {
                 Err(ClientErr::Inconsistent { .. }) => std::thread::sleep(Duration::from_millis(5)),
-                other => return other.map(|b| b.to_vec()).map_err(ClientError::from),
+                Ok(b) => {
+                    self.io
+                        .obs
+                        .metrics()
+                        .record_read_latency(started.elapsed().as_nanos() as u64);
+                    return Ok(b.to_vec());
+                }
+                Err(e) => return Err(ClientError::from(e)),
             }
         }
         Err(ClientError::Inconsistent)
@@ -264,10 +416,18 @@ impl NodeClient {
 
     /// Write the `index`-th data block of `site`.
     pub fn write(&mut self, site: usize, index: u64, data: &[u8]) -> Result<(), ClientError> {
+        let started = Instant::now();
         for _ in 0..RECONSTRUCT_RETRIES {
             match self.machine.write(&mut self.io, site, index, data) {
                 Err(ClientErr::Inconsistent { .. }) => std::thread::sleep(Duration::from_millis(5)),
-                other => return other.map_err(ClientError::from),
+                Ok(()) => {
+                    self.io
+                        .obs
+                        .metrics()
+                        .record_write_latency(started.elapsed().as_nanos() as u64);
+                    return Ok(());
+                }
+                Err(e) => return Err(ClientError::from(e)),
             }
         }
         Err(ClientError::Inconsistent)
@@ -279,9 +439,14 @@ impl NodeClient {
     /// reply at any step leaves the data reachable and every step safe to
     /// retry. Returns the number of blocks drained.
     pub fn recover(&mut self, site: usize) -> Result<u64, ClientError> {
-        self.machine
+        let drained = self
+            .machine
             .recover(&mut self.io, site)
-            .map_err(ClientError::from)
+            .map_err(ClientError::from)?;
+        let m = self.io.obs.metrics();
+        m.recovery_run();
+        m.set_recovery_progress(drained, 0);
+        Ok(drained)
     }
 
     fn oracle_tag(&mut self) -> u64 {
@@ -319,5 +484,171 @@ impl NodeClient {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radd_net::ThreadedNet;
+
+    #[test]
+    fn client_uid_namespaces_are_distinct_and_disjoint_from_sites() {
+        let mut seen = HashSet::new();
+        for ep_id in 0..64 {
+            let ns = client_uid_namespace(ep_id);
+            assert!(seen.insert(ns), "namespace collision at endpoint {ep_id}");
+            // Site machines mint from namespace = site id, counting up.
+            assert!(
+                (ns as usize) >= MAX_CLIENT_NAMESPACES,
+                "client namespace {ns} would collide with a site namespace"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "UID namespace")]
+    fn truncating_endpoint_ids_is_refused() {
+        // 65536 would silently truncate to namespace u16::MAX - 0 — the
+        // primary client's namespace. The checked allocator must refuse.
+        let _ = client_uid_namespace(65536);
+    }
+
+    #[test]
+    #[should_panic(expected = "UID namespace")]
+    fn endpoint_ids_beyond_the_pool_are_refused() {
+        let _ = client_uid_namespace(MAX_CLIENT_NAMESPACES);
+    }
+
+    /// A deaf cluster: endpoints exist (sends succeed) but nothing ever
+    /// replies — the worst case for retry ladders.
+    fn deaf_io(sites: usize) -> NetIo {
+        let (net, mut eps) = ThreadedNet::<Msg>::new(1 + sites);
+        // Keep the net handle alive inside the endpoint's lifetime by
+        // leaking it: dropping it would close channels and turn timeouts
+        // into instant Disconnected errors, which is not the case under
+        // test here.
+        std::mem::forget(net);
+        std::mem::forget(eps.split_off(1));
+        NetIo::new(eps.remove(0), 1)
+    }
+
+    #[test]
+    fn batch_against_a_dead_site_shares_one_attempt_budget() {
+        let mut io = deaf_io(2);
+        io.attempts = 3;
+        io.attempt_timeout = Duration::from_millis(20);
+        io.attempt_cap = Duration::from_millis(30);
+        // 6 batch entries all target dead site 0. The shared budget means
+        // one ladder (20 + 30 + 30 ms), not six.
+        let reqs: Vec<(usize, Msg)> = (0..6)
+            .map(|i| (0usize, Msg::BlockRead { row: i, tag: i }))
+            .collect();
+        let started = Instant::now();
+        let replies = io.exchange_batch(reqs, false);
+        let elapsed = started.elapsed();
+        assert!(replies
+            .iter()
+            .all(|r| matches!(r, Err(ClientErr::Timeout { site: 0 }))));
+        // One full ladder is 80 ms; six serial ladders would be 480 ms.
+        // Allow generous slack for a loaded machine while still proving
+        // the budget is shared.
+        assert!(
+            elapsed < Duration::from_millis(300),
+            "batch against a dead site took {elapsed:?}; the attempt budget \
+             is being spent per entry instead of per site"
+        );
+        let snap = io.obs.snapshot("client");
+        assert_eq!(
+            snap.metrics.retransmits, 2,
+            "3-attempt budget = 1 batched send + 2 retransmissions, shared \
+             across the whole batch"
+        );
+    }
+
+    /// A fake site that collects `batch` requests, acknowledges them in
+    /// *reverse* order (forcing the client to stash the later tags), then
+    /// echoes an ack for anything else that arrives (retransmissions).
+    fn reversing_site(ep: ThreadedEndpoint<Msg>, batch: usize) {
+        std::thread::spawn(move || {
+            let mut first: Vec<(usize, u64)> = Vec::new();
+            while first.len() < batch {
+                match ep.recv_timeout(Duration::from_secs(5)) {
+                    Ok(m) => first.push((m.src, m.payload.tag())),
+                    Err(_) => return,
+                }
+            }
+            for &(src, tag) in first.iter().rev() {
+                let _ = ep.send(src, Msg::Ack { tag });
+            }
+            while let Ok(m) = ep.recv_timeout(Duration::from_secs(2)) {
+                let _ = ep.send(
+                    m.src,
+                    Msg::Ack {
+                        tag: m.payload.tag(),
+                    },
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn stash_eviction_of_a_batch_reply_converges_by_retransmission() {
+        let (net, mut eps) = ThreadedNet::<Msg>::new(2);
+        let client_ep = eps.remove(0);
+        reversing_site(eps.remove(0), 3);
+        let mut io = NetIo::new(client_ep, 1);
+        // One stash slot: when the replies for tags 101 and 102 both land
+        // while entry 100 is being awaited, 102's reply is evicted even
+        // though its batch entry is still outstanding.
+        io.stash_cap = 1;
+        io.attempt_timeout = Duration::from_millis(50);
+        let reqs: Vec<(usize, Msg)> = (0..3)
+            .map(|i| {
+                (
+                    0usize,
+                    Msg::BlockRead {
+                        row: i,
+                        tag: 100 + i,
+                    },
+                )
+            })
+            .collect();
+        let replies = io.exchange_batch(reqs, false);
+        for (i, r) in replies.iter().enumerate() {
+            match r {
+                Ok(m) => assert_eq!(m.tag(), 100 + i as u64),
+                Err(e) => panic!("entry {i} failed: {e:?}"),
+            }
+        }
+        let snap = io.obs.snapshot("client");
+        assert_eq!(
+            snap.metrics.stash_evictions, 1,
+            "the reply for tag 102 must have been evicted from the 1-slot stash"
+        );
+        assert_eq!(
+            snap.metrics.retransmits, 1,
+            "recovering the evicted reply takes exactly one retransmission"
+        );
+        drop(net);
+    }
+
+    #[test]
+    fn request_fails_fast_when_the_channel_is_closed() {
+        let (net, mut eps) = ThreadedNet::<Msg>::new(2);
+        let io_ep = eps.remove(0);
+        drop(eps); // site endpoint gone: its inbox channel closes
+        drop(net);
+        let mut io = NetIo::new(io_ep, 1);
+        io.attempt_timeout = Duration::from_millis(200);
+        let started = Instant::now();
+        let reply = io.request(0, Msg::BlockRead { row: 0, tag: 1 });
+        let elapsed = started.elapsed();
+        assert!(reply.is_none());
+        assert!(
+            elapsed < Duration::from_millis(100),
+            "closed channel burned the timeout ladder: {elapsed:?}"
+        );
+        assert_eq!(io.obs.snapshot("client").metrics.send_failures, 1);
     }
 }

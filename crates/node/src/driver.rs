@@ -219,4 +219,8 @@ impl FaultDriver for ThreadedDriver {
     fn quiesce(&mut self) -> Result<(), String> {
         self.cluster.quiesce(QUIESCE_TIMEOUT)
     }
+
+    fn obs_snapshot(&mut self) -> Option<radd_obs::ObsSnapshot> {
+        Some(self.cluster.obs_snapshot())
+    }
 }

@@ -259,6 +259,28 @@ impl NodeCluster {
         all
     }
 
+    /// Freeze the whole cluster's observability state: the attached
+    /// client's metrics + flight recorder at index 0, then each site's at
+    /// index `1 + j` — the same machine numbering the traces use. Latency
+    /// histograms hold wall-clock nanoseconds (the DES records logical
+    /// ledger microseconds instead; see `radd-obs`'s crate docs).
+    ///
+    /// Snapshots are served from the sites' control drains, so a site
+    /// marked down still answers — its flight recorder is usually the one
+    /// worth reading.
+    pub fn obs_snapshot(&mut self) -> radd_obs::ObsSnapshot {
+        let mut machines = vec![self.client.obs_snapshot()];
+        for s in 0..self.num_sites {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let _ = self.control[s].send(site::Control::QueryObs(tx));
+            machines
+                .push(rx.recv_timeout(Duration::from_secs(5)).unwrap_or_else(|_| {
+                    radd_obs::MachineObs::new().snapshot(&format!("site {s}"))
+                }));
+        }
+        radd_obs::ObsSnapshot { machines }
+    }
+
     /// Wait until no site holds an unacked parity update (i.e. every
     /// acknowledged write is fully reflected in parity), polling for up to
     /// `timeout`. Partitioned sites cannot drain — heal them first.

@@ -25,6 +25,7 @@
 
 use crate::message::Msg;
 use radd_net::ThreadedEndpoint;
+use radd_obs::{MachineObs, MachineSnapshot};
 use radd_protocol::{trace, CoalescePolicy, Dest, Effect, MemBlocks, SiteMachine, TraceEntry};
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
@@ -60,6 +61,10 @@ pub enum Control {
     RecordTrace(bool, std::sync::mpsc::Sender<()>),
     /// Hand over the recorded trace, clearing the buffer.
     TakeTrace(std::sync::mpsc::Sender<Vec<TraceEntry>>),
+    /// Freeze and hand over the site's metrics + flight-recorder snapshot.
+    /// Served from the control drain, so it works even while the site is
+    /// marked down — exactly when the flight recorder is most interesting.
+    QueryObs(std::sync::mpsc::Sender<MachineSnapshot>),
     /// Stop the thread.
     Shutdown,
 }
@@ -93,6 +98,10 @@ struct SiteDriver {
     /// Retransmit deadlines by outstanding tag.
     timers: BTreeMap<u64, Instant>,
     trace: Option<Vec<TraceEntry>>,
+    /// Always-on metrics + flight recorder, tapped off the effect stream.
+    /// Recording is fixed-cost (dense counters, a ring overwrite), so it
+    /// stays enabled even when nobody will ever snapshot it.
+    obs: MachineObs,
 }
 
 impl SiteDriver {
@@ -104,6 +113,7 @@ impl SiteDriver {
                     buf.push(e);
                 }
             }
+            self.obs.effect(&eff);
             match eff {
                 Effect::Send { to, msg, .. } => {
                     let dst = match to {
@@ -162,6 +172,7 @@ pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Co
         down: false,
         timers: BTreeMap::new(),
         trace: None,
+        obs: MachineObs::new(),
         cfg,
     };
     loop {
@@ -186,6 +197,14 @@ pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Co
                 Ok(Control::TakeTrace(reply)) => {
                     let buf = st.trace.replace(Vec::new()).unwrap_or_default();
                     let _ = reply.send(buf);
+                }
+                Ok(Control::QueryObs(reply)) => {
+                    // Coalesced merges are counted inside the machine;
+                    // mirror them into the gauge at snapshot time.
+                    let merges = st.machine.coalesced_merges();
+                    st.obs.metrics().set_coalesced_merges(merges);
+                    let name = format!("site {}", st.cfg.site);
+                    let _ = reply.send(st.obs.snapshot(&name));
                 }
                 Ok(Control::Shutdown) => return,
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => return,

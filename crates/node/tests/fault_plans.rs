@@ -5,16 +5,29 @@
 //! hold across the cluster.
 
 use radd_node::ThreadedDriver;
-use radd_workload::faults::{run_plan, seed_from_name, FaultEvent, FaultPlan, PlanShape};
+use radd_workload::faults::{
+    run_plan, seed_from_name, FaultEvent, FaultPlan, PlanFailure, PlanShape,
+};
 
 const BLOCK: usize = 64;
+
+/// Panic with the report, leaving a machine-readable dump (metrics +
+/// flight-recorder tails) under `target/fault_dumps/` for CI to upload.
+fn dump_and_panic(context: &str, failure: PlanFailure) -> ! {
+    let dumped = failure
+        .write_dump(std::path::Path::new("target/fault_dumps"), context)
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|e| format!("<dump failed: {e}>"));
+    panic!("{context} (dump: {dumped}):\n{failure}")
+}
 
 #[test]
 fn named_seed_plan_completes_on_the_threaded_runtime() {
     let shape = PlanShape::default();
     let plan = FaultPlan::generate(seed_from_name("0xRADD0001"), &shape);
     let mut driver = ThreadedDriver::start(shape.group_size, shape.rows, BLOCK);
-    let report = run_plan(&mut driver, &plan).unwrap_or_else(|f| panic!("{f}"));
+    let report =
+        run_plan(&mut driver, &plan).unwrap_or_else(|f| dump_and_panic("threaded-named-seed", f));
     assert_eq!(report.applied, plan.events.len());
     assert!(
         report.invariant_checks > 0,
@@ -84,13 +97,40 @@ fn loss_burst_and_partition_converge_via_retransmission() {
         FlushParity,
     ]);
     let mut driver = ThreadedDriver::start(4, 12, BLOCK);
-    let report = run_plan(&mut driver, &plan).unwrap_or_else(|f| panic!("{f}"));
+    let report =
+        run_plan(&mut driver, &plan).unwrap_or_else(|f| dump_and_panic("threaded-loss-burst", f));
     assert!(report.invariant_checks > 0);
     // The satellite assertion: after the plan's final quiesce, every
     // site's ReliableChannel reports all_acked — retry/backoff drained
     // every parity update the loss burst swallowed.
     assert!(driver.cluster().all_acked());
     assert!(driver.oracle_len() > 0);
+
+    // The observability layer watched the whole scenario: every machine
+    // (client + G + 2 sites) answers its snapshot query — including via
+    // the control drain had any site still been down — and the protocol
+    // traffic shows up in the counters and flight rings.
+    let snap = driver.cluster_mut().obs_snapshot();
+    assert_eq!(snap.machines.len(), 1 + driver.cluster().num_sites());
+    assert!(snap.total_flight_events() > 0, "flight rings are warm");
+    let client = snap.machine("client").expect("client snapshot");
+    assert!(
+        client.metrics.sends_named("write") > 0,
+        "the plan's writes were counted"
+    );
+    assert!(
+        client.metrics.write_latency.count > 0,
+        "wall-clock write latencies were recorded"
+    );
+    let parity_updates: u64 = snap
+        .machines
+        .iter()
+        .map(|m| m.metrics.sends_named("parity_update"))
+        .sum();
+    assert!(
+        parity_updates > 0,
+        "sites shipped parity updates for the plan's writes"
+    );
     driver.shutdown();
 }
 
@@ -114,7 +154,7 @@ fn quiesce_reports_all_acked_even_after_heavy_loss() {
     events.push(FlushParity);
     let plan = FaultPlan::from_events(events);
     let mut driver = ThreadedDriver::start(4, 12, BLOCK);
-    run_plan(&mut driver, &plan).unwrap_or_else(|f| panic!("{f}"));
+    run_plan(&mut driver, &plan).unwrap_or_else(|f| dump_and_panic("threaded-heavy-loss", f));
     assert!(driver.cluster().all_acked());
     driver.shutdown();
 }

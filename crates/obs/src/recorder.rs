@@ -1,0 +1,106 @@
+//! The flight recorder: a fixed-size ring of recent normalized protocol
+//! events per machine. When a fault plan trips an invariant, the rings are
+//! snapshotted into the `PlanFailure` so a failing seed replays with the
+//! last-N events that led up to the violation.
+
+use crate::snapshot::FlightEvent;
+use radd_protocol::obs::ObsEvent;
+
+/// Default ring capacity per machine. Sized so a whole degraded G=8 write
+/// (W1 + parity RMW + retransmissions + reconstruction fan-out) fits with
+/// room to spare, while a 1+8-machine cluster snapshot stays a few KiB.
+pub const DEFAULT_RING_CAP: usize = 64;
+
+/// Fixed-capacity ring buffer of [`ObsEvent`]s with monotonically increasing
+/// sequence numbers.
+///
+/// The backing storage is allocated once, up front; recording overwrites the
+/// oldest slot. [`ObsEvent`] is `Copy`, so the record path never touches the
+/// heap.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    next_seq: u64,
+    /// Slots in write order; once full, `head` points at the oldest.
+    buf: Vec<FlightEvent>,
+    head: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `cap` events (`cap` ≥ 1).
+    pub fn new(cap: usize) -> FlightRecorder {
+        let cap = cap.max(1);
+        FlightRecorder {
+            cap,
+            next_seq: 0,
+            buf: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Record one event, evicting the oldest if the ring is full.
+    #[inline]
+    pub fn record(&mut self, event: ObsEvent) {
+        let ev = FlightEvent {
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        if self.buf.len() < self.cap {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.cap;
+        }
+    }
+
+    /// Total events ever recorded (not just retained).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_RING_CAP)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tag: u64) -> ObsEvent {
+        ObsEvent::DeferAck { tag, row: 0 }
+    }
+
+    #[test]
+    fn ring_keeps_the_last_cap_events_in_order() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..10 {
+            r.record(ev(i));
+        }
+        assert_eq!(r.recorded(), 10);
+        let snap = r.snapshot();
+        let seqs: Vec<u64> = snap.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(snap[0].event, ev(6));
+    }
+
+    #[test]
+    fn partial_ring_snapshots_everything() {
+        let mut r = FlightRecorder::new(8);
+        r.record(ev(0));
+        r.record(ev(1));
+        let seqs: Vec<u64> = r.snapshot().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+    }
+}

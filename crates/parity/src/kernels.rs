@@ -9,7 +9,7 @@
 //! the first is a relaxed load plus a direct branch.
 //!
 //! Besides the two-operand `dst ^= src`, the module exposes a k-way
-//! [`xor_fold`] that XORs up to [`FOLD_WAYS`] source blocks into `dst` per
+//! [`fold`] that XORs up to [`FOLD_WAYS`] source blocks into `dst` per
 //! pass. Reconstruction over `G` survivors then streams `dst` through the
 //! cache once per `FOLD_WAYS` sources instead of once per source — the
 //! memory-traffic argument behind the recovery-path speedup.

@@ -47,6 +47,42 @@ pub enum IoPurpose {
     Restore,
 }
 
+impl IoPurpose {
+    /// Number of purposes; sizes dense per-purpose counter arrays.
+    pub const COUNT: usize = 8;
+
+    /// Every purpose, in [`IoPurpose::index`] order.
+    pub const ALL: [IoPurpose; IoPurpose::COUNT] = [
+        IoPurpose::Data,
+        IoPurpose::OldValue,
+        IoPurpose::WriteData,
+        IoPurpose::ParityApply,
+        IoPurpose::SpareRead,
+        IoPurpose::SpareInstall,
+        IoPurpose::Reconstruct,
+        IoPurpose::Restore,
+    ];
+
+    /// Dense index into a `[_; IoPurpose::COUNT]` counter array.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short stable name, used as a metrics key and in text snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            IoPurpose::Data => "data",
+            IoPurpose::OldValue => "old_value",
+            IoPurpose::WriteData => "write_data",
+            IoPurpose::ParityApply => "parity_apply",
+            IoPurpose::SpareRead => "spare_read",
+            IoPurpose::SpareInstall => "spare_install",
+            IoPurpose::Reconstruct => "reconstruct",
+            IoPurpose::Restore => "restore",
+        }
+    }
+}
+
 /// A local block device fault surfaced to a machine during I/O.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockFault;

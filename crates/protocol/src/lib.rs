@@ -29,6 +29,7 @@ pub mod client;
 pub mod effect;
 pub mod events;
 pub mod fasthash;
+pub mod obs;
 pub mod partition;
 pub mod server;
 pub mod trace;
@@ -37,6 +38,7 @@ pub mod wire;
 pub use client::{ClientErr, ClientIo, ClientMachine, SparePolicy};
 pub use effect::{BlockFault, Blocks, Dest, Effect, IoPurpose, MemBlocks};
 pub use events::FailureKind;
+pub use obs::{obs_event, ObsEvent};
 pub use partition::{classify, gate, Gate, PartitionVerdict};
 pub use server::{kind_from_content, CoalescePolicy, SiteMachine, SiteState, SpareKind, SpareSlot};
 pub use trace::{trace, TraceEntry};

@@ -187,6 +187,9 @@ pub struct SiteMachine {
     /// for its ack.
     parity_queue: FxHashMap<u64, VecDeque<QueuedUpdate>>,
     coalesce: CoalescePolicy,
+    /// Writes absorbed into an already-queued parity update under
+    /// [`CoalescePolicy::Merge`]; surfaced through the observability layer.
+    coalesced_merges: u64,
     /// In-flight requests by tag, for timer-driven retransmission.
     inflight: FxHashMap<u64, Inflight>,
     /// At-most-once reply cache; eviction order lives in `reply_order`.
@@ -212,6 +215,7 @@ impl SiteMachine {
             in_progress: FxHashSet::default(),
             parity_queue: FxHashMap::default(),
             coalesce: CoalescePolicy::Off,
+            coalesced_merges: 0,
             inflight: FxHashMap::default(),
             replies: FxHashMap::default(),
             reply_order: VecDeque::new(),
@@ -249,6 +253,12 @@ impl SiteMachine {
     /// The active coalescing policy.
     pub fn coalesce(&self) -> CoalescePolicy {
         self.coalesce
+    }
+
+    /// How many writes were XOR-merged into an already-queued parity update
+    /// (always 0 under [`CoalescePolicy::Off`]).
+    pub fn coalesced_merges(&self) -> u64 {
+        self.coalesced_merges
     }
 
     /// The UID stored with the block at `row`.
@@ -555,6 +565,7 @@ impl SiteMachine {
             back.mask = back.mask.merge(&mask);
             back.uid = uid;
             back.absorbed.push(ptag);
+            self.coalesced_merges += 1;
         } else {
             queue.push_back(QueuedUpdate {
                 tag: ptag,

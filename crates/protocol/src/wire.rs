@@ -228,6 +228,58 @@ pub enum MsgKind {
     SpareRows,
 }
 
+impl MsgKind {
+    /// Number of kinds; sizes dense per-kind counter arrays.
+    pub const COUNT: usize = 16;
+
+    /// Every kind, in [`MsgKind::index`] order.
+    pub const ALL: [MsgKind; MsgKind::COUNT] = [
+        MsgKind::Read,
+        MsgKind::Write,
+        MsgKind::ParityUpdate,
+        MsgKind::SpareProbe,
+        MsgKind::SpareInstall,
+        MsgKind::BlockRead,
+        MsgKind::SpareDrainList,
+        MsgKind::SpareTake,
+        MsgKind::RestoreBlock,
+        MsgKind::ReadOk,
+        MsgKind::WriteOk,
+        MsgKind::Ack,
+        MsgKind::Nack,
+        MsgKind::BlockData,
+        MsgKind::SpareState,
+        MsgKind::SpareRows,
+    ];
+
+    /// Dense index into a `[_; MsgKind::COUNT]` counter array.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short stable name, used as a metrics key and in text snapshots.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MsgKind::Read => "read",
+            MsgKind::Write => "write",
+            MsgKind::ParityUpdate => "parity_update",
+            MsgKind::SpareProbe => "spare_probe",
+            MsgKind::SpareInstall => "spare_install",
+            MsgKind::BlockRead => "block_read",
+            MsgKind::SpareDrainList => "spare_drain_list",
+            MsgKind::SpareTake => "spare_take",
+            MsgKind::RestoreBlock => "restore_block",
+            MsgKind::ReadOk => "read_ok",
+            MsgKind::WriteOk => "write_ok",
+            MsgKind::Ack => "ack",
+            MsgKind::Nack => "nack",
+            MsgKind::BlockData => "block_data",
+            MsgKind::SpareState => "spare_state",
+            MsgKind::SpareRows => "spare_rows",
+        }
+    }
+}
+
 impl Msg {
     /// The request/reply tag carried by every message.
     pub fn tag(&self) -> u64 {

@@ -28,6 +28,7 @@
 //! every platform.
 
 use radd_core::{CheckError, CheckedCluster, PartitionMap, RaddError, SiteState};
+use radd_obs::ObsSnapshot;
 use radd_sim::SimRng;
 use std::fmt;
 
@@ -330,6 +331,13 @@ pub trait FaultDriver {
 
     /// Wait/settle until no acknowledged work is still in flight.
     fn quiesce(&mut self) -> Result<(), String>;
+
+    /// Freeze the runtime's observability state (per-machine metrics and
+    /// flight-recorder tails) for embedding into a [`PlanFailure`]. The
+    /// default is `None` for drivers without an observability layer.
+    fn obs_snapshot(&mut self) -> Option<ObsSnapshot> {
+        None
+    }
 }
 
 /// A completed plan run.
@@ -346,7 +354,7 @@ pub struct PlanReport {
 }
 
 /// A plan run stopped by a violation (or an engine failure).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
 pub struct PlanFailure {
     /// The plan's seed — print this; it replays the failure.
     pub seed: u64,
@@ -356,6 +364,11 @@ pub struct PlanFailure {
     pub error: String,
     /// Event log up to and including the failing event.
     pub event_log: Vec<String>,
+    /// The driver's observability state at the moment of failure: per-
+    /// machine metric counters plus the last-N flight-recorder events —
+    /// what each machine was *doing* when the invariant broke, not just
+    /// what the harness asked of it.
+    pub obs: Option<ObsSnapshot>,
 }
 
 impl fmt::Display for PlanFailure {
@@ -369,6 +382,12 @@ impl fmt::Display for PlanFailure {
         for line in &self.event_log {
             writeln!(f, "  {line}")?;
         }
+        if let Some(obs) = &self.obs {
+            writeln!(f, "observability at failure (metrics + flight tails):")?;
+            for line in obs.render_text(8).lines() {
+                writeln!(f, "  {line}")?;
+            }
+        }
         write!(
             f,
             "replay: FaultPlan::generate({:#x}, &shape) with the same shape, \
@@ -380,6 +399,30 @@ impl fmt::Display for PlanFailure {
 
 impl std::error::Error for PlanFailure {}
 
+impl PlanFailure {
+    /// The failure as pretty-printed JSON — seed, failing event, event log
+    /// and the embedded observability snapshot — for machine consumption
+    /// (CI uploads these as workflow artifacts).
+    pub fn dump_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("infallible in-memory serialization")
+    }
+
+    /// Write [`dump_json`](PlanFailure::dump_json) to
+    /// `<dir>/<label>.json`, creating `dir` as needed. Returns the path.
+    /// Errors are returned, not panicked: dump writing runs on failure
+    /// paths that already carry a better panic message.
+    pub fn write_dump(
+        &self,
+        dir: &std::path::Path,
+        label: &str,
+    ) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{label}.json"));
+        std::fs::write(&path, self.dump_json())?;
+        Ok(path)
+    }
+}
+
 /// Execute `plan` against `driver`, checking invariants after every event.
 /// Ends with a quiesce + final check so in-flight work cannot hide a
 /// violation.
@@ -389,38 +432,61 @@ pub fn run_plan<D: FaultDriver>(
 ) -> Result<PlanReport, PlanFailure> {
     let mut log = Vec::with_capacity(plan.events.len());
     let mut checks = 0u64;
-    for (i, event) in plan.events.iter().enumerate() {
-        log.push(format!("[{i}] {event}"));
-        let fail = |error: String, log: &[String]| PlanFailure {
-            seed: plan.seed,
-            failed_at: i,
+    // Every failure path snapshots the driver's observability state, so the
+    // report shows what each machine was doing — not just what the harness
+    // asked of it.
+    fn fail<D: FaultDriver>(
+        driver: &mut D,
+        seed: u64,
+        failed_at: usize,
+        error: String,
+        log: &[String],
+    ) -> PlanFailure {
+        PlanFailure {
+            seed,
+            failed_at,
             error,
             event_log: log.to_vec(),
-        };
+            obs: driver.obs_snapshot(),
+        }
+    }
+    for (i, event) in plan.events.iter().enumerate() {
+        log.push(format!("[{i}] {event}"));
         if let Err(e) = driver.apply(event) {
-            return Err(fail(e, &log));
+            return Err(fail(driver, plan.seed, i, e, &log));
         }
         match driver.verify() {
             Ok(true) => checks += 1,
             Ok(false) => {}
-            Err(e) => return Err(fail(format!("invariant violated: {e}"), &log)),
+            Err(e) => {
+                return Err(fail(
+                    driver,
+                    plan.seed,
+                    i,
+                    format!("invariant violated: {e}"),
+                    &log,
+                ))
+            }
         }
     }
     let end = plan.events.len().saturating_sub(1);
-    let fail_end = |error: String, log: &[String]| PlanFailure {
-        seed: plan.seed,
-        failed_at: end,
-        error,
-        event_log: log.to_vec(),
-    };
     if let Err(e) = driver.quiesce() {
-        return Err(fail_end(format!("failed to quiesce: {e}"), &log));
+        return Err(fail(
+            driver,
+            plan.seed,
+            end,
+            format!("failed to quiesce: {e}"),
+            &log,
+        ));
     }
     match driver.verify() {
         Ok(true) => checks += 1,
         Ok(false) => {}
         Err(e) => {
-            return Err(fail_end(
+            return Err(fail(
+                driver,
+                plan.seed,
+                end,
                 format!("invariant violated at quiesce: {e}"),
                 &log,
             ))
@@ -564,6 +630,10 @@ impl FaultDriver for CheckedCluster {
         self.cluster_mut()
             .flush_parity()
             .map_err(|e| format!("parity flush: {e}"))
+    }
+
+    fn obs_snapshot(&mut self) -> Option<ObsSnapshot> {
+        self.cluster_mut().obs_snapshot()
     }
 }
 

@@ -9,14 +9,22 @@
 # meant to catch order-of-magnitude regressions (a copy reintroduced on
 # the write path, a kernel dispatch falling back to scalar), not jitter.
 #
+# A second gate holds the observability layer honest: the `_obs` bench
+# rows run the identical hot path with the metrics + flight-recorder tap
+# live, and each must stay within OBS_TOLERANCE (default 1.05 = 5%) of its
+# plain sibling *from the same run* — a ratio, so machine speed and CI
+# noise cancel out.
+#
 # Usage:
-#   scripts/bench_check.sh                # tolerance 2.0
+#   scripts/bench_check.sh                # tolerance 2.0, obs ratio 1.05
 #   BENCH_TOLERANCE=4.0 scripts/bench_check.sh
+#   OBS_TOLERANCE=1.10 scripts/bench_check.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TOLERANCE="${BENCH_TOLERANCE:-2.0}"
+OBS_TOLERANCE="${OBS_TOLERANCE:-1.05}"
 BASELINE=results/protocol_core_bench.json
 
 echo "== bench_check: protocol_core vs $BASELINE (tolerance x$TOLERANCE)"
@@ -43,4 +51,29 @@ for name in healthy_write_g8_4k parity_apply_g8_4k; do
         fail=1
     fi
 done
+
+echo "== bench_check: observability overhead (limit x$OBS_TOLERANCE, same-run ratio)"
+for name in healthy_write_g8_4k parity_apply_g8_4k; do
+    plain="$(echo "$OUT" | awk -v n="protocol_core/$name" '$2 == n { print $3 }')"
+    obs="$(echo "$OUT" | awk -v n="protocol_core/${name}_obs" '$2 == n { print $3 }')"
+    if [ -z "$plain" ] || [ -z "$obs" ]; then
+        echo "FAIL  ${name}_obs: bench row missing (plain='$plain' obs='$obs')" >&2
+        fail=1
+        continue
+    fi
+    if awk -v o="$obs" -v p="$plain" -v t="$OBS_TOLERANCE" 'BEGIN { exit !(o <= p * t) }'; then
+        echo "ok    ${name}_obs: $obs ns/iter vs $plain plain ($(awk -v o="$obs" -v p="$plain" 'BEGIN { printf "%.1f%%", (o / p - 1) * 100 }') overhead)"
+    else
+        echo "FAIL  ${name}_obs: $obs ns/iter vs $plain plain exceeds x$OBS_TOLERANCE" >&2
+        fail=1
+    fi
+done
+
+SNAPSHOT=target/obs_bench_snapshot.json
+if python3 -c "import json; s = json.load(open('$SNAPSHOT')); assert s['machines'], 'no machines'" 2>/dev/null; then
+    echo "ok    obs snapshot export: $SNAPSHOT parses and is non-empty"
+else
+    echo "FAIL  obs snapshot export: $SNAPSHOT missing or invalid" >&2
+    fail=1
+fi
 exit "$fail"

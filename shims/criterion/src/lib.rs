@@ -67,7 +67,7 @@ impl Bencher {
             self.measured = Some(Duration::ZERO);
             return;
         }
-        // Calibrate: grow the batch until it runs for at least ~5 ms.
+        // Calibrate: grow the batch until it runs for at least ~10 ms.
         let mut batch: u64 = 1;
         let batch_time = loop {
             let start = Instant::now();
@@ -75,14 +75,16 @@ impl Bencher {
                 black_box(f());
             }
             let t = start.elapsed();
-            if t >= Duration::from_millis(5) || batch >= 1 << 30 {
+            if t >= Duration::from_millis(10) || batch >= 1 << 30 {
                 break t;
             }
             batch *= 4;
         };
-        // Measure: a few batches, keep the best (least-noise) mean.
+        // Measure: several batches, keep the best (least-noise) mean. The
+        // minimum is the standard contention-resistant estimator — shared
+        // CPUs only ever add time, never subtract it.
         let mut best = batch_time;
-        for _ in 0..4 {
+        for _ in 0..8 {
             let start = Instant::now();
             for _ in 0..batch {
                 black_box(f());

@@ -112,7 +112,7 @@ fn generate(input: TokenStream) -> Result<String, String> {
                             }
                             f.push_str(&format!("::serde::Serialize::serialize_json({b}, out);\n"));
                         }
-                        f.push_str("out.push_str(\"]}}\");\n}\n");
+                        f.push_str("out.push_str(\"]}\");\n}\n");
                     }
                     Body::Named(fields) => {
                         f.push_str(&format!(
@@ -129,7 +129,7 @@ fn generate(input: TokenStream) -> Result<String, String> {
                                 "::serde::Serialize::serialize_json({field}, out);\n"
                             ));
                         }
-                        f.push_str("out.push_str(\"}}}}\");\n}\n");
+                        f.push_str("out.push_str(\"}}\");\n}\n");
                     }
                 }
             }

@@ -40,6 +40,7 @@
 //! | [`parity`] | XOR parity, change masks, page deltas, UIDs |
 //! | [`protocol`] | the sans-IO client/site machines both runtimes share |
 //! | [`core`] | the RADD cluster itself (§3) |
+//! | [`obs`] | metrics + flight recorder tapped off the shared effect stream |
 //! | [`schemes`] | ROWB, RAID-5, C-RAID, 2D-RADD, 1/2-RADD (§7) |
 //! | [`storage`] | WAL and no-overwrite storage managers (§3.4) |
 //! | [`txn`] | 2PL transactions, 2PC, the §6 commit optimisation |
@@ -54,6 +55,7 @@ pub use radd_core as core;
 pub use radd_layout as layout;
 pub use radd_net as net;
 pub use radd_node as node;
+pub use radd_obs as obs;
 pub use radd_parity as parity;
 pub use radd_protocol as protocol;
 pub use radd_reliability as reliability;
@@ -71,6 +73,7 @@ pub mod prelude {
     };
     pub use radd_layout::{assign_groups, Geometry, Role};
     pub use radd_node::{NodeCluster, ThreadedDriver};
+    pub use radd_obs::{MachineObs, MachineSnapshot, ObsSnapshot, DEFAULT_RING_CAP};
     pub use radd_reliability::{Environment, MonteCarlo, Scheme};
     pub use radd_schemes::{CRaid, FailureKind, Radd, Raid5, ReplicationScheme, Rowb, TwoDRadd};
     pub use radd_sim::{CostParams, OpCounts, SimRng};

@@ -65,6 +65,54 @@ fn parity_corruption_is_caught_with_a_replayable_report() {
     assert!(msg.contains("replay"), "replay instructions present: {msg}");
     // The event prefix up to the failure rides along, one line per event.
     assert_eq!(failure.event_log.len(), failure.failed_at + 1);
+
+    // The failure embeds the observability snapshot: per-machine metric
+    // counters plus each machine's last-N flight-recorder events. The plan
+    // ran real load first, so the recorders are warm.
+    let obs = failure
+        .obs
+        .as_ref()
+        .expect("the DES driver embeds an obs snapshot into every PlanFailure");
+    assert_eq!(
+        obs.machines.len(),
+        1 + cc.cluster().config().num_sites(),
+        "one machine entry for the client plus one per site"
+    );
+    assert!(
+        obs.total_flight_events() > 0,
+        "flight recorders captured protocol events"
+    );
+    for m in &obs.machines {
+        assert!(
+            m.flight.len() <= DEFAULT_RING_CAP,
+            "{}: the ring holds at most the last {DEFAULT_RING_CAP} events",
+            m.name
+        );
+    }
+    let client = obs.machine("client").expect("client machine present");
+    assert!(
+        client.metrics.sends_named("write") > 0,
+        "the plan's writes show up in the client's send counters"
+    );
+    assert!(
+        client.metrics.write_latency.count > 0,
+        "DES write latencies (logical ledger microseconds) were recorded"
+    );
+    assert!(
+        msg.contains("observability at failure"),
+        "the report renders the snapshot: {msg}"
+    );
+    // The machine-readable dump round-trips through JSON export, and
+    // write_dump lands it where CI's artifact upload looks. (Written on
+    // success too — it doubles as the sample dump EXPERIMENTS.md quotes.)
+    let json = failure.dump_json();
+    assert!(json.contains("\"flight\""), "dump carries flight events");
+    assert!(json.contains("\"retransmits\""), "dump carries metrics");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("target/fault_dumps");
+    let path = failure
+        .write_dump(&dir, "named_seed_parity_corruption")
+        .expect("dump written");
+    assert!(path.exists());
 }
 
 // ---------------------------------------------------------------------
