@@ -19,7 +19,7 @@ fn main() {
             r.scheme.to_string(),
             fmt_f(r.overhead * 100.0),
             fmt_f(r.paper_percent),
-            r.census_percent.map(fmt_f).unwrap_or_else(|| "—".into()),
+            r.census_percent.map_or_else(|| "—".into(), fmt_f),
         ]);
     }
     t.print();

@@ -17,11 +17,7 @@ fn main() {
     for r in &rows {
         let mut m = vec![r.row.label().to_string()];
         for c in &r.cells {
-            m.push(
-                c.as_ref()
-                    .map(|c| c.formula.clone())
-                    .unwrap_or_else(|| "-".into()),
-            );
+            m.push(c.as_ref().map_or_else(|| "-".into(), |c| c.formula.clone()));
         }
         measured.row(&m);
         let mut p = vec![r.row.label().to_string()];

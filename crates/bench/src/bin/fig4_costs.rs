@@ -13,11 +13,7 @@ fn main() {
     for r in &rows {
         let mut m = vec![r.row.label().to_string()];
         for c in &r.cells {
-            m.push(
-                c.as_ref()
-                    .map(|c| fmt_f(c.ms))
-                    .unwrap_or_else(|| "-".into()),
-            );
+            m.push(c.as_ref().map_or_else(|| "-".into(), |c| fmt_f(c.ms)));
         }
         measured.row(&m);
         let mut p = vec![r.row.label().to_string()];
@@ -25,7 +21,7 @@ fn main() {
             r.row
                 .paper_ms()
                 .iter()
-                .map(|v| v.map(fmt_f).unwrap_or_else(|| "-".into())),
+                .map(|v| v.map_or_else(|| "-".into(), fmt_f)),
         );
         paper.row(&p);
     }

@@ -22,11 +22,9 @@ fn main() {
             r.scheme.to_string(),
             fmt_f(r.paper_hours),
             fmt_f(r.formula_hours),
-            r.markov_hours.map(fmt_f).unwrap_or_else(|| "—".into()),
-            r.monte_carlo_hours.map(fmt_f).unwrap_or_else(|| "—".into()),
-            r.monte_carlo_stderr
-                .map(fmt_f)
-                .unwrap_or_else(|| "—".into()),
+            r.markov_hours.map_or_else(|| "—".into(), fmt_f),
+            r.monte_carlo_hours.map_or_else(|| "—".into(), fmt_f),
+            r.monte_carlo_stderr.map_or_else(|| "—".into(), fmt_f),
         ]);
     }
     t.print();

@@ -22,7 +22,7 @@ fn main() {
                 c.environment.to_string(),
                 paper,
                 fmt_f(c.model_years),
-                c.monte_carlo_years.map(fmt_f).unwrap_or_else(|| "—".into()),
+                c.monte_carlo_years.map_or_else(|| "—".into(), fmt_f),
             ]);
         }
         t.print();

@@ -347,8 +347,7 @@ mod tests {
                 let expected = deviations
                     .iter()
                     .find(|&&(row, c, _)| row == r.row && c == col)
-                    .map(|&(_, _, v)| Some(v))
-                    .unwrap_or(paper[col]);
+                    .map_or(paper[col], |&(_, _, v)| Some(v));
                 assert_eq!(measured, expected, "{:?} / {}", r.row, SCHEME_NAMES[col]);
             }
         }

@@ -19,6 +19,7 @@
 //!
 //! Criterion microbenches live in `benches/`.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

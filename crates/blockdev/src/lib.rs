@@ -15,6 +15,7 @@
 //! * [`checksum`] — a CRC-32 used by the WAL storage manager to detect torn
 //!   log records.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod array;

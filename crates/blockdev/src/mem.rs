@@ -42,10 +42,7 @@ impl MemDisk {
 
     /// True if the block has never been written (reads as zeros).
     pub fn is_untouched(&self, block: u64) -> bool {
-        self.blocks
-            .get(block as usize)
-            .map(|b| b.is_none())
-            .unwrap_or(true)
+        self.blocks.get(block as usize).is_none_or(|b| b.is_none())
     }
 
     fn zero_block(&self) -> Bytes {

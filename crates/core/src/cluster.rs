@@ -472,10 +472,10 @@ impl RaddCluster {
             for eff in out {
                 match eff {
                     Effect::Read { purpose, .. } => {
-                        self.charge_io_read(actor, background, d, purpose)
+                        self.charge_io_read(actor, background, d, purpose);
                     }
                     Effect::Write { purpose, .. } => {
-                        self.charge_io_write(actor, background, d, purpose)
+                        self.charge_io_write(actor, background, d, purpose);
                     }
                     Effect::Send {
                         to, msg: sm, wire, ..
@@ -808,8 +808,7 @@ impl RaddCluster {
                 .machine
                 .spares()
                 .get(&row)
-                .map(|s| s.for_site == owner)
-                .unwrap_or(false);
+                .is_some_and(|s| s.for_site == owner);
         if spare_slot_valid {
             self.charge_read(actor, spare_site);
             let content = self.sites[spare_site].read_block(row)?;
@@ -949,8 +948,7 @@ impl RaddCluster {
             .machine
             .spares()
             .get(&row)
-            .map(|s| s.for_site == site)
-            .unwrap_or(false);
+            .is_some_and(|s| s.for_site == site);
         if stale {
             self.sites[spare_site].machine.spares_mut().remove(&row);
             self.control_message();
@@ -1023,8 +1021,7 @@ impl RaddCluster {
             .machine
             .spares()
             .get(&row)
-            .map(|s| s.for_site == parity_site)
-            .unwrap_or(false);
+            .is_some_and(|s| s.for_site == parity_site);
         if !has_slot {
             if let Some(other) = self.sites[spare_site].machine.spares().get(&row) {
                 return Err(RaddError::MultipleFailure {
@@ -1426,9 +1423,9 @@ impl RaddCluster {
     pub fn verify_parity(&mut self) -> Result<(), String> {
         for row in 0..self.config.rows {
             let parity_site = self.geometry.parity_site(row);
-            let parity = match self.logical_content_by_row(parity_site, row) {
-                Ok(p) => p,
-                Err(_) => continue, // row not materialisable: skip
+            // Row not materialisable: skip.
+            let Ok(parity) = self.logical_content_by_row(parity_site, row) else {
+                continue;
             };
             let mut acc = vec![0u8; self.config.block_size];
             let mut ok = true;

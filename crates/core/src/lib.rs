@@ -35,6 +35,7 @@
 //! assert_eq!(receipt.counts.formula(), "R"); // Figure 3: no-failure read
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cluster;

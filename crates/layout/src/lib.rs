@@ -20,6 +20,7 @@
 //! algorithm that forms RADD groups out of sites with unequal numbers (and
 //! sizes) of disks.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod geometry;

@@ -124,7 +124,7 @@ impl Geometry {
     }
 
     /// The sites holding data blocks in row `K`, ascending (everything except
-    /// the parity and spare sites). These are the `G` blocks XORed together
+    /// the parity and spare sites). These are the `G` blocks `XORed` together
     /// by the paper's reconstruction formula (2).
     pub fn data_sites(&self, row: PhysRow) -> Vec<SiteId> {
         let p = self.parity_site(row);

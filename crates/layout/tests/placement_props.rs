@@ -60,7 +60,7 @@ proptest! {
             total += 1;
         }
         let a = total / width;
-        for c in counts.iter_mut() {
+        for c in &mut counts {
             if *c > a { *c = a; }
         }
         // Re-pad after clamping (clamping can break divisibility).

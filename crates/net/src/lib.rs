@@ -22,6 +22,7 @@
 //!   [`threaded::ReliableChannel`] retransmission tracker mirroring the
 //!   simulated one.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod link;

@@ -243,10 +243,10 @@ impl NetIo {
     /// reply arrives or the attempt budget is spent. All retried requests
     /// are idempotent at the receiver (see the module docs). A closed
     /// channel fails immediately — no answer can ever arrive on it.
-    fn request(&mut self, site: usize, msg: Msg) -> Option<Msg> {
+    fn request(&mut self, site: usize, msg: &Msg) -> Option<Msg> {
         let tag = msg.tag();
         for k in 0..self.attempts {
-            if self.send_attempt(site, &msg, k > 0) == SendResult::Closed {
+            if self.send_attempt(site, msg, k > 0) == SendResult::Closed {
                 return self.take_stashed(tag);
             }
             if let Some(reply) = self.wait(tag, self.attempt_window(k)) {
@@ -259,7 +259,7 @@ impl NetIo {
 
 impl ClientIo for NetIo {
     fn exchange(&mut self, site: usize, msg: Msg, _background: bool) -> Result<Msg, ClientErr> {
-        self.request(site, msg).ok_or(ClientErr::Timeout { site })
+        self.request(site, &msg).ok_or(ClientErr::Timeout { site })
     }
 
     /// Pipelined batch: every request goes on the wire before any reply is
@@ -468,7 +468,7 @@ impl NodeClient {
                     continue;
                 }
                 let tag = self.oracle_tag();
-                match self.io.request(s, Msg::BlockRead { row, tag }) {
+                match self.io.request(s, &Msg::BlockRead { row, tag }) {
                     Some(Msg::BlockData { data, .. }) => {
                         if s == parity_site {
                             parity = data.to_vec();
@@ -642,7 +642,7 @@ mod tests {
         let mut io = NetIo::new(io_ep, 1);
         io.attempt_timeout = Duration::from_millis(200);
         let started = Instant::now();
-        let reply = io.request(0, Msg::BlockRead { row: 0, tag: 1 });
+        let reply = io.request(0, &Msg::BlockRead { row: 0, tag: 1 });
         let elapsed = started.elapsed();
         assert!(reply.is_none());
         assert!(

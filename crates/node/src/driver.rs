@@ -183,6 +183,15 @@ impl FaultDriver for ThreadedDriver {
                 Ok(())
             }
             FaultEvent::FlushParity => FaultDriver::quiesce(self),
+            // Checker-granularity events address the model checker's
+            // explicit in-flight message vector; the threaded runtime's
+            // real channels are not event-addressable.
+            FaultEvent::StepClient { .. }
+            | FaultEvent::Deliver { .. }
+            | FaultEvent::DropMsg { .. }
+            | FaultEvent::DupMsg { .. }
+            | FaultEvent::FireTimer { .. }
+            | FaultEvent::EvictReplies { .. } => Ok(()),
         }
     }
 

@@ -47,6 +47,7 @@
 //! cluster.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
@@ -131,7 +132,7 @@ impl NodeCluster {
                 coalesce,
             };
             handles.push(std::thread::spawn(move || {
-                site::run_site(cfg, ep, ctl_rx);
+                site::run_site(cfg, &ep, &ctl_rx);
             }));
         }
         let main_client = NodeClient::new(client_eps.remove(0), ep_base, g, rows, block_size);

@@ -163,7 +163,7 @@ impl SiteDriver {
 }
 
 /// Run the site event loop until shutdown.
-pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Control>) {
+pub fn run_site(cfg: SiteConfig, ep: &ThreadedEndpoint<Msg>, control: &Receiver<Control>) {
     let mut machine = SiteMachine::new(cfg.site, cfg.group_size, cfg.rows, cfg.block_size);
     machine.set_coalesce(cfg.coalesce);
     let mut st = SiteDriver {
@@ -212,11 +212,10 @@ pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Co
             }
         }
         if !st.down {
-            st.fire_due_timers(&ep);
+            st.fire_due_timers(ep);
         }
-        let inbound = match ep.recv_timeout(Duration::from_millis(20)) {
-            Ok(m) => m,
-            Err(_) => continue,
+        let Ok(inbound) = ep.recv_timeout(Duration::from_millis(20)) else {
+            continue;
         };
         // A down site answers nothing, and its own pending acks never
         // arrive either — exactly a crashed process from the network's
@@ -227,6 +226,6 @@ pub fn run_site(cfg: SiteConfig, ep: ThreadedEndpoint<Msg>, control: Receiver<Co
         let mut out = Vec::new();
         st.machine
             .handle(&mut st.blocks, inbound.src, inbound.payload, &mut out);
-        st.interpret(&ep, out);
+        st.interpret(ep, out);
     }
 }

@@ -13,11 +13,13 @@ const BLOCK: usize = 64;
 
 /// Panic with the report, leaving a machine-readable dump (metrics +
 /// flight-recorder tails) under `target/fault_dumps/` for CI to upload.
-fn dump_and_panic(context: &str, failure: PlanFailure) -> ! {
+fn dump_and_panic(context: &str, failure: &PlanFailure) -> ! {
     let dumped = failure
         .write_dump(std::path::Path::new("target/fault_dumps"), context)
-        .map(|p| p.display().to_string())
-        .unwrap_or_else(|e| format!("<dump failed: {e}>"));
+        .map_or_else(
+            |e| format!("<dump failed: {e}>"),
+            |p| p.display().to_string(),
+        );
     panic!("{context} (dump: {dumped}):\n{failure}")
 }
 
@@ -27,7 +29,7 @@ fn named_seed_plan_completes_on_the_threaded_runtime() {
     let plan = FaultPlan::generate(seed_from_name("0xRADD0001"), &shape);
     let mut driver = ThreadedDriver::start(shape.group_size, shape.rows, BLOCK);
     let report =
-        run_plan(&mut driver, &plan).unwrap_or_else(|f| dump_and_panic("threaded-named-seed", f));
+        run_plan(&mut driver, &plan).unwrap_or_else(|f| dump_and_panic("threaded-named-seed", &f));
     assert_eq!(report.applied, plan.events.len());
     assert!(
         report.invariant_checks > 0,
@@ -98,7 +100,7 @@ fn loss_burst_and_partition_converge_via_retransmission() {
     ]);
     let mut driver = ThreadedDriver::start(4, 12, BLOCK);
     let report =
-        run_plan(&mut driver, &plan).unwrap_or_else(|f| dump_and_panic("threaded-loss-burst", f));
+        run_plan(&mut driver, &plan).unwrap_or_else(|f| dump_and_panic("threaded-loss-burst", &f));
     assert!(report.invariant_checks > 0);
     // The satellite assertion: after the plan's final quiesce, every
     // site's ReliableChannel reports all_acked — retry/backoff drained
@@ -154,7 +156,7 @@ fn quiesce_reports_all_acked_even_after_heavy_loss() {
     events.push(FlushParity);
     let plan = FaultPlan::from_events(events);
     let mut driver = ThreadedDriver::start(4, 12, BLOCK);
-    run_plan(&mut driver, &plan).unwrap_or_else(|f| dump_and_panic("threaded-heavy-loss", f));
+    run_plan(&mut driver, &plan).unwrap_or_else(|f| dump_and_panic("threaded-heavy-loss", &f));
     assert!(driver.cluster().all_acked());
     driver.shutdown();
 }

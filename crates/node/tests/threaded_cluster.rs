@@ -122,7 +122,7 @@ fn concurrent_clients_on_distinct_blocks_stay_consistent() {
     // Two real client threads hammer different blocks concurrently; the
     // sites serialise their own disks and the parity stream stays
     // consistent because each data site computes its masks serially.
-    let (mut cluster, mut extra) = radd_node::NodeCluster::start_multi(4, 12, BLOCK, 2);
+    let (mut cluster, mut extra) = NodeCluster::start_multi(4, 12, BLOCK, 2);
     let mut other = extra.remove(0);
     let writer = std::thread::spawn(move || {
         for round in 0..20u8 {
@@ -165,7 +165,7 @@ fn concurrent_clients_same_parity_site_interleave_safely() {
     // All writes in one physical row share a parity site; two clients
     // writing different data blocks of the same row exercise interleaved
     // parity updates at that one site. The stripe must stay consistent.
-    let (mut cluster, mut extra) = radd_node::NodeCluster::start_multi(4, 12, BLOCK, 2);
+    let (mut cluster, mut extra) = NodeCluster::start_multi(4, 12, BLOCK, 2);
     let mut other = extra.remove(0);
     // Row 0: data sites are 2, 3, 4, 5 (parity 0, spare 1); indices 0 at
     // each of those sites map to row 0.

@@ -30,6 +30,7 @@
 //! deterministic receipts stay byte-identical with observability enabled.
 //! The threaded runtime records wall-clock nanoseconds.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod metrics;

@@ -53,7 +53,7 @@ impl HistogramSnapshot {
                 return b.hi;
             }
         }
-        self.buckets.last().map(|b| b.hi).unwrap_or(0)
+        self.buckets.last().map_or(0, |b| b.hi)
     }
 
     /// Mean of recorded values, or 0 when empty.
@@ -105,10 +105,7 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     fn named(&self, rows: &[NamedCount], key: &str) -> u64 {
-        rows.iter()
-            .find(|r| r.name == key)
-            .map(|r| r.n)
-            .unwrap_or(0)
+        rows.iter().find(|r| r.name == key).map_or(0, |r| r.n)
     }
 
     /// Sends of the named kind (see [`radd_protocol::MsgKind::name`]).

@@ -137,7 +137,7 @@ pub fn xor2_scalar(dst: &mut [u8], src: &[u8]) {
     }
 }
 
-/// Portable fold: one pass over `dst`, XORing every source word in before
+/// Portable fold: one pass over `dst`, `XORing` every source word in before
 /// the store.
 #[inline]
 pub fn fold_scalar(dst: &mut [u8], sources: &[&[u8]]) {
@@ -170,14 +170,21 @@ pub fn fold_scalar(dst: &mut [u8], sources: &[&[u8]]) {
 #[inline]
 unsafe fn xor2_avx2(dst: &mut [u8], src: &[u8]) {
     use std::arch::x86_64::*;
+    debug_assert_eq!(dst.len(), src.len());
     let lanes = dst.len() / 32 * 32;
     let dp = dst.as_mut_ptr();
     let sp = src.as_ptr();
     let mut off = 0;
     while off < lanes {
-        let a = _mm256_loadu_si256(dp.add(off) as *const __m256i);
-        let b = _mm256_loadu_si256(sp.add(off) as *const __m256i);
-        _mm256_storeu_si256(dp.add(off) as *mut __m256i, _mm256_xor_si256(a, b));
+        // SAFETY: `off + 32 <= lanes <= dst.len() == src.len()`, so every
+        // 32-byte access stays inside its slice; the unaligned `loadu`/
+        // `storeu` forms carry no alignment requirement; `dst` and `src`
+        // cannot alias (`&mut` vs `&`).
+        unsafe {
+            let a = _mm256_loadu_si256(dp.add(off).cast::<__m256i>());
+            let b = _mm256_loadu_si256(sp.add(off).cast::<__m256i>());
+            _mm256_storeu_si256(dp.add(off).cast::<__m256i>(), _mm256_xor_si256(a, b));
+        }
         off += 32;
     }
     xor2_scalar(&mut dst[lanes..], &src[lanes..]);
@@ -188,14 +195,20 @@ unsafe fn xor2_avx2(dst: &mut [u8], src: &[u8]) {
 #[inline]
 unsafe fn xor2_sse2(dst: &mut [u8], src: &[u8]) {
     use std::arch::x86_64::*;
+    debug_assert_eq!(dst.len(), src.len());
     let lanes = dst.len() / 16 * 16;
     let dp = dst.as_mut_ptr();
     let sp = src.as_ptr();
     let mut off = 0;
     while off < lanes {
-        let a = _mm_loadu_si128(dp.add(off) as *const __m128i);
-        let b = _mm_loadu_si128(sp.add(off) as *const __m128i);
-        _mm_storeu_si128(dp.add(off) as *mut __m128i, _mm_xor_si128(a, b));
+        // SAFETY: `off + 16 <= lanes <= dst.len() == src.len()`, so every
+        // 16-byte access stays inside its slice; `loadu`/`storeu` need no
+        // alignment; `dst` and `src` cannot alias (`&mut` vs `&`).
+        unsafe {
+            let a = _mm_loadu_si128(dp.add(off).cast::<__m128i>());
+            let b = _mm_loadu_si128(sp.add(off).cast::<__m128i>());
+            _mm_storeu_si128(dp.add(off).cast::<__m128i>(), _mm_xor_si128(a, b));
+        }
         off += 16;
     }
     xor2_scalar(&mut dst[lanes..], &src[lanes..]);
@@ -206,15 +219,23 @@ unsafe fn xor2_sse2(dst: &mut [u8], src: &[u8]) {
 #[inline]
 unsafe fn fold_avx2(dst: &mut [u8], sources: &[&[u8]]) {
     use std::arch::x86_64::*;
+    debug_assert!(sources.iter().all(|s| s.len() == dst.len()));
     let lanes = dst.len() / 32 * 32;
     let dp = dst.as_mut_ptr();
     let mut off = 0;
     while off < lanes {
-        let mut v = _mm256_loadu_si256(dp.add(off) as *const __m256i);
-        for s in sources {
-            v = _mm256_xor_si256(v, _mm256_loadu_si256(s.as_ptr().add(off) as *const __m256i));
+        // SAFETY: `off + 32 <= lanes <= dst.len()` and every source has
+        // `dst`'s length (asserted above, guaranteed by `crate::xor_fold`),
+        // so all 32-byte accesses stay in bounds; `loadu`/`storeu` need no
+        // alignment; the sources are shared borrows and cannot alias the
+        // `&mut dst`.
+        unsafe {
+            let mut v = _mm256_loadu_si256(dp.add(off).cast::<__m256i>());
+            for s in sources {
+                v = _mm256_xor_si256(v, _mm256_loadu_si256(s.as_ptr().add(off).cast::<__m256i>()));
+            }
+            _mm256_storeu_si256(dp.add(off).cast::<__m256i>(), v);
         }
-        _mm256_storeu_si256(dp.add(off) as *mut __m256i, v);
         off += 32;
     }
     fold_tail(dst, sources, lanes);
@@ -225,15 +246,23 @@ unsafe fn fold_avx2(dst: &mut [u8], sources: &[&[u8]]) {
 #[inline]
 unsafe fn fold_sse2(dst: &mut [u8], sources: &[&[u8]]) {
     use std::arch::x86_64::*;
+    debug_assert!(sources.iter().all(|s| s.len() == dst.len()));
     let lanes = dst.len() / 16 * 16;
     let dp = dst.as_mut_ptr();
     let mut off = 0;
     while off < lanes {
-        let mut v = _mm_loadu_si128(dp.add(off) as *const __m128i);
-        for s in sources {
-            v = _mm_xor_si128(v, _mm_loadu_si128(s.as_ptr().add(off) as *const __m128i));
+        // SAFETY: `off + 16 <= lanes <= dst.len()` and every source has
+        // `dst`'s length (asserted above, guaranteed by `crate::xor_fold`),
+        // so all 16-byte accesses stay in bounds; `loadu`/`storeu` need no
+        // alignment; the sources are shared borrows and cannot alias the
+        // `&mut dst`.
+        unsafe {
+            let mut v = _mm_loadu_si128(dp.add(off).cast::<__m128i>());
+            for s in sources {
+                v = _mm_xor_si128(v, _mm_loadu_si128(s.as_ptr().add(off).cast::<__m128i>()));
+            }
+            _mm_storeu_si128(dp.add(off).cast::<__m128i>(), v);
         }
-        _mm_storeu_si128(dp.add(off) as *mut __m128i, v);
         off += 16;
     }
     fold_tail(dst, sources, lanes);
@@ -248,14 +277,20 @@ unsafe fn fold_sse2(dst: &mut [u8], sources: &[&[u8]]) {
 #[inline]
 unsafe fn xor2_neon(dst: &mut [u8], src: &[u8]) {
     use std::arch::aarch64::*;
+    debug_assert_eq!(dst.len(), src.len());
     let lanes = dst.len() / 16 * 16;
     let dp = dst.as_mut_ptr();
     let sp = src.as_ptr();
     let mut off = 0;
     while off < lanes {
-        let a = vld1q_u8(dp.add(off) as *const u8);
-        let b = vld1q_u8(sp.add(off));
-        vst1q_u8(dp.add(off), veorq_u8(a, b));
+        // SAFETY: `off + 16 <= lanes <= dst.len() == src.len()`, so every
+        // 16-byte access stays inside its slice; `vld1q`/`vst1q` are
+        // byte-aligned; `dst` and `src` cannot alias (`&mut` vs `&`).
+        unsafe {
+            let a = vld1q_u8(dp.add(off).cast_const());
+            let b = vld1q_u8(sp.add(off));
+            vst1q_u8(dp.add(off), veorq_u8(a, b));
+        }
         off += 16;
     }
     xor2_scalar(&mut dst[lanes..], &src[lanes..]);
@@ -266,15 +301,23 @@ unsafe fn xor2_neon(dst: &mut [u8], src: &[u8]) {
 #[inline]
 unsafe fn fold_neon(dst: &mut [u8], sources: &[&[u8]]) {
     use std::arch::aarch64::*;
+    debug_assert!(sources.iter().all(|s| s.len() == dst.len()));
     let lanes = dst.len() / 16 * 16;
     let dp = dst.as_mut_ptr();
     let mut off = 0;
     while off < lanes {
-        let mut v = vld1q_u8(dp.add(off) as *const u8);
-        for s in sources {
-            v = veorq_u8(v, vld1q_u8(s.as_ptr().add(off)));
+        // SAFETY: `off + 16 <= lanes <= dst.len()` and every source has
+        // `dst`'s length (asserted above, guaranteed by `crate::xor_fold`),
+        // so all 16-byte accesses stay in bounds; `vld1q`/`vst1q` are
+        // byte-aligned; the sources are shared borrows and cannot alias
+        // the `&mut dst`.
+        unsafe {
+            let mut v = vld1q_u8(dp.add(off).cast_const());
+            for s in sources {
+                v = veorq_u8(v, vld1q_u8(s.as_ptr().add(off)));
+            }
+            vst1q_u8(dp.add(off), v);
         }
-        vst1q_u8(dp.add(off), v);
         off += 16;
     }
     fold_tail(dst, sources, lanes);

@@ -20,6 +20,10 @@
 //!   array used for consistency validation (§3.3).
 //! * [`stripe`] — reconstruction with UID validation and retry.
 
+// The SIMD kernels are this workspace's only unsafe code; every unsafe
+// operation inside them must sit in its own `unsafe {}` block with a
+// `// SAFETY:` justification (audited in `kernels`).
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod delta;

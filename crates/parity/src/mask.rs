@@ -129,7 +129,7 @@ fn word(chunk: &[u8]) -> u64 {
 impl ChangeMask {
     /// Compute the mask between `old` and `new` (equal lengths required) in
     /// one fused scan: equal regions are skipped a word at a time and span
-    /// payloads are XORed straight into the mask's buffer — no intermediate
+    /// payloads are `XORed` straight into the mask's buffer — no intermediate
     /// dense block is materialised.
     pub fn diff(old: &[u8], new: &[u8]) -> ChangeMask {
         assert_eq!(
@@ -301,7 +301,7 @@ impl ChangeMask {
     }
 
     /// Apply an [`encode`]d mask straight off the wire: `target ^= mask`
-    /// with the span payloads XORed directly from `buf` — no intermediate
+    /// with the span payloads `XORed` directly from `buf` — no intermediate
     /// [`ChangeMask`] and no payload copy. Returns `None` (with `target`
     /// untouched) on malformed input or a block-length mismatch; the
     /// validation walk runs fully before the first XOR so a bad message
@@ -388,7 +388,7 @@ mod tests {
         let mut new = old.clone();
         new[100..110].copy_from_slice(b"0123456789");
         let mask = ChangeMask::diff(&old, &new);
-        let mut got = old.clone();
+        let mut got = old;
         mask.apply(&mut got);
         assert_eq!(got, new);
     }
@@ -498,7 +498,7 @@ mod tests {
         let wire = mask.encode();
         let back = ChangeMask::decode(&wire).unwrap();
         assert_eq!(back, mask);
-        let mut buf = old.clone();
+        let mut buf = old;
         back.apply(&mut buf);
         assert_eq!(buf, new);
     }
@@ -514,7 +514,7 @@ mod tests {
         let wire = ChangeMask::diff(&old, &new).encode();
         let mut via_decode = old.clone();
         ChangeMask::decode(&wire).unwrap().apply(&mut via_decode);
-        let mut via_wire = old.clone();
+        let mut via_wire = old;
         ChangeMask::apply_wire(&wire, &mut via_wire).unwrap();
         assert_eq!(via_wire, via_decode);
         assert_eq!(via_wire, new);

@@ -61,7 +61,7 @@ pub fn reconstruct(survivors: &[StripeRead], parity: &[u8]) -> Vec<u8> {
 }
 
 /// Validated reconstruction (§3.3): check every survivor's UID against the
-/// parity block's UID array before XORing. On mismatch the caller must
+/// parity block's UID array before `XORing`. On mismatch the caller must
 /// re-read the stripe and try again.
 pub fn reconstruct_validated(
     survivors: &[StripeRead],

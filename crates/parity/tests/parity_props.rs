@@ -43,7 +43,7 @@ proptest! {
     #[test]
     fn mask_diff_apply(old in arb_block(200), new in arb_block(200)) {
         let mask = ChangeMask::diff(&old, &new);
-        let mut buf = old.clone();
+        let mut buf = old;
         mask.apply(&mut buf);
         prop_assert_eq!(buf, new);
     }
@@ -151,7 +151,7 @@ proptest! {
         edit.apply(&mut direct);
         prop_assert_eq!(direct.len(), page.len());
         let mask = edit.to_change_mask(&page);
-        let mut via = page.clone();
+        let mut via = page;
         mask.apply(&mut via);
         prop_assert_eq!(via, direct);
     }

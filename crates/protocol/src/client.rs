@@ -151,7 +151,7 @@ pub trait ClientIo {
 }
 
 /// The client-side state machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ClientMachine {
     geo: Geometry,
     block_size: usize,
@@ -219,6 +219,14 @@ impl ClientMachine {
     fn tag(&mut self) -> u64 {
         self.next_tag += 1;
         self.next_tag
+    }
+
+    /// Mint a request tag from this client's namespace, for drivers that
+    /// put a request on the wire themselves (the model checker's
+    /// event-granular healthy writes) and must not collide with tags the
+    /// machine mints for its own exchanges.
+    pub fn mint_tag(&mut self) -> u64 {
+        self.tag()
     }
 
     fn send(
@@ -752,5 +760,17 @@ impl ClientMachine {
             }
         }
         Ok(drained)
+    }
+}
+
+impl crate::check::Checkable for ClientMachine {
+    /// Only the believed-down list is observable, varying state: the
+    /// geometry/policy fields are static configuration, `uid_gen` and
+    /// `next_tag` are generator positions erased by renaming, and `trace`
+    /// is diagnostic.
+    fn canon(&self, c: &mut crate::check::Canonicalizer) {
+        for flag in &self.down {
+            c.raw(flag);
+        }
     }
 }

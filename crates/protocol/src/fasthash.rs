@@ -2,7 +2,7 @@
 //!
 //! Every healthy write touches the pending/inflight/reply tables several
 //! times, all keyed by small integers (tags, rows, peer ids). The standard
-//! library's default SipHash is DoS-resistant but costs more than the
+//! library's default `SipHash` is DoS-resistant but costs more than the
 //! lookup itself for such keys; this hasher — the well-known `FxHash`
 //! scheme from the Firefox/rustc codebases — is a rotate, an XOR, and a
 //! multiply per word. Keys here are protocol-internal (never

@@ -23,18 +23,26 @@
 //! retransmission timers. A differential test drives both with the same
 //! workload and asserts identical normalised effect traces.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod client;
 pub mod effect;
 pub mod events;
 pub mod fasthash;
+#[cfg(feature = "mutations")]
+pub mod mutations;
 pub mod obs;
 pub mod partition;
 pub mod server;
 pub mod trace;
 pub mod wire;
 
+pub use check::{
+    check_spare_freshness, check_spare_structure, check_stripe_parity, check_uid_agreement,
+    Canonicalizer, Checkable,
+};
 pub use client::{ClientErr, ClientIo, ClientMachine, SparePolicy};
 pub use effect::{BlockFault, Blocks, Dest, Effect, IoPurpose, MemBlocks};
 pub use events::FailureKind;

@@ -113,4 +113,140 @@ mod tests {
         assert_eq!(v, PartitionVerdict::MustBlock);
         assert_eq!(gate(&v, None), Gate::Blocked);
     }
+
+    /// Compact verdict expectation for the classification table.
+    #[derive(Debug, PartialEq, Eq)]
+    enum Want {
+        Connected,
+        Isolated(usize),
+        Block,
+    }
+
+    fn want_of(v: &PartitionVerdict) -> Want {
+        match v {
+            PartitionVerdict::Connected => Want::Connected,
+            PartitionVerdict::SingleFailureLike { isolated, .. } => Want::Isolated(*isolated),
+            PartitionVerdict::MustBlock => Want::Block,
+        }
+    }
+
+    #[test]
+    fn classification_table() {
+        // (description, G, site→group assignment, expected verdict)
+        let table: &[(&str, usize, Vec<u32>, Want)] = &[
+            ("all connected, G=2", 2, vec![0, 0, 0, 0], Want::Connected),
+            (
+                "one label for everyone is connected whatever the label",
+                2,
+                vec![7, 7, 7, 7],
+                Want::Connected,
+            ),
+            (
+                "first site isolated, G=2",
+                2,
+                vec![1, 0, 0, 0],
+                Want::Isolated(0),
+            ),
+            (
+                "middle site isolated, G=2",
+                2,
+                vec![0, 0, 9, 0],
+                Want::Isolated(2),
+            ),
+            (
+                "last site isolated, G=2",
+                2,
+                vec![0, 0, 0, 3],
+                Want::Isolated(3),
+            ),
+            ("even tie blocks, G=2", 2, vec![0, 0, 1, 1], Want::Block),
+            (
+                "majority vs two-site minority blocks, G=2",
+                2,
+                vec![0, 1, 0, 1],
+                Want::Block,
+            ),
+            (
+                "three-way split blocks even with a singleton, G=2",
+                2,
+                vec![0, 1, 2, 0],
+                Want::Block,
+            ),
+            (
+                "single isolated, G=8",
+                8,
+                vec![0, 0, 0, 0, 1, 0, 0, 0, 0, 0],
+                Want::Isolated(4),
+            ),
+            (
+                "five-five tie blocks, G=8",
+                8,
+                vec![0, 0, 0, 0, 0, 1, 1, 1, 1, 1],
+                Want::Block,
+            ),
+            (
+                "eight-two split blocks, G=8",
+                8,
+                vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1],
+                Want::Block,
+            ),
+            (
+                "fully shattered blocks, G=2",
+                2,
+                vec![0, 1, 2, 3],
+                Want::Block,
+            ),
+        ];
+        for (what, g, groups, want) in table {
+            let got = want_of(&classify(groups, *g));
+            assert_eq!(got, *want, "{what}: classify({groups:?}, G={g})");
+        }
+    }
+
+    #[test]
+    fn gate_table() {
+        let isolated_2 = classify(&[0, 0, 1, 0], 2);
+        let blocked = classify(&[0, 0, 1, 1], 2);
+        // (description, verdict, actor, expected gate)
+        let table: &[(&str, &PartitionVerdict, Option<usize>, Gate)] = &[
+            (
+                "external client rides the majority",
+                &isolated_2,
+                None,
+                Gate::Proceed,
+            ),
+            (
+                "majority-side actor proceeds",
+                &isolated_2,
+                Some(0),
+                Gate::Proceed,
+            ),
+            (
+                // The believed-down edge the client gate relies on: the
+                // very site the majority treats as down is exactly the one
+                // that must cease processing — its own operations are
+                // refused even though, from its own vantage point, it is
+                // healthy and *everyone else* looks down.
+                "the isolated (believed-down) site itself must cease",
+                &isolated_2,
+                Some(2),
+                Gate::ActorIsolated { site: 2 },
+            ),
+            (
+                "another minority shape blocks everyone, external included",
+                &blocked,
+                None,
+                Gate::Blocked,
+            ),
+            (
+                "another minority shape blocks majority members too",
+                &blocked,
+                Some(0),
+                Gate::Blocked,
+            ),
+        ];
+        for (what, verdict, actor, want) in table {
+            assert_eq!(gate(verdict, *actor), *want, "{what}");
+        }
+    }
 }

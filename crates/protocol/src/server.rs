@@ -164,7 +164,7 @@ struct Inflight {
 const REPLY_CACHE_CAP: usize = 1024;
 
 /// The per-site server machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SiteMachine {
     site: usize,
     geo: Geometry,
@@ -337,6 +337,32 @@ impl SiteMachine {
         self.inflight.is_empty() && self.pending.is_empty()
     }
 
+    /// Every in-flight (launched, unacked) parity update, as
+    /// `(row, tag, uid, to)`. The model checker's at-most-one-writer
+    /// invariant scans these against the messages still on the wire.
+    pub fn inflight_updates(&self) -> Vec<(u64, u64, Uid, usize)> {
+        let mut v: Vec<(u64, u64, Uid, usize)> = self
+            .inflight
+            .values()
+            .filter_map(|inf| match &inf.msg {
+                Msg::ParityUpdate { row, uid, tag, .. } => Some((*row, *tag, *uid, inf.to)),
+                _ => None,
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drop every cached at-most-once reply, as if the LRU cap had aged
+    /// the whole cache out. The model checker uses this to exercise the
+    /// §3.2 idempotence guard that backstops the cache: a duplicate
+    /// arriving *after* eviction re-executes the handler, and only the
+    /// UID check stops a parity mask from being applied twice.
+    pub fn evict_replies(&mut self) {
+        self.replies.clear();
+        self.reply_order.clear();
+    }
+
     /// Forget everything a site disaster loses: block UIDs, parity arrays,
     /// spare slots; every row becomes invalid.
     pub fn forget_all(&mut self) {
@@ -422,14 +448,14 @@ impl SiteMachine {
         }
         match msg {
             Msg::Read { index, tag } => self.on_read(blocks, src, index, tag, out),
-            Msg::Write { index, data, tag } => self.on_write(blocks, src, index, data, tag, out),
+            Msg::Write { index, data, tag } => self.on_write(blocks, src, index, &data, tag, out),
             Msg::ParityUpdate {
                 row,
                 mask_wire,
                 uid,
                 from_site,
                 tag,
-            } => self.on_parity_update(blocks, src, row, mask_wire, uid, from_site, tag, out),
+            } => self.on_parity_update(blocks, src, row, &mask_wire, uid, from_site, tag, out),
             Msg::Ack { tag } => self.on_ack(src, tag, out),
             Msg::SpareProbe {
                 row,
@@ -442,7 +468,7 @@ impl SiteMachine {
                 data,
                 content,
                 tag,
-            } => self.on_spare_install(blocks, src, row, for_site, data, content, tag, out),
+            } => self.on_spare_install(blocks, src, row, for_site, data, &content, tag, out),
             Msg::BlockRead { row, tag } => self.on_block_read(blocks, src, row, tag, out),
             Msg::SpareDrainList { for_site, tag } => {
                 let rows: Vec<u64> = self
@@ -457,7 +483,13 @@ impl SiteMachine {
                 // Idempotent invalidation: acked even if the slot is
                 // already gone (the drain restored the block first, so a
                 // lost ack costs nothing).
-                self.spares.remove(&row);
+                #[cfg(feature = "mutations")]
+                let take = !crate::mutations::is(crate::mutations::Mutation::SpareNoInvalidate);
+                #[cfg(not(feature = "mutations"))]
+                let take = true;
+                if take {
+                    self.spares.remove(&row);
+                }
                 self.reply(out, src, tag, Msg::Ack { tag });
             }
             Msg::RestoreBlock {
@@ -465,7 +497,7 @@ impl SiteMachine {
                 data,
                 content,
                 tag,
-            } => self.on_restore(blocks, src, row, data, content, tag, out),
+            } => self.on_restore(blocks, src, row, data, &content, tag, out),
             // Replies that reach a site outside its pending table are stale
             // (e.g. an ack for a write whose site restarted): drop them.
             Msg::ReadOk { .. }
@@ -492,9 +524,8 @@ impl SiteMachine {
         if self.invalid_rows.contains(&row) {
             return self.nack(out, src, tag, NackReason::Unavailable);
         }
-        let data = match blocks.read(row) {
-            Ok(d) => d,
-            Err(_) => return self.nack(out, src, tag, NackReason::Unavailable),
+        let Ok(data) = blocks.read(row) else {
+            return self.nack(out, src, tag, NackReason::Unavailable);
         };
         out.push(Effect::Read {
             row,
@@ -509,7 +540,7 @@ impl SiteMachine {
         blocks: &mut dyn Blocks,
         src: usize,
         index: u64,
-        data: Bytes,
+        data: &Bytes,
         tag: u64,
         out: &mut Vec<Effect>,
     ) {
@@ -521,9 +552,8 @@ impl SiteMachine {
         }
         let row = self.geo.data_to_physical(self.site, index);
         // W2: old value from the "buffer pool" — our own storage.
-        let old = match blocks.read(row) {
-            Ok(d) => d,
-            Err(_) => return self.nack(out, src, tag, NackReason::Unavailable),
+        let Ok(old) = blocks.read(row) else {
+            return self.nack(out, src, tag, NackReason::Unavailable);
         };
         out.push(Effect::Read {
             row,
@@ -538,11 +568,19 @@ impl SiteMachine {
             row,
             purpose: IoPurpose::WriteData,
         });
+        #[cfg(feature = "mutations")]
+        let shipped_uid = if crate::mutations::is(crate::mutations::Mutation::DroppedUidBump) {
+            self.block_uids[row as usize] // the stale pre-W1 UID
+        } else {
+            uid
+        };
+        #[cfg(not(feature = "mutations"))]
+        let shipped_uid = uid;
         self.block_uids[row as usize] = uid;
         self.invalid_rows.remove(&row);
         // W3: change mask to the parity site; defer the client reply until
         // the ack (the §6 "done = prepared" discipline).
-        let mask = ChangeMask::diff(&old, &data);
+        let mask = ChangeMask::diff(&old, data);
         let ptag = self.fresh_tag();
         self.pending.insert(
             ptag,
@@ -563,13 +601,13 @@ impl SiteMachine {
         if self.coalesce == CoalescePolicy::Merge && queue.len() >= 2 {
             let back = queue.back_mut().expect("len >= 2");
             back.mask = back.mask.merge(&mask);
-            back.uid = uid;
+            back.uid = shipped_uid;
             back.absorbed.push(ptag);
             self.coalesced_merges += 1;
         } else {
             queue.push_back(QueuedUpdate {
                 tag: ptag,
-                uid,
+                uid: shipped_uid,
                 mask,
                 absorbed: Vec::new(),
             });
@@ -619,7 +657,7 @@ impl SiteMachine {
         blocks: &mut dyn Blocks,
         src: usize,
         row: u64,
-        mask_wire: Bytes,
+        mask_wire: &Bytes,
         uid: Uid,
         from_site: usize,
         tag: u64,
@@ -641,8 +679,9 @@ impl SiteMachine {
         let already = self
             .parity_uids
             .get(&row)
-            .map(|a| a.get(from_site) == uid)
-            .unwrap_or(false);
+            .is_some_and(|a| a.get(from_site) == uid);
+        #[cfg(feature = "mutations")]
+        let already = already && !crate::mutations::is(crate::mutations::Mutation::AbaDoubleApply);
         if !already {
             let mut parity = match blocks.read(row) {
                 Ok(d) => d.to_vec(),
@@ -658,7 +697,7 @@ impl SiteMachine {
                 purpose: IoPurpose::ParityApply,
             });
             // Formula (1), XORed straight from the wire buffer.
-            ChangeMask::apply_wire(&mask_wire, &mut parity).expect("well-formed mask");
+            ChangeMask::apply_wire(mask_wire, &mut parity).expect("well-formed mask");
             if blocks.write_owned(row, Bytes::from(parity)).is_err() {
                 out.push(Effect::ParityUnservable { row });
                 return;
@@ -767,7 +806,7 @@ impl SiteMachine {
         row: u64,
         for_site: usize,
         data: Bytes,
-        content: SpareContent,
+        content: &SpareContent,
         tag: u64,
         out: &mut Vec<Effect>,
     ) {
@@ -794,7 +833,7 @@ impl SiteMachine {
             row,
             SpareSlot {
                 for_site,
-                kind: kind_from_content(&content, n),
+                kind: kind_from_content(content, n),
             },
         );
         self.reply(out, src, tag, Msg::Ack { tag });
@@ -811,9 +850,8 @@ impl SiteMachine {
         if self.invalid_rows.contains(&row) {
             return self.nack(out, src, tag, NackReason::Unavailable);
         }
-        let data = match blocks.read(row) {
-            Ok(d) => d,
-            Err(_) => return self.nack(out, src, tag, NackReason::Unavailable),
+        let Ok(data) = blocks.read(row) else {
+            return self.nack(out, src, tag, NackReason::Unavailable);
         };
         out.push(Effect::Read {
             row,
@@ -853,7 +891,7 @@ impl SiteMachine {
         src: usize,
         row: u64,
         data: Bytes,
-        content: SpareContent,
+        content: &SpareContent,
         tag: u64,
         out: &mut Vec<Effect>,
     ) {
@@ -868,7 +906,7 @@ impl SiteMachine {
             purpose: IoPurpose::Restore,
         });
         let n = self.geo.num_sites();
-        match kind_from_content(&content, n) {
+        match kind_from_content(content, n) {
             SpareKind::Data { data_uid } => self.block_uids[row as usize] = data_uid,
             SpareKind::Parity { uids } => {
                 self.parity_uids.insert(row, uids);
@@ -898,6 +936,92 @@ impl SiteMachine {
                 tag,
                 step: inf.step,
             });
+        }
+    }
+}
+
+impl crate::check::Checkable for SiteMachine {
+    /// Canonical scan, in fixed field order. Excluded as unobservable:
+    /// `uid_gen`/`next_tag` (renaming makes generator positions
+    /// irrelevant), `Inflight::step` (retransmission backoff counter),
+    /// `coalesced_merges` (a statistic), and static configuration
+    /// (`site`, `geo`, `block_size`, `coalesce` — constant per model).
+    fn canon(&self, c: &mut crate::check::Canonicalizer) {
+        c.raw(&(self.state as u8));
+        for uid in &self.block_uids {
+            c.uid(*uid);
+        }
+        for (row, arr) in &self.parity_uids {
+            c.raw(row);
+            for uid in arr.slots() {
+                c.uid(*uid);
+            }
+        }
+        for (row, slot) in &self.spares {
+            c.raw(row);
+            c.raw(&slot.for_site);
+            match &slot.kind {
+                SpareKind::Data { data_uid } => {
+                    c.raw(&0u8);
+                    c.uid(*data_uid);
+                }
+                SpareKind::Parity { uids } => {
+                    c.raw(&1u8);
+                    for uid in uids.slots() {
+                        c.uid(*uid);
+                    }
+                }
+            }
+        }
+        for row in &self.invalid_rows {
+            c.raw(row);
+        }
+        let mut pending: Vec<_> = self.pending.iter().collect();
+        pending.sort_unstable_by_key(|(tag, _)| **tag);
+        for (tag, p) in pending {
+            c.tag(*tag);
+            c.raw(&p.client);
+            c.tag(p.client_tag);
+            c.raw(&p.row);
+        }
+        let mut in_progress: Vec<_> = self.in_progress.iter().collect();
+        in_progress.sort_unstable();
+        for (client, tag) in in_progress {
+            c.raw(client);
+            c.tag(*tag);
+        }
+        let mut queues: Vec<_> = self
+            .parity_queue
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .collect();
+        queues.sort_unstable_by_key(|(row, _)| **row);
+        for (row, queue) in queues {
+            c.raw(row);
+            for entry in queue {
+                c.tag(entry.tag);
+                c.uid(entry.uid);
+                c.raw(&entry.mask.encode()[..]);
+                for absorbed in &entry.absorbed {
+                    c.tag(*absorbed);
+                }
+            }
+        }
+        let mut inflight: Vec<_> = self.inflight.iter().collect();
+        inflight.sort_unstable_by_key(|(tag, _)| **tag);
+        for (tag, inf) in inflight {
+            c.tag(*tag);
+            c.raw(&inf.to);
+            inf.msg.canon(c);
+        }
+        // The reply cache in insertion (= eviction) order, which
+        // `reply_order` already records deterministically.
+        for key in &self.reply_order {
+            c.raw(&key.0);
+            c.tag(key.1);
+            if let Some(msg) = self.replies.get(key) {
+                msg.canon(c);
+            }
         }
     }
 }

@@ -48,7 +48,7 @@ fn write_oks(out: &[Effect]) -> Vec<u64> {
 type SentUpdate = (u64, ChangeMask, usize);
 
 /// Run three back-to-back writes with the parity ack withheld, then ack
-/// what was sent. Returns (updates sent, WriteOk tags in resolution
+/// what was sent. Returns (updates sent, `WriteOk` tags in resolution
 /// order, final block content).
 fn run(policy: CoalescePolicy) -> (Vec<SentUpdate>, Vec<u64>, Vec<u8>) {
     let geo = Geometry::new(G, ROWS).unwrap();

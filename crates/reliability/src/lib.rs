@@ -23,6 +23,7 @@
 //!   system), the third triangulation point between the first-order
 //!   formulas and the sampled simulation.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analytic;

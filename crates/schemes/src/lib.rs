@@ -18,6 +18,7 @@
 //! and returns [`OpReceipt`]s whose counts reproduce the paper's Figure 3
 //! formulas.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod craid;

@@ -18,6 +18,7 @@
 //! produce byte-identical traces, so every source of ordering (the event
 //! queue, the RNG) is fully specified.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;

@@ -23,6 +23,7 @@
 //! locally or through RADD ([`RecoveryContext`]). The `sec34_recovery`
 //! bench regenerates the comparison.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod hot_standby;

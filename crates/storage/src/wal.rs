@@ -157,7 +157,7 @@ impl WalManager {
         }
     }
 
-    fn append(&mut self, rec: LogRecord) {
+    fn append(&mut self, rec: &LogRecord) {
         rec.encode(&mut self.volatile_log);
     }
 
@@ -213,7 +213,7 @@ impl StorageManager for WalManager {
         let txn = self.next_txn;
         self.active.insert(txn);
         self.undo.insert(txn, Vec::new());
-        self.append(LogRecord::Begin(txn));
+        self.append(&LogRecord::Begin(txn));
         Ok(txn)
     }
 
@@ -237,7 +237,7 @@ impl StorageManager for WalManager {
             });
         }
         let old = self.page_read(page)?.to_vec();
-        self.append(LogRecord::Update {
+        self.append(&LogRecord::Update {
             txn,
             page,
             old: old.clone(),
@@ -255,7 +255,7 @@ impl StorageManager for WalManager {
             return Err(StorageError::NoSuchTxn(txn));
         }
         self.undo.remove(&txn);
-        self.append(LogRecord::Commit(txn));
+        self.append(&LogRecord::Commit(txn));
         self.force_log(); // commit = log force; pages stay in the buffer
         Ok(())
     }
@@ -270,7 +270,7 @@ impl StorageManager for WalManager {
         let undos = self.undo.remove(&txn).expect("active");
         for (page, old) in undos.into_iter().rev() {
             let current = self.page_read(page)?.to_vec();
-            self.append(LogRecord::Update {
+            self.append(&LogRecord::Update {
                 txn,
                 page,
                 old: current,
@@ -279,7 +279,7 @@ impl StorageManager for WalManager {
             self.buffer.insert(page, Bytes::from(old));
             self.dirty.insert(page);
         }
-        self.append(LogRecord::Abort(txn));
+        self.append(&LogRecord::Abort(txn));
         self.force_log();
         Ok(())
     }

@@ -18,6 +18,7 @@
 //!
 //! [`RaddCluster`]: radd_core::RaddCluster
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod distributed;

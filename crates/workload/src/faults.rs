@@ -107,6 +107,49 @@ pub enum FaultEvent {
     /// Apply queued parity updates (DES `ParityMode::Queued`; elsewhere a
     /// no-op).
     FlushParity,
+    // ---- checker-granularity events ----------------------------------
+    // The bounded model checker (`radd-check`) explores one network or
+    // scheduling decision at a time; its counterexamples replay through
+    // the same `FaultPlan`/`run_plan`/`minimize_failure` machinery as the
+    // seeded plans, using these finer-grained events. Runtimes whose
+    // network is not event-addressable (the DES's synchronous cascade, the
+    // threaded runtime's real channels) treat them as no-ops.
+    /// Run the next scripted operation of checker client `client`.
+    StepClient {
+        /// Model client index.
+        client: usize,
+    },
+    /// Deliver the message at position `index` of the checker's in-flight
+    /// message vector.
+    Deliver {
+        /// Position in the in-flight vector at the moment of delivery.
+        index: usize,
+    },
+    /// Drop (lose) the in-flight message at position `index`.
+    DropMsg {
+        /// Position in the in-flight vector.
+        index: usize,
+    },
+    /// Duplicate the in-flight message at position `index` (the copy joins
+    /// the back of the vector).
+    DupMsg {
+        /// Position in the in-flight vector.
+        index: usize,
+    },
+    /// Fire the armed stop-and-wait retransmit timer `tag` at `site`.
+    FireTimer {
+        /// The site whose timer fires.
+        site: usize,
+        /// The outstanding request tag.
+        tag: u64,
+    },
+    /// Evict `site`'s at-most-once reply cache, as if the LRU cap had
+    /// aged every entry out — the checker's stand-in for cache pressure,
+    /// exposing the §3.2 idempotence guard that backstops the cache.
+    EvictReplies {
+        /// The site whose reply cache is evicted.
+        site: usize,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -135,6 +178,16 @@ impl fmt::Display for FaultEvent {
             }
             FaultEvent::LossEnd => write!(f, "message loss off"),
             FaultEvent::FlushParity => write!(f, "flush queued parity updates"),
+            FaultEvent::StepClient { client } => write!(f, "step client {client}"),
+            FaultEvent::Deliver { index } => write!(f, "deliver message #{index}"),
+            FaultEvent::DropMsg { index } => write!(f, "drop message #{index}"),
+            FaultEvent::DupMsg { index } => write!(f, "duplicate message #{index}"),
+            FaultEvent::FireTimer { site, tag } => {
+                write!(f, "fire retransmit timer {tag:#x} at site {site}")
+            }
+            FaultEvent::EvictReplies { site } => {
+                write!(f, "evict the reply cache of site {site}")
+            }
         }
     }
 }
@@ -430,8 +483,6 @@ pub fn run_plan<D: FaultDriver>(
     driver: &mut D,
     plan: &FaultPlan,
 ) -> Result<PlanReport, PlanFailure> {
-    let mut log = Vec::with_capacity(plan.events.len());
-    let mut checks = 0u64;
     // Every failure path snapshots the driver's observability state, so the
     // report shows what each machine was doing — not just what the harness
     // asked of it.
@@ -450,6 +501,8 @@ pub fn run_plan<D: FaultDriver>(
             obs: driver.obs_snapshot(),
         }
     }
+    let mut log = Vec::with_capacity(plan.events.len());
+    let mut checks = 0u64;
     for (i, event) in plan.events.iter().enumerate() {
         log.push(format!("[{i}] {event}"));
         if let Err(e) = driver.apply(event) {
@@ -619,6 +672,15 @@ impl FaultDriver for CheckedCluster {
             // bite on the threaded runtime.
             FaultEvent::LossBurst { .. } | FaultEvent::LossEnd => Ok(()),
             FaultEvent::FlushParity => self.quiesce(),
+            // Checker-granularity events address the model checker's
+            // explicit in-flight message vector; the DES delivers
+            // synchronously and has no such addressable network.
+            FaultEvent::StepClient { .. }
+            | FaultEvent::Deliver { .. }
+            | FaultEvent::DropMsg { .. }
+            | FaultEvent::DupMsg { .. }
+            | FaultEvent::FireTimer { .. }
+            | FaultEvent::EvictReplies { .. } => Ok(()),
         }
     }
 
@@ -726,26 +788,6 @@ mod tests {
 
     #[test]
     fn minimizer_shrinks_to_the_load_bearing_events() {
-        // Build a long plan whose failure needs exactly two events: the
-        // write that feeds the oracle and the read that exposes the
-        // corruption. Everything in between is chaff the minimizer drops.
-        let mut events = vec![FaultEvent::Write {
-            site: 2,
-            index: 1,
-            fill: 9,
-        }];
-        for i in 0..10 {
-            events.push(FaultEvent::Read {
-                site: 3,
-                index: i % 4,
-            });
-        }
-        events.push(FaultEvent::Read { site: 2, index: 1 });
-        let plan = FaultPlan {
-            seed: 0xBAD,
-            events,
-        };
-
         // Driver factory: a cluster whose site-2 block is corrupted right
         // after the oracle write lands. We model that by wrapping apply.
         struct Sabotage {
@@ -778,6 +820,27 @@ mod tests {
                 FaultDriver::quiesce(&mut self.cc)
             }
         }
+
+        // Build a long plan whose failure needs exactly two events: the
+        // write that feeds the oracle and the read that exposes the
+        // corruption. Everything in between is chaff the minimizer drops.
+        let mut events = vec![FaultEvent::Write {
+            site: 2,
+            index: 1,
+            fill: 9,
+        }];
+        for i in 0..10 {
+            events.push(FaultEvent::Read {
+                site: 3,
+                index: i % 4,
+            });
+        }
+        events.push(FaultEvent::Read { site: 2, index: 1 });
+        let plan = FaultPlan {
+            seed: 0xBAD,
+            events,
+        };
+
         let factory = || Sabotage {
             cc: des(),
             armed: false,

@@ -18,6 +18,7 @@
 //!
 //! [`ReplicationScheme`]: radd_schemes::ReplicationScheme
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access;

@@ -99,7 +99,7 @@ pub fn run_record_workload(
             if workload.full_block_shipping {
                 // Ablation: pretend every field of every byte changed, so
                 // the mask degenerates to the whole block.
-                for b in page.iter_mut() {
+                for b in &mut page {
                     *b = b.wrapping_add(1);
                 }
             }

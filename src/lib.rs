@@ -47,10 +47,13 @@
 //! | [`reliability`] | MTTU/MTTF closed forms and Monte Carlo (§7.5) |
 //! | [`workload`] | access patterns, mixes, failure scenarios (§7.3–7.4) |
 //! | [`node`] | the threaded cluster: one OS thread per site, real messages |
+//! | [`check`] | bounded exhaustive model checker over the protocol machines |
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use radd_blockdev as blockdev;
+pub use radd_check as check;
 pub use radd_core as core;
 pub use radd_layout as layout;
 pub use radd_net as net;

@@ -149,6 +149,15 @@ impl Pair {
             FaultEvent::LossBurst { permille, seed } => self.node.set_loss(permille, seed),
             FaultEvent::LossEnd => self.node.set_loss(0, 0),
             FaultEvent::FlushParity => self.node.quiesce(QUIESCE).unwrap(),
+            // Checker-granularity events (single message deliveries, timer
+            // firings, cache evictions) have no meaning at this driver's
+            // cluster granularity.
+            FaultEvent::StepClient { .. }
+            | FaultEvent::Deliver { .. }
+            | FaultEvent::DropMsg { .. }
+            | FaultEvent::DupMsg { .. }
+            | FaultEvent::FireTimer { .. }
+            | FaultEvent::EvictReplies { .. } => {}
         }
     }
 

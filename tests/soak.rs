@@ -52,11 +52,13 @@ fn parse_seed(s: &str) -> u64 {
 /// log + per-machine metrics + flight-recorder tails) under
 /// `target/fault_dumps/` — CI uploads that directory as a workflow
 /// artifact when the fault matrix goes red.
-fn dump_and_panic(context: &str, failure: PlanFailure) -> ! {
+fn dump_and_panic(context: &str, failure: &PlanFailure) -> ! {
     let dumped = failure
         .write_dump(std::path::Path::new("target/fault_dumps"), context)
-        .map(|p| p.display().to_string())
-        .unwrap_or_else(|e| format!("<dump failed: {e}>"));
+        .map_or_else(
+            |e| format!("<dump failed: {e}>"),
+            |p| p.display().to_string(),
+        );
     panic!("{context} (dump: {dumped}):\n{failure}")
 }
 
@@ -64,7 +66,7 @@ fn run_seed(label: &str, seed: u64) {
     let plan = FaultPlan::generate(seed, &soak_shape());
     let mut cc = soak_cluster();
     let report = run_plan(&mut cc, &plan)
-        .unwrap_or_else(|failure| dump_and_panic(&format!("soak seed {label}"), failure));
+        .unwrap_or_else(|failure| dump_and_panic(&format!("soak seed {label}"), &failure));
     assert_eq!(report.applied, plan.events.len(), "seed {label}");
     assert!(
         report.invariant_checks > 0,
@@ -106,7 +108,7 @@ fn one_cluster_survives_consecutive_plans() {
     for round in 0..3u64 {
         let plan = FaultPlan::generate(seed_from_name("radd-soak-steady") ^ round, &soak_shape());
         run_plan(&mut cc, &plan)
-            .unwrap_or_else(|failure| dump_and_panic(&format!("soak round {round}"), failure));
+            .unwrap_or_else(|failure| dump_and_panic(&format!("soak round {round}"), &failure));
     }
     assert_eq!(cc.cluster().pending_parity_updates(), 0);
 }
