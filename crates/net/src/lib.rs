@@ -28,11 +28,13 @@
 pub mod link;
 pub mod partition;
 pub mod reliable;
+pub mod retry;
 pub mod stats;
 pub mod threaded;
 
 pub use link::{Delivery, LinkConfig, LossyLink};
 pub use partition::{PartitionMap, PartitionVerdict};
 pub use reliable::ReliableChannel;
+pub use retry::RetryPolicy;
 pub use stats::NetStats;
 pub use threaded::{ThreadedEndpoint, ThreadedNet};

@@ -7,6 +7,7 @@
 //! a site makes its sends and receives fail, emulating the §5 model at the
 //! process level.
 
+use crate::retry::RetryPolicy;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -208,7 +209,8 @@ struct Outstanding<M> {
     dst: usize,
     msg: M,
     next_resend: Instant,
-    backoff: Duration,
+    /// How many resends have fired; indexes [`RetryPolicy::delay`].
+    step: u32,
 }
 
 /// Wall-clock counterpart of [`crate::reliable::ReliableChannel`]:
@@ -226,19 +228,34 @@ struct Outstanding<M> {
 /// for work already done.
 pub struct ReliableChannel<M> {
     outstanding: HashMap<u64, Outstanding<M>>,
-    base: Duration,
-    cap: Duration,
+    policy: RetryPolicy,
 }
 
 impl<M: Clone> ReliableChannel<M> {
     /// A tracker whose first retransmission fires after `base`, doubling up
-    /// to `cap` thereafter.
+    /// to `cap` thereafter. Shorthand for [`with_policy`] over a ×2
+    /// schedule — tests tune the two durations directly.
+    ///
+    /// [`with_policy`]: ReliableChannel::with_policy
     pub fn new(base: Duration, cap: Duration) -> ReliableChannel<M> {
-        assert!(!base.is_zero(), "zero backoff would spin");
+        Self::with_policy(RetryPolicy {
+            base_ms: base.as_millis() as u64,
+            numer: 2,
+            denom: 1,
+            cap_ms: cap.as_millis() as u64,
+            attempts: u32::MAX,
+        })
+    }
+
+    /// A tracker retransmitting on `policy`'s schedule. The policy's
+    /// `attempts` budget is *not* enforced here: a stop-and-wait parity
+    /// sender never abandons an update (§5), so the tracker resends until
+    /// acked and leaves finite budgets to request/reply ladders.
+    pub fn with_policy(policy: RetryPolicy) -> ReliableChannel<M> {
+        assert!(policy.base_ms > 0, "zero backoff would spin");
         ReliableChannel {
             outstanding: HashMap::new(),
-            base,
-            cap,
+            policy,
         }
     }
 
@@ -249,8 +266,8 @@ impl<M: Clone> ReliableChannel<M> {
             Outstanding {
                 dst,
                 msg,
-                next_resend: Instant::now() + self.base,
-                backoff: self.base,
+                next_resend: Instant::now() + self.policy.delay(0),
+                step: 0,
             },
         );
     }
@@ -269,8 +286,8 @@ impl<M: Clone> ReliableChannel<M> {
         for o in self.outstanding.values_mut() {
             if now >= o.next_resend {
                 resend.push((o.dst, o.msg.clone()));
-                o.backoff = (o.backoff * 2).min(self.cap);
-                o.next_resend = now + o.backoff;
+                o.step = o.step.saturating_add(1);
+                o.next_resend = now + self.policy.delay(o.step);
             }
         }
         resend

@@ -216,6 +216,21 @@ impl ClientMachine {
         self.trace.replace(Vec::new()).unwrap_or_default()
     }
 
+    /// Salt all future request tags with a restart *incarnation*. Sites
+    /// cache their last reply per `(client, tag)` for at-most-once
+    /// semantics, so a client process that restarts — same endpoint id,
+    /// tag counter back at zero — would otherwise be *replayed* a cached
+    /// reply meant for its previous life (e.g. a `WriteOk` answering a
+    /// fresh `Read`). Long-lived harness clients never restart and keep
+    /// the default incarnation 0 (tags stay `1, 2, 3, …`, which the
+    /// differential traces rely on); standalone processes pass something
+    /// unique per start (wall-clock works). Only the low 14 bits are used,
+    /// placed at bits 32–45: below the oracle-sweep bit (46) and the
+    /// site-tag salt (48), above any realistic single-run tag count.
+    pub fn set_incarnation(&mut self, incarnation: u64) {
+        self.next_tag = (incarnation & 0x3FFF) << 32;
+    }
+
     fn tag(&mut self) -> u64 {
         self.next_tag += 1;
         self.next_tag

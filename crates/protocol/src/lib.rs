@@ -28,6 +28,7 @@
 
 pub mod check;
 pub mod client;
+pub mod codec;
 pub mod effect;
 pub mod events;
 pub mod fasthash;
@@ -44,6 +45,7 @@ pub use check::{
     Canonicalizer, Checkable,
 };
 pub use client::{ClientErr, ClientIo, ClientMachine, SparePolicy};
+pub use codec::{decode_msg, encode_msg, encode_msg_vec, CodecError};
 pub use effect::{BlockFault, Blocks, Dest, Effect, IoPurpose, MemBlocks};
 pub use events::FailureKind;
 pub use obs::{obs_event, ObsEvent};

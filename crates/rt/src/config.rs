@@ -1,0 +1,183 @@
+//! Static cluster configuration for the standalone binaries.
+//!
+//! A deployment is described by a tiny line-oriented site-map file (or the
+//! same text passed inline). Comments (`#`) and blank lines are ignored:
+//!
+//! ```text
+//! # 4+2 cluster on loopback
+//! g = 4
+//! rows = 64
+//! block_size = 1024
+//! site 0 = 127.0.0.1:7400
+//! site 1 = 127.0.0.1:7401
+//! site 2 = 127.0.0.1:7402
+//! site 3 = 127.0.0.1:7403
+//! site 4 = 127.0.0.1:7404
+//! site 5 = 127.0.0.1:7405
+//! ```
+//!
+//! Exactly `g + 2` sites must be listed (G data-capable sites plus the
+//! §1.2 parity and spare overhead sites, rotated per row), numbered
+//! densely from 0. `rows` and `block_size` are optional with conservative
+//! defaults; `g` and the site list are mandatory.
+
+use std::net::SocketAddr;
+
+/// Defaults when the map omits the geometry lines.
+const DEFAULT_ROWS: u64 = 64;
+const DEFAULT_BLOCK_SIZE: usize = 1024;
+/// Default client endpoint slots (`ep_base`): endpoint ids `0..clients`
+/// are reserved for clients, so site `j` is endpoint `clients + j`.
+const DEFAULT_CLIENTS: usize = 4;
+
+/// A parsed cluster map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Group size `G`.
+    pub g: usize,
+    /// Block rows per site.
+    pub rows: u64,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Reserved client endpoint slots (`ep_base`). Client ids must stay
+    /// below this; site `j` is endpoint `clients + j`.
+    pub clients: usize,
+    /// Site addresses, indexed by site id.
+    pub sites: Vec<SocketAddr>,
+}
+
+impl ClusterConfig {
+    /// Number of sites (`G + 2`).
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Endpoint id of site 0 (clients occupy the ids below it).
+    pub fn ep_base(&self) -> usize {
+        self.clients
+    }
+
+    /// Parse a site-map text. Errors name the offending line.
+    pub fn parse(text: &str) -> Result<ClusterConfig, String> {
+        let mut g: Option<usize> = None;
+        let mut rows = DEFAULT_ROWS;
+        let mut block_size = DEFAULT_BLOCK_SIZE;
+        let mut clients = DEFAULT_CLIENTS;
+        let mut sites: Vec<(usize, SocketAddr)> = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |what: &str| format!("line {}: invalid {what}: `{value}`", lineno + 1);
+            if let Some(idx) = key.strip_prefix("site ") {
+                let idx: usize = idx.trim().parse().map_err(|_| bad("site id"))?;
+                let addr: SocketAddr = value.parse().map_err(|_| bad("site address"))?;
+                sites.push((idx, addr));
+            } else {
+                match key {
+                    "g" => g = Some(value.parse().map_err(|_| bad("group size"))?),
+                    "rows" => rows = value.parse().map_err(|_| bad("row count"))?,
+                    "block_size" => block_size = value.parse().map_err(|_| bad("block size"))?,
+                    "clients" => clients = value.parse().map_err(|_| bad("client count"))?,
+                    other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
+                }
+            }
+        }
+        let g = g.ok_or("missing `g = ...` line")?;
+        if g == 0 {
+            return Err("group size must be positive".into());
+        }
+        if block_size == 0 || rows == 0 {
+            return Err("rows and block_size must be positive".into());
+        }
+        if clients == 0 {
+            return Err("at least one client slot is required".into());
+        }
+        let want = g + 2;
+        let mut by_id: Vec<Option<SocketAddr>> = vec![None; want];
+        for (idx, addr) in sites {
+            let slot = by_id
+                .get_mut(idx)
+                .ok_or_else(|| format!("site {idx} is out of range for g = {g} ({want} sites)"))?;
+            if slot.replace(addr).is_some() {
+                return Err(format!("site {idx} is listed twice"));
+            }
+        }
+        let sites: Vec<SocketAddr> = by_id
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.ok_or(format!("site {i} is missing (need sites 0..{want})")))
+            .collect::<Result<_, _>>()?;
+        Ok(ClusterConfig {
+            g,
+            rows,
+            block_size,
+            clients,
+            sites,
+        })
+    }
+
+    /// Parse the file at `path`.
+    pub fn load(path: &str) -> Result<ClusterConfig, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        ClusterConfig::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAP: &str = "\
+        # loopback cluster\n\
+        g = 2\n\
+        rows = 8\n\
+        block_size = 128\n\
+        site 0 = 127.0.0.1:7400\n\
+        site 1 = 127.0.0.1:7401  # inline comment\n\
+        site 2 = 127.0.0.1:7402\n\
+        site 3 = 127.0.0.1:7403\n";
+
+    #[test]
+    fn well_formed_map_parses() {
+        let cfg = ClusterConfig::parse(MAP).unwrap();
+        assert_eq!(cfg.g, 2);
+        assert_eq!(cfg.rows, 8);
+        assert_eq!(cfg.block_size, 128);
+        assert_eq!(cfg.num_sites(), 4);
+        assert_eq!(cfg.sites[3], "127.0.0.1:7403".parse().unwrap());
+    }
+
+    #[test]
+    fn defaults_fill_in_geometry() {
+        let cfg = ClusterConfig::parse(
+            "g = 1\nsite 0 = 127.0.0.1:1\nsite 1 = 127.0.0.1:2\nsite 2 = 127.0.0.1:3\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.rows, DEFAULT_ROWS);
+        assert_eq!(cfg.block_size, DEFAULT_BLOCK_SIZE);
+        assert_eq!(cfg.ep_base(), DEFAULT_CLIENTS);
+    }
+
+    #[test]
+    fn structural_errors_are_reported() {
+        assert!(ClusterConfig::parse("site 0 = 127.0.0.1:1\n")
+            .unwrap_err()
+            .contains("missing `g"));
+        assert!(ClusterConfig::parse("g = 2\nsite 9 = 127.0.0.1:1\n")
+            .unwrap_err()
+            .contains("out of range"));
+        let dup = format!("{MAP}site 1 = 127.0.0.1:9\n");
+        assert!(ClusterConfig::parse(&dup).unwrap_err().contains("twice"));
+        let short = "g = 2\nsite 0 = 127.0.0.1:1\n";
+        assert!(ClusterConfig::parse(short).unwrap_err().contains("missing"));
+        assert!(ClusterConfig::parse("g = 2\nwat\n")
+            .unwrap_err()
+            .contains("key = value"));
+    }
+}

@@ -1,0 +1,479 @@
+//! TCP framing: length prefix, checksum, and the frame vocabulary.
+//!
+//! A TCP stream is bytes with no boundaries, so every logical message rides
+//! in a frame:
+//!
+//! ```text
+//! [len: u32 LE] [check: u64 LE] [payload: len bytes]
+//! ```
+//!
+//! `len` counts the payload only; `check` is the `FxHash64` of the payload
+//! (the same multiply-rotate hash the protocol machines use for their
+//! bookkeeping maps — these are sanity checksums against framing bugs and
+//! truncated writes, not cryptographic integrity). The payload's first byte
+//! is a frame type:
+//!
+//! * `0` — [`Frame::Hello`]: the dialer announces its endpoint id, once,
+//!   immediately after connecting. Everything either side needs to route
+//!   replies follows from it.
+//! * `1` — [`Frame::Proto`]: one protocol [`Msg`], encoded with
+//!   [`radd_protocol::codec`]. The only frame type subject to fault
+//!   injection (see [`crate::proxy`]).
+//! * `2`/`3` — [`Frame::CtlReq`]/[`Frame::CtlRep`]: the out-of-band control
+//!   plane (`radd-cli` status/obs queries, administrative down/up), paired
+//!   by a request id. Control frames bypass fault injection the same way
+//!   the threaded runtime's control mpsc bypasses its lossy channels.
+//!
+//! [`FrameDecoder`] is incremental and hardened: bytes arrive in whatever
+//! splits and coalescings the kernel chooses, length prefixes are validated
+//! against [`MAX_FRAME`] *before* any buffer grows, and corrupt checksums
+//! or unknown frame types are clean errors, never panics.
+
+use bytes::Bytes;
+use radd_protocol::codec::{decode_msg, encode_msg, CodecError};
+use radd_protocol::fasthash::FxHasher;
+use radd_protocol::Msg;
+use std::fmt;
+use std::hash::Hasher;
+use std::io::{Read, Write};
+
+/// Hard ceiling on a frame's payload. Generous next to real traffic (the
+/// largest message is a block plus headers) while keeping a corrupt or
+/// hostile length prefix from ballooning the receive buffer.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Bytes of frame header (`len` + `check`).
+pub const FRAME_HEADER: usize = 4 + 8;
+
+const FT_HELLO: u8 = 0;
+const FT_PROTO: u8 = 1;
+const FT_CTL_REQ: u8 = 2;
+const FT_CTL_REP: u8 = 3;
+
+/// `FxHash64` of a payload — the frame checksum.
+pub fn checksum(payload: &[u8]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write(payload);
+    h.finish()
+}
+
+/// Why a byte stream failed to frame or a payload failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length prefix exceeds [`MAX_FRAME`] — corrupt stream or attack.
+    Oversized {
+        /// The claimed payload length.
+        claimed: u64,
+    },
+    /// The payload does not hash to the frame's checksum.
+    BadChecksum,
+    /// Empty payload, unknown frame-type byte, or a malformed body.
+    Malformed(&'static str),
+    /// The embedded protocol message failed to decode.
+    Codec(CodecError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Oversized { claimed } => {
+                write!(f, "frame claims {claimed} bytes (max {MAX_FRAME})")
+            }
+            FrameError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            FrameError::Codec(e) => write!(f, "protocol payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<CodecError> for FrameError {
+    fn from(e: CodecError) -> FrameError {
+        FrameError::Codec(e)
+    }
+}
+
+/// Control-plane requests (`radd-cli`, deployment scripts).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlReq {
+    /// Liveness probe.
+    Ping,
+    /// How many writes still await their parity ack.
+    QueryPending,
+    /// Whether no request of this site awaits an ack.
+    QueryAllAcked,
+    /// Administratively mark the site down (`true`) or back up.
+    SetDown(bool),
+    /// The site's metrics + flight-recorder snapshot, as JSON.
+    QueryObsJson,
+    /// Stop the server process's event loop.
+    Shutdown,
+}
+
+/// Control-plane replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlRep {
+    /// Alive (and whether currently marked down).
+    Pong {
+        /// Administrative down flag.
+        down: bool,
+    },
+    /// Pending-write count.
+    Pending(u64),
+    /// `all_acked` verdict.
+    AllAcked(bool),
+    /// Command applied.
+    Done,
+    /// JSON-rendered [`radd_obs::MachineSnapshot`].
+    ObsJson(String),
+}
+
+/// One decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Connection handshake: the dialer's endpoint id.
+    Hello {
+        /// Endpoint id (clients `0..ep_base`, site `j` = `ep_base + j`).
+        id: u64,
+    },
+    /// A protocol message.
+    Proto(Msg),
+    /// A control request, answered by a [`Frame::CtlRep`] echoing `rid`.
+    CtlReq {
+        /// Request id for pairing.
+        rid: u64,
+        /// The request.
+        req: CtlReq,
+    },
+    /// A control reply.
+    CtlRep {
+        /// Echoed request id.
+        rid: u64,
+        /// The reply.
+        rep: CtlRep,
+    },
+}
+
+/// Frame type of a raw payload without decoding it — what the fault proxy
+/// uses to exempt handshake and control traffic from injection.
+pub fn payload_is_proto(payload: &[u8]) -> bool {
+    payload.first() == Some(&FT_PROTO)
+}
+
+/// Endpoint id of a raw `Hello` payload, if it is one. The proxy snoops
+/// this to attribute a relayed connection to its source endpoint.
+pub fn payload_hello_id(payload: &[u8]) -> Option<u64> {
+    if payload.len() == 9 && payload[0] == FT_HELLO {
+        Some(u64::from_le_bytes(payload[1..9].try_into().ok()?))
+    } else {
+        None
+    }
+}
+
+impl Frame {
+    /// Encode this frame's payload (no length/checksum header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Frame::Hello { id } => {
+                buf.push(FT_HELLO);
+                buf.extend_from_slice(&id.to_le_bytes());
+            }
+            Frame::Proto(msg) => {
+                buf.push(FT_PROTO);
+                encode_msg(msg, &mut buf);
+            }
+            Frame::CtlReq { rid, req } => {
+                buf.push(FT_CTL_REQ);
+                buf.extend_from_slice(&rid.to_le_bytes());
+                match req {
+                    CtlReq::Ping => buf.push(0),
+                    CtlReq::QueryPending => buf.push(1),
+                    CtlReq::QueryAllAcked => buf.push(2),
+                    CtlReq::SetDown(d) => {
+                        buf.push(3);
+                        buf.push(u8::from(*d));
+                    }
+                    CtlReq::QueryObsJson => buf.push(4),
+                    CtlReq::Shutdown => buf.push(5),
+                }
+            }
+            Frame::CtlRep { rid, rep } => {
+                buf.push(FT_CTL_REP);
+                buf.extend_from_slice(&rid.to_le_bytes());
+                match rep {
+                    CtlRep::Pong { down } => {
+                        buf.push(0);
+                        buf.push(u8::from(*down));
+                    }
+                    CtlRep::Pending(n) => {
+                        buf.push(1);
+                        buf.extend_from_slice(&n.to_le_bytes());
+                    }
+                    CtlRep::AllAcked(b) => {
+                        buf.push(2);
+                        buf.push(u8::from(*b));
+                    }
+                    CtlRep::Done => buf.push(3),
+                    CtlRep::ObsJson(s) => {
+                        buf.push(4);
+                        buf.extend_from_slice(
+                            &u32::try_from(s.len())
+                                .expect("snapshot fits in u32")
+                                .to_le_bytes(),
+                        );
+                        buf.extend_from_slice(s.as_bytes());
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Decode a frame from its raw payload.
+    pub fn decode(payload: &Bytes) -> Result<Frame, FrameError> {
+        let Some(&ftype) = payload.first() else {
+            return Err(FrameError::Malformed("empty payload"));
+        };
+        let body = payload.slice(1..payload.len());
+        match ftype {
+            FT_HELLO => {
+                if body.len() != 8 {
+                    return Err(FrameError::Malformed("hello body must be 8 bytes"));
+                }
+                Ok(Frame::Hello {
+                    id: u64::from_le_bytes(body[..].try_into().expect("8-byte slice")),
+                })
+            }
+            FT_PROTO => Ok(Frame::Proto(decode_msg(&body)?)),
+            FT_CTL_REQ => {
+                let (rid, rest) = split_rid(&body)?;
+                let req = match rest {
+                    [0] => CtlReq::Ping,
+                    [1] => CtlReq::QueryPending,
+                    [2] => CtlReq::QueryAllAcked,
+                    [3, d @ (0 | 1)] => CtlReq::SetDown(*d == 1),
+                    [4] => CtlReq::QueryObsJson,
+                    [5] => CtlReq::Shutdown,
+                    _ => return Err(FrameError::Malformed("bad control request body")),
+                };
+                Ok(Frame::CtlReq { rid, req })
+            }
+            FT_CTL_REP => {
+                let (rid, rest) = split_rid(&body)?;
+                let rep = match rest {
+                    [0, d @ (0 | 1)] => CtlRep::Pong { down: *d == 1 },
+                    [1, n @ ..] if n.len() == 8 => {
+                        CtlRep::Pending(u64::from_le_bytes(n.try_into().expect("8 bytes")))
+                    }
+                    [2, b @ (0 | 1)] => CtlRep::AllAcked(*b == 1),
+                    [3] => CtlRep::Done,
+                    [4, rest @ ..] if rest.len() >= 4 => {
+                        let len =
+                            u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+                        if rest.len() - 4 != len {
+                            return Err(FrameError::Malformed("obs json length mismatch"));
+                        }
+                        let s = std::str::from_utf8(&rest[4..])
+                            .map_err(|_| FrameError::Malformed("obs json is not utf-8"))?;
+                        CtlRep::ObsJson(s.to_string())
+                    }
+                    _ => return Err(FrameError::Malformed("bad control reply body")),
+                };
+                Ok(Frame::CtlRep { rid, rep })
+            }
+            _ => Err(FrameError::Malformed("unknown frame type")),
+        }
+    }
+}
+
+fn split_rid(body: &[u8]) -> Result<(u64, &[u8]), FrameError> {
+    if body.len() < 8 {
+        return Err(FrameError::Malformed("control body shorter than rid"));
+    }
+    let rid = u64::from_le_bytes(body[..8].try_into().expect("8 bytes"));
+    Ok((rid, &body[8..]))
+}
+
+/// Write one frame (header + `payload`) to `w`.
+pub fn write_frame_payload(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    assert!(payload.len() <= MAX_FRAME, "oversized outbound frame");
+    let mut head = [0u8; FRAME_HEADER];
+    head[..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    head[4..].copy_from_slice(&checksum(payload).to_le_bytes());
+    // One write per frame keeps a frame contiguous on the wire wherever
+    // the kernel allows; the decoder tolerates any split regardless.
+    let mut buf = Vec::with_capacity(FRAME_HEADER + payload.len());
+    buf.extend_from_slice(&head);
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)
+}
+
+/// Encode and write one [`Frame`].
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> std::io::Result<()> {
+    write_frame_payload(w, &frame.encode())
+}
+
+/// Incremental frame decoder over an arbitrary byte stream.
+///
+/// Feed it whatever `read` returned — any split or coalescing of frames —
+/// and pull complete payloads out. The internal buffer only ever holds
+/// bytes actually received plus at most one frame, so a hostile length
+/// prefix cannot cause over-allocation: it is rejected against
+/// [`MAX_FRAME`] as soon as the 12-byte header is readable.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// A fresh decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder { buf: Vec::new() }
+    }
+
+    /// Append newly received bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete, checksum-verified payload, if one is buffered.
+    /// After an error the stream is unrecoverable (framing is lost) — the
+    /// caller must drop the connection.
+    pub fn next_payload(&mut self) -> Result<Option<Bytes>, FrameError> {
+        if self.buf.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > MAX_FRAME {
+            return Err(FrameError::Oversized {
+                claimed: len as u64,
+            });
+        }
+        if self.buf.len() < FRAME_HEADER + len {
+            return Ok(None);
+        }
+        let check = u64::from_le_bytes(self.buf[4..12].try_into().expect("8 bytes"));
+        let payload = &self.buf[FRAME_HEADER..FRAME_HEADER + len];
+        if checksum(payload) != check {
+            return Err(FrameError::BadChecksum);
+        }
+        let out = Bytes::from(payload.to_vec());
+        self.buf.drain(..FRAME_HEADER + len);
+        Ok(Some(out))
+    }
+
+    /// The next complete [`Frame`], if one is buffered.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        match self.next_payload()? {
+            Some(p) => Ok(Some(Frame::decode(&p)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Blocking frame reader over a [`Read`]: feeds a [`FrameDecoder`] from a
+/// fixed scratch buffer. Returns `Ok(None)` on clean EOF *between* frames;
+/// EOF mid-frame is an error (the peer died mid-write).
+pub fn read_frame(
+    r: &mut impl Read,
+    dec: &mut FrameDecoder,
+    scratch: &mut [u8],
+) -> Result<Option<Frame>, std::io::Error> {
+    loop {
+        if let Some(f) = dec
+            .next_frame()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+        {
+            return Ok(Some(f));
+        }
+        match r.read(scratch) {
+            Ok(0) => {
+                return if dec.buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                }
+            }
+            Ok(n) => dec.feed(&scratch[..n]),
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_the_decoder() {
+        let frames = vec![
+            Frame::Hello { id: 42 },
+            Frame::Proto(Msg::Read { index: 3, tag: 9 }),
+            Frame::CtlReq {
+                rid: 1,
+                req: CtlReq::SetDown(true),
+            },
+            Frame::CtlRep {
+                rid: 1,
+                rep: CtlRep::ObsJson("{\"x\":1}".to_string()),
+            },
+            Frame::CtlRep {
+                rid: 2,
+                rep: CtlRep::Pending(17),
+            },
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        // Feed one byte at a time: worst-case splitting.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_buffering() {
+        let mut dec = FrameDecoder::new();
+        let mut head = vec![];
+        head.extend_from_slice(&(u32::MAX).to_le_bytes());
+        head.extend_from_slice(&0u64.to_le_bytes());
+        dec.feed(&head);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_checksum_is_rejected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Hello { id: 7 }).unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.next_frame(), Err(FrameError::BadChecksum));
+    }
+
+    #[test]
+    fn proxy_snoops_classify_payloads() {
+        let hello = Frame::Hello { id: 5 }.encode();
+        let proto = Frame::Proto(Msg::Ack { tag: 1 }).encode();
+        assert_eq!(payload_hello_id(&hello), Some(5));
+        assert!(!payload_is_proto(&hello));
+        assert!(payload_is_proto(&proto));
+        assert_eq!(payload_hello_id(&proto), None);
+    }
+}

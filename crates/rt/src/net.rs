@@ -1,0 +1,437 @@
+//! TCP endpoints with the [`radd_net::ThreadedEndpoint`] shape.
+//!
+//! A [`SocketEndpoint`] is one process's network identity: an endpoint id
+//! (clients `0..ep_base`, site `j` at `ep_base + j`), an optional listener
+//! (sites listen; clients only dial), and a table of live connections keyed
+//! by peer endpoint id. The API deliberately mirrors the threaded runtime's
+//! endpoint — `send(dst, msg)` / `recv_timeout` — so the site event loop
+//! and client attempt ladder port across runtimes with their logic (and
+//! therefore their normalised effect traces) intact.
+//!
+//! Connection management:
+//!
+//! * **Dial on demand.** A send to a site with no live connection dials the
+//!   site-map address, ships a [`Frame::Hello`] announcing our id, and
+//!   registers the connection. Dial failures back off on a
+//!   [`RetryPolicy`] schedule and surface as *silent loss* — exactly the
+//!   failure mode the stop-and-wait retransmission layer above is built to
+//!   absorb. A send to a *client* id with no live connection is dropped
+//!   outright: clients dial us, we never dial them, and the client's own
+//!   retransmission re-establishes the path.
+//! * **One reader thread per connection** feeds decoded frames into the
+//!   endpoint's single inbox channel, preserving TCP's per-connection
+//!   ordering; cross-connection interleaving is as arbitrary as it is
+//!   between the threaded runtime's channel senders.
+//! * **Reconnects replace** the send-side entry for a peer id; the old
+//!   connection's reader keeps draining until the stream dies, so no
+//!   buffered message is lost by the swap.
+//!
+//! Everything here is transport plumbing — protocol behaviour (dedup,
+//! retries, idempotence) lives in the sans-IO machines and their drivers.
+
+use crate::frame::{write_frame, Frame, FrameDecoder};
+use radd_net::RetryPolicy;
+use radd_protocol::Msg;
+use std::collections::HashMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Dial timeout for one connection attempt.
+const DIAL_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Redial backoff after a failed dial: quick first retry, 640 ms ceiling.
+/// (The schedule is the site retransmit policy — dial failures and lost
+/// messages are absorbed by the same machinery.)
+const DIAL_RETRY: RetryPolicy = RetryPolicy::SITE_RETRANSMIT;
+
+/// Reader threads poll their stream at this granularity so shutdown flags
+/// are observed promptly.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// What arrived on the endpoint's inbox.
+#[derive(Debug)]
+pub enum Inbound {
+    /// A protocol message from endpoint `src`.
+    Proto {
+        /// Sender's endpoint id.
+        src: usize,
+        /// The message.
+        msg: Msg,
+    },
+    /// A control request; answer by writing a `CtlRep` frame to `reply`.
+    Ctl {
+        /// Request id to echo.
+        rid: u64,
+        /// The request.
+        req: crate::frame::CtlReq,
+        /// Write half of the requesting connection.
+        reply: WriteHalf,
+    },
+}
+
+/// What became of one send attempt — mirrors the threaded client's
+/// classification: `Sent` covers everything a retry can fix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Written to a connection, or silently lost (dial pending/backoff,
+    /// peer not connected) — retriable.
+    Sent,
+    /// No retry can succeed (destination outside the site map, endpoint
+    /// shut down).
+    Closed,
+}
+
+/// Shareable write half of a connection (the read half lives in its reader
+/// thread). Writes are whole frames under the lock, so frames never
+/// interleave mid-stream.
+#[derive(Debug, Clone)]
+pub struct WriteHalf {
+    stream: Arc<Mutex<TcpStream>>,
+}
+
+impl WriteHalf {
+    fn new(stream: TcpStream) -> WriteHalf {
+        WriteHalf {
+            stream: Arc::new(Mutex::new(stream)),
+        }
+    }
+
+    /// Write one frame; an io error means the connection is dead.
+    pub fn write(&self, frame: &Frame) -> std::io::Result<()> {
+        let mut s = self.stream.lock().expect("writer lock poisoned");
+        write_frame(&mut *s, frame)
+    }
+}
+
+struct Shared {
+    /// Live send-side connections by peer endpoint id.
+    peers: Mutex<HashMap<usize, WriteHalf>>,
+    /// Failed-dial backoff per site index: (next allowed attempt, step).
+    dial_backoff: Mutex<HashMap<usize, (Instant, u32)>>,
+    inbox_tx: Sender<Inbound>,
+    shutdown: AtomicBool,
+}
+
+/// One process's socket identity. See the module docs.
+pub struct SocketEndpoint {
+    id: usize,
+    ep_base: usize,
+    site_addrs: Vec<SocketAddr>,
+    shared: Arc<Shared>,
+    inbox_rx: Receiver<Inbound>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl SocketEndpoint {
+    /// A client endpoint: dials sites, never listens.
+    pub fn client(id: usize, ep_base: usize, site_addrs: Vec<SocketAddr>) -> SocketEndpoint {
+        Self::build(id, ep_base, site_addrs, None)
+    }
+
+    /// A site endpoint serving on `listener` (bind it first — typically to
+    /// `127.0.0.1:0` in tests — so the chosen port is known to the caller).
+    pub fn site(
+        id: usize,
+        ep_base: usize,
+        site_addrs: Vec<SocketAddr>,
+        listener: TcpListener,
+    ) -> SocketEndpoint {
+        Self::build(id, ep_base, site_addrs, Some(listener))
+    }
+
+    fn build(
+        id: usize,
+        ep_base: usize,
+        site_addrs: Vec<SocketAddr>,
+        listener: Option<TcpListener>,
+    ) -> SocketEndpoint {
+        let (inbox_tx, inbox_rx) = std::sync::mpsc::channel();
+        let shared = Arc::new(Shared {
+            peers: Mutex::new(HashMap::new()),
+            dial_backoff: Mutex::new(HashMap::new()),
+            inbox_tx,
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_thread = listener.map(|l| {
+            let shared = Arc::clone(&shared);
+            l.set_nonblocking(true).expect("listener nonblocking");
+            std::thread::spawn(move || accept_loop(&l, &shared))
+        });
+        SocketEndpoint {
+            id,
+            ep_base,
+            site_addrs,
+            shared,
+            inbox_rx,
+            accept_thread,
+        }
+    }
+
+    /// This endpoint's id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// First site endpoint id (clients occupy `0..ep_base`).
+    pub fn ep_base(&self) -> usize {
+        self.ep_base
+    }
+
+    /// Send `msg` to endpoint `dst`, dialing if needed.
+    pub fn send(&self, dst: usize, msg: &Msg) -> SendOutcome {
+        if self.shared.shutdown.load(Ordering::Relaxed) {
+            return SendOutcome::Closed;
+        }
+        let frame = Frame::Proto(msg.clone());
+        if let Some(w) = self.peer(dst) {
+            if w.write(&frame).is_ok() {
+                return SendOutcome::Sent;
+            }
+            // Dead connection: forget it. A site destination falls through
+            // to a fresh dial below; a client destination is simply lost.
+            self.shared.peers.lock().expect("peers lock").remove(&dst);
+        }
+        if dst < self.ep_base {
+            // A client we have no connection to: unreachable until it dials
+            // us again. Loss, not closure — its retransmission recovers.
+            return SendOutcome::Sent;
+        }
+        let site = dst - self.ep_base;
+        if site >= self.site_addrs.len() {
+            return SendOutcome::Closed;
+        }
+        match self.dial(site) {
+            Some(w) => {
+                let _ = w.write(&frame);
+                SendOutcome::Sent
+            }
+            // Dial refused or backing off: silent loss.
+            None => SendOutcome::Sent,
+        }
+    }
+
+    fn peer(&self, dst: usize) -> Option<WriteHalf> {
+        self.shared
+            .peers
+            .lock()
+            .expect("peers lock")
+            .get(&dst)
+            .cloned()
+    }
+
+    /// Dial site `site` (by index), handshake, and register the
+    /// connection. `None` when the dial failed or its backoff window has
+    /// not elapsed yet.
+    fn dial(&self, site: usize) -> Option<WriteHalf> {
+        let dst = self.ep_base + site;
+        {
+            let backoff = self.shared.dial_backoff.lock().expect("backoff lock");
+            if let Some(&(next_at, _)) = backoff.get(&site) {
+                if Instant::now() < next_at {
+                    return None;
+                }
+            }
+        }
+        match TcpStream::connect_timeout(&self.site_addrs[site], DIAL_TIMEOUT) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let write = WriteHalf::new(stream.try_clone().ok()?);
+                if write.write(&Frame::Hello { id: self.id as u64 }).is_err() {
+                    return None;
+                }
+                self.shared
+                    .dial_backoff
+                    .lock()
+                    .expect("backoff lock")
+                    .remove(&site);
+                self.shared
+                    .peers
+                    .lock()
+                    .expect("peers lock")
+                    .insert(dst, write.clone());
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || reader_loop(stream, Some(dst), &shared));
+                Some(write)
+            }
+            Err(_) => {
+                let mut backoff = self.shared.dial_backoff.lock().expect("backoff lock");
+                let step = backoff.get(&site).map_or(0, |&(_, s)| s.saturating_add(1));
+                backoff.insert(site, (Instant::now() + DIAL_RETRY.delay(step), step));
+                None
+            }
+        }
+    }
+
+    /// Receive the next inbound item, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Inbound, RecvTimeoutError> {
+        self.inbox_rx.recv_timeout(timeout)
+    }
+
+    /// Stop accepting and tell reader threads to wind down. Existing
+    /// connections die as their reads next time out.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SocketEndpoint {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Accept loop: non-blocking polls so the shutdown flag is honoured.
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || reader_loop(stream, None, &shared));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Drain one connection into the inbox. `peer_id` is known for dialed
+/// connections; accepted ones learn it from the leading [`Frame::Hello`]
+/// and then register their write half so replies can route back.
+fn reader_loop(stream: TcpStream, peer_id: Option<usize>, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let write = WriteHalf::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut reader = stream;
+    let mut dec = FrameDecoder::new();
+    let mut scratch = [0u8; 64 * 1024];
+    let mut peer_id = peer_id;
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // Drain every complete frame before reading again.
+        loop {
+            let frame = match dec.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                // Framing lost (corrupt stream): the connection is useless.
+                Err(_) => return,
+            };
+            match frame {
+                Frame::Hello { id } => {
+                    let id = id as usize;
+                    peer_id = Some(id);
+                    shared
+                        .peers
+                        .lock()
+                        .expect("peers lock")
+                        .insert(id, write.clone());
+                }
+                Frame::Proto(msg) => {
+                    let Some(src) = peer_id else {
+                        // Protocol before Hello: drop — an anonymous peer
+                        // cannot receive replies anyway.
+                        continue;
+                    };
+                    if shared.inbox_tx.send(Inbound::Proto { src, msg }).is_err() {
+                        return;
+                    }
+                }
+                Frame::CtlReq { rid, req } => {
+                    let item = Inbound::Ctl {
+                        rid,
+                        req,
+                        reply: write.clone(),
+                    };
+                    if shared.inbox_tx.send(item).is_err() {
+                        return;
+                    }
+                }
+                // Replies are matched by the control *client* (radd-cli),
+                // which reads its connection directly; an endpoint inbox
+                // never expects one.
+                Frame::CtlRep { .. } => {}
+            }
+        }
+        match reader.read(&mut scratch) {
+            Ok(0) => return, // peer closed
+            Ok(n) => dec.feed(&scratch[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loopback_pair() -> (SocketEndpoint, SocketEndpoint) {
+        // One "site" (ep 1) and one "client" (ep 0).
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let site = SocketEndpoint::site(1, 1, vec![addr], listener);
+        let client = SocketEndpoint::client(0, 1, vec![addr]);
+        (client, site)
+    }
+
+    #[test]
+    fn request_and_reply_cross_the_wire() {
+        let (client, site) = loopback_pair();
+        assert_eq!(
+            client.send(1, &Msg::Read { index: 4, tag: 9 }),
+            SendOutcome::Sent
+        );
+        let got = site.recv_timeout(Duration::from_secs(2)).unwrap();
+        let Inbound::Proto { src, msg } = got else {
+            panic!("expected protocol message");
+        };
+        assert_eq!(src, 0);
+        assert_eq!(msg, Msg::Read { index: 4, tag: 9 });
+        // Reply over the inbound connection (site never dials a client).
+        assert_eq!(site.send(0, &Msg::WriteOk { tag: 9 }), SendOutcome::Sent);
+        let back = client.recv_timeout(Duration::from_secs(2)).unwrap();
+        let Inbound::Proto { src, msg } = back else {
+            panic!("expected protocol reply");
+        };
+        assert_eq!(src, 1);
+        assert_eq!(msg, Msg::WriteOk { tag: 9 });
+    }
+
+    #[test]
+    fn unknown_site_is_closed_and_missing_client_is_loss() {
+        let (client, site) = loopback_pair();
+        assert_eq!(client.send(7, &Msg::Ack { tag: 0 }), SendOutcome::Closed);
+        // The site has never heard from client 0 on this fresh pair, so a
+        // reply to it is silently lost — not an error.
+        assert_eq!(site.send(0, &Msg::Ack { tag: 0 }), SendOutcome::Sent);
+        drop(client);
+    }
+
+    #[test]
+    fn dial_failure_backs_off_instead_of_erroring() {
+        // A site map pointing at a dead port: sends report Sent (silent
+        // loss) and the dial backoff keeps the endpoint from spinning.
+        let dead = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = dead.local_addr().unwrap();
+        drop(dead);
+        let client = SocketEndpoint::client(0, 1, vec![addr]);
+        assert_eq!(client.send(1, &Msg::Ack { tag: 1 }), SendOutcome::Sent);
+        assert_eq!(client.send(1, &Msg::Ack { tag: 2 }), SendOutcome::Sent);
+    }
+}

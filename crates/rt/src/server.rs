@@ -1,31 +1,22 @@
-//! The per-site server thread: a [`SiteMachine`] driven by a real event
-//! loop.
+//! The per-site server thread for the socket runtime.
 //!
-//! All protocol logic — W1–W4 deferred acks, the parity UID idempotence
-//! guard, stop-and-wait per-row retransmission, spare slots, the
-//! at-most-once reply cache — lives in [`radd_protocol::SiteMachine`]. This
-//! module owns only what the sans-IO machine cannot: the endpoint, the
-//! wall clock, and the control channel. Each loop iteration
+//! Protocol behaviour is untouched from the threaded runtime: all of it —
+//! W1–W4 deferred acks, the parity UID idempotence guard, stop-and-wait
+//! per-row retransmission, spare slots, the at-most-once reply cache —
+//! lives in [`radd_protocol::SiteMachine`], and the loop here mirrors
+//! `radd_node::site::run_site` move for move (drain control, fire due
+//! timers, feed one inbound message). What changes is the substrate: the
+//! endpoint is a real [`SocketEndpoint`], and a second, *wire* control
+//! plane answers [`CtlReq`] frames from `radd-cli` so a standalone
+//! `radd-server` process can be inspected and administered remotely.
 //!
-//! 1. drains harness control commands,
-//! 2. fires due retransmit timers into [`SiteMachine::on_timer`],
-//! 3. feeds one inbound message into [`SiteMachine::handle`],
-//!
-//! and interprets the resulting effects: `Send` → endpoint send, `SetTimer`
-//! → an exponential-backoff deadline in the local timer wheel, `ClearTimer`
-//! → disarm. Block I/O receipts need no interpretation here (the machine
-//! already performed the I/O against its in-memory [`MemBlocks`]).
-//!
-//! Fault harnesses must quiesce a site (wait for its pending table to
-//! drain, via [`Control::QueryPending`]) before killing it: a temporary
-//! failure with an in-doubt parity update would otherwise leave data and
-//! parity divergent, which is the §6 in-doubt-transaction problem the
-//! paper resolves with coordinator logs that this in-memory runtime does
-//! not model.
+//! Both control planes answer even while the site is marked down — a down
+//! site is deaf to the protocol, not to its operator.
 
-use crate::message::Msg;
-use radd_net::{RetryPolicy, ThreadedEndpoint};
-use radd_obs::{MachineObs, MachineSnapshot};
+use crate::frame::{CtlRep, CtlReq, Frame};
+use crate::net::{Inbound, SocketEndpoint};
+use radd_net::RetryPolicy;
+use radd_obs::{MachineObs, MachineSnapshot, ObsSnapshot};
 use radd_protocol::{trace, CoalescePolicy, Dest, Effect, MemBlocks, SiteMachine, TraceEntry};
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
@@ -35,36 +26,33 @@ use std::time::{Duration, Instant};
 /// so the threaded and socket runtimes stay tuned together.
 const RETRANSMIT: RetryPolicy = RetryPolicy::SITE_RETRANSMIT;
 
-/// Control-plane commands (out of band, from the test harness).
+/// Control-plane commands (out of band, from an in-process harness). The
+/// vocabulary matches `radd_node::site::Control` so the cluster harnesses
+/// stay interchangeable; standalone processes speak [`CtlReq`] over the
+/// wire instead.
 #[derive(Debug)]
 pub enum Control {
     /// Mark the site down (refuse protocol messages) or back up. The ack
     /// channel makes the transition synchronous: the harness knows the
-    /// site has crossed the boundary before it issues further traffic
-    /// (otherwise a revive could be observed *before* the kill, leaving
-    /// the site transiently deaf).
+    /// site has crossed the boundary before it issues further traffic.
     SetDown(bool, std::sync::mpsc::Sender<()>),
-    /// Report how many writes are still waiting for a parity ack. The
-    /// harness polls this to quiesce the cluster before failure injection
-    /// or invariant checks.
+    /// Report how many writes are still waiting for a parity ack.
     QueryPending(std::sync::mpsc::Sender<usize>),
     /// Report whether no request of this site is awaiting an ack
     /// ([`SiteMachine::all_acked`]).
     QueryAllAcked(std::sync::mpsc::Sender<bool>),
     /// Start (`true`) or stop recording the site's normalised effect trace
-    /// (for differential tests against the DES interpreter).
+    /// (for differential tests against the DES and threaded interpreters).
     RecordTrace(bool, std::sync::mpsc::Sender<()>),
     /// Hand over the recorded trace, clearing the buffer.
     TakeTrace(std::sync::mpsc::Sender<Vec<TraceEntry>>),
     /// Freeze and hand over the site's metrics + flight-recorder snapshot.
-    /// Served from the control drain, so it works even while the site is
-    /// marked down — exactly when the flight recorder is most interesting.
     QueryObs(std::sync::mpsc::Sender<MachineSnapshot>),
     /// Stop the thread.
     Shutdown,
 }
 
-/// Static site parameters.
+/// Static site parameters (the socket twin of `radd_node`'s `SiteConfig`).
 #[derive(Debug, Clone, Copy)]
 pub struct SiteConfig {
     /// This site's id (0-based).
@@ -77,11 +65,9 @@ pub struct SiteConfig {
     pub block_size: usize,
     /// Endpoint id of site 0 (clients occupy the endpoints below it).
     pub ep_base: usize,
-    /// Parity-update coalescing policy. The threaded runtime defaults to
-    /// [`CoalescePolicy::Merge`] (queued masks for a row XOR-merge while an
-    /// update is in flight); differential harnesses pass
-    /// [`CoalescePolicy::Off`] to stay message-for-message identical to the
-    /// DES interpreter.
+    /// Parity-update coalescing policy. Differential harnesses pass
+    /// [`CoalescePolicy::Off`] to stay message-for-message identical to
+    /// the DES interpreter; deployments default to `Merge`.
     pub coalesce: CoalescePolicy,
 }
 
@@ -94,13 +80,11 @@ struct SiteDriver {
     timers: BTreeMap<u64, Instant>,
     trace: Option<Vec<TraceEntry>>,
     /// Always-on metrics + flight recorder, tapped off the effect stream.
-    /// Recording is fixed-cost (dense counters, a ring overwrite), so it
-    /// stays enabled even when nobody will ever snapshot it.
     obs: MachineObs,
 }
 
 impl SiteDriver {
-    fn interpret(&mut self, ep: &ThreadedEndpoint<Msg>, out: Vec<Effect>) {
+    fn interpret(&mut self, ep: &SocketEndpoint, out: Vec<Effect>) {
         let now = Instant::now();
         for eff in out {
             if let Some(buf) = &mut self.trace {
@@ -115,7 +99,7 @@ impl SiteDriver {
                         Dest::Site(s) => self.cfg.ep_base + s,
                         Dest::Peer(p) => p,
                     };
-                    let _ = ep.send(dst, msg);
+                    let _ = ep.send(dst, &msg);
                 }
                 Effect::SetTimer { tag, step } => {
                     self.timers.insert(tag, now + RETRANSMIT.delay(step));
@@ -136,11 +120,10 @@ impl SiteDriver {
     }
 
     /// Fire every retransmit timer whose deadline has passed. The resend
-    /// may itself be dropped by loss injection or refused during a
-    /// partition; either way the timer re-arms with a doubled delay, so
-    /// convergence only needs the loss probability to be below certainty
-    /// and partitions to eventually heal.
-    fn fire_due_timers(&mut self, ep: &ThreadedEndpoint<Msg>) {
+    /// may vanish in the fault proxy or a dead connection; the timer
+    /// re-arms on the policy schedule, so convergence only needs loss to
+    /// stay below certainty and partitions to eventually heal.
+    fn fire_due_timers(&mut self, ep: &SocketEndpoint) {
         let now = Instant::now();
         let due: Vec<u64> = self
             .timers
@@ -155,10 +138,41 @@ impl SiteDriver {
             self.interpret(ep, out);
         }
     }
+
+    /// Snapshot this site's obs state under its canonical machine name.
+    fn obs_snapshot(&mut self) -> MachineSnapshot {
+        let merges = self.machine.coalesced_merges();
+        self.obs.metrics().set_coalesced_merges(merges);
+        self.obs.snapshot(&format!("site {}", self.cfg.site))
+    }
+
+    /// Answer one wire control request. Returns `true` when the request
+    /// asked the server to shut down.
+    fn serve_ctl(&mut self, rid: u64, req: &CtlReq, reply: &crate::net::WriteHalf) -> bool {
+        let (rep, stop) = match *req {
+            CtlReq::Ping => (CtlRep::Pong { down: self.down }, false),
+            CtlReq::QueryPending => (CtlRep::Pending(self.machine.pending_writes() as u64), false),
+            CtlReq::QueryAllAcked => (CtlRep::AllAcked(self.machine.all_acked()), false),
+            CtlReq::SetDown(d) => {
+                self.down = d;
+                (CtlRep::Done, false)
+            }
+            CtlReq::QueryObsJson => {
+                let snap = ObsSnapshot {
+                    machines: vec![self.obs_snapshot()],
+                };
+                (CtlRep::ObsJson(snap.to_json()), false)
+            }
+            CtlReq::Shutdown => (CtlRep::Done, true),
+        };
+        let _ = reply.write(&Frame::CtlRep { rid, rep });
+        stop
+    }
 }
 
-/// Run the site event loop until shutdown.
-pub fn run_site(cfg: SiteConfig, ep: &ThreadedEndpoint<Msg>, control: &Receiver<Control>) {
+/// Run the site event loop until shutdown (by [`Control::Shutdown`], a
+/// wire [`CtlReq::Shutdown`], or the control channel disconnecting).
+pub fn run_site(cfg: SiteConfig, ep: &SocketEndpoint, control: &Receiver<Control>) {
     let mut machine = SiteMachine::new(cfg.site, cfg.group_size, cfg.rows, cfg.block_size);
     machine.set_coalesce(cfg.coalesce);
     let mut st = SiteDriver {
@@ -194,12 +208,8 @@ pub fn run_site(cfg: SiteConfig, ep: &ThreadedEndpoint<Msg>, control: &Receiver<
                     let _ = reply.send(buf);
                 }
                 Ok(Control::QueryObs(reply)) => {
-                    // Coalesced merges are counted inside the machine;
-                    // mirror them into the gauge at snapshot time.
-                    let merges = st.machine.coalesced_merges();
-                    st.obs.metrics().set_coalesced_merges(merges);
-                    let name = format!("site {}", st.cfg.site);
-                    let _ = reply.send(st.obs.snapshot(&name));
+                    let snap = st.obs_snapshot();
+                    let _ = reply.send(snap);
                 }
                 Ok(Control::Shutdown) => return,
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
@@ -212,15 +222,25 @@ pub fn run_site(cfg: SiteConfig, ep: &ThreadedEndpoint<Msg>, control: &Receiver<
         let Ok(inbound) = ep.recv_timeout(Duration::from_millis(20)) else {
             continue;
         };
-        // A down site answers nothing, and its own pending acks never
-        // arrive either — exactly a crashed process from the network's
-        // point of view. (We swallow the message rather than queueing.)
-        if st.down {
-            continue;
+        match inbound {
+            // Wire control is served even while down — a down site is deaf
+            // to the protocol, not to its operator.
+            Inbound::Ctl { rid, req, reply } => {
+                if st.serve_ctl(rid, &req, &reply) {
+                    return;
+                }
+            }
+            Inbound::Proto { src, msg } => {
+                // A down site answers nothing, and its own pending acks
+                // never arrive either — exactly a crashed process from the
+                // network's point of view.
+                if st.down {
+                    continue;
+                }
+                let mut out = Vec::new();
+                st.machine.handle(&mut st.blocks, src, msg, &mut out);
+                st.interpret(ep, out);
+            }
         }
-        let mut out = Vec::new();
-        st.machine
-            .handle(&mut st.blocks, inbound.src, inbound.payload, &mut out);
-        st.interpret(ep, out);
     }
 }

@@ -1,0 +1,407 @@
+//! Property tests of the wire codec: every frame kind roundtrips through
+//! the incremental decoder under arbitrary kernel-chosen read splits, and
+//! malformed input — truncated frames, oversized length prefixes,
+//! corrupted checksums, outright garbage — produces clean errors, never a
+//! panic and never an allocation driven by attacker-controlled lengths.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use proptest::strategy::Union;
+use radd_parity::Uid;
+use radd_protocol::wire::{Msg, NackReason, SpareContent, SpareSlotWire};
+use radd_rt::frame::{
+    write_frame, CtlRep, CtlReq, Frame, FrameDecoder, FrameError, FRAME_HEADER, MAX_FRAME,
+};
+
+// ---------------------------------------------------------------------
+// strategies: every message and frame kind
+// ---------------------------------------------------------------------
+
+fn arb_bytes(max: usize) -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..max).prop_map(Bytes::from)
+}
+
+fn arb_uid() -> impl Strategy<Value = Uid> {
+    any::<u64>().prop_map(Uid::from_raw)
+}
+
+fn arb_content() -> impl Strategy<Value = SpareContent> {
+    prop_oneof![
+        arb_uid().prop_map(|uid| SpareContent::Data { uid }),
+        proptest::collection::vec(arb_uid(), 0..6).prop_map(|uids| SpareContent::Parity { uids }),
+    ]
+}
+
+fn arb_nack_reason() -> impl Strategy<Value = NackReason> {
+    prop_oneof![
+        Just(NackReason::Down),
+        Just(NackReason::OutOfRange),
+        Just(NackReason::BadSize),
+        Just(NackReason::Unavailable),
+        Just(NackReason::Conflict),
+    ]
+}
+
+fn arb_slot() -> impl Strategy<Value = Option<SpareSlotWire>> {
+    prop_oneof![
+        Just(None::<SpareSlotWire>),
+        (0..8usize, arb_bytes(64), arb_content()).prop_map(|(for_site, data, content)| {
+            Some(SpareSlotWire {
+                for_site,
+                data,
+                content,
+            })
+        }),
+    ]
+}
+
+/// One arm per [`Msg`] variant — adding a wire variant without extending
+/// this union fails the coverage check in `every_msg_kind_is_generated`.
+fn arb_msg() -> impl Strategy<Value = Msg> {
+    Union::new(vec![
+        (
+            1,
+            Union::arm(
+                (any::<u64>(), any::<u64>()).prop_map(|(index, tag)| Msg::Read { index, tag }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (any::<u64>(), arb_bytes(64), any::<u64>())
+                    .prop_map(|(index, data, tag)| Msg::Write { index, data, tag }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (
+                    any::<u64>(),
+                    arb_bytes(64),
+                    arb_uid(),
+                    0..8usize,
+                    any::<u64>(),
+                )
+                    .prop_map(|(row, mask_wire, uid, from_site, tag)| {
+                        Msg::ParityUpdate {
+                            row,
+                            mask_wire,
+                            uid,
+                            from_site,
+                            tag,
+                        }
+                    }),
+            ),
+        ),
+        (
+            1,
+            Union::arm((any::<u64>(), any::<bool>(), any::<u64>()).prop_map(
+                |(row, want_data, tag)| Msg::SpareProbe {
+                    row,
+                    want_data,
+                    tag,
+                },
+            )),
+        ),
+        (
+            1,
+            Union::arm(
+                (
+                    any::<u64>(),
+                    0..8usize,
+                    arb_bytes(64),
+                    arb_content(),
+                    any::<u64>(),
+                )
+                    .prop_map(|(row, for_site, data, content, tag)| {
+                        Msg::SpareInstall {
+                            row,
+                            for_site,
+                            data,
+                            content,
+                            tag,
+                        }
+                    }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (any::<u64>(), any::<u64>()).prop_map(|(row, tag)| Msg::BlockRead { row, tag }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (0..8usize, any::<u64>())
+                    .prop_map(|(for_site, tag)| Msg::SpareDrainList { for_site, tag }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (any::<u64>(), any::<u64>()).prop_map(|(row, tag)| Msg::SpareTake { row, tag }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (any::<u64>(), arb_bytes(64), arb_content(), any::<u64>()).prop_map(
+                    |(row, data, content, tag)| Msg::RestoreBlock {
+                        row,
+                        data,
+                        content,
+                        tag,
+                    },
+                ),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (any::<u64>(), arb_bytes(64)).prop_map(|(tag, data)| Msg::ReadOk { tag, data }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(any::<u64>().prop_map(|tag| Msg::WriteOk { tag })),
+        ),
+        (1, Union::arm(any::<u64>().prop_map(|tag| Msg::Ack { tag }))),
+        (
+            1,
+            Union::arm(
+                (any::<u64>(), arb_nack_reason())
+                    .prop_map(|(tag, reason)| Msg::Nack { tag, reason }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (
+                    any::<u64>(),
+                    arb_bytes(64),
+                    arb_uid(),
+                    prop_oneof![
+                        Just(None::<Vec<Uid>>),
+                        proptest::collection::vec(arb_uid(), 0..6).prop_map(Some),
+                    ],
+                )
+                    .prop_map(|(tag, data, uid, parity_uids)| Msg::BlockData {
+                        tag,
+                        data,
+                        uid,
+                        parity_uids,
+                    }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (any::<u64>(), arb_slot()).prop_map(|(tag, slot)| Msg::SpareState { tag, slot }),
+            ),
+        ),
+        (
+            1,
+            Union::arm(
+                (any::<u64>(), proptest::collection::vec(any::<u64>(), 0..12))
+                    .prop_map(|(tag, rows)| Msg::SpareRows { tag, rows }),
+            ),
+        ),
+    ])
+}
+
+fn arb_ctl_req() -> impl Strategy<Value = CtlReq> {
+    prop_oneof![
+        Just(CtlReq::Ping),
+        Just(CtlReq::QueryPending),
+        Just(CtlReq::QueryAllAcked),
+        any::<bool>().prop_map(CtlReq::SetDown),
+        Just(CtlReq::QueryObsJson),
+        Just(CtlReq::Shutdown),
+    ]
+}
+
+fn arb_ctl_rep() -> impl Strategy<Value = CtlRep> {
+    prop_oneof![
+        any::<bool>().prop_map(|down| CtlRep::Pong { down }),
+        any::<u64>().prop_map(CtlRep::Pending),
+        any::<bool>().prop_map(CtlRep::AllAcked),
+        Just(CtlRep::Done),
+        proptest::collection::vec(0x20u8..0x7F, 0..64)
+            .prop_map(|v| CtlRep::ObsJson(String::from_utf8(v).expect("printable ASCII"))),
+    ]
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    prop_oneof![
+        any::<u64>().prop_map(|id| Frame::Hello { id }),
+        arb_msg().prop_map(Frame::Proto),
+        (any::<u64>(), arb_ctl_req()).prop_map(|(rid, req)| Frame::CtlReq { rid, req }),
+        (any::<u64>(), arb_ctl_rep()).prop_map(|(rid, rep)| Frame::CtlRep { rid, rep }),
+    ]
+}
+
+/// Encode a frame stream to raw wire bytes.
+fn to_wire(frames: &[Frame]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for f in frames {
+        write_frame(&mut wire, f).expect("Vec write");
+    }
+    wire
+}
+
+/// Drive a decoder over `wire` delivered in the splits dictated by `cuts`
+/// (cycled chunk sizes), decoding as bytes arrive — exactly what a TCP
+/// reader sees from the kernel.
+fn decode_split(wire: &[u8], cuts: &[usize]) -> Result<Vec<Frame>, FrameError> {
+    let mut dec = FrameDecoder::new();
+    let mut got = Vec::new();
+    let mut rest = wire;
+    let mut cuts = cuts.iter().cycle();
+    while !rest.is_empty() {
+        let n = cuts.next().copied().unwrap_or(1).clamp(1, rest.len());
+        let (chunk, tail) = rest.split_at(n);
+        dec.feed(chunk);
+        rest = tail;
+        while let Some(f) = dec.next_frame()? {
+            got.push(f);
+        }
+    }
+    Ok(got)
+}
+
+// ---------------------------------------------------------------------
+// roundtrip under arbitrary read splits, hardening against malformation
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any stream of frames, any chunking: the decoder reproduces the
+    /// stream exactly, and the result does not depend on the chunking.
+    #[test]
+    fn frames_roundtrip_under_any_read_split(
+        frames in proptest::collection::vec(arb_frame(), 1..6),
+        cuts in proptest::collection::vec(1usize..96, 1..8),
+    ) {
+        let wire = to_wire(&frames);
+        let split = decode_split(&wire, &cuts).expect("valid stream");
+        prop_assert_eq!(&split, &frames, "split decode diverged");
+        // One coalesced feed (the kernel handing everything at once)
+        // decodes to the identical sequence.
+        let coalesced = decode_split(&wire, &[wire.len()]).expect("valid stream");
+        prop_assert_eq!(&coalesced, &frames, "coalesced decode diverged");
+    }
+
+    /// A truncated stream never errors and never fabricates the missing
+    /// frame: every complete prefix frame decodes, then the decoder waits.
+    #[test]
+    fn truncation_yields_a_clean_wait_not_an_error(
+        frames in proptest::collection::vec(arb_frame(), 1..4),
+        keep_fraction in 0.0f64..1.0,
+    ) {
+        let wire = to_wire(&frames);
+        let keep = ((wire.len() as f64) * keep_fraction) as usize;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire[..keep]);
+        let mut got = Vec::new();
+        loop {
+            match dec.next_frame() {
+                Ok(Some(f)) => got.push(f),
+                Ok(None) => break, // waiting for the rest — the only legal end
+                Err(e) => panic!("truncated stream errored: {e}"),
+            }
+        }
+        prop_assert!(got.len() <= frames.len());
+        prop_assert_eq!(&got[..], &frames[..got.len()], "prefix decode diverged");
+    }
+
+    /// A length prefix beyond [`MAX_FRAME`] is rejected as soon as the
+    /// 12-byte header is readable — before any payload is buffered, so a
+    /// hostile 4 GiB claim cannot balloon memory.
+    #[test]
+    fn oversized_length_prefix_is_rejected_from_the_header_alone(
+        claimed in (MAX_FRAME as u64 + 1)..=u64::from(u32::MAX),
+        check in any::<u64>(),
+    ) {
+        let mut dec = FrameDecoder::new();
+        let mut head = Vec::with_capacity(FRAME_HEADER);
+        head.extend_from_slice(&(claimed as u32).to_le_bytes());
+        head.extend_from_slice(&check.to_le_bytes());
+        dec.feed(&head);
+        prop_assert_eq!(dec.next_frame(), Err(FrameError::Oversized { claimed }));
+    }
+
+    /// Corrupting the checksum field always surfaces as `BadChecksum`.
+    #[test]
+    fn corrupted_checksum_is_always_detected(
+        frame in arb_frame(),
+        flip in proptest::collection::vec(any::<u8>(), 8),
+    ) {
+        let mut wire = to_wire(std::slice::from_ref(&frame));
+        let mut changed = false;
+        for (i, f) in flip.iter().enumerate() {
+            wire[4 + i] ^= f;
+            changed |= *f != 0;
+        }
+        prop_assume!(changed);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        prop_assert_eq!(dec.next_frame(), Err(FrameError::BadChecksum));
+    }
+
+    /// Flipping any single byte of a valid frame never decodes back to the
+    /// original frame and never panics: the checksum catches payload
+    /// damage; header damage yields a clean wait (length shrank) or error.
+    #[test]
+    fn single_byte_corruption_never_reproduces_the_frame(
+        frame in arb_frame(),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255,
+    ) {
+        let mut wire = to_wire(std::slice::from_ref(&frame));
+        let pos = pos_seed % wire.len();
+        wire[pos] ^= xor;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        // `Ok(None)` (a clean wait: the length shrank) and `Err` (a clean
+        // rejection) are both fine; only a silent wrong decode is a bug.
+        if let Ok(Some(got)) = dec.next_frame() {
+            prop_assert_ne!(got, frame, "corruption went unnoticed");
+        }
+    }
+
+    /// Arbitrary garbage fed in arbitrary chunks: the decoder returns
+    /// frames, waits, or errors — it never panics.
+    #[test]
+    fn garbage_streams_never_panic(
+        junk in proptest::collection::vec(any::<u8>(), 0..256),
+        cuts in proptest::collection::vec(1usize..64, 1..6),
+    ) {
+        let _ = decode_split(&junk, &cuts); // Ok or Err both fine; no panic
+    }
+}
+
+/// The `arb_msg` union covers every [`radd_protocol::MsgKind`]; if a wire
+/// variant is added without extending the strategy, this fails rather than
+/// silently shrinking codec coverage.
+#[test]
+fn every_msg_kind_is_generated() {
+    use proptest::strategy::Strategy as _;
+    use radd_protocol::MsgKind;
+    let strategy = arb_msg();
+    let mut rng = proptest::TestRng::new(0xC0DEC);
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..4096 {
+        seen.insert(strategy.sample(&mut rng).kind());
+        if seen.len() == MsgKind::COUNT {
+            return;
+        }
+    }
+    let missing: Vec<MsgKind> = MsgKind::ALL
+        .iter()
+        .copied()
+        .filter(|k| !seen.contains(k))
+        .collect();
+    panic!("strategy never produced: {missing:?}");
+}

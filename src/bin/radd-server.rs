@@ -1,0 +1,87 @@
+//! `radd-server` — one RADD site as a standalone process.
+//!
+//! ```text
+//! radd-server <site-id> <site-map-file> [--coalesce off]
+//! ```
+//!
+//! Binds the listener given for `<site-id>` in the site map (see
+//! [`radd_rt::ClusterConfig`] for the format) and serves the Section 3
+//! protocol until a `radd-cli shutdown` arrives over the wire or the
+//! process is killed. Run one instance per `site N = host:port` line to
+//! deploy a G+2 cluster.
+
+use radd_protocol::CoalescePolicy;
+use radd_rt::{ClusterConfig, SiteConfig, SocketEndpoint};
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: radd-server <site-id> <site-map-file> [--coalesce off|merge]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut coalesce = CoalescePolicy::Merge;
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--coalesce" => match it.next().map(String::as_str) {
+                Some("off") => coalesce = CoalescePolicy::Off,
+                Some("merge") => coalesce = CoalescePolicy::Merge,
+                _ => return usage(),
+            },
+            _ => positional.push(a.clone()),
+        }
+    }
+    let [site_id, map_path] = positional.as_slice() else {
+        return usage();
+    };
+    let Ok(site) = site_id.parse::<usize>() else {
+        eprintln!("radd-server: site id `{site_id}` is not a number");
+        return ExitCode::from(2);
+    };
+    let cfg = match ClusterConfig::load(map_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("radd-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if site >= cfg.num_sites() {
+        eprintln!(
+            "radd-server: site {site} is out of range (map lists {} sites)",
+            cfg.num_sites()
+        );
+        return ExitCode::FAILURE;
+    }
+    let addr = cfg.sites[site];
+    let listener = match TcpListener::bind(addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("radd-server: binding {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let ep_base = cfg.ep_base();
+    let ep = SocketEndpoint::site(ep_base + site, ep_base, cfg.sites.clone(), listener);
+    let site_cfg = SiteConfig {
+        site,
+        group_size: cfg.g,
+        rows: cfg.rows,
+        block_size: cfg.block_size,
+        ep_base,
+        coalesce,
+    };
+    println!(
+        "radd-server: site {site} serving on {addr} (G = {}, {} rows × {} B)",
+        cfg.g, cfg.rows, cfg.block_size
+    );
+    // The in-process control channel stays open (and idle) for the whole
+    // run; administration arrives over the wire instead.
+    let (_ctl_tx, ctl_rx) = std::sync::mpsc::channel();
+    radd_rt::server::run_site(site_cfg, &ep, &ctl_rx);
+    println!("radd-server: site {site} shut down");
+    ExitCode::SUCCESS
+}

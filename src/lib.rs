@@ -47,6 +47,7 @@
 //! | [`reliability`] | MTTU/MTTF closed forms and Monte Carlo (§7.5) |
 //! | [`workload`] | access patterns, mixes, failure scenarios (§7.3–7.4) |
 //! | [`node`] | the threaded cluster: one OS thread per site, real messages |
+//! | [`rt`] | the socket runtime: framed TCP transport, fault proxies, binaries |
 //! | [`check`] | bounded exhaustive model checker over the protocol machines |
 
 #![forbid(unsafe_code)]
@@ -62,6 +63,7 @@ pub use radd_obs as obs;
 pub use radd_parity as parity;
 pub use radd_protocol as protocol;
 pub use radd_reliability as reliability;
+pub use radd_rt as rt;
 pub use radd_schemes as schemes;
 pub use radd_sim as sim;
 pub use radd_storage as storage;
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use radd_node::{NodeCluster, ThreadedDriver};
     pub use radd_obs::{MachineObs, MachineSnapshot, ObsSnapshot, DEFAULT_RING_CAP};
     pub use radd_reliability::{Environment, MonteCarlo, Scheme};
+    pub use radd_rt::{ClusterConfig, SocketCluster, SocketDriver};
     pub use radd_schemes::{CRaid, FailureKind, Radd, Raid5, ReplicationScheme, Rowb, TwoDRadd};
     pub use radd_sim::{CostParams, OpCounts, SimRng};
     pub use radd_storage::{NoOverwriteManager, RecoveryContext, StorageManager, WalManager};

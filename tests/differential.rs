@@ -1,25 +1,28 @@
-//! Differential test: one protocol, two interpreters.
+//! Differential test: one protocol, three interpreters.
 //!
 //! The same fault plan is applied, event by event, to the synchronous DES
-//! interpreter (`radd_core::RaddCluster` in client mode) and the threaded
-//! runtime (`radd_node::NodeCluster`). Both drive the *same* sans-IO
-//! machines from `radd-protocol`, so after the run:
+//! interpreter (`radd_core::RaddCluster` in client mode), the threaded
+//! runtime (`radd_node::NodeCluster`) and the socket runtime
+//! (`radd_rt::SocketCluster`, real TCP on loopback behind fault proxies).
+//! All three drive the *same* sans-IO machines from `radd-protocol`, so
+//! after the run:
 //!
 //! * the normalised effect trace of every machine — the client and each of
-//!   the `G + 2` sites — must be **identical** across the two runtimes
+//!   the `G + 2` sites — must be **identical** across the three runtimes
 //!   (the normalisation drops timer arms and retransmissions, which only
-//!   the threaded runtime exercises), and
+//!   the asynchronous runtimes exercise), and
 //! * every block the oracle knows must read back with the same content on
-//!   both, and both must pass the stripe-invariant sweep.
+//!   all three, and all three must pass the stripe-invariant sweep.
 //!
-//! The DES mirrors the threaded driver's conventions (see
-//! `radd_node::driver`): disasters are applied as temporary site failures,
-//! disk events are skipped, a revived site stays on the believed-down list
-//! until the plan's `Recover`, and writes whose row's parity site is the
-//! impaired site are skipped on both sides.
+//! The DES mirrors the asynchronous drivers' conventions (see
+//! `radd_node::driver` and `radd_rt::cluster`): disasters are applied as
+//! temporary site failures, disk events are skipped, a revived site stays
+//! on the believed-down list until the plan's `Recover`, and writes whose
+//! row's parity site is the impaired site are skipped on every side.
 
 use radd::core::{RaddCluster, RaddConfig, SiteId};
 use radd::node::NodeCluster;
+use radd::rt::SocketCluster;
 use radd::workload::faults::{
     payload, seed_from_name, FailureKind, FaultEvent, FaultPlan, PlanShape,
 };
@@ -28,17 +31,18 @@ use std::time::Duration;
 
 const QUIESCE: Duration = Duration::from_secs(10);
 
-/// Both runtimes under one plan, plus the shared oracle bookkeeping.
-struct Pair {
+/// All three runtimes under one plan, plus the shared oracle bookkeeping.
+struct Trio {
     des: RaddCluster,
     node: NodeCluster,
+    sock: SocketCluster,
     oracle: BTreeMap<(SiteId, u64), Vec<u8>>,
     impaired: Option<SiteId>,
     skipped: u64,
 }
 
-impl Pair {
-    fn start() -> Pair {
+impl Trio {
+    fn start() -> Trio {
         let cfg = RaddConfig::small_g4();
         let mut des = RaddCluster::new(cfg.clone()).unwrap();
         // Coalescing off: the comparison below demands *message-for-message*
@@ -52,11 +56,20 @@ impl Pair {
             1,
             radd::protocol::CoalescePolicy::Off,
         );
+        let (mut sock, _) = SocketCluster::start_with(
+            cfg.group_size,
+            cfg.rows,
+            cfg.block_size,
+            1,
+            radd::protocol::CoalescePolicy::Off,
+        );
         des.record_machine_traces(true);
         node.record_traces(true);
-        Pair {
+        sock.record_traces(true);
+        Trio {
             des,
             node,
+            sock,
             oracle: BTreeMap::new(),
             impaired: None,
             skipped: 0,
@@ -75,10 +88,16 @@ impl Pair {
                 let data = payload(fill, bs);
                 let d = self.des.client_write(site, index, &data);
                 let n = self.node.client().write(site, index, &data);
+                let s = self.sock.client().write(site, index, &data);
                 assert_eq!(
                     d.is_ok(),
                     n.is_ok(),
                     "write(site {site}, index {index}) diverged: des {d:?}, node {n:?}"
+                );
+                assert_eq!(
+                    d.is_ok(),
+                    s.is_ok(),
+                    "write(site {site}, index {index}) diverged: des {d:?}, socket {s:?}"
                 );
                 if d.is_ok() {
                     self.oracle.insert((site, index), data);
@@ -87,13 +106,24 @@ impl Pair {
             FaultEvent::Read { site, index } => {
                 let d = self.des.client_read(site, index);
                 let n = self.node.client().read(site, index);
+                let s = self.sock.client().read(site, index);
                 assert_eq!(
                     d.is_ok(),
                     n.is_ok(),
                     "read(site {site}, index {index}) diverged: des {d:?}, node {n:?}"
                 );
-                if let (Ok(d), Ok(n)) = (d, n) {
-                    assert_eq!(d, n, "read(site {site}, index {index}) content diverged");
+                assert_eq!(
+                    d.is_ok(),
+                    s.is_ok(),
+                    "read(site {site}, index {index}) diverged: des {d:?}, socket {s:?}"
+                );
+                if let Ok(d) = d {
+                    if let Ok(n) = n {
+                        assert_eq!(d, n, "read(site {site}, index {index}) content diverged");
+                    }
+                    if let Ok(s) = s {
+                        assert_eq!(d, s, "read(site {site}, index {index}) content diverged");
+                    }
                 }
             }
             // Disk events are threaded-runtime no-ops; skip on both sides
@@ -103,11 +133,13 @@ impl Pair {
                 ..
             }
             | FaultEvent::ReplaceDisk { .. } => {}
-            // The threaded runtime applies disasters as temporary failures
-            // (disks keep their contents); mirror that here.
+            // The asynchronous runtimes apply disasters as temporary
+            // failures (disks keep their contents); mirror that here.
             FaultEvent::Fail { site, .. } => {
                 self.node.quiesce(QUIESCE).unwrap();
                 self.node.kill_site(site);
+                self.sock.quiesce(QUIESCE).unwrap();
+                self.sock.kill_site(site);
                 self.des.fail_site(site);
                 self.des.client_mark_down(site, true);
                 self.impaired = Some(site);
@@ -115,24 +147,35 @@ impl Pair {
             FaultEvent::RestoreSite { site } => {
                 self.node.revive_site(site);
                 self.node.client().mark_down(site, true);
+                self.sock.revive_site(site);
+                self.sock.client().mark_down(site, true);
                 self.des.restore_site(site);
                 self.des.client_mark_down(site, true);
             }
             FaultEvent::Recover { site } => {
                 let d = self.des.client_recover(site);
                 let n = self.node.client().recover(site);
+                let s = self.sock.client().recover(site);
                 assert_eq!(
                     d.as_ref().ok(),
                     n.as_ref().ok(),
                     "recover({site}) diverged: des {d:?}, node {n:?}"
                 );
+                assert_eq!(
+                    d.as_ref().ok(),
+                    s.as_ref().ok(),
+                    "recover({site}) diverged: des {d:?}, socket {s:?}"
+                );
                 self.node.client().mark_down(site, false);
+                self.sock.client().mark_down(site, false);
                 self.des.client_mark_down(site, false);
                 self.impaired = None;
             }
             FaultEvent::Isolate { site } => {
                 self.node.quiesce(QUIESCE).unwrap();
                 self.node.isolate_site(site);
+                self.sock.quiesce(QUIESCE).unwrap();
+                self.sock.isolate_site(site);
                 self.des.fail_site(site);
                 self.des.client_mark_down(site, true);
                 self.impaired = Some(site);
@@ -140,15 +183,26 @@ impl Pair {
             FaultEvent::Heal { site } => {
                 self.node.heal_site(site);
                 self.node.client().mark_down(site, true);
+                self.sock.heal_site(site);
+                self.sock.client().mark_down(site, true);
                 self.des.restore_site(site);
                 self.des.client_mark_down(site, true);
             }
-            // Loss only exists on the threaded runtime; the DES models the
-            // reliable network of §3. Retransmissions are dropped by the
-            // trace normalisation, so the streams still match.
-            FaultEvent::LossBurst { permille, seed } => self.node.set_loss(permille, seed),
-            FaultEvent::LossEnd => self.node.set_loss(0, 0),
-            FaultEvent::FlushParity => self.node.quiesce(QUIESCE).unwrap(),
+            // Loss only exists on the asynchronous runtimes; the DES models
+            // the reliable network of §3. Retransmissions are dropped by
+            // the trace normalisation, so the streams still match.
+            FaultEvent::LossBurst { permille, seed } => {
+                self.node.set_loss(permille, seed);
+                self.sock.set_loss(permille, seed);
+            }
+            FaultEvent::LossEnd => {
+                self.node.set_loss(0, 0);
+                self.sock.set_loss(0, 0);
+            }
+            FaultEvent::FlushParity => {
+                self.node.quiesce(QUIESCE).unwrap();
+                self.sock.quiesce(QUIESCE).unwrap();
+            }
             // Checker-granularity events (single message deliveries, timer
             // firings, cache evictions) have no meaning at this driver's
             // cluster granularity.
@@ -167,22 +221,31 @@ impl Pair {
             self.apply(event);
         }
         self.node.quiesce(QUIESCE).unwrap();
+        self.sock.quiesce(QUIESCE).unwrap();
 
         // Traces first: the verification sweeps below issue reads of their
         // own, which would pollute the site machines' logs.
         let des_traces = self.des.take_machine_traces();
         let node_traces = self.node.take_traces();
+        let sock_traces = self.sock.take_traces();
         assert_eq!(des_traces.len(), node_traces.len());
-        for (i, (d, n)) in des_traces.iter().zip(&node_traces).enumerate() {
+        assert_eq!(des_traces.len(), sock_traces.len());
+        for (i, d) in des_traces.iter().enumerate() {
             let who = if i == 0 {
                 "client".to_string()
             } else {
                 format!("site {}", i - 1)
             };
             assert_eq!(
-                d, n,
+                d, &node_traces[i],
                 "normalised effect trace of {who} diverged between the DES \
                  and the threaded runtime (seed {:#x})",
+                plan.seed
+            );
+            assert_eq!(
+                d, &sock_traces[i],
+                "normalised effect trace of {who} diverged between the DES \
+                 and the socket runtime (seed {:#x})",
                 plan.seed
             );
         }
@@ -191,25 +254,29 @@ impl Pair {
             "plan exercised no protocol traffic — comparison is vacuous"
         );
 
-        // Final state: both pass the stripe sweep, and every acknowledged
-        // write reads back identically on both.
+        // Final state: all three pass the stripe sweep, and every
+        // acknowledged write reads back identically everywhere.
         self.des.verify_parity().unwrap();
         self.node.client().verify_parity().unwrap();
+        self.sock.client().verify_parity().unwrap();
         for (&(site, index), want) in &self.oracle {
             let d = self.des.client_read(site, index).unwrap();
             let n = self.node.client().read(site, index).unwrap();
+            let s = self.sock.client().read(site, index).unwrap();
             assert_eq!(&d, want, "DES lost write at site {site} index {index}");
             assert_eq!(&n, want, "node lost write at site {site} index {index}");
+            assert_eq!(&s, want, "socket lost write at site {site} index {index}");
         }
         self.node.shutdown();
+        self.sock.shutdown();
     }
 }
 
 /// CI's named seed: a generated plan with failure/repair cycles.
 #[test]
-fn named_seed_plan_traces_identically_on_both_runtimes() {
+fn named_seed_plan_traces_identically_on_all_runtimes() {
     let plan = FaultPlan::generate(seed_from_name("0xRADD0001"), &PlanShape::default());
-    Pair::start().run_and_compare(&plan);
+    Trio::start().run_and_compare(&plan);
 }
 
 /// Convergence under [`radd::protocol::CoalescePolicy::Merge`]: with
@@ -267,7 +334,7 @@ fn coalesced_writes_converge_under_loss_burst() {
 /// runtime drops ~25% of sends mid-plan and converges by retransmission,
 /// yet the normalised traces still match the loss-free DES.
 #[test]
-fn loss_burst_plan_traces_identically_on_both_runtimes() {
+fn loss_burst_plan_traces_identically_on_all_runtimes() {
     use FaultEvent::*;
     let plan = FaultPlan::from_events(vec![
         Write {
@@ -311,5 +378,5 @@ fn loss_burst_plan_traces_identically_on_both_runtimes() {
         Read { site: 3, index: 0 },
         FlushParity,
     ]);
-    Pair::start().run_and_compare(&plan);
+    Trio::start().run_and_compare(&plan);
 }
