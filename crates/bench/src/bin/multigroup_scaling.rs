@@ -1,0 +1,180 @@
+//! Cross-group throughput scaling on the threaded runtime.
+//!
+//! One rotating-parity group is wire-bound: with a link latency `L` every
+//! write occupies its group's threads for a few multiples of `L` (the W
+//! send, the deferred ack, the parity update and its ack), so a single
+//! closed-loop client tops out near `1/(2·L)` writes per second no matter
+//! how fast the CPU is. Groups share no protocol traffic, so a sharded
+//! cluster's aggregate throughput should grow near-linearly with the group
+//! count — the whole point of the §4 multi-group carving. This bench
+//! measures exactly that on `ShardedNodeCluster`: one worker client per
+//! group, hammering its group's full address range, at 1 → 8 groups.
+//!
+//! Output lines are `bench multigroup_scaling/...` in the house format;
+//! `scripts/bench_check.sh` gates the 8-vs-1 aggregate ratio (≥ 3× with
+//! tolerance headroom; the recorded run in `results/BENCH_pr7.json` shows
+//! near-linear scaling). Knobs:
+//!
+//! * `MG_SECS` — measure window per configuration (default 2 s)
+//! * `MG_LATENCY_US` — link latency in µs (default 500)
+//! * `MG_GROUPS` — comma-separated group counts (default `1,2,4,8`)
+
+use radd_layout::GlobalAddr;
+use radd_node::ShardedNodeCluster;
+use radd_protocol::CoalescePolicy;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-group geometry: G = 2 (4 member slots), 8 rows per slot → 16 data
+/// blocks per group. Small blocks: the wire *time*, not the wire volume, is
+/// what bounds a group here.
+const G: usize = 2;
+const ROWS: u64 = 8;
+const BLOCK_SIZE: usize = 64;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+struct Sample {
+    groups: usize,
+    total_ops: u64,
+    ops_per_sec: f64,
+    per_group: f64,
+}
+
+fn run_config(groups: usize, secs: u64, latency: Duration) -> Sample {
+    let (mut cluster, mut extra) =
+        ShardedNodeCluster::start_with(groups, G, ROWS, BLOCK_SIZE, 2, CoalescePolicy::Merge);
+    cluster.set_link_latency(latency);
+    // Each group's address list, resolved once: (member slot, data index).
+    let cap = cluster.map().group_capacity();
+    let targets: Vec<Vec<(usize, u64)>> = (0..groups as u64)
+        .map(|k| {
+            (k * cap..(k + 1) * cap)
+                .map(|a| {
+                    let t = cluster.map().locate(GlobalAddr(a)).expect("in range");
+                    (t.member, t.index)
+                })
+                .collect()
+        })
+        .collect();
+    let stop = Arc::new(AtomicBool::new(false));
+    let go = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = extra
+        .iter_mut()
+        .map(|clients| clients.remove(0))
+        .zip(targets)
+        .map(|(mut client, addrs)| {
+            let stop = Arc::clone(&stop);
+            let go = Arc::clone(&go);
+            std::thread::spawn(move || {
+                let mut ops = 0u64;
+                let mut fill = 0u8;
+                // Warm up until the start flag, then count until stop.
+                while !stop.load(Ordering::Relaxed) {
+                    for &(member, index) in &addrs {
+                        client
+                            .write(member, index, &[fill; BLOCK_SIZE])
+                            .expect("healthy-path write");
+                        if go.load(Ordering::Relaxed) {
+                            ops += 1;
+                        }
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    fill = fill.wrapping_add(1);
+                }
+                ops
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(300));
+    go.store(true, Ordering::Relaxed);
+    let t0 = Instant::now();
+    std::thread::sleep(Duration::from_secs(secs));
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = t0.elapsed();
+    let total_ops: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    cluster
+        .quiesce(Duration::from_secs(30))
+        .expect("quiesce after measure window");
+    cluster.verify_parity().expect("stripe sweep after the run");
+    cluster.shutdown();
+    let ops_per_sec = total_ops as f64 / elapsed.as_secs_f64();
+    Sample {
+        groups,
+        total_ops,
+        ops_per_sec,
+        per_group: ops_per_sec / groups as f64,
+    }
+}
+
+fn main() {
+    let secs = env_u64("MG_SECS", 2);
+    let latency = Duration::from_micros(env_u64("MG_LATENCY_US", 500));
+    let groups: Vec<usize> = std::env::var("MG_GROUPS")
+        .unwrap_or_else(|_| "1,2,4,8".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let record = std::env::args().any(|a| a == "--record");
+
+    println!(
+        "cross-group scaling: G = {G}, {ROWS} rows/slot, {BLOCK_SIZE} B blocks, \
+         link latency {} us, {secs} s per config",
+        latency.as_micros()
+    );
+    let mut samples = Vec::new();
+    for &n in &groups {
+        let s = run_config(n, secs, latency);
+        println!(
+            "bench multigroup_scaling/groups={} total_ops={} ops_per_sec={:.0} per_group={:.0}",
+            s.groups, s.total_ops, s.ops_per_sec, s.per_group
+        );
+        samples.push(s);
+    }
+    if let (Some(first), Some(last)) = (samples.first(), samples.last()) {
+        if samples.len() >= 2 && first.ops_per_sec > 0.0 {
+            let ratio = last.ops_per_sec / first.ops_per_sec;
+            println!(
+                "bench multigroup_scaling/scaling_{}v{} ratio={:.2}",
+                last.groups, first.groups, ratio
+            );
+            let ideal = last.groups as f64 / first.groups as f64;
+            println!(
+                "aggregate scaling {}→{} groups: {ratio:.2}x of an ideal {ideal:.0}x \
+                 ({:.0}% parallel efficiency)",
+                first.groups,
+                last.groups,
+                100.0 * ratio / ideal
+            );
+        }
+    }
+    if record {
+        let mut rows = String::new();
+        for s in &samples {
+            rows.push_str(&format!(
+                "    \"groups={}\": {{ \"total_ops\": {}, \"ops_per_sec\": {:.0}, \"per_group\": {:.0} }},\n",
+                s.groups, s.total_ops, s.ops_per_sec, s.per_group
+            ));
+        }
+        let ratio = match (samples.first(), samples.last()) {
+            (Some(f), Some(l)) if f.ops_per_sec > 0.0 => l.ops_per_sec / f.ops_per_sec,
+            _ => 0.0,
+        };
+        let json = format!(
+            "{{\n  \"bench\": \"multigroup_scaling\",\n  \"description\": \"Cross-group throughput on the threaded runtime (ShardedNodeCluster): one closed-loop client per group, G = {G}, {ROWS} rows/slot, {BLOCK_SIZE} B blocks, {} us link latency, {secs} s per configuration. Aggregate writes/s vs group count. Regenerate with: cargo run -p radd-bench --release --bin multigroup_scaling -- --record\",\n  \"throughput\": {{\n{}  }},\n  \"headline\": {{ \"scaling_8v1\": {ratio:.2} }}\n}}\n",
+            latency.as_micros(),
+            rows.trim_end_matches(",\n").to_string() + "\n",
+        );
+        std::fs::create_dir_all("results").expect("results dir");
+        std::fs::write("results/BENCH_pr7.json", json).expect("write results/BENCH_pr7.json");
+        println!("recorded results/BENCH_pr7.json");
+    }
+}

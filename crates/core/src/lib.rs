@@ -43,6 +43,7 @@ pub mod config;
 pub mod driver;
 pub mod error;
 pub mod locks;
+pub mod sharded;
 pub mod site;
 pub mod stats;
 
@@ -51,6 +52,7 @@ pub use config::{ParityMode, RaddConfig, SparePolicy};
 pub use driver::{CheckError, CheckedCluster};
 pub use error::RaddError;
 pub use locks::{LockKind, LockManager};
+pub use sharded::ShardedCluster;
 pub use site::{SiteNode, SiteState, SpareKind, SpareSlot};
 pub use stats::{Actor, OpReceipt, TrafficStats};
 

@@ -305,6 +305,82 @@ mod tests {
     }
 
     #[test]
+    fn chunking_non_divisible_names_first_offender() {
+        // Mixed pool: several capacities fail to chunk; the error must name
+        // the *first* offending site, with zero-capacity sites passing.
+        let err = chunk_logical_drives(&[400, 0, 350, 120, 90], 100).unwrap_err();
+        assert_eq!(err.site, 2);
+        assert_eq!(err.blocks, 350);
+        assert_eq!(err.chunk, 100);
+        // Nudging the offenders up to multiples makes the pool chunk.
+        let counts = chunk_logical_drives(&[400, 0, 400, 100, 100], 100).unwrap();
+        assert_eq!(counts, vec![4, 0, 4, 1, 1]);
+    }
+
+    #[test]
+    fn single_site_dominant_pool() {
+        // One site holds exactly A = total/width drives — the §4 boundary
+        // where the greedy pick must route it into *every* group, while the
+        // long tail of single-drive sites fills the remaining slots.
+        let n = [8, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1];
+        // total = 24, width 3 → A = 8 = N[0].
+        let groups = assign_groups(&n, 3).unwrap();
+        assert_valid(&groups, &n, 3);
+        for (k, g) in groups.iter().enumerate() {
+            assert!(
+                g.iter().any(|d| d.site == 0),
+                "dominant site missing from group {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn g1_degenerate_groups() {
+        // G = 1 → width 3: one data drive, one parity, one spare per group.
+        // The smallest legal RADD; the assigner must still spread each
+        // group over three distinct sites.
+        let n = [4, 4, 4];
+        let groups = assign_groups(&n, 3).unwrap();
+        assert_valid(&groups, &n, 3);
+        assert_eq!(groups.len(), 4);
+        // And a skewed G = 1 pool.
+        let n = [3, 2, 2, 1, 1]; // total 9, A = 3, max 3 ≤ A
+        let groups = assign_groups(&n, 3).unwrap();
+        assert_valid(&groups, &n, 3);
+    }
+
+    #[test]
+    fn never_colocates_two_rows_of_one_group() {
+        // Sweep a family of feasible pools and assert the core safety
+        // property directly: no group ever holds two drives of one site
+        // (two rows of a group on one site would die together, defeating
+        // the redundancy). `assert_valid` checks this too; this test states
+        // it on its own so a placement regression fails loudly by name.
+        let pools: &[(&[usize], usize)] = &[
+            (&[2, 2, 2, 1, 1], 4),
+            (&[6, 5, 4, 3, 3, 1, 1, 1], 4),
+            (&[8, 2, 2, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1], 3),
+            (&[5, 5, 5, 5, 5, 5], 6),
+            (&[3, 3, 3, 3, 3, 3, 3, 3, 3, 3], 10),
+            (&[4, 4, 4], 3),
+        ];
+        for &(n, width) in pools {
+            let groups = assign_groups(n, width).unwrap();
+            for (k, g) in groups.iter().enumerate() {
+                let mut sites: Vec<_> = g.iter().map(|d| d.site).collect();
+                sites.sort_unstable();
+                let before = sites.len();
+                sites.dedup();
+                assert_eq!(
+                    sites.len(),
+                    before,
+                    "pool {n:?}: group {k} co-locates two rows on one site"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn error_messages_mention_values() {
         let e = assign_groups(&[3, 3, 3], 4).unwrap_err();
         assert!(e.to_string().contains('9'));

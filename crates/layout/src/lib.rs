@@ -26,7 +26,9 @@
 pub mod geometry;
 pub mod grouping;
 pub mod placement;
+pub mod shard;
 
 pub use geometry::Geometry;
 pub use grouping::{assign_groups, chunk_logical_drives, ChunkError, GroupError, LogicalDrive};
 pub use placement::{DataIndex, PhysRow, Role, SiteId};
+pub use shard::{GlobalAddr, GroupId, ShardError, ShardMap, ShardTarget};

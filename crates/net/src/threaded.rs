@@ -67,6 +67,8 @@ struct Shared<M> {
     loss: RwLock<LossState>,
     loss_counter: AtomicU64,
     dropped: AtomicU64,
+    /// Per-message wire time in nanoseconds (0 = instant, the default).
+    link_latency_ns: AtomicU64,
 }
 
 fn splitmix64(mut z: u64) -> u64 {
@@ -108,6 +110,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
             }),
             loss_counter: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            link_latency_ns: AtomicU64::new(0),
         });
         let endpoints = receivers
             .into_iter()
@@ -144,6 +147,19 @@ impl<M: Send + 'static> ThreadedNet<M> {
     pub fn dropped(&self) -> u64 {
         self.shared.dropped.load(Ordering::Relaxed)
     }
+
+    /// Model wire time: every send occupies the sending thread for
+    /// `latency` before the message is delivered (Table 1 charges remote
+    /// operations a network round trip; this is that cost in wall-clock
+    /// form). Zero — the default — keeps sends instantaneous, so existing
+    /// tests and the differential harness are unaffected. Scaling benches
+    /// set a latency so per-group throughput is bounded by the wire, not
+    /// the CPU, which is what lets many groups overlap.
+    pub fn set_link_latency(&self, latency: Duration) {
+        self.shared
+            .link_latency_ns
+            .store(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
 }
 
 impl<M: Send + 'static> ThreadedEndpoint<M> {
@@ -177,6 +193,10 @@ impl<M: Send + 'static> ThreadedEndpoint<M> {
                     return Ok(());
                 }
             }
+        }
+        let latency_ns = self.shared.link_latency_ns.load(Ordering::Relaxed);
+        if latency_ns > 0 {
+            std::thread::sleep(Duration::from_nanos(latency_ns));
         }
         tx.send(Inbound {
             src: self.id,
@@ -428,6 +448,28 @@ mod tests {
             eps[1].recv_timeout(Duration::from_secs(1)).unwrap().payload,
             7
         );
+    }
+
+    #[test]
+    fn link_latency_occupies_the_sender() {
+        let (net, eps) = ThreadedNet::<u8>::new(2);
+        net.set_link_latency(Duration::from_millis(5));
+        let t0 = Instant::now();
+        for _ in 0..4 {
+            eps[0].send(1, 0).unwrap();
+        }
+        assert!(
+            t0.elapsed() >= Duration::from_millis(20),
+            "4 sends at 5 ms wire time each"
+        );
+        // Delivery itself is unaffected.
+        for _ in 0..4 {
+            assert!(eps[1].recv_timeout(Duration::from_secs(1)).is_ok());
+        }
+        net.set_link_latency(Duration::ZERO);
+        let t1 = Instant::now();
+        eps[0].send(1, 0).unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(5), "latency off again");
     }
 
     #[test]

@@ -53,11 +53,13 @@
 pub mod client;
 pub mod driver;
 pub mod message;
+pub mod sharded;
 pub mod site;
 
 pub use client::{ClientError, NodeClient};
 pub use driver::ThreadedDriver;
 pub use message::Msg;
+pub use sharded::ShardedNodeCluster;
 
 use radd_net::ThreadedNet;
 use radd_protocol::CoalescePolicy;
@@ -161,6 +163,13 @@ impl NodeCluster {
     /// Number of sites.
     pub fn num_sites(&self) -> usize {
         self.num_sites
+    }
+
+    /// Model wire time on every link: each send occupies the sending
+    /// thread for `latency` (see [`radd_net::ThreadedNet::set_link_latency`]).
+    /// Zero (the default) keeps sends instantaneous.
+    pub fn set_link_latency(&self, latency: Duration) {
+        self.net.set_link_latency(latency);
     }
 
     fn set_down(&mut self, site: usize, down: bool) {

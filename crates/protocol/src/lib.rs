@@ -36,6 +36,7 @@ pub mod fasthash;
 pub mod mutations;
 pub mod obs;
 pub mod partition;
+pub mod router;
 pub mod server;
 pub mod trace;
 pub mod wire;
@@ -50,6 +51,7 @@ pub use effect::{BlockFault, Blocks, Dest, Effect, IoPurpose, MemBlocks};
 pub use events::FailureKind;
 pub use obs::{obs_event, ObsEvent};
 pub use partition::{classify, gate, Gate, PartitionVerdict};
+pub use router::{RouteError, Router};
 pub use server::{kind_from_content, CoalescePolicy, SiteMachine, SiteState, SpareKind, SpareSlot};
 pub use trace::{trace, TraceEntry};
 pub use wire::{

@@ -1,0 +1,255 @@
+//! The multi-group router: shard lookup in front of per-group clients.
+//!
+//! A sharded cluster runs `A` independent `G + 2` groups over a shared site
+//! pool ([`ShardMap`]). Every runtime needs the same thin coordinator in
+//! front of its per-group client machinery: resolve a [`GlobalAddr`] to
+//! `(group, member slot, data index)`, hand the op to that group's handle,
+//! and fan pool-site faults out to every group the site serves. [`Router`]
+//! is that coordinator, written sans-IO like the rest of this crate: it is
+//! generic over the per-group handle `H`, so the DES cluster (`radd-core`),
+//! the threaded runtime (`radd-node`) and the socket runtime (`radd-rt`)
+//! all reuse it — each handle transitively owns that group's
+//! [`ClientMachine`](crate::ClientMachine).
+//!
+//! The router also carries the map's **placement epoch**. Operations tagged
+//! with an epoch are checked first: a request routed under an older map is
+//! refused with [`RouteError::StaleEpoch`] instead of landing on the wrong
+//! site after a rebalance.
+
+use radd_layout::{GlobalAddr, GroupId, ShardMap, ShardTarget, SiteId};
+use std::fmt;
+
+/// Routing failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// The address is past the end of the sharded space.
+    OutOfRange {
+        /// The offending address.
+        addr: GlobalAddr,
+        /// Size of the space.
+        total: u64,
+    },
+    /// The caller's map epoch does not match the router's.
+    StaleEpoch {
+        /// The router's current epoch.
+        current: u64,
+        /// The epoch the caller routed under.
+        seen: u64,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::OutOfRange { addr, total } => {
+                write!(
+                    f,
+                    "address {addr} is outside the sharded space [0, {total})"
+                )
+            }
+            RouteError::StaleEpoch { current, seen } => {
+                write!(
+                    f,
+                    "stale shard map: routed under epoch {seen}, current is {current}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+/// Shard-lookup coordinator owning one handle per group.
+///
+/// `H` is whatever a runtime keeps per group — a DES cluster, a threaded
+/// client, a socket connection bundle. The router owns the handles so a
+/// lookup borrows the map and the target handle in one call.
+#[derive(Debug)]
+pub struct Router<H> {
+    map: ShardMap,
+    handles: Vec<H>,
+}
+
+impl<H> Router<H> {
+    /// Build a router over `map`, creating one handle per group with
+    /// `make_handle`.
+    pub fn new(map: ShardMap, mut make_handle: impl FnMut(GroupId) -> H) -> Router<H> {
+        let handles = (0..map.num_groups())
+            .map(|k| make_handle(GroupId(k)))
+            .collect();
+        Router { map, handles }
+    }
+
+    /// Fallible version of [`new`]: abort on the first handle error.
+    ///
+    /// [`new`]: Router::new
+    pub fn try_new<E>(
+        map: ShardMap,
+        mut make_handle: impl FnMut(GroupId) -> Result<H, E>,
+    ) -> Result<Router<H>, E> {
+        let handles = (0..map.num_groups())
+            .map(|k| make_handle(GroupId(k)))
+            .collect::<Result<_, E>>()?;
+        Ok(Router { map, handles })
+    }
+
+    /// The shard map.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Current placement epoch.
+    pub fn epoch(&self) -> u64 {
+        self.map.epoch()
+    }
+
+    /// Number of groups (= number of handles).
+    pub fn num_groups(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Refuse work routed under a stale map.
+    pub fn check_epoch(&self, seen: u64) -> Result<(), RouteError> {
+        if seen == self.map.epoch() {
+            Ok(())
+        } else {
+            Err(RouteError::StaleEpoch {
+                current: self.map.epoch(),
+                seen,
+            })
+        }
+    }
+
+    /// Resolve `addr` to its target and the owning group's handle.
+    pub fn route(&self, addr: GlobalAddr) -> Result<(ShardTarget, &H), RouteError> {
+        let target = self.map.locate(addr).ok_or(RouteError::OutOfRange {
+            addr,
+            total: self.map.total_data_blocks(),
+        })?;
+        Ok((target, &self.handles[target.group.0]))
+    }
+
+    /// Mutable version of [`route`].
+    ///
+    /// [`route`]: Router::route
+    pub fn route_mut(&mut self, addr: GlobalAddr) -> Result<(ShardTarget, &mut H), RouteError> {
+        let target = self.map.locate(addr).ok_or(RouteError::OutOfRange {
+            addr,
+            total: self.map.total_data_blocks(),
+        })?;
+        Ok((target, &mut self.handles[target.group.0]))
+    }
+
+    /// The handle for `group`.
+    pub fn group(&self, group: GroupId) -> &H {
+        &self.handles[group.0]
+    }
+
+    /// Mutable handle for `group`.
+    pub fn group_mut(&mut self, group: GroupId) -> &mut H {
+        &mut self.handles[group.0]
+    }
+
+    /// Iterate `(group, handle)` pairs.
+    pub fn groups(&self) -> impl Iterator<Item = (GroupId, &H)> {
+        self.handles
+            .iter()
+            .enumerate()
+            .map(|(k, h)| (GroupId(k), h))
+    }
+
+    /// Mutable iteration over `(group, handle)` pairs.
+    pub fn groups_mut(&mut self) -> impl Iterator<Item = (GroupId, &mut H)> {
+        self.handles
+            .iter_mut()
+            .enumerate()
+            .map(|(k, h)| (GroupId(k), h))
+    }
+
+    /// Fan a pool-site fault out: every `(group, member slot)` hosted by
+    /// `pool_site`, with mutable access to each group's handle. The
+    /// callback runs once per affected group.
+    pub fn for_pool_site(&mut self, pool_site: SiteId, mut f: impl FnMut(GroupId, SiteId, &mut H)) {
+        for (group, member) in self.map.pool_site_slots(pool_site) {
+            f(group, member, &mut self.handles[group.0]);
+        }
+    }
+
+    /// Consume the router, yielding the map and handles.
+    pub fn into_parts(self) -> (ShardMap, Vec<H>) {
+        (self.map, self.handles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use radd_layout::Geometry;
+
+    fn router4() -> Router<Vec<String>> {
+        let map = ShardMap::uniform(4, Geometry::new(2, 8).unwrap()).unwrap();
+        Router::new(map, |_| Vec::new())
+    }
+
+    #[test]
+    fn routes_to_owning_group() {
+        let mut r = router4();
+        let cap = r.map().group_capacity();
+        for a in 0..r.map().total_data_blocks() {
+            let (t, h) = r.route_mut(GlobalAddr(a)).unwrap();
+            assert_eq!(t.group.0 as u64, a / cap);
+            h.push(format!("{a}"));
+        }
+        // Every group handle saw exactly its own range.
+        for (g, h) in r.groups() {
+            assert_eq!(h.len() as u64, cap, "group {g} op count");
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_refused() {
+        let r = router4();
+        let end = r.map().total_data_blocks();
+        let err = r.route(GlobalAddr(end)).unwrap_err();
+        assert!(matches!(err, RouteError::OutOfRange { .. }));
+        assert!(err.to_string().contains(&format!("{end}")));
+    }
+
+    #[test]
+    fn stale_epoch_is_refused() {
+        let r = router4();
+        assert!(r.check_epoch(0).is_ok());
+        let err = r.check_epoch(7).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::StaleEpoch {
+                current: 0,
+                seen: 7
+            }
+        );
+        assert!(err.to_string().contains("stale"));
+    }
+
+    #[test]
+    fn pool_site_fault_fans_out_to_every_group() {
+        let mut r = router4();
+        let mut hit = Vec::new();
+        r.for_pool_site(0, |g, member, h| {
+            hit.push((g, member));
+            h.push("faulted".into());
+        });
+        // The uniform pool puts site 0 in all 4 groups, in rotated slots.
+        assert_eq!(hit.len(), 4);
+        let mut members: Vec<_> = hit.iter().map(|&(_, m)| m).collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn try_new_propagates_errors() {
+        let map = ShardMap::uniform(2, Geometry::new(1, 6).unwrap()).unwrap();
+        let r: Result<Router<()>, &str> =
+            Router::try_new(map, |g| if g.0 == 1 { Err("boom") } else { Ok(()) });
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+}

@@ -20,6 +20,28 @@
 //! §1.2 parity and spare overhead sites, rotated per row), numbered
 //! densely from 0. `rows` and `block_size` are optional with conservative
 //! defaults; `g` and the site list are mandatory.
+//!
+//! ## Multi-group deployments
+//!
+//! `groups = N` (default 1) turns the map into a sharded cluster spec: the
+//! listed addresses become **pool sites**, each hosting one member slot of
+//! every group (the uniform `ShardMap` of `radd-layout`). Group `k`'s
+//! member `m` lives on pool site `(m + k) mod (g + 2)` — the Figure-1
+//! rotation lifted to groups — and listens on that site's address with the
+//! port shifted by `k`, so one `radd-server --group k` process per
+//! (pool site, group) pair carries the whole deployment:
+//!
+//! ```text
+//! groups = 4
+//! g = 2
+//! site 0 = 127.0.0.1:7400   # also serves 7401..7403 for groups 1..3
+//! site 1 = 127.0.0.1:7410
+//! site 2 = 127.0.0.1:7420
+//! site 3 = 127.0.0.1:7430
+//! ```
+//!
+//! Every listen endpoint — listed or derived — must be distinct; the
+//! parser rejects duplicates at load.
 
 use std::net::SocketAddr;
 
@@ -42,12 +64,15 @@ pub struct ClusterConfig {
     /// Reserved client endpoint slots (`ep_base`). Client ids must stay
     /// below this; site `j` is endpoint `clients + j`.
     pub clients: usize,
-    /// Site addresses, indexed by site id.
+    /// Number of groups `A` sharing the pool (1 = classic single group).
+    pub groups: usize,
+    /// Pool-site addresses, indexed by site id. For `groups = 1` these are
+    /// the member addresses directly.
     pub sites: Vec<SocketAddr>,
 }
 
 impl ClusterConfig {
-    /// Number of sites (`G + 2`).
+    /// Number of pool sites (`G + 2`).
     pub fn num_sites(&self) -> usize {
         self.sites.len()
     }
@@ -57,12 +82,42 @@ impl ClusterConfig {
         self.clients
     }
 
+    /// Pool site hosting member slot `member` of group `group` (the
+    /// uniform `ShardMap` rotation: `(member + group) mod (g + 2)`).
+    pub fn pool_site_of(&self, group: usize, member: usize) -> usize {
+        (member + group) % self.num_sites()
+    }
+
+    /// Member slot that pool site `site` takes in group `group` (inverse
+    /// of [`pool_site_of`](ClusterConfig::pool_site_of)).
+    pub fn member_slot_of(&self, group: usize, site: usize) -> usize {
+        let w = self.num_sites();
+        (site + w - group % w) % w
+    }
+
+    /// Listen address of member `member` of group `group`: the hosting
+    /// pool site's address with the port shifted by the group id.
+    pub fn group_member_addr(&self, group: usize, member: usize) -> SocketAddr {
+        let mut addr = self.sites[self.pool_site_of(group, member)];
+        addr.set_port(addr.port() + group as u16);
+        addr
+    }
+
+    /// Group `group`'s member-ordered address vector (what its servers and
+    /// clients hand to their endpoints).
+    pub fn group_sites(&self, group: usize) -> Vec<SocketAddr> {
+        (0..self.num_sites())
+            .map(|m| self.group_member_addr(group, m))
+            .collect()
+    }
+
     /// Parse a site-map text. Errors name the offending line.
     pub fn parse(text: &str) -> Result<ClusterConfig, String> {
         let mut g: Option<usize> = None;
         let mut rows = DEFAULT_ROWS;
         let mut block_size = DEFAULT_BLOCK_SIZE;
         let mut clients = DEFAULT_CLIENTS;
+        let mut groups = 1usize;
         let mut sites: Vec<(usize, SocketAddr)> = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -84,6 +139,7 @@ impl ClusterConfig {
                     "rows" => rows = value.parse().map_err(|_| bad("row count"))?,
                     "block_size" => block_size = value.parse().map_err(|_| bad("block size"))?,
                     "clients" => clients = value.parse().map_err(|_| bad("client count"))?,
+                    "groups" => groups = value.parse().map_err(|_| bad("group count"))?,
                     other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
                 }
             }
@@ -97,6 +153,9 @@ impl ClusterConfig {
         }
         if clients == 0 {
             return Err("at least one client slot is required".into());
+        }
+        if groups == 0 {
+            return Err("at least one group is required".into());
         }
         let want = g + 2;
         let mut by_id: Vec<Option<SocketAddr>> = vec![None; want];
@@ -113,13 +172,47 @@ impl ClusterConfig {
             .enumerate()
             .map(|(i, s)| s.ok_or(format!("site {i} is missing (need sites 0..{want})")))
             .collect::<Result<_, _>>()?;
-        Ok(ClusterConfig {
+        let cfg = ClusterConfig {
             g,
             rows,
             block_size,
             clients,
+            groups,
             sites,
-        })
+        };
+        // Every listen endpoint — listed, and derived when groups > 1 —
+        // must be distinct: two servers cannot share a socket, and a
+        // duplicate in the map means some site would silently answer for
+        // another.
+        let mut seen: std::collections::HashMap<SocketAddr, String> =
+            std::collections::HashMap::new();
+        for group in 0..cfg.groups {
+            for member in 0..cfg.num_sites() {
+                let site = cfg.pool_site_of(group, member);
+                let base = cfg.sites[site];
+                if u16::MAX - base.port() < group as u16 {
+                    return Err(format!(
+                        "site {site} port {} overflows when shifted for group {group} \
+                         (groups = {} needs {} spare ports per site)",
+                        base.port(),
+                        cfg.groups,
+                        cfg.groups - 1
+                    ));
+                }
+                let addr = cfg.group_member_addr(group, member);
+                let who = if cfg.groups == 1 {
+                    format!("site {site}")
+                } else {
+                    format!("site {site} (group {group})")
+                };
+                if let Some(prev) = seen.insert(addr, who.clone()) {
+                    return Err(format!(
+                        "duplicate endpoint: {prev} and {who} both listen on {addr}"
+                    ));
+                }
+            }
+        }
+        Ok(cfg)
     }
 
     /// Parse the file at `path`.
@@ -162,6 +255,68 @@ mod tests {
         assert_eq!(cfg.rows, DEFAULT_ROWS);
         assert_eq!(cfg.block_size, DEFAULT_BLOCK_SIZE);
         assert_eq!(cfg.ep_base(), DEFAULT_CLIENTS);
+    }
+
+    #[test]
+    fn multi_group_map_derives_rotated_endpoints() {
+        let cfg = ClusterConfig::parse(
+            "groups = 4\ng = 2\nrows = 8\n\
+             site 0 = 127.0.0.1:7400\nsite 1 = 127.0.0.1:7410\n\
+             site 2 = 127.0.0.1:7420\nsite 3 = 127.0.0.1:7430\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.groups, 4);
+        // Group 0 is the identity placement at the base ports.
+        assert_eq!(cfg.group_sites(0), cfg.sites);
+        // Group k member m sits on pool site (m + k) mod 4, port + k.
+        assert_eq!(cfg.pool_site_of(1, 3), 0);
+        assert_eq!(
+            cfg.group_member_addr(1, 3),
+            "127.0.0.1:7401".parse().unwrap()
+        );
+        assert_eq!(
+            cfg.group_member_addr(3, 1),
+            "127.0.0.1:7403".parse().unwrap()
+        );
+        // member_slot_of inverts pool_site_of for every pair.
+        for group in 0..cfg.groups {
+            for member in 0..cfg.num_sites() {
+                assert_eq!(
+                    cfg.member_slot_of(group, cfg.pool_site_of(group, member)),
+                    member
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_endpoints_are_rejected_at_load() {
+        // Two pool sites sharing one listed address.
+        let err = ClusterConfig::parse(
+            "g = 1\nsite 0 = 127.0.0.1:7500\nsite 1 = 127.0.0.1:7500\nsite 2 = 127.0.0.1:7502\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate endpoint"), "got: {err}");
+        assert!(err.contains("127.0.0.1:7500"), "got: {err}");
+        // Derived collision: site 1's base port is inside site 0's
+        // per-group port span.
+        let err = ClusterConfig::parse(
+            "groups = 4\ng = 2\n\
+             site 0 = 127.0.0.1:7400\nsite 1 = 127.0.0.1:7402\n\
+             site 2 = 127.0.0.1:7420\nsite 3 = 127.0.0.1:7430\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("duplicate endpoint"), "got: {err}");
+        // Port overflow when shifting for the last group.
+        let err = ClusterConfig::parse(
+            "groups = 3\ng = 1\n\
+             site 0 = 127.0.0.1:65534\nsite 1 = 127.0.0.1:7000\nsite 2 = 127.0.0.1:7010\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("overflows"), "got: {err}");
+        assert!(ClusterConfig::parse("groups = 0\ng = 1\n")
+            .unwrap_err()
+            .contains("at least one group"));
     }
 
     #[test]

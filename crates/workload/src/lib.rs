@@ -14,7 +14,11 @@
 //!   event sequences (failures, partitions, loss bursts, repairs) that
 //!   run against any [`faults::FaultDriver`] with invariants checked
 //!   after every event, reporting a replayable seed + minimized event
-//!   prefix on violation.
+//!   prefix on violation;
+//! * [`sharded`] — the multi-group counterpart: cross-group access plans
+//!   over a [`radd_layout::ShardMap`] (uniform traffic, hot-group bursts,
+//!   pool-site failures that degrade every group hosted there) replayed
+//!   through any [`sharded::ShardedFaultDriver`].
 //!
 //! [`ReplicationScheme`]: radd_schemes::ReplicationScheme
 
@@ -26,6 +30,7 @@ pub mod faults;
 pub mod mix;
 pub mod records;
 pub mod scenario;
+pub mod sharded;
 
 pub use access::AccessPattern;
 pub use faults::{
@@ -35,3 +40,6 @@ pub use faults::{
 pub use mix::{run_mix, Mix, MixReport};
 pub use records::{run_record_workload, RecordReport, RecordWorkload};
 pub use scenario::{run_scenario, PhaseReport, ScenarioStep};
+pub use sharded::{
+    run_sharded_plan, ShardedEvent, ShardedFaultDriver, ShardedPlan, ShardedReport, ShardedShape,
+};

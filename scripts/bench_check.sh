@@ -15,10 +15,18 @@
 # plain sibling *from the same run* — a ratio, so machine speed and CI
 # noise cancel out.
 #
+# A third gate covers the multi-group refactor: the cross-group scaling
+# bench (PR 7) must show aggregate threaded-runtime throughput growing
+# with group count. Both the recorded run (results/BENCH_pr7.json) and a
+# fresh live run must clear MG_MIN_RATIO (default 3.0) at 8 groups vs 1 —
+# the bench is wire-bound by design (link latency), so the ratio is
+# CPU-count independent. MG_LIVE=0 skips the live run (doc-only checks).
+#
 # Usage:
 #   scripts/bench_check.sh                # tolerance 2.0, obs ratio 1.05
 #   BENCH_TOLERANCE=4.0 scripts/bench_check.sh
 #   OBS_TOLERANCE=1.10 scripts/bench_check.sh
+#   MG_LIVE=0 scripts/bench_check.sh      # skip the live scaling run
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -75,5 +83,33 @@ if python3 -c "import json; s = json.load(open('$SNAPSHOT')); assert s['machines
 else
     echo "FAIL  obs snapshot export: $SNAPSHOT missing or invalid" >&2
     fail=1
+fi
+
+MG_MIN_RATIO="${MG_MIN_RATIO:-3.0}"
+MG_BASELINE=results/BENCH_pr7.json
+echo "== bench_check: cross-group scaling (recorded + live, min x$MG_MIN_RATIO at 8 groups)"
+recorded="$(python3 -c "import json; print(json.load(open('$MG_BASELINE'))['headline']['scaling_8v1'])" 2>/dev/null || true)"
+if [ -z "$recorded" ]; then
+    echo "FAIL  multigroup: $MG_BASELINE missing or lacks headline.scaling_8v1" >&2
+    fail=1
+elif awk -v r="$recorded" -v t="$MG_MIN_RATIO" 'BEGIN { exit !(r >= t) }'; then
+    echo "ok    multigroup recorded: ${recorded}x aggregate at 8 groups vs 1 (min ${MG_MIN_RATIO}x)"
+else
+    echo "FAIL  multigroup recorded: ${recorded}x below the ${MG_MIN_RATIO}x floor" >&2
+    fail=1
+fi
+if [ "${MG_LIVE:-1}" != "0" ]; then
+    MG_OUT="$(MG_SECS="${MG_SECS:-2}" MG_GROUPS=1,8 cargo run --release -q -p radd-bench --bin multigroup_scaling 2>&1 | grep '^bench ' || true)"
+    echo "$MG_OUT"
+    live="$(echo "$MG_OUT" | awk '$2 ~ /scaling_8v1/ { sub(/ratio=/, "", $3); print $3 }')"
+    if [ -z "$live" ]; then
+        echo "FAIL  multigroup live: no scaling_8v1 line produced" >&2
+        fail=1
+    elif awk -v r="$live" -v t="$MG_MIN_RATIO" 'BEGIN { exit !(r >= t) }'; then
+        echo "ok    multigroup live: ${live}x aggregate at 8 groups vs 1 (min ${MG_MIN_RATIO}x)"
+    else
+        echo "FAIL  multigroup live: ${live}x below the ${MG_MIN_RATIO}x floor" >&2
+        fail=1
+    fi
 fi
 exit "$fail"

@@ -1,12 +1,17 @@
 //! `radd-cli` — administer a running cluster over the wire control plane.
 //!
 //! ```text
-//! radd-cli <site-map-file> status            # ping + pending per site
-//! radd-cli <site-map-file> obs <site> [--json]
-//! radd-cli <site-map-file> down <site>       # administratively mark down
-//! radd-cli <site-map-file> up <site>
-//! radd-cli <site-map-file> shutdown <site|all>
+//! radd-cli <site-map-file> status            # per-group health + spare state
+//! radd-cli <site-map-file> [--group <k>] obs <site> [--json]
+//! radd-cli <site-map-file> [--group <k>] down <site>   # administratively mark down
+//! radd-cli <site-map-file> [--group <k>] up <site>
+//! radd-cli <site-map-file> [--group <k>] shutdown <site|all>
 //! ```
+//!
+//! `status` reports every group on a multi-group map (`groups = N`):
+//! group id, healthy/degraded/outage, spare state, and each member slot's
+//! endpoint. The per-site commands take `--group <k>` (default 0) and name
+//! member slots within that group.
 //!
 //! Control traffic rides the same framed TCP connections as the protocol
 //! (frame types 2/3) but is answered from the site's control drain, so a
@@ -20,7 +25,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: radd-cli <site-map-file> <command>\n\
+        "usage: radd-cli <site-map-file> [--group <k>] <command>\n\
          commands:\n\
          \x20 status\n\
          \x20 obs <site> [--json]\n\
@@ -42,45 +47,107 @@ fn site_arg(cfg: &ClusterConfig, s: &str) -> Result<usize, String> {
     Ok(site)
 }
 
+/// What one member slot reported (or failed to).
+struct SlotStatus {
+    down: bool,
+    reachable: bool,
+    pending: u64,
+    acked: bool,
+    detail: String,
+}
+
+fn probe(addr: std::net::SocketAddr) -> Result<SlotStatus, String> {
+    let mut ctl = match CtlClient::connect(addr) {
+        Ok(ctl) => ctl,
+        Err(e) => {
+            return Ok(SlotStatus {
+                down: true,
+                reachable: false,
+                pending: 0,
+                acked: false,
+                detail: format!("UNREACHABLE ({e})"),
+            })
+        }
+    };
+    let down = match ctl.request(CtlReq::Ping)? {
+        CtlRep::Pong { down } => down,
+        other => return Err(format!("unexpected reply {other:?}")),
+    };
+    let pending = match ctl.request(CtlReq::QueryPending)? {
+        CtlRep::Pending(n) => n,
+        other => return Err(format!("unexpected reply {other:?}")),
+    };
+    let acked = matches!(ctl.request(CtlReq::QueryAllAcked)?, CtlRep::AllAcked(true));
+    Ok(SlotStatus {
+        down,
+        reachable: true,
+        pending,
+        acked,
+        detail: format!(
+            "{} pending={pending} all_acked={acked}",
+            if down { "DOWN" } else { "up  " }
+        ),
+    })
+}
+
 fn status(cfg: &ClusterConfig) -> Result<(), String> {
     let mut all_acked = true;
-    for (site, &addr) in cfg.sites.iter().enumerate() {
-        match CtlClient::connect(addr) {
-            Ok(mut ctl) => {
-                let down = match ctl.request(CtlReq::Ping)? {
-                    CtlRep::Pong { down } => down,
-                    other => return Err(format!("site {site}: unexpected reply {other:?}")),
-                };
-                let pending = match ctl.request(CtlReq::QueryPending)? {
-                    CtlRep::Pending(n) => n,
-                    other => return Err(format!("site {site}: unexpected reply {other:?}")),
-                };
-                let acked = matches!(ctl.request(CtlReq::QueryAllAcked)?, CtlRep::AllAcked(true));
-                all_acked &= acked;
-                println!(
-                    "site {site:>2} {addr:<21} {} pending={pending} all_acked={acked}",
-                    if down { "DOWN" } else { "up  " }
-                );
+    let mut degraded_groups = 0usize;
+    for group in 0..cfg.groups {
+        let mut impaired = 0usize;
+        let mut spare_updates = 0u64;
+        let mut lines = Vec::with_capacity(cfg.num_sites());
+        for member in 0..cfg.num_sites() {
+            let addr = cfg.group_member_addr(group, member);
+            let pool = cfg.pool_site_of(group, member);
+            let s = probe(addr).map_err(|e| format!("group {group} member {member}: {e}"))?;
+            if s.down || !s.reachable {
+                impaired += 1;
             }
-            Err(e) => {
-                all_acked = false;
-                println!("site {site:>2} {addr:<21} UNREACHABLE ({e})");
-            }
+            all_acked &= s.acked;
+            spare_updates += s.pending;
+            lines.push(format!(
+                "  member {member} (pool site {pool}) {addr:<21} {}",
+                s.detail
+            ));
+        }
+        // A group runs degraded the moment one member slot is down or
+        // unreachable; §3.2 tolerates exactly one, so two is an outage.
+        let health = match impaired {
+            0 => "healthy",
+            1 => "DEGRADED (one member down — reads reconstruct, writes go to the spare)",
+            _ => "OUTAGE (more than one member impaired)",
+        };
+        // Spare state: pending parity updates are exactly what the spare
+        // chain may still have to absorb.
+        let spares = if impaired == 0 && spare_updates == 0 {
+            "spares quiet".to_string()
+        } else if impaired == 0 {
+            format!("spares settling ({spare_updates} parity updates in flight)")
+        } else {
+            format!("spares absorbing degraded writes ({spare_updates} updates pending)")
+        };
+        if impaired > 0 {
+            degraded_groups += 1;
+        }
+        println!("group {group}: {health}, {spares}");
+        for line in lines {
+            println!("{line}");
         }
     }
-    println!(
-        "cluster: {}",
-        if all_acked {
-            "quiesced (every parity update acked)"
-        } else {
-            "not quiesced"
-        }
-    );
+    let summary = if degraded_groups == 0 && all_acked {
+        "every group healthy, quiesced (every parity update acked)".to_string()
+    } else if degraded_groups == 0 {
+        "every group healthy, not quiesced".to_string()
+    } else {
+        format!("{degraded_groups}/{} groups degraded", cfg.groups)
+    };
+    println!("cluster: {summary}");
     Ok(())
 }
 
-fn obs(cfg: &ClusterConfig, site: usize, raw_json: bool) -> Result<(), String> {
-    let mut ctl = CtlClient::connect(cfg.sites[site])?;
+fn obs(cfg: &ClusterConfig, group: usize, site: usize, raw_json: bool) -> Result<(), String> {
+    let mut ctl = CtlClient::connect(cfg.group_member_addr(group, site))?;
     let json = match ctl.request(CtlReq::QueryObsJson)? {
         CtlRep::ObsJson(j) => j,
         other => return Err(format!("unexpected reply {other:?}")),
@@ -97,8 +164,8 @@ fn obs(cfg: &ClusterConfig, site: usize, raw_json: bool) -> Result<(), String> {
     Ok(())
 }
 
-fn set_down(cfg: &ClusterConfig, site: usize, down: bool) -> Result<(), String> {
-    let mut ctl = CtlClient::connect(cfg.sites[site])?;
+fn set_down(cfg: &ClusterConfig, group: usize, site: usize, down: bool) -> Result<(), String> {
+    let mut ctl = CtlClient::connect(cfg.group_member_addr(group, site))?;
     match ctl.request(CtlReq::SetDown(down))? {
         CtlRep::Done => {
             println!("site {site} marked {}", if down { "down" } else { "up" });
@@ -108,14 +175,14 @@ fn set_down(cfg: &ClusterConfig, site: usize, down: bool) -> Result<(), String> 
     }
 }
 
-fn shutdown(cfg: &ClusterConfig, which: &str) -> Result<(), String> {
+fn shutdown(cfg: &ClusterConfig, group: usize, which: &str) -> Result<(), String> {
     let sites: Vec<usize> = if which == "all" {
         (0..cfg.num_sites()).collect()
     } else {
         vec![site_arg(cfg, which)?]
     };
     for site in sites {
-        match CtlClient::connect(cfg.sites[site]) {
+        match CtlClient::connect(cfg.group_member_addr(group, site)) {
             Ok(mut ctl) => match ctl.request(CtlReq::Shutdown)? {
                 CtlRep::Done => println!("site {site} shutting down"),
                 other => return Err(format!("site {site}: unexpected reply {other:?}")),
@@ -127,19 +194,35 @@ fn shutdown(cfg: &ClusterConfig, which: &str) -> Result<(), String> {
 }
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--group <k>` may appear anywhere before the command.
+    let mut group = 0usize;
+    while let Some(pos) = args.iter().position(|a| a == "--group") {
+        let k = args
+            .get(pos + 1)
+            .ok_or("--group needs a group id")
+            .map_err(str::to_owned)?;
+        group = k.parse().map_err(|_| format!("invalid group id: `{k}`"))?;
+        args.drain(pos..=pos + 1);
+    }
     let (map_path, cmd, rest) = match args.as_slice() {
         [map, cmd, rest @ ..] => (map, cmd.as_str(), rest),
         _ => return Err("__usage__".into()),
     };
     let cfg = ClusterConfig::load(map_path)?;
+    if group >= cfg.groups {
+        return Err(format!(
+            "group {group} is out of range (map declares groups = {})",
+            cfg.groups
+        ));
+    }
     match (cmd, rest) {
         ("status", []) => status(&cfg),
-        ("obs", [site]) => obs(&cfg, site_arg(&cfg, site)?, false),
-        ("obs", [site, flag]) if flag == "--json" => obs(&cfg, site_arg(&cfg, site)?, true),
-        ("down", [site]) => set_down(&cfg, site_arg(&cfg, site)?, true),
-        ("up", [site]) => set_down(&cfg, site_arg(&cfg, site)?, false),
-        ("shutdown", [which]) => shutdown(&cfg, which),
+        ("obs", [site]) => obs(&cfg, group, site_arg(&cfg, site)?, false),
+        ("obs", [site, flag]) if flag == "--json" => obs(&cfg, group, site_arg(&cfg, site)?, true),
+        ("down", [site]) => set_down(&cfg, group, site_arg(&cfg, site)?, true),
+        ("up", [site]) => set_down(&cfg, group, site_arg(&cfg, site)?, false),
+        ("shutdown", [which]) => shutdown(&cfg, group, which),
         _ => Err("__usage__".into()),
     }
 }

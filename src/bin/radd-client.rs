@@ -2,11 +2,16 @@
 //! running cluster.
 //!
 //! ```text
-//! radd-client <site-map-file> [--down <site>]... read <site> <index>
-//! radd-client <site-map-file> [--down <site>]... write <site> <index> <fill-byte>
-//! radd-client <site-map-file> recover <site>
-//! radd-client <site-map-file> [--down <site>]... workload [--ops N] [--seed HEX] [--id SLOT]
+//! radd-client <site-map-file> [--group <k>] [--down <site>]... read <site> <index>
+//! radd-client <site-map-file> [--group <k>] [--down <site>]... write <site> <index> <fill-byte>
+//! radd-client <site-map-file> [--group <k>] recover <site>
+//! radd-client <site-map-file> [--group <k>] [--down <site>]... workload [--ops N] [--seed HEX] [--id SLOT]
 //! ```
+//!
+//! On a multi-group map (`groups = N`), `--group <k>` selects which group
+//! the client speaks to; `<site>` then names a **member slot** inside that
+//! group (the map's rotation places it on a pool site) and `--down` takes
+//! member slots too.
 //!
 //! `--down` (repeatable) tells the client a site has failed before the
 //! command runs, so reads reconstruct from the group and writes go to the
@@ -29,7 +34,7 @@ use std::time::Instant;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: radd-client <site-map-file> [--down <site>]... <command>\n\
+        "usage: radd-client <site-map-file> [--group <k>] [--down <site>]... <command>\n\
          commands:\n\
          \x20 read <site> <index>\n\
          \x20 write <site> <index> <fill-byte>\n\
@@ -48,13 +53,13 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn connect(cfg: &ClusterConfig, id: usize, downs: &[usize]) -> SocketClient {
+fn connect(cfg: &ClusterConfig, group: usize, id: usize, downs: &[usize]) -> SocketClient {
     assert!(
         id < cfg.clients,
         "client slot {id} exceeds the map's {} reserved client endpoints",
         cfg.clients
     );
-    let ep = SocketEndpoint::client(id, cfg.ep_base(), cfg.sites.clone());
+    let ep = SocketEndpoint::client(id, cfg.ep_base(), cfg.group_sites(group));
     let mut client = SocketClient::new(ep, cfg.g, cfg.rows, cfg.block_size);
     // Each process is a new incarnation of its endpoint id: salt the tag
     // space so the sites' at-most-once reply caches never replay answers
@@ -73,12 +78,13 @@ fn connect(cfg: &ClusterConfig, id: usize, downs: &[usize]) -> SocketClient {
 
 fn workload(
     cfg: &ClusterConfig,
+    group: usize,
     ops: u64,
     seed: u64,
     id: usize,
     downs: &[usize],
 ) -> Result<(), String> {
-    let mut client = connect(cfg, id, downs);
+    let mut client = connect(cfg, group, id, downs);
     // Writable addresses per site come from the geometry: each site owns
     // G/(G+2) of its rows as data blocks.
     let sites = cfg.num_sites();
@@ -148,15 +154,31 @@ fn run() -> Result<(), String> {
         downs.push(parse(site, "down site")? as usize);
         args.drain(pos..=pos + 1);
     }
+    // `--group <k>` may likewise appear anywhere before the command.
+    let mut group = 0usize;
+    while let Some(pos) = args.iter().position(|a| a == "--group") {
+        let k = args
+            .get(pos + 1)
+            .ok_or("--group needs a group id")
+            .map_err(str::to_owned)?;
+        group = parse(k, "group id")? as usize;
+        args.drain(pos..=pos + 1);
+    }
     let (map_path, cmd, rest) = match args.as_slice() {
         [map, cmd, rest @ ..] => (map, cmd.as_str(), rest),
         _ => return Err("__usage__".into()),
     };
     let cfg = ClusterConfig::load(map_path)?;
+    if group >= cfg.groups {
+        return Err(format!(
+            "group {group} is out of range (map declares groups = {})",
+            cfg.groups
+        ));
+    }
     match (cmd, rest) {
         ("read", [site, index]) => {
             let (site, index) = (parse(site, "site")? as usize, parse(index, "index")?);
-            let data = connect(&cfg, 0, &downs)
+            let data = connect(&cfg, group, 0, &downs)
                 .read(site, index)
                 .map_err(|e| e.to_string())?;
             let head: Vec<String> = data.iter().take(16).map(|b| format!("{b:02x}")).collect();
@@ -166,7 +188,7 @@ fn run() -> Result<(), String> {
         ("write", [site, index, fill]) => {
             let (site, index) = (parse(site, "site")? as usize, parse(index, "index")?);
             let fill = parse(fill, "fill byte")? as u8;
-            connect(&cfg, 0, &downs)
+            connect(&cfg, group, 0, &downs)
                 .write(site, index, &vec![fill; cfg.block_size])
                 .map_err(|e| e.to_string())?;
             println!(
@@ -177,7 +199,7 @@ fn run() -> Result<(), String> {
         }
         ("recover", [site]) => {
             let site = parse(site, "site")? as usize;
-            let mut client = connect(&cfg, 0, &[]);
+            let mut client = connect(&cfg, group, 0, &[]);
             client.mark_down(site, false);
             let drained = client.recover(site).map_err(|e| e.to_string())?;
             println!("recovered site {site}: {drained} blocks drained from spares");
@@ -199,7 +221,7 @@ fn run() -> Result<(), String> {
                     other => return Err(format!("unknown flag `{other}`")),
                 }
             }
-            workload(&cfg, ops, seed, id, &downs)
+            workload(&cfg, group, ops, seed, id, &downs)
         }
         _ => Err("__usage__".into()),
     }

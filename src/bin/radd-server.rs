@@ -1,7 +1,7 @@
 //! `radd-server` — one RADD site as a standalone process.
 //!
 //! ```text
-//! radd-server <site-id> <site-map-file> [--coalesce off]
+//! radd-server <site-id> <site-map-file> [--group <k>] [--coalesce off]
 //! ```
 //!
 //! Binds the listener given for `<site-id>` in the site map (see
@@ -9,6 +9,12 @@
 //! protocol until a `radd-cli shutdown` arrives over the wire or the
 //! process is killed. Run one instance per `site N = host:port` line to
 //! deploy a G+2 cluster.
+//!
+//! On a multi-group map (`groups = N`), `<site-id>` names a **pool site**
+//! and `--group <k>` picks which of its member slots this process serves:
+//! the listener is the pool site's address with the port shifted by `k`,
+//! and the member slot is the map's rotated placement. One process per
+//! (pool site, group) pair deploys the whole sharded cluster.
 
 use radd_protocol::CoalescePolicy;
 use radd_rt::{ClusterConfig, SiteConfig, SocketEndpoint};
@@ -16,13 +22,14 @@ use std::net::TcpListener;
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
-    eprintln!("usage: radd-server <site-id> <site-map-file> [--coalesce off|merge]");
+    eprintln!("usage: radd-server <site-id> <site-map-file> [--group <k>] [--coalesce off|merge]");
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut coalesce = CoalescePolicy::Merge;
+    let mut group = 0usize;
     let mut positional = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -31,6 +38,10 @@ fn main() -> ExitCode {
                 Some("off") => coalesce = CoalescePolicy::Off,
                 Some("merge") => coalesce = CoalescePolicy::Merge,
                 _ => return usage(),
+            },
+            "--group" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(k) => group = k,
+                None => return usage(),
             },
             _ => positional.push(a.clone()),
         }
@@ -56,7 +67,17 @@ fn main() -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    let addr = cfg.sites[site];
+    if group >= cfg.groups {
+        eprintln!(
+            "radd-server: group {group} is out of range (map declares groups = {})",
+            cfg.groups
+        );
+        return ExitCode::FAILURE;
+    }
+    // On a multi-group map this process serves pool site `site`'s member
+    // slot in `group`, listening on the group-shifted port.
+    let member = cfg.member_slot_of(group, site);
+    let addr = cfg.group_member_addr(group, member);
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,
         Err(e) => {
@@ -65,19 +86,27 @@ fn main() -> ExitCode {
         }
     };
     let ep_base = cfg.ep_base();
-    let ep = SocketEndpoint::site(ep_base + site, ep_base, cfg.sites.clone(), listener);
+    let ep = SocketEndpoint::site(ep_base + member, ep_base, cfg.group_sites(group), listener);
     let site_cfg = SiteConfig {
-        site,
+        site: member,
         group_size: cfg.g,
         rows: cfg.rows,
         block_size: cfg.block_size,
         ep_base,
         coalesce,
     };
-    println!(
-        "radd-server: site {site} serving on {addr} (G = {}, {} rows × {} B)",
-        cfg.g, cfg.rows, cfg.block_size
-    );
+    if cfg.groups == 1 {
+        println!(
+            "radd-server: site {site} serving on {addr} (G = {}, {} rows × {} B)",
+            cfg.g, cfg.rows, cfg.block_size
+        );
+    } else {
+        println!(
+            "radd-server: pool site {site} serving group {group} member {member} on {addr} \
+             (G = {}, {} rows × {} B, {} groups)",
+            cfg.g, cfg.rows, cfg.block_size, cfg.groups
+        );
+    }
     // The in-process control channel stays open (and idle) for the whole
     // run; administration arrives over the wire instead.
     let (_ctl_tx, ctl_rx) = std::sync::mpsc::channel();

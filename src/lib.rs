@@ -74,11 +74,12 @@ pub use radd_workload as workload;
 pub mod prelude {
     pub use radd_core::{
         Actor, CheckError, CheckedCluster, ParityMode, RaddCluster, RaddConfig, RaddError,
-        SiteState, SparePolicy,
+        ShardedCluster, SiteState, SparePolicy,
     };
-    pub use radd_layout::{assign_groups, Geometry, Role};
-    pub use radd_node::{NodeCluster, ThreadedDriver};
+    pub use radd_layout::{assign_groups, Geometry, GlobalAddr, GroupId, Role, ShardMap};
+    pub use radd_node::{NodeCluster, ShardedNodeCluster, ThreadedDriver};
     pub use radd_obs::{MachineObs, MachineSnapshot, ObsSnapshot, DEFAULT_RING_CAP};
+    pub use radd_protocol::{RouteError, Router};
     pub use radd_reliability::{Environment, MonteCarlo, Scheme};
     pub use radd_rt::{ClusterConfig, SocketCluster, SocketDriver};
     pub use radd_schemes::{CRaid, FailureKind, Radd, Raid5, ReplicationScheme, Rowb, TwoDRadd};
@@ -86,7 +87,8 @@ pub mod prelude {
     pub use radd_storage::{NoOverwriteManager, RecoveryContext, StorageManager, WalManager};
     pub use radd_txn::{radd_commit, two_phase_commit, DistributedTxn, RaddCommitConfig};
     pub use radd_workload::{
-        minimize_failure, run_mix, run_plan, run_scenario, seed_from_name, AccessPattern,
-        FaultDriver, FaultEvent, FaultPlan, Mix, PlanFailure, PlanReport, PlanShape, ScenarioStep,
+        minimize_failure, run_mix, run_plan, run_scenario, run_sharded_plan, seed_from_name,
+        AccessPattern, FaultDriver, FaultEvent, FaultPlan, Mix, PlanFailure, PlanReport, PlanShape,
+        ScenarioStep, ShardedEvent, ShardedFaultDriver, ShardedPlan, ShardedShape,
     };
 }

@@ -19,13 +19,19 @@
 //! temporary site failures, disk events are skipped, a revived site stays
 //! on the believed-down list until the plan's `Recover`, and writes whose
 //! row's parity site is the impaired site are skipped on every side.
+//!
+//! The multi-group [`Duo`] repeats the exercise one level up: a 4-group
+//! sharded cluster (`ShardedCluster` vs `ShardedNodeCluster`) under a
+//! cross-group plan with pool-site faults, compared group by group.
 
-use radd::core::{RaddCluster, RaddConfig, SiteId};
-use radd::node::NodeCluster;
+use radd::core::{RaddCluster, RaddConfig, ShardedCluster, SiteId};
+use radd::layout::GlobalAddr;
+use radd::node::{NodeCluster, ShardedNodeCluster};
 use radd::rt::SocketCluster;
 use radd::workload::faults::{
     payload, seed_from_name, FailureKind, FaultEvent, FaultPlan, PlanShape,
 };
+use radd::workload::sharded::{ShardedEvent, ShardedPlan, ShardedShape};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
@@ -277,6 +283,167 @@ impl Trio {
 fn named_seed_plan_traces_identically_on_all_runtimes() {
     let plan = FaultPlan::generate(seed_from_name("0xRADD0001"), &PlanShape::default());
     Trio::start().run_and_compare(&plan);
+}
+
+/// The multi-group differential: the DES sharded cluster and its threaded
+/// twin under one cross-group plan, compared group by group.
+///
+/// Same discipline as the [`Trio`], one level up: faults arrive at
+/// **pool-site** granularity and fan out to every group hosting a member
+/// slot there, writes whose row's parity lands on the impaired pool site
+/// are skipped on both sides, and after the run every group's normalised
+/// per-machine traces must match byte for byte.
+struct Duo {
+    des: ShardedCluster,
+    node: ShardedNodeCluster,
+    oracle: BTreeMap<u64, Vec<u8>>,
+    impaired: Option<SiteId>,
+    skipped: u64,
+}
+
+impl Duo {
+    fn start(shape: &ShardedShape) -> Duo {
+        let mut cfg = RaddConfig::small_g4();
+        cfg.group_size = shape.group_size;
+        cfg.rows = shape.rows;
+        let mut des = ShardedCluster::uniform(shape.num_groups, cfg.clone()).unwrap();
+        // Coalescing off, as in the Trio: the comparison is
+        // message-for-message.
+        let (mut node, _) = ShardedNodeCluster::start_with(
+            shape.num_groups,
+            cfg.group_size,
+            cfg.rows,
+            cfg.block_size,
+            1,
+            radd::protocol::CoalescePolicy::Off,
+        );
+        des.record_machine_traces(true);
+        node.record_traces(true);
+        Duo {
+            des,
+            node,
+            oracle: BTreeMap::new(),
+            impaired: None,
+            skipped: 0,
+        }
+    }
+
+    fn apply(&mut self, event: &ShardedEvent) {
+        let bs = self.des.config().block_size;
+        match *event {
+            ShardedEvent::Write { addr, fill } => {
+                if self.impaired.is_some()
+                    && self.des.map().parity_pool_site(GlobalAddr(addr)) == self.impaired
+                {
+                    self.skipped += 1;
+                    return;
+                }
+                let data = payload(fill, bs);
+                let d = self.des.write(GlobalAddr(addr), &data);
+                let n = self.node.write(GlobalAddr(addr), &data);
+                assert_eq!(
+                    d.is_ok(),
+                    n.is_ok(),
+                    "write(@{addr}) diverged: des {d:?}, node {n:?}"
+                );
+                if d.is_ok() {
+                    self.oracle.insert(addr, data);
+                }
+            }
+            ShardedEvent::Read { addr } => {
+                let d = self.des.read(GlobalAddr(addr));
+                let n = self.node.read(GlobalAddr(addr));
+                assert_eq!(
+                    d.is_ok(),
+                    n.is_ok(),
+                    "read(@{addr}) diverged: des {d:?}, node {n:?}"
+                );
+                if let (Ok(d), Ok(n)) = (d, n) {
+                    assert_eq!(d, n, "read(@{addr}) content diverged");
+                }
+            }
+            ShardedEvent::FailPoolSite { site } => {
+                self.node.quiesce(QUIESCE).unwrap();
+                self.node.kill_pool_site(site);
+                self.des.fail_pool_site(site);
+                self.impaired = Some(site);
+            }
+            ShardedEvent::RecoverPoolSite { site } => {
+                self.node.revive_pool_site(site);
+                let n = self.node.recover_pool_site(site);
+                self.des.restore_pool_site(site);
+                let d = self.des.recover_pool_site(site);
+                assert_eq!(
+                    d.as_ref().ok(),
+                    n.as_ref().ok(),
+                    "recover pool site {site} diverged: des {d:?}, node {n:?}"
+                );
+                self.impaired = None;
+            }
+            // Loss only exists on the threaded side; retransmissions are
+            // dropped by the trace normalisation.
+            ShardedEvent::LossBurst { permille, seed } => self.node.set_loss(permille, seed),
+            ShardedEvent::LossEnd => self.node.set_loss(0, 0),
+            ShardedEvent::Quiesce => self.node.quiesce(QUIESCE).unwrap(),
+        }
+    }
+
+    fn run_and_compare(mut self, plan: &ShardedPlan) {
+        for event in &plan.events {
+            self.apply(event);
+        }
+        self.node.quiesce(QUIESCE).unwrap();
+
+        let des_traces = self.des.take_machine_traces();
+        let node_traces = self.node.take_traces();
+        assert_eq!(des_traces.len(), node_traces.len(), "group count");
+        let mut entries = 0usize;
+        for (k, (dg, ng)) in des_traces.iter().zip(&node_traces).enumerate() {
+            assert_eq!(dg.len(), ng.len(), "machine count in group {k}");
+            for (i, (d, n)) in dg.iter().zip(ng).enumerate() {
+                let who = if i == 0 {
+                    "client".to_string()
+                } else {
+                    format!("member {}", i - 1)
+                };
+                assert_eq!(
+                    d, n,
+                    "normalised effect trace of group {k} {who} diverged \
+                     between the sharded DES and the sharded threaded \
+                     runtime (seed {:#x})",
+                    plan.seed
+                );
+                entries += d.len();
+            }
+            assert!(
+                dg.iter().map(Vec::len).sum::<usize>() > 0,
+                "group {k} saw no protocol traffic — comparison is vacuous \
+                 (seed {:#x})",
+                plan.seed
+            );
+        }
+        assert!(entries > 0, "plan exercised no protocol traffic");
+
+        self.des.verify_parity().unwrap();
+        self.node.verify_parity().unwrap();
+        for (&addr, want) in &self.oracle {
+            let d = self.des.read(GlobalAddr(addr)).unwrap();
+            let n = self.node.read(GlobalAddr(addr)).unwrap();
+            assert_eq!(&d, want, "DES lost write at @{addr}");
+            assert_eq!(&n, want, "node lost write at @{addr}");
+        }
+        self.node.shutdown();
+    }
+}
+
+/// CI's multi-group named seed: 4 groups sharing one 4-site pool, a
+/// generated cross-group plan with pool-site failure/repair cycles and
+/// loss bursts.
+#[test]
+fn multi_group_plan_traces_identically_on_both_runtimes() {
+    let shape = ShardedShape::default();
+    let plan = ShardedPlan::generate(seed_from_name("0xRADD-MG4"), &shape);
+    Duo::start(&shape).run_and_compare(&plan);
 }
 
 /// Convergence under [`radd::protocol::CoalescePolicy::Merge`]: with

@@ -1,0 +1,106 @@
+//! Seeded multi-group fault plans on the threaded runtime.
+//!
+//! CI's `multi-group` job runs this alongside the 4-group differential:
+//! a [`ShardedPlan`] generated from a named seed replays against
+//! [`ShardedNodeCluster`] through [`run_sharded_plan`], which checks every
+//! read against the oracle, the final stripe-invariant sweep in every
+//! group, and a full readback of acknowledged writes. On failure the test
+//! drops a replay dump under `target/fault_dumps/` (the CI job uploads the
+//! directory as an artifact), naming the seed so the run reproduces with
+//! `ShardedPlan::generate(seed, &shape)`.
+
+use radd::layout::{GlobalAddr, ShardMap};
+use radd::node::ShardedNodeCluster;
+use radd::protocol::CoalescePolicy;
+use radd::workload::seed_from_name;
+use radd::workload::sharded::{run_sharded_plan, ShardedFaultDriver, ShardedPlan, ShardedShape};
+use std::time::Duration;
+
+const QUIESCE: Duration = Duration::from_secs(10);
+
+/// The threaded adapter: pool-site faults quiesce first (the plan's
+/// `Quiesce` precedes every `FailPoolSite`, but the kill itself must not
+/// race an in-flight parity update), repair is revive + drain + mark up.
+struct Threaded {
+    cluster: ShardedNodeCluster,
+}
+
+impl ShardedFaultDriver for Threaded {
+    fn block_size(&self) -> usize {
+        self.cluster.block_size()
+    }
+    fn map(&self) -> &ShardMap {
+        self.cluster.map()
+    }
+    fn write(&mut self, addr: GlobalAddr, data: &[u8]) -> Result<(), String> {
+        self.cluster.write(addr, data)
+    }
+    fn read(&mut self, addr: GlobalAddr) -> Result<Vec<u8>, String> {
+        self.cluster.read(addr)
+    }
+    fn fail_pool_site(&mut self, site: usize) {
+        self.cluster.quiesce(QUIESCE).expect("quiesce before kill");
+        self.cluster.kill_pool_site(site);
+    }
+    fn recover_pool_site(&mut self, site: usize) -> Result<(), String> {
+        self.cluster.revive_pool_site(site);
+        self.cluster.recover_pool_site(site).map(drop)
+    }
+    fn set_loss(&mut self, permille: u16, seed: u64) {
+        self.cluster.set_loss(permille, seed);
+    }
+    fn quiesce(&mut self) -> Result<(), String> {
+        self.cluster.quiesce(QUIESCE)
+    }
+    fn verify_parity(&mut self) -> Result<(), String> {
+        self.cluster.verify_parity()
+    }
+}
+
+fn run_named_seed(name: &str) {
+    let shape = ShardedShape::default();
+    let seed = seed_from_name(name);
+    let plan = ShardedPlan::generate(seed, &shape);
+    let (cluster, _) = ShardedNodeCluster::start_with(
+        shape.num_groups,
+        shape.group_size,
+        shape.rows,
+        64,
+        1,
+        CoalescePolicy::Merge,
+    );
+    let mut driver = Threaded { cluster };
+    match run_sharded_plan(&mut driver, &plan) {
+        Ok(report) => {
+            driver.cluster.shutdown();
+            assert!(report.writes > 0, "plan {name} exercised no writes");
+            assert!(
+                report.degraded_groups == 0 || report.degraded_groups >= shape.num_groups as u64,
+                "a pool-site failure on the uniform pool degrades every group"
+            );
+        }
+        Err(msg) => {
+            let dir = std::path::Path::new("target/fault_dumps");
+            std::fs::create_dir_all(dir).ok();
+            let path = dir.join(format!("multigroup_{seed:016x}.txt"));
+            let mut dump = format!(
+                "multi-group fault plan failed\nname: {name}\nseed: {seed:#x}\n\
+                 shape: {shape:?}\nerror: {msg}\n\nevents:\n"
+            );
+            for (i, e) in plan.events.iter().enumerate() {
+                dump.push_str(&format!("  {i:4}  {e}\n"));
+            }
+            std::fs::write(&path, dump).ok();
+            panic!(
+                "plan {name} (seed {seed:#x}) failed: {msg}; dump at {}",
+                path.display()
+            );
+        }
+    }
+}
+
+/// CI's named multi-group seed.
+#[test]
+fn named_seed_multigroup_plan_survives_on_threaded_runtime() {
+    run_named_seed("radd-mg-steady");
+}
