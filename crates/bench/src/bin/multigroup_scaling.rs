@@ -18,6 +18,16 @@
 //! * `MG_SECS` — measure window per configuration (default 2 s)
 //! * `MG_LATENCY_US` — link latency in µs (default 500)
 //! * `MG_GROUPS` — comma-separated group counts (default `1,2,4,8`)
+//! * `MG_WARMUP_MS` — warm-up before the window opens (default 300 ms)
+//!
+//! Each worker times its own window: the clock starts immediately before
+//! its first counted write and stops at the completion of its last one, so
+//! every counted op's full latency lies inside the interval it is divided
+//! by. An earlier version counted ops against the *main thread's* sleep
+//! window; ops straddling the window edges (in flight when the flags
+//! flipped) were charged to nobody, which inflated the many-group
+//! configurations — per-group throughput at 8 groups came out *above* the
+//! 1-group baseline, a physical impossibility for a wire-bound workload.
 
 use radd_layout::GlobalAddr;
 use radd_node::ShardedNodeCluster;
@@ -47,7 +57,7 @@ struct Sample {
     per_group: f64,
 }
 
-fn run_config(groups: usize, secs: u64, latency: Duration) -> Sample {
+fn run_config(groups: usize, secs: u64, latency: Duration, warmup: Duration) -> Sample {
     let (mut cluster, mut extra) =
         ShardedNodeCluster::start_with(groups, G, ROWS, BLOCK_SIZE, 2, CoalescePolicy::Merge);
     cluster.set_link_latency(latency);
@@ -75,38 +85,54 @@ fn run_config(groups: usize, secs: u64, latency: Duration) -> Sample {
             std::thread::spawn(move || {
                 let mut ops = 0u64;
                 let mut fill = 0u8;
-                // Warm up until the start flag, then count until stop.
-                while !stop.load(Ordering::Relaxed) {
+                // This worker's own measurement window: opened right before
+                // its first counted write, closed at the completion of its
+                // last. Ops seen in flight when a flag flips are excluded
+                // from count *and* window alike, so the rate is unbiased.
+                let mut started: Option<Instant> = None;
+                let mut last_done = Instant::now();
+                'run: loop {
                     for &(member, index) in &addrs {
+                        if stop.load(Ordering::Relaxed) {
+                            break 'run;
+                        }
+                        if started.is_none() && go.load(Ordering::Relaxed) {
+                            started = Some(Instant::now());
+                        }
                         client
                             .write(member, index, &[fill; BLOCK_SIZE])
                             .expect("healthy-path write");
-                        if go.load(Ordering::Relaxed) {
+                        if started.is_some() {
                             ops += 1;
-                        }
-                        if stop.load(Ordering::Relaxed) {
-                            break;
+                            last_done = Instant::now();
                         }
                     }
                     fill = fill.wrapping_add(1);
                 }
-                ops
+                let window = started
+                    .map(|t| last_done.saturating_duration_since(t))
+                    .unwrap_or_default();
+                (ops, window)
             })
         })
         .collect();
-    std::thread::sleep(Duration::from_millis(300));
+    std::thread::sleep(warmup);
     go.store(true, Ordering::Relaxed);
-    let t0 = Instant::now();
     std::thread::sleep(Duration::from_secs(secs));
     stop.store(true, Ordering::Relaxed);
-    let elapsed = t0.elapsed();
-    let total_ops: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let per_worker: Vec<(u64, Duration)> = workers.into_iter().map(|w| w.join().unwrap()).collect();
     cluster
         .quiesce(Duration::from_secs(30))
         .expect("quiesce after measure window");
     cluster.verify_parity().expect("stripe sweep after the run");
     cluster.shutdown();
-    let ops_per_sec = total_ops as f64 / elapsed.as_secs_f64();
+    let total_ops: u64 = per_worker.iter().map(|&(ops, _)| ops).sum();
+    // Aggregate = sum of per-worker rates, each over its own window.
+    let ops_per_sec: f64 = per_worker
+        .iter()
+        .filter(|&&(ops, w)| ops > 0 && !w.is_zero())
+        .map(|&(ops, w)| ops as f64 / w.as_secs_f64())
+        .sum();
     Sample {
         groups,
         total_ops,
@@ -118,6 +144,7 @@ fn run_config(groups: usize, secs: u64, latency: Duration) -> Sample {
 fn main() {
     let secs = env_u64("MG_SECS", 2);
     let latency = Duration::from_micros(env_u64("MG_LATENCY_US", 500));
+    let warmup = Duration::from_millis(env_u64("MG_WARMUP_MS", 300));
     let groups: Vec<usize> = std::env::var("MG_GROUPS")
         .unwrap_or_else(|_| "1,2,4,8".into())
         .split(',')
@@ -132,7 +159,7 @@ fn main() {
     );
     let mut samples = Vec::new();
     for &n in &groups {
-        let s = run_config(n, secs, latency);
+        let s = run_config(n, secs, latency, warmup);
         println!(
             "bench multigroup_scaling/groups={} total_ops={} ops_per_sec={:.0} per_group={:.0}",
             s.groups, s.total_ops, s.ops_per_sec, s.per_group

@@ -131,11 +131,52 @@ pub fn adversarial_world() -> CheckConfig {
     }
 }
 
+/// The rebuild engine's world: one client writes, the other bulk-rebuilds
+/// a failed site's blocks into the row spares (`ClientOp::Rebuild`, the
+/// declustered fleet's per-group pass) while writes, duplication and
+/// retransmission interleave. Exhausting it proves the PR-8 invariants:
+/// stripe parity and spare-valid ⟹ matches-owner survive a rebuild racing
+/// the write path, whichever member the failed pool site maps to.
+pub fn rebuild_world() -> CheckConfig {
+    CheckConfig {
+        model: ModelConfig {
+            group_size: 2,
+            rows: 2,
+            block_size: 4,
+            scripts: vec![
+                vec![
+                    ClientOp::Write {
+                        site: 3,
+                        index: 0,
+                        fill: 0xF1,
+                    },
+                    ClientOp::Read { site: 3, index: 0 },
+                ],
+                // Site 3 holds data in both rows, so a rebuild of it
+                // exercises every spare slot the geometry offers.
+                vec![ClientOp::Rebuild { site: 3 }],
+            ],
+            attachment: vec![None, None],
+            budgets: Budgets {
+                dup: 1,
+                drop: 1,
+                timer: 2,
+                fail: 1,
+                partition: 0,
+                evict: 0,
+            },
+        },
+        max_depth: 40,
+        sleep_sets: true,
+    }
+}
+
 /// Every standard world, with its name.
 pub fn all() -> Vec<(&'static str, CheckConfig)> {
     vec![
         ("small_world", small_world()),
         ("partition_world", partition_world()),
         ("adversarial_world", adversarial_world()),
+        ("rebuild_world", rebuild_world()),
     ]
 }

@@ -88,6 +88,13 @@ pub enum ClientOp {
         /// Data block index at that site.
         index: u64,
     },
+    /// Bulk-rebuild every data block of a believed-down `site` into the
+    /// row spares (the parallel rebuild engine's per-group pass). Refused
+    /// when the schedule has not failed the site (nothing to rebuild).
+    Rebuild {
+        /// The failed site whose blocks are reconstructed.
+        site: usize,
+    },
 }
 
 /// Fault budgets: how many of each optional event one interleaving may
@@ -936,6 +943,27 @@ impl Model {
                     Err(e) => self.fabric.flag(format!(
                         "read(site {site}, index {index}) by client {c} failed under \
                          a single failure: {e:?}"
+                    )),
+                }
+            }
+            ClientOp::Rebuild { site } => {
+                let mut io = SyncIo {
+                    fabric: &mut self.fabric,
+                    src_peer: peer,
+                    attachment: self.cfg.attachment[c],
+                };
+                match self.clients[c].machine.rebuild_member(&mut io, site, 1) {
+                    Ok(_) => {}
+                    // Unavailable: this schedule never failed the site, so
+                    // there is nothing to rebuild. Inconsistent: a parity
+                    // update is in flight — the engine's full-pass retry is
+                    // modelled as a refusal here.
+                    Err(ClientErr::Unavailable { .. } | ClientErr::Inconsistent { .. }) => {
+                        self.refusals += 1;
+                    }
+                    Err(e) => self.fabric.flag(format!(
+                        "rebuild of site {site} by client {c} failed under a \
+                         single failure: {e:?}"
                     )),
                 }
             }

@@ -39,6 +39,19 @@ fn adversarial_world_exhausts_clean() {
     assert!(report.states > 1000, "suspiciously small exploration");
 }
 
+#[test]
+fn rebuild_world_exhausts_clean() {
+    let cfg = configs::rebuild_world();
+    let report = explore(&cfg);
+    assert!(
+        report.violation.is_none(),
+        "mainline violation: {:?}",
+        report.violation.map(|cx| cx.error)
+    );
+    assert!(report.complete, "no fixpoint within depth {}", report.depth);
+    assert!(report.states > 1000, "suspiciously small exploration");
+}
+
 /// Sleep sets are a sound reduction: same verdict, same completeness,
 /// never more transitions than the unreduced search.
 #[test]

@@ -55,8 +55,8 @@ use radd_obs::{ClusterObs, ObsSnapshot};
 use radd_parity::{ChangeMask, Uid, UidArray};
 use radd_protocol::obs::ObsEvent;
 use radd_protocol::{
-    trace, BlockFault, Blocks, ClientErr, ClientMachine, Dest, Effect, IoPurpose, Msg, TraceEntry,
-    BLOCK_MSG_HEADER, CONTROL_MSG_BYTES,
+    trace, BlockFault, Blocks, ClientErr, ClientMachine, Dest, Effect, IoPurpose, Msg,
+    RebuildReport, TraceEntry, BLOCK_MSG_HEADER, CONTROL_MSG_BYTES,
 };
 use radd_sim::{CostLedger, OpKind, Tracer};
 use std::collections::VecDeque;
@@ -1280,6 +1280,29 @@ impl RaddCluster {
             m.set_recovery_progress(drained, 0);
         }
         Ok(drained)
+    }
+
+    /// Client-machine bulk rebuild (the threaded runtime's
+    /// `NodeClient::rebuild`): reconstruct every data block the
+    /// believed-down `site` owns into the row spares, `wave_rows` rows per
+    /// pipelined wave. Idempotent — rows already absorbed are skipped.
+    pub fn client_rebuild(
+        &mut self,
+        site: SiteId,
+        wave_rows: usize,
+    ) -> Result<RebuildReport, RaddError> {
+        let report = self
+            .with_client(Actor::Client, false, false, |cm, io| {
+                cm.rebuild_member(io, site, wave_rows)
+            })
+            .map_err(|f| self.lift(f, site, 0, None))?;
+        if let Some(obs) = &mut self.obs {
+            let m = obs.client().metrics();
+            m.rebuild_run();
+            m.add_rebuild(report.blocks_rebuilt, report.bytes_xored);
+            m.set_rebuild_fanout(report.peer_reads.iter().filter(|&&n| n > 0).count() as u64);
+        }
+        Ok(report)
     }
 
     /// Enable (or disable) the observability layer: per-machine metrics

@@ -122,6 +122,41 @@ impl ShardedCluster {
         }
     }
 
+    /// Bulk-rebuild a failed pool site's data into the row spares, group
+    /// by group (the DES twin of the threaded parallel engine — the
+    /// synchronous interpreter has no concurrency to exploit, so this is
+    /// the reference semantics the differential test pins). Returns
+    /// `(blocks_rebuilt, reads_per_pool_site)`.
+    pub fn rebuild_pool_site(
+        &mut self,
+        pool_site: SiteId,
+        wave_rows: usize,
+    ) -> Result<(u64, Vec<u64>), RaddError> {
+        let members: Vec<Vec<radd_layout::LogicalDrive>> = (0..self.num_groups())
+            .map(|g| self.map().group_members(GroupId(g)).to_vec())
+            .collect();
+        let mut rebuilt = 0;
+        let mut pool_reads = vec![0u64; self.map().pool_len()];
+        let mut first_err = None;
+        self.router.for_pool_site(pool_site, |g, member, cluster| {
+            match cluster.client_rebuild(member, wave_rows) {
+                Ok(r) => {
+                    rebuilt += r.blocks_rebuilt;
+                    for (m, &reads) in r.peer_reads.iter().enumerate() {
+                        if reads > 0 {
+                            pool_reads[members[g.0][m].site] += reads;
+                        }
+                    }
+                }
+                Err(e) => first_err = Some(e),
+            }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok((rebuilt, pool_reads)),
+        }
+    }
+
     /// Record (or stop recording) normalised machine traces in every group.
     pub fn record_machine_traces(&mut self, on: bool) {
         for (_, cluster) in self.router.groups_mut() {
@@ -199,6 +234,38 @@ mod tests {
         // Spare drains only happen for slots that took degraded writes;
         // recovery itself must succeed and the sweep must pass.
         let _ = drained;
+        cluster.verify_parity().unwrap();
+        for (addr, want) in &written {
+            assert_eq!(cluster.read(*addr).unwrap(), *want, "recovered at {addr}");
+        }
+    }
+
+    #[test]
+    fn declustered_rebuild_fans_across_the_pool() {
+        // 8-site pool, 3 member slots per site, groups of width 6 (G = 4):
+        // four groups whose stripes the declustered placement spreads.
+        let config = RaddConfig::small_g4();
+        let geo = Geometry::new(config.group_size, config.rows).unwrap();
+        let map = ShardMap::pool(8, 3, geo, radd_layout::Placement::Declustered).unwrap();
+        let mut cluster = ShardedCluster::new(map, config).unwrap();
+        let written = fill(&mut cluster, 0x7E);
+
+        cluster.fail_pool_site(0);
+        let (rebuilt, pool_reads) = cluster.rebuild_pool_site(0, 4).unwrap();
+        assert!(rebuilt > 0, "the failed site owned data blocks");
+        assert_eq!(pool_reads[0], 0, "failed site serves no rebuild reads");
+        let spread = pool_reads.iter().filter(|&&n| n > 0).count();
+        assert!(
+            spread > 5,
+            "declustered rebuild must out-fan one group's 5 peers, got {spread}"
+        );
+
+        // Rebuilt spares serve degraded reads; recovery then drains them.
+        for (addr, want) in &written {
+            assert_eq!(cluster.read(*addr).unwrap(), *want, "degraded at {addr}");
+        }
+        cluster.restore_pool_site(0);
+        cluster.recover_pool_site(0).unwrap();
         cluster.verify_parity().unwrap();
         for (addr, want) in &written {
             assert_eq!(cluster.read(*addr).unwrap(), *want, "recovered at {addr}");

@@ -1,0 +1,472 @@
+//! Declustered group placement: spread every group across the pool.
+//!
+//! The §4 greedy assigner ([`crate::grouping::assign_groups`]) optimises for
+//! nothing beyond feasibility, and on a uniform pool it degenerates into
+//! disjoint clusters: groups `{0..w-1}`, `{w..2w-1}`, … — so a failed pool
+//! site has exactly `w - 1` recovery peers no matter how large the pool is,
+//! and rebuild time stays flat as the cluster grows.
+//!
+//! Parity declustering (t-designs; D3-style deterministic distribution)
+//! fixes this by choosing group memberships as a **balanced incomplete
+//! block design**: every pair of pool sites co-occurs in as close to the
+//! same number of groups as possible. Then a single site failure touches
+//! groups whose surviving members are spread over *all* `P - 1` survivors,
+//! and reconstruction reads fan out fleet-wide — rebuild time shrinks
+//! roughly as `(w - 1) / (P - 1)`.
+//!
+//! Two construction modes, selected automatically:
+//!
+//! * **complete block design** — on a uniform pool where each site's drive
+//!   count is a multiple of `C(P-1, w-1)`, enumerate all `C(P, w)`
+//!   w-subsets of the pool in lexicographic order (cycled). Every site
+//!   pair co-occurs in exactly `λ = A·w·(w-1)/(P·(P-1))` groups: perfectly
+//!   uniform reconstruction load.
+//! * **balanced greedy** — everywhere else. Round by round, sites whose
+//!   remaining drive count equals the remaining round count are *critical*
+//!   (they must join every remaining group — the §4 feasibility argument);
+//!   the rest of the group is filled minimising pair co-occurrence with the
+//!   members chosen so far. The same two feasibility checks as
+//!   [`assign_groups`] are necessary and sufficient here too.
+//!
+//! Both invariants the rotation placement guarantees are preserved and
+//! exposed as checkable predicates: no two members of one group share a
+//! pool site ([`check_distinct_sites`]), and reconstruction load is
+//! (near-)uniform over survivors ([`reconstruction_load`],
+//! [`check_reconstruction_balance`]).
+
+use crate::grouping::{GroupError, LogicalDrive};
+use crate::placement::SiteId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How group-member slots are laid out over the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Placement {
+    /// The paper's §4 greedy (Figure-1 rotation lifted to groups): simple,
+    /// but clusters groups on disjoint site sets in uniform pools.
+    #[default]
+    Rotation,
+    /// Balanced-incomplete-block-design membership: every site pair
+    /// co-occurs in (near-)equally many groups, so reconstruction fans out
+    /// across all survivors.
+    Declustered,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Placement::Rotation => write!(f, "rotation"),
+            Placement::Declustered => write!(f, "declustered"),
+        }
+    }
+}
+
+impl std::str::FromStr for Placement {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "rotation" => Ok(Placement::Rotation),
+            "declustered" => Ok(Placement::Declustered),
+            other => Err(format!(
+                "unknown placement '{other}' (expected 'rotation' or 'declustered')"
+            )),
+        }
+    }
+}
+
+/// `C(n, k)` in `u128`, saturating (only used as a divisibility probe, so a
+/// saturated value simply fails the probe and falls back to the greedy).
+fn binom(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    acc
+}
+
+/// Build `A = total/width` groups of `group_width` drives as a balanced
+/// block design: same inputs, outputs and feasibility conditions as
+/// [`assign_groups`](crate::grouping::assign_groups), but memberships are
+/// chosen to equalise pair co-occurrence instead of following the §4
+/// most-remaining order. Deterministic; members are emitted sorted by site
+/// id.
+pub fn decluster_groups(
+    drives_per_site: &[usize],
+    group_width: usize,
+) -> Result<Vec<Vec<LogicalDrive>>, GroupError> {
+    assert!(group_width >= 1, "group width must be positive");
+    let total: usize = drives_per_site.iter().sum();
+    if !total.is_multiple_of(group_width) {
+        return Err(GroupError::TotalNotMultiple {
+            total,
+            width: group_width,
+        });
+    }
+    let a = total / group_width;
+    if let Some((site, &drives)) = drives_per_site.iter().enumerate().find(|&(_, &n)| n > a) {
+        return Err(GroupError::SiteTooLarge {
+            site,
+            drives,
+            max: a,
+        });
+    }
+    if a == 0 {
+        return Ok(Vec::new());
+    }
+    if let Some(groups) = complete_design(drives_per_site, group_width) {
+        return Ok(groups);
+    }
+    Ok(balanced_greedy(drives_per_site, group_width, a))
+}
+
+/// Complete-block-design fast path: uniform pool, per-site drive count a
+/// multiple of `C(P-1, w-1)`. Returns `None` when the conditions don't
+/// hold.
+fn complete_design(drives_per_site: &[usize], width: usize) -> Option<Vec<Vec<LogicalDrive>>> {
+    let sites: Vec<SiteId> = (0..drives_per_site.len())
+        .filter(|&s| drives_per_site[s] > 0)
+        .collect();
+    let p = sites.len();
+    if p < width {
+        return None;
+    }
+    let n = drives_per_site[sites[0]];
+    if sites.iter().any(|&s| drives_per_site[s] != n) {
+        return None;
+    }
+    let per_cycle = binom(p - 1, width - 1);
+    if per_cycle == 0 || per_cycle > u64::MAX as u128 || !(n as u128).is_multiple_of(per_cycle) {
+        return None;
+    }
+    let cycles = n as u128 / per_cycle;
+    let mut next_drive = vec![0usize; drives_per_site.len()];
+    let mut groups = Vec::new();
+    for _ in 0..cycles {
+        // All w-subsets of `sites`, lexicographic.
+        let mut idx: Vec<usize> = (0..width).collect();
+        loop {
+            let group = idx
+                .iter()
+                .map(|&i| {
+                    let site = sites[i];
+                    let d = LogicalDrive {
+                        site,
+                        drive: next_drive[site],
+                    };
+                    next_drive[site] += 1;
+                    d
+                })
+                .collect();
+            groups.push(group);
+            if !next_subset(&mut idx, p) {
+                break;
+            }
+        }
+    }
+    Some(groups)
+}
+
+/// Advance `idx` to the next lexicographic w-subset of `0..p`; `false` when
+/// exhausted.
+fn next_subset(idx: &mut [usize], p: usize) -> bool {
+    let w = idx.len();
+    let mut j = w;
+    while j > 0 {
+        j -= 1;
+        if idx[j] != j + p - w {
+            idx[j] += 1;
+            for t in j + 1..w {
+                idx[t] = idx[t - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Greedy balanced construction with the critical-site guard.
+fn balanced_greedy(drives_per_site: &[usize], width: usize, a: usize) -> Vec<Vec<LogicalDrive>> {
+    let l = drives_per_site.len();
+    let mut remaining = drives_per_site.to_vec();
+    let mut next_drive = vec![0usize; l];
+    // Symmetric pair co-occurrence counts, flattened.
+    let mut pair = vec![0u32; l * l];
+    let mut groups = Vec::with_capacity(a);
+    for round in 0..a {
+        let rounds_left = a - round;
+        // Critical sites: remaining == rounds_left ⇒ the site must join
+        // every remaining group. There are at most `width` of them, since
+        // Σ remaining = width · rounds_left.
+        let mut chosen: Vec<SiteId> = (0..l).filter(|&s| remaining[s] == rounds_left).collect();
+        debug_assert!(chosen.len() <= width, "more criticals than slots");
+        while chosen.len() < width {
+            // Cost of adding site `s`: the *worst* pair it would deepen,
+            // then the total co-occurrence it adds. Minimising the maximum
+            // first is what keeps per-failure reconstruction load tight —
+            // `load[t]` after losing `f` is exactly `pair[f][t]`, so one
+            // hot pair means one overloaded survivor. A sum-only cost (an
+            // earlier version) broke ties by lowest site id and quietly
+            // re-formed the same low-id clique every cycle, leaving site
+            // 0's survivors at twice the ideal load.
+            let mut best: Option<(u32, u32, usize, SiteId)> = None;
+            for s in 0..l {
+                if remaining[s] == 0 || chosen.contains(&s) {
+                    continue;
+                }
+                let worst: u32 = chosen.iter().map(|&c| pair[s * l + c]).max().unwrap_or(0);
+                let total: u32 = chosen.iter().map(|&c| pair[s * l + c]).sum();
+                let better = match best {
+                    None => true,
+                    Some((bw, bt, br, bs)) => {
+                        (worst, total, std::cmp::Reverse(remaining[s]), s)
+                            < (bw, bt, std::cmp::Reverse(br), bs)
+                    }
+                };
+                if better {
+                    best = Some((worst, total, remaining[s], s));
+                }
+            }
+            chosen.push(best.expect("≥ width sites have drives left").3);
+        }
+        chosen.sort_unstable();
+        for i in 0..width {
+            for j in i + 1..width {
+                pair[chosen[i] * l + chosen[j]] += 1;
+                pair[chosen[j] * l + chosen[i]] += 1;
+            }
+        }
+        let group = chosen
+            .iter()
+            .map(|&site| {
+                let d = LogicalDrive {
+                    site,
+                    drive: next_drive[site],
+                };
+                next_drive[site] += 1;
+                remaining[site] -= 1;
+                d
+            })
+            .collect();
+        groups.push(group);
+        debug_assert!(
+            remaining
+                .iter()
+                .all(|&r| r <= rounds_left.saturating_sub(1)),
+            "feasibility invariant broken at round {round}"
+        );
+    }
+    debug_assert!(remaining.iter().all(|&n| n == 0));
+    groups
+}
+
+/// Invariant: no two members of one group share a pool site (two member
+/// slots of a group on one site would die together, defeating the
+/// redundancy).
+pub fn check_distinct_sites(groups: &[Vec<LogicalDrive>]) -> Result<(), String> {
+    for (k, g) in groups.iter().enumerate() {
+        let mut sites: Vec<SiteId> = g.iter().map(|d| d.site).collect();
+        sites.sort_unstable();
+        let before = sites.len();
+        sites.dedup();
+        if sites.len() != before {
+            return Err(format!("group {k} co-locates two member slots on one site"));
+        }
+    }
+    Ok(())
+}
+
+/// Per-survivor reconstruction load when `failed` dies: `load[t]` is the
+/// number of groups in which sites `failed` and `t` are both members —
+/// i.e. the number of member slots survivor `t` serves reads for during a
+/// rebuild of `failed`. `load[failed]` is 0 by construction.
+pub fn reconstruction_load(
+    groups: &[Vec<LogicalDrive>],
+    num_sites: usize,
+    failed: SiteId,
+) -> Vec<usize> {
+    let mut load = vec![0usize; num_sites];
+    for g in groups {
+        if g.iter().any(|d| d.site == failed) {
+            for d in g {
+                if d.site != failed {
+                    load[d.site] += 1;
+                }
+            }
+        }
+    }
+    load
+}
+
+/// Invariant: reconstruction load after `failed` dies is near-uniform over
+/// the survivors that hold any drives — `max - min ≤ tolerance`. A complete
+/// block design passes with `tolerance = 0`; the balanced greedy needs a
+/// small slack on awkward pools.
+pub fn check_reconstruction_balance(
+    groups: &[Vec<LogicalDrive>],
+    drives_per_site: &[usize],
+    failed: SiteId,
+    tolerance: usize,
+) -> Result<(), String> {
+    let load = reconstruction_load(groups, drives_per_site.len(), failed);
+    let survivors: Vec<SiteId> = (0..drives_per_site.len())
+        .filter(|&s| s != failed && drives_per_site[s] > 0)
+        .collect();
+    let (mut lo, mut hi) = (usize::MAX, 0usize);
+    for &s in &survivors {
+        lo = lo.min(load[s]);
+        hi = hi.max(load[s]);
+    }
+    if survivors.is_empty() {
+        return Ok(());
+    }
+    if hi - lo > tolerance {
+        return Err(format!(
+            "reconstruction load after losing site {failed} spans [{lo}, {hi}] \
+             over {} survivors, tolerance {tolerance}",
+            survivors.len()
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grouping::assign_groups;
+
+    fn assert_valid(groups: &[Vec<LogicalDrive>], drives_per_site: &[usize], width: usize) {
+        let total: usize = drives_per_site.iter().sum();
+        assert_eq!(groups.len(), total / width);
+        let mut used_per_site = vec![0usize; drives_per_site.len()];
+        for g in groups {
+            assert_eq!(g.len(), width);
+            for d in g {
+                assert_eq!(d.drive, used_per_site[d.site], "drive indices in order");
+                used_per_site[d.site] += 1;
+            }
+        }
+        assert_eq!(used_per_site, drives_per_site, "every drive used once");
+        check_distinct_sites(groups).unwrap();
+    }
+
+    #[test]
+    fn complete_design_on_small_uniform_pool() {
+        // P = 5, w = 4 → C(4,3) = 4 drives per site, C(5,4) = 5 groups.
+        let n = [4usize; 5];
+        let groups = decluster_groups(&n, 4).unwrap();
+        assert_valid(&groups, &n, 4);
+        assert_eq!(groups.len(), 5);
+        // Perfect balance: λ = 5·4·3/(5·4) = 3 for every pair.
+        for failed in 0..5 {
+            check_reconstruction_balance(&groups, &n, failed, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn complete_design_cycles() {
+        // P = 4, w = 3 → C(3,2) = 3 per cycle; n = 6 → two cycles.
+        let n = [6usize; 4];
+        let groups = decluster_groups(&n, 3).unwrap();
+        assert_valid(&groups, &n, 3);
+        assert_eq!(groups.len(), 8);
+        for failed in 0..4 {
+            check_reconstruction_balance(&groups, &n, failed, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_fallback_is_near_uniform() {
+        // P = 12, w = 4, n = 3 per site: C(11,3) = 165 ∤ 3, so the greedy
+        // runs. 36 drives → 9 groups.
+        let n = [3usize; 12];
+        let groups = decluster_groups(&n, 4).unwrap();
+        assert_valid(&groups, &n, 4);
+        for failed in 0..12 {
+            // Every survivor should carry load ≤ ~⌈3·3/11⌉: allow slack 2.
+            check_reconstruction_balance(&groups, &n, failed, 2).unwrap();
+            let load = reconstruction_load(&groups, 12, failed);
+            // Each site sits in 3 groups x 3 co-members = ≤ 9 distinct
+            // peers; the greedy should reach most of them (rotation on an
+            // equivalent clustered pool would reach exactly 3).
+            let spread = (0..12).filter(|&s| s != failed && load[s] > 0).count();
+            assert!(spread >= 6, "failure of {failed} fans to {spread} peers");
+        }
+    }
+
+    #[test]
+    fn rotation_clusters_but_decluster_spreads() {
+        // The motivating contrast: uniform 8-site pool, w = 4, 4 drives
+        // per site. §4 greedy yields disjoint clusters {0..3}, {4..7}; the
+        // declustered design reaches all 7 survivors.
+        let n = [4usize; 8];
+        let rot = assign_groups(&n, 4).unwrap();
+        let rot_load = reconstruction_load(&rot, 8, 0);
+        let rot_peers = (1..8).filter(|&s| rot_load[s] > 0).count();
+        assert_eq!(rot_peers, 3, "rotation keeps rebuild inside one cluster");
+        let dec = decluster_groups(&n, 4).unwrap();
+        let dec_load = reconstruction_load(&dec, 8, 0);
+        let dec_peers = (1..8).filter(|&s| dec_load[s] > 0).count();
+        assert_eq!(dec_peers, 7, "declustering fans rebuild to all survivors");
+    }
+
+    #[test]
+    fn heterogeneous_pool_declusters() {
+        let n = [6, 5, 4, 3, 3, 1, 1, 1]; // total 24, w = 4 → A = 6
+        let groups = decluster_groups(&n, 4).unwrap();
+        assert_valid(&groups, &n, 4);
+    }
+
+    #[test]
+    fn critical_site_guard_holds() {
+        // Site 0 holds exactly A drives — must be in every group.
+        let n = [3, 1, 1, 1, 1, 2, 3]; // total 12, w = 4 → A = 3
+        let groups = decluster_groups(&n, 4).unwrap();
+        assert_valid(&groups, &n, 4);
+        for g in &groups {
+            assert!(g.iter().any(|d| d.site == 0));
+        }
+    }
+
+    #[test]
+    fn same_errors_as_assign_groups() {
+        assert!(matches!(
+            decluster_groups(&[3, 3, 3], 4).unwrap_err(),
+            GroupError::TotalNotMultiple { total: 9, width: 4 }
+        ));
+        assert!(matches!(
+            decluster_groups(&[3, 3, 1, 1], 4).unwrap_err(),
+            GroupError::SiteTooLarge { site: 0, .. }
+        ));
+        assert!(decluster_groups(&[0, 0, 0], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pool_barely_wider_than_group() {
+        // P = w + 1: every group omits exactly one site.
+        let n = [3usize; 4]; // w = 3 → C(3,2) = 3 | 3: complete design
+        let groups = decluster_groups(&n, 3).unwrap();
+        assert_valid(&groups, &n, 3);
+        for failed in 0..4 {
+            check_reconstruction_balance(&groups, &n, failed, 0).unwrap();
+        }
+    }
+
+    #[test]
+    fn placement_parses_and_displays() {
+        assert_eq!(
+            "rotation".parse::<Placement>().unwrap(),
+            Placement::Rotation
+        );
+        assert_eq!(
+            "declustered".parse::<Placement>().unwrap(),
+            Placement::Declustered
+        );
+        assert!("diagonal".parse::<Placement>().is_err());
+        assert_eq!(Placement::Declustered.to_string(), "declustered");
+        assert_eq!(Placement::default(), Placement::Rotation);
+    }
+}

@@ -23,11 +23,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decluster;
 pub mod geometry;
 pub mod grouping;
 pub mod placement;
 pub mod shard;
 
+pub use decluster::{
+    check_distinct_sites, check_reconstruction_balance, decluster_groups, reconstruction_load,
+    Placement,
+};
 pub use geometry::Geometry;
 pub use grouping::{assign_groups, chunk_logical_drives, ChunkError, GroupError, LogicalDrive};
 pub use placement::{DataIndex, PhysRow, Role, SiteId};

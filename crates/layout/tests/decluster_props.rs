@@ -1,0 +1,236 @@
+//! Property-based tests for the declustered placement: every group must use
+//! distinct pool sites, reconstruction load must stay (near-)uniform over
+//! survivors for *any* single-site failure, and the `ShardMap` rebalance
+//! operations (`add_site` / `remove_site`) must bump the placement epoch while
+//! preserving the addressing bijection and the layout invariants.
+
+use proptest::prelude::*;
+use radd_layout::{
+    assign_groups, check_distinct_sites, check_reconstruction_balance, decluster_groups,
+    reconstruction_load, Geometry, GlobalAddr, GroupError, GroupId, Placement, ShardMap,
+};
+
+/// `C(n, k)` — mirrors the divisibility probe that selects the
+/// complete-block-design fast path inside `decluster_groups`.
+fn binom(n: usize, k: usize) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul((n - i) as u128) / (i as u128 + 1);
+    }
+    acc
+}
+
+/// Massage arbitrary per-site drive counts until the §4 feasibility
+/// preconditions hold: total divisible by `width`, no site above
+/// `A = total / width`, and at least `width` non-empty sites (unless empty).
+fn make_feasible(counts: &mut [usize], width: usize) -> bool {
+    let mut total: usize = counts.iter().sum();
+    while !total.is_multiple_of(width) {
+        let i = (0..counts.len()).min_by_key(|&i| counts[i]).unwrap();
+        counts[i] += 1;
+        total += 1;
+    }
+    let a = total / width;
+    for c in counts.iter_mut() {
+        if *c > a {
+            *c = a;
+        }
+    }
+    let mut total: usize = counts.iter().sum();
+    while !total.is_multiple_of(width) {
+        let i = (0..counts.len())
+            .filter(|&i| counts[i] < total / width)
+            .min_by_key(|&i| counts[i]);
+        match i {
+            Some(i) => {
+                counts[i] += 1;
+                total += 1;
+            }
+            None => return false,
+        }
+    }
+    let total: usize = counts.iter().sum();
+    let a = total / width;
+    total.is_multiple_of(width)
+        && counts.iter().all(|&c| c <= a)
+        && (counts.iter().filter(|&&c| c > 0).count() >= width || a == 0)
+}
+
+proptest! {
+    /// Declustered assignment obeys the same contract as `assign_groups`
+    /// whenever the §4 preconditions hold: `A` groups, every drive used
+    /// exactly once, and no group co-locating two members on one site.
+    #[test]
+    fn declustered_grouping_is_valid_under_preconditions(
+        width in 2usize..8,
+        mut counts in proptest::collection::vec(0usize..6, 8..20),
+    ) {
+        prop_assume!(make_feasible(&mut counts, width));
+        let total: usize = counts.iter().sum();
+        let groups = decluster_groups(&counts, width).unwrap();
+        prop_assert_eq!(groups.len(), total / width);
+        prop_assert!(check_distinct_sites(&groups).is_ok());
+        let mut used = vec![0usize; counts.len()];
+        for g in &groups {
+            prop_assert_eq!(g.len(), width);
+            for d in g {
+                used[d.site] += 1;
+            }
+        }
+        prop_assert_eq!(used, counts);
+    }
+
+    /// On uniform pools — the shape the rebuild bench exercises — every
+    /// single-site failure leaves a (near-)uniform reconstruction load over
+    /// the survivors: exactly uniform when the complete-block-design path
+    /// applies, and under the balanced greedy the busiest survivor stays
+    /// within a small additive slack of the ideal ceiling
+    /// `⌈slots·(w-1) / (P-1)⌉` (the span itself is the wrong metric when
+    /// there are fewer reads than survivors — some loads are then 0 by
+    /// pigeonhole).
+    #[test]
+    fn declustered_reconstruction_load_is_near_uniform(
+        g in 1usize..5,
+        pool in 3usize..14,
+        slots in 1usize..6,
+    ) {
+        let width = g + 2;
+        prop_assume!(pool >= width);
+        prop_assume!((pool * slots).is_multiple_of(width));
+        let counts = vec![slots; pool];
+        let groups = decluster_groups(&counts, width).unwrap();
+        prop_assert!(check_distinct_sites(&groups).is_ok());
+        let per_cycle = binom(pool - 1, width - 1);
+        let complete = per_cycle > 0 && (slots as u128).is_multiple_of(per_cycle);
+        let ideal_hi = (slots * (width - 1)).div_ceil(pool - 1);
+        for failed in 0..pool {
+            if complete {
+                let check = check_reconstruction_balance(&groups, &counts, failed, 0);
+                prop_assert!(check.is_ok(), "site {}: {:?}", failed, check);
+            }
+            let load = reconstruction_load(&groups, pool, failed);
+            let hi = (0..pool).filter(|&s| s != failed).map(|s| load[s]).max().unwrap();
+            prop_assert!(
+                hi <= ideal_hi + 2,
+                "failure of site {} overloads a survivor: {} reads vs ideal {}",
+                failed, hi, ideal_hi
+            );
+        }
+    }
+
+    /// The minimal interesting pool, `P = w + 1`: one more site than a group
+    /// needs. The complete design applies (`C(w, w-1) = w` divides `slots`
+    /// by construction), so every failure's load is *exactly* uniform and
+    /// spread over all `w` survivors.
+    #[test]
+    fn declustered_minimal_pool_is_exactly_uniform(
+        g in 1usize..6,
+        cycles in 1usize..4,
+    ) {
+        let width = g + 2;
+        let pool = width + 1;
+        let slots = width * cycles;
+        let counts = vec![slots; pool];
+        let groups = decluster_groups(&counts, width).unwrap();
+        prop_assert!(check_distinct_sites(&groups).is_ok());
+        for failed in 0..pool {
+            prop_assert!(
+                check_reconstruction_balance(&groups, &counts, failed, 0).is_ok()
+            );
+            let map = ShardMap::pool(
+                pool,
+                slots,
+                Geometry::new(g, 4).unwrap(),
+                Placement::Declustered,
+            )
+            .unwrap();
+            let load = map.reconstruction_spread(failed);
+            prop_assert_eq!(load[failed], 0);
+            prop_assert_eq!(
+                load.iter().filter(|&&n| n > 0).count(),
+                pool - 1,
+                "a failure must fan reconstruction out over every survivor"
+            );
+        }
+    }
+
+    /// Infeasible totals fail identically under both assigners: declustering
+    /// must not silently accept (or differently reject) a pool the §4
+    /// grouping would refuse.
+    #[test]
+    fn declustered_rejects_what_grouping_rejects(
+        width in 2usize..8,
+        counts in proptest::collection::vec(0usize..6, 4..16),
+    ) {
+        let total: usize = counts.iter().sum();
+        prop_assume!(!total.is_multiple_of(width));
+        let dec = decluster_groups(&counts, width).unwrap_err();
+        let rot = assign_groups(&counts, width).unwrap_err();
+        prop_assert_eq!(dec, rot);
+        prop_assert_eq!(dec, GroupError::TotalNotMultiple { total, width });
+    }
+
+    /// Rebalance round-trip: `add_site` then `remove_site` of that same site
+    /// bumps the epoch twice, keeps the placement policy, preserves the
+    /// locate/addr_of bijection throughout, and lands back on the original
+    /// group structure (the emptied site holds nothing, so the carve is
+    /// unchanged).
+    #[test]
+    fn shard_map_rebalance_round_trip(
+        g in 1usize..4,
+        pool_sel in 0usize..6,
+        cycles in 1usize..3,
+        declustered in any::<bool>(),
+    ) {
+        let width = g + 2;
+        let pool = width + pool_sel;
+        // Slots a multiple of the width: add_site keeps the total divisible
+        // for any pool size, so the rebalance itself can never fail.
+        let slots = width * cycles;
+        let placement = if declustered {
+            Placement::Declustered
+        } else {
+            Placement::Rotation
+        };
+        let geo = Geometry::new(g, 4).unwrap();
+        let mut map = ShardMap::pool(pool, slots, geo, placement).unwrap();
+        let epoch0 = map.epoch();
+        let before: Vec<Vec<_>> = (0..map.num_groups())
+            .map(|k| map.group_members(GroupId(k)).to_vec())
+            .collect();
+
+        let new_site = map.add_site(geo.rows() * slots as u64).unwrap();
+        prop_assert_eq!(map.epoch(), epoch0 + 1);
+        prop_assert_eq!(map.placement(), placement);
+        prop_assert_eq!(new_site, pool);
+        let grown: Vec<Vec<_>> = (0..map.num_groups())
+            .map(|k| map.group_members(GroupId(k)).to_vec())
+            .collect();
+        prop_assert!(check_distinct_sites(&grown).is_ok());
+        for a in 0..map.total_data_blocks() {
+            let t = map.locate(GlobalAddr(a)).unwrap();
+            prop_assert_eq!(map.addr_of(t.group, t.member, t.index), Some(GlobalAddr(a)));
+            prop_assert_eq!(map.group_members(t.group)[t.member].site, t.pool_site);
+        }
+
+        map.remove_site(new_site).unwrap();
+        prop_assert_eq!(map.epoch(), epoch0 + 2);
+        prop_assert_eq!(map.placement(), placement);
+        // The emptied site stays in the pool (ids are stable) but holds no
+        // member slots, so the carve matches the original map exactly.
+        prop_assert_eq!(map.pool_len(), pool + 1);
+        prop_assert_eq!(map.num_groups(), before.len());
+        for (k, want) in before.iter().enumerate() {
+            prop_assert_eq!(map.group_members(GroupId(k)), &want[..]);
+        }
+        for a in 0..map.total_data_blocks() {
+            let t = map.locate(GlobalAddr(a)).unwrap();
+            prop_assert_eq!(map.addr_of(t.group, t.member, t.index), Some(GlobalAddr(a)));
+            prop_assert_ne!(t.pool_site, new_site);
+        }
+    }
+}

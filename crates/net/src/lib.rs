@@ -37,4 +37,4 @@ pub use partition::{PartitionMap, PartitionVerdict};
 pub use reliable::ReliableChannel;
 pub use retry::RetryPolicy;
 pub use stats::NetStats;
-pub use threaded::{ThreadedEndpoint, ThreadedNet};
+pub use threaded::{ThreadedEndpoint, ThreadedNet, Wire};

@@ -9,11 +9,53 @@
 
 use crate::retry::RetryPolicy;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared transmission line with finite capacity: one message at a time,
+/// each occupying the line for the wire's latency.
+///
+/// Endpoints — possibly of *different* [`ThreadedNet`] instances — that are
+/// attached to the same `Wire` ([`ThreadedNet::set_wire`]) contend for it on
+/// every send: the sender holds the line's lock while it sleeps the wire
+/// time. This makes a pool site's transmit capacity a physically shared
+/// resource across all the per-group endpoints that live on that site,
+/// which is what lets a rebuild bench measure real fan-out: reads answered
+/// by many distinct pool sites overlap, reads answered by one site
+/// serialize.
+#[derive(Debug)]
+pub struct Wire {
+    line: Mutex<()>,
+    latency_ns: AtomicU64,
+}
+
+impl Wire {
+    /// A wire occupying its sender for `latency` per message.
+    pub fn new(latency: Duration) -> Arc<Wire> {
+        Arc::new(Wire {
+            line: Mutex::new(()),
+            latency_ns: AtomicU64::new(latency.as_nanos() as u64),
+        })
+    }
+
+    /// Change the wire time (0 disables the sleep but keeps serialization).
+    pub fn set_latency(&self, latency: Duration) {
+        self.latency_ns
+            .store(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Occupy the line for one message.
+    fn transmit(&self) {
+        let _line = self.line.lock();
+        let ns = self.latency_ns.load(Ordering::Relaxed);
+        if ns > 0 {
+            std::thread::sleep(Duration::from_nanos(ns));
+        }
+    }
+}
 
 /// A message with its source address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -69,6 +111,9 @@ struct Shared<M> {
     dropped: AtomicU64,
     /// Per-message wire time in nanoseconds (0 = instant, the default).
     link_latency_ns: AtomicU64,
+    /// Optional per-endpoint shared wires: an endpoint with a wire charges
+    /// *that* wire's latency under its lock instead of the global latency.
+    wires: RwLock<Vec<Option<Arc<Wire>>>>,
 }
 
 fn splitmix64(mut z: u64) -> u64 {
@@ -111,6 +156,7 @@ impl<M: Send + 'static> ThreadedNet<M> {
             loss_counter: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             link_latency_ns: AtomicU64::new(0),
+            wires: RwLock::new(vec![None; n]),
         });
         let endpoints = receivers
             .into_iter()
@@ -160,6 +206,14 @@ impl<M: Send + 'static> ThreadedNet<M> {
             .link_latency_ns
             .store(latency.as_nanos() as u64, Ordering::Relaxed);
     }
+
+    /// Attach `endpoint`'s sends to a shared [`Wire`] (or detach with
+    /// `None`). While attached the endpoint charges the wire's latency —
+    /// under the wire's lock, serializing with every other endpoint on the
+    /// same wire, across nets — instead of the global link latency.
+    pub fn set_wire(&self, endpoint: usize, wire: Option<Arc<Wire>>) {
+        self.shared.wires.write()[endpoint] = wire;
+    }
 }
 
 impl<M: Send + 'static> ThreadedEndpoint<M> {
@@ -194,9 +248,15 @@ impl<M: Send + 'static> ThreadedEndpoint<M> {
                 }
             }
         }
-        let latency_ns = self.shared.link_latency_ns.load(Ordering::Relaxed);
-        if latency_ns > 0 {
-            std::thread::sleep(Duration::from_nanos(latency_ns));
+        let wire = self.shared.wires.read().get(self.id).cloned().flatten();
+        match wire {
+            Some(w) => w.transmit(),
+            None => {
+                let latency_ns = self.shared.link_latency_ns.load(Ordering::Relaxed);
+                if latency_ns > 0 {
+                    std::thread::sleep(Duration::from_nanos(latency_ns));
+                }
+            }
         }
         tx.send(Inbound {
             src: self.id,
@@ -470,6 +530,50 @@ mod tests {
         let t1 = Instant::now();
         eps[0].send(1, 0).unwrap();
         assert!(t1.elapsed() < Duration::from_millis(5), "latency off again");
+    }
+
+    #[test]
+    fn shared_wire_serializes_across_nets() {
+        // Two independent nets whose endpoint 0s share one wire: their
+        // sends serialize, while an unwired endpoint stays instant.
+        let (net_a, mut eps_a) = ThreadedNet::<u8>::new(2);
+        let (net_b, mut eps_b) = ThreadedNet::<u8>::new(2);
+        let wire = Wire::new(Duration::from_millis(5));
+        net_a.set_wire(0, Some(Arc::clone(&wire)));
+        net_b.set_wire(0, Some(Arc::clone(&wire)));
+        let ep_a1 = eps_a.pop().unwrap();
+        let ep_a0 = eps_a.pop().unwrap();
+        let ep_b0 = eps_b.swap_remove(0);
+        let t0 = Instant::now();
+        let (ep_a0, ep_b0) = thread::scope(|s| {
+            let ta = s.spawn(move || {
+                for _ in 0..3 {
+                    ep_a0.send(1, 0).unwrap();
+                }
+                ep_a0
+            });
+            let tb = s.spawn(move || {
+                for _ in 0..3 {
+                    ep_b0.send(1, 0).unwrap();
+                }
+                ep_b0
+            });
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        let _ = ep_b0;
+        assert!(
+            t0.elapsed() >= Duration::from_millis(30),
+            "6 sends on one 5 ms wire serialize"
+        );
+        // The unwired endpoint is not slowed by the wire (global latency 0).
+        let t1 = Instant::now();
+        ep_a1.send(0, 0).unwrap();
+        assert!(t1.elapsed() < Duration::from_millis(5));
+        // Detaching restores instant sends.
+        net_a.set_wire(0, None);
+        let t2 = Instant::now();
+        ep_a0.send(1, 0).unwrap();
+        assert!(t2.elapsed() < Duration::from_millis(5));
     }
 
     #[test]

@@ -35,7 +35,9 @@ use radd_net::{RetryPolicy, ThreadedEndpoint};
 use radd_obs::{MachineObs, MachineSnapshot};
 use radd_parity::xor_in_place;
 use radd_protocol::obs::ObsEvent;
-use radd_protocol::{ClientErr, ClientIo, ClientMachine, Dest, SparePolicy, TraceEntry};
+use radd_protocol::{
+    ClientErr, ClientIo, ClientMachine, Dest, RebuildReport, SparePolicy, TraceEntry,
+};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -258,7 +260,11 @@ impl ClientIo for NetIo {
     /// site short-circuits to `Timeout` (after checking the stash — its
     /// reply may have arrived while an earlier entry waited). Without
     /// this, a G-way degraded read against one dead site would serialise G
-    /// full retry ladders.
+    /// full retry ladders. The budget counts *expired windows only*, and a
+    /// reply refills it: a healthy site must be able to answer a batch of
+    /// any width, not just `attempts` entries (a wide recovery drain once
+    /// burned the whole budget on its first twelve successful probes and
+    /// synthesised timeouts for the rest of the wave).
     fn exchange_batch(
         &mut self,
         reqs: Vec<(usize, Msg)>,
@@ -290,17 +296,20 @@ impl ClientIo for NetIo {
                         dead.insert(site);
                         return Err(ClientErr::Timeout { site });
                     }
-                    // The first window rides on the pipelined send above;
-                    // later windows resend (idempotent at the receiver).
+                    // The first window (`k == 0`) rides on the pipelined
+                    // send above; a window only opens with a resend after
+                    // an earlier one expired (idempotent at the receiver).
                     if k > 0 && self.send_attempt(site, &msg, true) == SendResult::Closed {
                         dead.insert(site);
                         return self.take_stashed(tag).ok_or(ClientErr::Timeout { site });
                     }
-                    let window = self.attempt_window(k);
-                    *used.get_mut(&site).expect("inserted above") += 1;
-                    if let Some(reply) = self.wait(tag, window) {
+                    if let Some(reply) = self.wait(tag, self.attempt_window(k)) {
+                        // The site is alive: refill its budget so the rest
+                        // of the batch gets full ladders too.
+                        used.insert(site, 0);
                         return Ok(reply);
                     }
+                    *used.get_mut(&site).expect("inserted above") += 1;
                 }
             })
             .collect()
@@ -432,6 +441,30 @@ impl NodeClient {
         m.recovery_run();
         m.set_recovery_progress(drained, 0);
         Ok(drained)
+    }
+
+    /// Bulk-rebuild every data block a believed-down `site` owns into the
+    /// row spares (§3.3 reconstruction fanned wave-by-wave across all
+    /// survivors). Idempotent: rows already absorbed are skipped, so an
+    /// `Inconsistent` fold (a parity update racing the rebuild) retries the
+    /// whole pass cheaply.
+    pub fn rebuild(&mut self, site: usize, wave_rows: usize) -> Result<RebuildReport, ClientError> {
+        for _ in 0..RECONSTRUCT_RETRIES {
+            match self.machine.rebuild_member(&mut self.io, site, wave_rows) {
+                Err(ClientErr::Inconsistent { .. }) => std::thread::sleep(Duration::from_millis(5)),
+                Ok(report) => {
+                    let m = self.io.obs.metrics();
+                    m.rebuild_run();
+                    m.add_rebuild(report.blocks_rebuilt, report.bytes_xored);
+                    m.set_rebuild_fanout(
+                        report.peer_reads.iter().filter(|&&n| n > 0).count() as u64
+                    );
+                    return Ok(report);
+                }
+                Err(e) => return Err(ClientError::from(e)),
+            }
+        }
+        Err(ClientError::Inconsistent)
     }
 
     fn oracle_tag(&mut self) -> u64 {
@@ -579,6 +612,45 @@ mod tests {
                 );
             }
         });
+    }
+
+    /// A batch far wider than the attempt budget, all to one *healthy*
+    /// site, must succeed entry for entry with zero retransmissions. The
+    /// per-site budget once counted successful waits: entry thirteen of a
+    /// wide recovery-drain wave got an instant synthesised `Timeout` even
+    /// though the site answered everything (and entries two onward were
+    /// spuriously resent as retransmissions).
+    #[test]
+    fn wide_batch_to_a_healthy_site_outlives_the_attempt_budget() {
+        let (net, mut eps) = ThreadedNet::<Msg>::new(2);
+        let client_ep = eps.remove(0);
+        reversing_site(eps.remove(0), 0); // pure echo: acks as requests arrive
+        let mut io = NetIo::new(client_ep, 1);
+        let width = io.policy.attempts as u64 * 3;
+        let reqs: Vec<(usize, Msg)> = (0..width)
+            .map(|i| {
+                (
+                    0usize,
+                    Msg::BlockRead {
+                        row: i,
+                        tag: 200 + i,
+                    },
+                )
+            })
+            .collect();
+        let replies = io.exchange_batch(reqs, false);
+        for (i, r) in replies.iter().enumerate() {
+            match r {
+                Ok(m) => assert_eq!(m.tag(), 200 + i as u64),
+                Err(e) => panic!("entry {i} of a healthy wide batch failed: {e:?}"),
+            }
+        }
+        let snap = io.obs.snapshot("client");
+        assert_eq!(
+            snap.metrics.retransmits, 0,
+            "a healthy site answered every pipelined request; nothing to resend"
+        );
+        drop(net);
     }
 
     #[test]

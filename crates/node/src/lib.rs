@@ -59,7 +59,7 @@ pub mod site;
 pub use client::{ClientError, NodeClient};
 pub use driver::ThreadedDriver;
 pub use message::Msg;
-pub use sharded::ShardedNodeCluster;
+pub use sharded::{PoolRebuildReport, ShardedNodeCluster};
 
 use radd_net::ThreadedNet;
 use radd_protocol::CoalescePolicy;
@@ -170,6 +170,15 @@ impl NodeCluster {
     /// Zero (the default) keeps sends instantaneous.
     pub fn set_link_latency(&self, latency: Duration) {
         self.net.set_link_latency(latency);
+    }
+
+    /// Attach (or detach with `None`) a shared transmission [`Wire`] to
+    /// site `j`'s endpoint. Every send from that site then serialises on
+    /// the wire for the wire's latency — the physical model behind the
+    /// rebuild benchmarks: one wire per *pool site* shared across all the
+    /// groups it hosts makes a site's uplink the contended resource.
+    pub fn set_site_wire(&self, site: usize, wire: Option<std::sync::Arc<radd_net::Wire>>) {
+        self.net.set_wire(self.ep_base + site, wire);
     }
 
     fn set_down(&mut self, site: usize, down: bool) {

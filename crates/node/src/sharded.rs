@@ -16,8 +16,45 @@
 use crate::client::NodeClient;
 use crate::NodeCluster;
 use radd_layout::{Geometry, GlobalAddr, GroupId, ShardMap, ShardTarget, SiteId};
+use radd_net::Wire;
 use radd_protocol::{CoalescePolicy, Router, TraceEntry};
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
+
+/// Accumulate one group's [`radd_protocol::RebuildReport`] into the pool
+/// aggregate, translating member-indexed peer reads to pool sites.
+fn fold_group_report(
+    pool: &mut PoolRebuildReport,
+    group: &radd_protocol::RebuildReport,
+    members: &[radd_layout::LogicalDrive],
+) {
+    pool.groups += 1;
+    pool.blocks_rebuilt += group.blocks_rebuilt;
+    pool.blocks_absorbed += group.blocks_absorbed;
+    pool.bytes_xored += group.bytes_xored;
+    for (member, &reads) in group.peer_reads.iter().enumerate() {
+        if reads > 0 {
+            pool.pool_peer_reads[members[member].site] += reads;
+        }
+    }
+}
+
+/// Aggregated result of one pool-site rebuild across every affected group.
+#[derive(Debug, Clone, Default)]
+pub struct PoolRebuildReport {
+    /// Groups that hosted a member slot on the failed pool site.
+    pub groups: usize,
+    /// Blocks reconstructed into spares, summed over groups.
+    pub blocks_rebuilt: u64,
+    /// Blocks found already absorbed (earlier passes or degraded writes).
+    pub blocks_absorbed: u64,
+    /// Bytes folded through the XOR kernel.
+    pub bytes_xored: u64,
+    /// Reconstruction reads served per *pool* site (index = pool site id) —
+    /// the uniform-reconstruction-load invariant made measurable.
+    pub pool_peer_reads: Vec<u64>,
+}
 
 /// `A` threaded groups over a shared site pool.
 pub struct ShardedNodeCluster {
@@ -55,7 +92,21 @@ impl ShardedNodeCluster {
         let geo = Geometry::new(g, rows).expect("valid geometry");
         let map = ShardMap::uniform(num_groups, geo)
             .expect("uniform pools always carve into num_groups groups");
-        let mut extra = Vec::with_capacity(num_groups);
+        ShardedNodeCluster::start_with_map(map, block_size, clients_per_group, coalesce)
+    }
+
+    /// Spawn one threaded group per entry of an explicit [`ShardMap`] —
+    /// the entry point for declustered pools, where the map was built with
+    /// [`ShardMap::pool`] over more sites than one group spans.
+    pub fn start_with_map(
+        map: ShardMap,
+        block_size: usize,
+        clients_per_group: usize,
+        coalesce: CoalescePolicy,
+    ) -> (ShardedNodeCluster, Vec<Vec<NodeClient>>) {
+        let geo = map.geometry();
+        let (g, rows) = (geo.group_size(), geo.rows());
+        let mut extra = Vec::with_capacity(map.num_groups());
         let router = Router::new(map, |_| {
             let (cluster, workers) =
                 NodeCluster::start_with(g, rows, block_size, clients_per_group, coalesce);
@@ -146,6 +197,125 @@ impl ShardedNodeCluster {
         }
     }
 
+    /// Model each *pool site* as owning one transmission [`Wire`] of the
+    /// given latency, shared by every member endpoint it hosts across all
+    /// groups: concurrent sends from one physical site serialise, so the
+    /// fleet's aggregate rebuild-read bandwidth is `surviving sites ×
+    /// 1/latency` — the physics the declustered layout exploits. Returns
+    /// the wires (index = pool site) for latency tuning.
+    pub fn set_pool_wires(&mut self, latency: Duration) -> Vec<Arc<Wire>> {
+        let slots: Vec<Vec<(GroupId, SiteId)>> = (0..self.map().pool_len())
+            .map(|p| self.map().pool_site_slots(p))
+            .collect();
+        let wires: Vec<Arc<Wire>> = slots.iter().map(|_| Wire::new(latency)).collect();
+        for (p, site_slots) in slots.iter().enumerate() {
+            for &(g, member) in site_slots {
+                self.router
+                    .group_mut(g)
+                    .set_site_wire(member, Some(wires[p].clone()));
+            }
+        }
+        wires
+    }
+
+    /// Detach every wire attached by
+    /// [`set_pool_wires`](ShardedNodeCluster::set_pool_wires).
+    pub fn clear_pool_wires(&mut self) {
+        for p in 0..self.map().pool_len() {
+            for (g, member) in self.map().pool_site_slots(p) {
+                self.router.group_mut(g).set_site_wire(member, None);
+            }
+        }
+    }
+
+    /// Rebuild a killed pool site's data into the row spares, one affected
+    /// group after another through the attached clients. The parallel
+    /// engine ([`rebuild_pool_site_parallel`][Self::rebuild_pool_site_parallel])
+    /// is the perf path; this serial twin is the reference the differential
+    /// and model checks pin down.
+    pub fn rebuild_pool_site(
+        &mut self,
+        pool_site: SiteId,
+        wave_rows: usize,
+    ) -> Result<PoolRebuildReport, String> {
+        let members: Vec<Vec<radd_layout::LogicalDrive>> = (0..self.num_groups())
+            .map(|g| self.map().group_members(GroupId(g)).to_vec())
+            .collect();
+        let mut report = PoolRebuildReport {
+            pool_peer_reads: vec![0; self.map().pool_len()],
+            ..PoolRebuildReport::default()
+        };
+        let mut first_err: Option<String> = None;
+        self.router.for_pool_site(pool_site, |g, member, cluster| {
+            match cluster.client().rebuild(member, wave_rows) {
+                Ok(r) => fold_group_report(&mut report, &r, &members[g.0]),
+                Err(e) => first_err = Some(format!("group {g}: {e}")),
+            }
+        });
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// The parallel rebuild engine: fan the affected groups' rebuilds out
+    /// onto one thread each, driven by per-group worker clients (the extras
+    /// returned at start — `workers[g]` drives group `g`; unaffected
+    /// entries are left untouched). Each worker's wave pipelining keeps `G`
+    /// reconstruction reads in flight per group, and with per-site wires
+    /// attached the aggregate read load lands on however many distinct pool
+    /// sites the placement spread the stripes across.
+    pub fn rebuild_pool_site_parallel(
+        &mut self,
+        pool_site: SiteId,
+        wave_rows: usize,
+        workers: &mut [NodeClient],
+    ) -> Result<PoolRebuildReport, String> {
+        assert!(
+            workers.len() >= self.num_groups(),
+            "need one worker client per group"
+        );
+        let slots: HashMap<usize, SiteId> = self
+            .map()
+            .pool_site_slots(pool_site)
+            .into_iter()
+            .map(|(g, member)| (g.0, member))
+            .collect();
+        let members: Vec<Vec<radd_layout::LogicalDrive>> = (0..self.num_groups())
+            .map(|g| self.map().group_members(GroupId(g)).to_vec())
+            .collect();
+        let mut report = PoolRebuildReport {
+            pool_peer_reads: vec![0; self.map().pool_len()],
+            ..PoolRebuildReport::default()
+        };
+        let results: Vec<(usize, Result<radd_protocol::RebuildReport, String>)> =
+            std::thread::scope(|scope| {
+                let mut joins = Vec::new();
+                for (g, worker) in workers.iter_mut().enumerate() {
+                    let Some(&member) = slots.get(&g) else {
+                        continue;
+                    };
+                    joins.push(scope.spawn(move || {
+                        // kill_pool_site only marks *attached* clients down;
+                        // the worker forms its own belief here.
+                        worker.mark_down(member, true);
+                        (
+                            g,
+                            worker.rebuild(member, wave_rows).map_err(|e| e.to_string()),
+                        )
+                    }));
+                }
+                joins.into_iter().map(|j| j.join().unwrap()).collect()
+            });
+        for (g, res) in results {
+            match res {
+                Ok(r) => fold_group_report(&mut report, &r, &members[g]),
+                Err(e) => return Err(format!("group {g}: {e}")),
+            }
+        }
+        Ok(report)
+    }
+
     /// Message-loss injection across every group's network.
     pub fn set_loss(&mut self, permille: u16, seed: u64) {
         for (_, cluster) in self.router.groups_mut() {
@@ -209,6 +379,7 @@ impl ShardedNodeCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use radd_layout::Placement;
 
     const QUIESCE: Duration = Duration::from_secs(10);
 
@@ -233,6 +404,61 @@ mod tests {
         }
         cluster.revive_pool_site(1);
         cluster.recover_pool_site(1).unwrap();
+        cluster.quiesce(QUIESCE).unwrap();
+        cluster.verify_parity().unwrap();
+        for (addr, want) in &written {
+            assert_eq!(cluster.read(*addr).unwrap(), *want, "recovered at {addr}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn parallel_rebuild_spreads_reads_and_preserves_data() {
+        // Declustered pool: 8 sites, 3 member slots each, G = 2 groups of
+        // width 4 — six groups total, stripes spread across the pool.
+        let geo = Geometry::new(2, 4).unwrap();
+        let map = ShardMap::pool(8, 3, geo, Placement::Declustered).unwrap();
+        let (mut cluster, mut extra) =
+            ShardedNodeCluster::start_with_map(map, 32, 2, CoalescePolicy::Merge);
+        let mut workers: Vec<NodeClient> = extra.iter_mut().map(|w| w.remove(0)).collect();
+        let cap = cluster.map().group_capacity();
+        let mut written = Vec::new();
+        for k in 0..cluster.num_groups() as u64 {
+            let addr = GlobalAddr(k * cap);
+            let data = vec![0x50 + k as u8; 32];
+            cluster.write(addr, &data).unwrap();
+            written.push((addr, data));
+        }
+        cluster.quiesce(QUIESCE).unwrap();
+
+        cluster.kill_pool_site(0);
+        let report = cluster
+            .rebuild_pool_site_parallel(0, 2, &mut workers)
+            .unwrap();
+        assert_eq!(report.groups, 3, "site 0 hosts three member slots");
+        assert!(report.blocks_rebuilt > 0);
+        assert_eq!(report.pool_peer_reads[0], 0, "failed site serves no reads");
+        let spread = report.pool_peer_reads.iter().filter(|&&n| n > 0).count();
+        assert!(
+            spread > 3,
+            "declustered rebuild must out-fan a single group's 3 peers, got {spread}"
+        );
+
+        // A second pass sees every row absorbed: the engine is idempotent.
+        let again = cluster
+            .rebuild_pool_site_parallel(0, 2, &mut workers)
+            .unwrap();
+        assert_eq!(again.blocks_rebuilt, 0);
+        assert_eq!(
+            again.blocks_absorbed,
+            report.blocks_rebuilt + report.blocks_absorbed
+        );
+
+        for (addr, want) in &written {
+            assert_eq!(cluster.read(*addr).unwrap(), *want, "degraded at {addr}");
+        }
+        cluster.revive_pool_site(0);
+        cluster.recover_pool_site(0).unwrap();
         cluster.quiesce(QUIESCE).unwrap();
         cluster.verify_parity().unwrap();
         for (addr, want) in &written {

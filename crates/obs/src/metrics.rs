@@ -96,6 +96,10 @@ pub struct MachineMetrics {
     recovery_runs: u64,
     recovery_drained_rows: u64,
     recovery_pending_rows: u64,
+    rebuild_runs: u64,
+    rebuild_blocks: u64,
+    rebuild_bytes_xored: u64,
+    rebuild_fanout_peers: u64,
     read_latency: Histogram,
     write_latency: Histogram,
 }
@@ -148,6 +152,24 @@ impl MachineMetrics {
     pub fn set_recovery_progress(&mut self, drained_rows: u64, pending_rows: u64) {
         self.recovery_drained_rows = drained_rows;
         self.recovery_pending_rows = pending_rows;
+    }
+
+    /// A member rebuild pass started.
+    pub fn rebuild_run(&mut self) {
+        self.rebuild_runs += 1;
+    }
+
+    /// Accumulate one rebuild pass's work: blocks reconstructed into
+    /// spares and bytes folded through the XOR kernel.
+    pub fn add_rebuild(&mut self, blocks: u64, bytes_xored: u64) {
+        self.rebuild_blocks += blocks;
+        self.rebuild_bytes_xored += bytes_xored;
+    }
+
+    /// Gauge: surviving peers the current/last rebuild fanned reconstruction
+    /// reads across.
+    pub fn set_rebuild_fanout(&mut self, peers: u64) {
+        self.rebuild_fanout_peers = peers;
     }
 
     /// Gauge: writes absorbed by parity-update coalescing, owned by the
@@ -219,6 +241,10 @@ impl MachineMetrics {
             recovery_runs: self.recovery_runs,
             recovery_drained_rows: self.recovery_drained_rows,
             recovery_pending_rows: self.recovery_pending_rows,
+            rebuild_runs: self.rebuild_runs,
+            rebuild_blocks: self.rebuild_blocks,
+            rebuild_bytes_xored: self.rebuild_bytes_xored,
+            rebuild_fanout_peers: self.rebuild_fanout_peers,
             read_latency: self.read_latency.snapshot(),
             write_latency: self.write_latency.snapshot(),
         }

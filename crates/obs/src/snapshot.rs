@@ -96,6 +96,14 @@ pub struct MetricsSnapshot {
     pub recovery_drained_rows: u64,
     /// Gauge: rows still pending in the current/last recovery.
     pub recovery_pending_rows: u64,
+    /// Member rebuild passes started.
+    pub rebuild_runs: u64,
+    /// Blocks reconstructed into spares by rebuild passes.
+    pub rebuild_blocks: u64,
+    /// Bytes folded through the XOR kernel by rebuild passes.
+    pub rebuild_bytes_xored: u64,
+    /// Gauge: surviving peers the current/last rebuild fanned reads across.
+    pub rebuild_fanout_peers: u64,
     /// Completed-read latency (wall ns in the threaded runtime, logical
     /// Figure-3 cost in the DES).
     pub read_latency: HistogramSnapshot,
@@ -224,6 +232,13 @@ impl ObsSnapshot {
                     out,
                     "           recovery: runs={} drained={} pending={}",
                     s.recovery_runs, s.recovery_drained_rows, s.recovery_pending_rows,
+                );
+            }
+            if s.rebuild_runs > 0 {
+                let _ = writeln!(
+                    out,
+                    "           rebuild: runs={} blocks={} xor_bytes={} fanout={}",
+                    s.rebuild_runs, s.rebuild_blocks, s.rebuild_bytes_xored, s.rebuild_fanout_peers,
                 );
             }
             if tail > 0 && !m.flight.is_empty() {

@@ -778,6 +778,223 @@ impl ClientMachine {
     }
 }
 
+/// Outcome of one member-slot rebuild ([`ClientMachine::rebuild_member`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RebuildReport {
+    /// Physical rows examined.
+    pub rows_scanned: u64,
+    /// Blocks reconstructed and installed into their row's spare.
+    pub blocks_rebuilt: u64,
+    /// Rows whose spare already stood in for the failed member (a
+    /// redirected write or a cached reconstruction) — nothing to do.
+    pub blocks_absorbed: u64,
+    /// Rows skipped because the [`SparePolicy`] allocates no spare there.
+    pub rows_spareless: u64,
+    /// Bytes folded through [`xor_fold`] (source blocks × block size).
+    pub bytes_xored: u64,
+    /// `BlockRead`s issued per member slot — the read fan-out a rebuild
+    /// puts on each surviving peer.
+    pub peer_reads: Vec<u64>,
+}
+
+impl ClientMachine {
+    // -- parallel rebuild (declustered recovery) --------------------------
+
+    /// Rebuild believed-down member `owner`: reconstruct every data block
+    /// it holds and install the results into the rows' spares, so
+    /// subsequent degraded reads cost one access instead of `G` and a
+    /// later recovery drain restores the site from its spares alone.
+    ///
+    /// Rows are processed in waves of `wave_rows`; within one wave each
+    /// phase — spare probes, the `G` source reads of *every* row, spare
+    /// installs — goes out as a single [`exchange_batch`], so a pipelining
+    /// transport keeps all survivor sites busy at once. Reconstruction
+    /// XORs run through the multi-way [`xor_fold`] kernel and every source
+    /// UID is validated against the parity UID array (§3.3); a racing
+    /// parity update surfaces as [`ClientErr::Inconsistent`], and a retry
+    /// skips the rows already installed (the probe wave sees them
+    /// absorbed), making the pass idempotent.
+    ///
+    /// [`exchange_batch`]: ClientIo::exchange_batch
+    pub fn rebuild_member(
+        &mut self,
+        io: &mut dyn ClientIo,
+        owner: usize,
+        wave_rows: usize,
+    ) -> Result<RebuildReport, ClientErr> {
+        let n = self.geo.num_sites();
+        if !self.down[owner] {
+            return Err(ClientErr::Unavailable { site: owner });
+        }
+        for s in (0..n).filter(|&s| s != owner) {
+            if self.down[s] {
+                return Err(ClientErr::multiple(format!(
+                    "cannot rebuild site {owner}: site {s} is down too"
+                )));
+            }
+        }
+        let wave_rows = wave_rows.max(1);
+        let mut report = RebuildReport {
+            peer_reads: vec![0; n],
+            ..RebuildReport::default()
+        };
+        // The failed member's data rows (parity and spare rows hold no data
+        // block to reconstruct; the site's own copies come back with its
+        // disks on revive).
+        let mut todo: Vec<u64> = Vec::new();
+        for row in 0..self.geo.rows() {
+            report.rows_scanned += 1;
+            if self.geo.parity_site(row) == owner || self.geo.spare_site(row) == owner {
+                continue;
+            }
+            if !self.spare_policy.has_spare(row) {
+                report.rows_spareless += 1;
+                continue;
+            }
+            todo.push(row);
+        }
+        for wave in todo.chunks(wave_rows) {
+            // Wave 1: probe each row's spare (metadata only).
+            let mut probes = Vec::with_capacity(wave.len());
+            for &row in wave {
+                let tag = self.tag();
+                probes.push((
+                    self.geo.spare_site(row),
+                    Msg::SpareProbe {
+                        row,
+                        want_data: false,
+                        tag,
+                    },
+                ));
+            }
+            let replies = self.send_batch(io, probes, true);
+            let mut rebuild_rows: Vec<u64> = Vec::with_capacity(wave.len());
+            for (&row, reply) in wave.iter().zip(replies) {
+                let spare = self.geo.spare_site(row);
+                match reply? {
+                    Msg::SpareState {
+                        slot: Some(SpareSlotWire { for_site, .. }),
+                        ..
+                    } if for_site == owner => report.blocks_absorbed += 1,
+                    Msg::SpareState {
+                        slot: Some(SpareSlotWire { for_site, .. }),
+                        ..
+                    } => {
+                        return Err(ClientErr::multiple(format!(
+                            "row {row} spare already used by site {for_site}"
+                        )));
+                    }
+                    Msg::SpareState { slot: None, .. } => rebuild_rows.push(row),
+                    Msg::Nack { reason, .. } => return Err(Self::map_nack(spare, reason)),
+                    other => {
+                        return Err(ClientErr::multiple(format!(
+                            "unexpected reply {:?} to SpareProbe",
+                            other.kind()
+                        )))
+                    }
+                }
+            }
+            if rebuild_rows.is_empty() {
+                continue;
+            }
+            // Wave 2: the `G` source reads of every row in the wave, one
+            // pipelined batch across all survivors.
+            let mut reqs = Vec::with_capacity(rebuild_rows.len() * (n - 2));
+            for &row in &rebuild_rows {
+                let spare = self.geo.spare_site(row);
+                for s in (0..n).filter(|&s| s != owner && s != spare) {
+                    let tag = self.tag();
+                    reqs.push((s, Msg::BlockRead { row, tag }));
+                    report.peer_reads[s] += 1;
+                }
+            }
+            let mut replies = self.send_batch(io, reqs, true).into_iter();
+            // Fold each row with the FOLD_WAYS kernel and validate UIDs.
+            let mut installs = Vec::with_capacity(rebuild_rows.len());
+            for &row in &rebuild_rows {
+                let spare = self.geo.spare_site(row);
+                let parity = self.geo.parity_site(row);
+                let mut blocks: Vec<Bytes> = Vec::with_capacity(n - 2);
+                let mut sources: Vec<(usize, Uid)> = Vec::with_capacity(n - 3);
+                let mut parity_arr: Option<UidArray> = None;
+                for s in (0..n).filter(|&s| s != owner && s != spare) {
+                    match replies.next().expect("one reply per request")? {
+                        Msg::BlockData {
+                            data,
+                            uid,
+                            parity_uids,
+                            ..
+                        } => {
+                            if s == parity {
+                                let mut arr = UidArray::new(n);
+                                for (i, u) in
+                                    parity_uids.unwrap_or_default().iter().enumerate().take(n)
+                                {
+                                    arr.set(i, *u);
+                                }
+                                parity_arr = Some(arr);
+                            } else {
+                                sources.push((s, uid));
+                            }
+                            blocks.push(data);
+                        }
+                        Msg::Nack { reason, .. } => return Err(Self::map_nack(s, reason)),
+                        other => {
+                            return Err(ClientErr::multiple(format!(
+                                "unexpected reply {:?} to BlockRead",
+                                other.kind()
+                            )))
+                        }
+                    }
+                }
+                let mut acc = vec![0u8; self.block_size];
+                let views: Vec<&[u8]> = blocks.iter().map(|b| &b[..]).collect();
+                xor_fold(&mut acc, &views);
+                report.bytes_xored += (views.len() * self.block_size) as u64;
+                let arr = parity_arr.unwrap_or_else(|| UidArray::new(n));
+                if self.validate_uids {
+                    for &(s, uid) in &sources {
+                        if !arr.matches(s, uid) {
+                            return Err(ClientErr::Inconsistent { site: s });
+                        }
+                    }
+                }
+                let tag = self.tag();
+                installs.push((
+                    spare,
+                    Msg::SpareInstall {
+                        row,
+                        for_site: owner,
+                        data: Bytes::from(acc),
+                        content: SpareContent::Data {
+                            uid: arr.get(owner),
+                        },
+                        tag,
+                    },
+                ));
+            }
+            // Wave 3: install the reconstructions into the spares.
+            let spares: Vec<usize> = rebuild_rows
+                .iter()
+                .map(|&row| self.geo.spare_site(row))
+                .collect();
+            for (&spare, reply) in spares.iter().zip(self.send_batch(io, installs, true)) {
+                match reply? {
+                    Msg::Ack { .. } => report.blocks_rebuilt += 1,
+                    Msg::Nack { reason, .. } => return Err(Self::map_nack(spare, reason)),
+                    other => {
+                        return Err(ClientErr::multiple(format!(
+                            "unexpected reply {:?} to SpareInstall",
+                            other.kind()
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
 impl crate::check::Checkable for ClientMachine {
     /// Only the believed-down list is observable, varying state: the
     /// geometry/policy fields are static configuration, `uid_gen` and

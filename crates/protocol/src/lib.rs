@@ -45,7 +45,7 @@ pub use check::{
     check_spare_freshness, check_spare_structure, check_stripe_parity, check_uid_agreement,
     Canonicalizer, Checkable,
 };
-pub use client::{ClientErr, ClientIo, ClientMachine, SparePolicy};
+pub use client::{ClientErr, ClientIo, ClientMachine, RebuildReport, SparePolicy};
 pub use codec::{decode_msg, encode_msg, encode_msg_vec, CodecError};
 pub use effect::{BlockFault, Blocks, Dest, Effect, IoPurpose, MemBlocks};
 pub use events::FailureKind;

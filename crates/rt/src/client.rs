@@ -394,6 +394,34 @@ impl SocketClient {
         Ok(drained)
     }
 
+    /// Bulk-rebuild every data block a believed-down `site` owns into the
+    /// row spares, `wave_rows` rows per pipelined wave (the socket twin of
+    /// `radd_node::NodeClient::rebuild`). Idempotent: rows already
+    /// absorbed are skipped, so an `Inconsistent` fold retries the whole
+    /// pass cheaply.
+    pub fn rebuild(
+        &mut self,
+        site: usize,
+        wave_rows: usize,
+    ) -> Result<radd_protocol::RebuildReport, ClientError> {
+        for _ in 0..RECONSTRUCT_RETRIES {
+            match self.machine.rebuild_member(&mut self.io, site, wave_rows) {
+                Err(ClientErr::Inconsistent { .. }) => std::thread::sleep(Duration::from_millis(5)),
+                Ok(report) => {
+                    let m = self.io.obs.metrics();
+                    m.rebuild_run();
+                    m.add_rebuild(report.blocks_rebuilt, report.bytes_xored);
+                    m.set_rebuild_fanout(
+                        report.peer_reads.iter().filter(|&&n| n > 0).count() as u64
+                    );
+                    return Ok(report);
+                }
+                Err(e) => return Err(ClientError::from(e)),
+            }
+        }
+        Err(ClientError::Inconsistent)
+    }
+
     fn oracle_tag(&mut self) -> u64 {
         self.next_oracle_tag += 1;
         ORACLE_TAG_BIT | self.next_oracle_tag

@@ -16,7 +16,7 @@
 //! site 5 = 127.0.0.1:7405
 //! ```
 //!
-//! Exactly `g + 2` sites must be listed (G data-capable sites plus the
+//! At least `g + 2` sites must be listed (G data-capable sites plus the
 //! §1.2 parity and spare overhead sites, rotated per row), numbered
 //! densely from 0. `rows` and `block_size` are optional with conservative
 //! defaults; `g` and the site list are mandatory.
@@ -24,12 +24,13 @@
 //! ## Multi-group deployments
 //!
 //! `groups = N` (default 1) turns the map into a sharded cluster spec: the
-//! listed addresses become **pool sites**, each hosting one member slot of
-//! every group (the uniform `ShardMap` of `radd-layout`). Group `k`'s
-//! member `m` lives on pool site `(m + k) mod (g + 2)` — the Figure-1
-//! rotation lifted to groups — and listens on that site's address with the
-//! port shifted by `k`, so one `radd-server --group k` process per
-//! (pool site, group) pair carries the whole deployment:
+//! listed addresses become **pool sites**, each hosting `A·(g+2)/P` member
+//! slots laid out by the `radd-layout` `ShardMap`. A member slot listens
+//! on its pool site's address with the port shifted by the slot's *drive
+//! index* at that site, so one `radd-server --group k` process per hosted
+//! slot carries the whole deployment. With the classic square pool (`P =
+//! g + 2` sites) the layout is the Figure-1 rotation lifted to groups —
+//! group `k`'s member `m` on pool site `(m + k) mod (g + 2)`, port `+ k`:
 //!
 //! ```text
 //! groups = 4
@@ -40,9 +41,26 @@
 //! site 3 = 127.0.0.1:7430
 //! ```
 //!
+//! ## Declustered pools
+//!
+//! Listing **more** than `g + 2` sites widens the pool; `placement =
+//! declustered` (default `rotation`) then spreads every group's members
+//! across it, so a failed site's rebuild reads fan over all `P - 1`
+//! survivors instead of one group-width cluster:
+//!
+//! ```text
+//! groups = 6
+//! g = 2
+//! placement = declustered
+//! site 0 = 127.0.0.1:7400   # 8 sites, 3 slots each: 6 groups of width 4
+//! ...
+//! site 7 = 127.0.0.1:7470
+//! ```
+//!
 //! Every listen endpoint — listed or derived — must be distinct; the
 //! parser rejects duplicates at load.
 
+use radd_layout::{Geometry, GroupId, Placement, ShardMap};
 use std::net::SocketAddr;
 
 /// Defaults when the map omits the geometry lines.
@@ -66,13 +84,17 @@ pub struct ClusterConfig {
     pub clients: usize,
     /// Number of groups `A` sharing the pool (1 = classic single group).
     pub groups: usize,
+    /// Member placement over the pool (`rotation` or `declustered`).
+    pub placement: Placement,
     /// Pool-site addresses, indexed by site id. For `groups = 1` these are
     /// the member addresses directly.
     pub sites: Vec<SocketAddr>,
+    /// The shard map every address derives from, built at parse time.
+    map: ShardMap,
 }
 
 impl ClusterConfig {
-    /// Number of pool sites (`G + 2`).
+    /// Number of pool sites (`≥ G + 2`).
     pub fn num_sites(&self) -> usize {
         self.sites.len()
     }
@@ -82,31 +104,41 @@ impl ClusterConfig {
         self.clients
     }
 
-    /// Pool site hosting member slot `member` of group `group` (the
-    /// uniform `ShardMap` rotation: `(member + group) mod (g + 2)`).
-    pub fn pool_site_of(&self, group: usize, member: usize) -> usize {
-        (member + group) % self.num_sites()
+    /// The shard map describing member placement over the pool.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
     }
 
-    /// Member slot that pool site `site` takes in group `group` (inverse
-    /// of [`pool_site_of`](ClusterConfig::pool_site_of)).
-    pub fn member_slot_of(&self, group: usize, site: usize) -> usize {
-        let w = self.num_sites();
-        (site + w - group % w) % w
+    /// Pool site hosting member slot `member` of group `group`. On the
+    /// square rotation pool this is `(member + group) mod (g + 2)`.
+    pub fn pool_site_of(&self, group: usize, member: usize) -> usize {
+        self.map.group_members(GroupId(group))[member].site
+    }
+
+    /// Member slot that pool site `site` takes in group `group`, or `None`
+    /// when the placement gave that group no slot there (possible on pools
+    /// wider than one group).
+    pub fn member_slot_of(&self, group: usize, site: usize) -> Option<usize> {
+        self.map
+            .group_members(GroupId(group))
+            .iter()
+            .position(|d| d.site == site)
     }
 
     /// Listen address of member `member` of group `group`: the hosting
-    /// pool site's address with the port shifted by the group id.
+    /// pool site's address with the port shifted by the slot's drive index
+    /// at that site (equal to the group id on the square rotation pool).
     pub fn group_member_addr(&self, group: usize, member: usize) -> SocketAddr {
-        let mut addr = self.sites[self.pool_site_of(group, member)];
-        addr.set_port(addr.port() + group as u16);
+        let drive = self.map.group_members(GroupId(group))[member];
+        let mut addr = self.sites[drive.site];
+        addr.set_port(addr.port() + drive.drive as u16);
         addr
     }
 
     /// Group `group`'s member-ordered address vector (what its servers and
     /// clients hand to their endpoints).
     pub fn group_sites(&self, group: usize) -> Vec<SocketAddr> {
-        (0..self.num_sites())
+        (0..self.g + 2)
             .map(|m| self.group_member_addr(group, m))
             .collect()
     }
@@ -118,6 +150,7 @@ impl ClusterConfig {
         let mut block_size = DEFAULT_BLOCK_SIZE;
         let mut clients = DEFAULT_CLIENTS;
         let mut groups = 1usize;
+        let mut placement = Placement::Rotation;
         let mut sites: Vec<(usize, SocketAddr)> = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -140,6 +173,7 @@ impl ClusterConfig {
                     "block_size" => block_size = value.parse().map_err(|_| bad("block size"))?,
                     "clients" => clients = value.parse().map_err(|_| bad("client count"))?,
                     "groups" => groups = value.parse().map_err(|_| bad("group count"))?,
+                    "placement" => placement = value.parse().map_err(|_| bad("placement"))?,
                     other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
                 }
             }
@@ -157,12 +191,18 @@ impl ClusterConfig {
         if groups == 0 {
             return Err("at least one group is required".into());
         }
-        let want = g + 2;
-        let mut by_id: Vec<Option<SocketAddr>> = vec![None; want];
+        let width = g + 2;
+        let listed = sites.len();
+        if listed < width {
+            return Err(format!(
+                "need at least {width} sites for g = {g}, got {listed}"
+            ));
+        }
+        let mut by_id: Vec<Option<SocketAddr>> = vec![None; listed];
         for (idx, addr) in sites {
             let slot = by_id
                 .get_mut(idx)
-                .ok_or_else(|| format!("site {idx} is out of range for g = {g} ({want} sites)"))?;
+                .ok_or_else(|| format!("site {idx} leaves a gap (need sites 0..{listed})"))?;
             if slot.replace(addr).is_some() {
                 return Err(format!("site {idx} is listed twice"));
             }
@@ -170,33 +210,50 @@ impl ClusterConfig {
         let sites: Vec<SocketAddr> = by_id
             .into_iter()
             .enumerate()
-            .map(|(i, s)| s.ok_or(format!("site {i} is missing (need sites 0..{want})")))
+            .map(|(i, s)| s.ok_or(format!("site {i} is missing (need sites 0..{listed})")))
             .collect::<Result<_, _>>()?;
+        // Member slots must spread evenly: A groups of `width` slots over
+        // the listed pool.
+        let total_slots = groups * width;
+        if !total_slots.is_multiple_of(sites.len()) {
+            return Err(format!(
+                "groups = {groups} puts {total_slots} member slots on {} sites — \
+                 not an even split; adjust `groups` or the site list",
+                sites.len()
+            ));
+        }
+        let slots_per_site = total_slots / sites.len();
+        let geometry = Geometry::new(g, rows).map_err(|e| e.to_string())?;
+        let map = ShardMap::pool(sites.len(), slots_per_site, geometry, placement)
+            .map_err(|e| format!("placement failed: {e:?}"))?;
         let cfg = ClusterConfig {
             g,
             rows,
             block_size,
             clients,
             groups,
+            placement,
             sites,
+            map,
         };
-        // Every listen endpoint — listed, and derived when groups > 1 —
-        // must be distinct: two servers cannot share a socket, and a
-        // duplicate in the map means some site would silently answer for
-        // another.
+        // Every listen endpoint — listed, and derived when a site hosts
+        // several member slots — must be distinct: two servers cannot
+        // share a socket, and a duplicate in the map means some site would
+        // silently answer for another.
         let mut seen: std::collections::HashMap<SocketAddr, String> =
             std::collections::HashMap::new();
         for group in 0..cfg.groups {
-            for member in 0..cfg.num_sites() {
-                let site = cfg.pool_site_of(group, member);
+            for member in 0..width {
+                let drive = cfg.map.group_members(GroupId(group))[member];
+                let site = drive.site;
                 let base = cfg.sites[site];
-                if u16::MAX - base.port() < group as u16 {
+                if ((u16::MAX - base.port()) as usize) < drive.drive {
                     return Err(format!(
-                        "site {site} port {} overflows when shifted for group {group} \
-                         (groups = {} needs {} spare ports per site)",
+                        "site {site} port {} overflows when shifted for its drive {} \
+                         (each site needs {} spare ports)",
                         base.port(),
-                        cfg.groups,
-                        cfg.groups - 1
+                        drive.drive,
+                        slots_per_site - 1
                     ));
                 }
                 let addr = cfg.group_member_addr(group, member);
@@ -283,10 +340,47 @@ mod tests {
             for member in 0..cfg.num_sites() {
                 assert_eq!(
                     cfg.member_slot_of(group, cfg.pool_site_of(group, member)),
-                    member
+                    Some(member)
                 );
             }
         }
+    }
+
+    #[test]
+    fn declustered_wide_pool_parses_and_spreads() {
+        // 8 pool sites, 6 groups of width 4 — 3 slots per site.
+        let mut text = String::from("groups = 6\ng = 2\nrows = 8\nplacement = declustered\n");
+        for s in 0..8 {
+            text.push_str(&format!("site {s} = 127.0.0.1:{}\n", 7400 + 10 * s));
+        }
+        let cfg = ClusterConfig::parse(&text).unwrap();
+        assert_eq!(cfg.placement, Placement::Declustered);
+        assert_eq!(cfg.num_sites(), 8);
+        assert_eq!(cfg.shard_map().num_groups(), 6);
+        // Every group's 4 members sit on distinct sites, and addressing is
+        // internally consistent.
+        for group in 0..6 {
+            let sites: std::collections::HashSet<usize> =
+                (0..4).map(|m| cfg.pool_site_of(group, m)).collect();
+            assert_eq!(sites.len(), 4, "group {group} reuses a site");
+            for member in 0..4 {
+                let site = cfg.pool_site_of(group, member);
+                assert_eq!(cfg.member_slot_of(group, site), Some(member));
+            }
+            assert_eq!(cfg.group_sites(group).len(), 4);
+        }
+        // A failed site's reconstruction fans past one group's width.
+        let spread = cfg
+            .shard_map()
+            .reconstruction_spread(0)
+            .iter()
+            .filter(|&&n| n > 0)
+            .count();
+        assert!(spread > 3, "declustered spread stuck at {spread}");
+        // Rotation on the same wide pool parses too, but clusters.
+        let rot = text.replace("placement = declustered\n", "");
+        let cfg = ClusterConfig::parse(&rot).unwrap();
+        assert_eq!(cfg.placement, Placement::Rotation);
     }
 
     #[test]
@@ -326,11 +420,13 @@ mod tests {
             .contains("missing `g"));
         assert!(ClusterConfig::parse("g = 2\nsite 9 = 127.0.0.1:1\n")
             .unwrap_err()
-            .contains("out of range"));
+            .contains("need at least"));
         let dup = format!("{MAP}site 1 = 127.0.0.1:9\n");
         assert!(ClusterConfig::parse(&dup).unwrap_err().contains("twice"));
         let short = "g = 2\nsite 0 = 127.0.0.1:1\n";
-        assert!(ClusterConfig::parse(short).unwrap_err().contains("missing"));
+        assert!(ClusterConfig::parse(short)
+            .unwrap_err()
+            .contains("need at least"));
         assert!(ClusterConfig::parse("g = 2\nwat\n")
             .unwrap_err()
             .contains("key = value"));

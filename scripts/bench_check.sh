@@ -22,11 +22,20 @@
 # the bench is wire-bound by design (link latency), so the ratio is
 # CPU-count independent. MG_LIVE=0 skips the live run (doc-only checks).
 #
+# A fourth gate covers declustered placement (PR 8): rebuilding a failed
+# pool site must go at least RB_MIN_RATIO (default 2.0) faster under the
+# declustered layout than under rotation at a >= 12-site pool, because
+# reconstruction reads fan out over P-1 wires instead of G+1. Checked in
+# the recorded run (results/BENCH_pr8.json) and in a fresh live run
+# (RB_LIVE=0 skips); like the scaling gate, the bench is wire-bound so the
+# ratio survives slow CI machines.
+#
 # Usage:
 #   scripts/bench_check.sh                # tolerance 2.0, obs ratio 1.05
 #   BENCH_TOLERANCE=4.0 scripts/bench_check.sh
 #   OBS_TOLERANCE=1.10 scripts/bench_check.sh
 #   MG_LIVE=0 scripts/bench_check.sh      # skip the live scaling run
+#   RB_LIVE=0 scripts/bench_check.sh      # skip the live rebuild run
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -109,6 +118,34 @@ if [ "${MG_LIVE:-1}" != "0" ]; then
         echo "ok    multigroup live: ${live}x aggregate at 8 groups vs 1 (min ${MG_MIN_RATIO}x)"
     else
         echo "FAIL  multigroup live: ${live}x below the ${MG_MIN_RATIO}x floor" >&2
+        fail=1
+    fi
+fi
+
+RB_MIN_RATIO="${RB_MIN_RATIO:-2.0}"
+RB_BASELINE=results/BENCH_pr8.json
+echo "== bench_check: declustered rebuild speedup (recorded + live, min x$RB_MIN_RATIO at >= 12 sites)"
+recorded="$(python3 -c "import json; print(json.load(open('$RB_BASELINE'))['headline']['declustered_speedup_at_12_sites'])" 2>/dev/null || true)"
+if [ -z "$recorded" ]; then
+    echo "FAIL  rebuild: $RB_BASELINE missing or lacks headline.declustered_speedup_at_12_sites" >&2
+    fail=1
+elif awk -v r="$recorded" -v t="$RB_MIN_RATIO" 'BEGIN { exit !(r >= t) }'; then
+    echo "ok    rebuild recorded: ${recorded}x declustered vs rotation at 12 sites (min ${RB_MIN_RATIO}x)"
+else
+    echo "FAIL  rebuild recorded: ${recorded}x below the ${RB_MIN_RATIO}x floor" >&2
+    fail=1
+fi
+if [ "${RB_LIVE:-1}" != "0" ]; then
+    RB_OUT="$(RB_POOLS="${RB_POOLS:-12}" cargo run --release -q -p radd-bench --bin rebuild_scaling 2>&1 | grep '^bench ' || true)"
+    echo "$RB_OUT"
+    live="$(echo "$RB_OUT" | awk '$2 ~ /pool=12$/ && $3 ~ /^declustered_speedup=/ { sub(/declustered_speedup=/, "", $3); print $3 }')"
+    if [ -z "$live" ]; then
+        echo "FAIL  rebuild live: no pool=12 declustered_speedup line produced" >&2
+        fail=1
+    elif awk -v r="$live" -v t="$RB_MIN_RATIO" 'BEGIN { exit !(r >= t) }'; then
+        echo "ok    rebuild live: ${live}x declustered vs rotation at 12 sites (min ${RB_MIN_RATIO}x)"
+    else
+        echo "FAIL  rebuild live: ${live}x below the ${RB_MIN_RATIO}x floor" >&2
         fail=1
     fi
 fi

@@ -38,13 +38,34 @@ fn usage() -> ExitCode {
 
 fn site_arg(cfg: &ClusterConfig, s: &str) -> Result<usize, String> {
     let site: usize = s.parse().map_err(|_| format!("invalid site: `{s}`"))?;
-    if site >= cfg.num_sites() {
+    let width = cfg.g + 2;
+    if site >= width {
         return Err(format!(
-            "site {site} is out of range (map lists {} sites)",
-            cfg.num_sites()
+            "member {site} is out of range (groups have {width} member slots)"
         ));
     }
     Ok(site)
+}
+
+/// Pull `{"name":"<name>","n":N}` out of the `<list>` array of a raw obs
+/// JSON snapshot — just enough parsing for the rebuild counters (the
+/// workspace has no JSON deserializer by design).
+fn json_counter(json: &str, list: &str, name: &str) -> u64 {
+    let Some(start) = json.find(&format!("\"{list}\":[")) else {
+        return 0;
+    };
+    let body = &json[start..];
+    let body = &body[..body.find(']').unwrap_or(body.len())];
+    let needle = format!("\"name\":\"{name}\",\"n\":");
+    let Some(pos) = body.find(&needle) else {
+        return 0;
+    };
+    body[pos + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or(0)
 }
 
 /// What one member slot reported (or failed to).
@@ -53,6 +74,10 @@ struct SlotStatus {
     reachable: bool,
     pending: u64,
     acked: bool,
+    /// Reconstruction reads this site has served (rebuild fan-out load).
+    rebuild_reads: u64,
+    /// Blocks installed into this site's spare slots.
+    spare_installs: u64,
     detail: String,
 }
 
@@ -65,6 +90,8 @@ fn probe(addr: std::net::SocketAddr) -> Result<SlotStatus, String> {
                 reachable: false,
                 pending: 0,
                 acked: false,
+                rebuild_reads: 0,
+                spare_installs: 0,
                 detail: format!("UNREACHABLE ({e})"),
             })
         }
@@ -78,11 +105,20 @@ fn probe(addr: std::net::SocketAddr) -> Result<SlotStatus, String> {
         other => return Err(format!("unexpected reply {other:?}")),
     };
     let acked = matches!(ctl.request(CtlReq::QueryAllAcked)?, CtlRep::AllAcked(true));
+    let (rebuild_reads, spare_installs) = match ctl.request(CtlReq::QueryObsJson) {
+        Ok(CtlRep::ObsJson(json)) => (
+            json_counter(&json, "io_reads", "reconstruct"),
+            json_counter(&json, "io_writes", "spare_install"),
+        ),
+        _ => (0, 0),
+    };
     Ok(SlotStatus {
         down,
         reachable: true,
         pending,
         acked,
+        rebuild_reads,
+        spare_installs,
         detail: format!(
             "{} pending={pending} all_acked={acked}",
             if down { "DOWN" } else { "up  " }
@@ -94,10 +130,13 @@ fn status(cfg: &ClusterConfig) -> Result<(), String> {
     let mut all_acked = true;
     let mut degraded_groups = 0usize;
     for group in 0..cfg.groups {
+        let width = cfg.g + 2;
         let mut impaired = 0usize;
         let mut spare_updates = 0u64;
-        let mut lines = Vec::with_capacity(cfg.num_sites());
-        for member in 0..cfg.num_sites() {
+        let mut rebuild_reads = 0u64;
+        let mut spare_installs = 0u64;
+        let mut lines = Vec::with_capacity(width);
+        for member in 0..width {
             let addr = cfg.group_member_addr(group, member);
             let pool = cfg.pool_site_of(group, member);
             let s = probe(addr).map_err(|e| format!("group {group} member {member}: {e}"))?;
@@ -106,6 +145,8 @@ fn status(cfg: &ClusterConfig) -> Result<(), String> {
             }
             all_acked &= s.acked;
             spare_updates += s.pending;
+            rebuild_reads += s.rebuild_reads;
+            spare_installs += s.spare_installs;
             lines.push(format!(
                 "  member {member} (pool site {pool}) {addr:<21} {}",
                 s.detail
@@ -133,6 +174,15 @@ fn status(cfg: &ClusterConfig) -> Result<(), String> {
         println!("group {group}: {health}, {spares}");
         for line in lines {
             println!("{line}");
+        }
+        // Rebuild progress: reconstruction reads this group's survivors
+        // have served and the blocks its spares absorbed so far. Only
+        // interesting while a member is being reconstructed.
+        if impaired > 0 && (rebuild_reads > 0 || spare_installs > 0) {
+            println!(
+                "  rebuild: {rebuild_reads} reconstruction reads served, \
+                 {spare_installs} blocks installed into spares"
+            );
         }
     }
     let summary = if degraded_groups == 0 && all_acked {
@@ -177,7 +227,7 @@ fn set_down(cfg: &ClusterConfig, group: usize, site: usize, down: bool) -> Resul
 
 fn shutdown(cfg: &ClusterConfig, group: usize, which: &str) -> Result<(), String> {
     let sites: Vec<usize> = if which == "all" {
-        (0..cfg.num_sites()).collect()
+        (0..cfg.g + 2).collect()
     } else {
         vec![site_arg(cfg, which)?]
     };

@@ -5,8 +5,14 @@
 //! radd-client <site-map-file> [--group <k>] [--down <site>]... read <site> <index>
 //! radd-client <site-map-file> [--group <k>] [--down <site>]... write <site> <index> <fill-byte>
 //! radd-client <site-map-file> [--group <k>] recover <site>
+//! radd-client <site-map-file> [--group <k>] rebuild <site> [--wave N]
 //! radd-client <site-map-file> [--group <k>] [--down <site>]... workload [--ops N] [--seed HEX] [--id SLOT]
 //! ```
+//!
+//! `rebuild` reconstructs every data block a failed member owns into the
+//! row spares in pipelined waves (`--wave`, default 16 rows per wave) —
+//! the §3.3 degraded path run in bulk, ahead of demand, so later degraded
+//! reads hit warm spares instead of paying G-way reconstruction each.
 //!
 //! On a multi-group map (`groups = N`), `--group <k>` selects which group
 //! the client speaks to; `<site>` then names a **member slot** inside that
@@ -39,6 +45,7 @@ fn usage() -> ExitCode {
          \x20 read <site> <index>\n\
          \x20 write <site> <index> <fill-byte>\n\
          \x20 recover <site>\n\
+         \x20 rebuild <site> [--wave N]\n\
          \x20 workload [--ops N] [--seed HEX] [--id SLOT]\n\
          --down marks a site as failed so reads reconstruct and writes\n\
          go to the spare instead of timing out against the dead site"
@@ -87,7 +94,7 @@ fn workload(
     let mut client = connect(cfg, group, id, downs);
     // Writable addresses per site come from the geometry: each site owns
     // G/(G+2) of its rows as data blocks.
-    let sites = cfg.num_sites();
+    let sites = cfg.g + 2;
     let capacity: Vec<u64> = (0..sites)
         .map(|s| client.geometry().data_capacity(s))
         .collect();
@@ -203,6 +210,30 @@ fn run() -> Result<(), String> {
             client.mark_down(site, false);
             let drained = client.recover(site).map_err(|e| e.to_string())?;
             println!("recovered site {site}: {drained} blocks drained from spares");
+            Ok(())
+        }
+        ("rebuild", [site, rest @ ..]) => {
+            let site = parse(site, "site")? as usize;
+            let mut wave = 16usize;
+            let mut it = rest.iter();
+            while let Some(f) = it.next() {
+                let v = it.next().ok_or_else(|| format!("{f} needs a value"))?;
+                match f.as_str() {
+                    "--wave" => wave = parse(v, "wave size")?.max(1) as usize,
+                    other => return Err(format!("unknown flag `{other}`")),
+                }
+            }
+            let mut client = connect(&cfg, group, 0, &[]);
+            client.mark_down(site, true);
+            let report = client.rebuild(site, wave).map_err(|e| e.to_string())?;
+            println!(
+                "rebuilt member {site}: {} blocks reconstructed into spares \
+                 ({} already absorbed, {} bytes XORed, reads fanned across {} peers)",
+                report.blocks_rebuilt,
+                report.blocks_absorbed,
+                report.bytes_xored,
+                report.peer_reads.iter().filter(|&&n| n > 0).count()
+            );
             Ok(())
         }
         ("workload", flags) => {

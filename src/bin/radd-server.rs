@@ -75,8 +75,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     // On a multi-group map this process serves pool site `site`'s member
-    // slot in `group`, listening on the group-shifted port.
-    let member = cfg.member_slot_of(group, site);
+    // slot in `group`, listening on the drive-shifted port.
+    let Some(member) = cfg.member_slot_of(group, site) else {
+        eprintln!(
+            "radd-server: the {} placement gives group {group} no member slot \
+             on pool site {site}",
+            cfg.placement
+        );
+        return ExitCode::FAILURE;
+    };
     let addr = cfg.group_member_addr(group, member);
     let listener = match TcpListener::bind(addr) {
         Ok(l) => l,

@@ -25,7 +25,7 @@
 //! cross-group plan with pool-site faults, compared group by group.
 
 use radd::core::{RaddCluster, RaddConfig, ShardedCluster, SiteId};
-use radd::layout::GlobalAddr;
+use radd::layout::{Geometry, GlobalAddr, Placement, ShardMap};
 use radd::node::{NodeCluster, ShardedNodeCluster};
 use radd::rt::SocketCluster;
 use radd::workload::faults::{
@@ -303,16 +303,22 @@ struct Duo {
 
 impl Duo {
     fn start(shape: &ShardedShape) -> Duo {
+        Duo::start_on(shape.map(), shape)
+    }
+
+    /// Start both runtimes over an explicit [`ShardMap`] — the entry point
+    /// for the declustered differential, where the pool is wider than one
+    /// group and the placement (not the Figure-1 rotation) decides which
+    /// pool site hosts which member slot.
+    fn start_on(map: ShardMap, shape: &ShardedShape) -> Duo {
         let mut cfg = RaddConfig::small_g4();
         cfg.group_size = shape.group_size;
         cfg.rows = shape.rows;
-        let mut des = ShardedCluster::uniform(shape.num_groups, cfg.clone()).unwrap();
+        let mut des = ShardedCluster::new(map.clone(), cfg.clone()).unwrap();
         // Coalescing off, as in the Trio: the comparison is
         // message-for-message.
-        let (mut node, _) = ShardedNodeCluster::start_with(
-            shape.num_groups,
-            cfg.group_size,
-            cfg.rows,
+        let (mut node, _) = ShardedNodeCluster::start_with_map(
+            map,
             cfg.block_size,
             1,
             radd::protocol::CoalescePolicy::Off,
@@ -444,6 +450,28 @@ fn multi_group_plan_traces_identically_on_both_runtimes() {
     let shape = ShardedShape::default();
     let plan = ShardedPlan::generate(seed_from_name("0xRADD-MG4"), &shape);
     Duo::start(&shape).run_and_compare(&plan);
+}
+
+/// The declustered differential: the same four groups, but placed by the
+/// declustered layout over a pool twice as wide (8 sites × 2 slots), so a
+/// pool-site fault hits only the groups whose member slots land there and
+/// degraded traffic fans across genuinely distinct survivor sites. The
+/// generated plan names pool sites 0–3, all of which exist in the wider
+/// pool; byte-identical per-group traces prove the placement is
+/// transparent to the protocol — the machines never learn which layout
+/// put them where.
+#[test]
+fn declustered_multi_group_plan_traces_identically() {
+    let shape = ShardedShape::default();
+    let geo = Geometry::new(shape.group_size, shape.rows).unwrap();
+    let map = ShardMap::pool(8, 2, geo, Placement::Declustered).unwrap();
+    assert_eq!(
+        map.num_groups(),
+        shape.num_groups,
+        "8×2 pool carves into 4 groups"
+    );
+    let plan = ShardedPlan::generate(seed_from_name("0xRADD-DC8"), &shape);
+    Duo::start_on(map, &shape).run_and_compare(&plan);
 }
 
 /// Convergence under [`radd::protocol::CoalescePolicy::Merge`]: with
