@@ -1,0 +1,107 @@
+//! The durable storage engine's hot paths: WAL group commit (the cost a
+//! site pays per acknowledged batch under the WAL rule), recovery-on-open
+//! (the §3.4 restart cost, proportional to the committed log suffix) and
+//! the checkpoint that bounds it. Real files under the OS temp dir —
+//! these numbers include the fsync, which is the point.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use radd_protocol::Blocks;
+use radd_storage::DiskBlocks;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const ROWS: u64 = 100;
+const BLOCK: usize = 4096;
+
+fn scratch(label: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("radd-bench-disk-{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench_disk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("disk_commit");
+
+    // One acknowledged single-block write: a data-record append, a meta
+    // record, a commit marker and one fdatasync.
+    group.throughput(Throughput::Bytes(BLOCK as u64));
+    group.bench_function("commit_1x4k", |bencher| {
+        let dir = scratch("commit1");
+        let mut d = DiskBlocks::open(&dir, ROWS, BLOCK).expect("open");
+        let mut fill = 0u8;
+        bencher.iter(|| {
+            fill = fill.wrapping_add(1);
+            d.write_owned(0, bytes::Bytes::from(vec![fill; BLOCK]))
+                .expect("write");
+            black_box(d.commit(|| vec![fill; 32]).expect("commit"));
+        });
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // Group commit: eight rows ride one log append and one fdatasync —
+    // the batching the WAL rule makes safe.
+    group.throughput(Throughput::Bytes((8 * BLOCK) as u64));
+    group.bench_function("commit_8x4k_grouped", |bencher| {
+        let dir = scratch("commit8");
+        let mut d = DiskBlocks::open(&dir, ROWS, BLOCK).expect("open");
+        let mut fill = 0u8;
+        bencher.iter(|| {
+            fill = fill.wrapping_add(1);
+            for row in 0..8u64 {
+                d.write_owned(row, bytes::Bytes::from(vec![fill; BLOCK]))
+                    .expect("write");
+            }
+            black_box(d.commit(|| vec![fill; 32]).expect("commit"));
+        });
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // Restart cost: reopen a store whose log holds 64 committed
+    // single-block batches. Open scans, checksums and replays the whole
+    // committed suffix — the §3.4 recovery path a KillRestart exercises.
+    group.throughput(Throughput::Bytes((64 * BLOCK) as u64));
+    group.bench_function("recover_open_64x4k_log", |bencher| {
+        let dir = scratch("recover");
+        {
+            let mut d = DiskBlocks::open(&dir, ROWS, BLOCK).expect("open");
+            for i in 0..64u64 {
+                d.write_owned(i % ROWS, bytes::Bytes::from(vec![i as u8; BLOCK]))
+                    .expect("write");
+                d.commit(|| vec![i as u8; 32]).expect("commit");
+            }
+        }
+        bencher.iter(|| {
+            black_box(DiskBlocks::open(&dir, ROWS, BLOCK).expect("reopen"));
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    // The checkpoint that truncates the log: flush every dirty row to the
+    // block file, fsync it, then reset the WAL. Measured over a fresh
+    // 16-row dirty set each iteration.
+    group.throughput(Throughput::Bytes((16 * BLOCK) as u64));
+    group.bench_function("checkpoint_16x4k", |bencher| {
+        let dir = scratch("checkpoint");
+        let mut d = DiskBlocks::open(&dir, ROWS, BLOCK).expect("open");
+        let mut fill = 0u8;
+        bencher.iter(|| {
+            fill = fill.wrapping_add(1);
+            for row in 0..16u64 {
+                d.write_owned(row, bytes::Bytes::from(vec![fill; BLOCK]))
+                    .expect("write");
+            }
+            d.commit(|| vec![fill; 32]).expect("commit");
+            d.checkpoint().expect("checkpoint");
+            black_box(d.wal_bytes());
+        });
+        drop(d);
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_disk);
+criterion_main!(benches);

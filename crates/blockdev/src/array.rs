@@ -144,6 +144,11 @@ impl BlockDevice for DiskArray {
         let (disk, offset) = self.locate(block)?;
         self.disks[disk].write_block(offset, data)
     }
+
+    fn write_block_owned(&mut self, block: u64, data: Bytes) -> Result<(), DevError> {
+        let (disk, offset) = self.locate(block)?;
+        self.disks[disk].write_block_owned(offset, data)
+    }
 }
 
 #[cfg(test)]

@@ -25,12 +25,30 @@ fn table() -> &'static [u32; 256] {
 
 /// CRC-32 of a byte slice.
 pub fn crc32(data: &[u8]) -> u32 {
+    crc32_finish(crc32_update(crc32_init(), data))
+}
+
+/// Start an incremental CRC-32 (see [`crc32_update`]).
+pub const fn crc32_init() -> u32 {
+    0xFFFF_FFFF
+}
+
+/// Fold `data` into an incremental CRC-32 state. Feeding a record's parts
+/// through successive updates yields the same digest as [`crc32`] over
+/// their concatenation, so framed writes can checksum a header and a
+/// borrowed payload without first copying them into one buffer.
+pub fn crc32_update(state: u32, data: &[u8]) -> u32 {
     let t = table();
-    let mut c = 0xFFFF_FFFFu32;
+    let mut c = state;
     for &b in data {
         c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
-    c ^ 0xFFFF_FFFF
+    c
+}
+
+/// Finish an incremental CRC-32.
+pub const fn crc32_finish(state: u32) -> u32 {
+    state ^ 0xFFFF_FFFF
 }
 
 #[cfg(test)]
@@ -61,5 +79,16 @@ mod tests {
     #[test]
     fn different_lengths_differ() {
         assert_ne!(crc32(&[0u8; 10]), crc32(&[0u8; 11]));
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in [0, 1, 7, data.len()] {
+            let mut c = crc32_init();
+            c = crc32_update(c, &data[..split]);
+            c = crc32_update(c, &data[split..]);
+            assert_eq!(crc32_finish(c), crc32(&data[..]), "split at {split}");
+        }
     }
 }

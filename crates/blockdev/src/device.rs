@@ -60,6 +60,14 @@ pub trait BlockDevice {
 
     /// Overwrite one block.
     fn write_block(&mut self, block: u64, data: &[u8]) -> Result<(), DevError>;
+
+    /// Overwrite one block, adopting an owned buffer. The default copies
+    /// through [`write_block`](BlockDevice::write_block); devices that
+    /// store refcounted buffers override it to adopt `data` without a
+    /// copy.
+    fn write_block_owned(&mut self, block: u64, data: Bytes) -> Result<(), DevError> {
+        self.write_block(block, &data)
+    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,28 @@ impl BlockDevice for MemDisk {
         self.stats.bytes_written += data.len() as u64;
         Ok(())
     }
+
+    fn write_block_owned(&mut self, block: u64, data: Bytes) -> Result<(), DevError> {
+        if data.len() != self.block_size {
+            return Err(DevError::WrongBlockSize {
+                got: data.len(),
+                expected: self.block_size,
+            });
+        }
+        let cap = self.num_blocks();
+        let slot = self
+            .blocks
+            .get_mut(block as usize)
+            .ok_or(DevError::OutOfRange {
+                block,
+                capacity: cap,
+            })?;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        // The slot adopts the refcounted buffer — no copy.
+        *slot = Some(data);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

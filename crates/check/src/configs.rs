@@ -44,6 +44,7 @@ pub fn small_world() -> CheckConfig {
                 fail: 1,
                 partition: 0,
                 evict: 0,
+                crash: 0,
             },
         },
         max_depth: 40,
@@ -86,6 +87,7 @@ pub fn partition_world() -> CheckConfig {
                 fail: 0,
                 partition: 1,
                 evict: 0,
+                crash: 0,
             },
         },
         max_depth: 40,
@@ -124,6 +126,7 @@ pub fn adversarial_world() -> CheckConfig {
                 fail: 1,
                 partition: 0,
                 evict: 1,
+                crash: 0,
             },
         },
         max_depth: 40,
@@ -164,6 +167,50 @@ pub fn rebuild_world() -> CheckConfig {
                 fail: 1,
                 partition: 0,
                 evict: 0,
+                crash: 0,
+            },
+        },
+        max_depth: 40,
+        sleep_sets: true,
+    }
+}
+
+/// The durability world: a site may crash at any locally quiescent point
+/// and restart straight from its durable snapshot
+/// ([`Action::CrashRestart`](crate::model::Action::CrashRestart) — the
+/// model-level twin of `DiskBlocks` WAL recovery). Overwrites of one block
+/// under duplication and retransmission interleave with the crash, so the
+/// checker proves the WAL-covered state (UIDs, parity bookkeeping, spare
+/// map) is *sufficient*: nothing the protocol later needs lived only in
+/// the volatile half the restart discards.
+pub fn crash_world() -> CheckConfig {
+    CheckConfig {
+        model: ModelConfig {
+            group_size: 2,
+            rows: 2,
+            block_size: 4,
+            scripts: vec![vec![
+                ClientOp::Write {
+                    site: 3,
+                    index: 0,
+                    fill: 0x91,
+                },
+                ClientOp::Write {
+                    site: 3,
+                    index: 0,
+                    fill: 0x92,
+                },
+                ClientOp::Read { site: 3, index: 0 },
+            ]],
+            attachment: vec![None],
+            budgets: Budgets {
+                dup: 1,
+                drop: 1,
+                timer: 2,
+                fail: 0,
+                partition: 0,
+                evict: 0,
+                crash: 1,
             },
         },
         max_depth: 40,
@@ -178,5 +225,6 @@ pub fn all() -> Vec<(&'static str, CheckConfig)> {
         ("partition_world", partition_world()),
         ("adversarial_world", adversarial_world()),
         ("rebuild_world", rebuild_world()),
+        ("crash_world", crash_world()),
     ]
 }

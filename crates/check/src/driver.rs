@@ -48,6 +48,7 @@ impl ModelDriver {
             FaultEvent::Isolate { site } => Some(Action::Isolate { site }),
             FaultEvent::Heal { site } => Some(Action::Heal { site }),
             FaultEvent::EvictReplies { site } => Some(Action::Evict { site }),
+            FaultEvent::KillRestart { site } => Some(Action::CrashRestart { site }),
             // Cluster-granularity events have no model-level meaning.
             FaultEvent::Write { .. }
             | FaultEvent::Read { .. }

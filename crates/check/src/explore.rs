@@ -84,6 +84,7 @@ pub fn event_of(action: Action) -> FaultEvent {
         Action::Isolate { site } => FaultEvent::Isolate { site },
         Action::Heal { site } => FaultEvent::Heal { site },
         Action::Evict { site } => FaultEvent::EvictReplies { site },
+        Action::CrashRestart { site } => FaultEvent::KillRestart { site },
     }
 }
 

@@ -115,6 +115,9 @@ pub struct Budgets {
     /// that exposes the §3.2 idempotence guard beneath the at-most-once
     /// cache.
     pub evict: u8,
+    /// Crash/restart episodes ([`Action::CrashRestart`]): the site comes
+    /// straight back from its durable snapshot, volatile state gone.
+    pub crash: u8,
 }
 
 /// Shape and workload of the cluster under check.
@@ -195,6 +198,17 @@ pub enum Action {
     /// Age `site`'s entire at-most-once reply cache out (cache pressure).
     Evict {
         /// Site whose reply cache is evicted.
+        site: usize,
+    },
+    /// Crash `site` and restart it immediately from durable storage: the
+    /// machine is rebuilt from its own [`DurableSiteState`] round-trip
+    /// (exactly what `DiskBlocks` recovery does), so everything volatile —
+    /// reply cache, retransmit timers, in-progress bookkeeping — is lost
+    /// while the WAL-covered state survives.
+    ///
+    /// [`DurableSiteState`]: radd_protocol::DurableSiteState
+    CrashRestart {
+        /// Site that crashes and recovers from disk.
         site: usize,
     },
 }
@@ -733,6 +747,32 @@ impl Model {
                 }
             }
         }
+        if self.budgets.crash > 0 && all_up && self.fabric.isolated.is_none() {
+            for s in 0..self.fabric.num_sites {
+                // Same §6 caveat as `Fail`: a site dying with its own
+                // parity traffic unacked (or still in the fabric) is the
+                // in-doubt case the paper does not solve, so the crash is
+                // only enabled at a locally quiescent site. And like
+                // `Evict`, the restart wipes the reply cache, so a
+                // bounded-lifetime *duplicated* packet must not still be
+                // inbound (sender retransmissions, which survive any
+                // outage, are exactly what the §3.2 UID guard must absorb
+                // across the restart).
+                let outbound_drained = !self
+                    .fabric
+                    .net
+                    .iter()
+                    .any(|e| e.src == Fabric::site_peer(s));
+                let no_dup_inbound = !self
+                    .fabric
+                    .net
+                    .iter()
+                    .any(|e| e.dup && e.dst == EndpointId::Site(s));
+                if self.fabric.sites[s].all_acked() && outbound_drained && no_dup_inbound {
+                    acts.push(Action::CrashRestart { site: s });
+                }
+            }
+        }
         acts
     }
 
@@ -825,6 +865,23 @@ impl Model {
             Action::Evict { site } => {
                 self.budgets.evict = self.budgets.evict.saturating_sub(1);
                 self.fabric.sites[site].evict_replies();
+            }
+            Action::CrashRestart { site } => {
+                self.budgets.crash = self.budgets.crash.saturating_sub(1);
+                // The disk (MemBlocks) stands in for the durable block
+                // file; the machine is rebuilt through the real snapshot
+                // codec so the model checks the same bytes `DiskBlocks`
+                // replays on a real restart.
+                let bytes = self.fabric.sites[site].durable_snapshot().encode();
+                match radd_protocol::DurableSiteState::decode(&bytes) {
+                    Ok(d) => {
+                        self.fabric.sites[site] = SiteMachine::restore_durable(&d);
+                        self.fabric.timers[site].clear();
+                    }
+                    Err(e) => self.fabric.flag(format!(
+                        "durable snapshot of site {site} failed to round-trip: {e}"
+                    )),
+                }
             }
         }
         self.check_step();

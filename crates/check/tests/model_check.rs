@@ -52,6 +52,23 @@ fn rebuild_world_exhausts_clean() {
     assert!(report.states > 1000, "suspiciously small exploration");
 }
 
+/// The durability proof: every interleaving of writes, duplication,
+/// retransmission and a crash/restart from the durable snapshot keeps the
+/// paper's invariants — i.e. the WAL-covered half of `SiteMachine` state
+/// really is sufficient to come back from.
+#[test]
+fn crash_world_exhausts_clean() {
+    let cfg = configs::crash_world();
+    let report = explore(&cfg);
+    assert!(
+        report.violation.is_none(),
+        "mainline violation: {:?}",
+        report.violation.map(|cx| cx.error)
+    );
+    assert!(report.complete, "no fixpoint within depth {}", report.depth);
+    assert!(report.states > 1000, "suspiciously small exploration");
+}
+
 /// Sleep sets are a sound reduction: same verdict, same completeness,
 /// never more transitions than the unreduced search.
 #[test]

@@ -55,8 +55,8 @@ use radd_obs::{ClusterObs, ObsSnapshot};
 use radd_parity::{ChangeMask, Uid, UidArray};
 use radd_protocol::obs::ObsEvent;
 use radd_protocol::{
-    trace, BlockFault, Blocks, ClientErr, ClientMachine, Dest, Effect, IoPurpose, Msg,
-    RebuildReport, TraceEntry, BLOCK_MSG_HEADER, CONTROL_MSG_BYTES,
+    trace, BlockFault, Blocks, ClientErr, ClientMachine, Dest, DurableSiteState, Effect, IoPurpose,
+    Msg, RebuildReport, SiteMachine, TraceEntry, BLOCK_MSG_HEADER, CONTROL_MSG_BYTES,
 };
 use radd_sim::{CostLedger, OpKind, Tracer};
 use std::collections::VecDeque;
@@ -76,6 +76,10 @@ impl Blocks for ArrayBlocks<'_> {
     fn write(&mut self, row: u64, data: &[u8]) -> Result<(), BlockFault> {
         self.0.write_block(row, data).map_err(|_| BlockFault)
     }
+
+    fn write_owned(&mut self, row: u64, data: Bytes) -> Result<(), BlockFault> {
+        self.0.write_block_owned(row, data).map_err(|_| BlockFault)
+    }
 }
 
 /// A queued parity-update message (only populated in
@@ -86,6 +90,27 @@ struct PendingParity {
     to: SiteId,
     src_peer: usize,
     msg: Msg,
+}
+
+/// How the DES models each site's storage engine (§3.4).
+///
+/// The real runtimes mount `radd_storage::DiskBlocks` — a checksummed WAL
+/// in front of a block file — under each site. The DES has no files; it
+/// models the *consequences*: under [`StorageMode::Durable`], a process
+/// crash ([`RaddCluster::kill_restart_site`]) preserves the disk array and
+/// the machine's durable half (block/parity UIDs, spares, invalid rows,
+/// the UID mint) by round-tripping it through the same
+/// [`DurableSiteState`] codec the disk engine persists, while the volatile
+/// half (pending table, in-flight parity, reply cache) is lost — exactly
+/// the state split a real restart produces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StorageMode {
+    /// Volatile memory: a process crash would lose everything, so
+    /// [`RaddCluster::kill_restart_site`] refuses (returns `false`).
+    #[default]
+    Volatile,
+    /// Durable WAL-backed storage: crash/restart is survivable.
+    Durable,
 }
 
 /// What the recovery daemon did (all background work).
@@ -127,6 +152,9 @@ pub struct RaddCluster {
     /// latency histograms record *logical* ledger microseconds, never wall
     /// time, so an observed DES run stays deterministic.
     obs: Option<ClusterObs>,
+    /// Storage engine model (§3.4): volatile by default; durable enables
+    /// [`kill_restart_site`](RaddCluster::kill_restart_site).
+    storage_mode: StorageMode,
 }
 
 impl RaddCluster {
@@ -175,8 +203,19 @@ impl RaddCluster {
             pending_parity: Vec::new(),
             site_traces: None,
             obs: None,
+            storage_mode: StorageMode::default(),
             config,
         })
+    }
+
+    /// Pick the §3.4 storage engine model (see [`StorageMode`]).
+    pub fn set_storage_mode(&mut self, mode: StorageMode) {
+        self.storage_mode = mode;
+    }
+
+    /// The current storage engine model.
+    pub fn storage_mode(&self) -> StorageMode {
+        self.storage_mode
     }
 
     /// The cluster's configuration.
@@ -280,6 +319,41 @@ impl RaddCluster {
         }
     }
 
+    /// Process crash + immediate restart of `site` under
+    /// [`StorageMode::Durable`]: the disk array (the block file) and the
+    /// machine's durable half survive — round-tripped through the
+    /// [`DurableSiteState`] wire codec, exactly the bytes a real
+    /// `DiskBlocks` store persists — while the volatile half (pending
+    /// table, in-flight parity updates, the at-most-once reply cache) is
+    /// lost. Each surviving row with a valid UID is priced as a background
+    /// local [`IoPurpose::LogReplay`] read: the §3.4 point that a local
+    /// WAL recovery needs "only one local read … for each block accessed".
+    ///
+    /// Returns `false` (and changes nothing) under
+    /// [`StorageMode::Volatile`]. Quiesce first (e.g.
+    /// [`flush_parity`](RaddCluster::flush_parity)): crashing with a
+    /// parity update in doubt is the §6 problem this runtime does not
+    /// model, same as the other failure injectors.
+    pub fn kill_restart_site(&mut self, site: SiteId) -> bool {
+        if self.storage_mode != StorageMode::Durable {
+            return false;
+        }
+        let snap = self.sites[site].machine.durable_snapshot();
+        let bytes = snap.encode();
+        let restored = DurableSiteState::decode(&bytes)
+            .unwrap_or_else(|e| panic!("durable snapshot codec must roundtrip: {e}"));
+        let replay_reads = restored
+            .block_uids
+            .iter()
+            .filter(|uid| uid.is_valid())
+            .count();
+        self.sites[site].machine = SiteMachine::restore_durable(&restored);
+        for _ in 0..replay_reads {
+            self.charge_io_read(Actor::Site(site), true, site, IoPurpose::LogReplay);
+        }
+        true
+    }
+
     /// Install a network partition (heal with
     /// [`PartitionMap::connected`]).
     pub fn set_partition(&mut self, partition: PartitionMap) {
@@ -335,6 +409,14 @@ impl RaddCluster {
         match purpose {
             // Buffer-pool / prefetch assumptions: free.
             IoPurpose::OldValue | IoPurpose::ParityApply => {}
+            // §3.4: a crashed site replaying its committed log suffix does
+            // local reads off the critical path ("only one local read need
+            // be done for each block accessed").
+            IoPurpose::LogReplay => self.ledger.charge_background(if actor.is_local_to(at) {
+                OpKind::LocalRead
+            } else {
+                OpKind::RemoteRead
+            }),
             _ => {
                 if background {
                     self.ledger.charge_background(if actor.is_local_to(at) {

@@ -47,7 +47,7 @@ pub mod sharded;
 pub mod site;
 pub mod stats;
 
-pub use cluster::{RaddCluster, RecoveryReport};
+pub use cluster::{RaddCluster, RecoveryReport, StorageMode};
 pub use config::{ParityMode, RaddConfig, SparePolicy};
 pub use driver::{CheckError, CheckedCluster};
 pub use error::RaddError;

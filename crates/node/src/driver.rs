@@ -63,6 +63,36 @@ impl ThreadedDriver {
         }
     }
 
+    /// [`start`](ThreadedDriver::start) on durable storage: every site
+    /// runs a WAL-backed `radd_storage::DiskBlocks` under
+    /// `<dir>/site-<j>`, so plans containing
+    /// [`FaultEvent::KillRestart`] actually crash the sites and recover
+    /// them from disk (memory-backed clusters treat those events as
+    /// no-ops).
+    pub fn start_durable(
+        g: usize,
+        rows: u64,
+        block_size: usize,
+        dir: std::path::PathBuf,
+    ) -> ThreadedDriver {
+        let (cluster, _extra) = NodeCluster::start_durable(
+            g,
+            rows,
+            block_size,
+            1,
+            radd_protocol::CoalescePolicy::Merge,
+            &radd_storage::StorageSpec::Disk { dir },
+        );
+        ThreadedDriver {
+            cluster,
+            block_size,
+            oracle: HashMap::new(),
+            impaired: None,
+            lossy: false,
+            skipped_writes: 0,
+        }
+    }
+
     /// The underlying cluster.
     pub fn cluster(&self) -> &NodeCluster {
         &self.cluster
@@ -183,6 +213,16 @@ impl FaultDriver for ThreadedDriver {
                 Ok(())
             }
             FaultEvent::FlushParity => FaultDriver::quiesce(self),
+            // §3.4 crash/restart: quiesce (same in-doubt rule as `Fail`),
+            // then crash the site and let it recover from its WAL + block
+            // file. Memory-backed clusters report `false` and change
+            // nothing — a legitimate no-op, so crash plans run against
+            // any cluster.
+            FaultEvent::KillRestart { site } => {
+                FaultDriver::quiesce(self)?;
+                self.cluster.kill_restart_site(site);
+                Ok(())
+            }
             // Checker-granularity events address the model checker's
             // explicit in-flight message vector; the threaded runtime's
             // real channels are not event-addressable.

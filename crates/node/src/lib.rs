@@ -63,6 +63,7 @@ pub use sharded::{PoolRebuildReport, ShardedNodeCluster};
 
 use radd_net::ThreadedNet;
 use radd_protocol::CoalescePolicy;
+use radd_storage::StorageSpec;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -114,6 +115,21 @@ impl NodeCluster {
         clients: usize,
         coalesce: CoalescePolicy,
     ) -> (NodeCluster, Vec<NodeClient>) {
+        NodeCluster::start_durable(g, rows, block_size, clients, coalesce, &StorageSpec::Mem)
+    }
+
+    /// [`start_with`](NodeCluster::start_with) plus a [`StorageSpec`]: pass
+    /// [`StorageSpec::Disk`] with a cluster root directory and every site
+    /// runs on a durable WAL-backed store under `<dir>/site-<j>`, which
+    /// survives [`kill_restart_site`](NodeCluster::kill_restart_site).
+    pub fn start_durable(
+        g: usize,
+        rows: u64,
+        block_size: usize,
+        clients: usize,
+        coalesce: CoalescePolicy,
+        storage: &StorageSpec,
+    ) -> (NodeCluster, Vec<NodeClient>) {
         assert!(clients >= 1, "need at least one client");
         let num_sites = g + 2;
         let ep_base = clients;
@@ -132,6 +148,7 @@ impl NodeCluster {
                 block_size,
                 ep_base,
                 coalesce,
+                storage: storage.clone(),
             };
             handles.push(std::thread::spawn(move || {
                 site::run_site(cfg, &ep, &ctl_rx);
@@ -202,6 +219,24 @@ impl NodeCluster {
     /// [`NodeClient::recover`] to drain its spares and mark it up.
     pub fn revive_site(&mut self, site: usize) {
         self.set_down(site, false);
+    }
+
+    /// Process crash + restart of site `site`: its machine, timers and any
+    /// uncommitted staged writes are dropped on the floor, then the site
+    /// re-opens its durable store — replaying the committed WAL suffix and
+    /// rebuilding the machine from the last snapshot (§3.4). Synchronous:
+    /// returns once the site is serving again. Returns `false` (and
+    /// changes nothing) when the cluster runs on memory-backed storage.
+    pub fn kill_restart_site(&mut self, site: usize) -> bool {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let _ = self.control[site].send(site::Control::KillRestart(tx));
+        let restarted = rx.recv_timeout(Duration::from_secs(10)).unwrap_or(false);
+        if restarted {
+            // The restarted machine is Up; make sure the client agrees
+            // (e.g. after a kill_site → kill_restart_site sequence).
+            self.client.mark_down(site, false);
+        }
+        restarted
     }
 
     /// Start dropping roughly `permille`/1000 of all network sends,

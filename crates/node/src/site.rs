@@ -14,7 +14,9 @@
 //! and interprets the resulting effects: `Send` → endpoint send, `SetTimer`
 //! → an exponential-backoff deadline in the local timer wheel, `ClearTimer`
 //! → disarm. Block I/O receipts need no interpretation here (the machine
-//! already performed the I/O against its in-memory [`MemBlocks`]).
+//! already performed the I/O against its [`radd_storage::SiteStore`] —
+//! in-memory by default, or a durable WAL-backed store when the harness
+//! asks for crash/restart coverage).
 //!
 //! Fault harnesses must quiesce a site (wait for its pending table to
 //! drain, via [`Control::QueryPending`]) before killing it: a temporary
@@ -26,7 +28,10 @@
 use crate::message::Msg;
 use radd_net::{RetryPolicy, ThreadedEndpoint};
 use radd_obs::{MachineObs, MachineSnapshot};
-use radd_protocol::{trace, CoalescePolicy, Dest, Effect, MemBlocks, SiteMachine, TraceEntry};
+use radd_protocol::{
+    trace, CoalescePolicy, Dest, DurableSiteState, Effect, IoPurpose, SiteMachine, TraceEntry,
+};
+use radd_storage::{SiteStore, StorageSpec};
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
 use std::time::{Duration, Instant};
@@ -60,12 +65,18 @@ pub enum Control {
     /// Served from the control drain, so it works even while the site is
     /// marked down — exactly when the flight recorder is most interesting.
     QueryObs(std::sync::mpsc::Sender<MachineSnapshot>),
+    /// Process crash + restart: drop the machine, the store, and every
+    /// timer, then re-open from the site's durable storage. Replies `true`
+    /// when the site actually restarted from disk; a memory-backed site
+    /// replies `false` and keeps its state (there is nothing to restart
+    /// *from* — losing everything would be a disaster, not a crash).
+    KillRestart(std::sync::mpsc::Sender<bool>),
     /// Stop the thread.
     Shutdown,
 }
 
 /// Static site parameters.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SiteConfig {
     /// This site's id (0-based).
     pub site: usize,
@@ -83,12 +94,16 @@ pub struct SiteConfig {
     /// [`CoalescePolicy::Off`] to stay message-for-message identical to the
     /// DES interpreter.
     pub coalesce: CoalescePolicy,
+    /// Storage backend: volatile memory (default) or a durable
+    /// [`radd_storage::DiskBlocks`] directory that survives
+    /// [`Control::KillRestart`].
+    pub storage: StorageSpec,
 }
 
 struct SiteDriver {
     cfg: SiteConfig,
     machine: SiteMachine,
-    blocks: MemBlocks,
+    store: SiteStore,
     down: bool,
     /// Retransmit deadlines by outstanding tag.
     timers: BTreeMap<u64, Instant>,
@@ -123,11 +138,12 @@ impl SiteDriver {
                 Effect::ClearTimer { tag } => {
                     self.timers.remove(&tag);
                 }
-                // The machine already performed the I/O on `blocks`; the
+                // The machine already performed the I/O on the store; the
                 // receipts matter only to cost-accounting drivers.
                 Effect::Read { .. } | Effect::Write { .. } | Effect::DeferAck { .. } => {}
-                // Disk-fault escalations cannot happen here: MemBlocks
-                // never faults and this runtime injects no disk failures.
+                // Disk-fault escalations cannot happen here: the store
+                // never faults in-range and this runtime injects no disk
+                // failures.
                 Effect::NeedParityRebuild { .. } | Effect::ParityUnservable { .. } => {
                     debug_assert!(false, "disk-fault escalation in a faultless runtime");
                 }
@@ -157,17 +173,45 @@ impl SiteDriver {
     }
 }
 
+/// Open (or re-open) the site's storage and rebuild the machine from its
+/// durable snapshot, if one exists. Returns the store and the machine; on a
+/// fresh (or memory-backed) store the machine starts from geometry.
+///
+/// Each row the WAL replay re-applied is surfaced to `obs` as a
+/// [`IoPurpose::LogReplay`] read receipt, so the flight recorder shows the
+/// §3.4 recovery work a restart performed.
+fn open_store(cfg: &SiteConfig, obs: &mut MachineObs) -> (SiteStore, SiteMachine) {
+    let store = cfg
+        .storage
+        .for_site(cfg.site)
+        .open(cfg.rows, cfg.block_size)
+        .unwrap_or_else(|e| panic!("site {}: cannot open durable store: {e}", cfg.site));
+    let machine = match store.meta().map(DurableSiteState::decode) {
+        Some(Ok(d)) => SiteMachine::restore_durable(&d),
+        Some(Err(e)) => panic!("site {}: corrupt durable snapshot: {e}", cfg.site),
+        None => SiteMachine::new(cfg.site, cfg.group_size, cfg.rows, cfg.block_size),
+    };
+    for row in store.replayed_rows() {
+        obs.effect(&Effect::Read {
+            row: *row,
+            purpose: IoPurpose::LogReplay,
+        });
+    }
+    (store, machine)
+}
+
 /// Run the site event loop until shutdown.
 pub fn run_site(cfg: SiteConfig, ep: &ThreadedEndpoint<Msg>, control: &Receiver<Control>) {
-    let mut machine = SiteMachine::new(cfg.site, cfg.group_size, cfg.rows, cfg.block_size);
+    let mut obs = MachineObs::new();
+    let (store, mut machine) = open_store(&cfg, &mut obs);
     machine.set_coalesce(cfg.coalesce);
     let mut st = SiteDriver {
         machine,
-        blocks: MemBlocks::new(cfg.rows, cfg.block_size),
+        store,
         down: false,
         timers: BTreeMap::new(),
         trace: None,
-        obs: MachineObs::new(),
+        obs,
         cfg,
     };
     loop {
@@ -201,6 +245,25 @@ pub fn run_site(cfg: SiteConfig, ep: &ThreadedEndpoint<Msg>, control: &Receiver<
                     let name = format!("site {}", st.cfg.site);
                     let _ = reply.send(st.obs.snapshot(&name));
                 }
+                Ok(Control::KillRestart(reply)) => {
+                    if st.store.is_durable() {
+                        // Crash: every volatile structure dies — the
+                        // machine, the timer wheel, any staged-but-
+                        // uncommitted writes inside the store. Restart:
+                        // re-open from disk, which replays the committed
+                        // log suffix and rebuilds the machine from the
+                        // last durable snapshot (§3.4).
+                        st.timers.clear();
+                        let (store, mut machine) = open_store(&st.cfg, &mut st.obs);
+                        machine.set_coalesce(st.cfg.coalesce);
+                        st.store = store;
+                        st.machine = machine;
+                        st.down = false;
+                        let _ = reply.send(true);
+                    } else {
+                        let _ = reply.send(false);
+                    }
+                }
                 Ok(Control::Shutdown) => return,
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
                 Err(std::sync::mpsc::TryRecvError::Empty) => break,
@@ -220,7 +283,14 @@ pub fn run_site(cfg: SiteConfig, ep: &ThreadedEndpoint<Msg>, control: &Receiver<
         }
         let mut out = Vec::new();
         st.machine
-            .handle(&mut st.blocks, inbound.src, inbound.payload, &mut out);
+            .handle(&mut st.store, inbound.src, inbound.payload, &mut out);
+        // WAL rule: group-commit whatever the message staged (block
+        // writes + the durable half of the machine) *before* interpreting
+        // the effects — no ack may leave the process ahead of the log
+        // record that justifies it. A memory-backed store is a no-op.
+        if let Err(e) = st.store.commit(|| st.machine.durable_snapshot().encode()) {
+            panic!("site {}: durable commit failed: {e}", st.cfg.site);
+        }
         st.interpret(ep, out);
     }
 }

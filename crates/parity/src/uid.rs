@@ -74,9 +74,23 @@ impl UidGen {
         Uid(((self.site as u64) << 48) | self.counter)
     }
 
+    /// A generator resuming from a persisted counter. Restarting a site
+    /// from durable state must never re-mint a UID it already handed out
+    /// (§3.2's idempotence guard keys on UID equality), so crash recovery
+    /// restores the counter instead of starting at zero.
+    pub fn restore(site: u16, counter: u64) -> UidGen {
+        assert!(counter < (1 << 48), "UID counter exhausted");
+        UidGen { site, counter }
+    }
+
     /// The site this generator mints for.
     pub fn site(&self) -> u16 {
         self.site
+    }
+
+    /// The current counter value, for durable snapshots.
+    pub fn counter(&self) -> u64 {
+        self.counter
     }
 }
 

@@ -1,0 +1,350 @@
+//! Durable site state: what a crashed site must find on disk to rejoin
+//! without a §3.3 rebuild.
+//!
+//! A [`SiteMachine`](crate::SiteMachine) splits into durable and volatile
+//! halves. Durable — the metadata whose loss is indistinguishable from a
+//! site disaster: per-row block UIDs, parity UID arrays, spare slots, the
+//! invalid-row set, and the two monotone generators (the UID counter backs
+//! the §3.2 idempotence guard, so resetting it would let a re-minted UID
+//! masquerade as an already-applied duplicate; the tag counter keys the
+//! at-most-once reply cache). Volatile — the stop-and-wait queues,
+//! in-flight retransmission state, deferred client replies, and the reply
+//! cache itself: all of it is reconstructible from peer retransmissions,
+//! and plans quiesce a site before killing it, so dropping these on
+//! restart is safe. The §3.2 UID guard backstops the one case it is not
+//! (a duplicate parity update arriving after the reply cache died with the
+//! process).
+//!
+//! [`DurableSiteState`] is the serialisable projection of the durable
+//! half. The codec is a hand-rolled little-endian binary format (the
+//! workspace's serde shim is serialize-only) with a magic/version header
+//! and bounds-checked decoding, in the style of [`crate::codec`]: torn or
+//! truncated snapshots decode to an error, never to garbage state.
+
+use crate::wire::SpareContent;
+use radd_parity::Uid;
+use std::fmt;
+
+/// Magic prefix of an encoded snapshot: `"RDSS"` little-endian.
+const MAGIC: u32 = 0x5353_4452;
+/// Current snapshot format version.
+const VERSION: u16 = 1;
+
+/// Errors decoding a durable snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurableError {
+    /// The buffer ended before the structure did.
+    Truncated,
+    /// The magic prefix did not match — not a snapshot.
+    BadMagic,
+    /// A snapshot from an unknown format version.
+    BadVersion(u16),
+    /// Structurally invalid contents (e.g. a row index past the geometry).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Truncated => write!(f, "durable snapshot truncated"),
+            DurableError::BadMagic => write!(f, "durable snapshot magic mismatch"),
+            DurableError::BadVersion(v) => write!(f, "durable snapshot version {v} unsupported"),
+            DurableError::Malformed(why) => write!(f, "durable snapshot malformed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+/// The durable half of a [`SiteMachine`](crate::SiteMachine), in a shape
+/// that is storage- and wire-friendly (no maps, no private types).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DurableSiteState {
+    /// The site this snapshot belongs to.
+    pub site: usize,
+    /// Group size `G` the geometry was built with.
+    pub group_size: usize,
+    /// Rows per site.
+    pub rows: u64,
+    /// Block size in bytes.
+    pub block_size: usize,
+    /// Per-row block UIDs (`rows` entries).
+    pub block_uids: Vec<Uid>,
+    /// `(row, slots)` for every row where this site holds a parity array.
+    pub parity_uids: Vec<(u64, Vec<Uid>)>,
+    /// `(row, for_site, content)` for every valid spare slot.
+    pub spares: Vec<(u64, usize, SpareContent)>,
+    /// Rows whose local content is untrustworthy.
+    pub invalid_rows: Vec<u64>,
+    /// The UID generator's counter (site id is implied by `site`).
+    pub uid_counter: u64,
+    /// The request-tag counter.
+    pub next_tag: u64,
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DurableError> {
+        let end = self.at.checked_add(n).ok_or(DurableError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(DurableError::Truncated);
+        }
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u16(&mut self) -> Result<u16, DurableError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, DurableError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DurableError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// A length prefix that will be used to reserve memory: reject counts
+    /// the remaining buffer could not possibly hold (8 bytes per element
+    /// minimum), so a corrupt prefix cannot drive a huge allocation.
+    fn count(&mut self) -> Result<usize, DurableError> {
+        let n = self.u64()? as usize;
+        if n > (self.buf.len() - self.at) / 8 {
+            return Err(DurableError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn uids(&mut self, n: usize) -> Result<Vec<Uid>, DurableError> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(Uid::from_raw(self.u64()?));
+        }
+        Ok(v)
+    }
+}
+
+fn put_uids(out: &mut Vec<u8>, uids: &[Uid]) {
+    out.extend_from_slice(&(uids.len() as u64).to_le_bytes());
+    for u in uids {
+        out.extend_from_slice(&u.as_raw().to_le_bytes());
+    }
+}
+
+impl DurableSiteState {
+    /// Encode to the versioned binary snapshot format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.block_uids.len() * 8);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.site as u32).to_le_bytes());
+        out.extend_from_slice(&(self.group_size as u32).to_le_bytes());
+        out.extend_from_slice(&self.rows.to_le_bytes());
+        out.extend_from_slice(&(self.block_size as u32).to_le_bytes());
+        out.extend_from_slice(&self.uid_counter.to_le_bytes());
+        out.extend_from_slice(&self.next_tag.to_le_bytes());
+        put_uids(&mut out, &self.block_uids);
+        out.extend_from_slice(&(self.parity_uids.len() as u64).to_le_bytes());
+        for (row, slots) in &self.parity_uids {
+            out.extend_from_slice(&row.to_le_bytes());
+            put_uids(&mut out, slots);
+        }
+        out.extend_from_slice(&(self.spares.len() as u64).to_le_bytes());
+        for (row, for_site, content) in &self.spares {
+            out.extend_from_slice(&row.to_le_bytes());
+            out.extend_from_slice(&(*for_site as u32).to_le_bytes());
+            match content {
+                SpareContent::Data { uid } => {
+                    out.push(0);
+                    out.extend_from_slice(&uid.as_raw().to_le_bytes());
+                }
+                SpareContent::Parity { uids } => {
+                    out.push(1);
+                    put_uids(&mut out, uids);
+                }
+            }
+        }
+        out.extend_from_slice(&(self.invalid_rows.len() as u64).to_le_bytes());
+        for row in &self.invalid_rows {
+            out.extend_from_slice(&row.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a snapshot, validating structure and bounds.
+    pub fn decode(buf: &[u8]) -> Result<DurableSiteState, DurableError> {
+        let mut r = Reader { buf, at: 0 };
+        if r.u32()? != MAGIC {
+            return Err(DurableError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(DurableError::BadVersion(version));
+        }
+        let site = r.u32()? as usize;
+        let group_size = r.u32()? as usize;
+        let rows = r.u64()?;
+        let block_size = r.u32()? as usize;
+        let uid_counter = r.u64()?;
+        let next_tag = r.u64()?;
+        let n_uids = r.count()?;
+        if n_uids as u64 != rows {
+            return Err(DurableError::Malformed("block UID count != rows"));
+        }
+        let block_uids = r.uids(n_uids)?;
+        let n_parity = r.count()?;
+        let mut parity_uids = Vec::with_capacity(n_parity);
+        for _ in 0..n_parity {
+            let row = r.u64()?;
+            if row >= rows {
+                return Err(DurableError::Malformed("parity row out of range"));
+            }
+            let n = r.count()?;
+            parity_uids.push((row, r.uids(n)?));
+        }
+        let n_spares = r.count()?;
+        let mut spares = Vec::with_capacity(n_spares);
+        for _ in 0..n_spares {
+            let row = r.u64()?;
+            if row >= rows {
+                return Err(DurableError::Malformed("spare row out of range"));
+            }
+            let for_site = r.u32()? as usize;
+            let content = match r.take(1)?[0] {
+                0 => SpareContent::Data {
+                    uid: Uid::from_raw(r.u64()?),
+                },
+                1 => {
+                    let n = r.count()?;
+                    SpareContent::Parity { uids: r.uids(n)? }
+                }
+                _ => return Err(DurableError::Malformed("unknown spare kind tag")),
+            };
+            spares.push((row, for_site, content));
+        }
+        let n_invalid = r.count()?;
+        let mut invalid_rows = Vec::with_capacity(n_invalid);
+        for _ in 0..n_invalid {
+            let row = r.u64()?;
+            if row >= rows {
+                return Err(DurableError::Malformed("invalid-row index out of range"));
+            }
+            invalid_rows.push(row);
+        }
+        if r.at != buf.len() {
+            return Err(DurableError::Malformed("trailing bytes after snapshot"));
+        }
+        Ok(DurableSiteState {
+            site,
+            group_size,
+            rows,
+            block_size,
+            block_uids,
+            parity_uids,
+            spares,
+            invalid_rows,
+            uid_counter,
+            next_tag,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DurableSiteState {
+        DurableSiteState {
+            site: 2,
+            group_size: 2,
+            rows: 4,
+            block_size: 16,
+            block_uids: vec![
+                Uid::from_raw(0x2_0000_0000_0001),
+                Uid::INVALID,
+                Uid::from_raw(0x2_0000_0000_0002),
+                Uid::INVALID,
+            ],
+            parity_uids: vec![(1, vec![Uid::from_raw(7), Uid::INVALID, Uid::from_raw(9)])],
+            spares: vec![
+                (
+                    0,
+                    3,
+                    SpareContent::Data {
+                        uid: Uid::from_raw(5),
+                    },
+                ),
+                (
+                    2,
+                    1,
+                    SpareContent::Parity {
+                        uids: vec![Uid::from_raw(1), Uid::from_raw(2)],
+                    },
+                ),
+            ],
+            invalid_rows: vec![1, 3],
+            uid_counter: 2,
+            next_tag: 11,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let s = sample();
+        assert_eq!(DurableSiteState::decode(&s.encode()), Ok(s));
+    }
+
+    #[test]
+    fn every_prefix_truncation_errors_not_panics() {
+        let full = sample().encode();
+        for n in 0..full.len() {
+            assert!(
+                DurableSiteState::decode(&full[..n]).is_err(),
+                "prefix of {n} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version() {
+        let mut buf = sample().encode();
+        buf[0] ^= 0xFF;
+        assert_eq!(DurableSiteState::decode(&buf), Err(DurableError::BadMagic));
+        let mut buf = sample().encode();
+        buf[4] = 0xEE;
+        assert_eq!(
+            DurableSiteState::decode(&buf),
+            Err(DurableError::BadVersion(0xEE))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = sample().encode();
+        buf.push(0);
+        assert_eq!(
+            DurableSiteState::decode(&buf),
+            Err(DurableError::Malformed("trailing bytes after snapshot"))
+        );
+    }
+
+    #[test]
+    fn huge_count_rejected_without_allocation() {
+        let mut buf = sample().encode();
+        // Overwrite the block-UID count (offset 42: after the 42-byte
+        // fixed header) with u64::MAX.
+        buf[42..50].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(DurableSiteState::decode(&buf).is_err());
+    }
+}

@@ -45,11 +45,14 @@ pub enum IoPurpose {
     Reconstruct,
     /// Write of a drained/reconstructed block back onto a recovered disk.
     Restore,
+    /// Read replaying a committed log suffix while a crashed site reopens
+    /// its durable store (§3.4 WAL recovery; always background).
+    LogReplay,
 }
 
 impl IoPurpose {
     /// Number of purposes; sizes dense per-purpose counter arrays.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every purpose, in [`IoPurpose::index`] order.
     pub const ALL: [IoPurpose; IoPurpose::COUNT] = [
@@ -61,6 +64,7 @@ impl IoPurpose {
         IoPurpose::SpareInstall,
         IoPurpose::Reconstruct,
         IoPurpose::Restore,
+        IoPurpose::LogReplay,
     ];
 
     /// Dense index into a `[_; IoPurpose::COUNT]` counter array.
@@ -79,6 +83,7 @@ impl IoPurpose {
             IoPurpose::SpareInstall => "spare_install",
             IoPurpose::Reconstruct => "reconstruct",
             IoPurpose::Restore => "restore",
+            IoPurpose::LogReplay => "log_replay",
         }
     }
 }

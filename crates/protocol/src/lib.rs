@@ -29,6 +29,7 @@
 pub mod check;
 pub mod client;
 pub mod codec;
+pub mod durable;
 pub mod effect;
 pub mod events;
 pub mod fasthash;
@@ -47,6 +48,7 @@ pub use check::{
 };
 pub use client::{ClientErr, ClientIo, ClientMachine, RebuildReport, SparePolicy};
 pub use codec::{decode_msg, encode_msg, encode_msg_vec, CodecError};
+pub use durable::{DurableError, DurableSiteState};
 pub use effect::{BlockFault, Blocks, Dest, Effect, IoPurpose, MemBlocks};
 pub use events::FailureKind;
 pub use obs::{obs_event, ObsEvent};

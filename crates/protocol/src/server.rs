@@ -33,6 +33,7 @@
 //! interpreter's Figure 3/4 cost receipts stay bit-for-bit unchanged; the
 //! threaded runtime switches it on.
 
+use crate::durable::DurableSiteState;
 use crate::effect::{Blocks, Dest, Effect, IoPurpose};
 use crate::fasthash::{FxHashMap, FxHashSet};
 use crate::wire::{Msg, NackReason, SpareContent, SpareSlotWire};
@@ -372,6 +373,69 @@ impl SiteMachine {
         self.parity_uids.clear();
         self.spares.clear();
         self.invalid_rows = (0..self.block_uids.len() as u64).collect();
+    }
+
+    /// The durable half of this machine's state, for persistence (see
+    /// [`crate::durable`] for the durable/volatile split and why the two
+    /// counters are part of it).
+    pub fn durable_snapshot(&self) -> DurableSiteState {
+        DurableSiteState {
+            site: self.site,
+            group_size: self.geo.group_size(),
+            rows: self.block_uids.len() as u64,
+            block_size: self.block_size,
+            block_uids: self.block_uids.clone(),
+            parity_uids: self
+                .parity_uids
+                .iter()
+                .map(|(row, arr)| (*row, arr.slots().to_vec()))
+                .collect(),
+            spares: self
+                .spares
+                .iter()
+                .map(|(row, slot)| (*row, slot.for_site, slot.content()))
+                .collect(),
+            invalid_rows: self.invalid_rows.iter().copied().collect(),
+            uid_counter: self.uid_gen.counter(),
+            next_tag: self.next_tag,
+        }
+    }
+
+    /// A machine rebuilt from a durable snapshot, as a restarting process
+    /// does after a crash. Volatile state (queues, in-flight requests, the
+    /// reply cache) starts empty — peers retransmit what matters and the
+    /// §3.2 UID guard absorbs the duplicates — and the machine comes up
+    /// [`SiteState::Up`]: a snapshot taken at quiesce is complete, so no
+    /// §3.3 recovery pass is needed.
+    pub fn restore_durable(d: &DurableSiteState) -> SiteMachine {
+        let mut m = SiteMachine::new(d.site, d.group_size, d.rows, d.block_size);
+        assert_eq!(
+            d.block_uids.len(),
+            m.block_uids.len(),
+            "snapshot geometry mismatch"
+        );
+        m.block_uids = d.block_uids.clone();
+        let n = m.geo.num_sites();
+        for (row, slots) in &d.parity_uids {
+            let mut arr = UidArray::new(n);
+            for (i, u) in slots.iter().enumerate().take(n) {
+                arr.set(i, *u);
+            }
+            m.parity_uids.insert(*row, arr);
+        }
+        for (row, for_site, content) in &d.spares {
+            m.spares.insert(
+                *row,
+                SpareSlot {
+                    for_site: *for_site,
+                    kind: kind_from_content(content, n),
+                },
+            );
+        }
+        m.invalid_rows = d.invalid_rows.iter().copied().collect();
+        m.uid_gen = UidGen::restore(d.site as u16, d.uid_counter);
+        m.next_tag = d.next_tag;
+        m
     }
 
     /// Forget the metadata of `rows` (a replaced disk's blank blocks).

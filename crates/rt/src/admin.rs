@@ -82,6 +82,7 @@ mod tests {
             block_size: 64,
             ep_base: 1,
             coalesce: CoalescePolicy::Merge,
+            storage: radd_storage::StorageSpec::Mem,
         };
         let handle = std::thread::spawn(move || run_site(cfg, &ep, &ctl_rx));
 

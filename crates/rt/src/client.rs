@@ -242,11 +242,13 @@ impl ClientIo for SockIo {
                     return Err(ClientErr::Timeout { site });
                 }
                 loop {
-                    let k = *used.entry(site).or_insert(0);
+                    let attempts = used.entry(site).or_insert(0);
+                    let k = *attempts;
                     if k >= self.policy.attempts {
                         dead.insert(site);
                         return Err(ClientErr::Timeout { site });
                     }
+                    *attempts += 1;
                     // The first window rides on the pipelined send above;
                     // later windows resend (idempotent at the receiver).
                     if k > 0 && self.send_attempt(site, &msg, true) == SendOutcome::Closed {
@@ -254,7 +256,6 @@ impl ClientIo for SockIo {
                         return self.take_stashed(tag).ok_or(ClientErr::Timeout { site });
                     }
                     let window = self.attempt_window(k);
-                    *used.get_mut(&site).expect("inserted above") += 1;
                     if let Some(reply) = self.wait(tag, window) {
                         return Ok(reply);
                     }

@@ -23,6 +23,7 @@ use crate::net::SocketEndpoint;
 use crate::proxy::{FaultProxy, FaultState};
 use crate::server::{self, Control, SiteConfig};
 use radd_protocol::CoalescePolicy;
+use radd_storage::StorageSpec;
 use radd_workload::faults::{payload, FailureKind, FaultDriver, FaultEvent};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener};
@@ -65,6 +66,22 @@ impl SocketCluster {
         clients: usize,
         coalesce: CoalescePolicy,
     ) -> (SocketCluster, Vec<SocketClient>) {
+        SocketCluster::start_durable(g, rows, block_size, clients, coalesce, &StorageSpec::Mem)
+    }
+
+    /// [`start_with`](SocketCluster::start_with) plus a [`StorageSpec`]:
+    /// pass [`StorageSpec::Disk`] with a cluster root directory and every
+    /// site runs on a durable WAL-backed store under `<dir>/site-<j>`,
+    /// which survives
+    /// [`kill_restart_site`](SocketCluster::kill_restart_site).
+    pub fn start_durable(
+        g: usize,
+        rows: u64,
+        block_size: usize,
+        clients: usize,
+        coalesce: CoalescePolicy,
+        storage: &StorageSpec,
+    ) -> (SocketCluster, Vec<SocketClient>) {
         assert!(clients >= 1, "need at least one client");
         let num_sites = g + 2;
         let ep_base = clients;
@@ -95,6 +112,7 @@ impl SocketCluster {
                 block_size,
                 ep_base,
                 coalesce,
+                storage: storage.clone(),
             };
             let ep = SocketEndpoint::site(ep_base + j, ep_base, site_map.clone(), listener);
             handles.push(std::thread::spawn(move || {
@@ -155,6 +173,22 @@ impl SocketCluster {
     /// [`SocketClient::recover`] to drain its spares and mark it up.
     pub fn revive_site(&mut self, site: usize) {
         self.set_down(site, false);
+    }
+
+    /// Process crash + restart of site `site`: its machine, timers and any
+    /// uncommitted staged writes are dropped, then the site re-opens its
+    /// durable store — replaying the committed WAL suffix and rebuilding
+    /// the machine from the last snapshot (§3.4). Synchronous: returns
+    /// once the site is serving again. Returns `false` (and changes
+    /// nothing) when the cluster runs on memory-backed storage.
+    pub fn kill_restart_site(&mut self, site: usize) -> bool {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let _ = self.control[site].send(Control::KillRestart(tx));
+        let restarted = rx.recv_timeout(Duration::from_secs(10)).unwrap_or(false);
+        if restarted {
+            self.client.mark_down(site, false);
+        }
+        restarted
     }
 
     /// Start dropping roughly `permille`/1000 of protocol frames at the
@@ -311,6 +345,34 @@ impl SocketDriver {
         }
     }
 
+    /// [`start`](SocketDriver::start) on durable storage: every site runs
+    /// a WAL-backed `radd_storage::DiskBlocks` under `<dir>/site-<j>`, so
+    /// plans containing [`FaultEvent::KillRestart`] actually crash the
+    /// sites and recover them from disk.
+    pub fn start_durable(
+        g: usize,
+        rows: u64,
+        block_size: usize,
+        dir: std::path::PathBuf,
+    ) -> SocketDriver {
+        let (cluster, _extra) = SocketCluster::start_durable(
+            g,
+            rows,
+            block_size,
+            1,
+            CoalescePolicy::Merge,
+            &StorageSpec::Disk { dir },
+        );
+        SocketDriver {
+            cluster,
+            block_size,
+            oracle: HashMap::new(),
+            impaired: None,
+            lossy: false,
+            skipped_writes: 0,
+        }
+    }
+
     /// The underlying cluster.
     pub fn cluster(&self) -> &SocketCluster {
         &self.cluster
@@ -429,6 +491,15 @@ impl FaultDriver for SocketDriver {
                 Ok(())
             }
             FaultEvent::FlushParity => FaultDriver::quiesce(self),
+            // §3.4 crash/restart: quiesce (same in-doubt rule as `Fail`),
+            // then crash the site and let it recover from its WAL + block
+            // file. Memory-backed clusters report `false` and change
+            // nothing — a legitimate no-op.
+            FaultEvent::KillRestart { site } => {
+                FaultDriver::quiesce(self)?;
+                self.cluster.kill_restart_site(site);
+                Ok(())
+            }
             // Checker-granularity events address the model checker's
             // explicit in-flight message vector; real TCP connections are
             // not event-addressable.

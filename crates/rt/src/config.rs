@@ -89,8 +89,39 @@ pub struct ClusterConfig {
     /// Pool-site addresses, indexed by site id. For `groups = 1` these are
     /// the member addresses directly.
     pub sites: Vec<SocketAddr>,
+    /// Storage backend for every server: `storage = mem` (default) keeps
+    /// blocks in volatile memory; `storage = disk` mounts a durable
+    /// WAL-backed store under `data_dir` (one subdirectory per site), so
+    /// a killed `radd-server` process restarts from its own disk.
+    pub storage: StorageKind,
+    /// Root directory for `storage = disk` (default `radd-data`). Each
+    /// server uses `<data_dir>/site-<j>` (single group) or
+    /// `<data_dir>/group-<k>/site-<m>`.
+    pub data_dir: String,
     /// The shard map every address derives from, built at parse time.
     map: ShardMap,
+}
+
+/// The `storage =` choice of a cluster map.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Volatile in-memory blocks (the default).
+    #[default]
+    Mem,
+    /// Durable WAL-backed `radd_storage::DiskBlocks` under `data_dir`.
+    Disk,
+}
+
+impl std::str::FromStr for StorageKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StorageKind, String> {
+        match s {
+            "mem" | "memory" => Ok(StorageKind::Mem),
+            "disk" => Ok(StorageKind::Disk),
+            other => Err(format!("unknown storage kind `{other}` (mem|disk)")),
+        }
+    }
 }
 
 impl ClusterConfig {
@@ -143,6 +174,26 @@ impl ClusterConfig {
             .collect()
     }
 
+    /// The [`radd_storage::StorageSpec`] a server of `group` should
+    /// mount: `Mem` for `storage = mem`; for `storage = disk`, the
+    /// per-group subdirectory of `data_dir` (single-group maps use
+    /// `data_dir` directly). Callers pass the member slot to
+    /// `StorageSpec::for_site`, which appends the final `site-<m>`.
+    pub fn storage_spec(&self, group: usize) -> radd_storage::StorageSpec {
+        match self.storage {
+            StorageKind::Mem => radd_storage::StorageSpec::Mem,
+            StorageKind::Disk => {
+                let root = std::path::PathBuf::from(&self.data_dir);
+                let dir = if self.groups == 1 {
+                    root
+                } else {
+                    root.join(format!("group-{group}"))
+                };
+                radd_storage::StorageSpec::Disk { dir }
+            }
+        }
+    }
+
     /// Parse a site-map text. Errors name the offending line.
     pub fn parse(text: &str) -> Result<ClusterConfig, String> {
         let mut g: Option<usize> = None;
@@ -151,6 +202,8 @@ impl ClusterConfig {
         let mut clients = DEFAULT_CLIENTS;
         let mut groups = 1usize;
         let mut placement = Placement::Rotation;
+        let mut storage = StorageKind::default();
+        let mut data_dir = String::from("radd-data");
         let mut sites: Vec<(usize, SocketAddr)> = Vec::new();
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
@@ -174,6 +227,12 @@ impl ClusterConfig {
                     "clients" => clients = value.parse().map_err(|_| bad("client count"))?,
                     "groups" => groups = value.parse().map_err(|_| bad("group count"))?,
                     "placement" => placement = value.parse().map_err(|_| bad("placement"))?,
+                    "storage" => {
+                        storage = value
+                            .parse()
+                            .map_err(|e: String| format!("line {}: {e}", lineno + 1))?;
+                    }
+                    "data_dir" => data_dir = value.to_string(),
                     other => return Err(format!("line {}: unknown key `{other}`", lineno + 1)),
                 }
             }
@@ -234,6 +293,8 @@ impl ClusterConfig {
             groups,
             placement,
             sites,
+            storage,
+            data_dir,
             map,
         };
         // Every listen endpoint — listed, and derived when a site hosts

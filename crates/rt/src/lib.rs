@@ -58,7 +58,7 @@ pub mod server;
 pub use admin::CtlClient;
 pub use client::{ClientError, SocketClient};
 pub use cluster::{SocketCluster, SocketDriver};
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, StorageKind};
 pub use frame::{CtlRep, CtlReq, Frame, FrameDecoder, FrameError};
 pub use net::{Inbound, SendOutcome, SocketEndpoint};
 pub use proxy::{FaultProxy, FaultState};

@@ -37,7 +37,7 @@ use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -103,7 +103,16 @@ impl WriteHalf {
 
     /// Write one frame; an io error means the connection is dead.
     pub fn write(&self, frame: &Frame) -> std::io::Result<()> {
-        let mut s = self.stream.lock().expect("writer lock poisoned");
+        // A poisoned lock means another writer panicked mid-frame and may
+        // have left a torn prefix on the stream; report the connection
+        // dead (callers drop it and redial) instead of panicking the
+        // whole site on top of it.
+        let mut s = self.stream.lock().map_err(|_| {
+            std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "connection abandoned after a writer panic",
+            )
+        })?;
         write_frame(&mut *s, frame)
     }
 }
@@ -115,6 +124,24 @@ struct Shared {
     dial_backoff: Mutex<HashMap<usize, (Instant, u32)>>,
     inbox_tx: Sender<Inbound>,
     shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// The connection table. Poison-tolerant: holders only perform
+    /// infallible `HashMap` insert/remove/get under the lock, so a panic
+    /// elsewhere in a holding thread cannot leave the map half-updated —
+    /// recovering the guard is always safe, and it keeps one panicking
+    /// reader thread from cascading into every other connection.
+    fn peers(&self) -> MutexGuard<'_, HashMap<usize, WriteHalf>> {
+        self.peers.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The dial-backoff table; same poison argument as [`Shared::peers`].
+    fn backoff(&self) -> MutexGuard<'_, HashMap<usize, (Instant, u32)>> {
+        self.dial_backoff
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// One process's socket identity. See the module docs.
@@ -157,10 +184,17 @@ impl SocketEndpoint {
             inbox_tx,
             shutdown: AtomicBool::new(false),
         });
-        let accept_thread = listener.map(|l| {
+        let accept_thread = listener.and_then(|l| {
+            // A listener that cannot be polled would never observe the
+            // shutdown flag; running deaf (peers' dials fail and back
+            // off — silent loss, which the retransmission layer absorbs)
+            // beats panicking a site that may still hold durable state.
+            if let Err(e) = l.set_nonblocking(true) {
+                eprintln!("radd-rt: cannot poll listener ({e}); serving without accepts");
+                return None;
+            }
             let shared = Arc::clone(&shared);
-            l.set_nonblocking(true).expect("listener nonblocking");
-            std::thread::spawn(move || accept_loop(&l, &shared))
+            Some(std::thread::spawn(move || accept_loop(&l, &shared)))
         });
         SocketEndpoint {
             id,
@@ -194,7 +228,7 @@ impl SocketEndpoint {
             }
             // Dead connection: forget it. A site destination falls through
             // to a fresh dial below; a client destination is simply lost.
-            self.shared.peers.lock().expect("peers lock").remove(&dst);
+            self.shared.peers().remove(&dst);
         }
         if dst < self.ep_base {
             // A client we have no connection to: unreachable until it dials
@@ -216,12 +250,7 @@ impl SocketEndpoint {
     }
 
     fn peer(&self, dst: usize) -> Option<WriteHalf> {
-        self.shared
-            .peers
-            .lock()
-            .expect("peers lock")
-            .get(&dst)
-            .cloned()
+        self.shared.peers().get(&dst).cloned()
     }
 
     /// Dial site `site` (by index), handshake, and register the
@@ -230,7 +259,7 @@ impl SocketEndpoint {
     fn dial(&self, site: usize) -> Option<WriteHalf> {
         let dst = self.ep_base + site;
         {
-            let backoff = self.shared.dial_backoff.lock().expect("backoff lock");
+            let backoff = self.shared.backoff();
             if let Some(&(next_at, _)) = backoff.get(&site) {
                 if Instant::now() < next_at {
                     return None;
@@ -244,22 +273,14 @@ impl SocketEndpoint {
                 if write.write(&Frame::Hello { id: self.id as u64 }).is_err() {
                     return None;
                 }
-                self.shared
-                    .dial_backoff
-                    .lock()
-                    .expect("backoff lock")
-                    .remove(&site);
-                self.shared
-                    .peers
-                    .lock()
-                    .expect("peers lock")
-                    .insert(dst, write.clone());
+                self.shared.backoff().remove(&site);
+                self.shared.peers().insert(dst, write.clone());
                 let shared = Arc::clone(&self.shared);
                 std::thread::spawn(move || reader_loop(stream, Some(dst), &shared));
                 Some(write)
             }
             Err(_) => {
-                let mut backoff = self.shared.dial_backoff.lock().expect("backoff lock");
+                let mut backoff = self.shared.backoff();
                 let step = backoff.get(&site).map_or(0, |&(_, s)| s.saturating_add(1));
                 backoff.insert(site, (Instant::now() + DIAL_RETRY.delay(step), step));
                 None
@@ -334,11 +355,7 @@ fn reader_loop(stream: TcpStream, peer_id: Option<usize>, shared: &Arc<Shared>) 
                 Frame::Hello { id } => {
                     let id = id as usize;
                     peer_id = Some(id);
-                    shared
-                        .peers
-                        .lock()
-                        .expect("peers lock")
-                        .insert(id, write.clone());
+                    shared.peers().insert(id, write.clone());
                 }
                 Frame::Proto(msg) => {
                     let Some(src) = peer_id else {

@@ -105,7 +105,12 @@ impl FaultState {
 
     /// Cut endpoint `ep` off (frames to or from it drop at the proxy).
     pub fn set_partitioned(&self, ep: usize, partitioned: bool) {
-        let mut p = self.partitioned.lock().expect("partition lock");
+        // Poison-tolerant: the vector is only ever resized/flag-flipped
+        // under the lock, so a panicking holder cannot corrupt it.
+        let mut p = self
+            .partitioned
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ep >= p.len() {
             p.resize(ep + 1, false);
         }
@@ -126,7 +131,7 @@ impl FaultState {
         let Some(ep) = ep else { return false };
         self.partitioned
             .lock()
-            .expect("partition lock")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(ep)
             .copied()
             .unwrap_or(false)

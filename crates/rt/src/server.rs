@@ -17,7 +17,10 @@ use crate::frame::{CtlRep, CtlReq, Frame};
 use crate::net::{Inbound, SocketEndpoint};
 use radd_net::RetryPolicy;
 use radd_obs::{MachineObs, MachineSnapshot, ObsSnapshot};
-use radd_protocol::{trace, CoalescePolicy, Dest, Effect, MemBlocks, SiteMachine, TraceEntry};
+use radd_protocol::{
+    trace, CoalescePolicy, Dest, DurableSiteState, Effect, IoPurpose, SiteMachine, TraceEntry,
+};
+use radd_storage::{SiteStore, StorageSpec};
 use std::collections::BTreeMap;
 use std::sync::mpsc::Receiver;
 use std::time::{Duration, Instant};
@@ -48,12 +51,17 @@ pub enum Control {
     TakeTrace(std::sync::mpsc::Sender<Vec<TraceEntry>>),
     /// Freeze and hand over the site's metrics + flight-recorder snapshot.
     QueryObs(std::sync::mpsc::Sender<MachineSnapshot>),
+    /// Process crash + restart: drop the machine, the store, and every
+    /// timer, then re-open from the site's durable storage. Replies `true`
+    /// when the site actually restarted from disk; a memory-backed site
+    /// replies `false` and keeps its state.
+    KillRestart(std::sync::mpsc::Sender<bool>),
     /// Stop the thread.
     Shutdown,
 }
 
 /// Static site parameters (the socket twin of `radd_node`'s `SiteConfig`).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SiteConfig {
     /// This site's id (0-based).
     pub site: usize,
@@ -69,12 +77,17 @@ pub struct SiteConfig {
     /// [`CoalescePolicy::Off`] to stay message-for-message identical to
     /// the DES interpreter; deployments default to `Merge`.
     pub coalesce: CoalescePolicy,
+    /// Storage backend: volatile memory (default) or a durable
+    /// [`radd_storage::DiskBlocks`] directory that survives
+    /// [`Control::KillRestart`] — and, for a standalone `radd-server`
+    /// process, a plain `kill -9` + restart.
+    pub storage: StorageSpec,
 }
 
 struct SiteDriver {
     cfg: SiteConfig,
     machine: SiteMachine,
-    blocks: MemBlocks,
+    store: SiteStore,
     down: bool,
     /// Retransmit deadlines by outstanding tag.
     timers: BTreeMap<u64, Instant>,
@@ -107,11 +120,12 @@ impl SiteDriver {
                 Effect::ClearTimer { tag } => {
                     self.timers.remove(&tag);
                 }
-                // The machine already performed the I/O on `blocks`; the
+                // The machine already performed the I/O on the store; the
                 // receipts matter only to cost-accounting drivers.
                 Effect::Read { .. } | Effect::Write { .. } | Effect::DeferAck { .. } => {}
-                // Disk-fault escalations cannot happen here: MemBlocks
-                // never faults and this runtime injects no disk failures.
+                // Disk-fault escalations cannot happen here: the store
+                // never faults in-range and this runtime injects no disk
+                // failures.
                 Effect::NeedParityRebuild { .. } | Effect::ParityUnservable { .. } => {
                     debug_assert!(false, "disk-fault escalation in a faultless runtime");
                 }
@@ -170,18 +184,43 @@ impl SiteDriver {
     }
 }
 
+/// Open (or re-open) the site's storage and rebuild the machine from its
+/// durable snapshot, if one exists. Rows replayed from the WAL surface to
+/// `obs` as [`IoPurpose::LogReplay`] read receipts — the §3.4 recovery
+/// work a restart performed.
+fn open_store(cfg: &SiteConfig, obs: &mut MachineObs) -> (SiteStore, SiteMachine) {
+    let store = cfg
+        .storage
+        .for_site(cfg.site)
+        .open(cfg.rows, cfg.block_size)
+        .unwrap_or_else(|e| panic!("site {}: cannot open durable store: {e}", cfg.site));
+    let machine = match store.meta().map(DurableSiteState::decode) {
+        Some(Ok(d)) => SiteMachine::restore_durable(&d),
+        Some(Err(e)) => panic!("site {}: corrupt durable snapshot: {e}", cfg.site),
+        None => SiteMachine::new(cfg.site, cfg.group_size, cfg.rows, cfg.block_size),
+    };
+    for row in store.replayed_rows() {
+        obs.effect(&Effect::Read {
+            row: *row,
+            purpose: IoPurpose::LogReplay,
+        });
+    }
+    (store, machine)
+}
+
 /// Run the site event loop until shutdown (by [`Control::Shutdown`], a
 /// wire [`CtlReq::Shutdown`], or the control channel disconnecting).
 pub fn run_site(cfg: SiteConfig, ep: &SocketEndpoint, control: &Receiver<Control>) {
-    let mut machine = SiteMachine::new(cfg.site, cfg.group_size, cfg.rows, cfg.block_size);
+    let mut obs = MachineObs::new();
+    let (store, mut machine) = open_store(&cfg, &mut obs);
     machine.set_coalesce(cfg.coalesce);
     let mut st = SiteDriver {
         machine,
-        blocks: MemBlocks::new(cfg.rows, cfg.block_size),
+        store,
         down: false,
         timers: BTreeMap::new(),
         trace: None,
-        obs: MachineObs::new(),
+        obs,
         cfg,
     };
     loop {
@@ -211,6 +250,24 @@ pub fn run_site(cfg: SiteConfig, ep: &SocketEndpoint, control: &Receiver<Control
                     let snap = st.obs_snapshot();
                     let _ = reply.send(snap);
                 }
+                Ok(Control::KillRestart(reply)) => {
+                    if st.store.is_durable() {
+                        // Crash: the machine, the timer wheel and any
+                        // uncommitted staged writes die. Restart: re-open
+                        // from disk, replaying the committed WAL suffix
+                        // and rebuilding the machine from the last
+                        // durable snapshot (§3.4).
+                        st.timers.clear();
+                        let (store, mut machine) = open_store(&st.cfg, &mut st.obs);
+                        machine.set_coalesce(st.cfg.coalesce);
+                        st.store = store;
+                        st.machine = machine;
+                        st.down = false;
+                        let _ = reply.send(true);
+                    } else {
+                        let _ = reply.send(false);
+                    }
+                }
                 Ok(Control::Shutdown) => return,
                 Err(std::sync::mpsc::TryRecvError::Disconnected) => return,
                 Err(std::sync::mpsc::TryRecvError::Empty) => break,
@@ -238,7 +295,14 @@ pub fn run_site(cfg: SiteConfig, ep: &SocketEndpoint, control: &Receiver<Control
                     continue;
                 }
                 let mut out = Vec::new();
-                st.machine.handle(&mut st.blocks, src, msg, &mut out);
+                st.machine.handle(&mut st.store, src, msg, &mut out);
+                // WAL rule: group-commit what the message staged *before*
+                // interpreting the effects — no ack may leave the process
+                // ahead of the log record that justifies it. A
+                // memory-backed store makes this a no-op.
+                if let Err(e) = st.store.commit(|| st.machine.durable_snapshot().encode()) {
+                    panic!("site {}: durable commit failed: {e}", st.cfg.site);
+                }
                 st.interpret(ep, out);
             }
         }

@@ -50,6 +50,7 @@ fn spawn_sites() -> (
             block_size: BLOCK,
             ep_base: EP_BASE,
             coalesce: CoalescePolicy::Merge,
+            storage: radd_storage::StorageSpec::Mem,
         };
         let (tx, rx) = mpsc::channel();
         control.push(tx);

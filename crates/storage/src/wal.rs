@@ -249,6 +249,32 @@ impl StorageManager for WalManager {
         Ok(())
     }
 
+    fn write_owned(&mut self, txn: TxnId, page: PageId, data: Bytes) -> Result<(), StorageError> {
+        self.check_live()?;
+        if !self.active.contains(&txn) {
+            return Err(StorageError::NoSuchTxn(txn));
+        }
+        if data.len() != self.page_size {
+            return Err(StorageError::WrongPageSize {
+                got: data.len(),
+                expected: self.page_size,
+            });
+        }
+        let old = self.page_read(page)?.to_vec();
+        self.append(&LogRecord::Update {
+            txn,
+            page,
+            old: old.clone(),
+            new: data.to_vec(),
+        });
+        self.undo.get_mut(&txn).expect("active").push((page, old));
+        // The log record necessarily copies (it frames the body), but the
+        // buffered page image adopts the refcounted buffer as-is.
+        self.buffer.insert(page, data);
+        self.dirty.insert(page);
+        Ok(())
+    }
+
     fn commit(&mut self, txn: TxnId) -> Result<(), StorageError> {
         self.check_live()?;
         if !self.active.remove(&txn) {
@@ -315,15 +341,15 @@ impl StorageManager for WalManager {
         }
         // Pass 1: repeat history (redo every update in order), collecting
         // transaction outcomes.
-        let log = std::mem::take(&mut self.durable_log);
+        let mut log = std::mem::take(&mut self.durable_log);
         let mut finished: HashSet<TxnId> = HashSet::new();
         let mut seen: HashSet<TxnId> = HashSet::new();
         let mut updates: Vec<(TxnId, PageId, Vec<u8>, Vec<u8>)> = Vec::new();
         let mut at = 0;
         loop {
-            match LogRecord::decode(&log, at)? {
-                None => break,
-                Some((rec, next)) => {
+            match LogRecord::decode(&log, at) {
+                Ok(None) => break,
+                Ok(Some((rec, next))) => {
                     match rec {
                         LogRecord::Begin(t) => {
                             seen.insert(t);
@@ -341,6 +367,22 @@ impl StorageManager for WalManager {
                         }
                     }
                     at = next;
+                }
+                Err(e) => {
+                    // A corrupt record ends the scan only if it really is a
+                    // torn *tail*: records past it were never durably
+                    // finished, so dropping them repeats what UNDO would do
+                    // anyway. A committed/aborted record *beyond* the tear
+                    // means finished work would be silently lost — report
+                    // the corruption instead (the old scan stopped short
+                    // here and dropped those records on the floor).
+                    let finisher = |body: &[u8]| matches!(body.first(), Some(2) | Some(3));
+                    if crate::disk::committed_record_beyond(&log, at + 1, finisher).is_some() {
+                        self.durable_log = log;
+                        return Err(e);
+                    }
+                    log.truncate(at);
+                    break;
                 }
             }
         }
@@ -370,6 +412,24 @@ impl StorageManager for WalManager {
         }
         stats.winners = finished.len() as u64;
         stats.losers = losers.len() as u64;
+        // Close the losers durably (history repeats): compensation updates
+        // mirroring the undo pass, then abort markers. Without these a
+        // *second* crash would find the losers still open and undo them
+        // again — clobbering any newer committed writes to the same pages.
+        for (txn, page, old, new) in updates.iter().rev() {
+            if losers.contains(txn) {
+                LogRecord::Update {
+                    txn: *txn,
+                    page: *page,
+                    old: new.clone(),
+                    new: old.clone(),
+                }
+                .encode(&mut log);
+            }
+        }
+        for t in &losers {
+            LogRecord::Abort(*t).encode(&mut log);
+        }
         self.durable_log = log;
         self.crashed = false;
         Ok(stats)
@@ -382,13 +442,21 @@ impl StorageManager for WalManager {
     }
 }
 
-// Internal knob used by tests to simulate a torn tail write.
+// Internal knobs used by tests to simulate torn and corrupted writes.
 #[cfg(test)]
 impl WalManager {
     fn corrupt_log_tail(&mut self) {
         if let Some(last) = self.durable_log.last_mut() {
             *last ^= 0xFF;
         }
+    }
+
+    fn corrupt_log_at(&mut self, at: usize) {
+        self.durable_log[at] ^= 0xFF;
+    }
+
+    fn durable_log_len(&self) -> usize {
+        self.durable_log.len()
     }
 }
 
@@ -522,17 +590,84 @@ mod tests {
     }
 
     #[test]
-    fn torn_log_record_is_reported() {
+    fn torn_tail_recovers_as_if_never_committed() {
+        // The tail byte of the log — inside the final Commit record — is
+        // damaged, as a torn write would leave it. Nothing committed lies
+        // beyond, so recovery proceeds: the commit never durably happened,
+        // the transaction is a loser, and its update is undone. (The old
+        // scan reported TornLog here and refused to recover at all.)
         let mut m = mgr();
         let t = m.begin().unwrap();
         m.write(t, 0, &page(1)).unwrap();
         m.commit(t).unwrap();
         m.corrupt_log_tail();
         m.crash();
+        let stats = m.recover(RecoveryContext::Local).unwrap();
+        assert_eq!(stats.losers, 1, "the torn commit never happened");
+        assert_eq!(&m.committed(0).unwrap()[..], &vec![0u8; 128][..]);
+        // Service resumes on the truncated log.
+        let t = m.begin().unwrap();
+        m.write(t, 0, &page(2)).unwrap();
+        m.commit(t).unwrap();
+        m.crash();
+        m.recover(RecoveryContext::Local).unwrap();
+        assert_eq!(&m.committed(0).unwrap()[..], &page(2)[..]);
+    }
+
+    #[test]
+    fn mid_log_corruption_with_commits_beyond_is_reported() {
+        // Damage a byte inside the FIRST transaction's records while a
+        // second committed transaction follows: stopping at the tear would
+        // silently drop that committed work, so recovery must report
+        // TornLog instead.
+        let mut m = mgr();
+        let t1 = m.begin().unwrap();
+        m.write(t1, 0, &page(1)).unwrap();
+        m.commit(t1).unwrap();
+        let mid = m.durable_log_len() / 2;
+        let t2 = m.begin().unwrap();
+        m.write(t2, 1, &page(2)).unwrap();
+        m.commit(t2).unwrap();
+        m.corrupt_log_at(mid);
+        m.crash();
         assert!(matches!(
             m.recover(RecoveryContext::Local).unwrap_err(),
             StorageError::TornLog { .. }
         ));
+        // The error is not destructive: the durable log is preserved for
+        // forensics, and the manager stays in the needs-recovery state.
+        assert!(m.durable_log_len() > 0);
+        assert_eq!(m.begin().unwrap_err(), StorageError::NeedsRecovery);
+    }
+
+    #[test]
+    fn corrupted_length_field_with_commits_beyond_is_reported() {
+        // Corrupt the very first record's length header — the framing
+        // itself desynchronises, not just one body. The byte-resync scan
+        // must still find the committed records beyond and report.
+        let mut m = mgr();
+        let t1 = m.begin().unwrap();
+        m.write(t1, 0, &page(1)).unwrap();
+        m.commit(t1).unwrap();
+        m.corrupt_log_at(0);
+        m.crash();
+        assert!(matches!(
+            m.recover(RecoveryContext::Local).unwrap_err(),
+            StorageError::TornLog { .. }
+        ));
+    }
+
+    #[test]
+    fn write_owned_adopts_buffer_and_recovers_identically() {
+        let mut m = mgr();
+        let t = m.begin().unwrap();
+        m.write_owned(t, 3, Bytes::from(page(7))).unwrap();
+        m.commit(t).unwrap();
+        assert_eq!(&m.committed(3).unwrap()[..], &page(7)[..]);
+        m.crash();
+        let stats = m.recover(RecoveryContext::Local).unwrap();
+        assert_eq!(stats.winners, 1);
+        assert_eq!(&m.committed(3).unwrap()[..], &page(7)[..]);
     }
 
     #[test]

@@ -150,6 +150,15 @@ pub enum FaultEvent {
         /// The site whose reply cache is evicted.
         site: usize,
     },
+    /// Process crash + immediate restart of a site running on durable
+    /// storage: volatile state (pending tables, reply cache, timers, any
+    /// uncommitted staged writes) is lost; the site re-opens from its WAL +
+    /// block file and resumes serving (§3.4). Drivers on memory-backed
+    /// storage treat it as a no-op — there is nothing to restart from.
+    KillRestart {
+        /// The crashed-and-restarted site.
+        site: usize,
+    },
 }
 
 impl fmt::Display for FaultEvent {
@@ -187,6 +196,9 @@ impl fmt::Display for FaultEvent {
             }
             FaultEvent::EvictReplies { site } => {
                 write!(f, "evict the reply cache of site {site}")
+            }
+            FaultEvent::KillRestart { site } => {
+                write!(f, "crash and restart site {site} from durable storage")
             }
         }
     }
@@ -362,6 +374,48 @@ impl FaultPlan {
             events.push(FaultEvent::LossEnd);
         }
         push_repair(&mut active, &mut events);
+        events.push(FaultEvent::FlushParity);
+        FaultPlan { seed, events }
+    }
+
+    /// [`generate`](FaultPlan::generate) plus §3.4 crash/restart coverage:
+    /// the base plan is generated *unchanged* (same seed → same base
+    /// events, so existing seed corpora stay stable), then
+    /// [`FaultEvent::KillRestart`] events are woven in at points where the
+    /// cluster is healthy — no failure in effect, no loss burst — from a
+    /// separate deterministic stream of the same seed. Every plan ends
+    /// with at least one crash, so a `(seed, shape)` pair always
+    /// exercises the durable-recovery path.
+    ///
+    /// Drivers on memory-backed storage treat the crashes as no-ops, so
+    /// these plans run anywhere; they only *prove* anything on a durable
+    /// cluster.
+    pub fn generate_with_crashes(seed: u64, shape: &PlanShape) -> FaultPlan {
+        let base = FaultPlan::generate(seed, shape);
+        let n = shape.group_size + 2;
+        // A distinct stream: crash placement must not perturb (or be
+        // perturbed by) the base generator's draws.
+        let mut rng = SimRng::seed_from_u64(seed ^ 0x000C_8A54_ED05_7A87u64);
+        let mut events = Vec::with_capacity(base.events.len() + 8);
+        let mut healthy = true;
+        let mut loss = false;
+        for ev in base.events {
+            match ev {
+                FaultEvent::Fail { .. } | FaultEvent::Isolate { .. } => healthy = false,
+                FaultEvent::Recover { .. } => healthy = true,
+                FaultEvent::LossBurst { .. } => loss = true,
+                FaultEvent::LossEnd => loss = false,
+                _ => {}
+            }
+            events.push(ev);
+            // Crash while a failure is active and the cluster loses a
+            // *second* site; crash under loss and quiescing first drags —
+            // both are out of the paper's single-failure model.
+            if healthy && !loss && rng.below(100) < 12 {
+                events.push(FaultEvent::KillRestart { site: rng.index(n) });
+            }
+        }
+        events.push(FaultEvent::KillRestart { site: rng.index(n) });
         events.push(FaultEvent::FlushParity);
         FaultPlan { seed, events }
     }
@@ -672,6 +726,17 @@ impl FaultDriver for CheckedCluster {
             // bite on the threaded runtime.
             FaultEvent::LossBurst { .. } | FaultEvent::LossEnd => Ok(()),
             FaultEvent::FlushParity => self.quiesce(),
+            // §3.4 crash/restart: quiesce first (crashing with a parity
+            // update in doubt is the §6 problem no runtime here models),
+            // then round-trip the site through its durable snapshot. A
+            // volatile-storage cluster reports `false` — a legitimate
+            // no-op, not a failure — so crash plans also run on the
+            // default configuration.
+            FaultEvent::KillRestart { site } => {
+                self.quiesce()?;
+                self.cluster_mut().kill_restart_site(site);
+                Ok(())
+            }
             // Checker-granularity events address the model checker's
             // explicit in-flight message vector; the DES delivers
             // synchronously and has no such addressable network.

@@ -94,6 +94,7 @@ fn main() -> ExitCode {
     };
     let ep_base = cfg.ep_base();
     let ep = SocketEndpoint::site(ep_base + member, ep_base, cfg.group_sites(group), listener);
+    let storage = cfg.storage_spec(group);
     let site_cfg = SiteConfig {
         site: member,
         group_size: cfg.g,
@@ -101,7 +102,14 @@ fn main() -> ExitCode {
         block_size: cfg.block_size,
         ep_base,
         coalesce,
+        storage: storage.clone(),
     };
+    if let radd_storage::StorageSpec::Disk { dir } = &storage {
+        println!(
+            "radd-server: durable storage under {} (kill -9 survivable)",
+            dir.join(format!("site-{member}")).display()
+        );
+    }
     if cfg.groups == 1 {
         println!(
             "radd-server: site {site} serving on {addr} (G = {}, {} rows × {} B)",
