@@ -26,7 +26,7 @@
 //!   (they must join every remaining group — the §4 feasibility argument);
 //!   the rest of the group is filled minimising pair co-occurrence with the
 //!   members chosen so far. The same two feasibility checks as
-//!   [`assign_groups`] are necessary and sufficient here too.
+//!   [`crate::assign_groups`] are necessary and sufficient here too.
 //!
 //! Both invariants the rotation placement guarantees are preserved and
 //! exposed as checkable predicates: no two members of one group share a

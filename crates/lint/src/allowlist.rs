@@ -1,0 +1,227 @@
+//! The checked-in allowlist (`tidy.allow` at the workspace root).
+//!
+//! Grammar — one entry per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! <rule-id> <workspace-relative-path> count=<n> -- <one-line justification>
+//! ```
+//!
+//! An entry suppresses the diagnostics of `rule-id` in `path`, but only
+//! when *exactly* `n` of them exist: the count is a ratchet, so a new
+//! violation sneaking into an already-allowlisted file still fails the
+//! run, and fixing one forces the entry to shrink. Entries that suppress
+//! nothing are themselves errors (stale allowlist), as are entries
+//! without a justification — the file is the audit trail reviewers read.
+
+use crate::{Diagnostic, RuleId};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Rule being excepted.
+    pub rule: RuleId,
+    /// Workspace-relative path (forward slashes) the exception covers.
+    pub path: String,
+    /// Exact number of diagnostics the entry is allowed to suppress.
+    pub count: usize,
+    /// Why the exception is sound — shown in `--explain` style output.
+    pub justification: String,
+    /// Line in the allowlist file (for pointing diagnostics).
+    pub line: usize,
+}
+
+/// Parse the allowlist text. Malformed lines become error strings (with
+/// their line number) rather than panics, so the binary can point at them.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut entries: Vec<Entry> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let (head, justification) = line
+            .split_once("--")
+            .ok_or_else(|| format!("tidy.allow:{lineno}: missing `-- <justification>`"))?;
+        let justification = justification.trim();
+        if justification.is_empty() {
+            return Err(format!("tidy.allow:{lineno}: empty justification"));
+        }
+        let fields: Vec<&str> = head.split_whitespace().collect();
+        let [rule, path, count] = fields[..] else {
+            return Err(format!(
+                "tidy.allow:{lineno}: expected `<rule> <path> count=<n> -- <justification>`"
+            ));
+        };
+        let rule = RuleId::from_id(rule)
+            .ok_or_else(|| format!("tidy.allow:{lineno}: unknown rule id `{rule}`"))?;
+        let count: usize = count
+            .strip_prefix("count=")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| format!("tidy.allow:{lineno}: expected `count=<n>`, got `{count}`"))?;
+        if count == 0 {
+            return Err(format!(
+                "tidy.allow:{lineno}: count=0 — delete the entry instead"
+            ));
+        }
+        if entries.iter().any(|e| e.rule == rule && e.path == path) {
+            return Err(format!(
+                "tidy.allow:{lineno}: duplicate entry for {} {path}",
+                rule.id()
+            ));
+        }
+        entries.push(Entry {
+            rule,
+            path: path.to_owned(),
+            count,
+            justification: justification.to_owned(),
+            line: lineno,
+        });
+    }
+    Ok(entries)
+}
+
+/// Serialize entries back to the on-disk format (round-trip tested).
+pub fn serialize(entries: &[Entry]) -> String {
+    let mut out = String::new();
+    for e in entries {
+        out.push_str(&format!(
+            "{} {} count={} -- {}\n",
+            e.rule.id(),
+            e.path,
+            e.count,
+            e.justification
+        ));
+    }
+    out
+}
+
+/// Apply the allowlist: suppress exactly-matching diagnostics, and emit
+/// allowlist-integrity diagnostics for stale entries and count drift.
+pub fn apply(diags: Vec<Diagnostic>, entries: &[Entry]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut matched = vec![0usize; entries.len()];
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    for d in diags {
+        match entries
+            .iter()
+            .position(|e| e.rule == d.rule && e.path == d.path)
+        {
+            Some(i) => {
+                matched[i] += 1;
+                kept.push(d); // resurfaced if the entry's count mismatches
+            }
+            None => out.push(d),
+        }
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if matched[i] == 0 {
+            out.push(Diagnostic {
+                rule: RuleId::Allowlist,
+                path: "tidy.allow".to_owned(),
+                line: e.line,
+                msg: format!(
+                    "stale entry: {} {} suppresses nothing — delete it",
+                    e.rule.id(),
+                    e.path
+                ),
+            });
+        } else if matched[i] != e.count {
+            out.push(Diagnostic {
+                rule: RuleId::Allowlist,
+                path: "tidy.allow".to_owned(),
+                line: e.line,
+                msg: format!(
+                    "count drift: {} {} allows {} finding(s) but {} exist — fix the new \
+                     violation(s) or re-justify the entry",
+                    e.rule.id(),
+                    e.path,
+                    e.count,
+                    matched[i]
+                ),
+            });
+            out.extend(
+                kept.iter()
+                    .filter(|d| d.rule == e.rule && d.path == e.path)
+                    .cloned(),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: RuleId, path: &str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_owned(),
+            line,
+            msg: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn parse_serialize_round_trip() {
+        let text = "# comment\nR002 crates/x/src/a.rs count=2 -- lookup-only tables\n";
+        let entries = parse(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].count, 2);
+        let re = parse(&serialize(&entries)).unwrap();
+        assert_eq!(
+            re.iter().map(|e| (&e.path, e.count)).collect::<Vec<_>>(),
+            entries
+                .iter()
+                .map(|e| (&e.path, e.count))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn malformed_lines_point_at_themselves() {
+        assert!(parse("R002 a.rs count=1\n").unwrap_err().contains(":1:"));
+        assert!(parse("\nR999 a.rs count=1 -- x\n")
+            .unwrap_err()
+            .contains(":2:"));
+        assert!(parse("R002 a.rs count=zero -- x\n")
+            .unwrap_err()
+            .contains("count="));
+    }
+
+    #[test]
+    fn exact_count_suppresses() {
+        let entries = parse("R002 a.rs count=2 -- fine\n").unwrap();
+        let out = apply(
+            vec![
+                diag(RuleId::Determinism, "a.rs", 1),
+                diag(RuleId::Determinism, "a.rs", 9),
+            ],
+            &entries,
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn count_drift_resurfaces_diagnostics() {
+        let entries = parse("R002 a.rs count=1 -- fine\n").unwrap();
+        let out = apply(
+            vec![
+                diag(RuleId::Determinism, "a.rs", 1),
+                diag(RuleId::Determinism, "a.rs", 9),
+            ],
+            &entries,
+        );
+        assert_eq!(out.len(), 3, "{out:?}"); // drift + both originals
+        assert!(out.iter().any(|d| d.rule == RuleId::Allowlist));
+    }
+
+    #[test]
+    fn stale_entry_fails() {
+        let entries = parse("R004 gone.rs count=1 -- was fixed\n").unwrap();
+        let out = apply(Vec::new(), &entries);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("stale"));
+    }
+}

@@ -1,0 +1,63 @@
+//! CLI entry point: find the workspace root, run every rule, print
+//! pointing diagnostics, exit non-zero on any finding.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_root() -> Result<PathBuf, String> {
+    if let Ok(root) = std::env::var("RADD_LINT_ROOT") {
+        return Ok(PathBuf::from(root));
+    }
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Ok(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory \
+                 (set RADD_LINT_ROOT to override)"
+                .to_owned());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = match find_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("radd-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match radd_lint::run(&root) {
+        Ok(report) if report.diagnostics.is_empty() => {
+            println!(
+                "radd-lint: clean — {} crates, {} files checked",
+                report.crates_checked, report.files_checked
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+            eprintln!(
+                "radd-lint: {} violation(s) across {} crates ({} files checked); \
+                 see DESIGN.md §16 for the rule catalogue and tidy.allow etiquette",
+                report.diagnostics.len(),
+                report.crates_checked,
+                report.files_checked
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("radd-lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Token-level source masking.
+//!
+//! The rules operate on a *masked* copy of each source file: comments,
+//! string literals, and char literals are replaced by spaces (byte
+//! positions and line structure preserved), so a banned token inside a
+//! doc comment or an error-message string never fires a diagnostic. The
+//! masker is a small hand-rolled state machine — deliberately not a real
+//! parser — handling exactly the token shapes that matter for masking:
+//! `//` line comments, nested `/* */` block comments, `"…"` strings with
+//! escapes, raw strings `r#"…"#`, byte strings, and char literals
+//! (distinguished from lifetimes heuristically).
+
+/// Replace every comment, string-literal body, and char-literal body in
+/// `src` with spaces, preserving byte offsets and newlines.
+pub fn mask_code(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                // Line comment: blank to end of line.
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                // Block comment, nesting honoured.
+                let mut depth = 1;
+                out.push(b' ');
+                out.push(b' ');
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.push(b' ');
+                        out.push(b' ');
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                i = mask_raw_string(b, i, &mut out);
+            }
+            b'b' if i + 1 < b.len() && b[i + 1] == b'"' => {
+                out.push(b' ');
+                i = mask_plain_string(b, i + 1, &mut out);
+            }
+            b'"' => {
+                i = mask_plain_string(b, i, &mut out);
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(b, i) {
+                    for &c in &b[i..end] {
+                        out.push(if c == b'\n' { b'\n' } else { b' ' });
+                    }
+                    i = end;
+                } else {
+                    // A lifetime tick: keep it, it breaks no token.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // Masking only substitutes ASCII spaces for existing bytes, but any
+    // multi-byte character inside a masked region was replaced per byte —
+    // all with ASCII, so the result is valid UTF-8.
+    String::from_utf8(out).expect("masking preserves UTF-8")
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    // r"…", r#"…"#, br"…", br#"…"# (and the b already consumed case is
+    // handled by the caller matching on `r`).
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+fn mask_raw_string(b: &[u8], start: usize, out: &mut Vec<u8>) -> usize {
+    let mut i = start;
+    if b[i] == b'b' {
+        out.push(b' ');
+        i += 1;
+    }
+    out.push(b' '); // the r
+    i += 1;
+    let mut hashes = 0;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        out.push(b' ');
+        i += 1;
+    }
+    out.push(b' '); // opening quote
+    i += 1;
+    // Scan for `"` followed by `hashes` hash marks.
+    while i < b.len() {
+        if b[i] == b'"' {
+            let close = (1..=hashes).all(|k| i + k < b.len() && b[i + k] == b'#');
+            if close {
+                for _ in 0..=hashes {
+                    out.push(b' ');
+                }
+                return i + 1 + hashes;
+            }
+        }
+        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+        i += 1;
+    }
+    i
+}
+
+fn mask_plain_string(b: &[u8], start: usize, out: &mut Vec<u8>) -> usize {
+    let mut i = start;
+    out.push(b' '); // opening quote
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' if i + 1 < b.len() => {
+                out.push(b' ');
+                out.push(if b[i + 1] == b'\n' { b'\n' } else { b' ' });
+                i += 2;
+            }
+            b'"' => {
+                out.push(b' ');
+                return i + 1;
+            }
+            b'\n' => {
+                out.push(b'\n');
+                i += 1;
+            }
+            _ => {
+                out.push(b' ');
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Where a char literal starting at the `'` at `i` ends (exclusive), or
+/// `None` if this tick is a lifetime.
+fn char_literal_end(b: &[u8], i: usize) -> Option<usize> {
+    let next = *b.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: scan to the closing quote.
+        let mut j = i + 2;
+        while j < b.len() && b[j] != b'\'' && b[j] != b'\n' {
+            j += 1;
+        }
+        return (j < b.len() && b[j] == b'\'').then_some(j + 1);
+    }
+    // `'x'` — exactly one character (possibly multi-byte) then an
+    // immediate closing quote; anything else (`'a,`, `'a>`) is a lifetime.
+    let width = match next {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    };
+    let close = i + 1 + width;
+    (b.get(close) == Some(&b'\'')).then_some(close + 1)
+}
+
+/// Find `word` in `line` at an identifier boundary (the characters
+/// immediately before and after the match are not `[A-Za-z0-9_]`).
+/// Returns the byte offset of the first such occurrence.
+pub fn find_word(line: &str, word: &str) -> Option<usize> {
+    let b = line.as_bytes();
+    let w = word.as_bytes();
+    let is_ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident(b[at - 1]);
+        let after = at + w.len();
+        let after_ok = after >= b.len() || !is_ident(b[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let m = mask_code("let x = 1; // std::thread::spawn\nlet y = 2;");
+        assert!(!m.contains("spawn"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(m.lines().count(), 2);
+    }
+
+    #[test]
+    fn block_comments_nest_and_keep_newlines() {
+        let m = mask_code("a /* one /* two */ still */ b\nc");
+        assert!(m.contains('a'));
+        assert!(m.contains('b'));
+        assert!(!m.contains("still"));
+        assert_eq!(m.lines().count(), 2);
+    }
+
+    #[test]
+    fn strings_and_raw_strings_are_blanked() {
+        let m = mask_code(r##"let s = "HashMap"; let r = r#"unsafe"#; s"##);
+        assert!(!m.contains("HashMap"));
+        assert!(!m.contains("unsafe"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let m = mask_code(r#"x("a\"HashMap\"b"); y"#);
+        assert!(!m.contains("HashMap"));
+        assert!(m.contains('y'));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let m = mask_code("fn f<'a>(x: &'a u8) { let q = 'u'; }");
+        assert!(m.contains("<'a>"), "{m}");
+        assert!(!m.contains("'u'"));
+        // Adjacent lifetimes must not pair up into a phantom char literal.
+        let m = mask_code("fn g<'a, 'b>(x: &'a u8, y: &'b u8) -> u64 { 7 }");
+        assert!(m.contains("<'a, 'b>"), "{m}");
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(find_word("use std::collections::HashMap;", "HashMap").is_some());
+        assert!(find_word("type FxHashMap<K, V> = ...", "HashMap").is_none());
+        assert!(find_word("forbid(unsafe_code)", "unsafe").is_none());
+        assert!(find_word("unsafe fn x()", "unsafe").is_some());
+    }
+}

@@ -1,0 +1,3 @@
+//! Bad: iteration-order-dependent table in a determinism-critical crate.
+
+pub type Table = std::collections::HashMap<u64, u64>;

@@ -1,0 +1,4 @@
+//! Bad: a HashSet surfaces iteration order too (the mention in this
+//! comment must NOT fire — only line 4's type does).
+
+pub type Seen = std::collections::HashSet<u64>;

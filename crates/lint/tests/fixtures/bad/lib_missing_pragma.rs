@@ -1,0 +1,3 @@
+//! Bad: real-crate lib root without the forbid pragma (R005, line 1).
+
+pub fn noop() {}

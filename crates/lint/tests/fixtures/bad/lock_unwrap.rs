@@ -1,0 +1,5 @@
+//! Bad: poison-blind locking in a runtime crate (R004, line 4).
+
+pub fn bump(m: &std::sync::Mutex<u64>) {
+    *m.lock().unwrap() += 1;
+}

@@ -1,0 +1,5 @@
+//! Bad: console output in the sans-IO core (R001, line 4).
+
+pub fn log(msg: &str) {
+    println!("{msg}");
+}

@@ -1,0 +1,5 @@
+//! Bad: spawning threads in the sans-IO core (R001, line 4).
+
+pub fn fanout() {
+    std::thread::spawn(|| {});
+}

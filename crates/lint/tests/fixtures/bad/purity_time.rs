@@ -1,0 +1,6 @@
+//! Bad: wall-clock time in the sans-IO core (R001, line 4).
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,5 @@
+//! Bad: unsafe in the parity crate without a SAFETY contract (R003, line 4).
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,7 @@
+//! Bad: unsafe outside the parity kernels (R003, line 5 — a SAFETY
+//! comment does not make it legal elsewhere).
+
+pub fn peek(v: &[u8]) -> u8 {
+    // SAFETY: caller guarantees non-empty — irrelevant, still banned here.
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,9 @@
+//! Good: Fx aliases are word-boundary-distinct from the std names, and
+//! ordered maps are always fine.
+
+use crate::fasthash::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
+
+pub fn lookup(m: &FxHashMap<u64, u64>, s: &FxHashSet<u64>, o: &BTreeMap<u64, u64>) -> usize {
+    usize::from(m.contains_key(&0)) + usize::from(s.contains(&0)) + o.len()
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! Good: the forbid pragma sits at the crate root.
+
+pub fn noop() {}

@@ -1,0 +1,10 @@
+//! Good: poison-tolerant spellings and non-poisoning APIs only.
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn bump(m: &Mutex<u64>) {
+    *m.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+    if let Ok(mut g) = m.try_lock() {
+        *g += 1;
+    }
+}

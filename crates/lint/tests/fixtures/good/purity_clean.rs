@@ -1,0 +1,6 @@
+//! Good: the core mentions banned names only in comments and strings.
+//! A doc mention of std::thread::spawn or println! must not fire.
+
+pub fn describe() -> &'static str {
+    "uses no std::time::Instant, no println!, no std::fs"
+}

@@ -1,0 +1,21 @@
+//! Good: every unsafe occurrence carries a SAFETY contract, with
+//! attributes allowed between the comment and the unsafe line.
+
+pub fn peek(v: &[u8]) -> u8 {
+    assert!(!v.is_empty());
+    // SAFETY: emptiness is asserted above, so index 0 is in bounds.
+    #[allow(unused_unsafe)]
+    unsafe {
+        *v.get_unchecked(0)
+    }
+}
+
+// SAFETY: callers must pass `len <= v.len()`; the dispatcher proves it.
+pub unsafe fn sum(v: *const u8, len: usize) -> u64 {
+    let mut acc = 0u64;
+    for i in 0..len {
+        // SAFETY: `i < len` and the caller contract bounds `len`.
+        acc += u64::from(unsafe { *v.add(i) });
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+//! Fixture core: one allowlisted determinism finding, one live purity bug.
+
+pub type Table = std::collections::HashMap<u32, u32>;
+
+pub fn noisy(n: u32) {
+    println!("{n}");
+}

@@ -1,0 +1,4 @@
+#![forbid(unsafe_code)]
+//! Fixture crate with nothing to report.
+
+pub fn clean() {}

@@ -189,7 +189,7 @@ impl NodeCluster {
         self.net.set_link_latency(latency);
     }
 
-    /// Attach (or detach with `None`) a shared transmission [`Wire`] to
+    /// Attach (or detach with `None`) a shared transmission [`radd_net::Wire`] to
     /// site `j`'s endpoint. Every send from that site then serialises on
     /// the wire for the wire's latency — the physical model behind the
     /// rebuild benchmarks: one wire per *pool site* shared across all the

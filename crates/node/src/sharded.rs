@@ -197,7 +197,7 @@ impl ShardedNodeCluster {
         }
     }
 
-    /// Model each *pool site* as owning one transmission [`Wire`] of the
+    /// Model each *pool site* as owning one transmission [`radd_net::Wire`] of the
     /// given latency, shared by every member endpoint it hosts across all
     /// groups: concurrent sends from one physical site serialise, so the
     /// fleet's aggregate rebuild-read bandwidth is `surviving sites ×

@@ -165,6 +165,9 @@ pub fn fold_scalar(dst: &mut [u8], sources: &[&[u8]]) {
 // x86-64 vector kernels
 // ---------------------------------------------------------------------
 
+// SAFETY: callers must have proven AVX2 available (the `active()`
+// dispatcher does, via `is_x86_feature_detected!`) and pass equal-length
+// slices; executing an AVX2 instruction on a CPU without it is UB.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[inline]
@@ -190,6 +193,9 @@ unsafe fn xor2_avx2(dst: &mut [u8], src: &[u8]) {
     xor2_scalar(&mut dst[lanes..], &src[lanes..]);
 }
 
+// SAFETY: callers must have proven SSE2 available (the `active()`
+// dispatcher does; it is also baseline on x86-64) and pass equal-length
+// slices.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
 #[inline]
@@ -214,6 +220,9 @@ unsafe fn xor2_sse2(dst: &mut [u8], src: &[u8]) {
     xor2_scalar(&mut dst[lanes..], &src[lanes..]);
 }
 
+// SAFETY: callers must have proven AVX2 available (the `fold` dispatcher
+// does) and pass sources all of `dst`'s length (`crate::xor_fold`
+// validates; re-asserted below).
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[inline]
@@ -241,6 +250,8 @@ unsafe fn fold_avx2(dst: &mut [u8], sources: &[&[u8]]) {
     fold_tail(dst, sources, lanes);
 }
 
+// SAFETY: callers must have proven SSE2 available (the `fold` dispatcher
+// does) and pass sources all of `dst`'s length.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
 #[inline]
@@ -272,6 +283,8 @@ unsafe fn fold_sse2(dst: &mut [u8], sources: &[&[u8]]) {
 // aarch64 vector kernels
 // ---------------------------------------------------------------------
 
+// SAFETY: NEON is part of the aarch64 baseline, so the target feature is
+// always available; callers must pass equal-length slices.
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
 #[inline]
@@ -296,6 +309,8 @@ unsafe fn xor2_neon(dst: &mut [u8], src: &[u8]) {
     xor2_scalar(&mut dst[lanes..], &src[lanes..]);
 }
 
+// SAFETY: NEON is part of the aarch64 baseline; callers must pass
+// sources all of `dst`'s length.
 #[cfg(target_arch = "aarch64")]
 #[target_feature(enable = "neon")]
 #[inline]

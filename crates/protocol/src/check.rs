@@ -30,11 +30,11 @@
 //! processes), so visited-set collisions are negligible at bounded-model
 //! scale.
 
+use crate::fasthash::FxHashMap;
 use crate::server::{SiteMachine, SpareKind};
 use crate::wire::{Msg, SpareContent};
 use radd_parity::Uid;
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 /// Renaming state hasher for one canonical scan of a model state.
@@ -46,8 +46,12 @@ use std::hash::{Hash, Hasher};
 /// callers can combine unordered collections commutatively.
 #[derive(Debug)]
 pub struct Canonicalizer {
-    uids: HashMap<u64, u64>,
-    tags: HashMap<u64, u64>,
+    // Lookup-only renaming tables on the model checker's hot path (hit
+    // once per identifier per state hash): FxHashMap per the fasthash
+    // contract — these are never iterated, so order cannot reach a
+    // digest (R002, DESIGN.md §16).
+    uids: FxHashMap<u64, u64>,
+    tags: FxHashMap<u64, u64>,
     main: (DefaultHasher, DefaultHasher),
     sub: Option<(DefaultHasher, DefaultHasher)>,
 }
@@ -68,8 +72,8 @@ impl Canonicalizer {
     /// A fresh canonicalizer with empty renaming tables.
     pub fn new() -> Canonicalizer {
         Canonicalizer {
-            uids: HashMap::new(),
-            tags: HashMap::new(),
+            uids: FxHashMap::default(),
+            tags: FxHashMap::default(),
             main: salted_pair(),
             sub: None,
         }

@@ -33,7 +33,10 @@ pub enum PartitionVerdict {
 pub fn classify(group_of: &[u32], group_size_g: usize) -> PartitionVerdict {
     let n = group_of.len();
     debug_assert_eq!(n, group_size_g + 2, "RADD cluster has G+2 sites");
-    let mut groups: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+    // BTreeMap so the verdict (and the order of `majority`) is a pure
+    // function of the assignment — iteration reaches the returned value,
+    // which downstream drivers compare and trace (R002, DESIGN.md §16).
+    let mut groups: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
     for (site, &g) in group_of.iter().enumerate() {
         groups.entry(g).or_default().push(site);
     }

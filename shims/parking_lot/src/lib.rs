@@ -5,22 +5,60 @@
 //! `LockResult`. A poisoned std lock (a panic while held) is recovered
 //! rather than propagated, matching parking_lot's behaviour of not having
 //! poisoning at all.
+//!
+//! Unlike the real crate, this shim carries an opt-in **lockdep** layer
+//! (`src/lockdep.rs`, armed by `RADD_LOCKDEP=1`): every lock joins a
+//! global acquisition-order graph and an AB/BA ordering inversion panics
+//! with a two-chain witness at the moment the second order is *observed*
+//! — no actual deadlock or special scheduler needed. Guards are therefore
+//! thin wrappers (deref to the inner guard) rather than type aliases, so
+//! releases can pop the thread's held-lock stack.
 
+mod lockdep;
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync;
 
 /// A mutual exclusion primitive (non-poisoning `lock()`).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Mutex<T: ?Sized> {
+    dep: lockdep::LockClass,
     inner: sync::Mutex<T>,
 }
 
-/// A guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+/// A guard returned by [`Mutex::lock`]. Dropping it unlocks (and pops the
+/// lockdep held-stack entry when the detector is armed).
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    _dep: Option<lockdep::Held>,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
 
 impl<T> Mutex<T> {
     /// Create a new mutex.
     pub fn new(value: T) -> Mutex<T> {
         Mutex {
+            dep: lockdep::LockClass::new::<T>(),
             inner: sync::Mutex::new(value),
         }
     }
@@ -31,19 +69,33 @@ impl<T> Mutex<T> {
     }
 }
 
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        let dep = self.dep.acquire("Mutex");
+        MutexGuard {
+            _dep: dep,
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            _dep: self.dep.acquire_try("Mutex"),
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -53,20 +105,63 @@ impl<T: ?Sized> Mutex<T> {
 }
 
 /// A reader-writer lock (non-poisoning `read()`/`write()`).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RwLock<T: ?Sized> {
+    dep: lockdep::LockClass,
     inner: sync::RwLock<T>,
 }
 
 /// A shared guard returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    _dep: Option<lockdep::Held>,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
 /// An exclusive guard returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _dep: Option<lockdep::Held>,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
 
 impl<T> RwLock<T> {
     /// Create a new reader-writer lock.
     pub fn new(value: T) -> RwLock<T> {
         RwLock {
+            dep: lockdep::LockClass::new::<T>(),
             inner: sync::RwLock::new(value),
         }
     }
@@ -77,33 +172,55 @@ impl<T> RwLock<T> {
     }
 }
 
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
 impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        let dep = self.dep.acquire("RwLock");
+        RwLockReadGuard {
+            _dep: dep,
+            inner: self.inner.read().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Acquire exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        let dep = self.dep.acquire("RwLock");
+        RwLockWriteGuard {
+            _dep: dep,
+            inner: self.inner.write().unwrap_or_else(|e| e.into_inner()),
+        }
     }
 
     /// Try to acquire shared access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockReadGuard {
+            _dep: self.dep.acquire_try("RwLock"),
+            inner,
+        })
     }
 
     /// Try to acquire exclusive access without blocking.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(RwLockWriteGuard {
+            _dep: self.dep.acquire_try("RwLock"),
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
@@ -130,5 +247,24 @@ mod tests {
         l.write()[1] = true;
         assert!(l.read()[1]);
         assert!(!l.read()[0]);
+    }
+
+    #[test]
+    fn try_variants_and_defaults() {
+        let m: Mutex<u32> = Mutex::default();
+        {
+            let _g = m.lock();
+            // Same-thread second try_lock must not succeed (std semantics;
+            // a same-instance relock would self-deadlock if blocking).
+            assert!(m.try_lock().is_none());
+        }
+        assert_eq!(*m.try_lock().expect("uncontended"), 0);
+        let l: RwLock<u32> = RwLock::default();
+        {
+            let _r = l.read();
+            assert!(l.try_write().is_none());
+            assert!(l.try_read().is_some());
+        }
+        assert!(l.try_write().is_some());
     }
 }
